@@ -1,0 +1,52 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one paper artifact (table or figure) with the
+full experimental protocol (7 runs, mean of the last 5, the paper's size
+sweep), prints it to the terminal, and writes it under
+``benchmarks/results/``.  pytest-benchmark times the regeneration.
+
+Set ``REPRO_BENCH_FAST=1`` to shrink the protocol (3 runs, 3 sizes) for a
+quick smoke pass.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis import AnalysisConfig
+from repro.measure import ExperimentProtocol
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The paper's full size ladder, or a short one for smoke runs.
+FAST = bool(int(os.environ.get("REPRO_BENCH_FAST", "0")))
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> AnalysisConfig:
+    """The paper's protocol: 7 runs/cell, keep 5, sizes 10..100 MB."""
+    if FAST:
+        return AnalysisConfig(
+            sizes_mb=(10, 50, 100),
+            protocol=ExperimentProtocol(total_runs=3, discard_runs=1),
+        )
+    return AnalysisConfig()
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print an artifact to the real terminal and persist it to disk."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+
+    return _emit
+
+
+def once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

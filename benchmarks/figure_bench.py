@@ -1,0 +1,41 @@
+"""Shared driver for the upload-performance figure benchmarks."""
+
+import pathlib
+from typing import Callable, Optional
+
+from repro.analysis import AnalysisConfig, figure_to_csv, run_figure
+from repro.analysis.figures import FigureResult
+
+from benchmarks.conftest import RESULTS_DIR, once
+
+
+def regenerate_figure(
+    figure_id: str,
+    benchmark,
+    cfg: AnalysisConfig,
+    emit,
+    check: Optional[Callable[[FigureResult], None]] = None,
+) -> FigureResult:
+    """Run one figure under timing, emit chart + rows + CSV, check shape."""
+    result = once(benchmark, lambda: run_figure(figure_id, cfg))
+
+    lines = [result.render()]
+    lines.append("")
+    lines.append("data rows (mean ± σ seconds):")
+    for size, by_series in result.rows():
+        cells = ", ".join(f"{label}: {s.mean:.2f}±{s.std:.2f}" for label, s in by_series.items())
+        lines.append(f"  {size:g} MB: {cells}")
+    emit(figure_id, "\n".join(lines))
+
+    # machine-readable twin for external plotting
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{figure_id}.csv").write_text(figure_to_csv(result))
+
+    if check is not None:
+        check(result)
+    return result
+
+
+def route_means(result: FigureResult, label: str):
+    """Mean seconds per size for one series."""
+    return [s.mean for s in result.series[label]]

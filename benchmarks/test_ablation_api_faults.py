@@ -1,0 +1,63 @@
+"""Ablation: API reliability — transient-error rate vs upload time.
+
+Provider frontends throw transient 429/5xx under load; SDKs retry with
+exponential backoff.  Sweeping the injected error rate shows the cost of
+flakiness on a chunked upload (Dropbox's 24 chunks per 100 MB make it
+the most request-heavy protocol, hence the most fault-sensitive).
+"""
+
+import numpy as np
+
+from repro.cloud import FaultInjector
+from repro.core import DirectRoute, PlanExecutor, TransferPlan
+from repro.testbed import build_case_study
+from repro.transfer import FileSpec
+from repro.units import mb
+
+from benchmarks.conftest import once
+
+ERROR_RATES = (0.0, 0.05, 0.15, 0.30)
+
+
+def _run(provider_name: str, error_rate: float) -> float:
+    world = build_case_study(seed=2, cross_traffic=False)
+    provider = world.provider(provider_name)
+    if error_rate:
+        provider.fault_injector = FaultInjector(
+            np.random.default_rng(7), error_rate=error_rate)
+    plan = TransferPlan("ubc", provider_name, FileSpec("f.bin", int(mb(100))),
+                        DirectRoute())
+    result = PlanExecutor(world).run(plan)
+    injected = provider.fault_injector.injected if provider.fault_injector else 0
+    return result.total_s, injected
+
+
+def _sweep():
+    rows = []
+    for rate in ERROR_RATES:
+        gdrive_t, gdrive_n = _run("gdrive", rate)
+        dropbox_t, dropbox_n = _run("dropbox", rate)
+        rows.append((rate, gdrive_t, gdrive_n, dropbox_t, dropbox_n))
+    return rows
+
+
+def test_ablation_api_faults(benchmark, emit):
+    rows = once(benchmark, _sweep)
+
+    lines = ["Ablation: transient API error rate vs 100 MB upload time (UBC, direct)",
+             "", f"{'error rate':>10} {'Drive (s)':>10} {'faults':>7} "
+                 f"{'Dropbox (s)':>12} {'faults':>7}"]
+    for rate, gt, gn, dt, dn in rows:
+        lines.append(f"{rate:>10.0%} {gt:>10.1f} {gn:>7} {dt:>12.1f} {dn:>7}")
+    emit("ablation_api_faults", "\n".join(lines))
+
+    by_rate = {r: (gt, dt) for r, gt, _, dt, _ in rows}
+    g0, d0 = by_rate[0.0]
+    g30, d30 = by_rate[0.30]
+    # flakiness costs time, monotonically
+    gdrive_times = [gt for _, gt, _, _, _ in rows]
+    assert all(a <= b + 0.5 for a, b in zip(gdrive_times, gdrive_times[1:]))
+    assert g30 > g0 + 1.0
+    # every upload still completes well under 2x the clean time at 30%
+    assert g30 < 2.0 * g0
+    assert d30 < 2.0 * d0

@@ -1,0 +1,79 @@
+"""Ablation: multipath (direct + detour simultaneously) vs single path.
+
+The paper's related work notes multiple paths "would require changes to
+the provider's API"; this quantifies what that change would buy (and
+where it buys nothing: shared-bottleneck sources like UCLA).
+"""
+
+from repro.core import (
+    DetourRoute,
+    DirectRoute,
+    MultipathUpload,
+    PlanExecutor,
+    TransferPlan,
+)
+from repro.testbed import build_case_study
+from repro.transfer import FileSpec
+from repro.units import mb
+
+from benchmarks.conftest import once
+
+
+def _single(client, provider, route, size):
+    world = build_case_study(seed=6, cross_traffic=False)
+    plan = TransferPlan(client, provider, FileSpec("s.bin", size), route)
+    return PlanExecutor(world).run(plan).total_s
+
+
+def _multi(client, provider, size):
+    world = build_case_study(seed=6, cross_traffic=False)
+    mp = MultipathUpload(world)
+    proc = world.sim.process(mp.run(
+        client, provider, FileSpec("m.bin", size),
+        routes=[DirectRoute(), DetourRoute("ualberta")]))
+    world.sim.run_until_triggered(proc.done, horizon=1e7)
+    return proc.result
+
+
+def _evaluate():
+    rows = []
+    for client, size_mb in [("ubc", 100), ("purdue", 60), ("ucla", 30)]:
+        size = int(mb(size_mb))
+        t_direct = _single(client, "gdrive", DirectRoute(), size)
+        t_detour = _single(client, "gdrive", DetourRoute("ualberta"), size)
+        result = _multi(client, "gdrive", size)
+        rows.append((client, size_mb, t_direct, t_detour, result))
+    return rows
+
+
+def test_ablation_multipath(benchmark, emit):
+    rows = once(benchmark, _evaluate)
+
+    lines = ["Ablation: multipath upload vs single routes (to Google Drive)", "",
+             f"{'client':>8} {'MB':>5} {'direct':>8} {'detour':>8} {'multipath':>10} "
+             f"{'vs best single':>15}"]
+    for client, size_mb, t_d, t_v, result in rows:
+        best = min(t_d, t_v)
+        gain = (1 - result.total_s / best) * 100
+        lines.append(f"{client:>8} {size_mb:>5} {t_d:>7.1f}s {t_v:>7.1f}s "
+                     f"{result.total_s:>9.1f}s {gain:>14.1f}%")
+        split = ", ".join(f"{p.route_descr}={p.part_bytes / 1e6:.0f}MB"
+                          for p in result.parts)
+        lines.append(f"{'':>14} split: {split}")
+    emit("ablation_multipath", "\n".join(lines))
+
+    by_client = {r[0]: r for r in rows}
+
+    # UBC: disjoint bottlenecks -> multipath beats the best single path
+    _, _, t_d, t_v, res = by_client["ubc"]
+    assert res.total_s < min(t_d, t_v)
+    assert len(res.parts) == 2
+
+    # Purdue: detour dominates so heavily the direct path contributes a
+    # small share at best; multipath must not be (much) worse than detour
+    _, _, t_d, t_v, res = by_client["purdue"]
+    assert res.total_s < 1.15 * min(t_d, t_v)
+
+    # UCLA: shared last mile -> no real gain over the best single path
+    _, _, t_d, t_v, res = by_client["ucla"]
+    assert res.total_s > 0.9 * min(t_d, t_v)

@@ -1,0 +1,83 @@
+"""Ablation: automatic detour-selection quality (the paper's future work).
+
+For every (client, provider) pair at 100 MB, compare the upload time of
+the route each selector picks against the oracle's choice.  Reports
+per-pair decisions and the total regret (extra seconds vs oracle).
+"""
+
+from repro.core import (
+    OracleSelector,
+    PlanExecutor,
+    ProbeSelector,
+    SelectionContext,
+    TransferPlan,
+)
+from repro.testbed import CLIENTS, PROVIDERS, VIAS, build_case_study, world_factory
+from repro.transfer import FileSpec
+from repro.units import mb
+
+from benchmarks.conftest import once
+
+SIZE = int(mb(100))
+EVAL_SEED = 77
+
+
+def _route_time(client, provider, route):
+    """Ground-truth time of a route in a fresh evaluation world."""
+    world = build_case_study(seed=EVAL_SEED, cross_traffic=False)
+    plan = TransferPlan(client, provider, FileSpec("eval.bin", SIZE), route)
+    return PlanExecutor(world).run(plan).total_s
+
+
+def _drive(world, gen):
+    proc = world.sim.process(gen)
+    world.sim.run_until_triggered(proc.done, horizon=1e7)
+    if proc.error:
+        raise proc.error
+    return proc.result
+
+
+def _evaluate():
+    oracle = OracleSelector(world_factory(cross_traffic=False), runs=2, discard=0)
+    rows = []
+    for client in CLIENTS:
+        for provider in PROVIDERS:
+            vias = tuple(v for v in VIAS if v != client)
+
+            ctx_o = SelectionContext(
+                build_case_study(seed=1, cross_traffic=False), client, provider, SIZE, vias)
+            oracle_route = _drive(ctx_o.world, oracle.choose(ctx_o))
+
+            ctx_p = SelectionContext(
+                build_case_study(seed=2, cross_traffic=False), client, provider, SIZE, vias)
+            probe_route = _drive(ctx_p.world, ProbeSelector().choose(ctx_p))
+
+            t_oracle = _route_time(client, provider, oracle_route)
+            t_probe = _route_time(client, provider, probe_route)
+            rows.append((client, provider, oracle_route.describe(), t_oracle,
+                         probe_route.describe(), t_probe))
+    return rows
+
+
+def test_ablation_selection(benchmark, emit):
+    rows = once(benchmark, _evaluate)
+
+    lines = ["Ablation: probe-based selection vs oracle (100 MB uploads)", "",
+             f"{'client':>8} {'provider':>9} | {'oracle':<14} {'(s)':>8} | "
+             f"{'probe':<14} {'(s)':>8} {'regret':>8}"]
+    total_oracle = total_probe = 0.0
+    for client, provider, o_route, o_t, p_route, p_t in rows:
+        total_oracle += o_t
+        total_probe += p_t
+        lines.append(f"{client:>8} {provider:>9} | {o_route:<14} {o_t:>8.1f} | "
+                     f"{p_route:<14} {p_t:>8.1f} {p_t - o_t:>+8.1f}")
+    lines.append("")
+    lines.append(f"total: oracle {total_oracle:.1f}s, probe {total_probe:.1f}s, "
+                 f"regret {(total_probe / total_oracle - 1) * 100:.1f}%")
+    emit("ablation_selection", "\n".join(lines))
+
+    # probe selection is near-oracle overall: <10% total regret
+    assert total_probe < 1.10 * total_oracle
+    # and each individual decision costs at most 25% over the oracle
+    for client, provider, _, o_t, _, p_t in rows:
+        assert p_t < 1.25 * o_t, f"{client}->{provider}: probe regret too high"

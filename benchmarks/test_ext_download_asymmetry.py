@@ -1,0 +1,61 @@
+"""Extension: upload/download asymmetry under source-based policy routing.
+
+The pacificwave PBR rule matches PlanetLab *source* prefixes, so it only
+throttles UBC's uploads; downloads ride the clean peering.  The detour
+that more than halves upload time is pure overhead for downloads — a
+routing detour is a per-direction decision.  (The paper benchmarks
+uploads only; this quantifies the other direction.)
+"""
+
+from repro.core import DetourRoute, DirectRoute, PlanExecutor, TransferPlan
+from repro.testbed import build_case_study
+from repro.transfer import FileSpec
+from repro.units import mb
+
+from benchmarks.conftest import once
+
+
+def _measure():
+    rows = []
+    for direction in ("upload", "download"):
+        times = {}
+        for route in (DirectRoute(), DetourRoute("ualberta")):
+            world = build_case_study(seed=8, cross_traffic=False)
+            executor = PlanExecutor(world)
+            spec = FileSpec("dataset.bin", int(mb(100)))
+            plan = TransferPlan("ubc", "gdrive", spec, route)
+            if direction == "upload":
+                result = executor.run(plan)
+            else:
+                world.provider("gdrive").store.put(
+                    "dataset.bin", spec.size_bytes, "digest", "owner", now=0.0)
+                proc = world.sim.process(executor.execute_download(plan))
+                world.sim.run_until_triggered(proc.done, horizon=1e7)
+                result = proc.result
+            times[route.describe()] = result.total_s
+        rows.append((direction, times))
+    return rows
+
+
+def test_ext_download_asymmetry(benchmark, emit):
+    rows = once(benchmark, _measure)
+
+    lines = ["Extension: direction asymmetry (100 MB, UBC <-> Google Drive)", "",
+             f"{'direction':>9} {'direct':>9} {'via ualberta':>13} {'best route':>12}"]
+    for direction, times in rows:
+        best = min(times, key=times.get)
+        lines.append(f"{direction:>9} {times['direct']:>8.1f}s "
+                     f"{times['via ualberta']:>12.1f}s {best:>12}")
+    lines.append("")
+    lines.append("The PBR artifact matches source prefixes: it throttles uploads only.")
+    emit("ext_download_asymmetry", "\n".join(lines))
+
+    by_dir = dict(rows)
+    up = by_dir["upload"]
+    down = by_dir["download"]
+    # uploads: the paper's result — detour wins big
+    assert up["via ualberta"] < 0.55 * up["direct"]
+    # downloads: direct wins (no policer on the reverse path)
+    assert down["direct"] < down["via ualberta"]
+    # and the direct download is far faster than the direct upload
+    assert down["direct"] < 0.4 * up["direct"]

@@ -1,0 +1,84 @@
+"""Extension: sizing a shared campus DTN service.
+
+"Universities and institutions with the appropriate means can provide
+routing detours" (paper Sec. I).  How many concurrent relay sessions
+must that DTN allow?  We push a Purdue upload population through the
+UAlberta DTN at several session limits and report queueing delay and
+end-to-end completion times from the resource statistics.
+"""
+
+from repro.core import DetourRoute, PlanExecutor, TransferPlan
+from repro.testbed import build_case_study
+from repro.workloads import client_population_schedule
+
+from benchmarks.conftest import once
+
+SESSION_LIMITS = (1, 2, 4, 8)
+
+
+def _run_population(max_sessions: int):
+    world = build_case_study(seed=14)
+    world.add_dtn("svc", "ualberta-dtn", max_sessions=max_sessions)
+    executor = PlanExecutor(world)
+    schedule = client_population_schedule(
+        "purdue", "gdrive", n_uploads=10, mean_interarrival_s=60.0,
+        mean_size_mb=30.0, seed=3,
+    )
+    durations = []
+
+    def user(upload):
+        plan = TransferPlan(upload.client_site, upload.provider_name,
+                            upload.file, DetourRoute("svc"))
+        result = yield from executor.execute(plan)
+        durations.append(result.total_s)
+
+    def arrivals():
+        now = 0.0
+        for upload in schedule.uploads:
+            yield upload.start_s - now
+            now = upload.start_s
+            world.sim.process(user(upload))
+
+    world.sim.process(arrivals())
+    while len(durations) < len(schedule.uploads):
+        if world.sim.peek() is None or world.sim.now > 1e6:
+            break
+        world.sim.step()
+    dtn = world.dtn_of("svc")
+    return durations, dtn.sessions
+
+
+def _sweep():
+    rows = []
+    for limit in SESSION_LIMITS:
+        durations, sessions = _run_population(limit)
+        mean = sum(durations) / len(durations)
+        worst = max(durations)
+        rows.append((limit, mean, worst, sessions.total_waits,
+                     sessions.mean_wait_s, sessions.peak_in_use))
+    return rows
+
+
+def test_ext_dtn_sizing(benchmark, emit):
+    rows = once(benchmark, _sweep)
+
+    lines = ["Extension: DTN session-limit sizing "
+             "(10 Purdue uploads, ~30 MB, ~1/min, via UAlberta DTN)", "",
+             f"{'slots':>5} {'mean upload':>12} {'worst':>8} {'queued':>7} "
+             f"{'mean wait':>10} {'peak use':>9}"]
+    for limit, mean, worst, waits, wait_s, peak in rows:
+        lines.append(f"{limit:>5} {mean:>11.1f}s {worst:>7.1f}s {waits:>7} "
+                     f"{wait_s:>9.1f}s {peak:>9}")
+    emit("ext_dtn_sizing", "\n".join(lines))
+
+    by_limit = {r[0]: r for r in rows}
+    # one slot serializes everything: heavy queueing
+    assert by_limit[1][3] > 0          # waits occurred
+    assert by_limit[1][1] > by_limit[4][1]  # mean time improves with slots
+    # diminishing returns: beyond the natural concurrency, nothing changes
+    assert abs(by_limit[4][1] - by_limit[8][1]) < 2.0
+    # with enough slots nobody waits
+    assert by_limit[8][3] == 0
+    # every configuration completed the full population
+    for limit, mean, worst, *_ in rows:
+        assert worst < 2000

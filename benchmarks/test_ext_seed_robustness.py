@@ -1,0 +1,67 @@
+"""Extension: seed-robustness of the reproduction's headline conclusions.
+
+A calibrated simulator can overfit one RNG stream.  This bench re-runs
+the paper's four load-bearing conclusions across five master seeds and
+requires each to hold in *every* world — the reproduction's conclusions
+are properties of the modeled mechanisms, not of a lucky seed.
+"""
+
+from repro.analysis import AnalysisConfig, measure_cell
+from repro.core import DetourRoute, DirectRoute
+from repro.measure import ExperimentProtocol
+
+from benchmarks.conftest import once
+
+SEEDS = (1, 2, 3, 4, 5)
+
+
+def _cfg(seed):
+    return AnalysisConfig(master_seed=seed, sizes_mb=(100,),
+                          protocol=ExperimentProtocol(total_runs=3, discard_runs=1))
+
+
+def _conclusions(seed):
+    cfg = _cfg(seed)
+
+    def t(client, provider, route):
+        return measure_cell(cfg, client, provider, route, 100).mean_s
+
+    return {
+        "ubc_gdrive_detour_wins": (
+            t("ubc", "gdrive", DetourRoute("ualberta")),
+            t("ubc", "gdrive", DirectRoute()),
+        ),
+        "ubc_dropbox_direct_wins": (
+            t("ubc", "dropbox", DirectRoute()),
+            t("ubc", "dropbox", DetourRoute("ualberta")),
+        ),
+        "purdue_gdrive_detour_wins_big": (
+            t("purdue", "gdrive", DetourRoute("ualberta")),
+            t("purdue", "gdrive", DirectRoute()),
+        ),
+        "ucla_nothing_helps_much": (
+            t("ucla", "gdrive", DetourRoute("ualberta")),
+            t("ucla", "gdrive", DirectRoute()),
+        ),
+    }
+
+
+def test_ext_seed_robustness(benchmark, emit):
+    per_seed = once(benchmark, lambda: {s: _conclusions(s) for s in SEEDS})
+
+    lines = ["Extension: headline conclusions across five master seeds (100 MB)", ""]
+    for seed, conclusions in per_seed.items():
+        lines.append(f"seed {seed}:")
+        for name, (a, b) in conclusions.items():
+            lines.append(f"  {name:<32} {a:8.1f}s vs {b:8.1f}s")
+    emit("ext_seed_robustness", "\n".join(lines))
+
+    for seed, c in per_seed.items():
+        detour, direct = c["ubc_gdrive_detour_wins"]
+        assert detour < 0.55 * direct, f"seed {seed}: UBC detour must win big"
+        direct, detour = c["ubc_dropbox_direct_wins"]
+        assert direct < detour, f"seed {seed}: UBC Dropbox direct must win"
+        detour, direct = c["purdue_gdrive_detour_wins_big"]
+        assert detour < 0.5 * direct, f"seed {seed}: Purdue detour must win big"
+        detour, direct = c["ucla_nothing_helps_much"]
+        assert detour > 0.85 * direct, f"seed {seed}: UCLA detour must not help much"

@@ -1,0 +1,62 @@
+"""Extension: tornado-style calibration sensitivity analysis.
+
+Every calibrated rate gets perturbed ±25% / -20%; every qualitative
+conclusion of the paper is re-checked in the perturbed world.  The
+reproduction's claims must be properties of the *mechanisms* (policy
+routing, congested interconnects, last-mile caps), not of fourth-decimal
+calibration — with one honest exception asserted below.
+"""
+
+from repro.analysis import render_sensitivity, run_sensitivity
+from repro.analysis.sensitivity import RATE_KNOBS
+
+from benchmarks.conftest import once
+
+
+def test_ext_sensitivity(benchmark, emit):
+    results = once(benchmark, lambda: run_sensitivity(factors=(0.8, 1.25)))
+    emit("ext_sensitivity", render_sensitivity(results))
+
+    flips = {(r.knob, r.factor): r.flipped for r in results if not r.all_hold}
+
+    # The conclusions tied to *structural* mechanisms must survive every
+    # perturbation of unrelated knobs.
+    for r in results:
+        if r.knob in ("ubc_access_bps", "canarie_dropbox_bps",
+                      "i2_dropbox_bps", "transita_dropbox_bps",
+                      "transitb_peering_bps"):
+            assert r.all_hold, f"{r.knob} x{r.factor} flipped {r.flipped}"
+
+    # Knobs that *should* matter are allowed to flip their own conclusion
+    # (e.g. opening the pacificwave policer 25% erodes the UBC detour's
+    # margin) — but never an unrelated one.
+    related = {
+        "pacificwave_policer_bps": {"ubc_gdrive_detour_wins"},
+        "canarie_google_bps": {"ubc_gdrive_detour_wins", "purdue_gdrive_detours_win",
+                               "ucla_detours_dont_help"},
+        "ucla_access_bps": {"ucla_detours_dont_help"},
+        "transita_google_bps": {"purdue_gdrive_detours_win"},
+        "transitb_peering_bps": {"ucla_detours_dont_help"},
+        "canarie_i2_bps": {"purdue_gdrive_detours_win", "ucla_detours_dont_help"},
+        "i2_google_bps": {"purdue_gdrive_detours_win", "ucla_detours_dont_help"},
+        "purdue_access_bps": {"purdue_gdrive_detours_win"},
+        "umich_access_bps": {"purdue_gdrive_detours_win", "ucla_detours_dont_help"},
+        "canarie_microsoft_bps": set(),
+        "canarie_dropbox_bps": set(),
+        "i2_microsoft_bps": set(),
+        "i2_dropbox_bps": set(),
+        "transita_microsoft_bps": set(),
+        "transita_dropbox_bps": set(),
+        "ubc_access_bps": {"ubc_gdrive_detour_wins", "ubc_dropbox_direct_wins"},
+        "ucla_access_bps": {"ucla_detours_dont_help"},
+    }
+    for (knob, factor), flipped in flips.items():
+        allowed = related.get(knob, set())
+        assert set(flipped) <= allowed, (
+            f"{knob} x{factor} flipped unrelated conclusion(s): {flipped}"
+        )
+
+    # and the overwhelming majority of (knob, factor, conclusion) cells hold
+    total_cells = sum(len(r.conclusions) for r in results)
+    held = sum(sum(r.conclusions.values()) for r in results)
+    assert held / total_cells > 0.9

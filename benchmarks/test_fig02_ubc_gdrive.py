@@ -1,0 +1,27 @@
+"""Fig. 2: Upload performance from UBC to Google Drive.
+
+Paper shape: the UAlberta detour beats direct at *every* size (by >30%,
+>50% at most sizes); the UMich detour is always slowest; the bare
+UBC->UAlberta rsync hop sits well below the direct upload curve.
+"""
+
+import numpy as np
+
+from benchmarks.figure_bench import regenerate_figure, route_means
+
+
+def test_fig02_ubc_gdrive(benchmark, paper_config, emit):
+    def check(result):
+        direct = np.array(route_means(result, "direct"))
+        via_ua = np.array(route_means(result, "via ualberta"))
+        via_um = np.array(route_means(result, "via umich"))
+        hop = np.array(route_means(result, "UBC to UAlberta (rsync)"))
+
+        assert (via_ua < direct).all(), "UAlberta detour must win at every size"
+        assert (via_ua[1:] < 0.65 * direct[1:]).all(), ">35% gain beyond 10 MB"
+        assert (via_um > direct).all(), "UMich detour must lose at every size"
+        assert (hop < direct).all(), "the rsync hop is cheaper than direct upload"
+        # times grow with size on every route
+        assert (np.diff(direct) > 0).all() and (np.diff(via_ua) > 0).all()
+
+    regenerate_figure("fig2", benchmark, paper_config, emit, check)

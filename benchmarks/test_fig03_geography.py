@@ -1,0 +1,51 @@
+"""Fig. 3: locations of clients, intermediate nodes, and cloud servers.
+
+Regenerates the map data: site coordinates, pairwise great-circle
+distances, and the geographic stretch of each detour — quantifying the
+"significant geographical detour" of UBC -> UAlberta -> Mountain View.
+"""
+
+from repro.geo import (
+    CLIENT_SITES,
+    CLOUD_DATACENTERS,
+    INTERMEDIATE_SITES,
+    haversine_km,
+    site,
+)
+from repro.geo.coords import detour_stretch
+
+from benchmarks.conftest import once
+
+
+def _build_map_data():
+    rows = []
+    for client in CLIENT_SITES:
+        for dc in CLOUD_DATACENTERS:
+            direct = haversine_km(client.location, dc.location)
+            for via in INTERMEDIATE_SITES:
+                stretch = detour_stretch(client.location, via.location, dc.location)
+                rows.append((client.name, via.name, dc.name, direct, stretch))
+    return rows
+
+
+def test_fig03_geography(benchmark, emit):
+    rows = once(benchmark, _build_map_data)
+
+    lines = ["Fig. 3: geography of clients, DTNs, and cloud datacenters", ""]
+    lines.append("site coordinates:")
+    for s in CLIENT_SITES + INTERMEDIATE_SITES + CLOUD_DATACENTERS:
+        lines.append(f"  {s.name:<12} {s.location}  ({s.city})")
+    lines.append("")
+    lines.append(f"{'client':<8} {'via':<10} {'datacenter':<12} {'direct km':>10} {'stretch':>8}")
+    for client, via, dc, direct, stretch in rows:
+        lines.append(f"{client:<8} {via:<10} {dc:<12} {direct:>10.0f} {stretch:>7.2f}x")
+    emit("fig03", "\n".join(lines))
+
+    by_key = {(c, v, d): s for c, v, d, _, s in rows}
+    # the paper's headline geometric fact: the winning UBC detour nearly
+    # doubles the map distance to Mountain View
+    assert by_key[("ubc", "ualberta", "gdrive-dc")] > 1.8
+    # UMich is an even bigger backtrack from UBC to Mountain View
+    assert by_key[("ubc", "umich", "gdrive-dc")] > by_key[("ubc", "ualberta", "gdrive-dc")]
+    # and for Purdue, UMich is nearly on the way (small stretch)
+    assert by_key[("purdue", "umich", "gdrive-dc")] < 1.25

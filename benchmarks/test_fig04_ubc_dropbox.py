@@ -1,0 +1,21 @@
+"""Fig. 4: Upload performance from UBC to Dropbox.
+
+Paper shape: "direct upload outperforms both indirect routes via
+UAlberta and UMich" at every size; via UMich is the worst.
+"""
+
+import numpy as np
+
+from benchmarks.figure_bench import regenerate_figure, route_means
+
+
+def test_fig04_ubc_dropbox(benchmark, paper_config, emit):
+    def check(result):
+        direct = np.array(route_means(result, "direct"))
+        via_ua = np.array(route_means(result, "via ualberta"))
+        via_um = np.array(route_means(result, "via umich"))
+
+        assert (direct < via_ua).all(), "direct must beat the UAlberta detour"
+        assert (via_ua < via_um).all(), "UMich detour is slowest"
+
+    regenerate_figure("fig4", benchmark, paper_config, emit, check)

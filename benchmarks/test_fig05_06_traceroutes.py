@@ -1,0 +1,34 @@
+"""Figs. 5 and 6: traceroutes from UBC and UAlberta to Google Drive.
+
+Asserts the structural facts the paper reads off these traces: both
+paths cross vncv1rtr2.canarie.ca; only the UBC trace shows a Pacific
+Wave hop; the UAlberta trace contains silent hops (* * *); both end at
+the same Google frontend.
+"""
+
+from repro.analysis import run_traceroute_figures
+
+from benchmarks.conftest import once
+
+
+def test_fig05_06_traceroutes(benchmark, emit):
+    figs = once(benchmark, lambda: run_traceroute_figures(seed=0))
+
+    text = (
+        "Fig. 5: UBC to Google Drive Server Traceroute\n"
+        + figs["fig5"]
+        + "\n\nFig. 6: UAlberta to Google Drive Server Traceroute\n"
+        + figs["fig6"]
+    )
+    emit("fig05_06", text)
+
+    assert "vncv1rtr2.canarie.ca" in figs["fig5"]
+    assert "vncv1rtr2.canarie.ca" in figs["fig6"]
+    assert "pacificwave" in figs["fig5"]
+    assert "pacificwave" not in figs["fig6"]
+    assert "* * *" in figs["fig6"]
+    assert "* * *" not in figs["fig5"]
+    assert figs["fig5"].splitlines()[-1].endswith("sea15s01-in-f138.1e100.net (216.58.216.138)")
+    assert figs["fig6"].splitlines()[-1].endswith("sea15s01-in-f138.1e100.net (216.58.216.138)")
+    # Fig. 6 shows the UAlberta firewall as its first hop
+    assert "ww-fw.cs.ualberta.ca" in figs["fig6"]

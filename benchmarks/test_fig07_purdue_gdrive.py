@@ -1,0 +1,27 @@
+"""Fig. 7: Upload performance from Purdue to Google Drive.
+
+Paper shape: *both* detours crush the direct route (-70% or more at most
+sizes), and the two detours are comparable to each other — "there is no
+performance-based reason to prefer a detour through UAlberta to that
+through UMich".
+"""
+
+import numpy as np
+
+from benchmarks.figure_bench import regenerate_figure, route_means
+
+
+def test_fig07_purdue_gdrive(benchmark, paper_config, emit):
+    def check(result):
+        direct = np.array(route_means(result, "direct"))
+        via_ua = np.array(route_means(result, "via ualberta"))
+        via_um = np.array(route_means(result, "via umich"))
+
+        assert (via_ua < 0.55 * direct).all(), "UAlberta detour wins by >45% everywhere"
+        assert (via_um < 0.55 * direct).all(), "UMich detour wins by >45% everywhere"
+        # the two detours are comparable — within 2x of each other at every
+        # size (the paper's own Table III hits ratio 1.84 at 40 MB)
+        ratio = via_ua / via_um
+        assert (ratio > 0.5).all() and (ratio < 2.0).all()
+
+    regenerate_figure("fig7", benchmark, paper_config, emit, check)

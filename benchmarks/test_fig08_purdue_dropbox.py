@@ -1,0 +1,28 @@
+"""Fig. 8: Upload performance from Purdue to Dropbox.
+
+Paper shape: "detoured transfers via intermediate nodes are generally no
+better than direct uploads" — the direct route wins on total time across
+the sweep, with large error bars that overlap the detours (the Table IV
+discussion).
+"""
+
+import numpy as np
+
+from benchmarks.figure_bench import regenerate_figure, route_means
+
+
+def test_fig08_purdue_dropbox(benchmark, paper_config, emit):
+    def check(result):
+        direct = np.array(route_means(result, "direct"))
+        via_ua = np.array(route_means(result, "via ualberta"))
+        via_um = np.array(route_means(result, "via umich"))
+
+        # direct wins overall (per-size flips are within the paper's own
+        # footnote noise)
+        assert direct.sum() < via_ua.sum()
+        assert direct.sum() < via_um.sum()
+        # but not dramatically: no per-size blowouts beyond ~2.5x
+        assert (via_ua < 2.5 * direct).all()
+        assert (via_um < 2.5 * direct).all()
+
+    regenerate_figure("fig8", benchmark, paper_config, emit, check)

@@ -1,0 +1,32 @@
+"""Fig. 10: Upload performance from UCLA to Google Drive.
+
+Paper shape (Sec. III-C): "file transfers from UCLA to all other
+locations including the Google Drive server, UAlberta, etc., take a long
+time" — the ~1.35 Mbit/s last mile dominates, so no detour can win or
+lose by much, and everything is an order of magnitude slower than from
+UBC.
+"""
+
+import numpy as np
+
+from benchmarks.figure_bench import regenerate_figure, route_means
+
+
+def test_fig10_ucla_gdrive(benchmark, paper_config, emit):
+    def check(result):
+        direct = np.array(route_means(result, "direct"))
+        via_ua = np.array(route_means(result, "via ualberta"))
+        via_um = np.array(route_means(result, "via umich"))
+        hop = np.array(route_means(result, "UCLA to UAlberta (rsync)"))
+
+        # everything is slow: >350 s at 100 MB (paper shows ~600+)
+        assert direct[-1] > 350
+        # the rsync hop itself is about as slow as the direct upload
+        assert hop[-1] > 0.80 * direct[-1]
+        # no route separates from the pack: all within ~35% at every size
+        stacked = np.vstack([direct, via_ua, via_um])
+        assert (stacked.max(axis=0) / stacked.min(axis=0) < 1.35).all()
+        # and no detour improves on direct by a meaningful margin overall
+        assert min(via_ua.sum(), via_um.sum()) > 0.88 * direct.sum()
+
+    regenerate_figure("fig10", benchmark, paper_config, emit, check)

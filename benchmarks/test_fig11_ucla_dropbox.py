@@ -1,0 +1,25 @@
+"""Fig. 11: Upload performance from UCLA to Dropbox.
+
+Paper shape: same story as Fig. 10 — the UCLA last mile is the
+bottleneck, detours only add overhead.
+"""
+
+import numpy as np
+
+from benchmarks.figure_bench import regenerate_figure, route_means
+
+
+def test_fig11_ucla_dropbox(benchmark, paper_config, emit):
+    def check(result):
+        direct = np.array(route_means(result, "direct"))
+        via_ua = np.array(route_means(result, "via ualberta"))
+        via_um = np.array(route_means(result, "via umich"))
+
+        assert direct[-1] > 350
+        # direct wins on total time; detours are pure overhead
+        assert direct.sum() <= min(via_ua.sum(), via_um.sum())
+        # both detours stay within ~35% of direct (overhead, no cliff)
+        assert (via_ua < 1.35 * direct).all()
+        assert (via_um < 1.35 * direct).all()
+
+    regenerate_figure("fig11", benchmark, paper_config, emit, check)

@@ -1,0 +1,44 @@
+"""Sec. I headline: 87 s direct vs 17 + 19 = 36 s via the UAlberta detour.
+
+"uploading a 100 MB binary file from a University of British Columbia
+(UBC) PlanetLab node to Google Drive ... takes 87 seconds ... from the
+UAlberta non-PlanetLab node to Google Drive takes 17s ... from the UBC
+PlanetLab node to the UAlberta non-PlanetLab node takes 19s ... the
+100 MB file can be transferred in 36s (= 17+19) instead of 87s."
+"""
+
+from repro.analysis import AnalysisConfig, measure_cell, measure_rsync_hop
+from repro.analysis.paperdata import PAPER_HEADLINE
+from repro.core import DetourRoute, DirectRoute
+
+from benchmarks.conftest import once
+
+
+def test_intro_headline(benchmark, paper_config, emit):
+    def compute():
+        direct = measure_cell(paper_config, "ubc", "gdrive", DirectRoute(), 100)
+        hop1 = measure_rsync_hop(paper_config, "ubc", "ualberta", 100)
+        hop2 = measure_cell(paper_config, "ualberta", "gdrive", DirectRoute(), 100)
+        detour = measure_cell(paper_config, "ubc", "gdrive", DetourRoute("ualberta"), 100)
+        return direct, hop1, hop2, detour
+
+    direct, hop1, hop2, detour = once(benchmark, compute)
+
+    text = "\n".join([
+        "Sec. I headline numbers (100 MB, UBC -> Google Drive):",
+        f"  direct upload           : {direct.mean_s:6.1f} s   (paper ~{PAPER_HEADLINE['direct']:.0f})",
+        f"  UBC -> UAlberta (rsync) : {hop1.mean_s:6.1f} s   (paper ~{PAPER_HEADLINE['ubc_to_ualberta']:.0f})",
+        f"  UAlberta -> Drive (API) : {hop2.mean_s:6.1f} s   (paper ~{PAPER_HEADLINE['ualberta_to_gdrive']:.0f})",
+        f"  detour via UAlberta     : {detour.mean_s:6.1f} s   (paper ~{PAPER_HEADLINE['via_ualberta_total']:.0f})",
+        f"  speedup                 : {direct.mean_s / detour.mean_s:6.2f} x  (paper ~2.4x)",
+    ])
+    emit("intro_headline", text)
+
+    assert 70 < direct.mean_s < 105
+    assert 14 < hop1.mean_s < 25
+    assert 13 < hop2.mean_s < 23
+    assert 28 < detour.mean_s < 46
+    # store-and-forward arithmetic: detour ~ hop1 + hop2
+    assert abs(detour.mean_s - (hop1.mean_s + hop2.mean_s)) < 6
+    # the headline speedup
+    assert direct.mean_s / detour.mean_s > 2.0

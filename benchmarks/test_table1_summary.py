@@ -1,0 +1,38 @@
+"""Table I: summary of fastest routes, 3 clients x 3 providers.
+
+Checked against the paper's main-text rankings; cells the paper itself
+footnotes with per-size exceptions are allowed to differ in ordering but
+the qualitative story must hold (detours win for Google Drive from
+UBC/Purdue; direct wins for UBC Dropbox/OneDrive; nothing helps UCLA
+by a large margin).
+"""
+
+from repro.analysis import compare_rankings, run_table1
+from repro.analysis.tables import render_table1
+
+from benchmarks.conftest import once
+
+
+def test_table1_summary(benchmark, paper_config, emit):
+    cells = once(benchmark, lambda: run_table1(paper_config))
+
+    rankings = compare_rankings(cells)
+    lines = [render_table1(cells), "", "vs paper:"]
+    for client, provider, measured, paper, match, footnoted in rankings:
+        status = "MATCH" if match else ("footnoted cell" if footnoted else "MISMATCH")
+        lines.append(f"  {client:>7}->{provider:<9} measured [{measured}] "
+                     f"paper [{paper}] {status}")
+    emit("table1", "\n".join(lines))
+
+    # hard facts from the paper's main text
+    assert cells[("ubc", "gdrive")].ranking[0] == "via ualberta"
+    assert cells[("ubc", "gdrive")].ranking[-1] == "via umich"
+    assert cells[("ubc", "dropbox")].ranking[0] == "direct"
+    assert cells[("ubc", "onedrive")].ranking[0] == "direct"
+    assert cells[("purdue", "gdrive")].ranking[-1] == "direct"
+    assert cells[("purdue", "dropbox")].ranking[0] == "direct"
+
+    # every non-footnoted cell matches the paper's fastest route
+    for client, provider, _, _, match, footnoted in rankings:
+        if not footnoted:
+            assert match, f"{client}->{provider} fastest route disagrees with the paper"

@@ -1,0 +1,30 @@
+"""Table II: UBC-to-Google Drive average transfer times + relative gains.
+
+Checked against the paper cell by cell: every measured mean must be
+within a factor of 2 of the published number, and the signs of the
+relative gains must match (UAlberta negative, UMich positive).
+"""
+
+from repro.analysis import compare_with_paper, run_table2
+from repro.analysis.paperdata import PAPER_TABLE2
+
+from benchmarks.conftest import once
+
+
+def test_table2_ubc_gdrive(benchmark, paper_config, emit):
+    table = once(benchmark, lambda: run_table2(paper_config))
+
+    comparisons = compare_with_paper(table, PAPER_TABLE2, "ubc->gdrive")
+    text = table.render(show_std=True) + "\n\npaper vs measured:\n" + "\n".join(
+        "  " + c.describe() for c in comparisons
+    )
+    emit("table2", text)
+
+    for row in table.rows:
+        assert row.gain_pct("via ualberta") < -25, f"{row.size_mb} MB: UAlberta gain too small"
+        assert row.gain_pct("via umich") > 20, f"{row.size_mb} MB: UMich should lose"
+    for c in comparisons:
+        assert 0.5 < c.ratio < 2.0, f"off by >2x vs paper: {c.describe()}"
+    # the 100 MB row reproduces the headline: >50% gain via UAlberta
+    big = max(table.rows, key=lambda r: r.size_mb)
+    assert big.gain_pct("via ualberta") < -50

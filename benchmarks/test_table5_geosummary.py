@@ -1,0 +1,41 @@
+"""Table V: geographical summary of fastest routes on the map.
+
+The paper's maps show: from UBC, the Google Drive detour (dashed) vs
+direct Dropbox/OneDrive (solid); from Purdue, detours for Google Drive;
+from UCLA, direct everywhere.  We regenerate the same facts with
+distances attached.
+"""
+
+from repro.analysis import run_table1, run_table5
+from repro.analysis.tables import render_table5
+
+from benchmarks.conftest import once
+
+
+def test_table5_geosummary(benchmark, paper_config, emit):
+    def compute():
+        cells = run_table1(paper_config)
+        return cells, run_table5(paper_config, table1=cells)
+
+    cells, entries = once(benchmark, compute)
+    emit("table5", render_table5(entries))
+
+    by_key = {(e.client, e.provider): e for e in entries}
+
+    # UBC -> Google Drive: a detour that nearly doubles the map distance
+    ubc_gd = by_key[("ubc", "gdrive")]
+    assert ubc_gd.fastest == "via ualberta"
+    assert ubc_gd.geographic_stretch > 1.8
+
+    # UBC -> Dropbox / OneDrive: direct (stretch exactly 1)
+    assert by_key[("ubc", "dropbox")].fastest == "direct"
+    assert by_key[("ubc", "onedrive")].fastest == "direct"
+    assert by_key[("ubc", "dropbox")].geographic_stretch == 1.0
+
+    # Purdue -> Google Drive: some detour wins
+    assert by_key[("purdue", "gdrive")].fastest != "direct"
+
+    # every entry has sane geography
+    for e in entries:
+        assert e.direct_km > 100
+        assert e.fastest_km >= e.direct_km * 0.999

@@ -1,0 +1,51 @@
+"""repro — reproduction of "Mitigating Routing Inefficiencies to
+Cloud-Storage Providers: A Case Study" (Sinha, Niu, Wang, Lu; IPPS 2016).
+
+The package implements the paper's measurement apparatus and its
+mitigation — *routing detours* through data-transfer nodes (DTNs) — on top
+of a calibrated flow-level WAN simulator, simulated cloud-storage REST
+APIs, and an rsync transfer model.  See DESIGN.md for the full inventory
+and EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart
+----------
+>>> from repro.testbed import build_case_study
+>>> from repro.core import DetourPlanner
+>>> world = build_case_study(seed=1)
+>>> planner = DetourPlanner(world)
+>>> report = planner.upload("ubc", "gdrive", size_bytes=100_000_000)
+>>> report.best.route.describe()          # doctest: +SKIP
+'detour via ualberta'
+"""
+
+from repro._version import __version__
+
+__all__ = [
+    "DetourPlanner",
+    "DetourRoute",
+    "DirectRoute",
+    "FileSpec",
+    "PlanExecutor",
+    "TransferPlan",
+    "World",
+    "__version__",
+    "build_case_study",
+]
+
+
+def __getattr__(name):
+    """Lazy top-level convenience exports (keeps `import repro` light)."""
+    if name in ("DetourPlanner", "DetourRoute", "DirectRoute", "PlanExecutor",
+                "TransferPlan", "World"):
+        import repro.core as core
+
+        return getattr(core, name)
+    if name == "FileSpec":
+        from repro.transfer import FileSpec
+
+        return FileSpec
+    if name == "build_case_study":
+        from repro.testbed import build_case_study
+
+        return build_case_study
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

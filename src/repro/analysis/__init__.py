@@ -1,0 +1,85 @@
+"""Paper-artifact regeneration: every table and figure of the evaluation.
+
+* :mod:`repro.analysis.common` — experiment cell runner shared by all,
+* :mod:`repro.analysis.figures` — Figs. 2, 4, 7-11 (upload-time bar
+  charts) and Figs. 5/6 (traceroutes),
+* :mod:`repro.analysis.tables` — Tables I-V,
+* :mod:`repro.analysis.paperdata` — the paper's published numbers,
+* :mod:`repro.analysis.report` — paper-vs-measured comparison report,
+* :mod:`repro.analysis.ascii_plot` — terminal bar charts with error bars.
+"""
+
+from repro.analysis.ascii_plot import bar_chart
+from repro.analysis.common import AnalysisConfig, measure_cell, measure_rsync_hop
+from repro.analysis.export import figure_to_csv, figure_to_json, table_to_csv, table_to_json
+from repro.analysis.full_report import generate_full_report
+from repro.analysis.sensitivity import (
+    CONCLUSIONS,
+    SensitivityResult,
+    render_sensitivity,
+    run_sensitivity,
+)
+from repro.analysis.timeline import (
+    FlowSpan,
+    concurrency_profile,
+    extract_flow_spans,
+    render_timeline,
+)
+from repro.analysis.figures import (
+    FIGURES,
+    FigureResult,
+    FigureSpec,
+    run_figure,
+    run_traceroute_figures,
+)
+from repro.analysis.paperdata import PAPER_TABLE2, PAPER_TABLE3, PAPER_TABLE4
+from repro.analysis.report import compare_rankings, compare_with_paper, render_experiment_report
+from repro.analysis.tables import (
+    render_table1,
+    render_table4,
+    render_table5,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+__all__ = [
+    "AnalysisConfig",
+    "CONCLUSIONS",
+    "FIGURES",
+    "SensitivityResult",
+    "render_sensitivity",
+    "run_sensitivity",
+    "FigureResult",
+    "FigureSpec",
+    "FlowSpan",
+    "concurrency_profile",
+    "extract_flow_spans",
+    "figure_to_csv",
+    "figure_to_json",
+    "generate_full_report",
+    "render_timeline",
+    "table_to_csv",
+    "table_to_json",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "bar_chart",
+    "compare_rankings",
+    "compare_with_paper",
+    "measure_cell",
+    "measure_rsync_hop",
+    "render_experiment_report",
+    "render_table1",
+    "render_table4",
+    "render_table5",
+    "run_figure",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_traceroute_figures",
+]

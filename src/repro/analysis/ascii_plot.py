@@ -1,0 +1,62 @@
+"""Terminal bar charts with error bars.
+
+The paper's Figs. 2, 4, 7-11 are grouped bar charts of mean upload time
+vs file size with ±1σ error bars.  :func:`bar_chart` renders the same
+content as text: one group per file size, one bar per route, ``#`` bars
+scaled to the axis, and the σ interval marked after the value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import MeasurementError
+from repro.measure.stats import Summary
+
+__all__ = ["bar_chart"]
+
+
+def bar_chart(
+    title: str,
+    groups: Sequence[str],
+    series: Dict[str, Sequence[Summary]],
+    width: int = 56,
+    unit: str = "s",
+) -> str:
+    """Render grouped horizontal bars.
+
+    Parameters
+    ----------
+    groups:
+        Group labels (e.g. file sizes: "10 MB", ...).
+    series:
+        ``{series label: [Summary per group]}``; all series must have one
+        entry per group.
+    width:
+        Character width of the longest bar.
+    """
+    if not groups or not series:
+        raise MeasurementError("bar_chart needs groups and series")
+    for label, values in series.items():
+        if len(values) != len(groups):
+            raise MeasurementError(
+                f"series {label!r} has {len(values)} values for {len(groups)} groups"
+            )
+    peak = max(s.mean + s.std for values in series.values() for s in values)
+    if peak <= 0:
+        raise MeasurementError("nothing to plot (all values are zero)")
+    label_w = max(len(label) for label in series)
+    scale = width / peak
+
+    lines = [title, "=" * len(title)]
+    for gi, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for label in series:
+            s = series[label][gi]
+            bar_len = max(1, round(s.mean * scale))
+            bar = "#" * bar_len
+            err = f" ±{s.std:.2f}" if s.std > 0 else ""
+            lines.append(f"  {label.ljust(label_w)} |{bar} {s.mean:.2f}{unit}{err}")
+        lines.append("")
+    lines.append(f"(bar width: {width} chars = {peak:.1f}{unit})")
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Shared experiment-cell runner for the analysis layer.
+
+One *cell* is (client, provider, route, size): the runner builds a fresh
+world seeded from the cell's label, executes the paper's 7-run protocol,
+and returns the kept-run summary.  All tables and figures are assembled
+from cells, so their numbers agree wherever they overlap (as in the
+paper, where Fig. 2 and Table II show the same data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.core.executor import PlanExecutor
+from repro.core.routes import Route, TransferPlan
+from repro.core.world import World
+from repro.measure.harness import ExperimentProtocol, ExperimentRunner, Measurement
+from repro.testbed.build import world_factory
+from repro.testbed.params import CaseStudyParams
+from repro.testbed.scenarios import experiment_label
+from repro.transfer.files import FileSpec, PAPER_SIZES_MB
+from repro.transfer.rsync import RsyncSession
+from repro.units import mb
+
+__all__ = ["AnalysisConfig", "measure_cell", "measure_rsync_hop"]
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Knobs for an analysis run.
+
+    The defaults reproduce the paper's protocol over its full size sweep;
+    tests shrink ``sizes_mb`` and the protocol to stay fast.
+    """
+
+    master_seed: int = 0
+    protocol: ExperimentProtocol = field(default_factory=ExperimentProtocol)
+    sizes_mb: Tuple[float, ...] = tuple(PAPER_SIZES_MB)
+    params: Optional[CaseStudyParams] = None
+    cross_traffic: bool = True
+
+    def runner(self) -> ExperimentRunner:
+        return ExperimentRunner(
+            world_factory(params=self.params, cross_traffic=self.cross_traffic),
+            self.protocol,
+            master_seed=self.master_seed,
+        )
+
+
+#: Session-level memo: cells are deterministic in (cfg, cell), and the
+#: same cell backs several artifacts (Fig. 2 and Table II show the same
+#: data in the paper), so recomputation is pure waste.
+_CELL_CACHE: dict = {}
+
+
+def measure_cell(
+    cfg: AnalysisConfig,
+    client: str,
+    provider: str,
+    route: Route,
+    size_mb: float,
+) -> Measurement:
+    """Run one (client, provider, route, size) cell per the paper protocol.
+
+    Results are memoized per (cfg, cell): cells are deterministic.
+    """
+    key = (cfg, client, provider, route, size_mb)
+    cached = _CELL_CACHE.get(key)
+    if cached is not None:
+        return cached
+    label = experiment_label(client, provider, route, size_mb)
+    spec = FileSpec(f"test-{size_mb:g}MB.bin", int(mb(size_mb)))
+
+    def run_factory(world: World, run_index: int):
+        plan = TransferPlan(client, provider, spec, route)
+        result = yield from PlanExecutor(world).execute(plan)
+        return result
+
+    measurement = cfg.runner().measure(label, run_factory)
+    _CELL_CACHE[key] = measurement
+    return measurement
+
+
+def measure_rsync_hop(
+    cfg: AnalysisConfig,
+    src_site: str,
+    dst_site: str,
+    size_mb: float,
+) -> Measurement:
+    """Measure a bare rsync hop (the 'UBC to UAlberta' series of Fig. 2)."""
+    label = f"rsync:{src_site}->{dst_site} {size_mb:g}MB"
+    spec = FileSpec(f"test-{size_mb:g}MB.bin", int(mb(size_mb)))
+
+    def run_factory(world: World, run_index: int):
+        session = RsyncSession(world.engine, world.router, world.tcp)
+        start = world.sim.now
+        yield from session.push(world.host_of(src_site), world.host_of(dst_site), spec)
+        return world.sim.now - start
+
+    return cfg.runner().measure(label, run_factory)

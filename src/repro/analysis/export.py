@@ -1,0 +1,84 @@
+"""Machine-readable export of regenerated artifacts (CSV / JSON).
+
+Downstream plotting (matplotlib, gnuplot, a paper's LaTeX pipeline)
+wants data files, not ASCII charts.  These helpers serialize
+:class:`~repro.analysis.figures.FigureResult` and
+:class:`~repro.measure.results.ResultTable` losslessly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict
+
+from repro.analysis.figures import FigureResult
+from repro.measure.results import ResultTable
+
+__all__ = ["figure_to_csv", "figure_to_json", "table_to_csv", "table_to_json"]
+
+
+def figure_to_csv(result: FigureResult) -> str:
+    """One row per (size, series): mean, std, n."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["size_mb", "series", "mean_s", "std_s", "n", "min_s", "max_s"])
+    for i, size in enumerate(result.sizes_mb):
+        for label, values in result.series.items():
+            s = values[i]
+            writer.writerow([size, label, f"{s.mean:.6f}", f"{s.std:.6f}",
+                             s.n, f"{s.minimum:.6f}", f"{s.maximum:.6f}"])
+    return buf.getvalue()
+
+
+def figure_to_json(result: FigureResult) -> str:
+    """Full figure payload as JSON (indent=2, stable key order)."""
+    payload: Dict[str, Any] = {
+        "figure_id": result.spec.figure_id,
+        "title": result.spec.title,
+        "client": result.spec.client,
+        "provider": result.spec.provider,
+        "sizes_mb": list(result.sizes_mb),
+        "series": {
+            label: [
+                {"mean_s": s.mean, "std_s": s.std, "n": s.n,
+                 "min_s": s.minimum, "max_s": s.maximum}
+                for s in values
+            ]
+            for label, values in result.series.items()
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def table_to_csv(table: ResultTable) -> str:
+    """One row per (size, route) with the relative gain vs baseline."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["size_mb", "route", "mean_s", "std_s", "n", "gain_vs_baseline_pct"])
+    for row in sorted(table.rows, key=lambda r: r.size_mb):
+        for route in table.routes:
+            s = row.by_route[route]
+            gain = 0.0 if route == table.baseline_route else row.gain_pct(route)
+            writer.writerow([row.size_mb, route, f"{s.mean:.6f}", f"{s.std:.6f}",
+                             s.n, f"{gain:.4f}"])
+    return buf.getvalue()
+
+
+def table_to_json(table: ResultTable) -> str:
+    payload: Dict[str, Any] = {
+        "title": table.title,
+        "baseline_route": table.baseline_route,
+        "rows": [
+            {
+                "size_mb": row.size_mb,
+                "routes": {
+                    route: {"mean_s": s.mean, "std_s": s.std, "n": s.n}
+                    for route, s in row.by_route.items()
+                },
+            }
+            for row in sorted(table.rows, key=lambda r: r.size_mb)
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

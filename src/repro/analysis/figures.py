@@ -1,0 +1,127 @@
+"""Regeneration of the paper's figures.
+
+Figs. 2, 4, 7, 8, 9, 10, 11 are upload-time-vs-size bar charts for one
+(client, provider) pair across routes; Figs. 2 and 10 additionally show
+the bare rsync hop to UAlberta.  Figs. 5/6 are traceroutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.ascii_plot import bar_chart
+from repro.analysis.common import AnalysisConfig, measure_cell, measure_rsync_hop
+from repro.core.routes import DetourRoute, DirectRoute, Route
+from repro.errors import MeasurementError
+from repro.measure.stats import Summary
+from repro.net.traceroute import format_traceroute, traceroute
+from repro.testbed.build import build_case_study
+from repro.testbed.scenarios import paper_route_set
+
+__all__ = ["FigureSpec", "FigureResult", "FIGURES", "run_figure", "run_traceroute_figures"]
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One upload-performance figure from the paper."""
+
+    figure_id: str
+    title: str
+    client: str
+    provider: str
+    #: extra bare-hop series, (src_site, dst_site, label)
+    extra_hops: Tuple[Tuple[str, str, str], ...] = ()
+
+
+FIGURES: Dict[str, FigureSpec] = {
+    spec.figure_id: spec
+    for spec in [
+        FigureSpec("fig2", "Upload performance from UBC to Google Drive",
+                   "ubc", "gdrive",
+                   extra_hops=(("ubc", "ualberta", "UBC to UAlberta (rsync)"),)),
+        FigureSpec("fig4", "Upload performance from UBC to Dropbox", "ubc", "dropbox"),
+        FigureSpec("fig7", "Upload performance from Purdue to Google Drive",
+                   "purdue", "gdrive"),
+        FigureSpec("fig8", "Upload performance from Purdue to Dropbox",
+                   "purdue", "dropbox"),
+        FigureSpec("fig9", "Upload performance from Purdue to OneDrive",
+                   "purdue", "onedrive"),
+        FigureSpec("fig10", "Upload performance from UCLA to Google Drive",
+                   "ucla", "gdrive",
+                   extra_hops=(("ucla", "ualberta", "UCLA to UAlberta (rsync)"),)),
+        FigureSpec("fig11", "Upload performance from UCLA to Dropbox",
+                   "ucla", "dropbox"),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """All series of one figure, ready to render or tabulate."""
+
+    spec: FigureSpec
+    sizes_mb: Tuple[float, ...]
+    series: Dict[str, Tuple[Summary, ...]]
+
+    def render(self, width: int = 56) -> str:
+        groups = [f"{s:g} MB" for s in self.sizes_mb]
+        return bar_chart(self.spec.title, groups, dict(self.series), width=width)
+
+    def rows(self) -> List[Tuple[float, Dict[str, Summary]]]:
+        """(size, {series: summary}) rows for benchmark printing."""
+        return [
+            (size, {label: values[i] for label, values in self.series.items()})
+            for i, size in enumerate(self.sizes_mb)
+        ]
+
+    def fastest_route_at(self, size_mb: float) -> str:
+        """Fastest *route* series (hop series excluded) at one size."""
+        i = self.sizes_mb.index(size_mb)
+        route_series = {
+            label: values for label, values in self.series.items()
+            if label == "direct" or label.startswith("via ")
+        }
+        return min(route_series, key=lambda label: route_series[label][i].mean)
+
+
+def run_figure(figure_id: str, cfg: Optional[AnalysisConfig] = None) -> FigureResult:
+    """Measure every series of one figure (paper protocol per cell)."""
+    cfg = cfg if cfg is not None else AnalysisConfig()
+    try:
+        spec = FIGURES[figure_id]
+    except KeyError:
+        raise MeasurementError(
+            f"unknown figure {figure_id!r}; have: {sorted(FIGURES)}"
+        ) from None
+
+    series: Dict[str, List[Summary]] = {}
+    for route in paper_route_set(spec.client):
+        label = route.describe()
+        series[label] = [
+            measure_cell(cfg, spec.client, spec.provider, route, size).kept
+            for size in cfg.sizes_mb
+        ]
+    for src, dst, label in spec.extra_hops:
+        series[label] = [
+            measure_rsync_hop(cfg, src, dst, size).kept for size in cfg.sizes_mb
+        ]
+    return FigureResult(
+        spec=spec,
+        sizes_mb=tuple(cfg.sizes_mb),
+        series={k: tuple(v) for k, v in series.items()},
+    )
+
+
+def run_traceroute_figures(seed: int = 0) -> Dict[str, str]:
+    """Figs. 5 and 6: traceroutes to the Google Drive frontend."""
+    world = build_case_study(seed=seed, cross_traffic=False)
+    frontend = world.topology.node("gdrive-frontend")
+    out = {}
+    for fig_id, src in [("fig5", "ubc-pl"), ("fig6", "ualberta-dtn")]:
+        hops = traceroute(world.router, src, frontend.name,
+                          rng=np.random.default_rng(seed))
+        out[fig_id] = format_traceroute(hops, "www.googleapis.com", frontend.address)
+    return out

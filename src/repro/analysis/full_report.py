@@ -1,0 +1,61 @@
+"""One-shot regeneration of every table plus the paper comparison.
+
+``generate_full_report()`` is the programmatic equivalent of running the
+table benchmarks: it measures all cells (memoized, so shared cells are
+computed once), renders Tables I-V, and appends the paper-vs-measured
+comparison that backs EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.common import AnalysisConfig
+from repro.analysis.report import render_experiment_report
+from repro.analysis.tables import (
+    render_table1,
+    render_table4,
+    render_table5,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+__all__ = ["generate_full_report"]
+
+
+def generate_full_report(cfg: Optional[AnalysisConfig] = None) -> str:
+    """Regenerate Tables I-V and the paper comparison as one document."""
+    cfg = cfg if cfg is not None else AnalysisConfig()
+
+    table2 = run_table2(cfg)
+    table3 = run_table3(cfg)
+    table4_sizes = tuple(s for s in (100, 60) if s in cfg.sizes_mb) or (cfg.sizes_mb[-1],)
+    table4_rows = run_table4(cfg, sizes_mb=table4_sizes)
+    table1_cells = run_table1(cfg)
+    table5_entries = run_table5(cfg, table1=table1_cells)
+
+    sections = [
+        "REGENERATED EVALUATION",
+        "=" * 22,
+        "",
+        render_table1(table1_cells),
+        "",
+        table2.render(show_std=True),
+        "",
+        table3.render(show_std=True),
+        "",
+        render_table4(table4_rows),
+        "",
+        render_table5(table5_entries),
+        "",
+        render_experiment_report(
+            table2=table2,
+            table3=table3,
+            table4_rows=table4_rows,
+            table1_cells=table1_cells,
+        ),
+    ]
+    return "\n".join(sections)

@@ -1,0 +1,81 @@
+"""The paper's published numbers, transcribed for comparison.
+
+Sources: Table II (UBC -> Google Drive), Table III (Purdue -> Google
+Drive), Table IV (Purdue variance, 60/100 MB), and the qualitative
+rankings of Table I.  Keys are file sizes in MB; values are seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = [
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_TABLE1_RANKINGS",
+    "PAPER_HEADLINE",
+]
+
+#: Table II: UBC-to-Google Drive average transfer times (s).
+PAPER_TABLE2: Dict[int, Dict[str, float]] = {
+    10: {"direct": 9.46, "via ualberta": 6.47, "via umich": 15.41},
+    20: {"direct": 18.61, "via ualberta": 8.27, "via umich": 27.71},
+    30: {"direct": 28.66, "via ualberta": 13.85, "via umich": 39.14},
+    40: {"direct": 36.86, "via ualberta": 17.40, "via umich": 51.87},
+    50: {"direct": 42.26, "via ualberta": 19.41, "via umich": 63.68},
+    60: {"direct": 51.11, "via ualberta": 21.99, "via umich": 80.71},
+    100: {"direct": 86.92, "via ualberta": 35.79, "via umich": 132.17},
+}
+
+#: Table III: Purdue-to-Google Drive average transfer times (s).
+PAPER_TABLE3: Dict[int, Dict[str, float]] = {
+    10: {"direct": 98.89, "via ualberta": 17.57, "via umich": 30.59},
+    20: {"direct": 288.23, "via ualberta": 70.55, "via umich": 83.62},
+    30: {"direct": 480.95, "via ualberta": 120.69, "via umich": 111.37},
+    40: {"direct": 585.54, "via ualberta": 94.43, "via umich": 173.53},
+    50: {"direct": 557.90, "via ualberta": 138.03, "via umich": 126.82},
+    60: {"direct": 610.88, "via ualberta": 142.15, "via umich": 183.85},
+    100: {"direct": 748.03, "via ualberta": 195.88, "via umich": 184.07},
+}
+
+#: Table IV: mean and standard deviation of upload times (s) from Purdue.
+#: Keyed by (size_mb, provider, route) -> (mean, std).
+PAPER_TABLE4: Dict[Tuple[int, str, str], Tuple[float, float]] = {
+    (100, "dropbox", "direct"): (177.89, 36.03),
+    (100, "dropbox", "via ualberta"): (237.78, 56.10),
+    (100, "dropbox", "via umich"): (226.43, 50.48),
+    (100, "onedrive", "direct"): (387.66, 117.81),
+    (100, "onedrive", "via ualberta"): (201.90, 38.65),
+    (100, "onedrive", "via umich"): (197.21, 58.19),
+    (60, "dropbox", "direct"): (212.66, 74.92),
+    (60, "dropbox", "via ualberta"): (174.54, 50.16),
+    (60, "dropbox", "via umich"): (203.78, 26.93),
+    (60, "onedrive", "direct"): (179.44, 51.49),
+    (60, "onedrive", "via ualberta"): (145.93, 50.12),
+    (60, "onedrive", "via umich"): (175.37, 26.09),
+}
+
+#: Table I: qualitative fastest-route rankings per (client, provider).
+#: Values are route descriptions fastest-first (main text, ignoring the
+#: per-size footnote exceptions).
+PAPER_TABLE1_RANKINGS: Dict[Tuple[str, str], Tuple[str, ...]] = {
+    ("ubc", "gdrive"): ("via ualberta", "direct", "via umich"),
+    ("ubc", "dropbox"): ("direct", "via ualberta", "via umich"),
+    ("ubc", "onedrive"): ("direct", "via ualberta", "via umich"),
+    # Purdue/GDrive: both detours beat direct, mutually comparable
+    ("purdue", "gdrive"): ("via ualberta", "via umich", "direct"),
+    ("purdue", "dropbox"): ("direct", "via ualberta", "via umich"),
+    ("purdue", "onedrive"): ("direct", "via ualberta", "via umich"),
+    ("ucla", "gdrive"): ("direct", "via ualberta", "via umich"),
+    ("ucla", "dropbox"): ("direct", "via ualberta", "via umich"),
+    ("ucla", "onedrive"): ("direct", "via ualberta", "via umich"),
+}
+
+#: Sec. I's headline example (100 MB, UBC -> Google Drive), seconds.
+PAPER_HEADLINE = {
+    "direct": 87.0,
+    "ubc_to_ualberta": 19.0,
+    "ualberta_to_gdrive": 17.0,
+    "via_ualberta_total": 36.0,
+}

@@ -1,0 +1,158 @@
+"""Calibration sensitivity: which knobs do the conclusions hinge on?
+
+Every calibrated rate in :class:`~repro.testbed.params.CaseStudyParams`
+came from inverting the paper's tables.  A reproduction is only credible
+if its *conclusions* don't hinge on fourth-decimal tuning, so this module
+perturbs each knob by a factor in both directions and re-checks the
+qualitative conclusions — a tornado-style robustness analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.executor import PlanExecutor
+from repro.core.routes import DetourRoute, DirectRoute, TransferPlan
+from repro.testbed.build import build_case_study
+from repro.testbed.params import CaseStudyParams, DEFAULT_PARAMS
+from repro.transfer.files import FileSpec
+from repro.units import mb
+
+__all__ = ["Conclusion", "SensitivityResult", "CONCLUSIONS", "run_sensitivity",
+           "render_sensitivity", "RATE_KNOBS"]
+
+#: The calibration knobs that are rates (safe to scale multiplicatively).
+RATE_KNOBS: Tuple[str, ...] = (
+    "ubc_access_bps",
+    "umich_access_bps",
+    "purdue_access_bps",
+    "ucla_access_bps",
+    "pacificwave_policer_bps",
+    "canarie_google_bps",
+    "canarie_i2_bps",
+    "canarie_microsoft_bps",
+    "canarie_dropbox_bps",
+    "i2_google_bps",
+    "i2_microsoft_bps",
+    "i2_dropbox_bps",
+    "transita_google_bps",
+    "transita_microsoft_bps",
+    "transita_dropbox_bps",
+    "transitb_peering_bps",
+)
+
+
+@dataclass(frozen=True)
+class Conclusion:
+    """One qualitative claim, evaluated in a given world."""
+
+    name: str
+    description: str
+    check: Callable[["_Evaluator"], bool]
+
+
+class _Evaluator:
+    """Measures route times (one run, quiet world) for conclusion checks."""
+
+    def __init__(self, params: CaseStudyParams, size_mb: float = 100.0, seed: int = 0):
+        self.params = params
+        self.size_mb = size_mb
+        self.seed = seed
+        self._cache: Dict[Tuple[str, str, str], float] = {}
+
+    def time(self, client: str, provider: str, via: Optional[str] = None) -> float:
+        route = DirectRoute() if via is None else DetourRoute(via)
+        key = (client, provider, route.describe())
+        if key not in self._cache:
+            world = build_case_study(seed=self.seed, params=self.params,
+                                     cross_traffic=False)
+            plan = TransferPlan(client, provider,
+                                FileSpec("sens.bin", int(mb(self.size_mb))), route)
+            self._cache[key] = PlanExecutor(world).run(plan).total_s
+        return self._cache[key]
+
+
+#: The paper's qualitative claims, as executable predicates.
+CONCLUSIONS: Tuple[Conclusion, ...] = (
+    Conclusion(
+        "ubc_gdrive_detour_wins",
+        "UBC -> Drive: the UAlberta detour beats direct (Fig. 2)",
+        lambda e: e.time("ubc", "gdrive", "ualberta") < e.time("ubc", "gdrive"),
+    ),
+    Conclusion(
+        "ubc_dropbox_direct_wins",
+        "UBC -> Dropbox: direct beats both detours (Fig. 4)",
+        lambda e: e.time("ubc", "dropbox") < min(
+            e.time("ubc", "dropbox", "ualberta"), e.time("ubc", "dropbox", "umich")),
+    ),
+    Conclusion(
+        "purdue_gdrive_detours_win",
+        "Purdue -> Drive: both detours beat direct (Fig. 7)",
+        lambda e: max(e.time("purdue", "gdrive", "ualberta"),
+                      e.time("purdue", "gdrive", "umich"))
+        < e.time("purdue", "gdrive"),
+    ),
+    Conclusion(
+        "ucla_detours_dont_help",
+        "UCLA -> Drive: no detour improves on direct by >10% (Fig. 10)",
+        lambda e: min(e.time("ucla", "gdrive", "ualberta"),
+                      e.time("ucla", "gdrive", "umich"))
+        > 0.9 * e.time("ucla", "gdrive"),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Outcome of perturbing one knob in one direction."""
+
+    knob: str
+    factor: float
+    conclusions: Dict[str, bool]
+
+    @property
+    def all_hold(self) -> bool:
+        return all(self.conclusions.values())
+
+    @property
+    def flipped(self) -> List[str]:
+        return [name for name, ok in self.conclusions.items() if not ok]
+
+
+def run_sensitivity(
+    knobs: Sequence[str] = RATE_KNOBS,
+    factors: Sequence[float] = (0.8, 1.25),
+    size_mb: float = 100.0,
+    seed: int = 0,
+) -> List[SensitivityResult]:
+    """Perturb each knob by each factor; re-evaluate every conclusion.
+
+    Quiet single-run worlds keep this tractable (~2 world-builds per
+    conclusion per perturbation, all memoized within a perturbation).
+    """
+    results: List[SensitivityResult] = []
+    for knob in knobs:
+        base_value = getattr(DEFAULT_PARAMS, knob)
+        for factor in factors:
+            params = DEFAULT_PARAMS.with_overrides(**{knob: base_value * factor})
+            evaluator = _Evaluator(params, size_mb=size_mb, seed=seed)
+            outcome = {c.name: bool(c.check(evaluator)) for c in CONCLUSIONS}
+            results.append(SensitivityResult(knob, factor, outcome))
+    return results
+
+
+def render_sensitivity(results: List[SensitivityResult]) -> str:
+    lines = ["Calibration sensitivity: conclusions under per-knob perturbation",
+             "(blank = holds; name = conclusion that flipped)", ""]
+    width = max(len(r.knob) for r in results)
+    for r in results:
+        status = "ok" if r.all_hold else ", ".join(r.flipped)
+        lines.append(f"  {r.knob.ljust(width)} x{r.factor:<5g} {status}")
+    fragile = {r.knob for r in results if not r.all_hold}
+    lines.append("")
+    lines.append(
+        "all conclusions robust to every perturbation" if not fragile
+        else f"fragile knobs: {', '.join(sorted(fragile))}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,206 @@
+"""Regeneration of the paper's Tables I-V."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.common import AnalysisConfig, measure_cell
+from repro.core.routes import DetourRoute, DirectRoute, Route
+from repro.geo.coords import detour_stretch, haversine_km
+from repro.geo.sites import site
+from repro.measure.results import ResultTable
+from repro.measure.stats import Summary, error_bars_overlap
+from repro.testbed.scenarios import CLIENTS, PROVIDERS, paper_route_set
+
+__all__ = ["run_table1", "run_table2", "run_table3", "run_table4", "run_table5",
+           "Table1Cell", "Table4Row", "Table5Entry"]
+
+
+# ---------------------------------------------------------------------------
+# Tables II and III — mean transfer times with relative gains
+# ---------------------------------------------------------------------------
+
+def _route_table(cfg: AnalysisConfig, client: str, provider: str, title: str) -> ResultTable:
+    table = ResultTable(title)
+    for size in cfg.sizes_mb:
+        by_route: Dict[str, Summary] = {}
+        for route in paper_route_set(client):
+            by_route[route.describe()] = measure_cell(cfg, client, provider, route, size).kept
+        table.add_row(size, by_route)
+    return table
+
+
+def run_table2(cfg: Optional[AnalysisConfig] = None) -> ResultTable:
+    """Table II: UBC-to-Google Drive average transfer times."""
+    cfg = cfg if cfg is not None else AnalysisConfig()
+    return _route_table(cfg, "ubc", "gdrive",
+                        "Table II: UBC-to-Google Drive average transfer times (s)")
+
+
+def run_table3(cfg: Optional[AnalysisConfig] = None) -> ResultTable:
+    """Table III: Purdue-to-Google Drive average transfer times."""
+    cfg = cfg if cfg is not None else AnalysisConfig()
+    return _route_table(cfg, "purdue", "gdrive",
+                        "Table III: Purdue-to-Google Drive average transfer times (s)")
+
+
+# ---------------------------------------------------------------------------
+# Table I — qualitative summary of fastest routes
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table1Cell:
+    """Ranking of routes for one (client, provider) pair."""
+
+    client: str
+    provider: str
+    ranking: Tuple[str, ...]  # fastest first, by total time over the sweep
+    fastest_counts: Dict[str, int]  # per-size wins (the footnote exceptions)
+
+    def describe(self) -> str:
+        parts = []
+        labels = ["Fastest", "Fast", "Slowest"]
+        for i, route in enumerate(self.ranking):
+            label = labels[min(i, len(labels) - 1)]
+            parts.append(f"{label}: {route}")
+        return ", ".join(parts)
+
+
+def run_table1(cfg: Optional[AnalysisConfig] = None) -> Dict[Tuple[str, str], Table1Cell]:
+    """Table I: summary of route rankings for all clients x providers."""
+    cfg = cfg if cfg is not None else AnalysisConfig()
+    out: Dict[Tuple[str, str], Table1Cell] = {}
+    for client in CLIENTS:
+        for provider in PROVIDERS:
+            table = _route_table(cfg, client, provider, f"{client}->{provider}")
+            totals = {
+                route: sum(row.by_route[route].mean for row in table.rows)
+                for route in table.rows[0].by_route
+            }
+            ranking = tuple(sorted(totals, key=totals.get))
+            out[(client, provider)] = Table1Cell(
+                client, provider, ranking, table.fastest_counts()
+            )
+    return out
+
+
+def render_table1(cells: Dict[Tuple[str, str], Table1Cell]) -> str:
+    lines = ["Table I: summary of fastest routes (by total time over the size sweep)"]
+    for client in CLIENTS:
+        for provider in PROVIDERS:
+            cell = cells[(client, provider)]
+            exceptions = {r: n for r, n in cell.fastest_counts.items()
+                          if n and r != cell.ranking[0]}
+            note = f"  (per-size wins: {exceptions})" if exceptions else ""
+            lines.append(f"  {client:>7} -> {provider:<9} {cell.describe()}{note}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Table IV — variance analysis
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Table4Row:
+    """One row: mean ± σ for a (size, provider, route) from Purdue."""
+
+    size_mb: float
+    provider: str
+    route: str
+    summary: Summary
+    overlaps_direct: Optional[bool]  # None on the direct rows themselves
+
+    def describe(self) -> str:
+        overlap = ""
+        if self.overlaps_direct is not None:
+            overlap = "  [±1σ overlaps direct]" if self.overlaps_direct else "  [separated from direct]"
+        return (f"{self.size_mb:g} MB {self.provider} ({self.route}): "
+                f"{self.summary.mean:.2f} ± {self.summary.std:.2f}{overlap}")
+
+
+def run_table4(cfg: Optional[AnalysisConfig] = None,
+               sizes_mb: Sequence[float] = (100, 60)) -> List[Table4Row]:
+    """Table IV: Purdue upload mean/σ for Dropbox and OneDrive.
+
+    Includes the paper's ±1σ overlap analysis against the direct route.
+    """
+    cfg = cfg if cfg is not None else AnalysisConfig()
+    rows: List[Table4Row] = []
+    for size in sizes_mb:
+        for provider in ("dropbox", "onedrive"):
+            summaries: Dict[str, Summary] = {}
+            for route in paper_route_set("purdue"):
+                summaries[route.describe()] = measure_cell(
+                    cfg, "purdue", provider, route, size).kept
+            direct = summaries["direct"]
+            for route_descr, summary in summaries.items():
+                overlaps = None
+                if route_descr != "direct":
+                    overlaps = error_bars_overlap(direct, summary)
+                rows.append(Table4Row(size, provider, route_descr, summary, overlaps))
+    return rows
+
+
+def render_table4(rows: List[Table4Row]) -> str:
+    lines = ["Table IV: mean and standard deviation of upload times from Purdue (s)"]
+    lines.extend("  " + row.describe() for row in rows)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Table V — geographical summary of fastest routes
+# ---------------------------------------------------------------------------
+
+_PROVIDER_SITES = {"gdrive": "gdrive-dc", "dropbox": "dropbox-dc", "onedrive": "onedrive-dc"}
+
+
+@dataclass(frozen=True)
+class Table5Entry:
+    """Fastest route for one (client, provider) with its geography."""
+
+    client: str
+    provider: str
+    fastest: str
+    direct_km: float
+    fastest_km: float
+
+    @property
+    def geographic_stretch(self) -> float:
+        return self.fastest_km / self.direct_km if self.direct_km else float("inf")
+
+    def describe(self) -> str:
+        if self.fastest == "direct":
+            geo = f"direct path, {self.direct_km:.0f} km"
+        else:
+            geo = (f"{self.fastest}: {self.fastest_km:.0f} km vs "
+                   f"{self.direct_km:.0f} km direct "
+                   f"({self.geographic_stretch:.2f}x the map distance)")
+        return f"{self.client} -> {self.provider}: fastest {self.fastest} ({geo})"
+
+
+def run_table5(cfg: Optional[AnalysisConfig] = None,
+               table1: Optional[Dict[Tuple[str, str], Table1Cell]] = None) -> List[Table5Entry]:
+    """Table V: fastest routes placed on the map (geography of detours)."""
+    cfg = cfg if cfg is not None else AnalysisConfig()
+    cells = table1 if table1 is not None else run_table1(cfg)
+    entries: List[Table5Entry] = []
+    for (client, provider), cell in cells.items():
+        c_loc = site(client).location
+        p_loc = site(_PROVIDER_SITES[provider]).location
+        direct_km = haversine_km(c_loc, p_loc)
+        fastest = cell.ranking[0]
+        if fastest == "direct":
+            fastest_km = direct_km
+        else:
+            via_site = fastest.removeprefix("via ").split(" ")[0]
+            v_loc = site(via_site).location
+            fastest_km = haversine_km(c_loc, v_loc) + haversine_km(v_loc, p_loc)
+        entries.append(Table5Entry(client, provider, fastest, direct_km, fastest_km))
+    return entries
+
+
+def render_table5(entries: List[Table5Entry]) -> str:
+    lines = ["Table V: geographical summary of fastest routes"]
+    lines.extend("  " + e.describe() for e in entries)
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Per-transfer timelines reconstructed from the event trace.
+
+Turns the engine's ``flow_start``/``flow_end`` trace events into
+human-readable timelines and per-interval concurrency/throughput
+summaries — the "what exactly happened during run 4" debugging view that
+wall-clock measurement papers never get to have.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import MeasurementError
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = ["FlowSpan", "extract_flow_spans", "concurrency_profile", "render_timeline"]
+
+
+@dataclass(frozen=True)
+class FlowSpan:
+    """One flow's lifetime as recorded in the trace."""
+
+    flow_id: int
+    label: str
+    start: float
+    end: float
+    nbytes: int
+
+    @property
+    def duration_s(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "FlowSpan") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+def extract_flow_spans(
+    tracer: Tracer,
+    label_prefix: str = "",
+    include_unfinished: bool = False,
+    horizon: Optional[float] = None,
+) -> List[FlowSpan]:
+    """Pair up flow_start/flow_end events into spans.
+
+    Flows still open at the end of the trace are included (with
+    ``end=horizon``) only when *include_unfinished* is set.
+    """
+    open_flows: Dict[int, TraceEvent] = {}
+    spans: List[FlowSpan] = []
+    for ev in tracer.filter(component="net.engine"):
+        flow = ev.fields.get("flow")
+        if ev.kind == "flow_start":
+            open_flows[flow] = ev
+        elif ev.kind == "flow_end":
+            start_ev = open_flows.pop(flow, None)
+            if start_ev is None:
+                continue  # started before the trace window
+            label = start_ev.fields.get("label", "")
+            if label_prefix and not label.startswith(label_prefix):
+                continue
+            spans.append(FlowSpan(
+                flow_id=flow,
+                label=label,
+                start=start_ev.time,
+                end=ev.time,
+                nbytes=start_ev.fields.get("bytes", 0),
+            ))
+    if include_unfinished:
+        if horizon is None:
+            raise MeasurementError("include_unfinished requires a horizon")
+        for flow, start_ev in open_flows.items():
+            label = start_ev.fields.get("label", "")
+            if label_prefix and not label.startswith(label_prefix):
+                continue
+            spans.append(FlowSpan(flow, label, start_ev.time, horizon,
+                                  start_ev.fields.get("bytes", 0)))
+    spans.sort(key=lambda s: (s.start, s.flow_id))
+    return spans
+
+
+def concurrency_profile(spans: Sequence[FlowSpan]) -> List[Tuple[float, int]]:
+    """Step function of concurrent-flow count: [(time, count), ...]."""
+    events: List[Tuple[float, int]] = []
+    for span in spans:
+        events.append((span.start, +1))
+        events.append((span.end, -1))
+    events.sort()
+    profile: List[Tuple[float, int]] = []
+    count = 0
+    for t, delta in events:
+        count += delta
+        if profile and profile[-1][0] == t:
+            profile[-1] = (t, count)
+        else:
+            profile.append((t, count))
+    return profile
+
+
+def render_timeline(spans: Sequence[FlowSpan], width: int = 64) -> str:
+    """Gantt-style ASCII timeline of flow spans."""
+    if not spans:
+        return "(no flows in trace)"
+    t0 = min(s.start for s in spans)
+    t1 = max(s.end for s in spans)
+    duration = max(t1 - t0, 1e-9)
+    label_w = min(36, max(len(s.label) for s in spans))
+    lines = [f"timeline: {t0:.2f}s .. {t1:.2f}s ({duration:.2f}s)"]
+    for span in spans:
+        lead = int((span.start - t0) / duration * width)
+        bar = max(1, int(span.duration_s / duration * width))
+        lines.append(
+            f"  {span.label[:label_w].ljust(label_w)} "
+            f"|{' ' * lead}{'=' * bar}| {span.duration_s:.2f}s"
+        )
+    peak = max(c for _, c in concurrency_profile(spans))
+    lines.append(f"peak concurrency: {peak}")
+    return "\n".join(lines)

@@ -1,0 +1,253 @@
+"""Command-line interface: the case study from a shell.
+
+    python -m repro.cli compare ubc gdrive --size-mb 100
+    python -m repro.cli upload purdue onedrive --size-mb 60
+    python -m repro.cli traceroute ubc-pl gdrive-frontend
+    python -m repro.cli figure fig2 --fast
+    python -m repro.cli table 2 --fast
+    python -m repro.cli routeviews google
+    python -m repro.cli tiv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import units
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Routing detours to cloud-storage providers (IPPS 2016 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compare", help="measure direct vs detour routes for one upload")
+    p.add_argument("client", choices=["ubc", "purdue", "ucla"])
+    p.add_argument("provider", choices=["gdrive", "dropbox", "onedrive"])
+    p.add_argument("--size-mb", type=float, default=100.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--runs", type=int, default=3)
+
+    p = sub.add_parser("upload", help="plan (compare) and execute the best route")
+    p.add_argument("client", choices=["ubc", "purdue", "ucla"])
+    p.add_argument("provider", choices=["gdrive", "dropbox", "onedrive"])
+    p.add_argument("--size-mb", type=float, default=100.0)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("traceroute", help="traceroute between two simulated hosts")
+    p.add_argument("src")
+    p.add_argument("dst")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("figure_id",
+                   choices=["fig2", "fig4", "fig5", "fig6", "fig7", "fig8",
+                            "fig9", "fig10", "fig11"])
+    p.add_argument("--fast", action="store_true",
+                   help="3 runs x 3 sizes instead of the full protocol")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("table_id", choices=["1", "2", "3", "4", "5"])
+    p.add_argument("--fast", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("routeviews", help="dump the BGP RIB toward a provider AS "
+                                          "and flag control/forwarding anomalies")
+    p.add_argument("dest", choices=["google", "dropbox", "microsoft"])
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("tiv", help="probe the overlay mesh and catalog "
+                                   "triangle-inequality violations")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--margin", type=float, default=1.10)
+
+    p = sub.add_parser("validate", help="check the testbed calibration against "
+                                        "the paper-derived targets")
+    p.add_argument("--size-mb", type=float, default=100.0)
+    p.add_argument("--tolerance", type=float, default=0.35)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("report", help="regenerate all tables + the "
+                                      "paper-vs-measured comparison")
+    p.add_argument("--fast", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _analysis_config(fast: bool, seed: int):
+    from repro.analysis import AnalysisConfig
+    from repro.measure import ExperimentProtocol
+
+    if fast:
+        return AnalysisConfig(master_seed=seed, sizes_mb=(10, 50, 100),
+                              protocol=ExperimentProtocol(3, 1))
+    return AnalysisConfig(master_seed=seed)
+
+
+def _cmd_compare(args) -> int:
+    from repro.core import DetourPlanner
+    from repro.testbed import build_case_study
+
+    world = build_case_study(seed=args.seed)
+    planner = DetourPlanner(world, runs_per_route=args.runs,
+                            discard_runs=1 if args.runs > 1 else 0)
+    comparison = planner.compare(args.client, args.provider,
+                                 int(units.mb(args.size_mb)))
+    print(comparison.render())
+    return 0
+
+
+def _cmd_upload(args) -> int:
+    from repro.core import DetourPlanner
+    from repro.testbed import build_case_study
+
+    world = build_case_study(seed=args.seed)
+    planner = DetourPlanner(world)
+    planned = planner.upload(args.client, args.provider, int(units.mb(args.size_mb)))
+    print(planned.comparison.render())
+    print()
+    print(planned.final.describe())
+    return 0
+
+
+def _cmd_traceroute(args) -> int:
+    import numpy as np
+
+    from repro.net import format_traceroute, traceroute
+    from repro.testbed import build_case_study
+
+    world = build_case_study(seed=args.seed, cross_traffic=False)
+    dst = world.topology.node(args.dst)
+    hops = traceroute(world.router, args.src, args.dst,
+                      rng=np.random.default_rng(args.seed))
+    print(format_traceroute(hops, dst.hostname, dst.address, show_rtts=True))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.analysis import run_figure, run_traceroute_figures
+
+    if args.figure_id in ("fig5", "fig6"):
+        figs = run_traceroute_figures(seed=args.seed)
+        print(figs[args.figure_id])
+        return 0
+    result = run_figure(args.figure_id, _analysis_config(args.fast, args.seed))
+    print(result.render())
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from repro.analysis import (
+        render_table1,
+        render_table4,
+        render_table5,
+        run_table1,
+        run_table2,
+        run_table3,
+        run_table4,
+        run_table5,
+    )
+
+    cfg = _analysis_config(args.fast, args.seed)
+    if args.table_id == "1":
+        print(render_table1(run_table1(cfg)))
+    elif args.table_id == "2":
+        print(run_table2(cfg).render(show_std=True))
+    elif args.table_id == "3":
+        print(run_table3(cfg).render(show_std=True))
+    elif args.table_id == "4":
+        sizes = (100, 60) if not args.fast else (100,)
+        print(render_table4(run_table4(cfg, sizes_mb=sizes)))
+    else:
+        print(render_table5(run_table5(cfg)))
+    return 0
+
+
+def _cmd_routeviews(args) -> int:
+    from repro.net import RouteCollector, detect_policy_anomalies
+    from repro.testbed import build_case_study
+    from repro.testbed.build import AS_NUMBERS
+
+    world = build_case_study(seed=args.seed, cross_traffic=False)
+    dest_asn = AS_NUMBERS[args.dest]
+    collector = RouteCollector(world.router.bgp)
+    print(collector.dump(dest_asn))
+    print()
+    frontends = {"google": "gdrive-frontend", "dropbox": "dropbox-frontend",
+                 "microsoft": "onedrive-frontend"}
+    anomalies = detect_policy_anomalies(
+        world.router,
+        ["ubc-pl", "ualberta-dtn", "umich-pl", "purdue-pl", "ucla-pl"],
+        frontends[args.dest],
+    )
+    if anomalies:
+        print("control-plane vs forwarding-plane anomalies:")
+        for a in anomalies:
+            print("  " + a.render())
+    else:
+        print("no control/forwarding anomalies observed")
+    return 0
+
+
+def _cmd_tiv(args) -> int:
+    from repro.overlay import ProbeMesh, catalog_tivs
+    from repro.testbed import build_case_study
+
+    world = build_case_study(seed=args.seed, cross_traffic=False)
+    mesh = ProbeMesh(world, ["ubc-pl", "ualberta-dtn", "umich-pl",
+                             "purdue-pl", "ucla-pl"], probe_bytes=2_000_000)
+    proc = world.sim.process(mesh.probe_round())
+    world.sim.run_until_triggered(proc.done, horizon=1e7)
+    records = catalog_tivs(mesh, margin=args.margin)
+    print(f"probed {len(mesh.pairs())} pairs; "
+          f"{len(records)} violations at margin {args.margin:.2f}:")
+    for rec in records:
+        print("  " + rec.describe())
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.testbed import render_validation, validate_calibration
+
+    checks = validate_calibration(size_mb=args.size_mb, seed=args.seed)
+    print(render_validation(checks, tolerance=args.tolerance))
+    return 0 if all(c.ok(args.tolerance) for c in checks) else 1
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis import generate_full_report
+
+    print(generate_full_report(_analysis_config(args.fast, args.seed)))
+    return 0
+
+
+_COMMANDS = {
+    "compare": _cmd_compare,
+    "report": _cmd_report,
+    "upload": _cmd_upload,
+    "traceroute": _cmd_traceroute,
+    "figure": _cmd_figure,
+    "table": _cmd_table,
+    "routeviews": _cmd_routeviews,
+    "tiv": _cmd_tiv,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Simulated cloud-storage providers (Google Drive, Dropbox, OneDrive).
+
+Each provider is a storage frontend (or several POPs) in the topology,
+an OAuth2 token service, and a provider-specific **chunked upload
+protocol** mirroring the real REST APIs the paper drives through the
+official Java client libraries:
+
+* Google Drive — resumable uploads (initiate + 8 MiB PUT chunks),
+* Dropbox — upload sessions (start / 4 MiB append / finish),
+* OneDrive — upload sessions with 10 MiB fragments.
+
+Protocol structure matters because per-request overheads produce the
+fixed-cost intercepts in the paper's transfer-time curves.
+"""
+
+from repro.cloud.http import FaultInjector, HttpsSession, RetryPolicy
+from repro.cloud.oauth import AccessToken, OAuth2Server, TokenCache
+from repro.cloud.provider import CloudProvider, UploadProtocol
+from repro.cloud.storage import ObjectStore, StoredObject
+from repro.cloud.gdrive import make_gdrive_protocol
+from repro.cloud.dropbox import make_dropbox_protocol
+from repro.cloud.onedrive import make_onedrive_protocol
+
+__all__ = [
+    "AccessToken",
+    "CloudProvider",
+    "FaultInjector",
+    "HttpsSession",
+    "OAuth2Server",
+    "RetryPolicy",
+    "ObjectStore",
+    "StoredObject",
+    "TokenCache",
+    "UploadProtocol",
+    "make_dropbox_protocol",
+    "make_gdrive_protocol",
+    "make_onedrive_protocol",
+]

@@ -1,0 +1,32 @@
+"""Dropbox API model: upload sessions.
+
+The Dropbox v2 API uploads large files through ``upload_session/start``,
+repeated ``upload_session/append_v2`` calls, then
+``upload_session/finish`` which commits the file metadata.  The official
+Java SDK chunks at 4 MiB; the finish/commit step is comparatively heavy
+(it lands the file in the user's namespace journal).
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.cloud.provider import UploadProtocol
+
+__all__ = ["make_dropbox_protocol", "DROPBOX_CHUNK_BYTES"]
+
+DROPBOX_CHUNK_BYTES = 4 * units.MiB
+
+
+def make_dropbox_protocol() -> UploadProtocol:
+    """Cost parameters for Dropbox upload sessions."""
+    return UploadProtocol(
+        name="dropbox",
+        chunk_bytes=DROPBOX_CHUNK_BYTES,
+        session_init_server_s=0.18,
+        per_chunk_server_s=0.05,
+        commit_server_s=0.55,
+        request_overhead_bytes=750,
+        init_request_name="POST /2/files/upload_session/start",
+        chunk_request_name="POST /2/files/upload_session/append_v2",
+        commit_request_name="POST /2/files/upload_session/finish",
+    )

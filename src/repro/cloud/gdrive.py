@@ -1,0 +1,33 @@
+"""Google Drive API model: resumable uploads.
+
+The Drive v3 API uploads large files with the *resumable* protocol: an
+initiating ``POST .../files?uploadType=resumable`` returns a session URI,
+then the client PUTs chunks (multiples of 256 KiB; the official Java
+client the paper uses defaults to 8 MiB via ``MediaHttpUploader``),
+each answered with ``308 Resume Incomplete`` until the final ``200``.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.cloud.provider import UploadProtocol
+
+__all__ = ["make_gdrive_protocol", "GDRIVE_CHUNK_BYTES"]
+
+#: MediaHttpUploader.DEFAULT_CHUNK_SIZE in the official Java client.
+GDRIVE_CHUNK_BYTES = 8 * units.MiB
+
+
+def make_gdrive_protocol() -> UploadProtocol:
+    """Cost parameters for Google Drive resumable uploads."""
+    return UploadProtocol(
+        name="gdrive",
+        chunk_bytes=GDRIVE_CHUNK_BYTES,
+        session_init_server_s=0.25,
+        per_chunk_server_s=0.06,
+        commit_server_s=0.35,
+        request_overhead_bytes=900,
+        init_request_name="POST /upload/drive/v3/files?uploadType=resumable",
+        chunk_request_name="PUT {session_uri} (bytes {range})",
+        commit_request_name="PUT {session_uri} (final chunk -> 200 + metadata)",
+    )

@@ -1,0 +1,130 @@
+"""HTTPS request cost model: sessions, retries, fault injection.
+
+Every provider API interaction is a small HTTPS exchange on a warm TLS
+connection: one path RTT plus server processing.  :class:`HttpsSession`
+centralizes that cost and adds the reliability behaviour real SDKs ship:
+transient server errors (HTTP 429/500/503) are retried with exponential
+backoff; persistent ones surface as :class:`~repro.errors.CloudApiError`.
+
+:class:`FaultInjector` produces those transient errors deterministically
+from a seeded RNG, so reliability tests and chaos benchmarks are
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CloudApiError
+from repro.net.tcp import TcpModel, TcpPathParams
+from repro.sim.kernel import Simulator
+
+__all__ = ["RetryPolicy", "FaultInjector", "HttpsSession"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for transient API errors (SDK defaults)."""
+
+    max_attempts: int = 4
+    base_backoff_s: float = 0.5
+    multiplier: float = 2.0
+    retryable_statuses: Tuple[int, ...] = (429, 500, 502, 503)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise CloudApiError(500, "retry policy needs at least one attempt")
+        if self.base_backoff_s < 0 or self.multiplier < 1:
+            raise CloudApiError(500, "bad backoff parameters")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Sleep before retry number *attempt* (1-based)."""
+        return self.base_backoff_s * self.multiplier ** (attempt - 1)
+
+    def is_retryable(self, status: int) -> bool:
+        return status in self.retryable_statuses
+
+
+class FaultInjector:
+    """Deterministic transient-error source for one provider endpoint."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        error_rate: float = 0.0,
+        statuses: Sequence[int] = (503,),
+    ):
+        if not (0.0 <= error_rate < 1.0):
+            raise CloudApiError(500, f"error rate must be in [0,1), got {error_rate}")
+        if not statuses:
+            raise CloudApiError(500, "need at least one fault status")
+        self.rng = rng
+        self.error_rate = error_rate
+        self.statuses = tuple(statuses)
+        self.injected = 0
+
+    def roll(self) -> Optional[int]:
+        """An HTTP error status for this request, or None for success."""
+        if self.error_rate and float(self.rng.random()) < self.error_rate:
+            self.injected += 1
+            return int(self.statuses[int(self.rng.integers(len(self.statuses)))])
+        return None
+
+
+class HttpsSession:
+    """A warm TLS connection to one endpoint, with retrying requests.
+
+    Request bodies that matter for bandwidth (upload chunks) still flow
+    through the network engine; this models the request/response control
+    exchanges around them.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tcp: TcpModel,
+        params: TcpPathParams,
+        fault: Optional[FaultInjector] = None,
+        retry: RetryPolicy = RetryPolicy(),
+    ):
+        self.sim = sim
+        self.tcp = tcp
+        self.params = params
+        self.fault = fault
+        self.retry = retry
+        self.requests_sent = 0
+        self.retries = 0
+        self._connected = False
+
+    def connect(self) -> Generator:
+        """Coroutine: TCP + TLS handshakes (idempotent per session)."""
+        if not self._connected:
+            yield self.tcp.connect_time_s(self.params, tls=True)
+            self._connected = True
+
+    def request(self, server_time_s: float, label: str = "") -> Generator:
+        """Coroutine: one control exchange, retried on transient errors.
+
+        Returns the number of attempts used.  Raises
+        :class:`CloudApiError` when retries are exhausted or the status
+        is not retryable.
+        """
+        if not self._connected:
+            yield from self.connect()
+        for attempt in range(1, self.retry.max_attempts + 1):
+            self.requests_sent += 1
+            yield self.tcp.request_response_time_s(self.params, server_time_s)
+            status = self.fault.roll() if self.fault is not None else None
+            if status is None:
+                return attempt
+            if not self.retry.is_retryable(status):
+                raise CloudApiError(status, f"{label or 'request'} failed (not retryable)")
+            if attempt == self.retry.max_attempts:
+                raise CloudApiError(
+                    status, f"{label or 'request'} failed after {attempt} attempts"
+                )
+            self.retries += 1
+            yield self.retry.backoff_s(attempt)

@@ -1,0 +1,112 @@
+"""OAuth2 authorization simulation.
+
+All three providers in the case study use OAuth2 (paper Sec. II).  For
+transfer timing the part that matters is the token round-trip on first
+use — it makes a client's first run slower, which is one reason the
+paper's methodology discards the first runs ("mean of the last five runs
+among a total of seven").  We model the client-credentials/refresh flow:
+a token endpoint that issues expiring bearer tokens, plus a client-side
+cache.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import AuthError
+
+__all__ = ["AccessToken", "OAuth2Server", "TokenCache"]
+
+
+@dataclass(frozen=True)
+class AccessToken:
+    """A bearer token with an absolute expiry (simulated seconds)."""
+
+    value: str
+    client_id: str
+    issued_at: float
+    expires_at: float
+    scope: str = "storage.readwrite"
+
+    def valid_at(self, now: float) -> bool:
+        return now < self.expires_at
+
+
+class OAuth2Server:
+    """Token endpoint for one provider."""
+
+    def __init__(self, provider_name: str, token_lifetime_s: float = 3600.0):
+        if token_lifetime_s <= 0:
+            raise AuthError("token lifetime must be positive")
+        self.provider_name = provider_name
+        self.token_lifetime_s = token_lifetime_s
+        self._clients: Dict[str, str] = {}
+        self._serial = itertools.count(1)
+        self._issued: Dict[str, AccessToken] = {}
+
+    def register_client(self, client_id: str) -> str:
+        """App registration; returns the client secret."""
+        if client_id in self._clients:
+            raise AuthError(f"client {client_id!r} already registered")
+        secret = f"secret-{self.provider_name}-{client_id}"
+        self._clients[client_id] = secret
+        return secret
+
+    def ensure_client(self, client_id: str) -> str:
+        """Idempotent registration: returns the existing secret if any."""
+        existing = self._clients.get(client_id)
+        if existing is not None:
+            return existing
+        return self.register_client(client_id)
+
+    def issue_token(self, client_id: str, client_secret: str, now: float) -> AccessToken:
+        """Client-credentials grant -> access token."""
+        expected = self._clients.get(client_id)
+        if expected is None:
+            raise AuthError(f"unknown client {client_id!r}")
+        if client_secret != expected:
+            raise AuthError(f"bad credentials for client {client_id!r}")
+        token = AccessToken(
+            value=f"{self.provider_name}-tok-{next(self._serial)}",
+            client_id=client_id,
+            issued_at=now,
+            expires_at=now + self.token_lifetime_s,
+        )
+        self._issued[token.value] = token
+        return token
+
+    def validate(self, token_value: str, now: float) -> AccessToken:
+        """Resource-server side check; raises :class:`AuthError` if bad."""
+        token = self._issued.get(token_value)
+        if token is None:
+            raise AuthError("unknown access token")
+        if not token.valid_at(now):
+            raise AuthError("access token expired")
+        return token
+
+    def revoke(self, token_value: str) -> None:
+        self._issued.pop(token_value, None)
+
+
+class TokenCache:
+    """Client-side cache of bearer tokens, keyed by (host, provider)."""
+
+    def __init__(self) -> None:
+        self._tokens: Dict[Tuple[str, str], AccessToken] = {}
+
+    def get_valid(self, host: str, provider: str, now: float) -> Optional[AccessToken]:
+        token = self._tokens.get((host, provider))
+        if token is not None and token.valid_at(now):
+            return token
+        return None
+
+    def store(self, host: str, provider: str, token: AccessToken) -> None:
+        self._tokens[(host, provider)] = token
+
+    def clear(self) -> None:
+        self._tokens.clear()
+
+    def __len__(self) -> int:
+        return len(self._tokens)

@@ -1,0 +1,34 @@
+"""Microsoft OneDrive API model: upload sessions with fragments.
+
+OneDrive (Live SDK era, as used by the paper's modified open-source Java
+client) uploads via ``createUploadSession`` followed by ranged PUTs of
+*fragments* that must be multiples of 320 KiB; 10 MiB (32 x 320 KiB) is
+the conventional fragment size.  The final fragment's response carries
+the created item.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.cloud.provider import UploadProtocol
+
+__all__ = ["make_onedrive_protocol", "ONEDRIVE_FRAGMENT_BYTES"]
+
+#: 32 x 320 KiB — the documented fragment-size granularity.
+ONEDRIVE_FRAGMENT_BYTES = 10 * units.MiB
+
+
+def make_onedrive_protocol() -> UploadProtocol:
+    """Cost parameters for OneDrive fragment uploads."""
+    assert ONEDRIVE_FRAGMENT_BYTES % (320 * units.KiB) == 0
+    return UploadProtocol(
+        name="onedrive",
+        chunk_bytes=ONEDRIVE_FRAGMENT_BYTES,
+        session_init_server_s=0.30,
+        per_chunk_server_s=0.08,
+        commit_server_s=0.40,
+        request_overhead_bytes=850,
+        init_request_name="POST /drive/root:/{path}:/createUploadSession",
+        chunk_request_name="PUT {uploadUrl} Content-Range: bytes {range}",
+        commit_request_name="PUT {uploadUrl} (final fragment -> 201 item)",
+    )

@@ -1,0 +1,106 @@
+"""Cloud provider abstraction: POPs, API endpoints, upload protocols.
+
+A :class:`CloudProvider` ties together the provider's presence in the
+topology (one or more frontend host nodes — points of presence), its
+OAuth2 token service, its object store, and the shape of its chunked
+upload protocol.  Provider-specific factories live in
+:mod:`repro.cloud.gdrive`, :mod:`repro.cloud.dropbox`,
+:mod:`repro.cloud.onedrive`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import CloudApiError
+from repro.cloud.oauth import OAuth2Server
+from repro.cloud.storage import ObjectStore
+from repro.net.dns import DnsResolver
+
+__all__ = ["UploadProtocol", "CloudProvider"]
+
+
+@dataclass(frozen=True)
+class UploadProtocol:
+    """Cost-relevant shape of a provider's chunked upload API.
+
+    ``*_server_s`` are mean server-side processing times; the client
+    model jitters them per request (lognormal, ``server_jitter_sigma``).
+    ``request_overhead_bytes`` rides along with every chunk on the wire
+    (HTTP headers, multipart framing).
+    """
+
+    name: str
+    chunk_bytes: int
+    session_init_server_s: float
+    per_chunk_server_s: float
+    commit_server_s: float
+    request_overhead_bytes: int = 800
+    auth_server_s: float = 0.25
+    server_jitter_sigma: float = 0.10
+    init_request_name: str = "POST /upload/session"
+    chunk_request_name: str = "PUT /upload/session/{index}"
+    commit_request_name: str = "POST /upload/commit"
+
+    def __post_init__(self) -> None:
+        if self.chunk_bytes <= 0:
+            raise CloudApiError(500, f"{self.name}: chunk size must be positive")
+        for attr in ("session_init_server_s", "per_chunk_server_s", "commit_server_s",
+                     "auth_server_s"):
+            if getattr(self, attr) < 0:
+                raise CloudApiError(500, f"{self.name}: {attr} must be non-negative")
+
+    def chunk_sizes(self, total_bytes: float) -> List[float]:
+        """Split an upload into protocol chunks (last one may be short)."""
+        if total_bytes <= 0:
+            raise CloudApiError(400, "upload size must be positive")
+        n_full = int(total_bytes // self.chunk_bytes)
+        sizes = [float(self.chunk_bytes)] * n_full
+        tail = total_bytes - n_full * self.chunk_bytes
+        if tail > 0:
+            sizes.append(float(tail))
+        return sizes
+
+
+class CloudProvider:
+    """One cloud-storage service in the simulated world."""
+
+    def __init__(
+        self,
+        name: str,
+        display_name: str,
+        api_hostname: str,
+        auth_hostname: str,
+        frontend_nodes: Sequence[str],
+        protocol: UploadProtocol,
+        token_lifetime_s: float = 3600.0,
+    ):
+        if not frontend_nodes:
+            raise CloudApiError(500, f"provider {name!r} needs at least one frontend")
+        self.name = name
+        self.display_name = display_name
+        self.api_hostname = api_hostname
+        self.auth_hostname = auth_hostname
+        self.frontend_nodes = list(frontend_nodes)
+        self.protocol = protocol
+        self.oauth = OAuth2Server(name, token_lifetime_s)
+        self.store = ObjectStore(name)
+        # reliability behaviour (see repro.cloud.http); tests and chaos
+        # benches install a FaultInjector here
+        from repro.cloud.http import RetryPolicy
+
+        self.fault_injector = None
+        self.retry_policy = RetryPolicy()
+
+    def register_in_dns(self, dns: DnsResolver) -> None:
+        """Publish the API and auth hostnames (geo-balanced over POPs)."""
+        dns.add_geo_record(self.api_hostname, self.frontend_nodes)
+        dns.add_geo_record(self.auth_hostname, self.frontend_nodes)
+
+    def frontend_for(self, dns: DnsResolver, client_node: str) -> str:
+        """The POP a given client is steered to."""
+        return dns.resolve(self.api_hostname, client_node=client_node)
+
+    def __str__(self) -> str:
+        return f"<CloudProvider {self.name} ({len(self.frontend_nodes)} POPs)>"

@@ -1,0 +1,71 @@
+"""Server-side object store backing each simulated provider."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import CloudApiError
+
+__all__ = ["StoredObject", "ObjectStore"]
+
+
+@dataclass(frozen=True)
+class StoredObject:
+    """Metadata for one stored file."""
+
+    path: str
+    size_bytes: int
+    digest: str
+    owner: str
+    modified_at: float
+    revision: int = 1
+
+
+class ObjectStore:
+    """A provider's storage namespace (flat paths, per-owner views)."""
+
+    def __init__(self, provider_name: str):
+        self.provider_name = provider_name
+        self._objects: Dict[str, StoredObject] = {}
+
+    def put(self, path: str, size_bytes: int, digest: str, owner: str, now: float) -> StoredObject:
+        if size_bytes < 0:
+            raise CloudApiError(400, f"negative size for {path!r}")
+        prev = self._objects.get(path)
+        obj = StoredObject(
+            path=path,
+            size_bytes=size_bytes,
+            digest=digest,
+            owner=owner,
+            modified_at=now,
+            revision=prev.revision + 1 if prev else 1,
+        )
+        self._objects[path] = obj
+        return obj
+
+    def get(self, path: str) -> StoredObject:
+        obj = self._objects.get(path)
+        if obj is None:
+            raise CloudApiError(404, f"no such object {path!r}")
+        return obj
+
+    def exists(self, path: str) -> bool:
+        return path in self._objects
+
+    def delete(self, path: str) -> None:
+        if path not in self._objects:
+            raise CloudApiError(404, f"no such object {path!r}")
+        del self._objects[path]
+
+    def list(self, owner: Optional[str] = None) -> List[StoredObject]:
+        objs = sorted(self._objects.values(), key=lambda o: o.path)
+        if owner is not None:
+            objs = [o for o in objs if o.owner == owner]
+        return objs
+
+    def total_bytes(self) -> int:
+        return sum(o.size_bytes for o in self._objects.values())
+
+    def __len__(self) -> int:
+        return len(self._objects)

@@ -1,0 +1,55 @@
+"""Routing detours: the paper's primary contribution.
+
+Given a client, a cloud-storage provider, and a set of candidate
+intermediate nodes (DTNs), this package plans and executes uploads over:
+
+* the **direct route** (provider API straight from the client), or
+* a **routing detour** (rsync to a DTN, provider API from the DTN) —
+  store-and-forward as in the paper, or pipelined as our extension.
+
+It also implements what the paper leaves as future work: automatic
+detour-selection algorithms (:mod:`repro.core.selection`) and dynamic
+bottleneck monitoring with mid-transfer rerouting
+(:mod:`repro.core.monitor`).
+"""
+
+from repro.core.executor import LegResult, PlanExecutor, PlanResult
+from repro.core.monitor import BottleneckMonitor, MonitoredResult, MonitoredUpload, SegmentRecord
+from repro.core.multipath import MultipathResult, MultipathUpload, PartResult
+from repro.core.planner import DetourPlanner, PlannedUpload, RouteComparison, RouteMeasurement
+from repro.core.routes import DetourRoute, DirectRoute, Route, TransferPlan
+from repro.core.selection import (
+    HistorySelector,
+    OracleSelector,
+    ProbeSelector,
+    SelectionContext,
+    Selector,
+)
+from repro.core.world import World
+
+__all__ = [
+    "BottleneckMonitor",
+    "DetourPlanner",
+    "DetourRoute",
+    "DirectRoute",
+    "HistorySelector",
+    "LegResult",
+    "MonitoredResult",
+    "MonitoredUpload",
+    "MultipathResult",
+    "MultipathUpload",
+    "OracleSelector",
+    "PartResult",
+    "PlanExecutor",
+    "PlanResult",
+    "PlannedUpload",
+    "ProbeSelector",
+    "Route",
+    "RouteComparison",
+    "RouteMeasurement",
+    "SegmentRecord",
+    "SelectionContext",
+    "Selector",
+    "TransferPlan",
+    "World",
+]

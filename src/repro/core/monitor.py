@@ -1,0 +1,262 @@
+"""Dynamic bottleneck monitoring and mid-transfer rerouting.
+
+The paper's stated future work: "to monitor and bypass dynamic
+bottlenecks on the WAN".  Two pieces:
+
+* :class:`BottleneckMonitor` — periodically probes every candidate route
+  with small transfers and keeps EWMA throughput estimates,
+* :class:`MonitoredUpload` — splits a large upload into segments and
+  re-selects the best route before each segment, switching when another
+  route looks at least ``switch_threshold`` times faster (hysteresis
+  against probe noise and switch costs).
+
+Each segment is an independent upload session (after a switch, a new
+session starts from the new source), which matches how one would resume
+with these providers' session-URI upload APIs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import units
+from repro.core.executor import PlanExecutor
+from repro.core.routes import DetourRoute, DirectRoute, Route, TransferPlan
+from repro.core.world import World
+from repro.errors import SelectionError
+from repro.transfer.files import FileSpec
+
+__all__ = ["BottleneckMonitor", "MonitoredUpload", "SegmentRecord", "MonitoredResult"]
+
+
+class BottleneckMonitor:
+    """EWMA route-throughput estimates refreshed by small probe transfers."""
+
+    def __init__(
+        self,
+        world: World,
+        client_site: str,
+        provider_name: str,
+        candidate_vias: Sequence[str],
+        probe_bytes: int = 1_000_000,
+        alpha: float = 0.4,
+    ):
+        if probe_bytes <= 0:
+            raise SelectionError("probe size must be positive")
+        if not (0 < alpha <= 1):
+            raise SelectionError("alpha must be in (0, 1]")
+        self.world = world
+        self.client_site = client_site
+        self.provider_name = provider_name
+        self.candidate_vias = tuple(candidate_vias)
+        self.probe_bytes = probe_bytes
+        self.alpha = alpha
+        self.executor = PlanExecutor(world)
+        self._estimate_bps: Dict[str, float] = {}
+        self._probe_serial = 0
+
+    def routes(self) -> List[Route]:
+        routes: List[Route] = [DirectRoute()]
+        routes.extend(DetourRoute(via) for via in self.candidate_vias)
+        return routes
+
+    def estimate_bps(self, route: Route) -> Optional[float]:
+        return self._estimate_bps.get(route.describe())
+
+    def probe(self, route: Route):
+        """Coroutine: run one probe over *route*; updates its estimate.
+
+        A route that no longer resolves (link failure, withdrawn prefix)
+        is recorded at zero throughput instead of raising — a dead route
+        is exactly what the monitor exists to notice.
+        """
+        from repro.errors import RoutingError
+
+        self._probe_serial += 1
+        spec = FileSpec(f"monitor-probe-{self._probe_serial}.bin", self.probe_bytes)
+        plan = TransferPlan(self.client_site, self.provider_name, spec, route)
+        key = route.describe()
+        try:
+            result = yield from self.executor.execute(plan)
+        except RoutingError:
+            self._estimate_bps[key] = 0.0
+            return 0.0
+        observed = units.throughput_bps(self.probe_bytes, result.total_s)
+        old = self._estimate_bps.get(key)
+        self._estimate_bps[key] = (
+            observed if old is None else (1 - self.alpha) * old + self.alpha * observed
+        )
+        return observed
+
+    def mark_dead(self, route: Route) -> None:
+        """Externally declare a route dead (e.g. a timed-out segment)."""
+        self._estimate_bps[route.describe()] = 0.0
+
+    def probe_all(self):
+        """Coroutine: probe every route once (serially)."""
+        for route in self.routes():
+            yield from self.probe(route)
+        return dict(self._estimate_bps)
+
+    def best_route(self) -> Route:
+        """Best-estimated route; unseen routes rank last."""
+        routes = self.routes()
+        seen = [r for r in routes if self.estimate_bps(r) is not None]
+        if not seen:
+            raise SelectionError("no probe data yet; run probe_all first")
+        best = max(seen, key=lambda r: self.estimate_bps(r))
+        if self.estimate_bps(best) <= 0:
+            raise SelectionError("every candidate route is currently dead")
+        return best
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """One segment (attempt) of a monitored upload."""
+
+    index: int
+    route_descr: str
+    size_bytes: int
+    duration_s: float
+    switched: bool
+    completed: bool = True
+
+
+@dataclass(frozen=True)
+class MonitoredResult:
+    """Outcome of a monitored, dynamically-rerouted upload."""
+
+    file_name: str
+    total_s: float
+    segments: Tuple[SegmentRecord, ...]
+
+    @property
+    def switch_count(self) -> int:
+        return sum(1 for s in self.segments if s.switched)
+
+    @property
+    def routes_used(self) -> List[str]:
+        out: List[str] = []
+        for seg in self.segments:
+            if not out or out[-1] != seg.route_descr:
+                out.append(seg.route_descr)
+        return out
+
+
+class MonitoredUpload:
+    """Segment-by-segment upload with dynamic route re-selection."""
+
+    def __init__(
+        self,
+        monitor: BottleneckMonitor,
+        segment_bytes: int = 10_000_000,
+        switch_threshold: float = 1.3,
+        reprobe_every: int = 1,
+        segment_timeout_s: Optional[float] = None,
+        max_retries_per_segment: int = 3,
+    ):
+        if segment_bytes <= 0:
+            raise SelectionError("segment size must be positive")
+        if switch_threshold < 1.0:
+            raise SelectionError("switch threshold must be >= 1 (hysteresis)")
+        if reprobe_every < 1:
+            raise SelectionError("reprobe interval must be >= 1 segment")
+        if segment_timeout_s is not None and segment_timeout_s <= 0:
+            raise SelectionError("segment timeout must be positive")
+        if max_retries_per_segment < 1:
+            raise SelectionError("need at least one attempt per segment")
+        self.monitor = monitor
+        self.segment_bytes = segment_bytes
+        self.switch_threshold = switch_threshold
+        self.reprobe_every = reprobe_every
+        #: abort a segment that exceeds this and reroute (None = wait forever)
+        self.segment_timeout_s = segment_timeout_s
+        self.max_retries_per_segment = max_retries_per_segment
+
+    def run(self, spec: FileSpec):
+        """Coroutine: upload *spec*; returns a :class:`MonitoredResult`."""
+        world = self.monitor.world
+        start = world.sim.now
+        yield from self.monitor.probe_all()
+        current = self.monitor.best_route()
+
+        remaining = spec.size_bytes
+        segments: List[SegmentRecord] = []
+        index = 0
+        attempt = 0
+        retries = 0
+        while remaining > 0:
+            if index > 0 and index % self.reprobe_every == 0:
+                yield from self.monitor.probe_all()
+                best = self.monitor.best_route()
+                cur_est = self.monitor.estimate_bps(current) or 0.0
+                best_est = self.monitor.estimate_bps(best) or 0.0
+                switched = (
+                    best.describe() != current.describe()
+                    and best_est > self.switch_threshold * cur_est
+                )
+                if switched:
+                    current = best
+            else:
+                switched = False
+            size = int(min(self.segment_bytes, remaining))
+            seg_spec = FileSpec(f"{spec.name}.seg{index}a{attempt}", size,
+                                spec.entropy, spec.seed + index)
+            plan = TransferPlan(
+                self.monitor.client_site, self.monitor.provider_name, seg_spec, current
+            )
+            seg_start = world.sim.now
+            completed = yield from self._run_segment(plan, seg_spec)
+            segments.append(
+                SegmentRecord(index, current.describe(), size,
+                              world.sim.now - seg_start, switched, completed)
+            )
+            if completed:
+                remaining -= size
+                index += 1
+                attempt = 0
+                retries = 0
+            else:
+                # the route died under us: declare it dead, reroute, retry
+                retries += 1
+                attempt += 1
+                if retries > self.max_retries_per_segment:
+                    raise SelectionError(
+                        f"segment {index} failed on every route "
+                        f"({retries} attempts)"
+                    )
+                self.monitor.mark_dead(current)
+                yield from self.monitor.probe_all()
+                current = self.monitor.best_route()
+        return MonitoredResult(spec.name, world.sim.now - start, tuple(segments))
+
+    def _run_segment(self, plan: TransferPlan, seg_spec: FileSpec):
+        """Coroutine: one segment attempt; returns True if it completed.
+
+        With a timeout configured, a stalled segment (dead route under a
+        live TCP connection) is aborted: the executor process is
+        interrupted and its leftover flows cancelled.
+        """
+        from repro.errors import RoutingError
+        from repro.sim.kernel import Timeout
+
+        world = self.monitor.world
+        if self.segment_timeout_s is None:
+            try:
+                yield from self.monitor.executor.execute(plan)
+            except RoutingError:
+                return False
+            return True
+        proc = world.sim.process(self.monitor.executor.execute(plan))
+        try:
+            done, _ = yield Timeout(proc.done, self.segment_timeout_s)
+        except RoutingError:
+            return False
+        if done:
+            return proc.error is None
+        proc.interrupt("segment timeout")
+        for transfer in world.engine.active_transfers():
+            if seg_spec.name in transfer.label:
+                world.engine.cancel(transfer)
+        return False

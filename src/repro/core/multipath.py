@@ -1,0 +1,183 @@
+"""Multipath uploads: direct + detour used *simultaneously*.
+
+The paper deliberately stops short of this: "Routing detours pick a
+single path ... Future use of multiple paths would require changes to
+the provider's API."  We build the extension anyway, modeling the API
+change as a split-object upload (each part is an independent upload
+session; the provider would reassemble server-side, as compose/concat
+endpoints already allow).
+
+Each route is probed at two sizes and fitted with an affine cost model
+``t(b) = a + s*b`` (the intercept captures handshakes/session overhead,
+which would badly skew a naive throughput-proportional split).  The
+split then *equalizes predicted finish times*: find T with
+``sum_i max(0, (T - a_i)/s_i) = B`` and give route i the corresponding
+bytes.  The aggregate rate approaches the sum of the route rates —
+bounded, of course, by shared bottlenecks (splitting helps UBC->Drive,
+where the routes diverge at CANARIE, but cannot help UCLA, where both
+routes share the last mile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro import units
+from repro.core.executor import PlanExecutor, PlanResult
+from repro.core.routes import DetourRoute, DirectRoute, Route, TransferPlan
+from repro.core.world import World
+from repro.errors import SelectionError
+from repro.sim.kernel import AllOf
+from repro.transfer.files import FileSpec
+
+__all__ = ["PartResult", "MultipathResult", "MultipathUpload"]
+
+#: Don't bother splitting when one route would carry less than this.
+MIN_PART_BYTES = 1_000_000
+
+
+@dataclass(frozen=True)
+class PartResult:
+    """One part of a multipath upload."""
+
+    route_descr: str
+    part_bytes: int
+    duration_s: float
+
+    @property
+    def throughput_bps(self) -> float:
+        return units.throughput_bps(self.part_bytes, self.duration_s)
+
+
+@dataclass(frozen=True)
+class MultipathResult:
+    """Outcome of a multipath upload."""
+
+    file_name: str
+    total_bytes: int
+    total_s: float
+    parts: Tuple[PartResult, ...]
+
+    @property
+    def aggregate_throughput_bps(self) -> float:
+        return units.throughput_bps(self.total_bytes, self.total_s)
+
+    @property
+    def split_fractions(self) -> Tuple[float, ...]:
+        return tuple(p.part_bytes / self.total_bytes for p in self.parts)
+
+    def describe(self) -> str:
+        parts = ", ".join(
+            f"{p.route_descr}: {p.part_bytes / 1e6:.0f} MB in {p.duration_s:.1f}s"
+            for p in self.parts
+        )
+        return (f"{self.file_name}: {self.total_bytes / 1e6:.0f} MB in "
+                f"{self.total_s:.1f}s ({parts})")
+
+
+class MultipathUpload:
+    """Probe the routes, fit affine costs, split to equalize finish."""
+
+    def __init__(self, world: World, probe_sizes: Tuple[int, ...] = (1_000_000, 4_000_000)):
+        if len(probe_sizes) < 2 or any(s <= 0 for s in probe_sizes):
+            raise SelectionError("need two positive probe sizes for the affine fit")
+        self.world = world
+        self.executor = PlanExecutor(world)
+        self.probe_sizes = tuple(sorted(probe_sizes))
+        self._probe_serial = 0
+
+    def _fit_route(self, client_site: str, provider_name: str, route: Route):
+        """Coroutine: probe at two sizes, return (intercept_s, s_per_byte)."""
+        times = []
+        for size in self.probe_sizes:
+            self._probe_serial += 1
+            spec = FileSpec(f"mp-probe-{self._probe_serial}.bin", size)
+            plan = TransferPlan(client_site, provider_name, spec, route)
+            result: PlanResult = yield from self.executor.execute(plan)
+            times.append(result.total_s)
+        b0, b1 = self.probe_sizes[0], self.probe_sizes[-1]
+        t0, t1 = times[0], times[-1]
+        slope = max((t1 - t0) / (b1 - b0), 1e-12)
+        intercept = max(t0 - slope * b0, 0.0)
+        return intercept, slope
+
+    @staticmethod
+    def _equal_finish_split(
+        fits: List[Tuple[float, float]], total_bytes: float
+    ) -> List[float]:
+        """Bytes per route so all parts finish together (water-filling)."""
+
+        def served(T: float) -> float:
+            return sum(max(0.0, (T - a) / s) for a, s in fits)
+
+        lo = 0.0
+        hi = max(a + s * total_bytes for a, s in fits)
+        for _ in range(80):
+            mid = (lo + hi) / 2
+            if served(mid) < total_bytes:
+                lo = mid
+            else:
+                hi = mid
+        return [max(0.0, (hi - a) / s) for a, s in fits]
+
+    def run(
+        self,
+        client_site: str,
+        provider_name: str,
+        spec: FileSpec,
+        routes: Optional[Sequence[Route]] = None,
+    ):
+        """Coroutine: upload *spec* over several routes at once.
+
+        ``routes`` defaults to [direct, detour via every registered DTN].
+        Returns a :class:`MultipathResult`.
+        """
+        world = self.world
+        if routes is None:
+            routes = [DirectRoute()] + [
+                DetourRoute(via) for via in sorted(world.dtns) if via != client_site
+            ]
+        routes = list(routes)
+        if len(routes) < 2:
+            raise SelectionError("multipath needs at least two routes")
+
+        # 1. probe and fit every route's affine cost model
+        fits: List[Tuple[float, float]] = []
+        for route in routes:
+            fit = yield from self._fit_route(client_site, provider_name, route)
+            fits.append(fit)
+
+        # 2. equal-finish split; drop routes that would carry a sliver
+        #    (their session overheads cost more than they contribute)
+        raw = self._equal_finish_split(fits, float(spec.size_bytes))
+        keep = [i for i, b in enumerate(raw) if b >= MIN_PART_BYTES]
+        if not keep:
+            keep = [min(range(len(routes)), key=lambda i: fits[i][0] + fits[i][1] * spec.size_bytes)]
+        routes = [routes[i] for i in keep]
+        fits = [fits[i] for i in keep]
+        raw = self._equal_finish_split(fits, float(spec.size_bytes))
+        split = [int(b) for b in raw]
+        split[-1] = spec.size_bytes - sum(split[:-1])  # exact total
+
+        # 3. launch all parts concurrently, wait for the slowest
+        start = world.sim.now
+        procs = []
+        for i, (route, part_bytes) in enumerate(zip(routes, split)):
+            part_spec = FileSpec(f"{spec.name}.part{i}", part_bytes,
+                                 spec.entropy, spec.seed + i)
+            plan = TransferPlan(client_site, provider_name, part_spec, route)
+            procs.append(world.sim.process(
+                self.executor.execute(plan), name=f"mp-part{i}"))
+        results: List[PlanResult] = yield AllOf(procs)
+
+        parts = tuple(
+            PartResult(route.describe(), part_bytes, res.total_s)
+            for route, part_bytes, res in zip(routes, split, results)
+        )
+        return MultipathResult(
+            file_name=spec.name,
+            total_bytes=spec.size_bytes,
+            total_s=world.sim.now - start,
+            parts=parts,
+        )

@@ -1,0 +1,181 @@
+"""High-level API: compare routes, pick the best, upload.
+
+:class:`DetourPlanner` is the front door a downstream user would adopt:
+point it at a :class:`~repro.core.world.World`, ask for an upload, and it
+measures the candidate routes (direct + one-hop detours through every
+registered DTN), reports the comparison, and executes the winner — the
+paper's whole workflow as three lines of code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.executor import PlanExecutor, PlanResult
+from repro.core.routes import DetourRoute, DirectRoute, Route, TransferPlan
+from repro.core.world import World
+from repro.errors import MeasurementError, SelectionError
+from repro.measure.stats import Summary, error_bars_overlap, relative_gain_pct, summarize
+from repro.transfer.files import FileSpec
+
+__all__ = ["RouteMeasurement", "RouteComparison", "DetourPlanner"]
+
+
+@dataclass(frozen=True)
+class RouteMeasurement:
+    """Measured performance of one route."""
+
+    route: Route
+    summary: Summary
+    results: Tuple[PlanResult, ...]
+
+    def describe(self) -> str:
+        return f"{self.route.describe()}: {self.summary}"
+
+
+@dataclass(frozen=True)
+class RouteComparison:
+    """All candidate routes measured for one (client, provider, size)."""
+
+    client_site: str
+    provider_name: str
+    size_bytes: int
+    measurements: Tuple[RouteMeasurement, ...]
+
+    @property
+    def best(self) -> RouteMeasurement:
+        return min(self.measurements, key=lambda m: m.summary.mean)
+
+    @property
+    def direct(self) -> RouteMeasurement:
+        for m in self.measurements:
+            if m.route.is_direct:
+                return m
+        raise MeasurementError("comparison has no direct route")
+
+    def gain_over_direct_pct(self) -> float:
+        """Relative gain of the best route vs direct (negative = faster)."""
+        return relative_gain_pct(self.direct.summary.mean, self.best.summary.mean)
+
+    def best_is_significant(self) -> bool:
+        """False when the winner's ±1σ bar overlaps the direct route's.
+
+        Implements the paper's Table IV caution: with overlapping error
+        bars "we may not choose to rely on any detours".
+        """
+        best = self.best
+        if best.route.is_direct:
+            return True
+        return not error_bars_overlap(best.summary, self.direct.summary)
+
+    def render(self) -> str:
+        lines = [
+            f"{self.client_site} -> {self.provider_name}, "
+            f"{self.size_bytes / 1e6:g} MB ({self.measurements[0].summary.n} runs kept):"
+        ]
+        best_descr = self.best.route.describe()
+        for m in sorted(self.measurements, key=lambda m: m.summary.mean):
+            marker = " <== fastest" if m.route.describe() == best_descr else ""
+            gain = relative_gain_pct(self.direct.summary.mean, m.summary.mean)
+            lines.append(f"  {m.route.describe():<24} {m.summary}  [{gain:+.1f}%]{marker}")
+        if not self.best_is_significant():
+            lines.append("  (warning: winner's ±1σ overlaps the direct route — not significant)")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PlannedUpload:
+    """The planner's full answer: the comparison plus the executed upload."""
+
+    comparison: RouteComparison
+    final: PlanResult
+
+    @property
+    def best(self) -> RouteMeasurement:
+        return self.comparison.best
+
+
+class DetourPlanner:
+    """Measure-then-transfer planner over one world."""
+
+    def __init__(self, world: World, runs_per_route: int = 3, discard_runs: int = 1,
+                 inter_run_gap_s: float = 2.0):
+        if runs_per_route < 1 or not (0 <= discard_runs < runs_per_route):
+            raise MeasurementError("bad measurement protocol for planner")
+        self.world = world
+        self.executor = PlanExecutor(world)
+        self.runs_per_route = runs_per_route
+        self.discard_runs = discard_runs
+        self.inter_run_gap_s = inter_run_gap_s
+
+    # -- route enumeration -----------------------------------------------------
+
+    def candidate_routes(self, client_site: str,
+                         vias: Optional[Sequence[str]] = None) -> List[Route]:
+        """Direct plus a detour through every DTN (except the client's own)."""
+        if vias is None:
+            vias = [v for v in sorted(self.world.dtns) if v != client_site]
+        else:
+            for v in vias:
+                self.world.dtn_of(v)  # validate
+        routes: List[Route] = [DirectRoute()]
+        routes.extend(DetourRoute(v) for v in vias)
+        return routes
+
+    # -- measurement ----------------------------------------------------------
+
+    def compare(
+        self,
+        client_site: str,
+        provider_name: str,
+        size_bytes: int,
+        vias: Optional[Sequence[str]] = None,
+    ) -> RouteComparison:
+        """Measure every candidate route sequentially in this world."""
+        if size_bytes <= 0:
+            raise MeasurementError("size must be positive")
+        routes = self.candidate_routes(client_site, vias)
+        spec = FileSpec("planner-compare.bin", size_bytes)
+        measurements: List[RouteMeasurement] = []
+
+        def driver():
+            out = []
+            for route in routes:
+                plan = TransferPlan(client_site, provider_name, spec, route)
+                durations: List[float] = []
+                results: List[PlanResult] = []
+                for _ in range(self.runs_per_route):
+                    result = yield from self.executor.execute(plan)
+                    durations.append(result.total_s)
+                    results.append(result)
+                    yield self.inter_run_gap_s
+                kept = durations[self.discard_runs:]
+                out.append(RouteMeasurement(
+                    route, summarize(kept), tuple(results[self.discard_runs:])
+                ))
+            return out
+
+        proc = self.world.sim.process(driver(), name="planner-compare")
+        self.world.sim.run_until_triggered(proc.done, horizon=self.world.sim.now + 1e7)
+        if not proc.finished:
+            raise MeasurementError("route comparison did not converge")
+        measurements = proc.result
+        return RouteComparison(client_site, provider_name, size_bytes, tuple(measurements))
+
+    # -- the front door --------------------------------------------------------
+
+    def upload(
+        self,
+        client_site: str,
+        provider_name: str,
+        size_bytes: int,
+        vias: Optional[Sequence[str]] = None,
+        file_name: str = "payload.bin",
+    ) -> PlannedUpload:
+        """Compare routes, then upload the real file over the winner."""
+        comparison = self.compare(client_site, provider_name, size_bytes, vias)
+        spec = FileSpec(file_name, size_bytes)
+        plan = TransferPlan(client_site, provider_name, spec, comparison.best.route)
+        final = self.executor.run(plan)
+        return PlannedUpload(comparison, final)

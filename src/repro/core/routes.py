@@ -1,0 +1,88 @@
+"""Route specifications and transfer plans.
+
+A :class:`Route` says *how* data reaches the provider: directly via the
+API, or through an intermediate DTN (the paper's routing detour).  A
+:class:`TransferPlan` binds a route to a client, a provider, and a file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from repro.errors import SelectionError
+from repro.transfer.dtn import RelayMode
+from repro.transfer.files import FileSpec
+
+__all__ = ["Route", "DirectRoute", "DetourRoute", "TransferPlan"]
+
+
+@dataclass(frozen=True)
+class DirectRoute:
+    """Client -> provider API, no intermediary (the paper's baseline)."""
+
+    @property
+    def is_direct(self) -> bool:
+        return True
+
+    @property
+    def via(self) -> Optional[str]:
+        return None
+
+    def describe(self) -> str:
+        return "direct"
+
+    def __str__(self) -> str:
+        return "direct"
+
+
+@dataclass(frozen=True)
+class DetourRoute:
+    """Client -> DTN (rsync) -> provider API (the paper's mitigation).
+
+    ``mode`` selects store-and-forward (paper: total = t1 + t2) or the
+    pipelined cut-through extension.
+    """
+
+    via_site: str
+    mode: RelayMode = RelayMode.STORE_AND_FORWARD
+
+    @property
+    def is_direct(self) -> bool:
+        return False
+
+    @property
+    def via(self) -> Optional[str]:
+        return self.via_site
+
+    def describe(self) -> str:
+        suffix = "" if self.mode is RelayMode.STORE_AND_FORWARD else f" ({self.mode.value})"
+        return f"via {self.via_site}{suffix}"
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+Route = Union[DirectRoute, DetourRoute]
+
+
+@dataclass(frozen=True)
+class TransferPlan:
+    """One planned upload: who, what, where, and by which route."""
+
+    client_site: str
+    provider_name: str
+    file: FileSpec
+    route: Route = field(default_factory=DirectRoute)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.route, DetourRoute) and self.route.via_site == self.client_site:
+            raise SelectionError(
+                f"detour via the client itself ({self.client_site}) is not a detour"
+            )
+
+    def describe(self) -> str:
+        return (
+            f"{self.client_site} -> {self.provider_name} "
+            f"[{self.route.describe()}] {self.file.name}"
+        )

@@ -1,0 +1,270 @@
+"""Automatic detour selection — the paper's future work, implemented.
+
+"At this time, our case study only identifies the best detour, but we
+have not implemented an automatic detour selection algorithm."  (Paper,
+Sec. III-B.)  Three selectors are provided:
+
+* :class:`OracleSelector` — measures every candidate route with the full
+  experimental protocol in fresh worlds and picks the winner: the
+  "experimental best" of the paper's Tables I/V, as an upper bound.
+* :class:`ProbeSelector` — sends two small probe transfers per leg inside
+  the live world, fits an affine cost model ``t = a + b * size`` per
+  route, and picks the route with the lowest *predicted* time for the
+  actual file size (captures the paper's observation that the best route
+  depends on file size).
+* :class:`HistorySelector` — epsilon-greedy over EWMA estimates learned
+  from past transfers; cheap, adapts to drift, needs traffic to learn.
+
+Selectors are kernel coroutines: drive with ``yield from`` inside a
+simulation process (probing takes simulated time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import units
+from repro.core.routes import DetourRoute, DirectRoute, Route, TransferPlan
+from repro.core.world import World
+from repro.errors import SelectionError
+from repro.transfer.files import FileSpec
+
+__all__ = [
+    "SelectionContext",
+    "Selector",
+    "OracleSelector",
+    "ProbeSelector",
+    "HistorySelector",
+]
+
+
+@dataclass(frozen=True)
+class SelectionContext:
+    """One selection question: best route for this upload?"""
+
+    world: World
+    client_site: str
+    provider_name: str
+    size_bytes: int
+    candidate_vias: Tuple[str, ...]
+
+    def routes(self) -> List[Route]:
+        routes: List[Route] = [DirectRoute()]
+        routes.extend(DetourRoute(via) for via in self.candidate_vias)
+        return routes
+
+
+class Selector:
+    """Interface: ``choose`` is a kernel coroutine returning a Route."""
+
+    name = "abstract"
+
+    def choose(self, ctx: SelectionContext):
+        raise NotImplementedError
+
+
+class OracleSelector(Selector):
+    """Full offline measurement of every route (fresh worlds; no sim time).
+
+    This is the paper's own procedure: benchmark each route with the
+    7-run protocol and read off the fastest.  Expensive but optimal in
+    expectation; used as the regret baseline in the ablation benches.
+    """
+
+    name = "oracle"
+
+    def __init__(self, world_factory: Callable[[int], World], runs: int = 3,
+                 discard: int = 1, master_seed: int = 0):
+        from repro.measure.harness import ExperimentProtocol, ExperimentRunner
+
+        self._runner = ExperimentRunner(
+            world_factory,
+            ExperimentProtocol(total_runs=runs, discard_runs=discard, inter_run_gap_s=5.0),
+            master_seed=master_seed,
+        )
+
+    def choose(self, ctx: SelectionContext):
+        from repro.core.executor import PlanExecutor
+
+        spec = FileSpec("oracle-probe.bin", ctx.size_bytes)
+        best_route: Optional[Route] = None
+        best_mean = float("inf")
+        for route in ctx.routes():
+            label = f"oracle:{ctx.client_site}:{ctx.provider_name}:{route.describe()}:{ctx.size_bytes}"
+
+            def run_factory(world: World, run_index: int, route=route):
+                plan = TransferPlan(ctx.client_site, ctx.provider_name, spec, route)
+                result = yield from PlanExecutor(world).execute(plan)
+                return result
+
+            m = self._runner.measure(label, run_factory)
+            if m.mean_s < best_mean:
+                best_mean, best_route = m.mean_s, route
+        if best_route is None:
+            raise SelectionError("no candidate routes")
+        return best_route
+        yield  # pragma: no cover — makes this a kernel coroutine
+
+
+class ProbeSelector(Selector):
+    """Affine cost model fitted from two in-world probe transfers per leg.
+
+    For each route, probe with ``probe_sizes`` and fit ``t = a + b*size``;
+    the detour prediction is the sum of its two legs' fits (store-and-
+    forward).  Probe cost is tiny next to a 100 MB upload, and the fitted
+    intercept captures per-request/API overheads, which is what makes the
+    prediction size-aware.
+    """
+
+    name = "probe"
+
+    def __init__(self, probe_sizes: Sequence[int] = (1_000_000, 4_000_000)):
+        if len(probe_sizes) < 2:
+            raise SelectionError("need at least two probe sizes for an affine fit")
+        if any(s <= 0 for s in probe_sizes):
+            raise SelectionError("probe sizes must be positive")
+        self.probe_sizes = tuple(sorted(probe_sizes))
+        #: filled by the last ``choose`` call: route description -> predicted s
+        self.last_predictions: Dict[str, float] = {}
+
+    # -- leg probing -----------------------------------------------------------
+
+    def _probe_api(self, ctx: SelectionContext, src_host: str, size: int, tag: str):
+        from repro.transfer.api_client import CloudClient
+
+        world = ctx.world
+        client = CloudClient(
+            world.sim, world.engine, world.router, world.dns, world.tcp,
+            world.token_cache, rng=world.rng.stream("probe.jitter"),
+            app_name="repro-probe",
+        )
+        spec = FileSpec(f"probe-{tag}-{size}.bin", size)
+        report = yield from client.upload(src_host, ctx.world.provider(ctx.provider_name), spec)
+        return report.duration_s
+
+    def _probe_rsync(self, ctx: SelectionContext, src_host: str, dst_host: str, size: int):
+        from repro.transfer.rsync import RsyncSession
+
+        world = ctx.world
+        session = RsyncSession(world.engine, world.router, world.tcp)
+        spec = FileSpec(f"probe-{src_host}-{dst_host}-{size}.bin", size)
+        start = world.sim.now
+        yield from session.push(src_host, dst_host, spec)
+        return world.sim.now - start
+
+    @staticmethod
+    def _fit(sizes: Sequence[int], times: Sequence[float]) -> Tuple[float, float]:
+        """Least-squares affine fit; returns (intercept_s, seconds_per_byte)."""
+        x = np.asarray(sizes, dtype=float)
+        y = np.asarray(times, dtype=float)
+        slope, intercept = np.polyfit(x, y, 1)
+        return float(max(intercept, 0.0)), float(max(slope, 0.0))
+
+    # -- selection --------------------------------------------------------------
+
+    def choose(self, ctx: SelectionContext):
+        from repro.errors import RoutingError
+
+        world = ctx.world
+        client_host = world.host_of(ctx.client_site)
+        predictions: Dict[str, float] = {}
+        inf = float("inf")
+
+        # direct: probe the API path from the client (unroutable -> inf)
+        try:
+            times = []
+            for size in self.probe_sizes:
+                t = yield from self._probe_api(ctx, client_host, size, tag="direct")
+                times.append(t)
+            a, b = self._fit(self.probe_sizes, times)
+            direct_pred = a + b * ctx.size_bytes
+        except RoutingError:
+            direct_pred = inf
+        predictions["direct"] = direct_pred
+
+        best_route: Route = DirectRoute()
+        best_pred = direct_pred
+        for via in ctx.candidate_vias:
+            dtn_host = world.dtn_of(via).host
+            try:
+                t_in: List[float] = []
+                t_out: List[float] = []
+                for size in self.probe_sizes:
+                    t1 = yield from self._probe_rsync(ctx, client_host, dtn_host, size)
+                    t_in.append(t1)
+                    t2 = yield from self._probe_api(ctx, dtn_host, size, tag=f"via-{via}")
+                    t_out.append(t2)
+                a1, b1 = self._fit(self.probe_sizes, t_in)
+                a2, b2 = self._fit(self.probe_sizes, t_out)
+                pred = (a1 + a2) + (b1 + b2) * ctx.size_bytes
+            except RoutingError:
+                pred = inf
+            route = DetourRoute(via)
+            predictions[route.describe()] = pred
+            if pred < best_pred:
+                best_pred, best_route = pred, route
+
+        self.last_predictions = predictions
+        if best_pred == inf:
+            raise SelectionError(
+                f"no candidate route from {ctx.client_site} to "
+                f"{ctx.provider_name} is currently routable"
+            )
+        return best_route
+
+
+class HistorySelector(Selector):
+    """EWMA throughput history with epsilon-greedy exploration.
+
+    ``update`` feeds each completed transfer back; ``choose`` exploits the
+    best per-byte estimate (or explores with probability ``epsilon``).
+    Estimates are kept per (client, provider, route); unseen routes are
+    always tried first.
+    """
+
+    name = "history"
+
+    def __init__(self, alpha: float = 0.3, epsilon: float = 0.1,
+                 rng: Optional[np.random.Generator] = None):
+        if not (0 < alpha <= 1):
+            raise SelectionError("alpha must be in (0, 1]")
+        if not (0 <= epsilon < 1):
+            raise SelectionError("epsilon must be in [0, 1)")
+        self.alpha = alpha
+        self.epsilon = epsilon
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        # (client, provider, route descr) -> EWMA seconds per byte
+        self._rate: Dict[Tuple[str, str, str], float] = {}
+
+    def _key(self, ctx: SelectionContext, route: Route) -> Tuple[str, str, str]:
+        return (ctx.client_site, ctx.provider_name, route.describe())
+
+    def update(self, ctx: SelectionContext, route: Route, size_bytes: int,
+               duration_s: float) -> None:
+        """Record an observed transfer outcome."""
+        if size_bytes <= 0 or duration_s <= 0:
+            raise SelectionError("update needs positive size and duration")
+        key = self._key(ctx, route)
+        sec_per_byte = duration_s / size_bytes
+        old = self._rate.get(key)
+        self._rate[key] = (
+            sec_per_byte if old is None else (1 - self.alpha) * old + self.alpha * sec_per_byte
+        )
+
+    def estimate_s(self, ctx: SelectionContext, route: Route) -> Optional[float]:
+        """Predicted duration for the context's size, or None if unseen."""
+        spb = self._rate.get(self._key(ctx, route))
+        return None if spb is None else spb * ctx.size_bytes
+
+    def choose(self, ctx: SelectionContext):
+        routes = ctx.routes()
+        unseen = [r for r in routes if self._key(ctx, r) not in self._rate]
+        if unseen:
+            return unseen[0]
+        if float(self.rng.random()) < self.epsilon:
+            return routes[int(self.rng.integers(len(routes)))]
+        return min(routes, key=lambda r: self.estimate_s(ctx, r))
+        yield  # pragma: no cover — makes this a kernel coroutine

@@ -1,0 +1,121 @@
+"""The ``World``: one fully-wired simulated universe.
+
+A World bundles everything a transfer needs — kernel, topology, routing,
+DNS, flow engine, providers, DTNs, RNG registry — so the executor, the
+measurement harness, and the benchmarks share one handle.  Worlds are
+built by :mod:`repro.testbed.build` (the calibrated case study) or by
+tests (synthetic miniatures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cloud.oauth import TokenCache
+from repro.cloud.provider import CloudProvider
+from repro.errors import TopologyError
+from repro.net.asn import ASGraph
+from repro.net.dns import DnsResolver
+from repro.net.engine import NetworkEngine
+from repro.net.policy import PolicyTable
+from repro.net.routing import Router
+from repro.net.tcp import TcpModel
+from repro.net.topology import Topology
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+from repro.transfer.dtn import DataTransferNode
+
+__all__ = ["World"]
+
+
+@dataclass
+class World:
+    """One simulated universe, ready to execute transfer plans."""
+
+    sim: Simulator
+    topology: Topology
+    as_graph: ASGraph
+    policy: PolicyTable
+    router: Router
+    dns: DnsResolver
+    engine: NetworkEngine
+    tcp: TcpModel
+    rng: RngRegistry
+    tracer: Tracer
+    providers: Dict[str, CloudProvider] = field(default_factory=dict)
+    dtns: Dict[str, DataTransferNode] = field(default_factory=dict)
+    #: site key ("ubc", "ualberta", ...) -> host node name in the topology
+    hosts: Dict[str, str] = field(default_factory=dict)
+    #: shared across runs inside this world (token warm-up effect)
+    token_cache: TokenCache = field(default_factory=TokenCache)
+    seed: int = 0
+
+    # -- lookups --------------------------------------------------------------
+
+    def provider(self, name: str) -> CloudProvider:
+        try:
+            return self.providers[name]
+        except KeyError:
+            known = ", ".join(sorted(self.providers))
+            raise TopologyError(f"unknown provider {name!r}; have: {known}") from None
+
+    def host_of(self, site_key: str) -> str:
+        try:
+            return self.hosts[site_key]
+        except KeyError:
+            known = ", ".join(sorted(self.hosts))
+            raise TopologyError(f"no host for site {site_key!r}; have: {known}") from None
+
+    def dtn_of(self, site_key: str) -> DataTransferNode:
+        try:
+            return self.dtns[site_key]
+        except KeyError:
+            known = ", ".join(sorted(self.dtns))
+            raise TopologyError(f"no DTN at site {site_key!r}; have: {known}") from None
+
+    def add_provider(self, provider: CloudProvider) -> CloudProvider:
+        if provider.name in self.providers:
+            raise TopologyError(f"provider {provider.name!r} already registered")
+        self.providers[provider.name] = provider
+        provider.register_in_dns(self.dns)
+        return provider
+
+    def add_dtn(self, site_key: str, host_node: str,
+                capacity_bytes: Optional[float] = None,
+                max_sessions: Optional[int] = None) -> DataTransferNode:
+        self.topology.node(host_node)  # validate
+        dtn = DataTransferNode(host_node, capacity_bytes, max_sessions)
+        dtn.attach_session_limit(self.sim)
+        self.dtns[site_key] = dtn
+        return dtn
+
+    def client_sites(self) -> List[str]:
+        return sorted(set(self.hosts) - set(self.dtns))
+
+    # -- dynamic events ------------------------------------------------------
+
+    def fail_link(self, link_name: str) -> None:
+        """Take a link down: new paths avoid it, flows on it starve.
+
+        The RON failure scenario: probing notices the collapse and the
+        overlay (or the bottleneck monitor) routes around it.
+        """
+        link = self.topology.link(link_name)
+        if link.failed:
+            return
+        link.failed = True
+        self.router.invalidate()
+        self.engine.on_link_state_change(link_name)
+        self.tracer.emit(self.sim.now, "net.topology", "link_down", link=link_name)
+
+    def restore_link(self, link_name: str) -> None:
+        """Bring a failed link back up."""
+        link = self.topology.link(link_name)
+        if not link.failed:
+            return
+        link.failed = False
+        self.router.invalidate()
+        self.engine.on_link_state_change(link_name)
+        self.tracer.emit(self.sim.now, "net.topology", "link_up", link=link_name)

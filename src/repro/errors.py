@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch the whole family; each layer has its own subclass so tests can assert
+on the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event kernel (e.g. scheduling in the past)."""
+
+
+class TopologyError(ReproError):
+    """Malformed network topology (unknown node, duplicate link, ...)."""
+
+
+class RoutingError(ReproError):
+    """No route could be computed between two endpoints."""
+
+
+class AddressError(ReproError):
+    """Invalid IPv4 address/prefix or exhausted allocator."""
+
+
+class TransferError(ReproError):
+    """A file transfer failed (endpoint unknown, protocol violation, ...)."""
+
+
+class CloudApiError(TransferError):
+    """A simulated cloud-storage API call failed."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class AuthError(CloudApiError):
+    """OAuth2 authentication/authorization failure."""
+
+    def __init__(self, message: str):
+        super().__init__(401, message)
+
+
+class SelectionError(ReproError):
+    """Detour selection could not produce a route."""
+
+
+class MeasurementError(ReproError):
+    """Experiment harness misconfiguration."""
+
+
+class CalibrationError(ReproError):
+    """Testbed calibration targets are inconsistent or unachievable."""

@@ -1,0 +1,34 @@
+"""Geography substrate: coordinates, sites, and IP geolocation.
+
+Supports the paper's geographic analysis (Fig. 3, Table V): site locations,
+great-circle distances, fiber propagation delays, and the "IP Location
+Finder" style prefix->location registry used to place traceroute hops on
+the map.
+"""
+
+from repro.geo.coords import GeoPoint, bearing_deg, haversine_km, path_length_km
+from repro.geo.ipgeo import GeoRegistry
+from repro.geo.sites import (
+    CLOUD_DATACENTERS,
+    CLIENT_SITES,
+    INTERMEDIATE_SITES,
+    SITES,
+    Site,
+    SiteKind,
+    site,
+)
+
+__all__ = [
+    "GeoPoint",
+    "GeoRegistry",
+    "Site",
+    "SiteKind",
+    "SITES",
+    "CLIENT_SITES",
+    "INTERMEDIATE_SITES",
+    "CLOUD_DATACENTERS",
+    "bearing_deg",
+    "haversine_km",
+    "path_length_km",
+    "site",
+]

@@ -1,0 +1,83 @@
+"""Geographic coordinates and great-circle math.
+
+Used to derive per-link propagation delays from site locations and to
+quantify the "geographical detour" of Fig. 3 (UBC -> UAlberta -> Mountain
+View backtracks ~1000 km yet is faster than the direct route).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro import units
+
+__all__ = ["GeoPoint", "haversine_km", "bearing_deg", "path_length_km", "detour_stretch"]
+
+EARTH_RADIUS_KM = 6371.0088  # mean Earth radius
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A (latitude, longitude) pair in decimal degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not (-90.0 <= self.lat <= 90.0):
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not (-180.0 <= self.lon <= 180.0):
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        return haversine_km(self, other)
+
+    def propagation_delay_s(self, other: "GeoPoint", stretch: float = units.DEFAULT_PATH_STRETCH) -> float:
+        """One-way fiber propagation delay to *other*."""
+        return units.propagation_delay_s(self.distance_km(other), stretch)
+
+    def __str__(self) -> str:
+        ns = "N" if self.lat >= 0 else "S"
+        ew = "E" if self.lon >= 0 else "W"
+        return f"{abs(self.lat):.4f}{ns},{abs(self.lon):.4f}{ew}"
+
+
+def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points, km."""
+    phi1, phi2 = math.radians(a.lat), math.radians(b.lat)
+    dphi = math.radians(b.lat - a.lat)
+    dlam = math.radians(b.lon - a.lon)
+    h = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2) ** 2
+    return 2 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def bearing_deg(a: GeoPoint, b: GeoPoint) -> float:
+    """Initial great-circle bearing from *a* to *b*, degrees in [0, 360)."""
+    phi1, phi2 = math.radians(a.lat), math.radians(b.lat)
+    dlam = math.radians(b.lon - a.lon)
+    y = math.sin(dlam) * math.cos(phi2)
+    x = math.cos(phi1) * math.sin(phi2) - math.sin(phi1) * math.cos(phi2) * math.cos(dlam)
+    return (math.degrees(math.atan2(y, x)) + 360.0) % 360.0
+
+
+def path_length_km(points: Sequence[GeoPoint] | Iterable[GeoPoint]) -> float:
+    """Total great-circle length of a polyline of points, km."""
+    pts = list(points)
+    if len(pts) < 2:
+        return 0.0
+    return sum(haversine_km(u, v) for u, v in zip(pts, pts[1:]))
+
+
+def detour_stretch(src: GeoPoint, via: GeoPoint, dst: GeoPoint) -> float:
+    """Geographic stretch of a one-hop detour vs the direct great circle.
+
+    Returns (d(src,via) + d(via,dst)) / d(src,dst).  A stretch of 2.0 means
+    the detour path is twice as long on the map; the paper's point is that
+    such detours can nevertheless be *faster*.
+    """
+    direct = haversine_km(src, dst)
+    if direct == 0:
+        return math.inf
+    return (haversine_km(src, via) + haversine_km(via, dst)) / direct

@@ -1,0 +1,65 @@
+"""Prefix -> location registry, standing in for "IP Location Finder" [7].
+
+The paper geolocates traceroute hops with a public IP-geolocation service.
+We reproduce that with a longest-prefix-match registry populated by the
+testbed builder: every simulated prefix is registered with the site that
+owns it, so traceroute output can be placed on the map exactly as in
+Fig. 3 / Table V.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AddressError
+from repro.geo.coords import GeoPoint
+from repro.geo.sites import Site
+
+__all__ = ["GeoRegistry"]
+
+
+class GeoRegistry:
+    """Longest-prefix-match IP geolocation database."""
+
+    def __init__(self) -> None:
+        # networks stored per prefix length for simple LPM
+        self._by_len: Dict[int, Dict[ipaddress.IPv4Network, Tuple[Site, GeoPoint]]] = {}
+
+    def register(self, prefix: str, site: Site, location: Optional[GeoPoint] = None) -> None:
+        """Associate *prefix* (e.g. ``"142.103.0.0/16"``) with *site*."""
+        try:
+            net = ipaddress.IPv4Network(prefix)
+        except ValueError as exc:
+            raise AddressError(f"bad prefix {prefix!r}: {exc}") from exc
+        loc = location if location is not None else site.location
+        self._by_len.setdefault(net.prefixlen, {})[net] = (site, loc)
+
+    def lookup(self, address: str) -> Optional[Tuple[Site, GeoPoint]]:
+        """Longest-prefix match for *address*; None if unregistered."""
+        try:
+            addr = ipaddress.IPv4Address(address)
+        except ValueError as exc:
+            raise AddressError(f"bad address {address!r}: {exc}") from exc
+        for plen in sorted(self._by_len, reverse=True):
+            for net, value in self._by_len[plen].items():
+                if addr in net:
+                    return value
+        return None
+
+    def locate(self, address: str) -> Optional[GeoPoint]:
+        """Location for *address*, or None."""
+        hit = self.lookup(address)
+        return hit[1] if hit else None
+
+    def site_of(self, address: str) -> Optional[Site]:
+        """Owning site for *address*, or None."""
+        hit = self.lookup(address)
+        return hit[0] if hit else None
+
+    def prefixes(self) -> List[str]:
+        """All registered prefixes (unordered)."""
+        return [str(net) for nets in self._by_len.values() for net in nets]
+
+    def __len__(self) -> int:
+        return sum(len(nets) for nets in self._by_len.values())

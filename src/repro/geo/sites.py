@@ -1,0 +1,120 @@
+"""The case study's sites: clients, intermediate nodes, and cloud DCs.
+
+Locations follow Sec. II of the paper: clients at UBC (Vancouver), Purdue
+(West Lafayette), UCLA (Los Angeles); intermediate nodes at UAlberta
+(Edmonton) and UMich (Ann Arbor); provider datacenters at Ashburn VA
+(Dropbox), Mountain View CA (Google Drive), and Seattle WA (OneDrive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List
+
+from repro.geo.coords import GeoPoint
+
+__all__ = [
+    "Site",
+    "SiteKind",
+    "SITES",
+    "CLIENT_SITES",
+    "INTERMEDIATE_SITES",
+    "CLOUD_DATACENTERS",
+    "register_site",
+    "site",
+]
+
+
+class SiteKind(Enum):
+    """Role of a site in the case study."""
+
+    CLIENT = "client"
+    INTERMEDIATE = "intermediate"
+    CLOUD_DC = "cloud_dc"
+    EXCHANGE = "exchange"  # IXPs / research-network routers
+
+
+@dataclass(frozen=True)
+class Site:
+    """A named location participating in the experiments."""
+
+    name: str
+    kind: SiteKind
+    location: GeoPoint
+    city: str
+    description: str = ""
+    planetlab: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.city})"
+
+
+_SITE_LIST: List[Site] = [
+    # -- clients (vantage points) ------------------------------------------
+    Site("ubc", SiteKind.CLIENT, GeoPoint(49.2606, -123.2460), "Vancouver, BC",
+         "PlanetLab node, University of British Columbia", planetlab=True),
+    Site("purdue", SiteKind.CLIENT, GeoPoint(40.4237, -86.9212), "West Lafayette, IN",
+         "PlanetLab node, Purdue University", planetlab=True),
+    Site("ucla", SiteKind.CLIENT, GeoPoint(34.0689, -118.4452), "Los Angeles, CA",
+         "PlanetLab node, UCLA (limited last-mile bandwidth)", planetlab=True),
+    # -- intermediate / DTN candidates ---------------------------------------
+    Site("ualberta", SiteKind.INTERMEDIATE, GeoPoint(53.5232, -113.5263), "Edmonton, AB",
+         "Non-PlanetLab cluster, University of Alberta"),
+    Site("umich", SiteKind.INTERMEDIATE, GeoPoint(42.2780, -83.7382), "Ann Arbor, MI",
+         "PlanetLab node, University of Michigan", planetlab=True),
+    # -- cloud-storage datacenters --------------------------------------------
+    Site("gdrive-dc", SiteKind.CLOUD_DC, GeoPoint(37.3861, -122.0839), "Mountain View, CA",
+         "Google Drive storage frontend"),
+    Site("dropbox-dc", SiteKind.CLOUD_DC, GeoPoint(39.0438, -77.4874), "Ashburn, VA",
+         "Dropbox storage frontend"),
+    Site("onedrive-dc", SiteKind.CLOUD_DC, GeoPoint(47.6062, -122.3321), "Seattle, WA",
+         "Microsoft OneDrive storage frontend"),
+    # -- network infrastructure (research-network routers & exchanges) ------
+    Site("canarie-vancouver", SiteKind.EXCHANGE, GeoPoint(49.2827, -123.1207), "Vancouver, BC",
+         "CANARIE router vncv1rtr2.canarie.ca"),
+    Site("canarie-edmonton", SiteKind.EXCHANGE, GeoPoint(53.5461, -113.4938), "Edmonton, AB",
+         "CANARIE router edmn1rtr2.canarie.ca"),
+    Site("pacificwave-seattle", SiteKind.EXCHANGE, GeoPoint(47.6150, -122.3400), "Seattle, WA",
+         "Pacific Wave exchange (rate-limited egress in the case study)"),
+    Site("internet2-chicago", SiteKind.EXCHANGE, GeoPoint(41.8781, -87.6298), "Chicago, IL",
+         "Internet2/commodity exchange point"),
+    Site("commodity-east", SiteKind.EXCHANGE, GeoPoint(38.9072, -77.0369), "Washington, DC",
+         "Commodity transit hub, east"),
+    Site("commodity-west", SiteKind.EXCHANGE, GeoPoint(37.7749, -122.4194), "San Francisco, CA",
+         "Commodity transit hub, west"),
+]
+
+#: All sites by name.
+SITES: Dict[str, Site] = {s.name: s for s in _SITE_LIST}
+
+CLIENT_SITES: List[Site] = [s for s in _SITE_LIST if s.kind is SiteKind.CLIENT]
+INTERMEDIATE_SITES: List[Site] = [s for s in _SITE_LIST if s.kind is SiteKind.INTERMEDIATE]
+CLOUD_DATACENTERS: List[Site] = [s for s in _SITE_LIST if s.kind is SiteKind.CLOUD_DC]
+
+
+def site(name: str) -> Site:
+    """Look up a site by name, with a helpful error."""
+    try:
+        return SITES[name]
+    except KeyError:
+        known = ", ".join(sorted(SITES))
+        raise KeyError(f"unknown site {name!r}; known sites: {known}") from None
+
+
+def register_site(new_site: Site) -> Site:
+    """Add a custom site to the registry (for user-defined scenarios).
+
+    Registration is idempotent for identical definitions and rejects
+    redefinition with different coordinates — geo-DNS and the map
+    figures rely on site keys being stable.
+    """
+    existing = SITES.get(new_site.name)
+    if existing is not None:
+        if existing == new_site:
+            return existing
+        raise ValueError(
+            f"site {new_site.name!r} already registered with a different definition"
+        )
+    SITES[new_site.name] = new_site
+    return new_site

@@ -1,0 +1,31 @@
+"""Measurement methodology: the paper's experimental protocol in code.
+
+"For each of the measurements, we take the mean of the last five runs
+among a total of seven runs.  One standard deviation has been shown as
+the error-bar in the figures."  (Paper, Sec. II.)
+"""
+
+from repro.measure.harness import ExperimentProtocol, ExperimentRunner, Measurement
+from repro.measure.stats import (
+    Summary,
+    TTestResult,
+    error_bars_overlap,
+    relative_gain_pct,
+    summarize,
+    welch_t_test,
+)
+from repro.measure.results import ResultRow, ResultTable
+
+__all__ = [
+    "ExperimentProtocol",
+    "ExperimentRunner",
+    "Measurement",
+    "ResultRow",
+    "ResultTable",
+    "Summary",
+    "TTestResult",
+    "error_bars_overlap",
+    "relative_gain_pct",
+    "summarize",
+    "welch_t_test",
+]

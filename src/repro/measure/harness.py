@@ -1,0 +1,127 @@
+"""The experiment runner: N sequential runs in one world, warmups dropped.
+
+One *experiment* = one (client, provider, route, file size) cell.  The
+runner builds a fresh world for the experiment (seeded from the master
+seed and an experiment label), executes the run coroutine seven times
+back to back inside that world — so OAuth tokens warm up and background
+cross-traffic evolves between runs, exactly like repeated wall-clock runs
+— and reports the mean/σ of the last five.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional, Sequence
+
+from repro.errors import MeasurementError
+from repro.measure.stats import Summary, summarize
+from repro.sim.rng import derive_seed
+
+__all__ = ["ExperimentProtocol", "Measurement", "ExperimentRunner"]
+
+
+@dataclass(frozen=True)
+class ExperimentProtocol:
+    """The paper's protocol: 7 runs, keep the last 5, pause between runs."""
+
+    total_runs: int = 7
+    discard_runs: int = 2
+    inter_run_gap_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.total_runs < 1:
+            raise MeasurementError("need at least one run")
+        if not (0 <= self.discard_runs < self.total_runs):
+            raise MeasurementError("discard count must leave at least one kept run")
+        if self.inter_run_gap_s < 0:
+            raise MeasurementError("gap must be non-negative")
+
+    @property
+    def kept_runs(self) -> int:
+        return self.total_runs - self.discard_runs
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """All runs of one experiment plus the kept-run summary."""
+
+    label: str
+    all_durations_s: tuple
+    kept: Summary
+    results: tuple = ()  # per-run payload objects (e.g. PlanResult)
+
+    @property
+    def mean_s(self) -> float:
+        return self.kept.mean
+
+    @property
+    def std_s(self) -> float:
+        return self.kept.std
+
+    def __str__(self) -> str:
+        return f"{self.label}: {self.kept}"
+
+
+#: Builds a world for an experiment given its derived seed.
+WorldFactory = Callable[[int], Any]
+
+#: Given (world, run_index), returns a kernel generator whose return value
+#: is either a float duration or an object with a ``total_s`` attribute.
+RunFactory = Callable[[Any, int], Generator]
+
+
+class ExperimentRunner:
+    """Runs experiments per the paper's protocol."""
+
+    def __init__(
+        self,
+        world_factory: WorldFactory,
+        protocol: ExperimentProtocol = ExperimentProtocol(),
+        master_seed: int = 0,
+    ):
+        self.world_factory = world_factory
+        self.protocol = protocol
+        self.master_seed = master_seed
+
+    def measure(
+        self,
+        label: str,
+        run_factory: RunFactory,
+        horizon_s: float = 1e7,
+    ) -> Measurement:
+        """Execute one experiment cell; returns its :class:`Measurement`."""
+        seed = derive_seed(self.master_seed, f"experiment:{label}")
+        world = self.world_factory(seed)
+        proto = self.protocol
+        durations: List[float] = []
+        payloads: List[Any] = []
+
+        def driver():
+            for run_index in range(proto.total_runs):
+                start = world.sim.now
+                outcome = yield from run_factory(world, run_index)
+                duration = outcome if isinstance(outcome, (int, float)) else outcome.total_s
+                if duration is None or duration < 0:
+                    raise MeasurementError(
+                        f"run {run_index} of {label!r} returned bad duration {duration!r}"
+                    )
+                durations.append(float(duration))
+                payloads.append(outcome)
+                yield proto.inter_run_gap_s
+
+        proc = world.sim.process(driver(), name=f"experiment:{label}")
+        world.sim.run_until_triggered(proc.done, horizon=horizon_s)
+        if not proc.finished:
+            raise MeasurementError(
+                f"experiment {label!r} did not finish within {horizon_s}s of simulated time "
+                f"({len(durations)}/{proto.total_runs} runs done)"
+            )
+        if proc.error is not None:
+            raise proc.error
+        kept = durations[proto.discard_runs:]
+        return Measurement(
+            label=label,
+            all_durations_s=tuple(durations),
+            kept=summarize(kept),
+            results=tuple(payloads[proto.discard_runs:]),
+        )

@@ -1,0 +1,120 @@
+"""Result tables in the paper's format.
+
+:class:`ResultTable` renders rows like the paper's Table II/III —
+``File size | Direct (s) | via X (s) [%] | via Y (s) [%]`` — with the
+relative gain of each detour against the direct baseline in brackets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import MeasurementError
+from repro.measure.stats import Summary, relative_gain_pct
+
+__all__ = ["ResultRow", "ResultTable"]
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One file size's measurements across routes."""
+
+    size_mb: float
+    by_route: Dict[str, Summary]
+
+    def baseline(self, route: str = "direct") -> Summary:
+        try:
+            return self.by_route[route]
+        except KeyError:
+            raise MeasurementError(f"row {self.size_mb} MB has no {route!r} entry") from None
+
+    def gain_pct(self, route: str, baseline: str = "direct") -> float:
+        return relative_gain_pct(self.baseline(baseline).mean, self.by_route[route].mean)
+
+    def fastest_route(self) -> str:
+        return min(self.by_route, key=lambda r: self.by_route[r].mean)
+
+    def ranking(self) -> List[str]:
+        """Routes fastest-first."""
+        return sorted(self.by_route, key=lambda r: self.by_route[r].mean)
+
+
+class ResultTable:
+    """A (file size x route) table of measurements for one client/provider."""
+
+    def __init__(self, title: str, baseline_route: str = "direct"):
+        self.title = title
+        self.baseline_route = baseline_route
+        self.rows: List[ResultRow] = []
+
+    def add_row(self, size_mb: float, by_route: Dict[str, Summary]) -> ResultRow:
+        if self.rows and set(by_route) != set(self.rows[0].by_route):
+            raise MeasurementError(
+                f"route set mismatch: {sorted(by_route)} vs {sorted(self.rows[0].by_route)}"
+            )
+        row = ResultRow(size_mb, dict(by_route))
+        self.rows.append(row)
+        return row
+
+    @property
+    def routes(self) -> List[str]:
+        if not self.rows:
+            return []
+        routes = list(self.rows[0].by_route)
+        routes.sort(key=lambda r: (r != self.baseline_route, r))
+        return routes
+
+    def overall_fastest(self) -> str:
+        """Route with the lowest mean across all sizes (total time)."""
+        if not self.rows:
+            raise MeasurementError("empty table")
+        totals = {
+            route: sum(row.by_route[route].mean for row in self.rows)
+            for route in self.rows[0].by_route
+        }
+        return min(totals, key=totals.get)
+
+    def fastest_counts(self) -> Dict[str, int]:
+        """How many sizes each route wins (for Table I style summaries)."""
+        counts: Dict[str, int] = {route: 0 for route in self.routes}
+        for row in self.rows:
+            counts[row.fastest_route()] += 1
+        return counts
+
+    def render(self, show_std: bool = False) -> str:
+        """Paper-style text table."""
+        if not self.rows:
+            return f"{self.title}\n(empty)"
+        routes = self.routes
+        headers = ["File size (MB)"]
+        for route in routes:
+            if route == self.baseline_route:
+                headers.append(f"{route} (s)")
+            else:
+                headers.append(f"{route} (s) [%]")
+        body: List[List[str]] = []
+        for row in sorted(self.rows, key=lambda r: r.size_mb):
+            cells = [f"{row.size_mb:g}"]
+            for route in routes:
+                s = row.by_route[route]
+                val = f"{s.mean:.2f}"
+                if show_std:
+                    val += f" ±{s.std:.2f}"
+                if route != self.baseline_route:
+                    gain = row.gain_pct(route, self.baseline_route)
+                    val += f" [{gain:+.2f}%]"
+                cells.append(val)
+            body.append(cells)
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in body)) for i in range(len(headers))
+        ]
+        lines = [self.title]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("-+-".join("-" * w for w in widths))
+        for cells in body:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(cells, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,121 @@
+"""Summary statistics in the paper's style.
+
+Includes the ±1σ error-bar overlap analysis of Table IV's discussion:
+the paper argues a detour is not trustworthy when the direct route's
+``mean + σ`` exceeds the detour's ``mean − σ`` (the intervals overlap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+__all__ = ["Summary", "TTestResult", "summarize", "relative_gain_pct",
+           "error_bars_overlap", "welch_t_test"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / sample standard deviation over a set of runs."""
+
+    mean: float
+    std: float
+    n: int
+    minimum: float
+    maximum: float
+
+    @property
+    def low(self) -> float:
+        """Lower end of the ±1σ error bar (paper Table IV arithmetic)."""
+        return self.mean - self.std
+
+    @property
+    def high(self) -> float:
+        """Upper end of the ±1σ error bar."""
+        return self.mean + self.std
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (σ/μ)."""
+        return self.std / self.mean if self.mean else float("nan")
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f}s ± {self.std:.2f}"
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Mean and sample (ddof=1) standard deviation of *samples*."""
+    if len(samples) == 0:
+        raise MeasurementError("cannot summarize zero samples")
+    arr = np.asarray(samples, dtype=float)
+    std = float(arr.std(ddof=1)) if len(arr) > 1 else 0.0
+    return Summary(
+        mean=float(arr.mean()),
+        std=std,
+        n=len(arr),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def relative_gain_pct(baseline: float, other: float) -> float:
+    """Signed percent change vs baseline, as in the paper's Tables II/III.
+
+    Negative = faster than baseline (a gain): UBC->GDrive via UAlberta is
+    ``-31.52%`` at 10 MB.
+    """
+    if baseline <= 0:
+        raise MeasurementError(f"baseline must be positive, got {baseline}")
+    return (other - baseline) / baseline * 100.0
+
+
+def error_bars_overlap(a: Summary, b: Summary) -> bool:
+    """Do the ±1σ intervals of two measurements overlap?
+
+    The paper's Table IV example: Dropbox direct 177.89 ± 36.03 vs via
+    UAlberta 237.78 ± 56.10 — 177.89+36.03 = 213.92 > 237.78−56.10 =
+    181.68, so they overlap and the detour is not trustworthy.
+    """
+    return a.high >= b.low and b.high >= a.low
+
+
+def welch_t_test(a: Sequence[float], b: Sequence[float]) -> "TTestResult":
+    """Welch's unequal-variance t-test on two run sets.
+
+    A sharper tool than the paper's ±1σ-overlap eyeballing for deciding
+    whether a detour's advantage is real.  Returns the t statistic,
+    Welch-Satterthwaite degrees of freedom, and the two-sided p-value.
+    """
+    from scipy import stats as sps
+
+    if len(a) < 2 or len(b) < 2:
+        raise MeasurementError("Welch's t-test needs >= 2 samples per group")
+    t, p = sps.ttest_ind(list(a), list(b), equal_var=False)
+    xa, xb = np.asarray(a, dtype=float), np.asarray(b, dtype=float)
+    va, vb = xa.var(ddof=1) / len(xa), xb.var(ddof=1) / len(xb)
+    if va + vb == 0:
+        dof = float(len(xa) + len(xb) - 2)
+    else:
+        dof = (va + vb) ** 2 / (
+            va**2 / (len(xa) - 1) + vb**2 / (len(xb) - 1)
+        )
+    return TTestResult(t=float(t), dof=float(dof), p_value=float(p))
+
+
+@dataclass(frozen=True)
+class TTestResult:
+    """Welch's t-test outcome."""
+
+    t: float
+    dof: float
+    p_value: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+    def __str__(self) -> str:
+        return f"t={self.t:.2f}, dof={self.dof:.1f}, p={self.p_value:.4f}"

@@ -1,0 +1,80 @@
+"""IPv4 address handling and prefix allocation.
+
+Thin wrappers over :mod:`ipaddress` plus an allocator that hands out
+subnets and host addresses from an organization's supernet — used by the
+testbed builder to give every simulated node a stable, realistic address
+(so traceroute output looks like the paper's Figs. 5/6).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Iterator
+
+from repro.errors import AddressError
+
+__all__ = ["parse_address", "parse_prefix", "PrefixAllocator"]
+
+
+def parse_address(text: str) -> ipaddress.IPv4Address:
+    """Parse an IPv4 address, raising :class:`AddressError` on junk."""
+    try:
+        return ipaddress.IPv4Address(text)
+    except ValueError as exc:
+        raise AddressError(f"bad IPv4 address {text!r}: {exc}") from exc
+
+
+def parse_prefix(text: str) -> ipaddress.IPv4Network:
+    """Parse an IPv4 prefix in CIDR form, raising :class:`AddressError`."""
+    try:
+        return ipaddress.IPv4Network(text)
+    except ValueError as exc:
+        raise AddressError(f"bad IPv4 prefix {text!r}: {exc}") from exc
+
+
+class PrefixAllocator:
+    """Allocates subnets and host addresses out of a supernet.
+
+    >>> alloc = PrefixAllocator("142.103.0.0/16")
+    >>> str(alloc.subnet(24))
+    '142.103.0.0/24'
+    >>> alloc.host()
+    '142.103.1.1'
+    """
+
+    def __init__(self, supernet: str):
+        self.supernet = parse_prefix(supernet)
+        self._subnet_iters: dict[int, Iterator[ipaddress.IPv4Network]] = {}
+        self._host_iter: Iterator[ipaddress.IPv4Address] | None = None
+        self._handed_out: set[ipaddress.IPv4Network] = set()
+
+    def subnet(self, prefixlen: int) -> ipaddress.IPv4Network:
+        """Allocate the next unused subnet of the given prefix length."""
+        if prefixlen < self.supernet.prefixlen or prefixlen > 30:
+            raise AddressError(
+                f"cannot carve /{prefixlen} out of {self.supernet} (must be in "
+                f"[{self.supernet.prefixlen}, 30])"
+            )
+        it = self._subnet_iters.get(prefixlen)
+        if it is None:
+            it = self.supernet.subnets(new_prefix=prefixlen)
+            self._subnet_iters[prefixlen] = it
+        for net in it:
+            if not any(net.overlaps(used) for used in self._handed_out):
+                self._handed_out.add(net)
+                return net
+        raise AddressError(f"supernet {self.supernet} exhausted for /{prefixlen}")
+
+    def host(self) -> str:
+        """Allocate the next unused host address (from its own /24s)."""
+        if self._host_iter is None:
+            self._host_iter = self._hosts()
+        try:
+            return str(next(self._host_iter))
+        except StopIteration:
+            raise AddressError(f"supernet {self.supernet} exhausted of hosts") from None
+
+    def _hosts(self) -> Iterator[ipaddress.IPv4Address]:
+        while True:
+            net = self.subnet(min(24, max(self.supernet.prefixlen, 24)))
+            yield from net.hosts()

@@ -1,0 +1,95 @@
+"""Simulated DNS: hostnames -> node addresses, with geo-DNS for providers.
+
+Two uses in the case study:
+
+* reverse lookups give traceroute its hostnames (paper Figs. 5/6 show
+  ``vncv1rtr2.canarie.ca``, ``sea15s01-in-f138.1e100.net``, ...),
+* cloud providers publish one API hostname (``www.googleapis.com``) that
+  *geo-resolves* to the point of presence nearest the querying client —
+  how real providers steer clients to POPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import RoutingError
+from repro.geo.coords import haversine_km
+from repro.geo.sites import SITES
+from repro.net.topology import Topology
+
+__all__ = ["DnsResolver"]
+
+
+class DnsResolver:
+    """Name resolution over a topology.
+
+    Static records map a hostname to one node.  Geo records map a service
+    hostname to a set of candidate nodes; resolution picks the candidate
+    geographically nearest the client (by site coordinates).
+    """
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self._static: Dict[str, str] = {}
+        self._geo: Dict[str, List[str]] = {}
+        for node in topology.nodes.values():
+            self._static.setdefault(node.hostname, node.name)
+
+    # -- record management -----------------------------------------------
+
+    def add_record(self, hostname: str, node_name: str) -> None:
+        """Add/overwrite a static A record."""
+        self.topology.node(node_name)  # validate
+        self._static[hostname] = node_name
+
+    def add_geo_record(self, hostname: str, node_names: List[str]) -> None:
+        """Register a geo-balanced service name over candidate nodes."""
+        if not node_names:
+            raise RoutingError(f"geo record {hostname!r} needs at least one node")
+        for name in node_names:
+            node = self.topology.node(name)
+            if not node.site_name:
+                raise RoutingError(
+                    f"geo record {hostname!r}: node {name!r} has no site for distance ranking"
+                )
+        self._geo[hostname] = list(node_names)
+
+    # -- resolution -------------------------------------------------------
+
+    def resolve(self, hostname: str, client_node: Optional[str] = None) -> str:
+        """Resolve *hostname* to a node name.
+
+        Geo records require *client_node* (whose site anchors the distance
+        ranking); static records ignore it.
+        """
+        if hostname in self._geo:
+            candidates = self._geo[hostname]
+            if client_node is None:
+                return candidates[0]
+            client = self.topology.node(client_node)
+            if not client.site_name:
+                return candidates[0]
+            client_loc = SITES[client.site_name].location
+            return min(
+                candidates,
+                key=lambda name: (
+                    haversine_km(client_loc, SITES[self.topology.node(name).site_name].location),
+                    name,
+                ),
+            )
+        if hostname in self._static:
+            return self._static[hostname]
+        raise RoutingError(f"NXDOMAIN: {hostname!r}")
+
+    def resolve_address(self, hostname: str, client_node: Optional[str] = None) -> str:
+        """Like :meth:`resolve` but returns the node's IPv4 address."""
+        return self.topology.node(self.resolve(hostname, client_node)).address
+
+    def reverse(self, address: str) -> str:
+        """PTR lookup: address -> hostname."""
+        return self.topology.node_by_address(address).hostname
+
+    def hostnames(self) -> List[str]:
+        return sorted(set(self._static) | set(self._geo))

@@ -1,0 +1,261 @@
+"""Fluid flow-level transfer engine on the discrete-event kernel.
+
+Active transfers are fluid flows draining at their max-min fair share of
+the directed link capacities they cross (recomputed on every flow arrival
+or departure).  This is the standard flow-level abstraction for WAN
+capacity studies: it keeps per-transfer cost at "a handful of events"
+instead of per-packet, while preserving the bandwidth-sharing phenomena
+the paper measures (congested peerings, policed egresses, last-mile caps).
+
+TCP behaviour enters in two places:
+
+* a per-flow **rate ceiling** (the Mathis loss ceiling, computed by the
+  caller from path loss/RTT) bounds the fair share,
+* a **slow-start deficit**: the engine converts the ramp-up byte deficit
+  into extra wire bytes at flow-start time (see ``start_transfer``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from math import inf, isfinite
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro import units
+from repro.errors import TransferError
+from repro.net.flows import FlowSpec, max_min_allocation
+from repro.net.topology import LinkDirection, Topology
+from repro.sim.kernel import Signal, Simulator
+from repro.sim.trace import Tracer
+
+__all__ = ["NetworkEngine", "Transfer", "TransferResult"]
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Completion record for one flow."""
+
+    label: str
+    nbytes: float
+    start_time: float
+    end_time: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def mean_rate_bps(self) -> float:
+        return units.throughput_bps(self.nbytes, self.duration_s)
+
+
+@dataclass
+class Transfer:
+    """Handle for an in-flight flow."""
+
+    flow_id: int
+    label: str
+    spec: FlowSpec
+    payload_bytes: float
+    wire_bytes: float  # payload + slow-start deficit
+    start_time: float
+    done: Signal
+    remaining_bytes: float = 0.0
+    rate_bps: float = 0.0
+    _last_update: float = 0.0
+    _completion_handle: Optional[object] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered
+
+
+class NetworkEngine:
+    """Shared-bandwidth transfer execution over a topology."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        tracer: Optional[Tracer] = None,
+        capacity_scale: Optional[Dict[str, float]] = None,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        #: optional per-link multiplicative capacity jitter for this run,
+        #: keyed by link name (applied to both directions).
+        self.capacity_scale = capacity_scale or {}
+        self._flows: Dict[int, Transfer] = {}
+        self._ids = itertools.count(1)
+        self._capacity_cache: Dict[LinkDirection, float] = {}
+
+    # -- capacities -----------------------------------------------------------
+
+    def capacity_of(self, direction: LinkDirection) -> float:
+        """Effective capacity of one link direction (policed + jittered)."""
+        cached = self._capacity_cache.get(direction)
+        if cached is not None:
+            return cached
+        link = self.topology.link(direction.link_name)
+        cap = link.effective_capacity_bps(direction.src)
+        if not link.failed:
+            cap *= self.capacity_scale.get(link.name, 1.0)
+        self._capacity_cache[direction] = cap
+        return cap
+
+    def on_link_state_change(self, link_name: str) -> None:
+        """React to a link failing or recovering: re-derive capacities and
+        re-share bandwidth (flows pinned to a failed link starve at the
+        residual rate until cancelled or the link returns)."""
+        self.topology.link(link_name)  # validate
+        for direction in list(self._capacity_cache):
+            if direction.link_name == link_name:
+                del self._capacity_cache[direction]
+        self._reallocate()
+
+    # -- public API -------------------------------------------------------------
+
+    def start_transfer(
+        self,
+        directions: Sequence[LinkDirection],
+        nbytes: float,
+        ceiling_bps: float = inf,
+        label: str = "",
+        startup_deficit_bytes: float = 0.0,
+    ) -> Transfer:
+        """Begin a fluid transfer; returns a handle whose ``done`` signal
+        fires with a :class:`TransferResult`.
+
+        ``startup_deficit_bytes`` adds wire bytes representing the
+        slow-start ramp deficit (computed by the caller's TCP model from
+        the estimated initial rate).
+        """
+        if nbytes <= 0:
+            raise TransferError(f"transfer size must be positive, got {nbytes}")
+        if startup_deficit_bytes < 0:
+            raise TransferError("startup deficit cannot be negative")
+        if not directions and not isfinite(ceiling_bps):
+            raise TransferError("transfer needs a path or a finite rate ceiling")
+        flow_id = next(self._ids)
+        wire = nbytes + startup_deficit_bytes
+        transfer = Transfer(
+            flow_id=flow_id,
+            label=label or f"flow-{flow_id}",
+            spec=FlowSpec(flow_id, tuple(directions), ceiling_bps),
+            payload_bytes=nbytes,
+            wire_bytes=wire,
+            start_time=self.sim.now,
+            done=Signal(self.sim, name=f"transfer-{flow_id}"),
+            remaining_bytes=wire,
+            _last_update=self.sim.now,
+        )
+        self._flows[flow_id] = transfer
+        self.tracer.emit(
+            self.sim.now, "net.engine", "flow_start",
+            flow=flow_id, label=transfer.label, bytes=int(nbytes),
+        )
+        self._reallocate()
+        return transfer
+
+    def estimate_rate(
+        self, directions: Sequence[LinkDirection], ceiling_bps: float = inf
+    ) -> float:
+        """Rate a new flow would get right now (phantom allocation)."""
+        phantom = FlowSpec("__phantom__", tuple(directions), ceiling_bps)
+        specs = [t.spec for t in self._flows.values()] + [phantom]
+        alloc = self._allocate(specs)
+        return alloc["__phantom__"]
+
+    def cancel(self, transfer: Transfer) -> None:
+        """Abort an in-flight transfer; its ``done`` signal fails."""
+        if transfer.finished or transfer.flow_id not in self._flows:
+            return
+        self._drain_all()
+        self._remove(transfer)
+        transfer.done.fail(TransferError(f"transfer {transfer.label} cancelled"))
+        self._reallocate()
+
+    @property
+    def active_count(self) -> int:
+        return len(self._flows)
+
+    def active_transfers(self) -> List[Transfer]:
+        return list(self._flows.values())
+
+    def utilization_of(self, direction: LinkDirection) -> float:
+        """Fraction of a link direction's capacity currently allocated."""
+        cap = self.capacity_of(direction)
+        used = sum(
+            t.rate_bps for t in self._flows.values() if direction in t.spec.resources
+        )
+        return used / cap
+
+    # -- internals -----------------------------------------------------------
+
+    def _allocate(self, specs: List[FlowSpec]) -> Dict[Hashable, float]:
+        capacities: Dict[LinkDirection, float] = {}
+        for spec in specs:
+            for r in spec.resources:
+                if r not in capacities:
+                    capacities[r] = self.capacity_of(r)
+        return max_min_allocation(specs, capacities)
+
+    def _drain_all(self) -> None:
+        """Credit progress to every flow up to the current instant."""
+        now = self.sim.now
+        for t in self._flows.values():
+            elapsed = now - t._last_update
+            if elapsed > 0:
+                t.remaining_bytes = max(
+                    0.0, t.remaining_bytes - units.bytes_per_sec(t.rate_bps) * elapsed
+                )
+            t._last_update = now
+
+    def _reallocate(self) -> None:
+        self._drain_all()
+        if not self._flows:
+            return
+        alloc = self._allocate([t.spec for t in self._flows.values()])
+        for t in self._flows.values():
+            t.rate_bps = alloc[t.flow_id]
+            if t._completion_handle is not None:
+                t._completion_handle.cancel()
+                t._completion_handle = None
+            if t.remaining_bytes <= 1e-9:
+                # Completed exactly at this instant.
+                self.sim.schedule(0.0, lambda t=t: self._complete(t))
+            elif t.rate_bps > 0:
+                eta = units.transfer_seconds(t.remaining_bytes, t.rate_bps)
+                t._completion_handle = self.sim.schedule(eta, lambda t=t: self._complete(t))
+            # rate == 0: flow is starved; it stays until a reallocation frees capacity
+
+    def _complete(self, transfer: Transfer) -> None:
+        if transfer.finished or transfer.flow_id not in self._flows:
+            return
+        self._drain_all()
+        if transfer.remaining_bytes > 1e-6:
+            # Stale completion event (rate changed since scheduling); the
+            # reallocation that changed it scheduled a fresh one.
+            return
+        self._remove(transfer)
+        result = TransferResult(
+            label=transfer.label,
+            nbytes=transfer.payload_bytes,
+            start_time=transfer.start_time,
+            end_time=self.sim.now,
+        )
+        self.tracer.emit(
+            self.sim.now, "net.engine", "flow_end",
+            flow=transfer.flow_id, label=transfer.label,
+            duration=round(result.duration_s, 6),
+        )
+        transfer.done.trigger(result)
+        self._reallocate()
+
+    def _remove(self, transfer: Transfer) -> None:
+        if transfer._completion_handle is not None:
+            transfer._completion_handle.cancel()
+            transfer._completion_handle = None
+        self._flows.pop(transfer.flow_id, None)

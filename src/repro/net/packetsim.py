@@ -1,0 +1,138 @@
+"""Packet-level AIMD cross-validation of the fluid flow model.
+
+The transfer engine assumes TCP flows sharing a bottleneck converge to
+max-min fair shares (fluid approximation).  This module implements the
+thing being approximated — a slotted, packet-level simulation of AIMD
+(additive-increase multiplicative-decrease) flows over one drop-tail
+bottleneck — so tests can check the approximation instead of trusting it.
+
+It is intentionally simple (fixed RTT per flow, synchronous slots, tail
+drop) but captures the dynamics that matter for fairness: window growth,
+loss-synchronized backoff, and RTT bias.  Used by the validation tests
+and available for anyone extending the fluid model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import units
+
+__all__ = ["AimdFlow", "BottleneckSim", "simulate_shares"]
+
+
+@dataclass
+class AimdFlow:
+    """One AIMD (TCP-Reno-like) flow."""
+
+    flow_id: int
+    rtt_s: float
+    mss_bytes: int = units.DEFAULT_MSS
+    cwnd_segments: float = 2.0
+    #: per-ack additive increase is 1/cwnd (classic Reno)
+    bytes_delivered: float = 0.0
+    losses: int = 0
+
+    def on_ack_round(self) -> None:
+        self.cwnd_segments += 1.0  # +1 MSS per RTT
+
+    def on_loss(self) -> None:
+        self.cwnd_segments = max(1.0, self.cwnd_segments / 2.0)
+        self.losses += 1
+
+    def offered_bps(self) -> float:
+        return self.cwnd_segments * self.mss_bytes * units.BITS_PER_BYTE / self.rtt_s
+
+
+class BottleneckSim:
+    """Slotted simulation of AIMD flows over one drop-tail bottleneck.
+
+    Each slot lasts ``slot_s``; every flow offers ``cwnd/rtt`` worth of
+    bytes per slot.  If the aggregate exceeds the link capacity plus the
+    buffer, the overflow is dropped proportionally to each flow's offered
+    load and affected flows halve their windows (synchronized loss — the
+    worst case for fairness, hence a conservative validation).
+    """
+
+    def __init__(
+        self,
+        capacity_bps: float,
+        flows: Sequence[AimdFlow],
+        slot_s: float = 0.01,
+        buffer_bytes: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if capacity_bps <= 0 or slot_s <= 0:
+            raise ValueError("capacity and slot must be positive")
+        if not flows:
+            raise ValueError("need at least one flow")
+        self.capacity_bps = capacity_bps
+        self.flows = list(flows)
+        self.slot_s = slot_s
+        # default buffer: one bandwidth-delay product at the mean RTT
+        mean_rtt = float(np.mean([f.rtt_s for f in flows]))
+        self.buffer_bytes = (
+            buffer_bytes if buffer_bytes is not None
+            else units.bytes_per_sec(capacity_bps) * mean_rtt
+        )
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.time_s = 0.0
+        self._since_ack: Dict[int, float] = {f.flow_id: 0.0 for f in flows}
+
+    def step(self) -> None:
+        cap_bytes = units.bytes_per_sec(self.capacity_bps) * self.slot_s
+        offered = np.array([
+            units.bytes_per_sec(f.offered_bps()) * self.slot_s for f in self.flows
+        ])
+        total = offered.sum()
+        budget = cap_bytes + self.buffer_bytes * self.slot_s  # drained buffer share
+        if total <= budget:
+            delivered = offered
+            overloaded = np.zeros(len(self.flows), dtype=bool)
+        else:
+            # proportional service; each in-flight packet faces the same
+            # per-packet drop fraction q, so a flow's chance of seeing at
+            # least one drop grows with its packets in flight (Reno's
+            # regime: equal per-packet loss -> throughput ~ 1/RTT)
+            delivered = offered * (budget / total)
+            q = (total - budget) / total
+            packets = offered / self.flows[0].mss_bytes
+            p_loss = 1.0 - np.power(1.0 - min(q, 0.999), np.maximum(packets, 1.0))
+            overloaded = self.rng.random(len(self.flows)) < p_loss
+        for i, flow in enumerate(self.flows):
+            flow.bytes_delivered += float(delivered[i])
+            if overloaded[i]:
+                flow.on_loss()
+                self._since_ack[flow.flow_id] = 0.0
+            else:
+                self._since_ack[flow.flow_id] += self.slot_s
+                if self._since_ack[flow.flow_id] >= flow.rtt_s:
+                    flow.on_ack_round()
+                    self._since_ack[flow.flow_id] = 0.0
+        self.time_s += self.slot_s
+
+    def run(self, duration_s: float) -> None:
+        steps = int(duration_s / self.slot_s)
+        for _ in range(steps):
+            self.step()
+
+    def measured_shares_bps(self, warmup_s: float = 0.0) -> List[float]:
+        """Long-run delivered throughput per flow (bps)."""
+        window = max(self.time_s - warmup_s, self.slot_s)
+        return [f.bytes_delivered * units.BITS_PER_BYTE / window for f in self.flows]
+
+
+def simulate_shares(
+    capacity_bps: float,
+    rtts_s: Sequence[float],
+    duration_s: float = 60.0,
+    seed: int = 0,
+) -> List[float]:
+    """Convenience: long-run AIMD shares of N flows on one bottleneck."""
+    flows = [AimdFlow(i, rtt) for i, rtt in enumerate(rtts_s)]
+    sim = BottleneckSim(capacity_bps, flows, rng=np.random.default_rng(seed))
+    sim.run(duration_s)
+    return sim.measured_shares_bps()

@@ -1,0 +1,89 @@
+"""Token-bucket policer.
+
+The case study's key artifact is a rate-limited exchange hop (the
+``pacificwave`` egress toward Google).  The fluid flow engine models a
+policed link direction simply as a capacity cap
+(:meth:`repro.net.topology.Link.effective_capacity_bps`); this module
+provides the full token-bucket mechanics used by the middlebox tests and
+by anyone modeling bursty arrivals explicitly.
+
+Tokens accrue at ``rate_bps`` up to ``burst_bytes``; an arrival conforming
+to the bucket passes immediately, otherwise it is delayed (shaping) or
+dropped (policing) depending on the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+
+__all__ = ["TokenBucket"]
+
+
+@dataclass
+class TokenBucket:
+    """Classic token bucket, advanced explicitly with simulated time.
+
+    >>> tb = TokenBucket(rate_bps=8e6, burst_bytes=1_000_000)
+    >>> tb.consume(500_000, now=0.0)       # within burst
+    0.0
+    >>> delay = tb.consume(1_000_000, now=0.0)   # must wait for tokens
+    >>> round(delay, 3)
+    0.5
+    """
+
+    rate_bps: float
+    burst_bytes: float
+    _tokens: float = None  # type: ignore[assignment]
+    _last: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate_bps}")
+        if self.burst_bytes <= 0:
+            raise ValueError(f"burst must be positive, got {self.burst_bytes}")
+        if self._tokens is None:
+            self._tokens = float(self.burst_bytes)
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently in the bucket (bytes), as of the last update."""
+        return self._tokens
+
+    def _advance(self, now: float) -> None:
+        if now < self._last:
+            raise ValueError(f"time went backwards: {now} < {self._last}")
+        self._tokens = min(
+            self.burst_bytes,
+            self._tokens + units.bytes_per_sec(self.rate_bps) * (now - self._last),
+        )
+        self._last = now
+
+    def peek_delay(self, nbytes: float, now: float) -> float:
+        """Delay a conforming sender must wait before *nbytes* may pass."""
+        self._advance(now)
+        deficit = nbytes - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / units.bytes_per_sec(self.rate_bps)
+
+    def consume(self, nbytes: float, now: float) -> float:
+        """Consume *nbytes*, going into debt if needed; returns the delay.
+
+        The returned delay is how long the traffic is held back (shaping
+        semantics).  The bucket balance may go negative, which delays
+        subsequent arrivals further — this matches a shaper with a queue.
+        """
+        delay = self.peek_delay(nbytes, now)
+        self._tokens -= nbytes
+        return delay
+
+    def would_drop(self, nbytes: float, now: float) -> bool:
+        """Policing semantics: would a strict policer drop this burst?"""
+        self._advance(now)
+        return nbytes > self._tokens
+
+    def sustained_rate_bps(self) -> float:
+        """Long-run rate a policed aggregate can achieve (= the rate)."""
+        return self.rate_bps

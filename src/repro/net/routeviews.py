@@ -1,0 +1,142 @@
+"""RouteViews-style BGP monitoring and policy-anomaly detection.
+
+The paper's discussion: "routing table monitoring systems such as
+RouteViews might assist in our understanding.  Certainly, RouteViews is
+more sophisticated than our current use of traceroute."  This module is
+that assistant:
+
+* :class:`RouteCollector` — collects every AS's selected route toward a
+  destination (a RouteViews RIB snapshot for the simulated Internet) and
+  groups observers by divergent next hops;
+* :func:`detect_policy_anomalies` — the case study's key lesson encoded:
+  compares the *control plane* (the BGP path the source's AS selected)
+  against the *forwarding plane* (the AS sequence packets actually take,
+  PBR included).  The pacificwave artifact is invisible in BGP — both
+  UBC and UAlberta sit behind CANARIE's Google peering — and only shows
+  up as a control/forwarding mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.net.bgp import BgpRoute, BgpRouteComputer
+from repro.net.routing import ResolvedPath, Router
+
+__all__ = ["RibEntry", "RouteCollector", "PolicyAnomaly", "detect_policy_anomalies"]
+
+
+@dataclass(frozen=True)
+class RibEntry:
+    """One observer's selected route toward a destination AS."""
+
+    observer_asn: int
+    dest_asn: int
+    as_path: Tuple[int, ...]
+    route_type: str
+
+    def render(self) -> str:
+        path = " ".join(str(a) for a in self.as_path)
+        return f"AS{self.observer_asn:<6} {path}  [{self.route_type}]"
+
+
+class RouteCollector:
+    """A RouteViews-like view over the simulated AS-level routing system."""
+
+    def __init__(self, bgp: BgpRouteComputer):
+        self.bgp = bgp
+
+    def rib(self, dest_asn: int) -> List[RibEntry]:
+        """Every AS's selected route toward *dest_asn* (reachable only)."""
+        table = self.bgp.table_for(dest_asn)
+        return [
+            RibEntry(asn, dest_asn, route.path, route.route_type.name.lower())
+            for asn, route in sorted(table.items())
+        ]
+
+    def dump(self, dest_asn: int) -> str:
+        """``show ip bgp``-style text dump of the RIB snapshot."""
+        entries = self.rib(dest_asn)
+        name = self.bgp.graph.ases[dest_asn].name
+        lines = [f"RIB snapshot toward AS{dest_asn} ({name}): {len(entries)} observers"]
+        lines.extend("  " + e.render() for e in entries)
+        return "\n".join(lines)
+
+    def observers_by_next_hop(self, dest_asn: int) -> Dict[int, List[int]]:
+        """Group observers by their next AS toward the destination."""
+        groups: Dict[int, List[int]] = {}
+        for entry in self.rib(dest_asn):
+            if entry.observer_asn == dest_asn:
+                continue
+            groups.setdefault(entry.as_path[1], []).append(entry.observer_asn)
+        return groups
+
+    def path_disagreement(self, a_asn: int, b_asn: int, dest_asn: int) -> Tuple[int, ...]:
+        """Longest common AS-path *suffix* of two observers toward dest.
+
+        The paper's UBC/UAlberta traces share everything from CANARIE
+        onward at the BGP level; a short common suffix signals genuinely
+        different routing rather than a local policy artifact.
+        """
+        pa = self.bgp.best_route(a_asn, dest_asn).path
+        pb = self.bgp.best_route(b_asn, dest_asn).path
+        common: List[int] = []
+        for x, y in zip(reversed(pa), reversed(pb)):
+            if x != y:
+                break
+            common.append(x)
+        return tuple(reversed(common))
+
+
+@dataclass(frozen=True)
+class PolicyAnomaly:
+    """A control-plane vs forwarding-plane divergence for one flow."""
+
+    src_host: str
+    dst_host: str
+    bgp_as_path: Tuple[int, ...]
+    forwarding_as_sequence: Tuple[int, ...]
+
+    @property
+    def extra_ases(self) -> Tuple[int, ...]:
+        """ASes the packets visit that BGP never selected."""
+        return tuple(a for a in self.forwarding_as_sequence if a not in self.bgp_as_path)
+
+    def render(self) -> str:
+        return (
+            f"{self.src_host} -> {self.dst_host}: BGP says "
+            f"{'-'.join(map(str, self.bgp_as_path))} but forwarding takes "
+            f"{'-'.join(map(str, self.forwarding_as_sequence))} "
+            f"(extra: {', '.join(f'AS{a}' for a in self.extra_ases) or 'none'})"
+        )
+
+
+def detect_policy_anomalies(
+    router: Router,
+    src_hosts: Sequence[str],
+    dst_host: str,
+) -> List[PolicyAnomaly]:
+    """Flag flows whose forwarding AS sequence deviates from BGP's choice.
+
+    A deviation means something below BGP — policy-based routing, traffic
+    engineering, an exchange-fabric detour — steers the traffic; exactly
+    the class of inefficiency the case study catalogs.
+    """
+    dst = router.topology.node(dst_host)
+    anomalies: List[PolicyAnomaly] = []
+    for src_name in src_hosts:
+        src = router.topology.node(src_name)
+        path: ResolvedPath = router.resolve(src_name, dst_host)
+        if src.asn == dst.asn:
+            bgp_path: Tuple[int, ...] = (src.asn,)
+        else:
+            bgp_path = router.bgp.best_route(src.asn, dst.asn).path
+        if path.as_sequence != bgp_path:
+            anomalies.append(PolicyAnomaly(
+                src_host=src_name,
+                dst_host=dst_host,
+                bgp_as_path=bgp_path,
+                forwarding_as_sequence=path.as_sequence,
+            ))
+    return anomalies

@@ -1,0 +1,125 @@
+"""TCP effective-throughput model.
+
+The flow engine is fluid: a transfer drains at its max-min fair share of
+path capacity.  Real TCP deviates from the fluid ideal in three ways that
+matter to the paper's measurements:
+
+1. **connection setup** — SYN handshake (1 RTT) plus optional TLS (2 RTT),
+2. **slow start** — the congestion window ramps from IW segments, doubling
+   per RTT, so short transfers never reach the fair share (this produces
+   the fixed-cost intercept visible in the paper's small-file points),
+3. **loss ceiling** — on lossy paths the window is loss-limited; we use
+   the Mathis model ``rate <= C * MSS / (RTT * sqrt(p))``, which is what
+   makes congested peerings (Purdue -> Google) so much worse than their
+   raw capacity.
+
+:class:`TcpModel` converts a resolved path into :class:`TcpPathParams` and
+answers two questions: the flow's *rate ceiling* (fed to the max-min
+allocator) and the *startup penalty* (extra time before fluid service
+begins, given the initial rate).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import units
+
+__all__ = ["TcpPathParams", "TcpModel", "mathis_ceiling_bps", "slow_start_penalty_s"]
+
+#: Mathis et al. constant for periodic loss, sqrt(3/2).
+MATHIS_C = math.sqrt(1.5)
+
+
+def mathis_ceiling_bps(rtt_s: float, loss: float, mss_bytes: int = units.DEFAULT_MSS) -> float:
+    """Loss-limited steady-state TCP throughput (Mathis model).
+
+    Returns +inf for loss-free paths (no ceiling).
+    """
+    if rtt_s <= 0:
+        raise ValueError(f"rtt must be positive, got {rtt_s}")
+    if not (0.0 <= loss < 1.0):
+        raise ValueError(f"loss must be in [0,1), got {loss}")
+    if loss == 0.0:
+        return math.inf
+    return MATHIS_C * mss_bytes * units.BITS_PER_BYTE / (rtt_s * math.sqrt(loss))
+
+
+def slow_start_penalty_s(
+    target_rate_bps: float,
+    rtt_s: float,
+    mss_bytes: int = units.DEFAULT_MSS,
+    initial_window_segments: int = 10,
+) -> float:
+    """Extra completion time caused by the slow-start ramp.
+
+    During slow start the window doubles each RTT starting from
+    ``IW * MSS`` bytes/RTT; a fluid model would instead serve at
+    ``target_rate_bps`` from t=0.  The penalty is the time-equivalent of
+    the byte deficit accumulated before the window reaches the target
+    rate.  Zero when the target is reached within the initial window.
+    """
+    if target_rate_bps <= 0 or rtt_s <= 0:
+        raise ValueError("target rate and rtt must be positive")
+    iw_bytes = initial_window_segments * mss_bytes
+    target_bytes_per_rtt = units.bytes_per_sec(target_rate_bps) * rtt_s
+    if target_bytes_per_rtt <= iw_bytes:
+        return 0.0
+    # number of doubling rounds until window >= target
+    rounds = math.ceil(math.log2(target_bytes_per_rtt / iw_bytes))
+    sent = iw_bytes * (2**rounds - 1)  # geometric sum over the ramp
+    fluid = target_bytes_per_rtt * rounds
+    deficit = max(0.0, fluid - sent)
+    return deficit / units.bytes_per_sec(target_rate_bps)
+
+
+@dataclass(frozen=True)
+class TcpPathParams:
+    """Path-level inputs for one TCP connection."""
+
+    rtt_s: float
+    loss: float
+    mss_bytes: int = units.DEFAULT_MSS
+
+    @property
+    def loss_ceiling_bps(self) -> float:
+        return mathis_ceiling_bps(self.rtt_s, self.loss, self.mss_bytes)
+
+
+class TcpModel:
+    """Per-connection TCP cost model shared by all transfer tools."""
+
+    def __init__(
+        self,
+        initial_window_segments: int = 10,
+        tls_round_trips: float = 2.0,
+        handshake_round_trips: float = 1.0,
+    ):
+        self.initial_window_segments = initial_window_segments
+        self.tls_round_trips = tls_round_trips
+        self.handshake_round_trips = handshake_round_trips
+
+    def connect_time_s(self, path: TcpPathParams, tls: bool = False) -> float:
+        """Time before the first payload byte can be sent."""
+        rtts = self.handshake_round_trips + (self.tls_round_trips if tls else 0.0)
+        return rtts * path.rtt_s
+
+    def rate_ceiling_bps(self, path: TcpPathParams) -> float:
+        """Per-connection ceiling imposed by loss/RTT (Mathis)."""
+        return path.loss_ceiling_bps
+
+    def startup_penalty_s(self, path: TcpPathParams, target_rate_bps: float) -> float:
+        """Slow-start deficit time for this path at the given target rate."""
+        if not math.isfinite(target_rate_bps):
+            raise ValueError("target rate must be finite for the ramp model")
+        return slow_start_penalty_s(
+            target_rate_bps,
+            path.rtt_s,
+            path.mss_bytes,
+            self.initial_window_segments,
+        )
+
+    def request_response_time_s(self, path: TcpPathParams, server_time_s: float = 0.0) -> float:
+        """Cost of one small request/response exchange on a warm connection."""
+        return path.rtt_s + server_time_s

@@ -1,0 +1,24 @@
+"""Overlay-network context: RON-style probing and TIV cataloging.
+
+The paper frames routing detours within the resilient-overlay-network
+(RON [1]) lineage and observes that triangle-inequality violations (TIV),
+long known for latency, also exist for *bandwidth* to cloud providers.
+This package provides the overlay substrate: a probing mesh with EWMA
+link estimates, single-hop indirection path selection (RON's key idea),
+and a TIV catalog over both metrics.
+"""
+
+from repro.overlay.probing import LinkEstimate, ProbeMesh
+from repro.overlay.ron import OverlayPath, ResilientOverlay
+from repro.overlay.tiv import TivRecord, bandwidth_tiv, catalog_tivs, latency_tiv
+
+__all__ = [
+    "LinkEstimate",
+    "OverlayPath",
+    "ProbeMesh",
+    "ResilientOverlay",
+    "TivRecord",
+    "bandwidth_tiv",
+    "catalog_tivs",
+    "latency_tiv",
+]

@@ -1,0 +1,124 @@
+"""Resilient-overlay (RON-style) single-hop indirection.
+
+RON's central result is that one level of indirection through an overlay
+member recovers most of the routing-inefficiency losses; the paper's
+detours are the cloud-storage instance of the same idea.  Given a probe
+mesh, :class:`ResilientOverlay` selects the best direct-or-one-hop path
+between overlay members by predicted transfer time, and can execute
+transfers over the selected path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro import units
+from repro.errors import SelectionError
+from repro.overlay.probing import ProbeMesh
+from repro.transfer.files import FileSpec
+from repro.transfer.rsync import RsyncSession
+
+__all__ = ["OverlayPath", "ResilientOverlay"]
+
+
+@dataclass(frozen=True)
+class OverlayPath:
+    """A selected overlay path: direct or via one relay member."""
+
+    src: str
+    dst: str
+    relay: Optional[str]
+    predicted_s: float
+
+    @property
+    def is_direct(self) -> bool:
+        return self.relay is None
+
+    def hops(self) -> List[Tuple[str, str]]:
+        if self.relay is None:
+            return [(self.src, self.dst)]
+        return [(self.src, self.relay), (self.relay, self.dst)]
+
+    def describe(self) -> str:
+        route = "direct" if self.relay is None else f"via {self.relay}"
+        return f"{self.src} -> {self.dst} [{route}] predicted {self.predicted_s:.2f}s"
+
+
+class ResilientOverlay:
+    """Path selection + execution over a probed overlay mesh."""
+
+    def __init__(self, mesh: ProbeMesh, per_hop_overhead_s: float = 1.0):
+        if per_hop_overhead_s < 0:
+            raise SelectionError("per-hop overhead cannot be negative")
+        self.mesh = mesh
+        #: fixed cost charged per store-and-forward hop (handshakes etc.)
+        self.per_hop_overhead_s = per_hop_overhead_s
+
+    # -- prediction --------------------------------------------------------
+
+    def _hop_time(self, src: str, dst: str, size_bytes: int) -> Optional[float]:
+        est = self.mesh.estimate(src, dst)
+        if est.samples == 0 or not est.bandwidth_bps:
+            return None
+        return self.per_hop_overhead_s + units.transfer_seconds(size_bytes, est.bandwidth_bps)
+
+    def predict(self, src: str, dst: str, size_bytes: int,
+                relay: Optional[str]) -> Optional[float]:
+        """Predicted store-and-forward time; None without probe data."""
+        if relay is None:
+            return self._hop_time(src, dst, size_bytes)
+        t1 = self._hop_time(src, relay, size_bytes)
+        t2 = self._hop_time(relay, dst, size_bytes)
+        if t1 is None or t2 is None:
+            return None
+        return t1 + t2
+
+    def select_path(self, src: str, dst: str, size_bytes: int) -> OverlayPath:
+        """Best direct-or-one-hop path by predicted time."""
+        if src == dst:
+            raise SelectionError("src and dst are the same overlay member")
+        for member in (src, dst):
+            if member not in self.mesh.members:
+                raise SelectionError(f"{member!r} is not an overlay member")
+        candidates: List[OverlayPath] = []
+        direct = self.predict(src, dst, size_bytes, relay=None)
+        if direct is not None:
+            candidates.append(OverlayPath(src, dst, None, direct))
+        for relay in self.mesh.members:
+            if relay in (src, dst):
+                continue
+            pred = self.predict(src, dst, size_bytes, relay)
+            if pred is not None:
+                candidates.append(OverlayPath(src, dst, relay, pred))
+        if not candidates:
+            raise SelectionError(
+                f"no probe data for {src}->{dst}; run mesh.probe_round() first"
+            )
+        return min(candidates, key=lambda p: (p.predicted_s, p.relay or ""))
+
+    # -- execution -----------------------------------------------------------
+
+    def transfer(self, path: OverlayPath, spec: FileSpec):
+        """Coroutine: execute *spec* over *path* (rsync store-and-forward).
+
+        Returns (elapsed_s, per-hop durations).
+        """
+        world = self.mesh.world
+        session = RsyncSession(world.engine, world.router, world.tcp)
+        start = world.sim.now
+        hop_times: List[float] = []
+        for src, dst in path.hops():
+            hop_start = world.sim.now
+            yield from session.push(src, dst, spec)
+            hop_times.append(world.sim.now - hop_start)
+        return world.sim.now - start, hop_times
+
+    def send(self, src: str, dst: str, spec: FileSpec):
+        """Coroutine: select the best path and transfer over it.
+
+        Returns (OverlayPath, elapsed_s).
+        """
+        path = self.select_path(src, dst, spec.size_bytes)
+        elapsed, _ = yield from self.transfer(path, spec)
+        return path, elapsed

@@ -1,0 +1,110 @@
+"""Triangle-inequality-violation (TIV) cataloging.
+
+Prior work (paper refs [20]-[22]) documents latency TIVs: d(a,c) >
+d(a,b) + d(b,c).  The paper's contribution is observing the *bandwidth*
+analogue for cloud-storage traffic: a relay path whose end-to-end
+throughput exceeds the direct path's.  These helpers detect and catalog
+both, from either a probe mesh or resolved-path ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.world import World
+from repro.errors import SelectionError
+from repro.overlay.probing import ProbeMesh
+
+__all__ = ["TivRecord", "latency_tiv", "bandwidth_tiv", "catalog_tivs"]
+
+
+@dataclass(frozen=True)
+class TivRecord:
+    """One detected violation."""
+
+    kind: str  # "latency" | "bandwidth"
+    src: str
+    relay: str
+    dst: str
+    direct_value: float
+    via_value: float
+
+    @property
+    def severity(self) -> float:
+        """How much better the relay path is (ratio > 1)."""
+        if self.kind == "latency":
+            return self.direct_value / self.via_value
+        return self.via_value / self.direct_value
+
+    def describe(self) -> str:
+        unit = "s RTT" if self.kind == "latency" else "bps"
+        return (
+            f"{self.kind} TIV {self.src}->{self.dst} via {self.relay}: "
+            f"direct {self.direct_value:.4g}{unit}, via {self.via_value:.4g}{unit} "
+            f"({self.severity:.2f}x)"
+        )
+
+
+def latency_tiv(rtt_direct_s: float, rtt_leg1_s: float, rtt_leg2_s: float,
+                margin: float = 1.0) -> bool:
+    """Is the two-leg RTT shorter than the direct RTT (by > margin ratio)?"""
+    if min(rtt_direct_s, rtt_leg1_s, rtt_leg2_s) <= 0:
+        raise SelectionError("RTTs must be positive")
+    return rtt_direct_s > margin * (rtt_leg1_s + rtt_leg2_s)
+
+
+def bandwidth_tiv(bw_direct_bps: float, bw_leg1_bps: float, bw_leg2_bps: float,
+                  margin: float = 1.0) -> bool:
+    """Does the relay path sustain more throughput than the direct path?
+
+    A store-and-forward relay path's throughput for large files is the
+    harmonic composition ``1 / (1/b1 + 1/b2)`` (time adds); a pipelined
+    relay achieves ``min(b1, b2)``.  We use the pipelined bound — the
+    strongest claim — matching how TIV severity is usually reported.
+    """
+    if min(bw_direct_bps, bw_leg1_bps, bw_leg2_bps) <= 0:
+        raise SelectionError("bandwidths must be positive")
+    return min(bw_leg1_bps, bw_leg2_bps) > margin * bw_direct_bps
+
+
+def catalog_tivs(
+    mesh: ProbeMesh,
+    margin: float = 1.05,
+    kinds: Sequence[str] = ("latency", "bandwidth"),
+) -> List[TivRecord]:
+    """Scan a probed mesh for all (src, relay, dst) violations.
+
+    ``margin`` filters out noise-level violations (default: relay must be
+    5% better).  Pairs without probe data are skipped.
+    """
+    records: List[TivRecord] = []
+    members = mesh.members
+    for src in members:
+        for dst in members:
+            if src == dst:
+                continue
+            direct = mesh.estimate(src, dst)
+            if direct.samples == 0:
+                continue
+            for relay in members:
+                if relay in (src, dst):
+                    continue
+                leg1 = mesh.estimate(src, relay)
+                leg2 = mesh.estimate(relay, dst)
+                if leg1.samples == 0 or leg2.samples == 0:
+                    continue
+                if "latency" in kinds and latency_tiv(
+                        direct.rtt_s, leg1.rtt_s, leg2.rtt_s, margin):
+                    records.append(TivRecord(
+                        "latency", src, relay, dst,
+                        direct.rtt_s, leg1.rtt_s + leg2.rtt_s))
+                if "bandwidth" in kinds and bandwidth_tiv(
+                        direct.bandwidth_bps, leg1.bandwidth_bps,
+                        leg2.bandwidth_bps, margin):
+                    records.append(TivRecord(
+                        "bandwidth", src, relay, dst,
+                        direct.bandwidth_bps,
+                        min(leg1.bandwidth_bps, leg2.bandwidth_bps)))
+    records.sort(key=lambda r: -r.severity)
+    return records

@@ -1,0 +1,36 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free, generator-based DES in the style of SimPy:
+
+* :class:`~repro.sim.kernel.Simulator` — event heap + virtual clock,
+* :class:`~repro.sim.kernel.Process` — coroutine processes that ``yield``
+  delays, signals, other processes, or combinators,
+* :class:`~repro.sim.rng.RngRegistry` — named, seeded random streams so
+  every experiment is reproducible from a single master seed,
+* :class:`~repro.sim.trace.Tracer` — structured event log.
+"""
+
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    Process,
+    Signal,
+    Simulator,
+    Timeout,
+)
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Process",
+    "RngRegistry",
+    "Signal",
+    "Simulator",
+    "Timeout",
+    "TraceEvent",
+    "Tracer",
+]

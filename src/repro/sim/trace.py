@@ -1,0 +1,107 @@
+"""Structured event tracing.
+
+Components emit :class:`TraceEvent` records (time, component, kind, fields)
+into a :class:`Tracer`.  Traces power the per-transfer timelines used by the
+analysis layer and make failed tests debuggable without print statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One record in a trace."""
+
+    time: float
+    component: str
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        kv = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"[{self.time:12.6f}] {self.component:<24} {self.kind:<20} {kv}"
+
+
+class Tracer:
+    """Collects trace events; optionally filtered and bounded.
+
+    Parameters
+    ----------
+    enabled:
+        If False, :meth:`emit` is a no-op (fast path for benchmarks).
+    max_events:
+        Ring-buffer bound; oldest events are dropped beyond it.
+    """
+
+    def __init__(self, enabled: bool = True, max_events: int = 1_000_000):
+        self.enabled = enabled
+        self.max_events = max_events
+        self._events: List[TraceEvent] = []
+        self._dropped = 0
+        self._subscribers: List[Callable[[TraceEvent], None]] = []
+
+    def emit(self, time: float, component: str, kind: str, **fields: Any) -> None:
+        """Record one event."""
+        if not self.enabled:
+            return
+        ev = TraceEvent(time, component, kind, fields)
+        if len(self._events) >= self.max_events:
+            self._events.pop(0)
+            self._dropped += 1
+        self._events.append(ev)
+        for sub in self._subscribers:
+            sub(ev)
+
+    def subscribe(self, fn: Callable[[TraceEvent], None]) -> None:
+        """Invoke *fn* on every future event (live monitoring hooks)."""
+        self._subscribers.append(fn)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def filter(
+        self,
+        component: Optional[str] = None,
+        kind: Optional[str] = None,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+    ) -> List[TraceEvent]:
+        """Events matching all given criteria (prefix match on component)."""
+        out = []
+        for ev in self._events:
+            if component is not None and not ev.component.startswith(component):
+                continue
+            if kind is not None and ev.kind != kind:
+                continue
+            if not (since <= ev.time <= until):
+                continue
+            out.append(ev)
+        return out
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._dropped = 0
+
+    def dump(self, limit: int = 200) -> str:
+        """Human-readable tail of the trace."""
+        tail = self._events[-limit:]
+        lines = [str(ev) for ev in tail]
+        if self._dropped or len(self._events) > limit:
+            lines.insert(0, f"... ({len(self._events) - len(tail)} earlier events not shown, {self._dropped} dropped)")
+        return "\n".join(lines)

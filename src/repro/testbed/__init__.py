@@ -1,0 +1,45 @@
+"""The calibrated case-study testbed.
+
+Builds the full simulated world of the paper's evaluation — PlanetLab
+vantage points (UBC, Purdue, UCLA, UMich), the UAlberta cluster, the
+research networks (CANARIE, Internet2, BCNET, Cybera), commodity transit,
+the Pacific Wave exchange artifact, and the three cloud providers — with
+link parameters calibrated so the measured transfer times reproduce the
+*shape* of the paper's Tables II-IV (see DESIGN.md Sec. 6).
+"""
+
+from repro.testbed.params import CaseStudyParams, DEFAULT_PARAMS
+from repro.testbed.build import build_case_study, build_geo_registry, world_factory
+from repro.testbed.builder import WorldBuilder
+from repro.testbed.dmz import DMZ_DTN_SITE, build_science_dmz_world
+from repro.testbed.validation import (
+    CalibrationCheck,
+    render_validation,
+    validate_calibration,
+)
+from repro.testbed.scenarios import (
+    CLIENTS,
+    PROVIDERS,
+    VIAS,
+    experiment_label,
+    paper_route_set,
+)
+
+__all__ = [
+    "CLIENTS",
+    "CaseStudyParams",
+    "DEFAULT_PARAMS",
+    "CalibrationCheck",
+    "DMZ_DTN_SITE",
+    "build_science_dmz_world",
+    "render_validation",
+    "validate_calibration",
+    "PROVIDERS",
+    "VIAS",
+    "WorldBuilder",
+    "build_case_study",
+    "build_geo_registry",
+    "experiment_label",
+    "paper_route_set",
+    "world_factory",
+]

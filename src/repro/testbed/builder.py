@@ -1,0 +1,262 @@
+"""Declarative world builder for user-defined scenarios.
+
+The calibrated case study (:mod:`repro.testbed.build`) reproduces the
+paper; :class:`WorldBuilder` is for everyone else — model *your* campus,
+*your* providers, *your* policies, and run the same planners, selectors
+and benchmarks against it:
+
+    b = WorldBuilder(seed=7)
+    b.add_site("eth", 47.3769, 8.5417, "Zurich")
+    edu = b.autonomous_system("eth-campus")
+    geant = b.autonomous_system("geant")
+    b.customer(provider=geant, customer=edu)
+    client = b.campus("eth", asn=edu, site="eth", access_bps=mbps(100))
+    ...
+    world = b.build()
+
+The builder handles the bookkeeping the raw APIs expect: address
+allocation, border routers, inter-AS link wiring, DNS registration, and
+validation at ``build()`` time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cloud.provider import CloudProvider, UploadProtocol
+from repro.core.world import World
+from repro.errors import TopologyError
+from repro.geo.coords import GeoPoint
+from repro.geo.sites import Site, SiteKind, SITES, register_site
+from repro.net.address import PrefixAllocator
+from repro.net.asn import ASGraph, AutonomousSystem
+from repro.net.crosstraffic import CrossTrafficConfig, start_sources
+from repro.net.dns import DnsResolver
+from repro.net.engine import NetworkEngine
+from repro.net.policy import PbrRule, PolicyTable
+from repro.net.routing import Router
+from repro.net.tcp import TcpModel
+from repro.net.topology import Link, Node, NodeKind, Topology
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Tracer
+from repro.units import mbps, ms
+
+__all__ = ["WorldBuilder"]
+
+
+class WorldBuilder:
+    """Accumulates a scenario, then wires and validates a :class:`World`."""
+
+    def __init__(self, seed: int = 0, trace: bool = False):
+        self.seed = seed
+        self.trace = trace
+        self._asn_counter = itertools.count(64512)  # private ASN range
+        self._prefix_counter = itertools.count(0)
+        self.topology = Topology()
+        self.as_graph = ASGraph()
+        self.policy = PolicyTable()
+        self._allocators: Dict[int, PrefixAllocator] = {}
+        self._hosts: Dict[str, str] = {}
+        self._dtns: List[Tuple[str, str, Optional[float], Optional[int]]] = []
+        self._providers: List[CloudProvider] = []
+        self._cross: List[CrossTrafficConfig] = []
+        self._built = False
+
+    # -- identity helpers ------------------------------------------------------
+
+    def add_site(self, key: str, lat: float, lon: float, city: str,
+                 kind: SiteKind = SiteKind.CLIENT) -> Site:
+        """Register a geographic site usable by campuses/providers."""
+        return register_site(Site(key, kind, GeoPoint(lat, lon), city))
+
+    def autonomous_system(self, name: str, number: Optional[int] = None) -> int:
+        """Declare an AS; returns its number (auto-assigned if omitted)."""
+        if number is None:
+            number = next(self._asn_counter)
+        self.as_graph.add_as(AutonomousSystem(number, name))
+        self._allocators[number] = PrefixAllocator(
+            f"10.{next(self._prefix_counter) % 200 + 1}.0.0/16"
+        )
+        return number
+
+    def _addr(self, asn: int) -> str:
+        alloc = self._allocators.get(asn)
+        if alloc is None:
+            raise TopologyError(f"AS{asn} was not declared via autonomous_system()")
+        return alloc.host()
+
+    # -- relationships & policy -------------------------------------------------
+
+    def customer(self, provider: int, customer: int) -> "WorldBuilder":
+        self.as_graph.add_customer(provider, customer)
+        return self
+
+    def peer(self, a: int, b: int) -> "WorldBuilder":
+        self.as_graph.add_peering(a, b)
+        return self
+
+    def export_filter(self, announcer: int, neighbor: int, allow) -> "WorldBuilder":
+        self.as_graph.set_export_filter(announcer, neighbor, allow)
+        return self
+
+    def pbr(self, node: str, out_link: str, src_prefixes: Sequence[str] = (),
+            dest_asns: Sequence[int] = (), description: str = "") -> "WorldBuilder":
+        self.policy.install(PbrRule(
+            node=node, out_link=out_link,
+            src_prefixes=frozenset(src_prefixes),
+            dest_asns=frozenset(dest_asns),
+            description=description,
+        ))
+        return self
+
+    # -- structure ---------------------------------------------------------------
+
+    def router(self, name: str, asn: int, site: str = "",
+               hostname: str = "", responds_to_traceroute: bool = True,
+               firewall_per_flow_bps: Optional[float] = None) -> str:
+        """Add a router (or middlebox, when it has a firewall cap)."""
+        kind = NodeKind.MIDDLEBOX if firewall_per_flow_bps else NodeKind.ROUTER
+        self.topology.add_node(Node(
+            name, kind, asn, self._addr(asn), hostname=hostname,
+            site_name=site, responds_to_traceroute=responds_to_traceroute,
+            firewall_per_flow_bps=firewall_per_flow_bps,
+        ))
+        return name
+
+    def campus(self, site_key: str, asn: int, access_bps: float,
+               site: Optional[str] = None, host_name: Optional[str] = None,
+               access_delay_s: float = ms(0.2)) -> str:
+        """A client campus: one host behind one border router.
+
+        Registers the host under *site_key* in ``world.hosts`` so planners
+        can address it by site.
+        """
+        site = site if site is not None else site_key
+        if site not in SITES:
+            raise TopologyError(
+                f"unknown site {site!r}; call add_site() first"
+            )
+        host = host_name or f"{site_key}-host"
+        border = f"{site_key}-border"
+        self.topology.add_node(Node(host, NodeKind.HOST, asn, self._addr(asn),
+                                    site_name=site))
+        self.topology.add_node(Node(border, NodeKind.ROUTER, asn, self._addr(asn),
+                                    site_name=site))
+        self.topology.add_link(Link(host, border, capacity_bps=access_bps,
+                                    delay_s=access_delay_s))
+        self._hosts[site_key] = host
+        return host
+
+    def link(self, a: str, b: str, capacity_bps: float, delay_s: float,
+             loss: float = 0.0, policer_bps: Optional[Dict[str, float]] = None,
+             name: str = "") -> str:
+        link = Link(a, b, capacity_bps=capacity_bps, delay_s=delay_s, loss=loss,
+                    policer_bps=policer_bps or {}, name=name)
+        self.topology.add_link(link)
+        return link.name
+
+    def dtn(self, site_key: str, asn: int, attach_to: str, uplink_bps: float,
+            site: Optional[str] = None, capacity_bytes: Optional[float] = None,
+            max_sessions: Optional[int] = None,
+            uplink_delay_s: float = ms(0.2)) -> str:
+        """A data-transfer node attached to an existing router."""
+        site = site if site is not None else site_key
+        host = f"{site_key}-dtn"
+        self.topology.add_node(Node(host, NodeKind.HOST, asn, self._addr(asn),
+                                    site_name=site))
+        self.topology.add_link(Link(host, attach_to, capacity_bps=uplink_bps,
+                                    delay_s=uplink_delay_s))
+        self._hosts[site_key] = host
+        self._dtns.append((site_key, host, capacity_bytes, max_sessions))
+        return host
+
+    def provider(self, name: str, asn: int, attach_to: str, protocol: UploadProtocol,
+                 site: str, display_name: str = "", peering_bps: float = mbps(1000),
+                 peering_delay_s: float = ms(1)) -> CloudProvider:
+        """A cloud provider: one frontend host peered off *attach_to*.
+
+        The caller is responsible for the AS relationship between the
+        provider's AS and the rest of the graph (usually ``peer``).
+        """
+        frontend = f"{name}-frontend"
+        self.topology.add_node(Node(frontend, NodeKind.HOST, asn, self._addr(asn),
+                                    hostname=f"storage.{name}.example",
+                                    site_name=site))
+        self.topology.add_link(Link(attach_to, frontend, capacity_bps=peering_bps,
+                                    delay_s=peering_delay_s))
+        provider = CloudProvider(
+            name=name,
+            display_name=display_name or name,
+            api_hostname=f"api.{name}.example",
+            auth_hostname=f"auth.{name}.example",
+            frontend_nodes=[frontend],
+            protocol=protocol,
+        )
+        self._providers.append(provider)
+        return provider
+
+    def add_pop(self, provider: CloudProvider, asn: int, attach_to: str, site: str,
+                peering_bps: float = mbps(1000), peering_delay_s: float = ms(1)) -> str:
+        """Add another point of presence to *provider*.
+
+        Geo-DNS steers each client to its nearest POP, so multi-POP
+        providers reproduce the paper's observation that vendors deploy
+        POPs "to provide better network performance to the clients".
+        """
+        if provider not in self._providers:
+            raise TopologyError(f"provider {provider.name!r} was not created by this builder")
+        index = len(provider.frontend_nodes) + 1
+        frontend = f"{provider.name}-frontend{index}"
+        self.topology.add_node(Node(frontend, NodeKind.HOST, asn, self._addr(asn),
+                                    hostname=f"storage{index}.{provider.name}.example",
+                                    site_name=site))
+        self.topology.add_link(Link(attach_to, frontend, capacity_bps=peering_bps,
+                                    delay_s=peering_delay_s))
+        provider.frontend_nodes.append(frontend)
+        return frontend
+
+    def cross_traffic(self, link_name: str, from_node: str, utilization: float = 0.0,
+                      mean_flow_bytes: float = 4e6,
+                      elephant_rate_bps: Optional[float] = None,
+                      elephant_on_s: float = 30.0, elephant_off_s: float = 30.0,
+                      elephant_flows: int = 1) -> "WorldBuilder":
+        self._cross.append(CrossTrafficConfig(
+            link_name=link_name, from_node=from_node, utilization=utilization,
+            mean_flow_bytes=mean_flow_bytes, elephant_rate_bps=elephant_rate_bps,
+            elephant_on_s=elephant_on_s, elephant_off_s=elephant_off_s,
+            elephant_flows=elephant_flows,
+        ))
+        return self
+
+    # -- assembly --------------------------------------------------------------
+
+    def build(self) -> World:
+        """Validate everything and return the wired :class:`World`."""
+        if self._built:
+            raise TopologyError("WorldBuilder.build() may only be called once")
+        self._built = True
+        self.topology.validate()
+        self.as_graph.validate()
+
+        sim = Simulator()
+        rng = RngRegistry(self.seed)
+        tracer = Tracer(enabled=self.trace)
+        router = Router(self.topology, self.as_graph, self.policy)
+        dns = DnsResolver(self.topology)
+        engine = NetworkEngine(sim, self.topology, tracer=tracer)
+        world = World(
+            sim=sim, topology=self.topology, as_graph=self.as_graph,
+            policy=self.policy, router=router, dns=dns, engine=engine,
+            tcp=TcpModel(), rng=rng, tracer=tracer, seed=self.seed,
+        )
+        for provider in self._providers:
+            world.add_provider(provider)
+        world.hosts.update(self._hosts)
+        for site_key, host, capacity, max_sessions in self._dtns:
+            world.add_dtn(site_key, host, capacity, max_sessions)
+        if self._cross:
+            start_sources(self._cross, sim, engine, rng.stream)
+        return world

@@ -1,0 +1,75 @@
+"""Science DMZ scenario: firewall bottlenecks and their bypass.
+
+The paper's future work — "expand the functionality of our routing
+detours to deal with firewall bottlenecks (like Science DMZ)" — and its
+citation [2] (Dart et al., SC'13) motivate this variant of the testbed:
+
+* the UAlberta campus firewall (``ww-fw.cs.ualberta.ca``, visible in the
+  paper's Fig. 6 traceroute) gets a realistic **per-flow stateful
+  inspection cap**: campus firewalls are provisioned for many small
+  flows, and a single bulk transfer through one tops out far below the
+  WAN capacity;
+* a second DTN, ``ualberta-dtn-dmz``, hangs directly off the campus
+  core — *outside* the firewall — the Science DMZ design pattern.
+
+Detours via the in-firewall DTN inherit the cap on their second leg;
+detours via the DMZ DTN do not.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.world import World
+from repro.net.topology import Link, Node, NodeKind
+from repro.testbed.build import AS_NUMBERS, build_case_study
+from repro.testbed.params import CaseStudyParams
+from repro.units import mbps, ms
+
+__all__ = ["build_science_dmz_world", "DMZ_DTN_SITE"]
+
+#: Site key under which the DMZ DTN registers in ``world.dtns``.
+DMZ_DTN_SITE = "ualberta-dmz"
+
+
+def build_science_dmz_world(
+    seed: int = 0,
+    per_flow_cap_bps: float = mbps(20),
+    params: Optional[CaseStudyParams] = None,
+    cross_traffic: bool = True,
+    trace: bool = False,
+) -> World:
+    """The case-study world with a firewall cap and a Science DMZ DTN.
+
+    Parameters
+    ----------
+    per_flow_cap_bps:
+        Stateful-inspection throughput ceiling per flow transiting the
+        UAlberta campus firewall.  20 Mbit/s is a typical mid-2010s
+        campus appliance figure for a single bulk TCP flow.
+    """
+    if per_flow_cap_bps <= 0:
+        raise ValueError("firewall cap must be positive")
+    world = build_case_study(seed=seed, params=params, trace=trace,
+                             cross_traffic=cross_traffic)
+
+    # 1. the campus firewall now inspects (and throttles) bulk flows
+    world.topology.node("ualberta-fw").firewall_per_flow_bps = per_flow_cap_bps
+
+    # 2. a DTN in the Science DMZ: attached to the campus core, in front
+    #    of the firewall, mirroring the Dart et al. design pattern
+    world.topology.add_node(Node(
+        "ualberta-dtn-dmz", NodeKind.HOST, AS_NUMBERS["ualberta"],
+        "129.128.11.10", hostname="dtn-dmz.scidmz.ualberta.ca",
+        site_name="ualberta",
+    ))
+    world.topology.add_link(Link(
+        "ualberta-core", "ualberta-dtn-dmz",
+        capacity_bps=mbps(1000), delay_s=ms(0.2),
+    ))
+    world.hosts[DMZ_DTN_SITE] = "ualberta-dtn-dmz"
+    world.add_dtn(DMZ_DTN_SITE, "ualberta-dtn-dmz")
+
+    # topology changed after the router was built
+    world.router.invalidate()
+    return world

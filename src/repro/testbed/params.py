@@ -1,0 +1,99 @@
+"""Calibration parameters for the case-study testbed.
+
+Every rate below is derived from the paper's measurements (October and
+November 2015), working backwards from 100 MB transfer times — see
+DESIGN.md Sec. 6 for the full derivation table.  Keeping them in one
+dataclass lets the ablation benchmarks perturb a single knob (e.g. the
+Pacific Wave policer rate) while holding everything else fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.units import mbps
+
+__all__ = ["CaseStudyParams", "DEFAULT_PARAMS"]
+
+
+@dataclass(frozen=True)
+class CaseStudyParams:
+    """All tunable rates/delays/noise levels of the case-study world."""
+
+    # -- access-link capacities (bps) -----------------------------------------
+    #: UBC PlanetLab node uplink — "the outgoing bandwidth at UBC is not
+    #: really the bottleneck here" (supports ~42 Mbps to UAlberta).
+    ubc_access_bps: float = mbps(45)
+    #: UMich PlanetLab node uplink.
+    umich_access_bps: float = mbps(40)
+    #: Purdue PlanetLab node uplink — the shaped ~5 Mbps that bottlenecks
+    #: every Purdue transfer except the truly congested peerings.
+    purdue_access_bps: float = mbps(5.3)
+    #: UCLA PlanetLab node uplink — "the network bottleneck is (we
+    #: speculate) UCLA's outgoing bandwidth from that PlanetLab node".
+    ucla_access_bps: float = mbps(1.35)
+    #: UAlberta cluster uplink (never the bottleneck).
+    ualberta_access_bps: float = mbps(1000)
+
+    # -- the Pacific Wave artifact ---------------------------------------------
+    #: Rate limit on the pacificwave -> Google egress taken (only) by
+    #: PlanetLab-sourced traffic from UBC: the paper's headline 87 s.
+    pacificwave_policer_bps: float = mbps(9.6)
+
+    # -- research-network peerings (bps) -------------------------------------
+    canarie_google_bps: float = mbps(52)     # UAlberta -> Drive in ~17 s
+    canarie_i2_bps: float = mbps(8)          # UBC -> UMich in ~105 s
+    canarie_microsoft_bps: float = mbps(34.5)  # UBC/UAlberta -> OneDrive ~25 s
+    canarie_dropbox_bps: float = mbps(13.8)  # UBC/UAlberta -> Dropbox ~60 s
+    i2_google_bps: float = mbps(34)          # UMich -> Drive ~25 s (TR-CPS)
+    i2_microsoft_bps: float = mbps(21.5)     # UMich -> OneDrive ~39 s
+    i2_dropbox_bps: float = mbps(12.3)       # UMich -> Dropbox ~68 s
+
+    # -- commodity transit (bps) -----------------------------------------------
+    #: TransitA's congested Google interconnect: Purdue -> Drive at ~1 Mbps
+    #: effective with huge variance (Table III).
+    transita_google_bps: float = mbps(2.2)
+    #: TransitA's congested Microsoft interconnect: Purdue -> OneDrive ~2 Mbps
+    #: with sigma ~30% (Table IV).
+    transita_microsoft_bps: float = mbps(3.6)
+    transita_dropbox_bps: float = mbps(25)   # Purdue -> Dropbox pinned by access
+    transitb_peering_bps: float = mbps(20)   # UCLA's provider: clean peerings
+
+    # -- backbone capacities (bps) -------------------------------------------
+    backbone_bps: float = mbps(2000)
+    campus_bps: float = mbps(1000)
+    datacenter_bps: float = mbps(10000)
+
+    # -- cross-traffic ---------------------------------------------------------
+    #: Background load on the Purdue PlanetLab uplink (run-to-run variance
+    #: on everything Purdue-sourced, detours included).  Large, infrequent
+    #: flows give the paper-scale sigmas of Table IV.
+    purdue_uplink_utilization: float = 0.25
+    purdue_uplink_mean_flow_bytes: float = 2e7
+    ucla_uplink_utilization: float = 0.05
+    ucla_uplink_mean_flow_bytes: float = 1e6
+    canarie_i2_utilization: float = 0.10
+    transita_dropbox_utilization: float = 0.10
+    #: ON/OFF elephants on the congested TransitA interconnects.
+    transita_google_elephant_bps: float = mbps(2.2)
+    transita_google_elephant_on_s: float = 50.0
+    transita_google_elephant_off_s: float = 12.0
+    transita_google_elephant_flows: int = 2
+    transita_google_mice_utilization: float = 0.08
+    transita_microsoft_elephant_bps: float = mbps(3.0)
+    transita_microsoft_elephant_on_s: float = 50.0
+    transita_microsoft_elephant_off_s: float = 35.0
+    transita_microsoft_elephant_flows: int = 2
+    transita_microsoft_mice_utilization: float = 0.05
+
+    # -- per-run multiplicative capacity jitter (lognormal sigma) --------------
+    capacity_jitter_sigma: float = 0.03
+    congested_capacity_jitter_sigma: float = 0.10
+
+    def with_overrides(self, **kwargs) -> "CaseStudyParams":
+        """A copy with selected knobs changed (for ablations)."""
+        return replace(self, **kwargs)
+
+
+DEFAULT_PARAMS = CaseStudyParams()

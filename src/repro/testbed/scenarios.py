@@ -1,0 +1,33 @@
+"""Experiment scenario helpers: the paper's client/provider/route matrix."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.routes import DetourRoute, DirectRoute, Route
+from repro.transfer.files import PAPER_SIZES_MB
+
+__all__ = ["CLIENTS", "PROVIDERS", "VIAS", "paper_route_set", "experiment_label", "PAPER_SIZES_MB"]
+
+#: The three vantage points of Secs. III-A/B/C.
+CLIENTS: Tuple[str, ...] = ("ubc", "purdue", "ucla")
+
+#: The three services of Sec. II.
+PROVIDERS: Tuple[str, ...] = ("gdrive", "dropbox", "onedrive")
+
+#: Candidate intermediate nodes (Sec. III-A): "our computing cluster
+#: (non-PlanetLab) at the University of Alberta (UAlberta) and a PlanetLab
+#: node at the University of Michigan (UMich)".
+VIAS: Tuple[str, ...] = ("ualberta", "umich")
+
+
+def paper_route_set(client: str) -> List[Route]:
+    """Direct + the paper's two detours (excluding a self-detour)."""
+    routes: List[Route] = [DirectRoute()]
+    routes.extend(DetourRoute(via) for via in VIAS if via != client)
+    return routes
+
+
+def experiment_label(client: str, provider: str, route: Route, size_mb: float) -> str:
+    """Stable label for one experiment cell (drives its derived seed)."""
+    return f"{client}->{provider} [{route.describe()}] {size_mb:g}MB"

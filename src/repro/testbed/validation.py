@@ -1,0 +1,114 @@
+"""Automated calibration validation.
+
+Checks the built world against the DESIGN.md Sec. 6 targets (derived
+from the paper's tables) by running quick noise-free transfers, and
+reports per-path deviations.  Used by `repro.cli validate`, by CI-style
+tests, and whenever someone turns a calibration knob and wants to know
+what else moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.executor import PlanExecutor
+from repro.core.routes import DirectRoute, TransferPlan
+from repro.core.world import World
+from repro.testbed.build import build_case_study
+from repro.testbed.params import CaseStudyParams
+from repro.transfer.files import FileSpec
+from repro.transfer.rsync import RsyncSession
+from repro.units import mb
+
+__all__ = ["CalibrationCheck", "validate_calibration", "render_validation"]
+
+#: (kind, src site/host, dst provider/site, paper target seconds for 100 MB)
+_TARGETS: List[Tuple[str, str, str, float]] = [
+    ("api", "ubc", "gdrive", 87.0),
+    ("api", "ubc", "dropbox", 60.0),
+    ("api", "ubc", "onedrive", 25.0),
+    ("api", "ualberta", "gdrive", 17.0),
+    ("api", "ualberta", "dropbox", 60.0),
+    ("api", "ualberta", "onedrive", 24.0),
+    ("api", "umich", "gdrive", 25.0),
+    ("api", "umich", "dropbox", 68.0),
+    ("api", "umich", "onedrive", 39.0),
+    ("api", "purdue", "dropbox", 178.0),
+    ("rsync", "ubc", "ualberta", 19.0),
+    ("rsync", "ubc", "umich", 105.0),
+    ("rsync", "purdue", "ualberta", 178.0),
+    ("rsync", "purdue", "umich", 158.0),
+]
+
+
+@dataclass(frozen=True)
+class CalibrationCheck:
+    """One calibrated path's target vs quick measurement."""
+
+    kind: str
+    src: str
+    dst: str
+    target_s: float
+    measured_s: float
+
+    @property
+    def ratio(self) -> float:
+        return self.measured_s / self.target_s
+
+    def ok(self, tolerance: float = 0.35) -> bool:
+        return abs(self.ratio - 1.0) <= tolerance
+
+    def render(self, tolerance: float = 0.35) -> str:
+        status = "ok" if self.ok(tolerance) else "DRIFTED"
+        return (f"{self.kind:>5} {self.src:>9} -> {self.dst:<9} "
+                f"target {self.target_s:6.1f}s  measured {self.measured_s:6.1f}s  "
+                f"ratio {self.ratio:4.2f}  [{status}]")
+
+
+def validate_calibration(
+    params: Optional[CaseStudyParams] = None,
+    size_mb: float = 100.0,
+    seed: int = 0,
+) -> List[CalibrationCheck]:
+    """Measure every calibrated path once (quiet world) against targets.
+
+    Noise-free and single-run: this checks *calibration*, not statistics.
+    Congested paths (Purdue/UCLA -> Google/OneDrive) are excluded — their
+    targets only exist with cross traffic and are validated by the
+    benchmark suite instead.
+    """
+    checks: List[CalibrationCheck] = []
+    spec = FileSpec("calib.bin", int(mb(size_mb)))
+    for kind, src, dst, target in _TARGETS:
+        world = build_case_study(seed=seed, params=params, cross_traffic=False)
+        if kind == "api":
+            result = PlanExecutor(world).run(
+                TransferPlan(src, dst, spec, DirectRoute()))
+            measured = result.total_s
+        else:
+            session = RsyncSession(world.engine, world.router, world.tcp)
+
+            def proc():
+                start = world.sim.now
+                yield from session.push(world.host_of(src), world.host_of(dst), spec)
+                return world.sim.now - start
+
+            p = world.sim.process(proc())
+            world.sim.run_until_triggered(p.done, horizon=1e6)
+            measured = p.result
+        scaled_target = target * size_mb / 100.0
+        checks.append(CalibrationCheck(kind, src, dst, scaled_target, measured))
+    return checks
+
+
+def render_validation(checks: List[CalibrationCheck], tolerance: float = 0.35) -> str:
+    lines = [f"calibration validation ({len(checks)} paths, tolerance ±{tolerance:.0%}):"]
+    lines.extend("  " + c.render(tolerance) for c in checks)
+    drifted = [c for c in checks if not c.ok(tolerance)]
+    lines.append(
+        "all paths within tolerance" if not drifted
+        else f"{len(drifted)} path(s) drifted: " + ", ".join(
+            f"{c.src}->{c.dst}" for c in drifted)
+    )
+    return "\n".join(lines)

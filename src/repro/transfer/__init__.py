@@ -1,0 +1,33 @@
+"""File-transfer tools: test files, rsync protocol model, DTN relays.
+
+The paper moves data in two ways: ``rsync`` between the user machine and
+the intermediate node, and provider REST APIs for the final leg.  This
+package supplies the rsync side plus the data-transfer-node (DTN) staging
+logic; :mod:`repro.cloud` supplies the API side.
+"""
+
+from repro.transfer.api_client import CloudClient, DownloadReport, UploadReport
+from repro.transfer.checksums import RollingChecksum, block_signatures, strong_checksum
+from repro.transfer.dtn import DataTransferNode, RelayMode, pipelined_relay
+from repro.transfer.files import FileSpec, generate_bytes, make_test_files
+from repro.transfer.rsync import RsyncDelta, RsyncSession, RsyncStats, apply_delta, compute_delta
+
+__all__ = [
+    "CloudClient",
+    "DataTransferNode",
+    "DownloadReport",
+    "FileSpec",
+    "RelayMode",
+    "RollingChecksum",
+    "RsyncDelta",
+    "RsyncSession",
+    "RsyncStats",
+    "UploadReport",
+    "apply_delta",
+    "block_signatures",
+    "compute_delta",
+    "generate_bytes",
+    "make_test_files",
+    "pipelined_relay",
+    "strong_checksum",
+]

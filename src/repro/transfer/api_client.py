@@ -1,0 +1,289 @@
+"""Cloud-storage API client: executes uploads/downloads over the WAN.
+
+The simulated counterpart of the paper's "very basic programs in Java,
+using the APIs of the cloud-storage providers".  An upload is a kernel
+coroutine: OAuth2 token fetch (first use only — later runs reuse the
+cached token, which is part of why the paper discards warm-up runs), TLS
+connect, session initiation, chunked payload PUTs with per-request server
+time, and the final commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import units
+from repro.cloud.http import HttpsSession
+from repro.cloud.provider import CloudProvider
+from repro.cloud.oauth import TokenCache
+from repro.errors import CloudApiError
+from repro.net.dns import DnsResolver
+from repro.net.engine import NetworkEngine
+from repro.net.routing import Router
+from repro.net.tcp import TcpModel, TcpPathParams
+from repro.sim.kernel import Simulator
+from repro.transfer.files import FileSpec
+
+__all__ = ["CloudClient", "UploadReport", "DownloadReport"]
+
+
+@dataclass(frozen=True)
+class UploadReport:
+    """Everything measured about one API upload."""
+
+    provider: str
+    src: str
+    frontend: str
+    file_name: str
+    size_bytes: int
+    start_time: float
+    end_time: float
+    chunk_count: int
+    token_fetched: bool
+    events: Tuple[Tuple[float, str], ...] = ()
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def throughput_bps(self) -> float:
+        return units.throughput_bps(self.size_bytes, self.duration_s)
+
+
+@dataclass(frozen=True)
+class DownloadReport:
+    """Everything measured about one API download."""
+
+    provider: str
+    dst: str
+    frontend: str
+    file_name: str
+    size_bytes: int
+    start_time: float
+    end_time: float
+    chunk_count: int
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_time - self.start_time
+
+
+class CloudClient:
+    """Drives provider APIs from a given host over the simulated network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        engine: NetworkEngine,
+        router: Router,
+        dns: DnsResolver,
+        tcp: Optional[TcpModel] = None,
+        token_cache: Optional[TokenCache] = None,
+        rng: Optional[np.random.Generator] = None,
+        app_name: str = "repro-bench",
+    ):
+        self.sim = sim
+        self.engine = engine
+        self.router = router
+        self.dns = dns
+        self.tcp = tcp if tcp is not None else TcpModel()
+        self.token_cache = token_cache if token_cache is not None else TokenCache()
+        self.rng = rng
+        self.app_name = app_name
+        self._secrets: Dict[Tuple[str, str], str] = {}
+
+    # -- helpers -----------------------------------------------------------
+
+    def _jitter(self, mean_s: float, sigma: float) -> float:
+        if mean_s <= 0:
+            return 0.0
+        if self.rng is None or sigma <= 0:
+            return mean_s
+        return mean_s * float(np.exp(self.rng.normal(0.0, sigma)))
+
+    def _credentials(self, host: str, provider: CloudProvider) -> Tuple[str, str]:
+        key = (host, provider.name)
+        client_id = f"{self.app_name}@{host}"
+        if key not in self._secrets:
+            # Idempotent: another CloudClient instance (an earlier run in
+            # the same world) may have registered this app already.
+            self._secrets[key] = provider.oauth.ensure_client(client_id)
+        return client_id, self._secrets[key]
+
+    def _session(self, provider: CloudProvider, params: TcpPathParams) -> HttpsSession:
+        return HttpsSession(
+            self.sim, self.tcp, params,
+            fault=provider.fault_injector,
+            retry=provider.retry_policy,
+        )
+
+    def _ensure_token(self, host: str, provider: CloudProvider, events: List):
+        """Coroutine: fetch a bearer token unless a valid one is cached."""
+        token = self.token_cache.get_valid(host, provider.name, self.sim.now)
+        if token is not None:
+            return token, False
+        auth_node = self.dns.resolve(provider.auth_hostname, client_node=host)
+        auth_path = self.router.resolve(host, auth_node)
+        params = TcpPathParams(rtt_s=auth_path.rtt_s, loss=auth_path.loss)
+        session = self._session(provider, params)
+        yield from session.request(
+            self._jitter(provider.protocol.auth_server_s,
+                         provider.protocol.server_jitter_sigma),
+            label="POST /oauth2/token",
+        )
+        client_id, secret = self._credentials(host, provider)
+        token = provider.oauth.issue_token(client_id, secret, self.sim.now)
+        self.token_cache.store(host, provider.name, token)
+        events.append((self.sim.now, "POST /oauth2/token"))
+        return token, True
+
+    def _refresh_if_expired(self, host: str, provider: CloudProvider, token, events: List):
+        """Coroutine: long uploads can outlive a bearer token; on expiry the
+        client refreshes before the next request (the 401-retry path of
+        real SDKs, taken proactively here)."""
+        if token.valid_at(self.sim.now):
+            return token
+        refreshed, _ = yield from self._ensure_token(host, provider, events)
+        return refreshed
+
+    # -- uploads -------------------------------------------------------------
+
+    def upload(
+        self,
+        src: str,
+        provider: CloudProvider,
+        spec: FileSpec,
+        remote_path: Optional[str] = None,
+    ):
+        """Coroutine: upload *spec* from host *src*; returns UploadReport."""
+        start = self.sim.now
+        events: List[Tuple[float, str]] = []
+        proto = provider.protocol
+        frontend = provider.frontend_for(self.dns, src)
+        path = self.router.resolve(src, frontend)
+        params = TcpPathParams(rtt_s=path.rtt_s, loss=path.loss)
+
+        token, token_fetched = yield from self._ensure_token(src, provider, events)
+
+        # TLS connect + session initiation (retried on transient errors)
+        session = self._session(provider, params)
+        yield from session.connect()
+        yield from session.request(
+            self._jitter(proto.session_init_server_s, proto.server_jitter_sigma),
+            label=proto.init_request_name,
+        )
+        events.append((self.sim.now, proto.init_request_name))
+
+        directions = self.router.path_directions(path)
+        ceiling = min(self.tcp.rate_ceiling_bps(params), path.per_flow_cap_bps)
+        sizes = proto.chunk_sizes(spec.size_bytes)
+        for index, chunk in enumerate(sizes):
+            deficit_bytes = 0.0
+            if index == 0:
+                est = self.engine.estimate_rate(directions, ceiling)
+                if est > 0 and np.isfinite(est):
+                    deficit_bytes = (
+                        self.tcp.startup_penalty_s(params, est) * units.bytes_per_sec(est)
+                    )
+            transfer = self.engine.start_transfer(
+                directions,
+                chunk + proto.request_overhead_bytes,
+                ceiling_bps=ceiling,
+                label=f"api:{provider.name}:{src}:{spec.name}#{index}",
+                startup_deficit_bytes=deficit_bytes,
+            )
+            yield transfer.done
+            yield from session.request(
+                self._jitter(proto.per_chunk_server_s, proto.server_jitter_sigma),
+                label=f"chunk {index}",
+            )
+            events.append((self.sim.now, proto.chunk_request_name.replace("{index}", str(index))))
+
+        # commit / finalize
+        token = yield from self._refresh_if_expired(src, provider, token, events)
+        yield from session.request(
+            self._jitter(proto.commit_server_s, proto.server_jitter_sigma),
+            label=proto.commit_request_name,
+        )
+        events.append((self.sim.now, proto.commit_request_name))
+
+        provider.oauth.validate(token.value, self.sim.now)
+        provider.store.put(
+            remote_path or spec.name,
+            spec.size_bytes,
+            spec.content_digest(),
+            owner=src,
+            now=self.sim.now,
+        )
+        return UploadReport(
+            provider=provider.name,
+            src=src,
+            frontend=frontend,
+            file_name=spec.name,
+            size_bytes=spec.size_bytes,
+            start_time=start,
+            end_time=self.sim.now,
+            chunk_count=len(sizes),
+            token_fetched=token_fetched,
+            events=tuple(events),
+        )
+
+    # -- downloads ----------------------------------------------------------
+
+    def download(self, dst: str, provider: CloudProvider, remote_path: str):
+        """Coroutine: download *remote_path* to host *dst*; returns DownloadReport."""
+        start = self.sim.now
+        events: List[Tuple[float, str]] = []
+        proto = provider.protocol
+        frontend = provider.frontend_for(self.dns, dst)
+        obj = provider.store.get(remote_path)  # 404 surfaces before any traffic
+
+        up_path = self.router.resolve(dst, frontend)       # request direction
+        down_path = self.router.resolve(frontend, dst)     # data direction
+        params = TcpPathParams(rtt_s=up_path.rtt_s, loss=down_path.loss)
+
+        yield from self._ensure_token(dst, provider, events)
+        session = self._session(provider, params)
+        yield from session.connect()
+        yield from session.request(
+            self._jitter(proto.session_init_server_s, proto.server_jitter_sigma),
+            label="GET (ranged download start)",
+        )
+
+        directions = self.router.path_directions(down_path)
+        ceiling = min(self.tcp.rate_ceiling_bps(params), down_path.per_flow_cap_bps)
+        sizes = proto.chunk_sizes(obj.size_bytes)
+        for index, chunk in enumerate(sizes):
+            deficit_bytes = 0.0
+            if index == 0:
+                est = self.engine.estimate_rate(directions, ceiling)
+                if est > 0 and np.isfinite(est):
+                    deficit_bytes = (
+                        self.tcp.startup_penalty_s(params, est) * units.bytes_per_sec(est)
+                    )
+            transfer = self.engine.start_transfer(
+                directions,
+                chunk + proto.request_overhead_bytes,
+                ceiling_bps=ceiling,
+                label=f"api-dl:{provider.name}:{dst}:{remote_path}#{index}",
+                startup_deficit_bytes=deficit_bytes,
+            )
+            yield transfer.done
+            yield from session.request(
+                self._jitter(proto.per_chunk_server_s, proto.server_jitter_sigma),
+                label=f"dl chunk {index}",
+            )
+        return DownloadReport(
+            provider=provider.name,
+            dst=dst,
+            frontend=frontend,
+            file_name=remote_path,
+            size_bytes=obj.size_bytes,
+            start_time=start,
+            end_time=self.sim.now,
+            chunk_count=len(sizes),
+        )

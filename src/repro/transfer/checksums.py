@@ -1,0 +1,83 @@
+"""Rolling and strong checksums — the primitives under rsync.
+
+The rolling checksum is the Adler-style weak hash rsync slides over the
+sender's file one byte at a time; candidate matches are confirmed with a
+strong (truncated SHA-256 here, MD4/MD5 in stock rsync) block hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["RollingChecksum", "strong_checksum", "block_signatures", "BlockSignature"]
+
+_MOD = 1 << 16
+
+
+class RollingChecksum:
+    """rsync's weak rolling checksum (a1 = sum, a2 = weighted sum).
+
+    Supports O(1) rolling: remove the leading byte, append a trailing one.
+
+    >>> data = b"hello world, hello rsync"
+    >>> rc = RollingChecksum(data[:8])
+    >>> for i in range(8, len(data)):
+    ...     rc.roll(data[i - 8], data[i])
+    >>> rc.digest() == RollingChecksum(data[-8:]).digest()
+    True
+    """
+
+    def __init__(self, block: bytes):
+        if not block:
+            raise ValueError("rolling checksum needs a non-empty block")
+        self.length = len(block)
+        a1 = 0
+        a2 = 0
+        n = self.length
+        for i, byte in enumerate(block):
+            a1 += byte
+            a2 += (n - i) * byte
+        self.a1 = a1 % _MOD
+        self.a2 = a2 % _MOD
+
+    def roll(self, out_byte: int, in_byte: int) -> None:
+        """Slide the window one byte: drop *out_byte*, add *in_byte*."""
+        self.a1 = (self.a1 - out_byte + in_byte) % _MOD
+        self.a2 = (self.a2 - self.length * out_byte + self.a1) % _MOD
+
+    def digest(self) -> int:
+        """32-bit weak checksum."""
+        return (self.a2 << 16) | self.a1
+
+
+def strong_checksum(block: bytes, nbytes: int = 16) -> bytes:
+    """Truncated SHA-256 (rsync uses MD4/MD5; collision odds comparable)."""
+    return hashlib.sha256(block).digest()[:nbytes]
+
+
+@dataclass(frozen=True)
+class BlockSignature:
+    """Signature of one receiver-side block."""
+
+    index: int
+    weak: int
+    strong: bytes
+
+
+def block_signatures(data: bytes, block_size: int) -> List[BlockSignature]:
+    """Receiver-side signatures for every ``block_size`` block of *data*.
+
+    The final partial block (if any) is *not* signed, matching rsync —
+    trailing bytes arrive as literals.
+    """
+    if block_size <= 0:
+        raise ValueError("block size must be positive")
+    sigs = []
+    for index in range(len(data) // block_size):
+        block = data[index * block_size:(index + 1) * block_size]
+        sigs.append(
+            BlockSignature(index, RollingChecksum(block).digest(), strong_checksum(block))
+        )
+    return sigs

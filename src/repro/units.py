@@ -1,0 +1,133 @@
+"""Unit conversions and physical constants used throughout the simulator.
+
+Conventions (chosen once, used everywhere):
+
+* **time** is in seconds (float),
+* **data sizes** are in bytes (int where exact, float where rates apply),
+* **rates** are in bits per second (bps, float),
+* **distances** are in kilometres.
+
+The paper reports file sizes in decimal megabytes (``dd`` with ``bs=1MB``
+writes 10^6-byte blocks) and rates colloquially in Mbps; helpers here keep
+those conversions explicit so no magic constants appear in model code.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Data sizes (decimal, like `dd` and like storage vendors)
+# ---------------------------------------------------------------------------
+
+KB: int = 10**3
+MB: int = 10**6
+GB: int = 10**9
+
+# Binary sizes (used by API chunking: providers chunk in MiB multiples)
+KiB: int = 2**10
+MiB: int = 2**20
+GiB: int = 2**30
+
+
+def mb(n: float) -> float:
+    """Decimal megabytes -> bytes."""
+    return n * MB
+
+
+def mib(n: float) -> float:
+    """Binary mebibytes -> bytes."""
+    return n * MiB
+
+
+def bytes_to_mb(n: float) -> float:
+    """Bytes -> decimal megabytes."""
+    return n / MB
+
+
+# ---------------------------------------------------------------------------
+# Rates
+# ---------------------------------------------------------------------------
+
+BITS_PER_BYTE: int = 8
+
+Kbps: float = 1e3
+Mbps: float = 1e6
+Gbps: float = 1e9
+
+
+def mbps(n: float) -> float:
+    """Megabits per second -> bits per second."""
+    return n * Mbps
+
+
+def gbps(n: float) -> float:
+    """Gigabits per second -> bits per second."""
+    return n * Gbps
+
+
+def bps_to_mbps(rate_bps: float) -> float:
+    """Bits per second -> megabits per second."""
+    return rate_bps / Mbps
+
+
+def bytes_per_sec(rate_bps: float) -> float:
+    """Bits per second -> bytes per second."""
+    return rate_bps / BITS_PER_BYTE
+
+
+def transfer_seconds(nbytes: float, rate_bps: float) -> float:
+    """Ideal (fluid) time to move *nbytes* at *rate_bps*."""
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    return nbytes * BITS_PER_BYTE / rate_bps
+
+
+def throughput_bps(nbytes: float, seconds: float) -> float:
+    """Effective throughput in bps for *nbytes* moved in *seconds*."""
+    if seconds <= 0:
+        raise ValueError(f"duration must be positive, got {seconds}")
+    return nbytes * BITS_PER_BYTE / seconds
+
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+MS: float = 1e-3
+US: float = 1e-6
+
+
+def ms(n: float) -> float:
+    """Milliseconds -> seconds."""
+    return n * MS
+
+
+def seconds_to_ms(t: float) -> float:
+    """Seconds -> milliseconds."""
+    return t / MS
+
+
+# ---------------------------------------------------------------------------
+# Physical constants
+# ---------------------------------------------------------------------------
+
+#: Speed of light in vacuum, km/s.
+SPEED_OF_LIGHT_KM_S: float = 299_792.458
+
+#: Signal propagation speed in optical fiber is ~2/3 c.  Real WAN paths are
+#: also longer than great-circle distance (conduit routing); the testbed
+#: calibration absorbs that via a path-stretch factor.
+FIBER_PROPAGATION_KM_S: float = SPEED_OF_LIGHT_KM_S * 2.0 / 3.0
+
+#: Default path-stretch multiplier applied to great-circle distances when
+#: deriving per-link propagation delay (fiber rarely follows geodesics).
+DEFAULT_PATH_STRETCH: float = 1.6
+
+#: Standard Ethernet-ish MSS used by the TCP throughput model, bytes.
+DEFAULT_MSS: int = 1460
+
+
+def propagation_delay_s(distance_km: float, stretch: float = DEFAULT_PATH_STRETCH) -> float:
+    """One-way propagation delay over *distance_km* of fiber."""
+    if distance_km < 0:
+        raise ValueError(f"distance must be non-negative, got {distance_km}")
+    return distance_km * stretch / FIBER_PROPAGATION_KM_S

@@ -1,0 +1,15 @@
+"""Workload generation: size sweeps, client populations, upload schedules."""
+
+from repro.workloads.generator import (
+    ScheduledUpload,
+    UploadSchedule,
+    client_population_schedule,
+    size_sweep,
+)
+
+__all__ = [
+    "ScheduledUpload",
+    "UploadSchedule",
+    "client_population_schedule",
+    "size_sweep",
+]

@@ -1,0 +1,105 @@
+"""Workload generators beyond the paper's fixed size sweep.
+
+The paper benchmarks one client at a time over a fixed size ladder.  A
+downstream adopter also cares about *populations*: many users at one
+campus pushing uploads through a shared DTN.  These generators produce
+deterministic, seedable schedules for such scenarios (used by the
+multi-client example and the contention ablation bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.transfer.files import Entropy, FileSpec
+from repro.units import mb
+
+__all__ = ["size_sweep", "ScheduledUpload", "UploadSchedule", "client_population_schedule"]
+
+
+def size_sweep(
+    start_mb: float,
+    stop_mb: float,
+    points: int,
+    log_spaced: bool = False,
+) -> List[float]:
+    """A size ladder (MB) for parameter sweeps beyond the paper's seven."""
+    if points < 2:
+        raise MeasurementError("a sweep needs at least two points")
+    if start_mb <= 0 or stop_mb <= start_mb:
+        raise MeasurementError("need 0 < start < stop")
+    if log_spaced:
+        values = np.logspace(np.log10(start_mb), np.log10(stop_mb), points)
+    else:
+        values = np.linspace(start_mb, stop_mb, points)
+    return [float(round(v, 3)) for v in values]
+
+
+@dataclass(frozen=True)
+class ScheduledUpload:
+    """One upload in a population workload."""
+
+    start_s: float
+    client_site: str
+    provider_name: str
+    file: FileSpec
+
+
+@dataclass(frozen=True)
+class UploadSchedule:
+    """A deterministic sequence of uploads."""
+
+    uploads: Tuple[ScheduledUpload, ...]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(u.file.size_bytes for u in self.uploads)
+
+    @property
+    def duration_s(self) -> float:
+        return max((u.start_s for u in self.uploads), default=0.0)
+
+    def by_client(self) -> dict:
+        out: dict = {}
+        for u in self.uploads:
+            out.setdefault(u.client_site, []).append(u)
+        return out
+
+
+def client_population_schedule(
+    client_site: str,
+    provider_name: str,
+    n_uploads: int,
+    mean_interarrival_s: float,
+    mean_size_mb: float,
+    seed: int = 0,
+    sigma_log_size: float = 0.8,
+    min_size_mb: float = 1.0,
+) -> UploadSchedule:
+    """Poisson arrivals of lognormally-sized uploads from one campus.
+
+    Deterministic for a given seed.
+    """
+    if n_uploads < 1:
+        raise MeasurementError("need at least one upload")
+    if mean_interarrival_s <= 0 or mean_size_mb <= 0:
+        raise MeasurementError("interarrival and size means must be positive")
+    rng = np.random.default_rng(seed)
+    mu = np.log(mean_size_mb) - sigma_log_size**2 / 2
+    t = 0.0
+    uploads: List[ScheduledUpload] = []
+    for i in range(n_uploads):
+        t += float(rng.exponential(mean_interarrival_s))
+        size_mb_i = max(min_size_mb, float(rng.lognormal(mu, sigma_log_size)))
+        uploads.append(ScheduledUpload(
+            start_s=t,
+            client_site=client_site,
+            provider_name=provider_name,
+            file=FileSpec(f"{client_site}-upload-{i}.bin", int(mb(size_mb_i)),
+                          Entropy.RANDOM, seed=seed + i),
+        ))
+    return UploadSchedule(tuple(uploads))

@@ -1,0 +1,168 @@
+"""Timelines from traces, CSV/JSON export, Welch's t-test."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis import (
+    AnalysisConfig,
+    concurrency_profile,
+    extract_flow_spans,
+    figure_to_csv,
+    figure_to_json,
+    render_timeline,
+    run_figure,
+    run_table2,
+    table_to_csv,
+    table_to_json,
+)
+from repro.errors import MeasurementError
+from repro.measure import ExperimentProtocol, welch_t_test
+from repro.net import NetworkEngine
+from repro.net.topology import Link, Node, NodeKind, Topology
+from repro.sim import Simulator, Tracer
+from repro.units import mb, mbps, ms
+
+FAST = AnalysisConfig(sizes_mb=(10,), protocol=ExperimentProtocol(2, 0, 1.0),
+                      cross_traffic=False)
+
+
+def traced_world():
+    topo = Topology()
+    topo.add_node(Node("a", NodeKind.HOST, 1, "10.0.0.1"))
+    topo.add_node(Node("b", NodeKind.HOST, 1, "10.0.0.2"))
+    topo.add_link(Link("a", "b", capacity_bps=mbps(10), delay_s=ms(1)))
+    sim = Simulator()
+    tracer = Tracer()
+    engine = NetworkEngine(sim, topo, tracer=tracer)
+    return sim, topo, tracer, engine
+
+
+class TestTimeline:
+    def test_spans_extracted(self):
+        sim, topo, tracer, engine = traced_world()
+        d = topo.path_directions(["a", "b"])
+        engine.start_transfer(d, mb(5), label="one")
+        sim.schedule(1.0, lambda: engine.start_transfer(d, mb(5), label="two"))
+        sim.run()
+        spans = extract_flow_spans(tracer)
+        assert [s.label for s in spans] == ["one", "two"]
+        assert spans[0].start == 0.0 and spans[1].start == 1.0
+        assert all(s.duration_s > 0 for s in spans)
+
+    def test_label_prefix_filter(self):
+        sim, topo, tracer, engine = traced_world()
+        d = topo.path_directions(["a", "b"])
+        engine.start_transfer(d, mb(1), label="api:x")
+        engine.start_transfer(d, mb(1), label="bg:y")
+        sim.run()
+        spans = extract_flow_spans(tracer, label_prefix="api:")
+        assert [s.label for s in spans] == ["api:x"]
+
+    def test_unfinished_flows(self):
+        sim, topo, tracer, engine = traced_world()
+        d = topo.path_directions(["a", "b"])
+        engine.start_transfer(d, mb(1000), label="endless")
+        sim.run(until=5.0)
+        assert extract_flow_spans(tracer) == []
+        spans = extract_flow_spans(tracer, include_unfinished=True, horizon=5.0)
+        assert len(spans) == 1 and spans[0].end == 5.0
+        with pytest.raises(MeasurementError):
+            extract_flow_spans(tracer, include_unfinished=True)
+
+    def test_concurrency_profile(self):
+        sim, topo, tracer, engine = traced_world()
+        d = topo.path_directions(["a", "b"])
+        engine.start_transfer(d, mb(5), label="one")   # alone: 4 s; shared
+        sim.schedule(1.0, lambda: engine.start_transfer(d, mb(5), label="two"))
+        sim.run()
+        spans = extract_flow_spans(tracer)
+        profile = concurrency_profile(spans)
+        counts = [c for _, c in profile]
+        assert max(counts) == 2
+        assert counts[-1] == 0  # everything drains
+
+    def test_render(self):
+        sim, topo, tracer, engine = traced_world()
+        d = topo.path_directions(["a", "b"])
+        engine.start_transfer(d, mb(5), label="one")
+        sim.run()
+        out = render_timeline(extract_flow_spans(tracer))
+        assert "one" in out and "peak concurrency: 1" in out
+        assert render_timeline([]) == "(no flows in trace)"
+
+    def test_overlap_predicate(self):
+        from repro.analysis.timeline import FlowSpan
+
+        a = FlowSpan(1, "a", 0.0, 2.0, 100)
+        b = FlowSpan(2, "b", 1.0, 3.0, 100)
+        c = FlowSpan(3, "c", 2.5, 4.0, 100)
+        assert a.overlaps(b) and b.overlaps(c)
+        assert not a.overlaps(c)
+
+
+class TestExport:
+    def test_figure_csv_roundtrip(self):
+        result = run_figure("fig4", FAST)
+        text = figure_to_csv(result)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == len(result.series)  # 1 size x 3 routes
+        assert {r["series"] for r in rows} == set(result.series)
+        direct = next(r for r in rows if r["series"] == "direct")
+        assert float(direct["mean_s"]) == pytest.approx(
+            result.series["direct"][0].mean)
+
+    def test_figure_json(self):
+        result = run_figure("fig4", FAST)
+        payload = json.loads(figure_to_json(result))
+        assert payload["figure_id"] == "fig4"
+        assert payload["provider"] == "dropbox"
+        assert payload["sizes_mb"] == [10]
+        assert set(payload["series"]) == set(result.series)
+
+    def test_table_csv(self):
+        table = run_table2(FAST)
+        rows = list(csv.DictReader(io.StringIO(table_to_csv(table))))
+        assert len(rows) == 3
+        gain = {r["route"]: float(r["gain_vs_baseline_pct"]) for r in rows}
+        assert gain["direct"] == 0.0
+        assert gain["via ualberta"] < -30
+
+    def test_table_json(self):
+        table = run_table2(FAST)
+        payload = json.loads(table_to_json(table))
+        assert payload["baseline_route"] == "direct"
+        assert payload["rows"][0]["size_mb"] == 10
+
+
+class TestWelch:
+    def test_clearly_different_groups(self):
+        r = welch_t_test([10.0, 10.5, 9.8, 10.2], [20.1, 19.8, 20.4, 20.0])
+        assert r.significant()
+        assert r.p_value < 1e-4
+
+    def test_same_distribution_not_significant(self):
+        a = [10.0, 12.0, 11.0, 9.5, 10.5]
+        b = [10.2, 11.8, 10.9, 9.7, 10.6]
+        r = welch_t_test(a, b)
+        assert not r.significant()
+
+    def test_paperlike_overlap_case(self):
+        """Groups whose ±1σ bars overlap heavily are not significant."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        direct = rng.normal(177.89, 36.03, size=5)
+        detour = rng.normal(237.78, 56.10, size=5)
+        r = welch_t_test(direct, detour)
+        assert r.p_value > 0.01  # nowhere near a slam dunk with n=5
+
+    def test_needs_two_samples(self):
+        with pytest.raises(MeasurementError):
+            welch_t_test([1.0], [2.0, 3.0])
+
+    def test_str(self):
+        r = welch_t_test([1.0, 2.0, 3.0], [4.0, 5.0, 6.0])
+        assert "p=" in str(r)

@@ -1,0 +1,76 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_compare_args(self):
+        args = build_parser().parse_args(["compare", "ubc", "gdrive", "--size-mb", "50"])
+        assert args.client == "ubc" and args.size_mb == 50.0
+
+    def test_invalid_client_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "mit", "gdrive"])
+
+
+class TestCommands:
+    def test_compare(self, capsys):
+        assert main(["compare", "ubc", "gdrive", "--size-mb", "20", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "via ualberta" in out and "fastest" in out
+
+    def test_upload(self, capsys):
+        assert main(["upload", "ubc", "onedrive", "--size-mb", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "direct" in out  # OneDrive from UBC: direct wins
+
+    def test_traceroute(self, capsys):
+        assert main(["traceroute", "ubc-pl", "gdrive-frontend"]) == 0
+        out = capsys.readouterr().out
+        assert "vncv1rtr2.canarie.ca" in out and "ms" in out
+
+    def test_figure_fast(self, capsys):
+        assert main(["figure", "fig4", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Dropbox" in out and "10 MB" in out
+
+    def test_figure_traceroute_ids(self, capsys):
+        assert main(["figure", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("traceroute to www.googleapis.com")
+
+    def test_table_fast(self, capsys):
+        assert main(["table", "2", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "UBC-to-Google Drive" in out
+
+    def test_table1_fast(self, capsys):
+        assert main(["table", "1", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Fastest" in out
+
+    def test_routeviews(self, capsys):
+        assert main(["routeviews", "google"]) == 0
+        out = capsys.readouterr().out
+        assert "RIB snapshot" in out
+        assert "AS4444" in out  # the pacificwave anomaly
+
+    def test_tiv(self, capsys):
+        assert main(["tiv", "--margin", "1.5"]) == 0
+        out = capsys.readouterr().out
+        assert "probed 20 pairs" in out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0

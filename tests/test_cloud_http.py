@@ -1,0 +1,198 @@
+"""HTTPS session model: retries, backoff, fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import FaultInjector, HttpsSession, RetryPolicy
+from repro.errors import CloudApiError
+from repro.net.tcp import TcpModel, TcpPathParams
+from repro.sim import Simulator
+
+PARAMS = TcpPathParams(rtt_s=0.040, loss=0.0)
+
+
+def drive(sim, gen):
+    proc = sim.process(gen)
+    sim.run()
+    if proc.error:
+        raise proc.error
+    return proc.result
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        p = RetryPolicy(base_backoff_s=0.5, multiplier=2.0)
+        assert p.backoff_s(1) == 0.5
+        assert p.backoff_s(2) == 1.0
+        assert p.backoff_s(3) == 2.0
+
+    def test_retryable_statuses(self):
+        p = RetryPolicy()
+        assert p.is_retryable(503) and p.is_retryable(429)
+        assert not p.is_retryable(404) and not p.is_retryable(401)
+
+    def test_validation(self):
+        with pytest.raises(CloudApiError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(CloudApiError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestFaultInjector:
+    def test_zero_rate_never_fires(self):
+        f = FaultInjector(np.random.default_rng(0), error_rate=0.0)
+        assert all(f.roll() is None for _ in range(100))
+        assert f.injected == 0
+
+    def test_rate_approximately_respected(self):
+        f = FaultInjector(np.random.default_rng(1), error_rate=0.3)
+        fails = sum(1 for _ in range(2000) if f.roll() is not None)
+        assert 450 < fails < 750
+        assert f.injected == fails
+
+    def test_statuses_drawn_from_pool(self):
+        f = FaultInjector(np.random.default_rng(2), error_rate=1.0 - 1e-9,
+                          statuses=(429, 503))
+        seen = {f.roll() for _ in range(50)}
+        assert seen <= {429, 503} and len(seen) == 2
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(CloudApiError):
+            FaultInjector(rng, error_rate=1.5)
+        with pytest.raises(CloudApiError):
+            FaultInjector(rng, error_rate=0.1, statuses=())
+
+
+class TestHttpsSession:
+    def test_clean_request_costs_rtt_plus_server(self):
+        sim = Simulator()
+        session = HttpsSession(sim, TcpModel(), PARAMS)
+
+        def proc():
+            yield from session.connect()
+            connected_at = sim.now
+            attempts = yield from session.request(0.100)
+            return connected_at, sim.now, attempts
+
+        connected_at, end, attempts = drive(sim, proc())
+        assert connected_at == pytest.approx(0.120)  # 3 RTT TLS connect
+        assert end - connected_at == pytest.approx(0.140)  # rtt + server
+        assert attempts == 1
+
+    def test_connect_is_idempotent(self):
+        sim = Simulator()
+        session = HttpsSession(sim, TcpModel(), PARAMS)
+
+        def proc():
+            yield from session.connect()
+            t1 = sim.now
+            yield from session.connect()
+            return t1, sim.now
+
+        t1, t2 = drive(sim, proc())
+        assert t1 == t2
+
+    def test_request_autoconnects(self):
+        sim = Simulator()
+        session = HttpsSession(sim, TcpModel(), PARAMS)
+
+        def proc():
+            yield from session.request(0.0)
+            return sim.now
+
+        end = drive(sim, proc())
+        assert end == pytest.approx(0.120 + 0.040)
+
+    def test_transient_fault_retried_with_backoff(self):
+        sim = Simulator()
+        # fail exactly the first attempt: rate ~1 then 0 via crafted rng
+        class OneShotFault:
+            def __init__(self):
+                self.calls = 0
+
+            def roll(self):
+                self.calls += 1
+                return 503 if self.calls == 1 else None
+
+        fault = OneShotFault()
+        session = HttpsSession(sim, TcpModel(), PARAMS, fault=fault,
+                               retry=RetryPolicy(base_backoff_s=1.0))
+
+        def proc():
+            attempts = yield from session.request(0.010)
+            return attempts, sim.now
+
+        attempts, end = drive(sim, proc())
+        assert attempts == 2
+        assert session.retries == 1
+        # connect 0.12 + req 0.05 + backoff 1.0 + req 0.05
+        assert end == pytest.approx(1.22)
+
+    def test_exhausted_retries_raise(self):
+        sim = Simulator()
+        always = FaultInjector(np.random.default_rng(0), error_rate=1.0 - 1e-12)
+        session = HttpsSession(sim, TcpModel(), PARAMS, fault=always,
+                               retry=RetryPolicy(max_attempts=3, base_backoff_s=0.1))
+
+        def proc():
+            yield from session.request(0.010)
+
+        with pytest.raises(CloudApiError) as exc:
+            drive(sim, proc())
+        assert "after 3 attempts" in str(exc.value)
+        assert session.requests_sent == 3
+
+    def test_non_retryable_fails_fast(self):
+        sim = Simulator()
+
+        class NotFound:
+            def roll(self):
+                return 404
+
+        session = HttpsSession(sim, TcpModel(), PARAMS, fault=NotFound())
+
+        def proc():
+            yield from session.request(0.010)
+
+        with pytest.raises(CloudApiError) as exc:
+            drive(sim, proc())
+        assert exc.value.status == 404
+        assert session.requests_sent == 1
+
+
+class TestFaultyProviderEndToEnd:
+    def test_upload_survives_transient_faults_but_slower(self):
+        from repro.core import DirectRoute, PlanExecutor, TransferPlan
+        from repro.testbed import build_case_study
+        from repro.transfer import FileSpec
+        from repro.units import mb
+
+        def run(error_rate, seed=0):
+            world = build_case_study(seed=seed, cross_traffic=False)
+            provider = world.provider("gdrive")
+            if error_rate:
+                provider.fault_injector = FaultInjector(
+                    np.random.default_rng(42), error_rate=error_rate)
+            plan = TransferPlan("ubc", "gdrive", FileSpec("f", int(mb(50))))
+            return PlanExecutor(world).run(plan).total_s
+
+        clean = run(0.0)
+        flaky = run(0.25)
+        assert flaky > clean + 0.5  # backoffs cost real time
+        assert flaky < 2.0 * clean  # but the upload completes
+
+    def test_hopeless_provider_eventually_errors(self):
+        from repro.core import DirectRoute, PlanExecutor, TransferPlan
+        from repro.errors import CloudApiError
+        from repro.testbed import build_case_study
+        from repro.transfer import FileSpec
+        from repro.units import mb
+
+        world = build_case_study(seed=0, cross_traffic=False)
+        provider = world.provider("gdrive")
+        provider.fault_injector = FaultInjector(
+            np.random.default_rng(1), error_rate=0.97)
+        plan = TransferPlan("ubc", "gdrive", FileSpec("f", int(mb(10))))
+        with pytest.raises(CloudApiError):
+            PlanExecutor(world).run(plan)

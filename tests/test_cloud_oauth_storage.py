@@ -1,0 +1,131 @@
+"""OAuth2 simulation and the server-side object store."""
+
+import pytest
+
+from repro.cloud import AccessToken, OAuth2Server, ObjectStore, TokenCache
+from repro.errors import AuthError, CloudApiError
+
+
+class TestOAuth:
+    def test_register_and_issue(self):
+        srv = OAuth2Server("gdrive")
+        secret = srv.register_client("app@ubc")
+        token = srv.issue_token("app@ubc", secret, now=100.0)
+        assert token.valid_at(100.0)
+        assert token.valid_at(3699.0)
+        assert not token.valid_at(3700.0)
+
+    def test_duplicate_registration_rejected(self):
+        srv = OAuth2Server("p")
+        srv.register_client("a")
+        with pytest.raises(AuthError):
+            srv.register_client("a")
+
+    def test_bad_credentials(self):
+        srv = OAuth2Server("p")
+        srv.register_client("a")
+        with pytest.raises(AuthError):
+            srv.issue_token("a", "wrong", now=0.0)
+        with pytest.raises(AuthError):
+            srv.issue_token("ghost", "whatever", now=0.0)
+
+    def test_validate_token_lifecycle(self):
+        srv = OAuth2Server("p", token_lifetime_s=10.0)
+        secret = srv.register_client("a")
+        token = srv.issue_token("a", secret, now=0.0)
+        assert srv.validate(token.value, now=5.0).client_id == "a"
+        with pytest.raises(AuthError, match="expired"):
+            srv.validate(token.value, now=11.0)
+        with pytest.raises(AuthError, match="unknown"):
+            srv.validate("forged", now=0.0)
+
+    def test_revoke(self):
+        srv = OAuth2Server("p")
+        secret = srv.register_client("a")
+        token = srv.issue_token("a", secret, now=0.0)
+        srv.revoke(token.value)
+        with pytest.raises(AuthError):
+            srv.validate(token.value, now=1.0)
+
+    def test_tokens_unique(self):
+        srv = OAuth2Server("p")
+        secret = srv.register_client("a")
+        t1 = srv.issue_token("a", secret, now=0.0)
+        t2 = srv.issue_token("a", secret, now=0.0)
+        assert t1.value != t2.value
+
+    def test_invalid_lifetime(self):
+        with pytest.raises(AuthError):
+            OAuth2Server("p", token_lifetime_s=0)
+
+
+class TestTokenCache:
+    def test_miss_then_hit(self):
+        cache = TokenCache()
+        assert cache.get_valid("ubc", "gdrive", now=0.0) is None
+        token = AccessToken("v", "c", issued_at=0.0, expires_at=100.0)
+        cache.store("ubc", "gdrive", token)
+        assert cache.get_valid("ubc", "gdrive", now=50.0) is token
+
+    def test_expired_tokens_not_returned(self):
+        cache = TokenCache()
+        cache.store("ubc", "gdrive", AccessToken("v", "c", 0.0, 100.0))
+        assert cache.get_valid("ubc", "gdrive", now=150.0) is None
+
+    def test_keyed_by_host_and_provider(self):
+        cache = TokenCache()
+        cache.store("ubc", "gdrive", AccessToken("v", "c", 0.0, 100.0))
+        assert cache.get_valid("purdue", "gdrive", now=0.0) is None
+        assert cache.get_valid("ubc", "dropbox", now=0.0) is None
+
+    def test_clear(self):
+        cache = TokenCache()
+        cache.store("h", "p", AccessToken("v", "c", 0.0, 100.0))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestObjectStore:
+    def test_put_get_roundtrip(self):
+        store = ObjectStore("gdrive")
+        obj = store.put("test.bin", 1000, "digest", owner="ubc", now=5.0)
+        assert store.get("test.bin") is obj
+        assert obj.revision == 1
+
+    def test_overwrite_bumps_revision(self):
+        store = ObjectStore("p")
+        store.put("f", 10, "d1", "o", 0.0)
+        obj = store.put("f", 20, "d2", "o", 1.0)
+        assert obj.revision == 2 and obj.size_bytes == 20
+
+    def test_missing_object_404(self):
+        store = ObjectStore("p")
+        with pytest.raises(CloudApiError) as exc:
+            store.get("nope")
+        assert exc.value.status == 404
+
+    def test_delete(self):
+        store = ObjectStore("p")
+        store.put("f", 10, "d", "o", 0.0)
+        store.delete("f")
+        assert not store.exists("f")
+        with pytest.raises(CloudApiError):
+            store.delete("f")
+
+    def test_list_filter_by_owner(self):
+        store = ObjectStore("p")
+        store.put("a", 1, "d", "ubc", 0.0)
+        store.put("b", 2, "d", "purdue", 0.0)
+        assert [o.path for o in store.list()] == ["a", "b"]
+        assert [o.path for o in store.list(owner="ubc")] == ["a"]
+
+    def test_totals(self):
+        store = ObjectStore("p")
+        store.put("a", 100, "d", "o", 0.0)
+        store.put("b", 200, "d", "o", 0.0)
+        assert store.total_bytes() == 300 and len(store) == 2
+
+    def test_negative_size_rejected(self):
+        store = ObjectStore("p")
+        with pytest.raises(CloudApiError):
+            store.put("f", -1, "d", "o", 0.0)

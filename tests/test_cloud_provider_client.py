@@ -1,0 +1,187 @@
+"""Provider protocols and the CloudClient upload/download coroutines."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    CloudProvider,
+    make_dropbox_protocol,
+    make_gdrive_protocol,
+    make_onedrive_protocol,
+)
+from repro.errors import CloudApiError
+from repro.net import DnsResolver, NetworkEngine
+from repro.sim import Simulator
+from repro.transfer import CloudClient, FileSpec
+from repro.units import MiB, mb, mbps
+
+
+@pytest.fixture
+def cloud_world(mini_world):
+    """mini_world plus a provider whose frontend is the `server` host."""
+    topo, asg, policy, router = mini_world
+    sim = Simulator()
+    engine = NetworkEngine(sim, topo)
+    dns = DnsResolver(topo)
+    provider = CloudProvider(
+        name="gdrive",
+        display_name="Google Drive",
+        api_hostname="www.googleapis.com",
+        auth_hostname="oauth2.googleapis.com",
+        frontend_nodes=["server"],
+        protocol=make_gdrive_protocol(),
+    )
+    provider.register_in_dns(dns)
+    client = CloudClient(sim, engine, router, dns, rng=np.random.default_rng(0))
+    return sim, engine, router, dns, provider, client
+
+
+class TestProtocols:
+    def test_chunk_sizes_exact_multiple(self):
+        proto = make_gdrive_protocol()
+        sizes = proto.chunk_sizes(16 * MiB)
+        assert sizes == [8 * MiB, 8 * MiB]
+
+    def test_chunk_sizes_with_tail(self):
+        proto = make_dropbox_protocol()
+        sizes = proto.chunk_sizes(int(mb(10)))
+        assert sizes[-1] < 4 * MiB
+        assert sum(sizes) == mb(10)
+        assert all(s == 4 * MiB for s in sizes[:-1])
+
+    def test_onedrive_fragment_alignment(self):
+        proto = make_onedrive_protocol()
+        assert proto.chunk_bytes % (320 * 1024) == 0
+
+    def test_chunk_counts_match_paper_protocols(self):
+        # 100 MB: Drive ~12 chunks of 8 MiB, Dropbox ~24, OneDrive ~10
+        assert len(make_gdrive_protocol().chunk_sizes(mb(100))) == 12
+        assert len(make_dropbox_protocol().chunk_sizes(mb(100))) == 24
+        assert len(make_onedrive_protocol().chunk_sizes(mb(100))) == 10
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(CloudApiError):
+            make_gdrive_protocol().chunk_sizes(0)
+
+    def test_provider_requires_frontend(self):
+        with pytest.raises(CloudApiError):
+            CloudProvider("x", "X", "api.x", "auth.x", [], make_gdrive_protocol())
+
+
+class TestUpload:
+    def test_upload_lands_in_store(self, cloud_world):
+        sim, engine, router, dns, provider, client = cloud_world
+        spec = FileSpec("test-10MB.bin", int(mb(10)))
+        p = sim.process(client.upload("hostB", provider, spec))
+        sim.run()
+        report = p.result
+        assert provider.store.exists("test-10MB.bin")
+        obj = provider.store.get("test-10MB.bin")
+        assert obj.size_bytes == mb(10)
+        assert obj.owner == "hostB"
+        assert report.chunk_count == 2  # 10 MB / 8 MiB
+        assert report.token_fetched
+
+    def test_upload_time_in_expected_range(self, cloud_world):
+        sim, engine, router, dns, provider, client = cloud_world
+        spec = FileSpec("f", int(mb(10)))
+        p = sim.process(client.upload("hostB", provider, spec))
+        sim.run()
+        # 10 MB at 50 Mbps bottleneck = 1.6 s + auth/init/commit overheads
+        assert 1.6 < p.result.duration_s < 3.5
+
+    def test_second_upload_skips_token_fetch_and_is_faster(self, cloud_world):
+        sim, engine, router, dns, provider, client = cloud_world
+        spec = FileSpec("f", int(mb(10)))
+
+        def two_uploads():
+            first = yield sim.process(client.upload("hostB", provider, spec))
+            second = yield sim.process(client.upload("hostB", provider, spec))
+            return first, second
+
+        p = sim.process(two_uploads())
+        sim.run()
+        first, second = p.result
+        assert first.token_fetched and not second.token_fetched
+        assert second.duration_s < first.duration_s
+
+    def test_upload_via_policed_path_is_slower(self, cloud_world):
+        """hostA's PBR detour through the 10 Mbps policed exchange."""
+        sim, engine, router, dns, provider, client = cloud_world
+        spec = FileSpec("f", int(mb(10)))
+        pa = sim.process(client.upload("hostA", provider, spec, remote_path="a"))
+        sim.run()
+        sim2 = Simulator()
+        # fresh world for hostB timing (identical except source)
+        engine2 = NetworkEngine(sim2, engine.topology)
+        client2 = CloudClient(sim2, engine2, router, dns, rng=np.random.default_rng(0))
+        pb = sim2.process(client2.upload("hostB", provider, spec, remote_path="b"))
+        sim2.run()
+        assert pa.result.duration_s > 2.5 * pb.result.duration_s
+
+    def test_events_record_protocol_requests(self, cloud_world):
+        sim, engine, router, dns, provider, client = cloud_world
+        spec = FileSpec("f", int(mb(10)))
+        p = sim.process(client.upload("hostB", provider, spec))
+        sim.run()
+        names = [name for _, name in p.result.events]
+        assert names[0] == "POST /oauth2/token"
+        assert "resumable" in names[1]
+        assert sum("PUT" in n for n in names) >= 2
+
+    def test_frontend_selected_by_geo_dns(self, cloud_world):
+        sim, engine, router, dns, provider, client = cloud_world
+        assert provider.frontend_for(dns, "hostB") == "server"
+
+    def test_throughput_property(self, cloud_world):
+        sim, engine, router, dns, provider, client = cloud_world
+        spec = FileSpec("f", int(mb(20)))
+        p = sim.process(client.upload("hostB", provider, spec))
+        sim.run()
+        assert p.result.throughput_bps < mbps(50)  # below the bottleneck
+
+
+class TestDownload:
+    def test_download_roundtrip(self, cloud_world):
+        sim, engine, router, dns, provider, client = cloud_world
+        spec = FileSpec("f", int(mb(10)))
+
+        def roundtrip():
+            yield sim.process(client.upload("hostB", provider, spec))
+            report = yield sim.process(client.download("hostB", provider, "f"))
+            return report
+
+        p = sim.process(roundtrip())
+        sim.run()
+        report = p.result
+        assert report.size_bytes == mb(10)
+        assert report.duration_s > 1.0
+
+    def test_download_missing_file_404(self, cloud_world):
+        sim, engine, router, dns, provider, client = cloud_world
+        p = sim.process(client.download("hostB", provider, "ghost"))
+        sim.run()
+        assert isinstance(p.error, CloudApiError)
+        assert p.error.status == 404
+
+
+class TestJitterDeterminism:
+    def test_same_seed_same_duration(self, mini_world):
+        topo, asg, policy, router = mini_world
+
+        def run(seed):
+            sim = Simulator()
+            engine = NetworkEngine(sim, topo)
+            dns = DnsResolver(topo)
+            provider = CloudProvider(
+                "gdrive", "Google Drive", "api", "auth", ["server"],
+                make_gdrive_protocol(),
+            )
+            provider.register_in_dns(dns)
+            client = CloudClient(sim, engine, router, dns, rng=np.random.default_rng(seed))
+            p = sim.process(client.upload("hostB", provider, FileSpec("f", int(mb(10)))))
+            sim.run()
+            return p.result.duration_s
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)

@@ -1,0 +1,256 @@
+"""Detour selection algorithms, the planner, and bottleneck monitoring."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BottleneckMonitor,
+    DetourPlanner,
+    DetourRoute,
+    DirectRoute,
+    HistorySelector,
+    MonitoredUpload,
+    OracleSelector,
+    PlanExecutor,
+    ProbeSelector,
+    SelectionContext,
+    TransferPlan,
+)
+from repro.errors import MeasurementError, SelectionError
+from repro.testbed import build_case_study, world_factory
+from repro.transfer import FileSpec
+from repro.units import mb
+
+
+def make_ctx(client="ubc", provider="gdrive", size=int(mb(100)), seed=0):
+    world = build_case_study(seed=seed, cross_traffic=False)
+    return SelectionContext(world, client, provider, size, ("ualberta", "umich"))
+
+
+def drive(world, gen):
+    proc = world.sim.process(gen)
+    world.sim.run_until_triggered(proc.done, horizon=1e7)
+    return proc.result
+
+
+class TestSelectionContext:
+    def test_routes_enumeration(self):
+        ctx = make_ctx()
+        descrs = [r.describe() for r in ctx.routes()]
+        assert descrs == ["direct", "via ualberta", "via umich"]
+
+
+class TestProbeSelector:
+    def test_picks_ualberta_for_ubc_gdrive(self):
+        """The paper's Table I cell (A, Google Drive): fastest via UAlberta."""
+        ctx = make_ctx("ubc", "gdrive")
+        selector = ProbeSelector()
+        route = drive(ctx.world, selector.choose(ctx))
+        assert route.describe() == "via ualberta"
+        assert selector.last_predictions["via ualberta"] < selector.last_predictions["direct"]
+
+    def test_picks_direct_for_ubc_dropbox(self):
+        """Table I cell (A, Dropbox): fastest direct."""
+        ctx = make_ctx("ubc", "dropbox")
+        route = drive(ctx.world, ProbeSelector().choose(ctx))
+        assert route.is_direct
+
+    def test_picks_direct_for_ucla(self):
+        """Table I row (C): direct fastest everywhere from UCLA."""
+        ctx = make_ctx("ucla", "gdrive", size=int(mb(30)))
+        route = drive(ctx.world, ProbeSelector().choose(ctx))
+        assert route.is_direct
+
+    def test_picks_detour_for_purdue_gdrive(self):
+        ctx = make_ctx("purdue", "gdrive")
+        route = drive(ctx.world, ProbeSelector().choose(ctx))
+        assert not route.is_direct
+
+    def test_predictions_scale_with_size(self):
+        sel = ProbeSelector()
+        ctx_small = make_ctx("ubc", "gdrive", size=int(mb(10)))
+        drive(ctx_small.world, sel.choose(ctx_small))
+        small_pred = dict(sel.last_predictions)
+        ctx_big = make_ctx("ubc", "gdrive", size=int(mb(100)))
+        drive(ctx_big.world, sel.choose(ctx_big))
+        assert sel.last_predictions["direct"] > small_pred["direct"]
+
+    def test_invalid_configs(self):
+        with pytest.raises(SelectionError):
+            ProbeSelector(probe_sizes=(1000,))
+        with pytest.raises(SelectionError):
+            ProbeSelector(probe_sizes=(0, 100))
+
+
+class TestOracleSelector:
+    def test_oracle_matches_paper_best_for_ubc(self):
+        factory = world_factory(cross_traffic=False)
+        selector = OracleSelector(factory, runs=2, discard=0)
+        ctx = make_ctx("ubc", "gdrive")
+        route = drive(ctx.world, selector.choose(ctx))
+        assert route.describe() == "via ualberta"
+
+    def test_oracle_picks_direct_for_onedrive_ubc(self):
+        factory = world_factory(cross_traffic=False)
+        selector = OracleSelector(factory, runs=2, discard=0)
+        ctx = make_ctx("ubc", "onedrive", size=int(mb(30)))
+        route = drive(ctx.world, selector.choose(ctx))
+        assert route.is_direct
+
+
+class TestHistorySelector:
+    def test_explores_unseen_routes_first(self):
+        ctx = make_ctx()
+        sel = HistorySelector(epsilon=0.0)
+        first = drive(ctx.world, sel.choose(ctx))
+        assert first.is_direct  # routes() order: direct first
+        sel.update(ctx, first, ctx.size_bytes, 87.0)
+        second = drive(ctx.world, sel.choose(ctx))
+        assert second.describe() == "via ualberta"
+
+    def test_exploits_best_after_learning(self):
+        ctx = make_ctx()
+        sel = HistorySelector(epsilon=0.0)
+        sel.update(ctx, DirectRoute(), int(mb(100)), 87.0)
+        sel.update(ctx, DetourRoute("ualberta"), int(mb(100)), 36.0)
+        sel.update(ctx, DetourRoute("umich"), int(mb(100)), 132.0)
+        best = drive(ctx.world, sel.choose(ctx))
+        assert best.describe() == "via ualberta"
+
+    def test_ewma_adapts_to_drift(self):
+        ctx = make_ctx()
+        sel = HistorySelector(alpha=0.5, epsilon=0.0)
+        for route, t in [(DirectRoute(), 30.0), (DetourRoute("ualberta"), 40.0),
+                         (DetourRoute("umich"), 130.0)]:
+            sel.update(ctx, route, int(mb(100)), t)
+        assert drive(ctx.world, sel.choose(ctx)).is_direct
+        # direct deteriorates badly; estimates shift after a few updates
+        for _ in range(4):
+            sel.update(ctx, DirectRoute(), int(mb(100)), 200.0)
+        assert drive(ctx.world, sel.choose(ctx)).describe() == "via ualberta"
+
+    def test_epsilon_explores(self):
+        ctx = make_ctx()
+        sel = HistorySelector(epsilon=0.5, rng=np.random.default_rng(3))
+        for route, t in [(DirectRoute(), 10.0), (DetourRoute("ualberta"), 40.0),
+                         (DetourRoute("umich"), 130.0)]:
+            sel.update(ctx, route, int(mb(100)), t)
+        chosen = {drive(ctx.world, sel.choose(ctx)).describe() for _ in range(30)}
+        assert len(chosen) > 1  # exploration actually happens
+
+    def test_invalid_params(self):
+        with pytest.raises(SelectionError):
+            HistorySelector(alpha=0)
+        with pytest.raises(SelectionError):
+            HistorySelector(epsilon=1.0)
+        sel = HistorySelector()
+        with pytest.raises(SelectionError):
+            sel.update(make_ctx(), DirectRoute(), 0, 1.0)
+
+
+class TestPlanner:
+    def test_compare_ranks_routes_like_paper(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        planner = DetourPlanner(world, runs_per_route=2, discard_runs=0,
+                                inter_run_gap_s=1.0)
+        comparison = planner.compare("ubc", "gdrive", int(mb(100)))
+        assert comparison.best.route.describe() == "via ualberta"
+        assert comparison.gain_over_direct_pct() < -40
+        text = comparison.render()
+        assert "fastest" in text and "direct" in text
+
+    def test_upload_executes_best_route(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        planner = DetourPlanner(world, runs_per_route=1, discard_runs=0)
+        planned = planner.upload("ubc", "gdrive", int(mb(50)), file_name="final.bin")
+        assert planned.best.route.describe() == "via ualberta"
+        assert planned.final.plan.route.describe() == "via ualberta"
+        assert world.provider("gdrive").store.exists("final.bin")
+
+    def test_candidate_routes_exclude_client_dtn(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        planner = DetourPlanner(world)
+        routes = planner.candidate_routes("umich")
+        assert [r.describe() for r in routes] == ["direct", "via ualberta"]
+
+    def test_explicit_vias_validated(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        planner = DetourPlanner(world)
+        from repro.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            planner.candidate_routes("ubc", vias=["mit"])
+
+    def test_bad_protocol_rejected(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        with pytest.raises(MeasurementError):
+            DetourPlanner(world, runs_per_route=0)
+        with pytest.raises(MeasurementError):
+            planner = DetourPlanner(world)
+            planner.compare("ubc", "gdrive", 0)
+
+    def test_significance_flag_with_identical_routes(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        planner = DetourPlanner(world, runs_per_route=2, discard_runs=0)
+        comparison = planner.compare("ubc", "gdrive", int(mb(100)))
+        # quiet world, big gap -> clearly significant
+        assert comparison.best_is_significant()
+
+
+class TestMonitor:
+    def test_probe_all_covers_routes(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        monitor = BottleneckMonitor(world, "ubc", "gdrive", ("ualberta", "umich"))
+        estimates = drive(world, monitor.probe_all())
+        assert set(estimates) == {"direct", "via ualberta", "via umich"}
+        assert all(v > 0 for v in estimates.values())
+
+    def test_best_route_requires_probes(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        monitor = BottleneckMonitor(world, "ubc", "gdrive", ("ualberta",))
+        with pytest.raises(SelectionError):
+            monitor.best_route()
+
+    def test_monitored_upload_uses_best_route(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        monitor = BottleneckMonitor(world, "ubc", "gdrive", ("ualberta", "umich"),
+                                    probe_bytes=int(mb(2)))
+        upload = MonitoredUpload(monitor, segment_bytes=int(mb(20)))
+        result = drive(world, upload.run(FileSpec("big.bin", int(mb(60)))))
+        assert sum(s.size_bytes for s in result.segments) == mb(60)
+        assert result.routes_used[0] == "via ualberta"
+
+    def test_monitored_upload_switches_when_route_degrades(self):
+        """Kill the UAlberta detour mid-transfer; the monitor reroutes."""
+        world = build_case_study(seed=0, cross_traffic=False)
+        monitor = BottleneckMonitor(world, "ubc", "gdrive", ("ualberta",),
+                                    probe_bytes=int(mb(2)), alpha=1.0)
+        upload = MonitoredUpload(monitor, segment_bytes=int(mb(15)),
+                                 switch_threshold=1.2)
+
+        # Congest the CANARIE->Google peering (the detour's second hop;
+        # the direct route bypasses it via Pacific Wave) with an elephant
+        # herd, crushing the detour's fair share to ~5 Mbps.
+        def sabotage():
+            yield 30.0
+            link = world.topology.link("canarie-vncv--google-peer-vncv")
+            for i in range(9):
+                world.engine.start_transfer(
+                    [link.direction_from("canarie-vncv")], mb(100000),
+                    label=f"sabotage-{i}")
+
+        world.sim.process(sabotage())
+        result = drive(world, upload.run(FileSpec("big.bin", int(mb(120)))))
+        assert result.switch_count >= 1
+        assert len(result.routes_used) >= 2
+        assert result.routes_used[0] == "via ualberta"
+
+    def test_invalid_monitor_params(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        with pytest.raises(SelectionError):
+            BottleneckMonitor(world, "ubc", "gdrive", (), probe_bytes=0)
+        monitor = BottleneckMonitor(world, "ubc", "gdrive", ())
+        with pytest.raises(SelectionError):
+            MonitoredUpload(monitor, segment_bytes=0)
+        with pytest.raises(SelectionError):
+            MonitoredUpload(monitor, switch_threshold=0.5)

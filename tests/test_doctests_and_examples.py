@@ -1,0 +1,46 @@
+"""Module doctests and example smoke runs."""
+
+import doctest
+import runpy
+import sys
+
+import pytest
+
+DOCTESTED_MODULES = [
+    "repro.sim.kernel",
+    "repro.sim.rng",
+    "repro.net.policer",
+    "repro.net.address",
+    "repro.transfer.checksums",
+]
+
+
+@pytest.mark.parametrize("module_name", DOCTESTED_MODULES)
+def test_module_doctests(module_name):
+    module = __import__(module_name, fromlist=["_"])
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module_name}: {results.failed} doctest failures"
+    assert results.attempted > 0, f"{module_name}: docstrings lost their examples"
+
+
+FAST_EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/traceroute_diagnosis.py",
+    "examples/custom_scenario.py",
+    "examples/dynamic_rerouting.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(script, run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 200  # produced a real report
+
+
+def test_quickstart_output_content(capsys):
+    runpy.run_path("examples/quickstart.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "via ualberta" in out
+    assert "fastest" in out
+    assert "Stored: holiday-photos.tar" in out

@@ -1,0 +1,80 @@
+"""Detoured downloads: the upload machinery in reverse (extension)."""
+
+import pytest
+
+from repro.core import DetourRoute, DirectRoute, PlanExecutor, TransferPlan
+from repro.errors import TransferError
+from repro.testbed import build_case_study
+from repro.transfer import FileSpec, RelayMode
+from repro.units import mb
+
+
+@pytest.fixture()
+def seeded_world():
+    """World with a 100 MB object already stored on each provider."""
+    world = build_case_study(seed=0, cross_traffic=False)
+    for provider in world.providers.values():
+        provider.store.put("dataset.bin", int(mb(100)), "digest", "owner", now=0.0)
+    return world
+
+
+def run_download(world, client, provider, route):
+    executor = PlanExecutor(world)
+    plan = TransferPlan(client, provider, FileSpec("dataset.bin", int(mb(100))), route)
+    proc = world.sim.process(executor.execute_download(plan))
+    world.sim.run_until_triggered(proc.done, horizon=1e7)
+    if proc.error:
+        raise proc.error
+    return proc.result
+
+
+class TestDirectDownloads:
+    def test_ubc_gdrive_download_not_policed(self, seeded_world):
+        """The pacificwave PBR matches PlanetLab *sources*; the reverse
+        (Google -> UBC) direction takes the clean peering, so downloads
+        are ~5x faster than the 87 s uploads — a real asymmetry of
+        source-based policy routing."""
+        result = run_download(seeded_world, "ubc", "gdrive", DirectRoute())
+        assert result.total_s < 30
+
+    def test_ucla_download_still_choked_by_last_mile(self, seeded_world):
+        # access links are symmetric: the 1.35 Mbit/s cap binds both ways
+        result = run_download(seeded_world, "ucla", "gdrive", DirectRoute())
+        assert result.total_s > 400
+
+    def test_download_leg_direction(self, seeded_world):
+        result = run_download(seeded_world, "ubc", "gdrive", DirectRoute())
+        leg = result.legs[0]
+        assert leg.src == "gdrive-frontend"
+        assert leg.dst == "ubc-pl"
+
+
+class TestDetouredDownloads:
+    def test_detour_download_stages_on_dtn(self, seeded_world):
+        result = run_download(seeded_world, "ubc", "gdrive", DetourRoute("ualberta"))
+        assert [l.kind for l in result.legs] == ["api", "rsync"]
+        assert seeded_world.dtn_of("ualberta").has("dataset.bin")
+
+    def test_detour_download_sums_legs(self, seeded_world):
+        result = run_download(seeded_world, "ubc", "gdrive", DetourRoute("ualberta"))
+        assert result.total_s == pytest.approx(
+            sum(l.duration_s for l in result.legs), rel=1e-6)
+
+    def test_direct_download_beats_detour_from_ubc(self, seeded_world):
+        """With no policer on the reverse path, the detour is pure
+        overhead for downloads — detours are direction-specific."""
+        direct = run_download(seeded_world, "ubc", "gdrive", DirectRoute())
+        detour = run_download(seeded_world, "ubc", "gdrive", DetourRoute("ualberta"))
+        assert direct.total_s < detour.total_s
+
+    def test_pipelined_download_unsupported(self, seeded_world):
+        with pytest.raises(TransferError, match="pipelined"):
+            run_download(seeded_world, "ubc", "gdrive",
+                         DetourRoute("ualberta", mode=RelayMode.PIPELINED))
+
+    def test_missing_object_propagates_404(self):
+        from repro.errors import CloudApiError
+
+        world = build_case_study(seed=0, cross_traffic=False)
+        with pytest.raises(CloudApiError):
+            run_download(world, "ubc", "gdrive", DirectRoute())

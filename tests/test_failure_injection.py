@@ -1,0 +1,147 @@
+"""Failure injection: the system degrades loudly, not silently."""
+
+import pytest
+
+from repro.cloud import CloudProvider, make_gdrive_protocol
+from repro.core import DetourRoute, DirectRoute, PlanExecutor, TransferPlan
+from repro.errors import AuthError, CloudApiError, TransferError
+from repro.testbed import build_case_study
+from repro.transfer import CloudClient, DataTransferNode, FileSpec
+from repro.units import mb, mbps
+
+
+def drive_expect_error(world, gen, exc_type):
+    proc = world.sim.process(gen)
+    world.sim.run_until_triggered(proc.done, horizon=1e7)
+    assert proc.finished
+    assert isinstance(proc.error, exc_type), f"got {proc.error!r}"
+    return proc.error
+
+
+class TestAuthFailures:
+    def test_revoked_token_fails_upload_commit(self):
+        """Revocation (not expiry) between chunks surfaces as a 401."""
+        world = build_case_study(seed=0, cross_traffic=False)
+        executor = PlanExecutor(world)
+        provider = world.provider("gdrive")
+
+        # sabotage: revoke every issued token shortly after upload start
+        def revoker():
+            yield 5.0
+            for value in list(provider.oauth._issued):
+                provider.oauth.revoke(value)
+
+        world.sim.process(revoker())
+        plan = TransferPlan("ubc", "gdrive", FileSpec("f", int(mb(100))), DirectRoute())
+        err = drive_expect_error(world, executor.execute(plan), AuthError)
+        assert err.status == 401
+
+    def test_failed_upload_leaves_no_object(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        executor = PlanExecutor(world)
+        provider = world.provider("gdrive")
+
+        def revoker():
+            yield 5.0
+            for value in list(provider.oauth._issued):
+                provider.oauth.revoke(value)
+
+        world.sim.process(revoker())
+        plan = TransferPlan("ubc", "gdrive", FileSpec("ghost.bin", int(mb(100))))
+        drive_expect_error(world, executor.execute(plan), AuthError)
+        assert not provider.store.exists("ghost.bin")
+
+    def test_wrong_secret_rejected_at_token_endpoint(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        provider = world.provider("gdrive")
+        provider.oauth.register_client("mallory")
+        with pytest.raises(AuthError):
+            provider.oauth.issue_token("mallory", "guessed-secret", now=0.0)
+
+
+class TestDtnFailures:
+    def test_detour_fails_when_dtn_disk_full(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        # shrink the UAlberta DTN below the file size
+        world.dtns["ualberta"] = DataTransferNode("ualberta-dtn",
+                                                  capacity_bytes=mb(50))
+        executor = PlanExecutor(world)
+        plan = TransferPlan("ubc", "gdrive", FileSpec("big.bin", int(mb(100))),
+                            DetourRoute("ualberta"))
+        err = drive_expect_error(world, executor.execute(plan), TransferError)
+        assert "capacity" in str(err)
+
+    def test_direct_route_unaffected_by_dtn_failure(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        world.dtns["ualberta"] = DataTransferNode("ualberta-dtn", capacity_bytes=1)
+        executor = PlanExecutor(world)
+        result = executor.run(TransferPlan(
+            "ubc", "gdrive", FileSpec("ok.bin", int(mb(10))), DirectRoute()))
+        assert world.provider("gdrive").store.exists("ok.bin")
+
+
+class TestTransferCancellation:
+    def test_cancelled_flow_fails_its_waiter_and_frees_bandwidth(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        link = world.topology.link("canarie-vncv--google-peer-vncv")
+        dirs = [link.direction_from("canarie-vncv")]
+        victim = world.engine.start_transfer(dirs, mb(100), label="victim")
+        survivor = world.engine.start_transfer(dirs, mb(50), label="survivor")
+
+        def canceller():
+            yield 2.0
+            world.engine.cancel(victim)
+
+        world.sim.process(canceller())
+        world.sim.run_until_triggered(survivor.done, horizon=1e6)
+        assert isinstance(victim.done._failed, TransferError)
+        # survivor: 2 s at 26 Mbit/s, remainder at 52 Mbit/s
+        expected = 2.0 + (mb(50) - 2.0 * 26e6 / 8) * 8 / 52e6
+        assert survivor.done.value.duration_s == pytest.approx(expected, rel=0.01)
+
+    def test_interrupting_a_plan_cancels_cleanly(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        executor = PlanExecutor(world)
+        plan = TransferPlan("ubc", "gdrive", FileSpec("f", int(mb(100))))
+        proc = world.sim.process(executor.execute(plan))
+
+        def killer():
+            yield 10.0
+            proc.interrupt("operator abort")
+
+        world.sim.process(killer())
+        world.sim.run_until_triggered(proc.done, horizon=1e6)
+        assert proc.finished
+        assert proc.error is None  # unhandled interrupt = quiet cancellation
+        assert proc.result is None
+
+
+class TestApiMisuse:
+    def test_download_of_missing_object_is_404_before_any_traffic(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        client = CloudClient(world.sim, world.engine, world.router, world.dns,
+                             world.tcp, world.token_cache)
+        start = world.sim.now
+        err = drive_expect_error(
+            world, client.download("ubc-pl", world.provider("gdrive"), "nope"),
+            CloudApiError)
+        assert err.status == 404
+        assert world.sim.now == start  # failed before spending simulated time
+
+    def test_upload_of_empty_file_rejected(self):
+        with pytest.raises(TransferError):
+            FileSpec("empty", 0)
+
+
+class TestExtremeDegradation:
+    def test_tiny_firewall_cap_slows_but_completes(self):
+        from repro.testbed import build_science_dmz_world
+
+        world = build_science_dmz_world(seed=0, per_flow_cap_bps=mbps(0.5),
+                                        cross_traffic=False)
+        executor = PlanExecutor(world)
+        result = executor.run(TransferPlan(
+            "ualberta", "gdrive", FileSpec("slow.bin", int(mb(5))), DirectRoute()))
+        # 5 MB at 0.5 Mbit/s = 80 s minimum
+        assert result.total_s > 80
+        assert world.provider("gdrive").store.exists("slow.bin")

@@ -1,0 +1,32 @@
+"""The one-shot full report generator."""
+
+import pytest
+
+from repro.analysis import AnalysisConfig, generate_full_report
+from repro.measure import ExperimentProtocol
+
+FAST = AnalysisConfig(sizes_mb=(10,), protocol=ExperimentProtocol(2, 0, 1.0),
+                      cross_traffic=False)
+
+
+class TestFullReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_full_report(FAST)
+
+    def test_contains_all_tables(self, report):
+        for marker in ["Table I:", "Table II:", "Table III:", "Table IV:",
+                       "Table V:", "PAPER-VS-MEASURED"]:
+            assert marker in report
+
+    def test_contains_key_conclusions(self, report):
+        assert "via ualberta" in report
+        assert "Fastest" in report
+        assert "ratio" in report
+
+    def test_table4_falls_back_to_available_sizes(self, report):
+        # cfg only has 10 MB; Table IV must use it rather than crash
+        assert "10 MB dropbox" in report
+
+    def test_deterministic(self, report):
+        assert generate_full_report(FAST) == report

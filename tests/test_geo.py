@@ -1,0 +1,160 @@
+"""Geography substrate: distances, sites, geolocation registry."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import (
+    CLIENT_SITES,
+    CLOUD_DATACENTERS,
+    GeoPoint,
+    GeoRegistry,
+    INTERMEDIATE_SITES,
+    SITES,
+    bearing_deg,
+    haversine_km,
+    path_length_km,
+    site,
+)
+from repro.geo.coords import detour_stretch
+
+
+def points():
+    return st.builds(
+        GeoPoint,
+        lat=st.floats(min_value=-90, max_value=90, allow_nan=False),
+        lon=st.floats(min_value=-180, max_value=180, allow_nan=False),
+    )
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        p = GeoPoint(49.26, -123.24)
+        assert haversine_km(p, p) == 0.0
+
+    def test_known_distance_vancouver_edmonton(self):
+        # UBC to UAlberta is ~810 km great-circle
+        d = haversine_km(site("ubc").location, site("ualberta").location)
+        assert 750 < d < 870
+
+    def test_known_distance_ubc_mountainview(self):
+        d = haversine_km(site("ubc").location, site("gdrive-dc").location)
+        assert 1200 < d < 1450
+
+    @given(points(), points())
+    def test_symmetry(self, a, b):
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a), abs=1e-9)
+
+    @given(points(), points(), points())
+    def test_triangle_inequality_on_sphere(self, a, b, c):
+        assert haversine_km(a, c) <= haversine_km(a, b) + haversine_km(b, c) + 1e-6
+
+    @given(points(), points())
+    def test_bounded_by_half_circumference(self, a, b):
+        assert haversine_km(a, b) <= math.pi * 6371.01 + 1.0
+
+
+class TestGeoPoint:
+    def test_bad_latitude_rejected(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91, 0)
+
+    def test_bad_longitude_rejected(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0, 181)
+
+    def test_str_format(self):
+        assert str(GeoPoint(49.2606, -123.246)) == "49.2606N,123.2460W"
+
+    def test_propagation_delay_positive(self):
+        d = site("ubc").location.propagation_delay_s(site("ualberta").location)
+        assert 0.004 < d < 0.012  # few ms one-way
+
+
+class TestPathsAndDetours:
+    def test_path_length_degenerate(self):
+        assert path_length_km([]) == 0.0
+        assert path_length_km([GeoPoint(0, 0)]) == 0.0
+
+    def test_path_length_sums_segments(self):
+        a, b, c = site("ubc").location, site("ualberta").location, site("gdrive-dc").location
+        assert path_length_km([a, b, c]) == pytest.approx(haversine_km(a, b) + haversine_km(b, c))
+
+    def test_paper_detour_is_geographic_backtrack(self):
+        # Fig. 3: UBC -> UAlberta -> Mountain View is much longer on the map
+        stretch = detour_stretch(
+            site("ubc").location, site("ualberta").location, site("gdrive-dc").location
+        )
+        assert stretch > 1.8  # a significant geographical detour
+
+    def test_bearing_range(self):
+        b = bearing_deg(site("ubc").location, site("gdrive-dc").location)
+        assert 0 <= b < 360
+        # Mountain View is roughly south of Vancouver
+        assert 140 < b < 220
+
+
+class TestSites:
+    def test_all_paper_sites_present(self):
+        for name in ["ubc", "purdue", "ucla", "ualberta", "umich", "gdrive-dc", "dropbox-dc", "onedrive-dc"]:
+            assert name in SITES
+
+    def test_role_partition(self):
+        assert {s.name for s in CLIENT_SITES} == {"ubc", "purdue", "ucla"}
+        assert {s.name for s in INTERMEDIATE_SITES} == {"ualberta", "umich"}
+        assert {s.name for s in CLOUD_DATACENTERS} == {"gdrive-dc", "dropbox-dc", "onedrive-dc"}
+
+    def test_planetlab_flags(self):
+        assert site("ubc").planetlab and site("ucla").planetlab
+        assert not site("ualberta").planetlab
+
+    def test_unknown_site_raises_with_hint(self):
+        with pytest.raises(KeyError, match="unknown site"):
+            site("mit")
+
+    def test_datacenter_cities_match_paper(self):
+        assert "Mountain View" in site("gdrive-dc").city
+        assert "Ashburn" in site("dropbox-dc").city
+        assert "Seattle" in site("onedrive-dc").city
+
+
+class TestGeoRegistry:
+    def test_longest_prefix_wins(self):
+        reg = GeoRegistry()
+        reg.register("142.103.0.0/16", site("ubc"))
+        reg.register("142.103.78.0/24", site("ualberta"))  # more specific
+        assert reg.site_of("142.103.78.5").name == "ualberta"
+        assert reg.site_of("142.103.1.1").name == "ubc"
+
+    def test_miss_returns_none(self):
+        reg = GeoRegistry()
+        reg.register("10.0.0.0/8", site("ubc"))
+        assert reg.lookup("192.168.1.1") is None
+
+    def test_locate_returns_geopoint(self):
+        reg = GeoRegistry()
+        reg.register("199.212.24.0/24", site("canarie-vancouver"))
+        loc = reg.locate("199.212.24.1")
+        assert loc == site("canarie-vancouver").location
+
+    def test_bad_prefix_rejected(self):
+        reg = GeoRegistry()
+        from repro.errors import AddressError
+
+        with pytest.raises(AddressError):
+            reg.register("299.0.0.0/8", site("ubc"))
+
+    def test_bad_address_rejected(self):
+        reg = GeoRegistry()
+        from repro.errors import AddressError
+
+        with pytest.raises(AddressError):
+            reg.lookup("not-an-ip")
+
+    def test_len_and_prefixes(self):
+        reg = GeoRegistry()
+        reg.register("10.0.0.0/8", site("ubc"))
+        reg.register("10.1.0.0/16", site("ucla"))
+        assert len(reg) == 2
+        assert set(reg.prefixes()) == {"10.0.0.0/8", "10.1.0.0/16"}

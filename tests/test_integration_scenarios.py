@@ -1,0 +1,131 @@
+"""Cross-module integration scenarios under realistic conditions."""
+
+import pytest
+
+import repro
+from repro.core import (
+    BottleneckMonitor,
+    DetourPlanner,
+    DetourRoute,
+    DirectRoute,
+    MonitoredUpload,
+    PlanExecutor,
+    TransferPlan,
+)
+from repro.testbed import build_case_study, build_science_dmz_world
+from repro.transfer import FileSpec, RelayMode
+from repro.units import mb, mbps
+
+
+class TestTopLevelApi:
+    def test_lazy_exports(self):
+        assert repro.build_case_study is not None
+        assert repro.DetourPlanner is not None
+        assert repro.FileSpec("f", 10).size_bytes == 10
+        with pytest.raises(AttributeError):
+            repro.no_such_thing
+
+    def test_quickstart_docstring_flow(self):
+        world = repro.build_case_study(seed=1)
+        planner = repro.DetourPlanner(world, runs_per_route=1, discard_runs=0)
+        report = planner.upload("ubc", "gdrive", size_bytes=int(mb(20)))
+        assert report.best.route.describe() == "via ualberta"
+
+
+class TestNoisyWorldScenarios:
+    def test_pipelined_detour_with_cross_traffic(self):
+        """Pipelining holds up when background flows perturb both legs."""
+        world_sf = build_case_study(seed=9)
+        sf = PlanExecutor(world_sf).run(TransferPlan(
+            "purdue", "onedrive", FileSpec("p.bin", int(mb(60))),
+            DetourRoute("ualberta")))
+        world_pl = build_case_study(seed=9)
+        pl = PlanExecutor(world_pl).run(TransferPlan(
+            "purdue", "onedrive", FileSpec("p.bin", int(mb(60))),
+            DetourRoute("ualberta", mode=RelayMode.PIPELINED)))
+        assert pl.total_s < sf.total_s
+
+    def test_planner_in_noisy_world_still_finds_detour(self):
+        world = build_case_study(seed=3)  # cross traffic on
+        planner = DetourPlanner(world, runs_per_route=3, discard_runs=1)
+        comparison = planner.compare("purdue", "gdrive", int(mb(50)))
+        assert not comparison.best.route.is_direct
+        assert comparison.gain_over_direct_pct() < -40
+
+    def test_monitor_probes_survive_cross_traffic(self):
+        world = build_case_study(seed=5)
+        monitor = BottleneckMonitor(world, "purdue", "gdrive",
+                                    ("ualberta", "umich"), probe_bytes=int(mb(2)))
+        proc = world.sim.process(monitor.probe_all())
+        world.sim.run_until_triggered(proc.done, horizon=1e6)
+        estimates = proc.result
+        assert estimates["via ualberta"] > estimates["direct"]
+
+    def test_table4_overlap_emerges_from_noise(self):
+        """Integration of harness + cross traffic: repeated runs in one
+        noisy world produce non-trivial sigma."""
+        from repro.measure import ExperimentProtocol, ExperimentRunner
+
+        runner = ExperimentRunner(
+            lambda seed: build_case_study(seed=seed),
+            ExperimentProtocol(total_runs=5, discard_runs=1, inter_run_gap_s=5.0),
+            master_seed=11,
+        )
+
+        def run_factory(world, run_index):
+            plan = TransferPlan("purdue", "gdrive", FileSpec("t", int(mb(30))))
+            result = yield from PlanExecutor(world).execute(plan)
+            return result
+
+        m = runner.measure("noise-check", run_factory)
+        assert m.kept.std > 0.02 * m.kept.mean  # visible run-to-run noise
+
+
+class TestDmzIntegration:
+    def test_planner_discovers_dmz_dtn(self):
+        """The planner enumerates the DMZ DTN automatically and prefers
+        it over the firewalled one."""
+        world = build_science_dmz_world(seed=0, per_flow_cap_bps=mbps(10),
+                                        cross_traffic=False)
+        planner = DetourPlanner(world, runs_per_route=1, discard_runs=0)
+        comparison = planner.compare("ubc", "gdrive", int(mb(100)))
+        assert comparison.best.route.describe() == "via ualberta-dmz"
+
+    def test_probe_selector_sees_through_the_firewall(self):
+        from repro.core import ProbeSelector, SelectionContext
+
+        world = build_science_dmz_world(seed=0, per_flow_cap_bps=mbps(5),
+                                        cross_traffic=False)
+        ctx = SelectionContext(world, "ubc", "gdrive", int(mb(100)),
+                               ("ualberta", "ualberta-dmz"))
+        proc = world.sim.process(ProbeSelector().choose(ctx))
+        world.sim.run_until_triggered(proc.done, horizon=1e6)
+        assert proc.result.describe() == "via ualberta-dmz"
+
+
+class TestEndToEndConsistency:
+    def test_planner_and_executor_agree(self):
+        """The route the planner measures fastest is fastest when run
+        standalone too (same world, deterministic)."""
+        world = build_case_study(seed=0, cross_traffic=False)
+        planner = DetourPlanner(world, runs_per_route=1, discard_runs=0)
+        comparison = planner.compare("ubc", "gdrive", int(mb(50)))
+        times = {}
+        for m in comparison.measurements:
+            result = PlanExecutor(world).run(TransferPlan(
+                "ubc", "gdrive", FileSpec("x.bin", int(mb(50))), m.route))
+            times[m.route.describe()] = result.total_s
+        assert min(times, key=times.get) == comparison.best.route.describe()
+
+    def test_store_contents_after_mixed_workload(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        executor = PlanExecutor(world)
+        for i, (client, provider) in enumerate([
+            ("ubc", "gdrive"), ("purdue", "dropbox"), ("ucla", "onedrive"),
+        ]):
+            executor.run(TransferPlan(
+                client, provider, FileSpec(f"file{i}.bin", int(mb(5)))))
+        assert world.provider("gdrive").store.exists("file0.bin")
+        assert world.provider("dropbox").store.exists("file1.bin")
+        assert world.provider("onedrive").store.exists("file2.bin")
+        assert world.provider("gdrive").store.total_bytes() == mb(5)

@@ -1,0 +1,164 @@
+"""Gap-filling tests: kernel run control, starved flows, misc edges."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError, TransferError
+from repro.net import NetworkEngine, TokenBucket
+from repro.net.topology import Link, Node, NodeKind, Topology
+from repro.sim import Signal, Simulator
+from repro.units import mb, mbps, ms
+
+
+class TestRunUntilTriggered:
+    def test_stops_at_trigger_not_heap_drain(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        late = []
+        sim.schedule(5.0, lambda: sig.trigger("done"))
+        sim.schedule(100.0, lambda: late.append(True))  # must NOT run
+        assert sim.run_until_triggered(sig) is True
+        assert late == []
+        assert sim.now == pytest.approx(5.0)
+
+    def test_horizon_stops_early(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        sim.schedule(50.0, lambda: sig.trigger())
+        assert sim.run_until_triggered(sig, horizon=10.0) is False
+        assert not sig.triggered
+
+    def test_heap_drain_returns_trigger_state(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        sim.schedule(1.0, lambda: None)
+        assert sim.run_until_triggered(sig) is False
+
+    def test_already_triggered_is_immediate(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        sig.trigger()
+        sim.schedule(10.0, lambda: None)
+        assert sim.run_until_triggered(sig) is True
+        assert sim.now == 0.0
+
+    def test_perpetual_background_does_not_block(self):
+        """The motivating case: infinite background process, finite task."""
+        sim = Simulator()
+        sig = Signal(sim)
+        ticks = []
+
+        def background():
+            while True:
+                yield 1.0
+                ticks.append(sim.now)
+
+        def task():
+            yield 7.5
+            sig.trigger()
+
+        sim.process(background())
+        sim.process(task())
+        assert sim.run_until_triggered(sig, horizon=1e6)
+        assert sim.now == pytest.approx(7.5)
+        assert len(ticks) == 7  # background only ran while needed
+
+
+class TestStarvedFlows:
+    def _topo(self):
+        topo = Topology()
+        topo.add_node(Node("a", NodeKind.HOST, 1, "10.0.0.1"))
+        topo.add_node(Node("b", NodeKind.HOST, 1, "10.0.0.2"))
+        topo.add_link(Link("a", "b", capacity_bps=mbps(10), delay_s=ms(1)))
+        return topo
+
+    def test_flow_with_zero_ceiling_share_waits_for_capacity(self):
+        """A hard-capped competitor can momentarily starve nothing here —
+        max-min always gives a positive share — but a *cancelled* flow's
+        capacity is reclaimed immediately."""
+        topo = self._topo()
+        sim = Simulator()
+        engine = NetworkEngine(sim, topo)
+        d = topo.path_directions(["a", "b"])
+        hog = engine.start_transfer(d, mb(1000))
+        small = engine.start_transfer(d, mb(5))
+        sim.schedule(1.0, lambda: engine.cancel(hog))
+        sim.run_until_triggered(small.done, horizon=1e5)
+        # 1 s at 5 Mbit/s + remaining 4.375 MB at 10 Mbit/s = 4.5 s
+        assert small.done.value.duration_s == pytest.approx(4.5, rel=0.01)
+
+    def test_many_flows_all_progress(self):
+        topo = self._topo()
+        sim = Simulator()
+        engine = NetworkEngine(sim, topo)
+        d = topo.path_directions(["a", "b"])
+        flows = [engine.start_transfer(d, mb(1)) for _ in range(20)]
+        sim.run()
+        ends = [f.done.value.end_time for f in flows]
+        # equal shares, equal sizes -> all complete together at 16 s
+        assert all(e == pytest.approx(16.0) for e in ends)
+
+
+class TestTokenBucketProperty:
+    @given(
+        rate=st.floats(min_value=1e5, max_value=1e8),
+        burst=st.floats(min_value=1e3, max_value=1e7),
+        sizes=st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=1, max_size=30),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sustained_rate_never_exceeded(self, rate, burst, sizes):
+        """Over any sequence, bytes passed <= burst + rate * elapsed."""
+        tb = TokenBucket(rate_bps=rate, burst_bytes=burst)
+        now = 0.0
+        sent = 0.0
+        for size in sizes:
+            delay = tb.consume(size, now)
+            now += delay
+            sent += size
+            assert sent <= burst + (rate / 8) * now + 1e-6
+
+
+class TestSignalEdgeCases:
+    def test_fail_after_trigger_rejected(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        sig.trigger(1)
+        with pytest.raises(SimulationError):
+            sig.fail(ValueError("late"))
+
+    def test_waiter_on_failed_signal_gets_exception_later(self):
+        sim = Simulator()
+        sig = Signal(sim)
+        sig.fail(KeyError("pre-failed"))
+
+        def waiter():
+            try:
+                yield sig
+            except KeyError:
+                return "saw it"
+
+        p = sim.process(waiter())
+        sim.run()
+        assert p.result == "saw it"
+
+
+class TestEngineEdgeCases:
+    def test_duplicate_start_times_all_complete(self):
+        topo = TestStarvedFlows()._topo()
+        sim = Simulator()
+        engine = NetworkEngine(sim, topo)
+        d = topo.path_directions(["a", "b"])
+        flows = []
+        for _ in range(5):
+            sim.schedule(2.0, lambda: flows.append(engine.start_transfer(d, mb(2))))
+        sim.run()
+        assert len(flows) == 5
+        assert all(f.finished for f in flows)
+
+    def test_tiny_transfer(self):
+        topo = TestStarvedFlows()._topo()
+        sim = Simulator()
+        engine = NetworkEngine(sim, topo)
+        t = engine.start_transfer(topo.path_directions(["a", "b"]), 1.0)
+        sim.run()
+        assert t.done.value.duration_s == pytest.approx(8 / mbps(10))

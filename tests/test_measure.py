@@ -1,0 +1,219 @@
+"""Measurement methodology: stats, harness protocol, result tables."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MeasurementError
+from repro.measure import (
+    ExperimentProtocol,
+    ExperimentRunner,
+    ResultTable,
+    Summary,
+    error_bars_overlap,
+    relative_gain_pct,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)  # sample std, ddof=1
+        assert (s.n, s.minimum, s.maximum) == (3, 1.0, 3.0)
+
+    def test_single_sample_zero_std(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(MeasurementError):
+            summarize([])
+
+    def test_error_bar_ends(self):
+        s = summarize([10.0, 14.0])
+        assert s.low == pytest.approx(s.mean - s.std)
+        assert s.high == pytest.approx(s.mean + s.std)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e4), min_size=2, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_mean_within_bounds(self, xs):
+        s = summarize(xs)
+        assert s.minimum - 1e-9 <= s.mean <= s.maximum + 1e-9
+        assert s.std >= 0
+
+
+class TestRelativeGain:
+    def test_paper_table2_value(self):
+        # Table II, 10 MB: direct 9.46 s, via UAlberta 6.47 s -> -31.61%
+        assert relative_gain_pct(9.46, 6.47) == pytest.approx(-31.61, abs=0.15)
+
+    def test_slowdown_positive(self):
+        # Table II, 10 MB via UMich: 15.41 vs 9.46 -> +62.9%
+        assert relative_gain_pct(9.46, 15.41) == pytest.approx(62.9, abs=0.2)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(MeasurementError):
+            relative_gain_pct(0, 1)
+
+
+class TestOverlap:
+    def test_paper_table4_example(self):
+        """Dropbox 100 MB from Purdue: direct overlaps both detours."""
+        direct = Summary(177.89, 36.03, 5, 0, 0)
+        via_ua = Summary(237.78, 56.10, 5, 0, 0)
+        via_um = Summary(226.43, 50.48, 5, 0, 0)
+        assert error_bars_overlap(direct, via_ua)
+        assert error_bars_overlap(direct, via_um)
+
+    def test_disjoint_bars(self):
+        a = Summary(10.0, 1.0, 5, 0, 0)
+        b = Summary(20.0, 2.0, 5, 0, 0)
+        assert not error_bars_overlap(a, b)
+        assert not error_bars_overlap(b, a)  # symmetric
+
+    def test_touching_bars_overlap(self):
+        a = Summary(10.0, 5.0, 5, 0, 0)
+        b = Summary(20.0, 5.0, 5, 0, 0)
+        assert error_bars_overlap(a, b)
+
+
+class TestProtocol:
+    def test_paper_defaults(self):
+        p = ExperimentProtocol()
+        assert p.total_runs == 7 and p.discard_runs == 2 and p.kept_runs == 5
+
+    def test_invalid_protocols(self):
+        with pytest.raises(MeasurementError):
+            ExperimentProtocol(total_runs=0)
+        with pytest.raises(MeasurementError):
+            ExperimentProtocol(total_runs=3, discard_runs=3)
+        with pytest.raises(MeasurementError):
+            ExperimentProtocol(inter_run_gap_s=-1)
+
+
+class _FakeWorld:
+    """Minimal world for harness tests: a sim plus a seed-derived bias."""
+
+    def __init__(self, seed):
+        from repro.sim import Simulator
+
+        self.sim = Simulator()
+        self.seed = seed
+
+
+class TestRunner:
+    def test_runs_sequenced_and_warmups_dropped(self):
+        protocol = ExperimentProtocol(total_runs=7, discard_runs=2, inter_run_gap_s=1.0)
+        runner = ExperimentRunner(_FakeWorld, protocol, master_seed=1)
+        run_log = []
+
+        def run_factory(world, run_index):
+            run_log.append((run_index, world.sim.now))
+            # first runs are slow (token warm-up effect)
+            duration = 10.0 if run_index < 2 else 2.0
+            yield duration
+            return duration
+
+        m = runner.measure("demo", run_factory)
+        assert len(m.all_durations_s) == 7
+        assert m.kept.n == 5
+        assert m.mean_s == pytest.approx(2.0)   # warmups excluded
+        assert m.kept.std == 0.0
+        # runs are sequential in one world's time
+        indices = [i for i, _ in run_log]
+        assert indices == list(range(7))
+        times = [t for _, t in run_log]
+        assert times == sorted(times)
+
+    def test_experiment_seed_derivation_stable(self):
+        seeds = []
+
+        def run_factory(world, run_index):
+            seeds.append(world.seed)
+            yield 1.0
+            return 1.0
+
+        runner = ExperimentRunner(_FakeWorld, ExperimentProtocol(3, 1, 0.0), master_seed=9)
+        runner.measure("labelled", run_factory)
+        runner.measure("labelled", run_factory)
+        runner.measure("other", run_factory)
+        # 3 runs per measurement -> seeds[0:3], seeds[3:6], seeds[6:9]
+        assert seeds[0] == seeds[3]      # same label -> same world seed
+        assert seeds[0] != seeds[6]      # different label -> different seed
+
+    def test_object_with_total_s_accepted(self):
+        class R:
+            total_s = 3.5
+
+        def run_factory(world, run_index):
+            yield 3.5
+            return R()
+
+        runner = ExperimentRunner(_FakeWorld, ExperimentProtocol(2, 0, 0.0))
+        m = runner.measure("obj", run_factory)
+        assert m.mean_s == pytest.approx(3.5)
+        assert all(isinstance(r, R) for r in m.results)
+
+    def test_run_error_propagates(self):
+        def run_factory(world, run_index):
+            yield 1.0
+            raise RuntimeError("broken run")
+
+        runner = ExperimentRunner(_FakeWorld, ExperimentProtocol(2, 0, 0.0))
+        with pytest.raises(RuntimeError, match="broken run"):
+            runner.measure("bad", run_factory)
+
+    def test_horizon_detects_stuck_experiment(self):
+        def run_factory(world, run_index):
+            yield 1e9  # never completes within horizon
+            return 1.0
+
+        runner = ExperimentRunner(_FakeWorld, ExperimentProtocol(2, 0, 0.0))
+        with pytest.raises(MeasurementError, match="did not finish"):
+            runner.measure("stuck", run_factory, horizon_s=100.0)
+
+
+class TestResultTable:
+    def _table(self):
+        t = ResultTable("UBC to Google Drive")
+        t.add_row(10, {"direct": summarize([9.4, 9.5]), "via ualberta": summarize([6.4, 6.5]),
+                       "via umich": summarize([15.4, 15.4])})
+        t.add_row(100, {"direct": summarize([86.9, 87.0]), "via ualberta": summarize([35.7, 35.9]),
+                        "via umich": summarize([132.1, 132.2])})
+        return t
+
+    def test_routes_baseline_first(self):
+        assert self._table().routes[0] == "direct"
+
+    def test_fastest_and_ranking(self):
+        t = self._table()
+        assert t.rows[0].fastest_route() == "via ualberta"
+        assert t.rows[0].ranking() == ["via ualberta", "direct", "via umich"]
+        assert t.overall_fastest() == "via ualberta"
+        assert t.fastest_counts() == {"direct": 0, "via ualberta": 2, "via umich": 0}
+
+    def test_gain_pct(self):
+        row = self._table().rows[0]
+        assert row.gain_pct("via ualberta") == pytest.approx(-31.7, abs=0.5)
+
+    def test_render_contains_gains_and_sizes(self):
+        text = self._table().render()
+        assert "File size" in text
+        assert "10" in text and "100" in text
+        assert "[-" in text and "[+" in text  # both gain and loss markers
+
+    def test_render_with_std(self):
+        text = self._table().render(show_std=True)
+        assert "±" in text
+
+    def test_route_set_mismatch_rejected(self):
+        t = self._table()
+        with pytest.raises(MeasurementError):
+            t.add_row(20, {"direct": summarize([1.0])})
+
+    def test_empty_table(self):
+        t = ResultTable("empty")
+        assert "(empty)" in t.render()
+        with pytest.raises(MeasurementError):
+            t.overall_fastest()

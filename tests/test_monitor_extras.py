@@ -1,0 +1,101 @@
+"""Monitor edge cases: timeouts, dead routes, parameter validation."""
+
+import pytest
+
+from repro.core import BottleneckMonitor, DirectRoute, DetourRoute, MonitoredUpload
+from repro.errors import SelectionError
+from repro.testbed import build_case_study
+from repro.transfer import FileSpec
+from repro.units import mb
+
+
+def drive(world, gen, horizon=1e7):
+    proc = world.sim.process(gen)
+    world.sim.run_until_triggered(proc.done, horizon=horizon)
+    if proc.error:
+        raise proc.error
+    return proc.result
+
+
+class TestMonitorValidation:
+    def test_upload_parameter_validation(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        monitor = BottleneckMonitor(world, "ubc", "gdrive", ())
+        with pytest.raises(SelectionError):
+            MonitoredUpload(monitor, segment_timeout_s=0)
+        with pytest.raises(SelectionError):
+            MonitoredUpload(monitor, max_retries_per_segment=0)
+
+    def test_monitor_alpha_validation(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        with pytest.raises(SelectionError):
+            BottleneckMonitor(world, "ubc", "gdrive", (), alpha=0)
+
+
+class TestDeadRoutes:
+    def test_probe_of_dead_route_records_zero(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        monitor = BottleneckMonitor(world, "ubc", "gdrive", ("ualberta",))
+        world.fail_link("canarie-vncv--canarie-edmn")
+        observed = drive(world, monitor.probe(DetourRoute("ualberta")))
+        assert observed == 0.0
+        assert monitor.estimate_bps(DetourRoute("ualberta")) == 0.0
+
+    def test_best_route_skips_dead(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        monitor = BottleneckMonitor(world, "ubc", "gdrive", ("ualberta",))
+        drive(world, monitor.probe_all())
+        monitor.mark_dead(DetourRoute("ualberta"))
+        assert monitor.best_route().is_direct
+
+    def test_all_dead_raises(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        monitor = BottleneckMonitor(world, "ubc", "gdrive", ("ualberta",))
+        drive(world, monitor.probe_all())
+        monitor.mark_dead(DirectRoute())
+        monitor.mark_dead(DetourRoute("ualberta"))
+        with pytest.raises(SelectionError, match="dead"):
+            monitor.best_route()
+
+    def test_segment_gives_up_after_max_retries(self):
+        """Every route dead mid-transfer: the upload fails loudly, not
+        silently, and within bounded simulated time."""
+        world = build_case_study(seed=0, cross_traffic=False)
+        monitor = BottleneckMonitor(world, "ubc", "gdrive", ("ualberta",),
+                                    probe_bytes=int(mb(1)), alpha=1.0)
+        upload = MonitoredUpload(monitor, segment_bytes=int(mb(10)),
+                                 segment_timeout_s=30.0,
+                                 max_retries_per_segment=2)
+
+        def chaos():
+            yield 5.0
+            # sever UBC from everything: its campus uplink dies
+            world.fail_link("ubc-pl--ubc-campus")
+
+        world.sim.process(chaos())
+        proc = world.sim.process(upload.run(FileSpec("doomed.bin", int(mb(50)))))
+        world.sim.run_until_triggered(proc.done, horizon=2e4)
+        assert proc.finished
+        assert isinstance(proc.error, SelectionError)
+
+
+class TestIntraAsFailureDoesNotTouchBgp:
+    def test_bgp_table_stable_under_igp_failure(self):
+        """Failing an intra-AS link changes IGP paths, not AS paths."""
+        from repro.testbed.build import AS_NUMBERS
+
+        world = build_case_study(seed=0, cross_traffic=False)
+        before = world.router.bgp.best_route(AS_NUMBERS["ubc"], AS_NUMBERS["google"])
+        world.fail_link("canarie-vncv--canarie-edmn")  # intra-CANARIE
+        after = world.router.bgp.best_route(AS_NUMBERS["ubc"], AS_NUMBERS["google"])
+        assert before.path == after.path
+
+    def test_inter_as_failure_withdraws_routes(self):
+        from repro.errors import RoutingError
+        from repro.testbed.build import AS_NUMBERS
+
+        world = build_case_study(seed=0, cross_traffic=False)
+        world.fail_link("canarie-vncv--i2-seattle")
+        # CANARIE's peering session with Internet2 is gone: no route to UMich
+        with pytest.raises(RoutingError):
+            world.router.bgp.best_route(AS_NUMBERS["ubc"], AS_NUMBERS["umich"])

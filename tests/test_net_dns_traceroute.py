@@ -1,0 +1,126 @@
+"""DNS resolution (incl. geo-DNS) and simulated traceroute."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.net import DnsResolver, format_traceroute, traceroute
+from repro.net.topology import Link, Node, NodeKind, Topology
+from repro.units import mbps, ms
+
+
+class TestDns:
+    def test_hostnames_registered_automatically(self, mini_world):
+        topo, _, _, _ = mini_world
+        dns = DnsResolver(topo)
+        assert dns.resolve("storage.cloud.example") == "server"
+
+    def test_static_record_and_address(self, mini_world):
+        topo, _, _, _ = mini_world
+        dns = DnsResolver(topo)
+        dns.add_record("api.cloud.example", "server")
+        assert dns.resolve_address("api.cloud.example") == "10.3.0.10"
+
+    def test_nxdomain(self, mini_world):
+        topo, _, _, _ = mini_world
+        with pytest.raises(RoutingError, match="NXDOMAIN"):
+            DnsResolver(topo).resolve("nope.example")
+
+    def test_reverse_lookup(self, mini_world):
+        topo, _, _, _ = mini_world
+        dns = DnsResolver(topo)
+        assert dns.reverse("10.2.0.1") == "r1.research.net"
+
+    def test_geo_record_picks_nearest(self):
+        topo = Topology()
+        topo.add_node(Node("client", NodeKind.HOST, 1, "10.0.0.1", site_name="ubc"))
+        topo.add_node(Node("pop-west", NodeKind.HOST, 2, "10.0.1.1", site_name="onedrive-dc"))
+        topo.add_node(Node("pop-east", NodeKind.HOST, 2, "10.0.2.1", site_name="dropbox-dc"))
+        dns = DnsResolver(topo)
+        dns.add_geo_record("api.example", ["pop-east", "pop-west"])
+        # UBC (Vancouver) is far closer to Seattle than Ashburn
+        assert dns.resolve("api.example", client_node="client") == "pop-west"
+
+    def test_geo_record_without_client_uses_first(self):
+        topo = Topology()
+        topo.add_node(Node("pop-a", NodeKind.HOST, 2, "10.0.1.1", site_name="gdrive-dc"))
+        topo.add_node(Node("pop-b", NodeKind.HOST, 2, "10.0.2.1", site_name="dropbox-dc"))
+        dns = DnsResolver(topo)
+        dns.add_geo_record("api.example", ["pop-a", "pop-b"])
+        assert dns.resolve("api.example") == "pop-a"
+
+    def test_geo_record_requires_sites(self):
+        topo = Topology()
+        topo.add_node(Node("x", NodeKind.HOST, 1, "10.0.0.1"))  # no site
+        dns = DnsResolver(topo)
+        with pytest.raises(RoutingError, match="no site"):
+            dns.add_geo_record("svc", ["x"])
+
+    def test_geo_record_requires_candidates(self, mini_world):
+        topo, _, _, _ = mini_world
+        with pytest.raises(RoutingError):
+            DnsResolver(topo).add_geo_record("svc", [])
+
+    def test_hostnames_listing(self, mini_world):
+        topo, _, _, _ = mini_world
+        names = DnsResolver(topo).hostnames()
+        assert "r1.research.net" in names and "storage.cloud.example" in names
+
+
+class TestTraceroute:
+    def test_hops_follow_forwarding_path(self, mini_world):
+        _, _, _, router = mini_world
+        hops = traceroute(router, "hostA", "server", rng=np.random.default_rng(1))
+        # path: hostA gwA r1 ix cloud-edge server -> 5 hops after source
+        assert len(hops) == 5
+        assert hops[0].hostname == "gw.campus-a.edu"
+        assert hops[-1].hostname == "storage.cloud.example"
+
+    def test_middlebox_shows_stars(self, mini_world):
+        _, _, _, router = mini_world
+        hops = traceroute(router, "hostA", "server", rng=np.random.default_rng(1))
+        ix_hop = hops[2]
+        assert not ix_hop.responded
+        assert ix_hop.render().endswith("* * *")
+
+    def test_rtts_monotone_with_depth_on_clean_path(self, mini_world):
+        _, _, _, router = mini_world
+        hops = traceroute(router, "hostB", "server", rng=np.random.default_rng(2), jitter_ms=0.0)
+        rtts = [h.rtts_ms[0] for h in hops if h.responded]
+        assert rtts == sorted(rtts)
+
+    def test_three_probes_per_responding_hop(self, mini_world):
+        _, _, _, router = mini_world
+        hops = traceroute(router, "hostB", "server", rng=np.random.default_rng(3))
+        assert all(len(h.rtts_ms) == 3 for h in hops if h.responded)
+
+    def test_format_matches_paper_style(self, mini_world):
+        _, _, _, router = mini_world
+        hops = traceroute(router, "hostA", "server", rng=np.random.default_rng(1))
+        text = format_traceroute(hops, "storage.cloud.example", "10.3.0.10")
+        lines = text.splitlines()
+        assert lines[0] == "traceroute to storage.cloud.example (10.3.0.10)"
+        assert any("* * *" in ln for ln in lines)
+        assert lines[-1].endswith("storage.cloud.example (10.3.0.10)")
+
+    def test_format_with_rtts(self, mini_world):
+        _, _, _, router = mini_world
+        hops = traceroute(router, "hostB", "server", rng=np.random.default_rng(1))
+        text = format_traceroute(hops, "storage.cloud.example", "10.3.0.10", show_rtts=True)
+        assert "ms" in text
+
+    def test_deterministic_with_seeded_rng(self, mini_world):
+        _, _, _, router = mini_world
+        h1 = traceroute(router, "hostB", "server", rng=np.random.default_rng(7))
+        h2 = traceroute(router, "hostB", "server", rng=np.random.default_rng(7))
+        assert h1 == h2
+
+    def test_pbr_artifact_visible_in_traceroute(self, mini_world):
+        """The diagnostic workflow of the paper: two sources, same dest,
+        different middle hops reveal the policy detour."""
+        _, _, _, router = mini_world
+        via_a = [h.hostname for h in traceroute(router, "hostA", "server")]
+        via_b = [h.hostname for h in traceroute(router, "hostB", "server")]
+        assert None in via_a  # the exchange middlebox hides itself
+        assert "edge.cloud.example" in via_a and "edge.cloud.example" in via_b
+        assert via_a != via_b

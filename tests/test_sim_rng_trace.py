@@ -1,0 +1,100 @@
+"""RNG registry determinism and tracer behaviour."""
+
+import pytest
+
+from repro.sim import Tracer
+from repro.sim.rng import RngRegistry, derive_seed
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = RngRegistry(7).stream("x").random(5)
+        b = RngRegistry(7).stream("x").random(5)
+        assert (a == b).all()
+
+    def test_different_names_independent(self):
+        r = RngRegistry(7)
+        assert (r.stream("x").random(5) != r.stream("y").random(5)).any()
+
+    def test_stream_is_cached(self):
+        r = RngRegistry(0)
+        assert r.stream("a") is r.stream("a")
+
+    def test_order_independence(self):
+        r1 = RngRegistry(3)
+        r1.stream("first").random()
+        v1 = r1.stream("second").random()
+        r2 = RngRegistry(3)
+        v2 = r2.stream("second").random()
+        assert v1 == v2
+
+    def test_fork_runs_are_independent_but_reproducible(self):
+        base = RngRegistry(11)
+        run0a = base.fork(0).stream("jitter").random(3)
+        run1 = base.fork(1).stream("jitter").random(3)
+        run0b = RngRegistry(11).fork(0).stream("jitter").random(3)
+        assert (run0a == run0b).all()
+        assert (run0a != run1).any()
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(5, "abc") == derive_seed(5, "abc")
+        assert derive_seed(5, "abc") != derive_seed(6, "abc")
+        assert derive_seed(5, "abc") != derive_seed(5, "abd")
+
+    def test_lognormal_factor_unit_when_sigma_zero(self):
+        assert RngRegistry(1).lognormal_factor("j", 0.0) == 1.0
+
+    def test_lognormal_factor_positive(self):
+        r = RngRegistry(1)
+        for _ in range(100):
+            assert r.lognormal_factor("j", 0.5) > 0
+
+    def test_lognormal_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            RngRegistry(1).lognormal_factor("j", -0.1)
+
+
+class TestTracer:
+    def test_emit_and_filter(self):
+        t = Tracer()
+        t.emit(1.0, "net.link.a", "flow_start", flow=1)
+        t.emit(2.0, "net.link.b", "flow_end", flow=1)
+        t.emit(3.0, "cloud.gdrive", "chunk", index=0)
+        assert len(t) == 3
+        assert [e.kind for e in t.filter(component="net.link")] == ["flow_start", "flow_end"]
+        assert len(t.filter(kind="chunk")) == 1
+        assert len(t.filter(since=1.5)) == 2
+        assert len(t.filter(until=1.5)) == 1
+
+    def test_disabled_tracer_is_noop(self):
+        t = Tracer(enabled=False)
+        t.emit(1.0, "x", "y")
+        assert len(t) == 0
+
+    def test_ring_buffer_drops_oldest(self):
+        t = Tracer(max_events=3)
+        for i in range(5):
+            t.emit(float(i), "c", "k", i=i)
+        assert len(t) == 3
+        assert t.dropped == 2
+        assert [e.fields["i"] for e in t] == [2, 3, 4]
+
+    def test_subscribe_sees_live_events(self):
+        t = Tracer()
+        seen = []
+        t.subscribe(lambda ev: seen.append(ev.kind))
+        t.emit(0.0, "c", "one")
+        t.emit(0.0, "c", "two")
+        assert seen == ["one", "two"]
+
+    def test_dump_is_readable(self):
+        t = Tracer()
+        t.emit(1.25, "net", "start", x=1)
+        out = t.dump()
+        assert "net" in out and "start" in out and "x=1" in out
+
+    def test_clear(self):
+        t = Tracer()
+        t.emit(0.0, "c", "k")
+        t.clear()
+        assert len(t) == 0 and t.dropped == 0

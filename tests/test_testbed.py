@@ -1,0 +1,235 @@
+"""The calibrated case-study world: routing fidelity and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.net import format_traceroute, traceroute
+from repro.testbed import (
+    CLIENTS,
+    PROVIDERS,
+    VIAS,
+    build_case_study,
+    build_geo_registry,
+    experiment_label,
+    paper_route_set,
+    world_factory,
+)
+from repro.testbed.build import AS_NUMBERS
+from repro.testbed.params import DEFAULT_PARAMS
+from repro.units import bps_to_mbps, mb
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_case_study(seed=0, cross_traffic=False)
+
+
+class TestTopologyConstruction:
+    def test_builds_and_validates(self, world):
+        assert len(world.topology.nodes) > 30
+        assert len(world.topology.links) > 35
+        world.topology.validate()
+        world.as_graph.validate()
+
+    def test_all_paper_actors_present(self, world):
+        for host in ["ubc-pl", "purdue-pl", "ucla-pl", "umich-pl", "ualberta-dtn",
+                     "gdrive-frontend", "dropbox-frontend", "onedrive-frontend"]:
+            assert world.topology.node(host).is_host
+
+    def test_providers_registered(self, world):
+        assert set(world.providers) == {"gdrive", "dropbox", "onedrive"}
+
+    def test_dtns_registered(self, world):
+        assert set(world.dtns) == {"ualberta", "umich"}
+
+    def test_scenario_constants(self):
+        assert CLIENTS == ("ubc", "purdue", "ucla")
+        assert PROVIDERS == ("gdrive", "dropbox", "onedrive")
+        assert VIAS == ("ualberta", "umich")
+
+    def test_paper_route_set_excludes_self(self):
+        descrs = [r.describe() for r in paper_route_set("ubc")]
+        assert descrs == ["direct", "via ualberta", "via umich"]
+
+    def test_experiment_label_stable(self):
+        from repro.core import DirectRoute
+
+        assert experiment_label("ubc", "gdrive", DirectRoute(), 100) == \
+            "ubc->gdrive [direct] 100MB"
+
+    def test_same_seed_same_world_behaviour(self):
+        from repro.core import PlanExecutor, TransferPlan, DirectRoute
+        from repro.transfer import FileSpec
+
+        def once(seed):
+            w = build_case_study(seed=seed)
+            return PlanExecutor(w).run(
+                TransferPlan("purdue", "gdrive", FileSpec("f", int(mb(20))))).total_s
+
+        assert once(5) == once(5)
+        assert once(5) != once(6)
+
+
+class TestRoutingFidelity:
+    def test_ubc_google_goes_via_pacificwave(self, world):
+        """Fig. 5: UBC -> Google crosses vncv1rtr2 then pacificwave."""
+        path = world.router.resolve("ubc-pl", "gdrive-frontend")
+        assert "canarie-vncv" in path.nodes
+        assert "pacwave-sea" in path.nodes
+        assert "google-peer-vncv" not in path.nodes
+
+    def test_ualberta_google_uses_direct_peering(self, world):
+        """Fig. 6: UAlberta -> Google crosses vncv1rtr2 then the peering."""
+        path = world.router.resolve("ualberta-dtn", "gdrive-frontend")
+        assert "canarie-vncv" in path.nodes
+        assert "google-peer-vncv" in path.nodes
+        assert "pacwave-sea" not in path.nodes
+
+    def test_both_cross_the_same_canarie_router(self, world):
+        """'Both network routes cross the middle-box vncv1rtr2.canarie.ca'."""
+        ubc = world.router.resolve("ubc-pl", "gdrive-frontend")
+        ua = world.router.resolve("ualberta-dtn", "gdrive-frontend")
+        assert "canarie-vncv" in ubc.nodes and "canarie-vncv" in ua.nodes
+
+    def test_pacificwave_policer_is_ubc_bottleneck(self, world):
+        path = world.router.resolve("ubc-pl", "gdrive-frontend")
+        assert bps_to_mbps(path.bottleneck_bps) == pytest.approx(9.6)
+
+    def test_purdue_commercial_traffic_uses_commodity(self, world):
+        """TR-CPS asymmetry: Purdue's Google traffic uses TransitA..."""
+        path = world.router.resolve("purdue-pl", "gdrive-frontend")
+        assert any(n.startswith("transita") for n in path.nodes)
+        assert AS_NUMBERS["internet2"] not in path.as_sequence
+
+    def test_umich_commercial_traffic_uses_internet2(self, world):
+        """...while UMich's rides Internet2's commercial peering."""
+        path = world.router.resolve("umich-pl", "gdrive-frontend")
+        assert AS_NUMBERS["internet2"] in path.as_sequence
+        assert not any(n.startswith("transita") for n in path.nodes)
+
+    def test_purdue_research_traffic_uses_internet2(self, world):
+        path = world.router.resolve("purdue-pl", "ualberta-dtn")
+        assert AS_NUMBERS["internet2"] in path.as_sequence
+        assert AS_NUMBERS["canarie"] in path.as_sequence
+
+    def test_ucla_bottleneck_is_last_mile(self, world):
+        for dst in ["gdrive-frontend", "dropbox-frontend", "ualberta-dtn"]:
+            path = world.router.resolve("ucla-pl", dst)
+            assert bps_to_mbps(path.bottleneck_bps) == pytest.approx(1.35)
+
+    def test_geo_dns_resolves_provider_endpoints(self, world):
+        gd = world.provider("gdrive")
+        assert gd.frontend_for(world.dns, "ubc-pl") == "gdrive-frontend"
+
+
+class TestTracerouteFigures:
+    def test_fig5_ubc_trace_shape(self, world):
+        """Fig. 5: campus hops, BCNET, vncv1rtr2, pacificwave, Google."""
+        hops = traceroute(world.router, "ubc-pl", "gdrive-frontend",
+                          rng=np.random.default_rng(1))
+        names = [h.hostname for h in hops]
+        assert "vncv1rtr2.canarie.ca" in names
+        assert any(n and "pacificwave" in n for n in names if n)
+        assert names[-1] == "sea15s01-in-f138.1e100.net"
+        # every hop on the UBC path responds (Fig. 5 has no stars)
+        assert all(h.responded for h in hops)
+
+    def test_fig6_ualberta_trace_shape(self, world):
+        """Fig. 6: firewall, hidden hop, cybera, edmn/vncv, silent peering."""
+        hops = traceroute(world.router, "ualberta-dtn", "gdrive-frontend",
+                          rng=np.random.default_rng(1))
+        names = [h.hostname for h in hops]
+        assert names[0] == "ww-fw.cs.ualberta.ca"
+        assert None in names  # the hidden hops render as * * *
+        assert "uofa-p-1-edm.cybera.ca" in names
+        assert "edmn1rtr2.canarie.ca" in names
+        assert "vncv1rtr2.canarie.ca" in names
+        assert not any(n and "pacificwave" in n for n in names if n)
+        assert names[-1] == "sea15s01-in-f138.1e100.net"
+
+    def test_trace_formatting_matches_paper(self, world):
+        hops = traceroute(world.router, "ubc-pl", "gdrive-frontend",
+                          rng=np.random.default_rng(1))
+        text = format_traceroute(hops, "www.googleapis.com", "216.58.216.138")
+        assert text.startswith("traceroute to www.googleapis.com (216.58.216.138)")
+        assert "vncv1rtr2.canarie.ca (199.212.24.1)" in text
+
+
+class TestGeoRegistry:
+    def test_registry_covers_all_nodes(self, world):
+        reg = build_geo_registry()
+        for node in world.topology.nodes.values():
+            assert reg.lookup(node.address) is not None, f"{node.name} unlocated"
+
+    def test_paper_geolocations(self):
+        reg = build_geo_registry()
+        assert reg.site_of("216.58.216.138").name == "gdrive-dc"     # Mountain View
+        assert reg.site_of("108.160.166.62").name == "dropbox-dc"    # Ashburn
+        assert reg.site_of("134.170.108.26").name == "onedrive-dc"   # Seattle
+        assert reg.site_of("142.103.78.10").name == "ubc"
+
+    def test_detour_is_geographic_backtrack(self):
+        """Fig. 3: UBC -> UAlberta -> Mountain View doubles the distance."""
+        from repro.geo import haversine_km, site
+
+        direct = haversine_km(site("ubc").location, site("gdrive-dc").location)
+        via = (haversine_km(site("ubc").location, site("ualberta").location)
+               + haversine_km(site("ualberta").location, site("gdrive-dc").location))
+        assert via > 1.8 * direct
+
+
+class TestCalibration:
+    """Effective path rates against DESIGN.md Sec. 6 targets (no noise)."""
+
+    @pytest.mark.parametrize("client,provider,lo,hi", [
+        ("ubc", "gdrive", 75, 100),       # paper 86.92 s
+        ("ubc", "dropbox", 52, 75),       # ~60 s
+        ("ubc", "onedrive", 20, 32),      # ~25 s
+        ("purdue", "dropbox", 150, 200),  # 177.89 s
+        ("umich", "gdrive", 20, 32),      # ~25 s
+        ("umich", "dropbox", 58, 80),     # ~68 s
+        ("umich", "onedrive", 32, 48),    # ~39 s
+        ("ualberta", "gdrive", 14, 22),   # ~17 s
+        ("ualberta", "dropbox", 52, 75),  # ~60 s
+        ("ualberta", "onedrive", 20, 32), # ~24 s
+    ])
+    def test_direct_upload_100mb(self, client, provider, lo, hi):
+        from repro.core import PlanExecutor, TransferPlan, DirectRoute
+        from repro.transfer import FileSpec
+
+        w = build_case_study(seed=0, cross_traffic=False)
+        result = PlanExecutor(w).run(
+            TransferPlan(client, provider, FileSpec("t", int(mb(100))), DirectRoute()))
+        assert lo < result.total_s < hi, f"{client}->{provider}: {result.total_s:.1f}s"
+
+    def test_rsync_hop_calibration(self):
+        """UBC->UAlberta ~19 s, UBC->UMich ~105 s for 100 MB (Fig. 2)."""
+        from repro.net import NetworkEngine
+        from repro.transfer import FileSpec, RsyncSession
+
+        w = build_case_study(seed=0, cross_traffic=False)
+
+        def push(src, dst):
+            session = RsyncSession(w.engine, w.router, w.tcp)
+
+            def proc():
+                start = w.sim.now
+                yield from session.push(src, dst, FileSpec("t", int(mb(100))))
+                return w.sim.now - start
+
+            p = w.sim.process(proc())
+            w.sim.run_until_triggered(p.done, horizon=1e6)
+            return p.result
+
+        assert 15 < push("ubc-pl", "ualberta-dtn") < 24
+        assert 90 < push("ubc-pl", "umich-pl") < 125
+
+    def test_with_overrides_changes_one_knob(self):
+        params = DEFAULT_PARAMS.with_overrides(pacificwave_policer_bps=50e6)
+        w = build_case_study(seed=0, params=params, cross_traffic=False)
+        path = w.router.resolve("ubc-pl", "gdrive-frontend")
+        assert path.bottleneck_bps == pytest.approx(45e6)  # now the access link
+
+    def test_world_factory_passes_seed(self):
+        factory = world_factory(cross_traffic=False)
+        assert factory(7).seed == 7

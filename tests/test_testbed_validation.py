@@ -1,0 +1,63 @@
+"""Calibration validation: the testbed stays true to the paper targets."""
+
+import pytest
+
+from repro.cli import main
+from repro.testbed import (
+    DEFAULT_PARAMS,
+    CalibrationCheck,
+    render_validation,
+    validate_calibration,
+)
+from repro.units import mbps
+
+
+class TestValidation:
+    @pytest.fixture(scope="class")
+    def checks(self):
+        return validate_calibration(size_mb=100)
+
+    def test_all_calibrated_paths_within_tolerance(self, checks):
+        drifted = [c for c in checks if not c.ok(0.35)]
+        assert not drifted, render_validation(checks)
+
+    def test_covers_all_clean_paths(self, checks):
+        pairs = {(c.src, c.dst) for c in checks}
+        assert ("ubc", "gdrive") in pairs
+        assert ("ubc", "ualberta") in pairs
+        assert ("purdue", "umich") in pairs
+        assert len(checks) == 14
+
+    def test_smaller_sizes_within_looser_band(self):
+        """Targets scale linearly with size; the fixed overheads make
+        small transfers relatively slower, so a 10 MB check needs a
+        looser tolerance but must still be in the ballpark."""
+        checks = validate_calibration(size_mb=10)
+        for c in checks:
+            assert 0.4 < c.ratio < 2.2, c.render()
+
+    def test_detects_a_detuned_world(self):
+        bad = DEFAULT_PARAMS.with_overrides(canarie_google_bps=mbps(5))
+        checks = validate_calibration(params=bad, size_mb=100)
+        broken = {(c.src, c.dst) for c in checks if not c.ok(0.35)}
+        assert ("ualberta", "gdrive") in broken
+        # unrelated paths untouched
+        ok = {(c.src, c.dst) for c in checks if c.ok(0.35)}
+        assert ("ubc", "dropbox") in ok
+
+    def test_render(self, checks):
+        text = render_validation(checks)
+        assert "calibration validation" in text
+        assert "all paths within tolerance" in text
+
+    def test_render_reports_drift(self):
+        checks = [CalibrationCheck("api", "a", "b", 100.0, 300.0)]
+        text = render_validation(checks)
+        assert "DRIFTED" in text and "1 path(s) drifted" in text
+
+
+class TestValidateCli:
+    def test_cli_exit_zero_when_calibrated(self, capsys):
+        assert main(["validate", "--size-mb", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "calibration validation" in out

@@ -1,0 +1,181 @@
+"""rsync: the real delta algorithm plus the network cost model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net import NetworkEngine
+from repro.sim import Simulator
+from repro.transfer import FileSpec, RsyncSession, apply_delta, compute_delta, generate_bytes
+from repro.transfer.rsync import DEFAULT_BLOCK_SIZE, FILE_LIST_BYTES
+from repro.units import mb, mbps
+
+
+class TestDeltaAlgorithm:
+    def test_identical_files_all_copies(self):
+        data = generate_bytes(8192, seed=1)
+        delta = compute_delta(data, data, block_size=1024)
+        assert delta.literal_bytes == 0
+        assert delta.matched_bytes == 8192
+        assert apply_delta(data, delta) == data
+
+    def test_empty_basis_all_literals(self):
+        new = generate_bytes(5000, seed=2)
+        delta = compute_delta(b"", new, block_size=1024)
+        assert delta.literal_bytes == 5000
+        assert delta.matched_bytes == 0
+        assert apply_delta(b"", delta) == new
+
+    def test_random_new_file_gets_no_matches(self):
+        """The paper's protocol: fresh random file, no delta advantage."""
+        old = generate_bytes(20_000, seed=3)
+        new = generate_bytes(20_000, seed=4)  # unrelated content
+        delta = compute_delta(old, new, block_size=1024)
+        assert delta.matched_bytes == 0
+        assert delta.literal_bytes == 20_000
+
+    def test_insertion_in_middle(self):
+        old = generate_bytes(8192, seed=5)
+        new = old[:4096] + b"INSERTED!" + old[4096:]
+        delta = compute_delta(old, new, block_size=512)
+        assert apply_delta(old, delta) == new
+        # most of the file should be matched, literals only around the insert
+        assert delta.matched_bytes >= 7000
+        assert delta.literal_bytes <= 1200
+
+    def test_tail_shorter_than_block_is_literal(self):
+        old = generate_bytes(2048, seed=6)
+        new = old + b"tail"
+        delta = compute_delta(old, new, block_size=1024)
+        assert apply_delta(old, delta) == new
+        assert delta.literal_bytes == 4
+
+    def test_reordered_blocks_still_match(self):
+        a, b = generate_bytes(1024, seed=7), generate_bytes(1024, seed=8)
+        old = a + b
+        new = b + a
+        delta = compute_delta(old, new, block_size=1024)
+        assert apply_delta(old, delta) == new
+        assert delta.matched_bytes == 2048
+
+    def test_bad_block_size(self):
+        from repro.errors import TransferError
+
+        with pytest.raises(TransferError):
+            compute_delta(b"a", b"b", block_size=0)
+
+    def test_corrupt_delta_detected(self):
+        from repro.errors import TransferError
+        from repro.transfer.rsync import RsyncDelta
+
+        with pytest.raises(TransferError):
+            apply_delta(b"short", RsyncDelta((("copy", 5),), 1024))
+
+    @given(
+        old=st.binary(min_size=0, max_size=4096),
+        new=st.binary(min_size=0, max_size=4096),
+        block=st.sampled_from([64, 128, 512, 700]),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_property(self, old, new, block):
+        """apply(old, delta(old, new)) == new, always."""
+        delta = compute_delta(old, new, block_size=block)
+        assert apply_delta(old, delta) == new
+
+    @given(data=st.binary(min_size=1, max_size=4096), block=st.sampled_from([64, 256]))
+    @settings(max_examples=100, deadline=None)
+    def test_self_delta_has_no_literals_beyond_tail(self, data, block):
+        delta = compute_delta(data, data, block_size=block)
+        assert delta.literal_bytes == len(data) % block
+
+
+class TestRsyncPlan:
+    def _session(self):
+        sim = Simulator()
+        # plan() needs no network; engine/router unused
+        return RsyncSession.__new__(RsyncSession), sim
+
+    def test_fresh_file_wire_bytes_near_size(self, mini_world):
+        topo, _, _, router = mini_world
+        sim = Simulator()
+        session = RsyncSession(NetworkEngine(sim, topo), router)
+        spec = FileSpec("f", int(mb(10)))
+        stats = session.plan(spec, basis=None)
+        assert stats.literal_bytes == mb(10)
+        assert stats.signature_bytes == 0
+        assert mb(10) < stats.wire_bytes < mb(10) * 1.01
+        assert stats.speedup < 1.0  # overhead makes it slightly worse
+
+    def test_identical_basis_wire_tiny(self, mini_world):
+        topo, _, _, router = mini_world
+        sim = Simulator()
+        session = RsyncSession(NetworkEngine(sim, topo), router)
+        spec = FileSpec("f", 64 * 1024, seed=3)
+        stats = session.plan(spec, basis=spec.materialize())
+        assert stats.matched_bytes == 64 * 1024
+        assert stats.wire_bytes < 4096
+        assert stats.speedup > 10
+
+
+class TestCompression:
+    """The paper's methodology point: random payloads defeat rsync -z."""
+
+    def _sessions(self, mini_world):
+        topo, _, _, router = mini_world
+        sim = Simulator()
+        engine = NetworkEngine(sim, topo)
+        return (RsyncSession(engine, router, compress=False),
+                RsyncSession(engine, router, compress=True))
+
+    def test_random_data_resists_compression(self, mini_world):
+        from repro.transfer.files import Entropy
+
+        plain, compressed = self._sessions(mini_world)
+        spec = FileSpec("r.bin", int(mb(10)), entropy=Entropy.RANDOM)
+        assert compressed.plan(spec).wire_bytes == pytest.approx(
+            plain.plan(spec).wire_bytes)
+
+    def test_text_data_shrinks_on_the_wire(self, mini_world):
+        from repro.transfer.files import Entropy
+
+        plain, compressed = self._sessions(mini_world)
+        spec = FileSpec("t.txt", int(mb(10)), entropy=Entropy.TEXT)
+        assert compressed.plan(spec).wire_bytes < 0.5 * plain.plan(spec).wire_bytes
+        assert compressed.plan(spec).speedup > 2.0
+
+
+class TestRsyncSession:
+    def test_push_duration_dominated_by_bottleneck(self, mini_world):
+        topo, _, _, router = mini_world
+        sim = Simulator()
+        engine = NetworkEngine(sim, topo)
+        session = RsyncSession(engine, router)
+        spec = FileSpec("f", int(mb(10)))
+
+        def proc():
+            result, stats = yield from session.push("hostA", "hostB", spec)
+            return sim.now, result, stats
+
+        p = sim.process(proc())
+        sim.run()
+        total, result, stats = p.result
+        # bottleneck hostA->hostB is 100 Mbps links: 10 MB ~ 0.8 s + handshakes
+        assert 0.8 < total < 1.5
+        assert stats.wire_bytes >= mb(10)
+
+    def test_push_respects_contention(self, mini_world):
+        topo, _, _, router = mini_world
+        sim = Simulator()
+        engine = NetworkEngine(sim, topo)
+        session = RsyncSession(engine, router)
+        spec = FileSpec("f", int(mb(10)))
+        # saturate the r1--r2 link with a competing flow
+        d = topo.link("r1--r2").direction_from("r1")
+        engine.start_transfer([d], mb(1000))
+
+        def proc():
+            result, stats = yield from session.push("hostA", "hostB", spec)
+            return sim.now
+
+        p = sim.process(proc())
+        sim.run(until=100)
+        assert p.result > 1.5  # roughly halved bandwidth

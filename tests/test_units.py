@@ -1,0 +1,75 @@
+"""Unit-conversion helpers: exactness and error handling."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestSizes:
+    def test_decimal_sizes(self):
+        assert units.mb(10) == 10_000_000
+        assert units.mb(0.5) == 500_000
+        assert units.KB == 1000 and units.MB == 10**6 and units.GB == 10**9
+
+    def test_binary_sizes(self):
+        assert units.mib(8) == 8 * 2**20
+        assert units.KiB == 1024 and units.MiB == 2**20 and units.GiB == 2**30
+
+    def test_bytes_to_mb_roundtrip(self):
+        assert units.bytes_to_mb(units.mb(37)) == pytest.approx(37)
+
+
+class TestRates:
+    def test_mbps(self):
+        assert units.mbps(10) == 10e6
+        assert units.gbps(1) == 1e9
+        assert units.bps_to_mbps(units.mbps(42)) == pytest.approx(42)
+
+    def test_bytes_per_sec(self):
+        assert units.bytes_per_sec(units.mbps(8)) == pytest.approx(1e6)
+
+    def test_transfer_seconds(self):
+        # 100 MB at 10 Mbps = 80 seconds
+        assert units.transfer_seconds(units.mb(100), units.mbps(10)) == pytest.approx(80.0)
+
+    def test_throughput_inverse_of_transfer(self):
+        t = units.transfer_seconds(units.mb(60), units.mbps(13))
+        assert units.throughput_bps(units.mb(60), t) == pytest.approx(units.mbps(13))
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            units.transfer_seconds(1000, 0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            units.throughput_bps(1000, 0)
+
+
+class TestTime:
+    def test_ms(self):
+        assert units.ms(25) == pytest.approx(0.025)
+        assert units.seconds_to_ms(0.1) == pytest.approx(100)
+
+
+class TestPropagation:
+    def test_fiber_slower_than_light(self):
+        assert units.FIBER_PROPAGATION_KM_S < units.SPEED_OF_LIGHT_KM_S
+
+    def test_propagation_delay_scale(self):
+        # ~800 km (Vancouver-Edmonton) with stretch 1.6 ~ 6-7 ms one way
+        d = units.propagation_delay_s(800)
+        assert 0.004 < d < 0.010
+
+    def test_zero_distance(self):
+        assert units.propagation_delay_s(0) == 0.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            units.propagation_delay_s(-1)
+
+    def test_stretch_scales_linearly(self):
+        assert units.propagation_delay_s(100, stretch=3.2) == pytest.approx(
+            2 * units.propagation_delay_s(100, stretch=1.6)
+        )

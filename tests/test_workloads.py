@@ -1,0 +1,60 @@
+"""Workload generators: sweeps and population schedules."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.workloads import UploadSchedule, client_population_schedule, size_sweep
+
+
+class TestSizeSweep:
+    def test_linear(self):
+        assert size_sweep(10, 100, 4) == [10, 40, 70, 100]
+
+    def test_log(self):
+        sweep = size_sweep(1, 100, 3, log_spaced=True)
+        assert sweep == pytest.approx([1, 10, 100], rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            size_sweep(10, 100, 1)
+        with pytest.raises(MeasurementError):
+            size_sweep(100, 10, 3)
+        with pytest.raises(MeasurementError):
+            size_sweep(0, 10, 3)
+
+
+class TestPopulationSchedule:
+    def test_deterministic(self):
+        a = client_population_schedule("ubc", "gdrive", 10, 60.0, 20.0, seed=4)
+        b = client_population_schedule("ubc", "gdrive", 10, 60.0, 20.0, seed=4)
+        assert a == b
+        c = client_population_schedule("ubc", "gdrive", 10, 60.0, 20.0, seed=5)
+        assert a != c
+
+    def test_arrivals_increase(self):
+        sched = client_population_schedule("ubc", "gdrive", 20, 30.0, 10.0, seed=1)
+        starts = [u.start_s for u in sched.uploads]
+        assert starts == sorted(starts)
+        assert starts[0] > 0
+
+    def test_sizes_bounded_below(self):
+        sched = client_population_schedule("ubc", "gdrive", 50, 10.0, 2.0, seed=2,
+                                           min_size_mb=1.0)
+        assert all(u.file.size_bytes >= 1_000_000 for u in sched.uploads)
+
+    def test_mean_size_roughly_respected(self):
+        sched = client_population_schedule("ubc", "gdrive", 300, 10.0, 20.0, seed=3)
+        mean_mb = sched.total_bytes / len(sched.uploads) / 1e6
+        assert 12 < mean_mb < 32
+
+    def test_aggregates(self):
+        sched = client_population_schedule("purdue", "dropbox", 5, 10.0, 10.0, seed=1)
+        assert sched.duration_s == sched.uploads[-1].start_s
+        assert list(sched.by_client()) == ["purdue"]
+        assert len(sched.by_client()["purdue"]) == 5
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            client_population_schedule("ubc", "gdrive", 0, 1.0, 1.0)
+        with pytest.raises(MeasurementError):
+            client_population_schedule("ubc", "gdrive", 1, 0.0, 1.0)

@@ -1,0 +1,141 @@
+"""WorldBuilder: declarative scenario construction."""
+
+import pytest
+
+from repro.cloud import make_gdrive_protocol
+from repro.core import DetourPlanner, DirectRoute, PlanExecutor, TransferPlan
+from repro.errors import TopologyError
+from repro.geo.sites import SITES, Site, SiteKind, register_site
+from repro.geo.coords import GeoPoint
+from repro.testbed import WorldBuilder
+from repro.transfer import FileSpec
+from repro.units import mb, mbps, ms
+
+
+def tiny_world(seed=0):
+    """Minimal two-campus world: client -> isp -> provider, plus a DTN."""
+    b = WorldBuilder(seed=seed)
+    b.add_site("campus-x", 40.0, -100.0, "Nowhere, KS")
+    b.add_site("dtn-y", 45.0, -95.0, "Elsewhere, MN")
+    b.add_site("dc-z", 38.0, -120.0, "DC Valley, CA")
+    campus = b.autonomous_system("campus-x")
+    dtn_as = b.autonomous_system("dtn-y")
+    isp = b.autonomous_system("tiny-isp")
+    cloud = b.autonomous_system("tiny-cloud")
+    b.customer(isp, campus).customer(isp, dtn_as).peer(isp, cloud)
+    b.router("isp-core", isp, site="dc-z")
+    b.campus("campus-x", campus, access_bps=mbps(50), site="campus-x")
+    b.dtn("dtn-y", dtn_as, attach_to="isp-core", uplink_bps=mbps(200), site="dtn-y")
+    b.link("campus-x-border", "isp-core", mbps(1000), ms(5))
+    provider = b.provider("tiny-cloud", cloud, attach_to="isp-core",
+                          protocol=make_gdrive_protocol(), site="dc-z",
+                          peering_bps=mbps(100))
+    return b, provider
+
+
+class TestRegisterSite:
+    def test_idempotent_for_identical(self):
+        s = Site("repeat-site", SiteKind.CLIENT, GeoPoint(1.0, 2.0), "X")
+        assert register_site(s) is register_site(s) or register_site(s) == s
+        assert "repeat-site" in SITES
+
+    def test_conflicting_redefinition_rejected(self):
+        register_site(Site("conflict-site", SiteKind.CLIENT, GeoPoint(1, 2), "X"))
+        with pytest.raises(ValueError):
+            register_site(Site("conflict-site", SiteKind.CLIENT, GeoPoint(3, 4), "Y"))
+
+
+class TestBuilderConstruction:
+    def test_build_produces_working_world(self):
+        b, provider = tiny_world()
+        world = b.build()
+        result = PlanExecutor(world).run(TransferPlan(
+            "campus-x", "tiny-cloud", FileSpec("f.bin", int(mb(10))), DirectRoute()))
+        # 10 MB at 50 Mbit/s access = 1.6 s + overheads
+        assert 1.5 < result.total_s < 4.0
+        assert provider.store.exists("f.bin")
+
+    def test_dtn_registered_and_usable(self):
+        b, _ = tiny_world(seed=1)
+        world = b.build()
+        planner = DetourPlanner(world, runs_per_route=1, discard_runs=0)
+        routes = [r.describe() for r in planner.candidate_routes("campus-x")]
+        assert routes == ["direct", "via dtn-y"]
+        comparison = planner.compare("campus-x", "tiny-cloud", int(mb(10)))
+        # no inefficiency here: direct wins (detour doubles the ISP hops)
+        assert comparison.best.route.is_direct
+
+    def test_auto_asn_assignment_in_private_range(self):
+        b = WorldBuilder()
+        asn = b.autonomous_system("auto")
+        assert 64512 <= asn < 65536
+
+    def test_explicit_asn(self):
+        b = WorldBuilder()
+        assert b.autonomous_system("explicit", number=65001) == 65001
+
+    def test_addresses_unique_across_ases(self):
+        b, _ = tiny_world(seed=2)
+        world = b.build()
+        addrs = [n.address for n in world.topology.nodes.values()]
+        assert len(set(addrs)) == len(addrs)
+
+    def test_campus_requires_known_site(self):
+        b = WorldBuilder()
+        asn = b.autonomous_system("x")
+        with pytest.raises(TopologyError, match="add_site"):
+            b.campus("ghost-site-key", asn, access_bps=mbps(10))
+
+    def test_router_in_undeclared_as_rejected(self):
+        b = WorldBuilder()
+        with pytest.raises(TopologyError, match="autonomous_system"):
+            b.router("r", 99999)
+
+    def test_build_only_once(self):
+        b, _ = tiny_world(seed=3)
+        b.build()
+        with pytest.raises(TopologyError, match="only be called once"):
+            b.build()
+
+    def test_firewalled_router_is_middlebox(self):
+        b = WorldBuilder()
+        asn = b.autonomous_system("x")
+        b.router("fw", asn, firewall_per_flow_bps=mbps(10))
+        from repro.net.topology import NodeKind
+
+        node = b.topology.node("fw")
+        assert node.kind is NodeKind.MIDDLEBOX
+        assert node.firewall_per_flow_bps == mbps(10)
+
+
+class TestMultiPop:
+    def test_add_pop_extends_frontends_and_geodns(self):
+        b, provider = tiny_world(seed=4)
+        cloud2_site = b.add_site("dc-east", 39.0, -77.0, "East DC")
+        b.router("isp-east", b.autonomous_system("tiny-isp-east"), site="dc-east")
+        # attach the new POP to the existing isp-core for simplicity
+        b.add_pop(provider, b.as_graph.by_name("tiny-cloud").number,
+                  attach_to="isp-core", site="dc-east")
+        world = b.build()
+        assert len(provider.frontend_nodes) == 2
+        # client in Kansas: Cali DC (dc-z) is nearer than the east DC
+        assert provider.frontend_for(world.dns, world.host_of("campus-x")) == \
+            "tiny-cloud-frontend"
+
+    def test_add_pop_foreign_provider_rejected(self):
+        b, _ = tiny_world(seed=5)
+        from repro.cloud import CloudProvider
+
+        b2, other_provider = tiny_world(seed=6)
+        with pytest.raises(TopologyError, match="not created by this builder"):
+            b.add_pop(other_provider, 65000, attach_to="isp-core", site="dc-z")
+
+
+class TestCrossTrafficAttachment:
+    def test_cross_traffic_runs(self):
+        b, _ = tiny_world(seed=7)
+        link_name = b.topology.link_between("isp-core", "tiny-cloud-frontend").name
+        b.cross_traffic(link_name, "isp-core", utilization=0.5, mean_flow_bytes=2e6)
+        world = b.build()
+        world.sim.run(until=120)
+        assert world.sim.now >= 120  # background kept the sim alive
