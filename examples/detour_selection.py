@@ -19,6 +19,7 @@ from repro.core import (
     SelectionContext,
     TransferPlan,
 )
+from repro.sim.rng import RngRegistry
 from repro.testbed import CLIENTS, PROVIDERS, VIAS, build_case_study, world_factory
 from repro.transfer import FileSpec
 from repro.units import mb
@@ -41,7 +42,7 @@ def execute(world, client, provider, route) -> float:
 
 def main() -> None:
     oracle = OracleSelector(world_factory(), runs=3, discard=1, master_seed=99)
-    history = HistorySelector(epsilon=0.1)
+    history = HistorySelector(epsilon=0.1, rng=RngRegistry(0).stream("history"))
 
     print(f"{'client':>8} {'provider':>9} | {'probe':<14} {'history':<14} "
           f"{'oracle':<14} | probe upload (s)")

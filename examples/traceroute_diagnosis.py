@@ -12,9 +12,10 @@ Run:  python examples/traceroute_diagnosis.py
 
 from repro.core import DirectRoute, PlanExecutor, TransferPlan
 from repro.net import format_traceroute, traceroute
+from repro.sim.rng import RngRegistry
 from repro.testbed import build_case_study, build_geo_registry
 from repro.transfer import FileSpec
-from repro.units import mb
+from repro.units import bps_to_mbps, mb
 
 
 def measure(world, client_site: str) -> float:
@@ -24,8 +25,9 @@ def measure(world, client_site: str) -> float:
     return executor.run(plan).total_s
 
 
-def geolocated_trace(world, geo, src: str) -> str:
-    hops = traceroute(world.router, src, "gdrive-frontend")
+def geolocated_trace(world, geo, rng, src: str) -> str:
+    hops = traceroute(world.router, src, "gdrive-frontend",
+                      rng=rng.stream(f"traceroute.{src}"))
     lines = []
     for hop in hops:
         if not hop.responded:
@@ -40,6 +42,7 @@ def geolocated_trace(world, geo, src: str) -> str:
 def main() -> None:
     world = build_case_study(seed=7)
     geo = build_geo_registry()
+    rng = RngRegistry(7)
 
     print("Step 1 — measure 100 MB uploads to Google Drive:")
     t_ubc = measure(world, "ubc")
@@ -49,9 +52,9 @@ def main() -> None:
     print(f"  -> UBC is {t_ubc / t_ual:.1f}x slower to the *same* server.\n")
 
     print("Step 2 — traceroute from UBC (paper Fig. 5):")
-    print(geolocated_trace(world, geo, "ubc-pl"))
+    print(geolocated_trace(world, geo, rng, "ubc-pl"))
     print("\nStep 3 — traceroute from UAlberta (paper Fig. 6):")
-    print(geolocated_trace(world, geo, "ualberta-dtn"))
+    print(geolocated_trace(world, geo, rng, "ualberta-dtn"))
 
     print("\nStep 4 — diagnosis:")
     ubc_path = world.router.resolve("ubc-pl", "gdrive-frontend")
@@ -61,9 +64,9 @@ def main() -> None:
     only_ubc = [n for n in ubc_path.nodes if n not in ual_path.nodes and "pl" not in n
                 and not n.startswith("ubc")]
     print(f"  hops only on the slow path: {', '.join(only_ubc)}")
-    print(f"  bottleneck on the slow path: {ubc_path.bottleneck_bps / 1e6:.1f} Mbit/s "
+    print(f"  bottleneck on the slow path: {bps_to_mbps(ubc_path.bottleneck_bps):.1f} Mbit/s "
           f"(the policed Pacific Wave egress)")
-    print(f"  bottleneck on the fast path: {ual_path.bottleneck_bps / 1e6:.1f} Mbit/s")
+    print(f"  bottleneck on the fast path: {bps_to_mbps(ual_path.bottleneck_bps):.1f} Mbit/s")
     print("\nConclusion: same destination, same CANARIE router, different egress —")
     print("a source-prefix routing policy, not distance, explains the 5x gap.")
 

@@ -10,14 +10,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.analysis.ascii_plot import bar_chart
 from repro.analysis.common import AnalysisConfig, measure_cell, measure_rsync_hop
 from repro.core.routes import DetourRoute, DirectRoute, Route
 from repro.errors import MeasurementError
 from repro.measure.stats import Summary
 from repro.net.traceroute import format_traceroute, traceroute
+from repro.sim.rng import RngRegistry
 from repro.testbed.build import build_case_study
 from repro.testbed.scenarios import paper_route_set
 
@@ -119,9 +118,10 @@ def run_traceroute_figures(seed: int = 0) -> Dict[str, str]:
     """Figs. 5 and 6: traceroutes to the Google Drive frontend."""
     world = build_case_study(seed=seed, cross_traffic=False)
     frontend = world.topology.node("gdrive-frontend")
+    rng = RngRegistry(seed)
     out = {}
     for fig_id, src in [("fig5", "ubc-pl"), ("fig6", "ualberta-dtn")]:
         hops = traceroute(world.router, src, frontend.name,
-                          rng=np.random.default_rng(seed))
+                          rng=rng.stream(f"analysis.traceroute.{src}"))
         out[fig_id] = format_traceroute(hops, "www.googleapis.com", frontend.address)
     return out

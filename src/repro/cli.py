@@ -80,6 +80,20 @@ def build_parser() -> argparse.ArgumentParser:
                                       "paper-vs-measured comparison")
     p.add_argument("--fast", action="store_true")
     p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("lint", help="statically check the simulation invariants "
+                                    "(determinism / units / kernel-safety)")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to lint (default: the installed "
+                        "repro package)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   dest="fmt")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="baseline JSON (default: auto-discover lint_baseline.json)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore any baseline file")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline to cover the current findings")
     return parser
 
 
@@ -120,15 +134,14 @@ def _cmd_upload(args) -> int:
 
 
 def _cmd_traceroute(args) -> int:
-    import numpy as np
-
     from repro.net import format_traceroute, traceroute
+    from repro.sim.rng import RngRegistry
     from repro.testbed import build_case_study
 
     world = build_case_study(seed=args.seed, cross_traffic=False)
     dst = world.topology.node(args.dst)
     hops = traceroute(world.router, args.src, args.dst,
-                      rng=np.random.default_rng(args.seed))
+                      rng=RngRegistry(args.seed).stream("cli.traceroute"))
     print(format_traceroute(hops, dst.hostname, dst.address, show_rtts=True))
     return 0
 
@@ -204,7 +217,7 @@ def _cmd_tiv(args) -> int:
 
     world = build_case_study(seed=args.seed, cross_traffic=False)
     mesh = ProbeMesh(world, ["ubc-pl", "ualberta-dtn", "umich-pl",
-                             "purdue-pl", "ucla-pl"], probe_bytes=2_000_000)
+                             "purdue-pl", "ucla-pl"], probe_bytes=2 * units.MB)
     proc = world.sim.process(mesh.probe_round())
     world.sim.run_until_triggered(proc.done, horizon=1e7)
     records = catalog_tivs(mesh, margin=args.margin)
@@ -230,6 +243,18 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import run_lint
+
+    return run_lint(
+        paths=args.paths or None,
+        fmt=args.fmt,
+        baseline_path=args.baseline,
+        no_baseline=args.no_baseline,
+        update_baseline=args.update_baseline,
+    )
+
+
 _COMMANDS = {
     "compare": _cmd_compare,
     "report": _cmd_report,
@@ -240,6 +265,7 @@ _COMMANDS = {
     "routeviews": _cmd_routeviews,
     "tiv": _cmd_tiv,
     "validate": _cmd_validate,
+    "lint": _cmd_lint,
 }
 
 

@@ -39,7 +39,7 @@ class BottleneckMonitor:
         client_site: str,
         provider_name: str,
         candidate_vias: Sequence[str],
-        probe_bytes: int = 1_000_000,
+        probe_bytes: int = units.MB,
         alpha: float = 0.4,
     ):
         if probe_bytes <= 0:
@@ -150,7 +150,7 @@ class MonitoredUpload:
     def __init__(
         self,
         monitor: BottleneckMonitor,
-        segment_bytes: int = 10_000_000,
+        segment_bytes: int = 10 * units.MB,
         switch_threshold: float = 1.3,
         reprobe_every: int = 1,
         segment_timeout_s: Optional[float] = None,

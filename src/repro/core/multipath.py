@@ -34,7 +34,7 @@ from repro.transfer.files import FileSpec
 __all__ = ["PartResult", "MultipathResult", "MultipathUpload"]
 
 #: Don't bother splitting when one route would carry less than this.
-MIN_PART_BYTES = 1_000_000
+MIN_PART_BYTES = units.MB
 
 
 @dataclass(frozen=True)
@@ -69,17 +69,18 @@ class MultipathResult:
 
     def describe(self) -> str:
         parts = ", ".join(
-            f"{p.route_descr}: {p.part_bytes / 1e6:.0f} MB in {p.duration_s:.1f}s"
+            f"{p.route_descr}: {units.bytes_to_mb(p.part_bytes):.0f} MB "
+            f"in {p.duration_s:.1f}s"
             for p in self.parts
         )
-        return (f"{self.file_name}: {self.total_bytes / 1e6:.0f} MB in "
+        return (f"{self.file_name}: {units.bytes_to_mb(self.total_bytes):.0f} MB in "
                 f"{self.total_s:.1f}s ({parts})")
 
 
 class MultipathUpload:
     """Probe the routes, fit affine costs, split to equalize finish."""
 
-    def __init__(self, world: World, probe_sizes: Tuple[int, ...] = (1_000_000, 4_000_000)):
+    def __init__(self, world: World, probe_sizes: Tuple[int, ...] = (units.MB, 4 * units.MB)):
         if len(probe_sizes) < 2 or any(s <= 0 for s in probe_sizes):
             raise SelectionError("need two positive probe sizes for the affine fit")
         self.world = world

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import units
 from repro.core.executor import PlanExecutor, PlanResult
 from repro.core.routes import DetourRoute, DirectRoute, Route, TransferPlan
 from repro.core.world import World
@@ -72,7 +73,8 @@ class RouteComparison:
     def render(self) -> str:
         lines = [
             f"{self.client_site} -> {self.provider_name}, "
-            f"{self.size_bytes / 1e6:g} MB ({self.measurements[0].summary.n} runs kept):"
+            f"{units.bytes_to_mb(self.size_bytes):g} MB "
+            f"({self.measurements[0].summary.n} runs kept):"
         ]
         best_descr = self.best.route.describe()
         for m in sorted(self.measurements, key=lambda m: m.summary.mean):

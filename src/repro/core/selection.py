@@ -121,7 +121,7 @@ class ProbeSelector(Selector):
 
     name = "probe"
 
-    def __init__(self, probe_sizes: Sequence[int] = (1_000_000, 4_000_000)):
+    def __init__(self, probe_sizes: Sequence[int] = (units.MB, 4 * units.MB)):
         if len(probe_sizes) < 2:
             raise SelectionError("need at least two probe sizes for an affine fit")
         if any(s <= 0 for s in probe_sizes):
@@ -233,9 +233,15 @@ class HistorySelector(Selector):
             raise SelectionError("alpha must be in (0, 1]")
         if not (0 <= epsilon < 1):
             raise SelectionError("epsilon must be in [0, 1)")
+        if rng is None:
+            raise SelectionError(
+                "HistorySelector needs an explicit rng (an RngRegistry "
+                "stream or injected np.random.Generator) for its "
+                "epsilon-greedy exploration draws"
+            )
         self.alpha = alpha
         self.epsilon = epsilon
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng
         # (client, provider, route descr) -> EWMA seconds per byte
         self._rate: Dict[Tuple[str, str, str], float] = {}
 

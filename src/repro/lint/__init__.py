@@ -1,0 +1,44 @@
+"""Static analysis of the simulation's invariants (``repro lint``).
+
+The reproduction's claims rest on three mechanical invariants that
+docstrings alone cannot enforce:
+
+* **determinism** (SL1xx) — all randomness flows from one master seed
+  through :class:`repro.sim.rng.RngRegistry` named streams; no wall-clock
+  reads, no stdlib ``random``, no ad-hoc ``np.random.default_rng(...)``
+  fallbacks, no iteration over hash-ordered sets in model code;
+* **units** (SL2xx) — seconds / bytes / bits-per-second everywhere, via
+  the named constants of :mod:`repro.units` rather than magic numbers;
+* **kernel-safety** (SL3xx) — no mutable default arguments, no bare
+  ``except:``, no float ``==`` against simulation-time expressions.
+
+The analyzer is stdlib-``ast`` based (no third-party dependencies) and is
+wired into the CLI (``python -m repro.cli lint``) and the test suite
+(``python -m pytest -m lint``).  See ``docs/invariants.md`` for the rule
+catalogue, suppression comments (``# simlint: ignore[RULE]``) and the
+baseline workflow (``lint_baseline.json``).
+"""
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.engine import LintEngine, LintReport, Rule, RULES, all_rules
+from repro.lint.findings import Finding, Severity
+from repro.lint.runner import run_lint
+
+# Importing the rule modules registers every shipped rule.
+from repro.lint import rules as _rules  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "LintEngine",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "run_lint",
+]

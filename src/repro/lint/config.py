@@ -1,0 +1,51 @@
+"""Linter configuration: which packages are "model code", whitelists."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping, Optional, Tuple
+
+from repro.lint.findings import Severity
+
+__all__ = ["LintConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Knobs for a lint run.
+
+    ``model_packages`` are the top-level sub-packages of ``repro`` whose
+    code participates in simulation results — the determinism and unit
+    rules apply there.  Kernel-safety rules (SL3xx) apply everywhere.
+
+    ``rng_entrypoints`` are the few files allowed to call
+    ``np.random.default_rng``: the seed→generator conversion points.
+    Everywhere else a generator must be parameter-injected or come from
+    ``RngRegistry.stream(...)``.
+    """
+
+    model_packages: FrozenSet[str] = frozenset(
+        {"sim", "net", "core", "transfer", "overlay", "cloud"}
+    )
+    #: Files (relative to the scanned root) that may construct generators
+    #: directly: the RngRegistry itself derives streams there.
+    rng_entrypoints: FrozenSet[str] = frozenset({"sim/rng.py"})
+    #: Files exempt from the magic-constant rules — the module that
+    #: *defines* the unit constants obviously spells them out.
+    units_definition_files: FrozenSet[str] = frozenset({"units.py"})
+    #: Rule ids disabled for this run (e.g. frozenset({"SL203"})).
+    disabled_rules: FrozenSet[str] = frozenset()
+    #: Per-rule severity overrides, e.g. {"SL203": Severity.ERROR}.
+    severity_overrides: Mapping[str, Severity] = field(default_factory=dict)
+
+    def with_disabled(self, *rule_ids: str) -> "LintConfig":
+        return LintConfig(
+            model_packages=self.model_packages,
+            rng_entrypoints=self.rng_entrypoints,
+            units_definition_files=self.units_definition_files,
+            disabled_rules=self.disabled_rules | frozenset(rule_ids),
+            severity_overrides=dict(self.severity_overrides),
+        )
+
+
+DEFAULT_CONFIG = LintConfig()

@@ -1,0 +1,110 @@
+"""Per-file analysis context and shared AST helpers."""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, Optional
+
+from repro.lint.config import LintConfig
+
+__all__ = [
+    "FileContext",
+    "dotted_name",
+    "identifiers_in",
+    "parse_suppressions",
+    "terminal_name",
+]
+
+#: ``# simlint: ignore[SL103]`` or ``# simlint: ignore[SL101, SL104] -- why``.
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*ignore\[([^\]]+)\]")
+
+
+def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> rule ids suppressed on that line (``*`` = all)."""
+    out: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(line)
+        if m:
+            rules = frozenset(r.strip() for r in m.group(1).split(",") if r.strip())
+            if rules:
+                out[lineno] = rules
+    return out
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The identifier a load/store ultimately refers to: ``x`` or ``obj.x``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def identifiers_in(node: ast.AST) -> Iterator[str]:
+    """Every identifier mentioned anywhere in a subtree."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+        elif isinstance(sub, ast.arg):
+            yield sub.arg
+        elif isinstance(sub, ast.keyword) and sub.arg:
+            yield sub.arg
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one parsed file."""
+
+    rel: str  # posix path relative to the scanned root
+    source: str
+    tree: ast.Module
+    config: LintConfig
+    suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, source: str, rel: str, config: LintConfig) -> "FileContext":
+        return cls(
+            rel=rel,
+            source=source,
+            tree=ast.parse(source, filename=rel),
+            config=config,
+            suppressions=parse_suppressions(source),
+        )
+
+    @property
+    def package(self) -> str:
+        """First path component: ``net/packetsim.py`` -> ``net``."""
+        head = self.rel.split("/", 1)[0]
+        return head[:-3] if head.endswith(".py") else head
+
+    @property
+    def in_model_code(self) -> bool:
+        return self.package in self.config.model_packages
+
+    @property
+    def is_rng_entrypoint(self) -> bool:
+        return self.rel in self.config.rng_entrypoints
+
+    @property
+    def defines_units(self) -> bool:
+        return self.rel in self.config.units_definition_files
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        rules = self.suppressions.get(line)
+        return bool(rules) and (rule_id in rules or "*" in rules)

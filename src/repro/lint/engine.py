@@ -1,0 +1,177 @@
+"""Rule registry and the analysis engine.
+
+A rule is a function ``check(ctx) -> iterable of (lineno, message)``
+registered under a stable id (``SL101``...).  The engine parses each
+file once, runs every applicable rule, attaches severities, and filters
+``# simlint: ignore[RULE]`` suppressions.  Baseline filtering happens a
+layer up (:mod:`repro.lint.baseline`) so reports can show both views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+
+__all__ = ["Rule", "RULES", "rule", "all_rules", "LintEngine", "LintReport"]
+
+CheckFn = Callable[[FileContext], Iterable[Tuple[int, str]]]
+
+#: Scope of a rule: ``model`` rules only run on files inside the
+#: configured model packages; ``tree`` rules run on every file.
+MODEL = "model"
+TREE = "tree"
+
+#: Reserved id for files the engine cannot parse at all.
+PARSE_ERROR_RULE = "SL001"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered check with its catalogue metadata."""
+
+    rule_id: str
+    summary: str
+    severity: Severity
+    scope: str
+    check: CheckFn
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if self.scope == MODEL and not ctx.in_model_code:
+            return False
+        return True
+
+
+RULES: Dict[str, Rule] = {}
+
+
+def rule(rule_id: str, summary: str, *, severity: Severity = Severity.ERROR,
+         scope: str = TREE) -> Callable[[CheckFn], CheckFn]:
+    """Class/function decorator registering a check under ``rule_id``."""
+    if scope not in (MODEL, TREE):
+        raise ValueError(f"unknown rule scope {scope!r}")
+
+    def deco(fn: CheckFn) -> CheckFn:
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        RULES[rule_id] = Rule(rule_id, summary, severity, scope, fn)
+        return fn
+
+    return deco
+
+
+def all_rules() -> List[Rule]:
+    """The shipped catalogue, sorted by id (import side effects included)."""
+    import repro.lint.rules  # noqa: F401  -- ensure registration ran
+
+    return sorted(RULES.values(), key=lambda r: r.rule_id)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one engine run (before baseline filtering)."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+
+class LintEngine:
+    """Runs the registered rules over sources, files, or trees."""
+
+    def __init__(self, config: Optional[LintConfig] = None,
+                 rules: Optional[Sequence[Rule]] = None):
+        self.config = config or DEFAULT_CONFIG
+        self._rules = list(rules) if rules is not None else all_rules()
+
+    def active_rules(self) -> List[Rule]:
+        return [r for r in self._rules if r.rule_id not in self.config.disabled_rules]
+
+    def _severity(self, r: Rule) -> Severity:
+        return self.config.severity_overrides.get(r.rule_id, r.severity)
+
+    # -- single-source entry points -------------------------------------
+
+    def lint_source(self, source: str, rel: str = "snippet.py",
+                    report: Optional[LintReport] = None) -> List[Finding]:
+        """Lint one blob of source text as if it lived at ``rel``.
+
+        Returns the unsuppressed findings (and records suppressed ones on
+        ``report`` when given).  Unparseable source yields a single
+        ``SL001`` finding instead of raising.
+        """
+        report = report if report is not None else LintReport()
+        try:
+            ctx = FileContext.from_source(source, rel, self.config)
+        except SyntaxError as exc:
+            finding = Finding(rel, exc.lineno or 1, PARSE_ERROR_RULE,
+                              Severity.ERROR, f"cannot parse: {exc.msg}")
+            report.findings.append(finding)
+            return [finding]
+        out: List[Finding] = []
+        seen = set()
+        for r in self.active_rules():
+            if not r.applies_to(ctx):
+                continue
+            severity = self._severity(r)
+            for lineno, message in r.check(ctx):
+                key = (rel, lineno, r.rule_id, message)
+                if key in seen:
+                    continue
+                seen.add(key)
+                finding = Finding(rel, lineno, r.rule_id, severity, message)
+                if ctx.is_suppressed(lineno, r.rule_id):
+                    report.suppressed.append(finding)
+                else:
+                    out.append(finding)
+        out.sort(key=Finding.sort_key)
+        report.findings.extend(out)
+        return out
+
+    # -- filesystem entry points ----------------------------------------
+
+    def lint_file(self, path: Union[str, Path], root: Union[str, Path, None] = None,
+                  report: Optional[LintReport] = None) -> List[Finding]:
+        path = Path(path)
+        root = Path(root) if root is not None else path.parent
+        rel = path.relative_to(root).as_posix()
+        source = path.read_text(encoding="utf-8")
+        findings = self.lint_source(source, rel, report=report)
+        if report is not None:
+            report.files_scanned += 1
+        return findings
+
+    def lint_tree(self, root: Union[str, Path]) -> LintReport:
+        """Lint every ``*.py`` under ``root`` (or a single file)."""
+        root = Path(root)
+        report = LintReport()
+        if root.is_file():
+            self.lint_file(root, root.parent, report=report)
+        else:
+            for path in sorted(root.rglob("*.py")):
+                self.lint_file(path, root, report=report)
+        report.findings.sort(key=Finding.sort_key)
+        return report
+
+    def lint_paths(self, paths: Sequence[Union[str, Path]]) -> LintReport:
+        """Lint several roots, merging the reports."""
+        merged = LintReport()
+        for p in paths:
+            sub = self.lint_tree(p)
+            merged.findings.extend(sub.findings)
+            merged.suppressed.extend(sub.suppressed)
+            merged.files_scanned += sub.files_scanned
+        merged.findings.sort(key=Finding.sort_key)
+        return merged

@@ -1,0 +1,53 @@
+"""The linter's output vocabulary: findings and severities."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Union
+
+__all__ = ["Finding", "Severity"]
+
+
+class Severity(str, enum.Enum):
+    """How hard a finding fails the gate.
+
+    ``ERROR`` findings make ``repro lint`` exit non-zero; ``WARNING``
+    findings are reported but do not fail the gate (heuristic rules whose
+    false-positive rate is inherently higher run at this level).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``file`` is the path relative to the scanned root (posix separators),
+    which keeps findings stable across machines and is the key used by
+    the baseline file.
+    """
+
+    file: str
+    line: int
+    rule: str
+    severity: Severity
+    message: str
+
+    def sort_key(self):
+        return (self.file, self.line, self.rule)
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.rule} {self.severity.value}: {self.message}"
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        """The stable JSON schema: file, line, rule, severity, message."""
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+        }

@@ -1,0 +1,8 @@
+"""Shipped rule families — importing this package registers every rule.
+
+* :mod:`repro.lint.rules.determinism` — SL1xx, seeded-randomness discipline
+* :mod:`repro.lint.rules.units` — SL2xx, unit-constant discipline
+* :mod:`repro.lint.rules.kernel` — SL3xx, kernel-safety
+"""
+
+from repro.lint.rules import determinism, kernel, units  # noqa: F401

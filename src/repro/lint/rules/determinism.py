@@ -1,0 +1,120 @@
+"""SL1xx — determinism: every stochastic or order-sensitive construct in
+model code must flow from the master seed (``repro.sim.rng.RngRegistry``)
+or be intrinsically deterministic."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.lint.context import FileContext, dotted_name
+from repro.lint.engine import MODEL, TREE, rule
+
+__all__ = []
+
+#: Wall-clock reads that leak real time into simulated time.
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "date.today", "datetime.date.today",
+})
+
+#: Legacy / global numpy RNG constructors besides default_rng.
+_LEGACY_NP_RANDOM = frozenset({
+    "np.random.seed", "numpy.random.seed",
+    "np.random.RandomState", "numpy.random.RandomState",
+})
+
+
+@rule("SL101", "wall-clock read in simulation code", scope=MODEL)
+def wall_clock(ctx: FileContext) -> Iterator[Tuple[int, str]]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in _WALL_CLOCK:
+                yield node.lineno, (
+                    f"{name}() reads the wall clock; simulation code must use "
+                    f"the kernel's simulated time (sim.now) so runs are "
+                    f"bit-reproducible"
+                )
+
+
+@rule("SL102", "stdlib random module in simulation code", scope=MODEL)
+def stdlib_random(ctx: FileContext) -> Iterator[Tuple[int, str]]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield node.lineno, (
+                        "stdlib `random` is globally seeded and unseedable per "
+                        "component; draw from RngRegistry.stream(...) instead"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                yield node.lineno, (
+                    "stdlib `random` is globally seeded and unseedable per "
+                    "component; draw from RngRegistry.stream(...) instead"
+                )
+        elif isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name and name.split(".")[0] == "random" and "." in name:
+                yield node.lineno, (
+                    f"{name}() uses the global stdlib RNG; draw from "
+                    f"RngRegistry.stream(...) instead"
+                )
+
+
+@rule("SL103", "ad-hoc RNG construction outside whitelisted entry points",
+      scope=TREE)
+def adhoc_default_rng(ctx: FileContext) -> Iterator[Tuple[int, str]]:
+    if ctx.is_rng_entrypoint:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None:
+            continue
+        if name == "default_rng" or name.endswith(".default_rng"):
+            yield node.lineno, (
+                "np.random.default_rng(...) here bypasses the master-seed "
+                "discipline; accept an injected np.random.Generator or use "
+                "RngRegistry.stream(name)"
+            )
+        elif name in _LEGACY_NP_RANDOM:
+            yield node.lineno, (
+                f"{name}(...) uses numpy's legacy/global RNG state; use "
+                f"RngRegistry named streams"
+            )
+
+
+def _is_setish(node: ast.AST) -> bool:
+    """Expressions whose iteration order depends on hashing."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if dotted_name(node.func) in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+        return _is_setish(node.left) or _is_setish(node.right)
+    return False
+
+
+@rule("SL104", "iteration over a hash-ordered set in model code", scope=MODEL)
+def set_iteration(ctx: FileContext) -> Iterator[Tuple[int, str]]:
+    msg = (
+        "iterating a set here feeds hash order (PYTHONHASHSEED-dependent for "
+        "strings) into the simulation; wrap it in sorted(...)"
+    )
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)) and _is_setish(node.iter):
+            yield node.iter.lineno, msg
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                if _is_setish(gen.iter):
+                    yield gen.iter.lineno, msg

@@ -1,0 +1,90 @@
+"""SL3xx — kernel-safety: constructs that corrupt state across runs or
+silently swallow simulation faults."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.lint.context import FileContext, dotted_name, terminal_name
+from repro.lint.engine import MODEL, TREE, rule
+
+__all__ = []
+
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "bytearray", "deque",
+    "defaultdict", "collections.defaultdict", "collections.deque",
+    "Counter", "collections.Counter", "OrderedDict", "collections.OrderedDict",
+})
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func) in _MUTABLE_CALLS
+    return False
+
+
+@rule("SL301", "mutable default argument", scope=TREE)
+def mutable_defaults(ctx: FileContext) -> Iterator[Tuple[int, str]]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            args = node.args
+            positional = args.posonlyargs + args.args
+            pairs = list(zip(positional[len(positional) - len(args.defaults):],
+                             args.defaults))
+            pairs += [(a, d) for a, d in zip(args.kwonlyargs, args.kw_defaults)
+                      if d is not None]
+            for arg, default in pairs:
+                if _is_mutable_default(default):
+                    yield default.lineno, (
+                        f"mutable default for {arg.arg!r} is shared across "
+                        f"calls (and across simulation runs); default to None "
+                        f"and construct inside the function"
+                    )
+
+
+@rule("SL302", "bare except swallows simulation faults", scope=TREE)
+def bare_except(ctx: FileContext) -> Iterator[Tuple[int, str]]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield node.lineno, (
+                "bare `except:` catches SystemExit/KeyboardInterrupt and hides "
+                "kernel faults; catch a specific exception type"
+            )
+
+
+_TIMEY_NAMES = frozenset({"now", "time_s", "sim_time", "deadline", "horizon"})
+_TIMEY_SUFFIXES = ("_s", "_ms", "_us", "_time")
+
+
+def _is_sim_time(node: ast.AST) -> bool:
+    name = terminal_name(node)
+    if not name:
+        return False
+    lowered = name.lower()
+    if lowered in _TIMEY_NAMES:
+        return True
+    return any(lowered.endswith(sfx) for sfx in _TIMEY_SUFFIXES)
+
+
+@rule("SL303", "float equality against a simulation-time expression",
+      scope=MODEL)
+def float_time_equality(ctx: FileContext) -> Iterator[Tuple[int, str]]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        left = node.left
+        for op, right in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                # `x is None` style comparisons are not the target here.
+                if not (isinstance(right, ast.Constant) and right.value is None):
+                    if _is_sim_time(left) or _is_sim_time(right):
+                        yield node.lineno, (
+                            "exact float comparison against simulated time "
+                            "accumulates representation error; compare with a "
+                            "tolerance or restructure around event ordering"
+                        )
+            left = right

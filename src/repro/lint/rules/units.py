@@ -1,0 +1,205 @@
+"""SL2xx — units: sizes in bytes, rates in bps, time in seconds, spelled
+with the named constants of :mod:`repro.units`, never magic numbers."""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.context import FileContext, dotted_name, identifiers_in, terminal_name
+from repro.lint.engine import MODEL, rule
+from repro.lint.findings import Severity
+
+__all__ = []
+
+#: Power expressions that spell a unit constant.
+_POW_NAMES = {
+    10 ** 3: "units.KB", 10 ** 6: "units.MB", 10 ** 9: "units.GB",
+    10 ** 12: "units.TB", 2 ** 10: "units.KiB", 2 ** 20: "units.MiB",
+    2 ** 30: "units.GiB",
+}
+
+_BYTESISH = re.compile(r"bytes|size|nbytes|_mb$|_mib$", re.IGNORECASE)
+
+
+def _magic_size(value: object) -> Optional[str]:
+    """A replacement spelling if *value* is a recognizable size constant."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    if value != int(value):
+        return None
+    n = int(value)
+    if n in _POW_NAMES:
+        return _POW_NAMES[n]
+    if n >= 2 ** 20 and n % 2 ** 20 == 0 and n < 2 ** 44 and (n & (n - 1)) == 0:
+        return f"{n // 2 ** 20} * units.MiB"
+    if n >= 10 ** 6 and n % 10 ** 6 == 0 and n < 10 ** 13:
+        return f"{n // 10 ** 6} * units.MB"
+    return None
+
+
+def _bytesish(node: ast.AST) -> bool:
+    return any(_BYTESISH.search(ident) for ident in identifiers_in(node))
+
+
+def _const_value(node: ast.AST):
+    if isinstance(node, ast.Constant):
+        return node.value
+    return None
+
+
+@rule("SL201", "magic size constant in model code", scope=MODEL)
+def magic_size_constants(ctx: FileContext) -> Iterator[Tuple[int, str]]:
+    if ctx.defines_units:
+        return
+
+    def magic_constants_under(node: ast.AST):
+        for sub in ast.walk(node):
+            suggestion = _magic_size(_const_value(sub))
+            if suggestion is not None:
+                yield sub, suggestion
+
+    for node in ast.walk(ctx.tree):
+        # 10**6 / 2**20 spelled as powers anywhere in model code.
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Pow):
+            left, right = _const_value(node.left), _const_value(node.right)
+            if isinstance(left, int) and isinstance(right, int):
+                value = left ** right
+                if value in _POW_NAMES:
+                    yield node.lineno, (
+                        f"{left}**{right} is a magic unit constant; "
+                        f"use {_POW_NAMES[value]}"
+                    )
+        # Size-named bindings / defaults / keywords holding a magic literal.
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            names = [terminal_name(t) for t in targets]
+            if node.value is not None and any(n and _BYTESISH.search(n) for n in names):
+                for const, suggestion in magic_constants_under(node.value):
+                    yield const.lineno, (
+                        f"magic constant {const.value!r} bound to a size-named "
+                        f"variable; use {suggestion}"
+                    )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            positional = args.posonlyargs + args.args
+            for arg, default in zip(positional[len(positional) - len(args.defaults):],
+                                    args.defaults):
+                if _BYTESISH.search(arg.arg):
+                    for const, suggestion in magic_constants_under(default):
+                        yield const.lineno, (
+                            f"magic constant {const.value!r} as default for "
+                            f"{arg.arg!r}; use {suggestion}"
+                        )
+            for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+                if default is not None and _BYTESISH.search(arg.arg):
+                    for const, suggestion in magic_constants_under(default):
+                        yield const.lineno, (
+                            f"magic constant {const.value!r} as default for "
+                            f"{arg.arg!r}; use {suggestion}"
+                        )
+        elif isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if kw.arg and _BYTESISH.search(kw.arg):
+                    for const, suggestion in magic_constants_under(kw.value):
+                        yield const.lineno, (
+                            f"magic constant {const.value!r} passed as "
+                            f"{kw.arg!r}; use {suggestion}"
+                        )
+        # bytes / 1e6 and friends: scaling a byte quantity with a literal.
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Mult, ast.Div,
+                                                                  ast.FloorDiv)):
+            for const_side, other in ((node.left, node.right), (node.right, node.left)):
+                suggestion = _magic_size(_const_value(const_side))
+                if suggestion is not None and _bytesish(other):
+                    yield node.lineno, (
+                        f"scaling a byte quantity by magic "
+                        f"{_const_value(const_side)!r}; use {suggestion} or a "
+                        f"repro.units helper (bytes_to_mb, mb, ...)"
+                    )
+
+
+_RATEISH = re.compile(r"bytes|nbytes|bps|rate|throughput|bandwidth", re.IGNORECASE)
+
+
+@rule("SL202", "magic *8 bit/byte conversion in model code", scope=MODEL)
+def bits_per_byte(ctx: FileContext) -> Iterator[Tuple[int, str]]:
+    if ctx.defines_units:
+        return
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.BinOp)
+                and isinstance(node.op, (ast.Mult, ast.Div))):
+            continue
+        for const_side, other in ((node.left, node.right), (node.right, node.left)):
+            if _const_value(const_side) != 8 or isinstance(_const_value(const_side), bool):
+                continue
+            idents = list(identifiers_in(other))
+            if "units" in idents or "BITS_PER_BYTE" in idents:
+                continue  # already spelled via repro.units
+            if any(_RATEISH.search(i) for i in idents):
+                yield node.lineno, (
+                    "bare `8` converting between bits and bytes; use "
+                    "units.BITS_PER_BYTE (or bytes_per_sec/throughput_bps)"
+                )
+
+
+#: Longest-first so ``_mbps`` is not mistaken for ``_bps``.
+_UNIT_SUFFIXES = ("_gbps", "_mbps", "_kbps", "_bps", "_ms", "_us", "_s")
+_FAMILIES = {
+    "gbps": "rate", "mbps": "rate", "kbps": "rate", "bps": "rate",
+    "ms": "time", "us": "time", "s": "time",
+}
+#: Calls that perform an explicit, named conversion.
+_CONVERTERS = frozenset({
+    "mb", "mib", "bytes_to_mb", "mbps", "gbps", "kbps", "bps_to_mbps",
+    "bytes_per_sec", "transfer_seconds", "throughput_bps", "ms",
+    "seconds_to_ms", "propagation_delay_s",
+})
+
+
+def _unit_of(name: Optional[str]) -> Optional[str]:
+    if not name:
+        return None
+    lowered = name.lower()
+    for suffix in _UNIT_SUFFIXES:
+        if lowered.endswith(suffix):
+            return suffix[1:]
+    return None
+
+
+def _has_converter_call(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            name = dotted_name(sub.func)
+            if name and (name.startswith("units.")
+                         or name.split(".")[-1] in _CONVERTERS):
+                return True
+    return False
+
+
+@rule("SL203", "mixed unit conventions across an assignment", scope=MODEL,
+      severity=Severity.WARNING)
+def mixed_rate_conventions(ctx: FileContext) -> Iterator[Tuple[int, str]]:
+    if ctx.defines_units:
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            value = node.value
+            if value is None:
+                continue
+            target_units = {u for u in (_unit_of(terminal_name(t)) for t in targets) if u}
+            if not target_units or _has_converter_call(value):
+                continue
+            source_units = {u for u in (_unit_of(i) for i in identifiers_in(value)) if u}
+            for tu in target_units:
+                clash = {
+                    su for su in source_units
+                    if su != tu and _FAMILIES[su] == _FAMILIES[tu]
+                }
+                if clash:
+                    yield node.lineno, (
+                        f"assigns a *_{tu} variable from *_{'/'.join(sorted(clash))} "
+                        f"expressions without an explicit repro.units conversion"
+                    )

@@ -1,0 +1,115 @@
+"""End-to-end lint runs: path resolution, baseline handling, output.
+
+This is the layer behind ``python -m repro.cli lint`` and the ``lint``
+pytest gate.  Exit codes: 0 clean (modulo baseline/suppressions), 1 at
+least one error-severity finding, 2 operational failure (bad baseline).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig
+from repro.lint.engine import LintEngine
+from repro.lint.findings import Severity
+
+__all__ = ["run_lint", "default_scan_root", "discover_baseline"]
+
+BASELINE_FILENAME = "lint_baseline.json"
+
+
+def default_scan_root() -> Path:
+    """The installed ``repro`` package — what ``repro lint`` checks."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def discover_baseline(roots: Sequence[Path]) -> Optional[Path]:
+    """Find ``lint_baseline.json``: cwd first, then above each scan root.
+
+    Scanning the in-repo tree (``src/repro``) finds the checked-in file at
+    the repository root two levels up.
+    """
+    candidates = [Path.cwd() / BASELINE_FILENAME]
+    for root in roots:
+        for parent in (root, *root.parents[:3]):
+            candidates.append(parent / BASELINE_FILENAME)
+    for cand in candidates:
+        if cand.is_file():
+            return cand
+    return None
+
+
+def run_lint(
+    paths: Optional[Sequence[Union[str, Path]]] = None,
+    fmt: str = "text",
+    baseline_path: Optional[Union[str, Path]] = None,
+    no_baseline: bool = False,
+    update_baseline: bool = False,
+    config: Optional[LintConfig] = None,
+    out: Callable[[str], None] = print,
+) -> int:
+    """Lint *paths* (default: the installed package) and report.
+
+    Returns a process exit code.  ``update_baseline`` rewrites the
+    baseline to cover exactly the current findings and exits 0.
+    """
+    roots = [Path(p) for p in paths] if paths else [default_scan_root()]
+    missing = [r for r in roots if not r.exists()]
+    if missing:
+        for r in missing:
+            out(f"error: no such file or directory: {r}")
+        return 2
+    engine = LintEngine(config=config)
+    report = engine.lint_paths(roots)
+
+    baseline = Baseline()
+    resolved_baseline: Optional[Path] = None
+    if not no_baseline:
+        resolved_baseline = (Path(baseline_path) if baseline_path
+                             else discover_baseline(roots))
+        if baseline_path and not resolved_baseline.is_file():
+            if not update_baseline:
+                out(f"error: baseline file not found: {resolved_baseline}")
+                return 2
+        elif resolved_baseline is not None:
+            try:
+                baseline = Baseline.load(resolved_baseline)
+            except (ValueError, KeyError, json.JSONDecodeError) as exc:
+                out(f"error: cannot read baseline {resolved_baseline}: {exc}")
+                return 2
+
+    if update_baseline:
+        target = resolved_baseline or (Path.cwd() / BASELINE_FILENAME)
+        Baseline.from_findings(report.findings, previous=baseline).save(target)
+        out(f"wrote {len(report.findings)} finding(s) to {target}")
+        return 0
+
+    kept, baselined, stale = baseline.filter(report.findings)
+    errors = [f for f in kept if f.severity is Severity.ERROR]
+    warnings = [f for f in kept if f.severity is Severity.WARNING]
+
+    if fmt == "json":
+        out(json.dumps({
+            "files_scanned": report.files_scanned,
+            "findings": [f.to_dict() for f in kept],
+            "baselined": len(baselined),
+            "suppressed": len(report.suppressed),
+            "stale_baseline_entries": [
+                {"file": e.file, "rule": e.rule} for e in stale
+            ],
+        }, indent=2))
+    else:
+        for f in kept:
+            out(f.render())
+        for e in stale:
+            out(f"note: stale baseline entry {e.file} [{e.rule}] — violation "
+                f"fixed; remove it (or run --update-baseline)")
+        out(f"{report.files_scanned} file(s) scanned: {len(errors)} error(s), "
+            f"{len(warnings)} warning(s), {len(baselined)} baselined, "
+            f"{len(report.suppressed)} suppressed")
+    return 1 if errors else 0

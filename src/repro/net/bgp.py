@@ -148,7 +148,7 @@ class BgpRouteComputer:
 
         # best "up" route per AS (customer beats peer by type rank)
         best: Dict[int, BgpRoute] = {}
-        for x in set(customer) | set(peer):
+        for x in sorted(set(customer) | set(peer)):
             for cand in (customer.get(x), peer.get(x)):
                 if cand is not None and _better(best.get(x), cand):
                     best[x] = cand

@@ -52,7 +52,7 @@ class PoissonSource:
         reference_capacity_bps: float,
         mean_utilization: float,
         rng: np.random.Generator,
-        mean_flow_bytes: float = 4e6,
+        mean_flow_bytes: float = 4.0 * units.MB,
         sigma_log: float = 1.2,
         per_flow_ceiling_bps: float = inf,
         label: str = "bg",
@@ -182,7 +182,7 @@ class CrossTrafficConfig:
     link_name: str
     from_node: str
     utilization: float = 0.0
-    mean_flow_bytes: float = 4e6
+    mean_flow_bytes: float = 4.0 * units.MB
     elephant_rate_bps: Optional[float] = None
     elephant_on_s: float = 30.0
     elephant_off_s: float = 30.0

@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import units
 from repro.net.dns import DnsResolver
 from repro.net.routing import ResolvedPath, Router
 from repro.net.topology import Topology
@@ -46,7 +47,7 @@ def traceroute(
     router: Router,
     src: str,
     dst: str,
-    rng: Optional[np.random.Generator] = None,
+    rng: np.random.Generator,
     jitter_ms: float = 0.4,
 ) -> List[TracerouteHop]:
     """Run a traceroute from host *src* to host *dst*.
@@ -54,10 +55,13 @@ def traceroute(
     Probes follow the same forwarding state as data traffic (including PBR
     overrides), so a detour artifact visible to transfers is visible here
     — the diagnostic workflow of the paper's Sec. III-A.
+
+    *rng* drives the per-probe RTT jitter and must be supplied by the
+    caller (an ``RngRegistry.stream(...)`` or an injected generator) so
+    all randomness descends from one master seed.
     """
     topo = router.topology
     path: ResolvedPath = router.resolve(src, dst)
-    rng = rng if rng is not None else np.random.default_rng(0)
     hops: List[TracerouteHop] = []
     cumulative_s = 0.0
     nodes = list(path.nodes)
@@ -68,7 +72,7 @@ def traceroute(
         if not node.responds_to_traceroute and name != path.dst:
             hops.append(TracerouteHop(index, None, None, ()))
             continue
-        base_ms = 2.0 * cumulative_s * 1e3
+        base_ms = units.seconds_to_ms(2.0 * cumulative_s)
         rtts = tuple(
             round(base_ms + float(rng.exponential(jitter_ms)), 3)
             for _ in range(PROBES_PER_HOP)

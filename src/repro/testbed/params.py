@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict
 
+from repro import units
 from repro.units import mbps
 
 __all__ = ["CaseStudyParams", "DEFAULT_PARAMS"]
@@ -70,9 +71,9 @@ class CaseStudyParams:
     #: on everything Purdue-sourced, detours included).  Large, infrequent
     #: flows give the paper-scale sigmas of Table IV.
     purdue_uplink_utilization: float = 0.25
-    purdue_uplink_mean_flow_bytes: float = 2e7
+    purdue_uplink_mean_flow_bytes: float = 20.0 * units.MB
     ucla_uplink_utilization: float = 0.05
-    ucla_uplink_mean_flow_bytes: float = 1e6
+    ucla_uplink_mean_flow_bytes: float = 1.0 * units.MB
     canarie_i2_utilization: float = 0.10
     transita_dropbox_utilization: float = 0.10
     #: ON/OFF elephants on the congested TransitA interconnects.

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Dict, Generator, List, Optional
 
+from repro import units
 from repro.errors import TransferError
 from repro.sim.kernel import AllOf, Signal, Simulator
 from repro.transfer.files import FileSpec
@@ -115,7 +116,7 @@ def pipelined_relay(
     total_bytes: float,
     leg_in: LegRunner,
     leg_out: LegRunner,
-    chunk_bytes: float = 8 * 2**20,
+    chunk_bytes: float = 8 * units.MiB,
     max_buffered_chunks: int = 4,
 ) -> Generator:
     """Cut-through relay: overlap ingest and egress chunk by chunk.

@@ -86,7 +86,10 @@ def generate_bytes(size_bytes: int, entropy: Entropy = Entropy.RANDOM, seed: int
         raise TransferError("size must be non-negative")
     if entropy is Entropy.ZEROS:
         return bytes(size_bytes)
-    rng = np.random.default_rng(seed)
+    # File *contents* are part of a FileSpec's identity, not of simulation
+    # state: they derive from the spec's own seed so the same spec always
+    # materializes the same bytes, independent of any master seed.
+    rng = np.random.default_rng(seed)  # simlint: ignore[SL103] -- content identity, seeded per FileSpec
     if entropy is Entropy.RANDOM:
         return rng.integers(0, 256, size=size_bytes, dtype=np.uint8).tobytes()
     # TEXT: words over a small alphabet with spaces/newlines — compressible

@@ -88,7 +88,9 @@ def client_population_schedule(
         raise MeasurementError("need at least one upload")
     if mean_interarrival_s <= 0 or mean_size_mb <= 0:
         raise MeasurementError("interarrival and size means must be positive")
-    rng = np.random.default_rng(seed)
+    # Workload-generation entry point: *seed* is the caller-facing
+    # parameter, so converting it to a generator here is the injection point.
+    rng = np.random.default_rng(seed)  # simlint: ignore[SL103] -- seed-parameterized entry point
     mu = np.log(mean_size_mb) - sigma_log_size**2 / 2
     t = 0.0
     uploads: List[ScheduledUpload] = []

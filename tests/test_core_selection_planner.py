@@ -101,7 +101,7 @@ class TestOracleSelector:
 class TestHistorySelector:
     def test_explores_unseen_routes_first(self):
         ctx = make_ctx()
-        sel = HistorySelector(epsilon=0.0)
+        sel = HistorySelector(epsilon=0.0, rng=np.random.default_rng(0))
         first = drive(ctx.world, sel.choose(ctx))
         assert first.is_direct  # routes() order: direct first
         sel.update(ctx, first, ctx.size_bytes, 87.0)
@@ -110,7 +110,7 @@ class TestHistorySelector:
 
     def test_exploits_best_after_learning(self):
         ctx = make_ctx()
-        sel = HistorySelector(epsilon=0.0)
+        sel = HistorySelector(epsilon=0.0, rng=np.random.default_rng(0))
         sel.update(ctx, DirectRoute(), int(mb(100)), 87.0)
         sel.update(ctx, DetourRoute("ualberta"), int(mb(100)), 36.0)
         sel.update(ctx, DetourRoute("umich"), int(mb(100)), 132.0)
@@ -119,7 +119,7 @@ class TestHistorySelector:
 
     def test_ewma_adapts_to_drift(self):
         ctx = make_ctx()
-        sel = HistorySelector(alpha=0.5, epsilon=0.0)
+        sel = HistorySelector(alpha=0.5, epsilon=0.0, rng=np.random.default_rng(0))
         for route, t in [(DirectRoute(), 30.0), (DetourRoute("ualberta"), 40.0),
                          (DetourRoute("umich"), 130.0)]:
             sel.update(ctx, route, int(mb(100)), t)
@@ -143,7 +143,9 @@ class TestHistorySelector:
             HistorySelector(alpha=0)
         with pytest.raises(SelectionError):
             HistorySelector(epsilon=1.0)
-        sel = HistorySelector()
+        with pytest.raises(SelectionError):
+            HistorySelector()  # rng is mandatory: no silent default_rng(0)
+        sel = HistorySelector(rng=np.random.default_rng(0))
         with pytest.raises(SelectionError):
             sel.update(make_ctx(), DirectRoute(), 0, 1.0)
 
