@@ -9,7 +9,7 @@
 * :mod:`repro.analysis.ascii_plot` — terminal bar charts with error bars.
 """
 
-from repro.analysis.ascii_plot import bar_chart
+from repro.analysis.ascii_plot import bar_chart, span_timeline
 from repro.analysis.common import AnalysisConfig, measure_cell, measure_rsync_hop
 from repro.analysis.export import figure_to_csv, figure_to_json, table_to_csv, table_to_json
 from repro.analysis.full_report import generate_full_report
@@ -82,4 +82,5 @@ __all__ = [
     "run_table4",
     "run_table5",
     "run_traceroute_figures",
+    "span_timeline",
 ]

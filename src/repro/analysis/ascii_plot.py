@@ -12,8 +12,9 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.errors import MeasurementError
 from repro.measure.stats import Summary
+from repro.obs.spans import SpanRecord, span_depths
 
-__all__ = ["bar_chart"]
+__all__ = ["bar_chart", "span_timeline"]
 
 
 def bar_chart(
@@ -59,4 +60,48 @@ def bar_chart(
             lines.append(f"  {label.ljust(label_w)} |{bar} {s.mean:.2f}{unit}{err}")
         lines.append("")
     lines.append(f"(bar width: {width} chars = {peak:.1f}{unit})")
+    return "\n".join(lines)
+
+
+def span_timeline(
+    records: Sequence[SpanRecord],
+    width: int = 56,
+    max_spans: int = 80,
+) -> str:
+    """Gantt-style rendering of span records (see ``repro.obs.spans``).
+
+    Each line is one span: the label indented by nesting depth, a ``=``
+    bar positioned on a shared time axis, and the duration.  Reads like a
+    flame graph rotated 90°: children sit under their parent, shifted
+    right by where their interval starts.
+    """
+    records = list(records)
+    if not records:
+        return "span timeline: (no spans recorded)"
+    t0 = min(r.start for r in records)
+    t1 = max(r.end for r in records)
+    window = max(t1 - t0, 1e-12)
+    depths = span_depths(records)
+    shown = records[:max_spans]
+    labels = [
+        "  " * depths[r.span_id] + f"{r.component}:{r.name}" for r in shown
+    ]
+    label_w = max(len(lbl) for lbl in labels)
+    scale = width / window
+
+    lines = [
+        f"span timeline: {t0:.2f}s .. {t1:.2f}s "
+        f"({window:.2f}s, {len(records)} spans)"
+    ]
+    for r, label in zip(shown, labels):
+        lead = round((r.start - t0) * scale)
+        bar = max(1, round((r.end - r.start) * scale))
+        if lead + bar > width:
+            bar = max(1, width - lead)
+        err = r.field("error")
+        suffix = f"  {r.duration:.2f}s" + (f" !{err}" if err else "")
+        lines.append(f"  {label.ljust(label_w)} |{' ' * lead}{'=' * bar}"
+                     f"{' ' * (width - lead - bar)}|{suffix}")
+    if len(records) > max_spans:
+        lines.append(f"  ... ({len(records) - max_spans} more spans not shown)")
     return "\n".join(lines)

@@ -16,6 +16,8 @@ from repro.core.executor import PlanExecutor
 from repro.core.routes import Route, TransferPlan
 from repro.core.world import World
 from repro.measure.harness import ExperimentProtocol, ExperimentRunner, Measurement
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import KernelProfiler
 from repro.testbed.build import world_factory
 from repro.testbed.params import CaseStudyParams
 from repro.testbed.scenarios import experiment_label
@@ -39,10 +41,16 @@ class AnalysisConfig:
     sizes_mb: Tuple[float, ...] = tuple(PAPER_SIZES_MB)
     params: Optional[CaseStudyParams] = None
     cross_traffic: bool = True
+    #: shared observability sinks across every world the runner builds
+    #: (compared by identity, so distinct sinks never alias cache entries)
+    metrics: Optional[MetricsRegistry] = None
+    profiler: Optional[KernelProfiler] = None
 
     def runner(self) -> ExperimentRunner:
         return ExperimentRunner(
-            world_factory(params=self.params, cross_traffic=self.cross_traffic),
+            world_factory(params=self.params, cross_traffic=self.cross_traffic,
+                          metrics=self.metrics if self.metrics is not None else False,
+                          profile=self.profiler if self.profiler is not None else False),
             self.protocol,
             master_seed=self.master_seed,
         )

@@ -21,6 +21,18 @@ from repro._version import __version__
 __all__ = ["main", "build_parser"]
 
 
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    """Observability flags shared by compare/upload/report."""
+    p.add_argument("--metrics", default=None, metavar="FILE",
+                   help="export metrics: '-' prints a table to stdout, any "
+                        "other path gets Prometheus exposition text")
+    p.add_argument("--trace-out", default=None, metavar="FILE", dest="trace_out",
+                   help="dump metrics + trace events as JSON lines to FILE "
+                        "('-' for stdout)")
+    p.add_argument("--profile", action="store_true",
+                   help="profile kernel callbacks and print a wall-time report")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -35,12 +47,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size-mb", type=float, default=100.0)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--runs", type=int, default=3)
+    _add_obs_flags(p)
 
     p = sub.add_parser("upload", help="plan (compare) and execute the best route")
     p.add_argument("client", choices=["ubc", "purdue", "ucla"])
     p.add_argument("provider", choices=["gdrive", "dropbox", "onedrive"])
     p.add_argument("--size-mb", type=float, default=100.0)
     p.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(p)
 
     p = sub.add_parser("traceroute", help="traceroute between two simulated hosts")
     p.add_argument("src")
@@ -80,6 +94,25 @@ def build_parser() -> argparse.ArgumentParser:
                                       "paper-vs-measured comparison")
     p.add_argument("--fast", action="store_true")
     p.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(p)
+
+    p = sub.add_parser("obs", help="run an instrumented compare and export "
+                                   "its metrics, spans, and profile")
+    p.add_argument("client", nargs="?", default="ubc",
+                   choices=["ubc", "purdue", "ucla"])
+    p.add_argument("provider", nargs="?", default="gdrive",
+                   choices=["gdrive", "dropbox", "onedrive"])
+    p.add_argument("--size-mb", type=float, default=20.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--runs", type=int, default=2)
+    p.add_argument("--format", choices=["text", "json", "prom"], default="text",
+                   dest="fmt",
+                   help="text: timeline + metrics table; json: JSON-lines "
+                        "metrics+trace dump; prom: Prometheus exposition")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the export to FILE instead of stdout")
+    p.add_argument("--profile", action="store_true",
+                   help="also print the kernel wall-time profile (text format)")
 
     p = sub.add_parser("lint", help="statically check the simulation invariants "
                                     "(determinism / units / kernel-safety)")
@@ -107,29 +140,83 @@ def _analysis_config(fast: bool, seed: int):
     return AnalysisConfig(master_seed=seed)
 
 
-def _cmd_compare(args) -> int:
-    from repro.core import DetourPlanner
+def _obs_requested(args) -> bool:
+    return bool(args.metrics or args.trace_out or args.profile)
+
+
+def _instrumented_world(args):
+    """Build the case-study world honouring the observability flags.
+
+    Without any obs flag this is exactly ``build_case_study(seed=...)``,
+    so default runs stay byte-identical to the uninstrumented CLI.
+    """
     from repro.testbed import build_case_study
 
-    world = build_case_study(seed=args.seed)
+    obs_on = _obs_requested(args)
+    return build_case_study(
+        seed=args.seed,
+        trace=obs_on,
+        metrics=bool(args.metrics or args.trace_out),
+        profile=args.profile,
+    )
+
+
+def _emit_obs(world, args) -> None:
+    """Print/write the obs exports selected by the shared flags."""
+    from repro.analysis import span_timeline
+    from repro.obs import (
+        extract_span_records,
+        render_metrics_table,
+        render_prometheus,
+        write_jsonl,
+    )
+
+    print()
+    print(span_timeline(extract_span_records(world.tracer)))
+    if args.metrics == "-":
+        print()
+        print(render_metrics_table(world.metrics))
+    elif args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as fp:
+            fp.write(render_prometheus(world.metrics))
+        print(f"\nwrote Prometheus metrics to {args.metrics}")
+    if args.trace_out == "-":
+        print()
+        write_jsonl(sys.stdout, metrics=world.metrics, tracer=world.tracer)
+    elif args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as fp:
+            lines = write_jsonl(fp, metrics=world.metrics, tracer=world.tracer)
+        print(f"\nwrote {lines} JSON lines to {args.trace_out}")
+    if args.profile and world.profiler is not None:
+        print()
+        print(world.profiler.report())
+
+
+def _cmd_compare(args) -> int:
+    from repro.core import DetourPlanner
+
+    world = _instrumented_world(args)
     planner = DetourPlanner(world, runs_per_route=args.runs,
                             discard_runs=1 if args.runs > 1 else 0)
     comparison = planner.compare(args.client, args.provider,
                                  int(units.mb(args.size_mb)))
     print(comparison.render())
+    if _obs_requested(args):
+        _emit_obs(world, args)
     return 0
 
 
 def _cmd_upload(args) -> int:
     from repro.core import DetourPlanner
-    from repro.testbed import build_case_study
 
-    world = build_case_study(seed=args.seed)
+    world = _instrumented_world(args)
     planner = DetourPlanner(world)
     planned = planner.upload(args.client, args.provider, int(units.mb(args.size_mb)))
     print(planned.comparison.render())
     print()
     print(planned.final.describe())
+    if _obs_requested(args):
+        _emit_obs(world, args)
     return 0
 
 
@@ -239,7 +326,73 @@ def _cmd_validate(args) -> int:
 def _cmd_report(args) -> int:
     from repro.analysis import generate_full_report
 
-    print(generate_full_report(_analysis_config(args.fast, args.seed)))
+    cfg = _analysis_config(args.fast, args.seed)
+    registry = profiler = None
+    if _obs_requested(args):
+        from dataclasses import replace
+
+        from repro.obs import KernelProfiler, MetricsRegistry
+
+        if args.trace_out:
+            print("note: --trace-out is ignored by report (per-world traces "
+                  "are not aggregated)", file=sys.stderr)
+        if args.metrics:
+            registry = MetricsRegistry()
+        if args.profile:
+            profiler = KernelProfiler()
+        cfg = replace(cfg, metrics=registry, profiler=profiler)
+    print(generate_full_report(cfg))
+    if registry is not None:
+        from repro.obs import render_metrics_table, render_prometheus
+
+        if args.metrics == "-":
+            print()
+            print(render_metrics_table(registry))
+        else:
+            with open(args.metrics, "w", encoding="utf-8") as fp:
+                fp.write(render_prometheus(registry))
+            print(f"\nwrote Prometheus metrics to {args.metrics}")
+    if profiler is not None:
+        print()
+        print(profiler.report())
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from repro.analysis import span_timeline
+    from repro.core import DetourPlanner
+    from repro.obs import (
+        extract_span_records,
+        render_metrics_table,
+        render_prometheus,
+        write_jsonl,
+    )
+    from repro.testbed import build_case_study
+
+    world = build_case_study(seed=args.seed, trace=True, metrics=True,
+                             profile=args.profile)
+    planner = DetourPlanner(world, runs_per_route=args.runs,
+                            discard_runs=1 if args.runs > 1 else 0)
+    comparison = planner.compare(args.client, args.provider,
+                                 int(units.mb(args.size_mb)))
+
+    out = sys.stdout if args.out in (None, "-") else open(
+        args.out, "w", encoding="utf-8")
+    try:
+        if args.fmt == "json":
+            write_jsonl(out, metrics=world.metrics, tracer=world.tracer)
+        elif args.fmt == "prom":
+            out.write(render_prometheus(world.metrics))
+        else:
+            out.write(comparison.render() + "\n\n")
+            out.write(span_timeline(extract_span_records(world.tracer)) + "\n\n")
+            out.write(render_metrics_table(world.metrics) + "\n")
+            if args.profile and world.profiler is not None:
+                out.write("\n" + world.profiler.report() + "\n")
+    finally:
+        if out is not sys.stdout:
+            out.close()
+            print(f"wrote {args.fmt} export to {args.out}")
     return 0
 
 
@@ -265,6 +418,7 @@ _COMMANDS = {
     "routeviews": _cmd_routeviews,
     "tiv": _cmd_tiv,
     "validate": _cmd_validate,
+    "obs": _cmd_obs,
     "lint": _cmd_lint,
 }
 

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.errors import CloudApiError
 from repro.net.tcp import TcpModel, TcpPathParams
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.kernel import Simulator
 
 __all__ = ["RetryPolicy", "FaultInjector", "HttpsSession"]
@@ -89,6 +90,8 @@ class HttpsSession:
         params: TcpPathParams,
         fault: Optional[FaultInjector] = None,
         retry: RetryPolicy = RetryPolicy(),
+        metrics: Optional[MetricsRegistry] = None,
+        endpoint: str = "",
     ):
         self.sim = sim
         self.tcp = tcp
@@ -98,6 +101,12 @@ class HttpsSession:
         self.requests_sent = 0
         self.retries = 0
         self._connected = False
+        self.endpoint = endpoint
+        registry = metrics if metrics is not None else MetricsRegistry(enabled=False)
+        self._m_requests = registry.counter(
+            "repro_cloud_requests_total", "HTTPS control requests sent")
+        self._m_retries = registry.counter(
+            "repro_cloud_retries_total", "HTTPS requests retried after faults")
 
     def connect(self) -> Generator:
         """Coroutine: TCP + TLS handshakes (idempotent per session)."""
@@ -116,6 +125,7 @@ class HttpsSession:
             yield from self.connect()
         for attempt in range(1, self.retry.max_attempts + 1):
             self.requests_sent += 1
+            self._m_requests.inc(endpoint=self.endpoint)
             yield self.tcp.request_response_time_s(self.params, server_time_s)
             status = self.fault.roll() if self.fault is not None else None
             if status is None:
@@ -127,4 +137,5 @@ class HttpsSession:
                     status, f"{label or 'request'} failed after {attempt} attempts"
                 )
             self.retries += 1
+            self._m_retries.inc(endpoint=self.endpoint)
             yield self.retry.backoff_s(attempt)

@@ -84,18 +84,41 @@ class PlanExecutor:
             tcp=world.tcp,
             token_cache=world.token_cache,
             rng=world.rng.stream("api.jitter"),
+            metrics=world.metrics,
+            spans=world.spans,
         )
         self.rsync = RsyncSession(world.engine, world.router, world.tcp)
+        self.spans = world.spans
+        self._m_plans = world.metrics.counter(
+            "repro_executor_plans_total", "Transfer plans executed")
+        self._m_plan_s = world.metrics.histogram(
+            "repro_executor_plan_seconds", "End-to-end plan duration")
+        self._m_leg_s = world.metrics.histogram(
+            "repro_executor_leg_seconds", "Per-leg duration")
+
+    def _record(self, plan: TransferPlan, result: "PlanResult") -> "PlanResult":
+        self._m_plans.inc(route=plan.route.describe(), provider=plan.provider_name)
+        self._m_plan_s.observe(result.total_s, route=plan.route.describe())
+        for leg in result.legs:
+            self._m_leg_s.observe(leg.duration_s, kind=leg.kind)
+        return result
 
     # -- public API -----------------------------------------------------------
 
     def execute(self, plan: TransferPlan):
         """Kernel coroutine: run *plan*; returns a :class:`PlanResult`."""
-        if isinstance(plan.route, DirectRoute):
-            return (yield from self._execute_direct(plan))
-        if plan.route.mode is RelayMode.STORE_AND_FORWARD:
-            return (yield from self._execute_store_and_forward(plan))
-        return (yield from self._execute_pipelined(plan))
+        with self.spans.span(
+            "core.executor", f"plan:{plan.route.describe()}",
+            client=plan.client_site, provider=plan.provider_name,
+            bytes=int(plan.file.size_bytes),
+        ):
+            if isinstance(plan.route, DirectRoute):
+                result = yield from self._execute_direct(plan)
+            elif plan.route.mode is RelayMode.STORE_AND_FORWARD:
+                result = yield from self._execute_store_and_forward(plan)
+            else:
+                result = yield from self._execute_pipelined(plan)
+        return self._record(plan, result)
 
     def run(self, plan: TransferPlan, horizon_s: float = 1e7) -> PlanResult:
         """Convenience wrapper: spawn, simulate to completion, return."""
@@ -150,9 +173,11 @@ class PlanExecutor:
         start = world.sim.now
         client_host = world.host_of(plan.client_site)
         provider = world.provider(plan.provider_name)
-        report: UploadReport = yield from self.cloud_client.upload(
-            client_host, provider, plan.file
-        )
+        with self.spans.span("core.executor", "leg:api",
+                             src=client_host, provider=provider.name):
+            report: UploadReport = yield from self.cloud_client.upload(
+                client_host, provider, plan.file
+            )
         leg = LegResult(
             "api", client_host, report.frontend, report.duration_s, plan.file.size_bytes
         )
@@ -178,7 +203,9 @@ class PlanExecutor:
             dtn.delete(plan.file.name)
 
             leg1_start = world.sim.now
-            yield from self.rsync.push(client_host, dtn.host, plan.file)
+            with self.spans.span("core.executor", "leg:rsync",
+                                 src=client_host, dst=dtn.host):
+                yield from self.rsync.push(client_host, dtn.host, plan.file)
             dtn.stage(plan.file, now=world.sim.now)
             leg1 = LegResult(
                 "rsync", client_host, dtn.host, world.sim.now - leg1_start,
@@ -186,9 +213,11 @@ class PlanExecutor:
             )
 
             leg2_start = world.sim.now
-            report: UploadReport = yield from self.cloud_client.upload(
-                dtn.host, provider, plan.file
-            )
+            with self.spans.span("core.executor", "leg:api",
+                                 src=dtn.host, provider=provider.name):
+                report: UploadReport = yield from self.cloud_client.upload(
+                    dtn.host, provider, plan.file
+                )
             leg2 = LegResult(
                 "api", dtn.host, report.frontend, world.sim.now - leg2_start,
                 plan.file.size_bytes
@@ -257,13 +286,15 @@ class PlanExecutor:
             yield out_params.rtt_s + jitter(proto.per_chunk_server_s)
 
         relay_start = sim.now
-        yield from pipelined_relay(
-            sim,
-            total_bytes=float(plan.file.size_bytes),
-            leg_in=leg_in,
-            leg_out=leg_out,
-            chunk_bytes=float(proto.chunk_bytes),
-        )
+        with self.spans.span("core.executor", "leg:relay",
+                             src=client_host, dst=frontend):
+            yield from pipelined_relay(
+                sim,
+                total_bytes=float(plan.file.size_bytes),
+                leg_in=leg_in,
+                leg_out=leg_out,
+                chunk_bytes=float(proto.chunk_bytes),
+            )
 
         # commit (refreshing the bearer token if the relay outlived it)
         token = yield from self.cloud_client._refresh_if_expired(

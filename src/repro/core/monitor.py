@@ -55,6 +55,12 @@ class BottleneckMonitor:
         self.executor = PlanExecutor(world)
         self._estimate_bps: Dict[str, float] = {}
         self._probe_serial = 0
+        self._m_probes = world.metrics.counter(
+            "repro_monitor_probes_total", "Route probes issued")
+        self._m_probe_failures = world.metrics.counter(
+            "repro_monitor_probe_failures_total", "Probes that found a dead route")
+        self._m_estimate = world.metrics.gauge(
+            "repro_monitor_route_estimate_bps", "EWMA throughput estimate per route")
 
     def routes(self) -> List[Route]:
         routes: List[Route] = [DirectRoute()]
@@ -77,21 +83,38 @@ class BottleneckMonitor:
         spec = FileSpec(f"monitor-probe-{self._probe_serial}.bin", self.probe_bytes)
         plan = TransferPlan(self.client_site, self.provider_name, spec, route)
         key = route.describe()
-        try:
-            result = yield from self.executor.execute(plan)
-        except RoutingError:
-            self._estimate_bps[key] = 0.0
-            return 0.0
+        world = self.world
+        self._m_probes.inc(route=key)
+        with world.spans.span("core.monitor", f"probe:{key}",
+                              bytes=self.probe_bytes) as probe_span:
+            try:
+                result = yield from self.executor.execute(plan)
+            except RoutingError:
+                self._estimate_bps[key] = 0.0
+                self._m_probe_failures.inc(route=key)
+                self._m_estimate.set(0.0, route=key)
+                probe_span.annotate(dead=True)
+                world.tracer.emit(world.sim.now, "core.monitor", "probe_failed",
+                                  route=key)
+                return 0.0
         observed = units.throughput_bps(self.probe_bytes, result.total_s)
         old = self._estimate_bps.get(key)
         self._estimate_bps[key] = (
             observed if old is None else (1 - self.alpha) * old + self.alpha * observed
         )
+        self._m_estimate.set(self._estimate_bps[key], route=key)
+        world.tracer.emit(world.sim.now, "core.monitor", "probe_done",
+                          route=key, observed_bps=round(observed, 3),
+                          estimate_bps=round(self._estimate_bps[key], 3))
         return observed
 
     def mark_dead(self, route: Route) -> None:
         """Externally declare a route dead (e.g. a timed-out segment)."""
-        self._estimate_bps[route.describe()] = 0.0
+        key = route.describe()
+        self._estimate_bps[key] = 0.0
+        self._m_estimate.set(0.0, route=key)
+        self.world.tracer.emit(self.world.sim.now, "core.monitor", "route_dead",
+                               route=key)
 
     def probe_all(self):
         """Coroutine: probe every route once (serially)."""
@@ -173,62 +196,85 @@ class MonitoredUpload:
         #: abort a segment that exceeds this and reroute (None = wait forever)
         self.segment_timeout_s = segment_timeout_s
         self.max_retries_per_segment = max_retries_per_segment
+        metrics = monitor.world.metrics
+        self._m_segments = metrics.counter(
+            "repro_monitor_segments_total", "Monitored-upload segments run")
+        self._m_retries = metrics.counter(
+            "repro_monitor_segment_retries_total", "Segment attempts retried")
+        self._m_switches = metrics.counter(
+            "repro_monitor_route_switches_total", "Mid-transfer route switches")
 
     def run(self, spec: FileSpec):
         """Coroutine: upload *spec*; returns a :class:`MonitoredResult`."""
         world = self.monitor.world
         start = world.sim.now
-        yield from self.monitor.probe_all()
-        current = self.monitor.best_route()
+        with world.spans.span("core.monitor", f"monitored_upload:{spec.name}",
+                              bytes=int(spec.size_bytes)):
+            yield from self.monitor.probe_all()
+            current = self.monitor.best_route()
 
-        remaining = spec.size_bytes
-        segments: List[SegmentRecord] = []
-        index = 0
-        attempt = 0
-        retries = 0
-        while remaining > 0:
-            if index > 0 and index % self.reprobe_every == 0:
-                yield from self.monitor.probe_all()
-                best = self.monitor.best_route()
-                cur_est = self.monitor.estimate_bps(current) or 0.0
-                best_est = self.monitor.estimate_bps(best) or 0.0
-                switched = (
-                    best.describe() != current.describe()
-                    and best_est > self.switch_threshold * cur_est
-                )
-                if switched:
-                    current = best
-            else:
-                switched = False
-            size = int(min(self.segment_bytes, remaining))
-            seg_spec = FileSpec(f"{spec.name}.seg{index}a{attempt}", size,
-                                spec.entropy, spec.seed + index)
-            plan = TransferPlan(
-                self.monitor.client_site, self.monitor.provider_name, seg_spec, current
-            )
-            seg_start = world.sim.now
-            completed = yield from self._run_segment(plan, seg_spec)
-            segments.append(
-                SegmentRecord(index, current.describe(), size,
-                              world.sim.now - seg_start, switched, completed)
-            )
-            if completed:
-                remaining -= size
-                index += 1
-                attempt = 0
-                retries = 0
-            else:
-                # the route died under us: declare it dead, reroute, retry
-                retries += 1
-                attempt += 1
-                if retries > self.max_retries_per_segment:
-                    raise SelectionError(
-                        f"segment {index} failed on every route "
-                        f"({retries} attempts)"
+            remaining = spec.size_bytes
+            segments: List[SegmentRecord] = []
+            index = 0
+            attempt = 0
+            retries = 0
+            while remaining > 0:
+                if index > 0 and index % self.reprobe_every == 0:
+                    yield from self.monitor.probe_all()
+                    best = self.monitor.best_route()
+                    cur_est = self.monitor.estimate_bps(current) or 0.0
+                    best_est = self.monitor.estimate_bps(best) or 0.0
+                    switched = (
+                        best.describe() != current.describe()
+                        and best_est > self.switch_threshold * cur_est
                     )
-                self.monitor.mark_dead(current)
-                yield from self.monitor.probe_all()
-                current = self.monitor.best_route()
+                    if switched:
+                        self._m_switches.inc()
+                        world.tracer.emit(
+                            world.sim.now, "core.monitor", "route_switch",
+                            segment=index, old=current.describe(),
+                            new=best.describe(),
+                        )
+                        current = best
+                else:
+                    switched = False
+                size = int(min(self.segment_bytes, remaining))
+                seg_spec = FileSpec(f"{spec.name}.seg{index}a{attempt}", size,
+                                    spec.entropy, spec.seed + index)
+                plan = TransferPlan(
+                    self.monitor.client_site, self.monitor.provider_name, seg_spec,
+                    current
+                )
+                seg_start = world.sim.now
+                self._m_segments.inc(route=current.describe())
+                with world.spans.span("core.monitor", f"segment#{index}",
+                                      route=current.describe(),
+                                      bytes=size) as seg_span:
+                    completed = yield from self._run_segment(plan, seg_spec)
+                    if not completed:
+                        seg_span.annotate(failed=True)
+                segments.append(
+                    SegmentRecord(index, current.describe(), size,
+                                  world.sim.now - seg_start, switched, completed)
+                )
+                if completed:
+                    remaining -= size
+                    index += 1
+                    attempt = 0
+                    retries = 0
+                else:
+                    # the route died under us: declare it dead, reroute, retry
+                    retries += 1
+                    attempt += 1
+                    self._m_retries.inc()
+                    if retries > self.max_retries_per_segment:
+                        raise SelectionError(
+                            f"segment {index} failed on every route "
+                            f"({retries} attempts)"
+                        )
+                    self.monitor.mark_dead(current)
+                    yield from self.monitor.probe_all()
+                    current = self.monitor.best_route()
         return MonitoredResult(spec.name, world.sim.now - start, tuple(segments))
 
     def _run_segment(self, plan: TransferPlan, seg_spec: FileSpec):

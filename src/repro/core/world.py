@@ -22,6 +22,9 @@ from repro.net.policy import PolicyTable
 from repro.net.routing import Router
 from repro.net.tcp import TcpModel
 from repro.net.topology import Topology
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import KernelProfiler
+from repro.obs.spans import SpanTracer
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
@@ -51,6 +54,15 @@ class World:
     #: shared across runs inside this world (token warm-up effect)
     token_cache: TokenCache = field(default_factory=TokenCache)
     seed: int = 0
+    #: observability (disabled by default; see repro.obs)
+    metrics: MetricsRegistry = field(
+        default_factory=lambda: MetricsRegistry(enabled=False))
+    spans: Optional[SpanTracer] = None
+    profiler: Optional[KernelProfiler] = None
+
+    def __post_init__(self) -> None:
+        if self.spans is None:
+            self.spans = SpanTracer(self.sim, self.tracer)
 
     # -- lookups --------------------------------------------------------------
 

@@ -56,5 +56,9 @@ class MeasurementError(ReproError):
     """Experiment harness misconfiguration."""
 
 
+class ObservabilityError(ReproError):
+    """Misuse of the observability layer (bad metric name, bad buckets)."""
+
+
 class CalibrationError(ReproError):
     """Testbed calibration targets are inconsistent or unachievable."""

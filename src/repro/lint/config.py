@@ -33,6 +33,10 @@ class LintConfig:
     #: Files exempt from the magic-constant rules — the module that
     #: *defines* the unit constants obviously spells them out.
     units_definition_files: FrozenSet[str] = frozenset({"units.py"})
+    #: The one file allowed to emit raw ``span_begin``/``span_end`` trace
+    #: events: the SpanTracer implementation itself.  Everywhere else the
+    #: paired-emission guarantee comes from the context manager.
+    span_emitter_files: FrozenSet[str] = frozenset({"obs/spans.py"})
     #: Rule ids disabled for this run (e.g. frozenset({"SL203"})).
     disabled_rules: FrozenSet[str] = frozenset()
     #: Per-rule severity overrides, e.g. {"SL203": Severity.ERROR}.
@@ -43,6 +47,7 @@ class LintConfig:
             model_packages=self.model_packages,
             rng_entrypoints=self.rng_entrypoints,
             units_definition_files=self.units_definition_files,
+            span_emitter_files=self.span_emitter_files,
             disabled_rules=self.disabled_rules | frozenset(rule_ids),
             severity_overrides=dict(self.severity_overrides),
         )

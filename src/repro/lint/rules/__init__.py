@@ -3,6 +3,7 @@
 * :mod:`repro.lint.rules.determinism` — SL1xx, seeded-randomness discipline
 * :mod:`repro.lint.rules.units` — SL2xx, unit-constant discipline
 * :mod:`repro.lint.rules.kernel` — SL3xx, kernel-safety
+* :mod:`repro.lint.rules.observability` — SL4xx, metric naming and span pairing
 """
 
-from repro.lint.rules import determinism, kernel, units  # noqa: F401
+from repro.lint.rules import determinism, kernel, observability, units  # noqa: F401

@@ -1,0 +1,75 @@
+"""SL4xx — observability discipline: metric naming and span emission.
+
+Metrics and spans are read long after the code that emitted them has
+scrolled away, so their *names* are the API.  SL401 pins the metric
+naming convention (``repro_`` prefix, snake_case, unit suffix) at the
+registration site; SL402 keeps span begin/end events paired by forcing
+them through the ``SpanTracer.span(...)`` context manager instead of
+hand-rolled ``emit`` calls that can miss the closing half.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.lint.context import FileContext, terminal_name
+from repro.lint.engine import TREE, rule
+from repro.obs.metrics import UNIT_SUFFIXES, valid_metric_name
+
+__all__ = []
+
+#: Receivers that look like a metrics registry; gates SL401 so unrelated
+#: ``.counter(...)`` methods on other objects are not misread.
+_REGISTRY_NAMES = frozenset({"metrics", "registry", "reg", "_metrics", "_registry"})
+
+_INSTRUMENT_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+_SPAN_EVENT_KINDS = frozenset({"span_begin", "span_end"})
+
+
+def _registration_sites(tree: ast.Module) -> Iterator[Tuple[ast.Call, str]]:
+    """``(call, metric_name)`` for registry.counter/gauge/histogram calls
+    whose first argument is a string literal."""
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr not in _INSTRUMENT_METHODS:
+            continue
+        receiver = terminal_name(node.func.value)
+        if receiver is None or receiver.lower() not in _REGISTRY_NAMES:
+            continue
+        if node.args and isinstance(node.args[0], ast.Constant) \
+                and isinstance(node.args[0].value, str):
+            yield node, node.args[0].value
+
+
+@rule("SL401", "metric name violates the naming convention", scope=TREE)
+def metric_naming(ctx: FileContext) -> Iterator[Tuple[int, str]]:
+    for call, name in _registration_sites(ctx.tree):
+        if not valid_metric_name(name):
+            suffixes = "/".join(UNIT_SUFFIXES)
+            yield call.lineno, (
+                f"metric name {name!r} must be snake_case with a 'repro_' "
+                f"prefix and end in a unit suffix ({suffixes})"
+            )
+
+
+@rule("SL402", "span event emitted outside the span context manager",
+      scope=TREE)
+def span_emit_outside_tracer(ctx: FileContext) -> Iterator[Tuple[int, str]]:
+    if ctx.rel in ctx.config.span_emitter_files:
+        return
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr != "emit":
+            continue
+        for arg in node.args:
+            if isinstance(arg, ast.Constant) and arg.value in _SPAN_EVENT_KINDS:
+                yield node.lineno, (
+                    f"emitting {arg.value!r} by hand can leave spans "
+                    f"unpaired; use `with spans.span(component, name):` so "
+                    f"begin/end always match"
+                )
+                break

@@ -26,6 +26,7 @@ from repro import units
 from repro.errors import TransferError
 from repro.net.flows import FlowSpec, max_min_allocation
 from repro.net.topology import LinkDirection, Topology
+from repro.obs.metrics import DURATION_BUCKETS, RATE_BUCKETS, MetricsRegistry
 from repro.sim.kernel import Signal, Simulator
 from repro.sim.trace import Tracer
 
@@ -80,6 +81,7 @@ class NetworkEngine:
         topology: Topology,
         tracer: Optional[Tracer] = None,
         capacity_scale: Optional[Dict[str, float]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.sim = sim
         self.topology = topology
@@ -90,6 +92,26 @@ class NetworkEngine:
         self._flows: Dict[int, Transfer] = {}
         self._ids = itertools.count(1)
         self._capacity_cache: Dict[LinkDirection, float] = {}
+        metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
+        self.metrics = metrics
+        self._m_started = metrics.counter(
+            "repro_engine_flows_started_total", "Flows started")
+        self._m_completed = metrics.counter(
+            "repro_engine_flows_completed_total", "Flows completed")
+        self._m_cancelled = metrics.counter(
+            "repro_engine_flows_cancelled_total", "Flows cancelled")
+        self._m_payload = metrics.counter(
+            "repro_engine_payload_bytes_total", "Payload bytes delivered")
+        self._m_reallocs = metrics.counter(
+            "repro_engine_reallocations_total", "Max-min reallocation passes")
+        self._m_active = metrics.gauge(
+            "repro_engine_active_flows_count", "Flows currently in flight")
+        self._m_duration = metrics.histogram(
+            "repro_engine_flow_duration_seconds", "Per-flow transfer duration",
+            buckets=DURATION_BUCKETS)
+        self._m_throughput = metrics.histogram(
+            "repro_engine_flow_throughput_bps", "Per-flow mean throughput",
+            buckets=RATE_BUCKETS)
 
     # -- capacities -----------------------------------------------------------
 
@@ -156,6 +178,8 @@ class NetworkEngine:
             self.sim.now, "net.engine", "flow_start",
             flow=flow_id, label=transfer.label, bytes=int(nbytes),
         )
+        self._m_started.inc()
+        self._m_active.set(len(self._flows))
         self._reallocate()
         return transfer
 
@@ -174,6 +198,8 @@ class NetworkEngine:
             return
         self._drain_all()
         self._remove(transfer)
+        self._m_cancelled.inc()
+        self._m_active.set(len(self._flows))
         transfer.done.fail(TransferError(f"transfer {transfer.label} cancelled"))
         self._reallocate()
 
@@ -217,6 +243,18 @@ class NetworkEngine:
         self._drain_all()
         if not self._flows:
             return
+        prof = self.sim.profiler
+        if prof is None:
+            self._do_reallocate()
+        else:
+            t0 = prof.begin()
+            try:
+                self._do_reallocate()
+            finally:
+                prof.end_section("net.engine.reallocate", t0)
+
+    def _do_reallocate(self) -> None:
+        self._m_reallocs.inc()
         alloc = self._allocate([t.spec for t in self._flows.values()])
         for t in self._flows.values():
             t.rate_bps = alloc[t.flow_id]
@@ -251,6 +289,11 @@ class NetworkEngine:
             flow=transfer.flow_id, label=transfer.label,
             duration=round(result.duration_s, 6),
         )
+        self._m_completed.inc()
+        self._m_payload.inc(transfer.payload_bytes)
+        self._m_active.set(len(self._flows))
+        self._m_duration.observe(result.duration_s)
+        self._m_throughput.observe(result.mean_rate_bps)
         transfer.done.trigger(result)
         self._reallocate()
 

@@ -14,9 +14,11 @@ dropped (policing) depending on the caller.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 from repro import units
+from repro.obs.metrics import DURATION_BUCKETS, MetricsRegistry
 
 __all__ = ["TokenBucket"]
 
@@ -37,6 +39,7 @@ class TokenBucket:
     burst_bytes: float
     _tokens: float = None  # type: ignore[assignment]
     _last: float = 0.0
+    metrics: Optional[MetricsRegistry] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.rate_bps <= 0:
@@ -45,6 +48,16 @@ class TokenBucket:
             raise ValueError(f"burst must be positive, got {self.burst_bytes}")
         if self._tokens is None:
             self._tokens = float(self.burst_bytes)
+        registry = self.metrics if self.metrics is not None else MetricsRegistry(enabled=False)
+        self._m_conforming = registry.counter(
+            "repro_policer_conforming_total", "Arrivals passed without delay")
+        self._m_delayed = registry.counter(
+            "repro_policer_delayed_total", "Arrivals held back for tokens")
+        self._m_would_drop = registry.counter(
+            "repro_policer_would_drop_total", "Arrivals a strict policer would drop")
+        self._m_wait = registry.histogram(
+            "repro_policer_wait_seconds", "Shaping delay per arrival",
+            buckets=DURATION_BUCKETS)
 
     @property
     def tokens(self) -> float:
@@ -77,12 +90,20 @@ class TokenBucket:
         """
         delay = self.peek_delay(nbytes, now)
         self._tokens -= nbytes
+        if delay > 0.0:
+            self._m_delayed.inc()
+            self._m_wait.observe(delay)
+        else:
+            self._m_conforming.inc()
         return delay
 
     def would_drop(self, nbytes: float, now: float) -> bool:
         """Policing semantics: would a strict policer drop this burst?"""
         self._advance(now)
-        return nbytes > self._tokens
+        drop = nbytes > self._tokens
+        if drop:
+            self._m_would_drop.inc()
+        return drop
 
     def sustained_rate_bps(self) -> float:
         """Long-run rate a policed aggregate can achieve (= the rate)."""

@@ -23,8 +23,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 from repro import units
+from repro.obs.metrics import DURATION_BUCKETS, MetricsRegistry
 
 __all__ = ["TcpPathParams", "TcpModel", "mathis_ceiling_bps", "slow_start_penalty_s"]
 
@@ -95,13 +97,25 @@ class TcpModel:
         initial_window_segments: int = 10,
         tls_round_trips: float = 2.0,
         handshake_round_trips: float = 1.0,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.initial_window_segments = initial_window_segments
         self.tls_round_trips = tls_round_trips
         self.handshake_round_trips = handshake_round_trips
+        metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
+        self._m_connects = metrics.counter(
+            "repro_tcp_connects_total", "TCP connections established")
+        self._m_tls = metrics.counter(
+            "repro_tcp_tls_connects_total", "TLS handshakes performed")
+        self._m_penalty = metrics.histogram(
+            "repro_tcp_slow_start_penalty_seconds",
+            "Slow-start ramp deficit per connection", buckets=DURATION_BUCKETS)
 
     def connect_time_s(self, path: TcpPathParams, tls: bool = False) -> float:
         """Time before the first payload byte can be sent."""
+        self._m_connects.inc()
+        if tls:
+            self._m_tls.inc()
         rtts = self.handshake_round_trips + (self.tls_round_trips if tls else 0.0)
         return rtts * path.rtt_s
 
@@ -113,12 +127,14 @@ class TcpModel:
         """Slow-start deficit time for this path at the given target rate."""
         if not math.isfinite(target_rate_bps):
             raise ValueError("target rate must be finite for the ramp model")
-        return slow_start_penalty_s(
+        penalty = slow_start_penalty_s(
             target_rate_bps,
             path.rtt_s,
             path.mss_bytes,
             self.initial_window_segments,
         )
+        self._m_penalty.observe(penalty)
+        return penalty
 
     def request_response_time_s(self, path: TcpPathParams, server_time_s: float = 0.0) -> float:
         """Cost of one small request/response exchange on a warm connection."""

@@ -1,0 +1,60 @@
+"""repro.obs — observability: metrics, span tracing, kernel profiling.
+
+The layer is strictly passive with respect to the model: metrics and
+spans observe values the model already computed (in simulated time), and
+a disabled registry/tracer makes every hook a no-op, so instrumented and
+uninstrumented runs produce bit-identical results.  Wall-clock access is
+confined to :mod:`repro.obs.profile`.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.exporters import (
+    ObsDump,
+    read_jsonl,
+    render_metrics_table,
+    render_prometheus,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DURATION_BUCKETS,
+    RATE_BUCKETS,
+    SIZE_BUCKETS,
+    UNIT_SUFFIXES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSample,
+    MetricsRegistry,
+    valid_metric_name,
+)
+from repro.obs.profile import KernelProfiler
+from repro.obs.spans import (
+    Span,
+    SpanRecord,
+    SpanTracer,
+    extract_span_records,
+    span_depths,
+)
+
+__all__ = [
+    "Counter",
+    "DURATION_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "KernelProfiler",
+    "MetricSample",
+    "MetricsRegistry",
+    "ObsDump",
+    "RATE_BUCKETS",
+    "SIZE_BUCKETS",
+    "Span",
+    "SpanRecord",
+    "SpanTracer",
+    "UNIT_SUFFIXES",
+    "extract_span_records",
+    "read_jsonl",
+    "render_metrics_table",
+    "render_prometheus",
+    "span_depths",
+    "valid_metric_name",
+    "write_jsonl",
+]

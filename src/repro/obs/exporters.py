@@ -1,0 +1,201 @@
+"""Exporters: JSON-lines dump/reload, Prometheus text, metrics tables.
+
+Three renderings of the same observability state:
+
+* :func:`write_jsonl` / :func:`read_jsonl` — a lossless line-per-record
+  dump of metric samples and trace events, for offline analysis.  The
+  reader is the round-trip inverse of the writer.
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` / cumulative ``le`` histogram buckets).
+* :func:`render_metrics_table` — a human-readable aligned table for
+  terminal output (``repro ... --metrics -``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import IO, Iterable, List, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricSample, MetricsRegistry
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = [
+    "ObsDump",
+    "read_jsonl",
+    "render_metrics_table",
+    "render_prometheus",
+    "write_jsonl",
+]
+
+
+@dataclass(frozen=True)
+class ObsDump:
+    """Everything :func:`read_jsonl` recovers from a dump."""
+
+    metrics: Tuple[MetricSample, ...]
+    events: Tuple[TraceEvent, ...]
+
+
+# ---------------------------------------------------------------------------
+# JSON lines
+# ---------------------------------------------------------------------------
+
+
+def write_jsonl(fp: IO[str], metrics: MetricsRegistry = None,
+                tracer: Tracer = None) -> int:
+    """Dump metric samples and trace events, one JSON object per line.
+
+    Returns the number of lines written.  Either argument may be None to
+    dump only the other half.
+    """
+    n = 0
+    if metrics is not None:
+        for s in metrics.collect():
+            record = {
+                "type": "metric",
+                "name": s.name,
+                "kind": s.kind,
+                "labels": [list(pair) for pair in s.labels],
+                "value": s.value,
+            }
+            if s.kind == "histogram":
+                record["count"] = s.count
+                record["buckets"] = list(s.buckets)
+                record["bucket_counts"] = list(s.bucket_counts)
+            fp.write(json.dumps(record, sort_keys=True) + "\n")
+            n += 1
+    if tracer is not None:
+        for ev in tracer:
+            record = {
+                "type": "event",
+                "time": ev.time,
+                "component": ev.component,
+                "kind": ev.kind,
+                "fields": ev.fields,
+            }
+            fp.write(json.dumps(record, sort_keys=True) + "\n")
+            n += 1
+    return n
+
+
+def read_jsonl(fp: IO[str]) -> ObsDump:
+    """Reload a :func:`write_jsonl` dump; the round-trip is lossless."""
+    metrics: List[MetricSample] = []
+    events: List[TraceEvent] = []
+    for lineno, line in enumerate(fp, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(f"bad JSONL at line {lineno}: {exc}") from exc
+        rtype = record.get("type")
+        if rtype == "metric":
+            metrics.append(
+                MetricSample(
+                    name=record["name"],
+                    kind=record["kind"],
+                    labels=tuple((k, v) for k, v in record["labels"]),
+                    value=record["value"],
+                    count=record.get("count", 0),
+                    buckets=tuple(record.get("buckets", ())),
+                    bucket_counts=tuple(record.get("bucket_counts", ())),
+                )
+            )
+        elif rtype == "event":
+            events.append(
+                TraceEvent(
+                    time=record["time"],
+                    component=record["component"],
+                    kind=record["kind"],
+                    fields=record["fields"],
+                )
+            )
+        else:
+            raise ObservabilityError(
+                f"bad JSONL at line {lineno}: unknown record type {rtype!r}"
+            )
+    return ObsDump(metrics=tuple(metrics), events=tuple(events))
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+def _fmt_value(v: float) -> str:
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def _fmt_labels(labels: Iterable[Tuple[str, str]], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text format; histogram buckets rendered cumulatively."""
+    lines: List[str] = []
+    for metric in registry:
+        samples = metric.samples()
+        if not samples:
+            continue
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for s in samples:
+            if s.kind == "histogram":
+                cum = 0
+                for bound, n in zip(s.buckets, s.bucket_counts):
+                    cum += n
+                    le = _fmt_labels(s.labels, f'le="{_fmt_value(bound)}"')
+                    lines.append(f"{s.name}_bucket{le} {cum}")
+                le = _fmt_labels(s.labels, 'le="+Inf"')
+                lines.append(f"{s.name}_bucket{le} {s.count}")
+                lines.append(f"{s.name}_sum{_fmt_labels(s.labels)} {_fmt_value(s.value)}")
+                lines.append(f"{s.name}_count{_fmt_labels(s.labels)} {s.count}")
+            else:
+                lines.append(f"{s.name}{_fmt_labels(s.labels)} {_fmt_value(s.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Terminal table
+# ---------------------------------------------------------------------------
+
+
+def _sparkline(counts: Tuple[int, ...]) -> str:
+    """Tiny per-bucket bar using ASCII density characters."""
+    peak = max(counts) if counts else 0
+    if not peak:
+        return ""
+    glyphs = " .:-=+*#"
+    return "".join(glyphs[min(len(glyphs) - 1, (n * (len(glyphs) - 1) + peak - 1) // peak)]
+                   for n in counts)
+
+
+def render_metrics_table(registry: MetricsRegistry) -> str:
+    """Aligned text table of every non-empty sample in the registry."""
+    samples = registry.collect()
+    if not samples:
+        return "metrics: (empty)"
+    name_w = max(len(s.name) for s in samples)
+    label_w = max((len(_fmt_labels(s.labels)) for s in samples), default=0)
+    lines = [f"metrics ({len(samples)} samples):"]
+    for s in samples:
+        labels = _fmt_labels(s.labels)
+        if s.kind == "histogram":
+            detail = (
+                f"count={s.count} sum={s.value:.6g} mean={s.mean:.6g} "
+                f"|{_sparkline(s.bucket_counts)}|"
+            )
+        else:
+            detail = f"{s.value:.6g}"
+        lines.append(f"  {s.name:<{name_w}} {labels:<{label_w}} {detail}")
+    return "\n".join(lines)

@@ -1,0 +1,333 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is **sim-time-safe**: instruments never read wall clocks or
+any other ambient state — every observed value (a duration, a byte count,
+a rate) is computed by the caller, usually from kernel time (`sim.now`),
+so an instrumented run is bit-identical to an uninstrumented one (see
+``docs/invariants.md``).  Profiling, which *does* read the wall clock,
+lives in :mod:`repro.obs.profile` and is opt-in separately.
+
+Naming convention (enforced here and by the ``SL401`` lint rule): metric
+names are ``snake_case``, start with ``repro_``, and end with a unit
+suffix from :data:`UNIT_SUFFIXES` — e.g.
+``repro_engine_flows_started_total``, ``repro_api_upload_seconds``.
+
+Instruments support labels::
+
+    uploads = registry.counter("repro_api_uploads_total", "API uploads")
+    uploads.inc(provider="gdrive")
+
+A registry constructed with ``enabled=False`` still hands out instrument
+objects (so call sites hold stable references), but every mutator is a
+near-zero-cost no-op — the benchmark fast path.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSample",
+    "MetricsRegistry",
+    "UNIT_SUFFIXES",
+    "DURATION_BUCKETS",
+    "RATE_BUCKETS",
+    "SIZE_BUCKETS",
+    "valid_metric_name",
+]
+
+#: Allowed unit suffixes; ``_total`` marks unitless event counters.
+UNIT_SUFFIXES: Tuple[str, ...] = ("total", "seconds", "bytes", "bps", "ratio", "count")
+
+_NAME_RE = re.compile(
+    r"^repro_[a-z0-9]+(?:_[a-z0-9]+)*_(?:" + "|".join(UNIT_SUFFIXES) + r")$"
+)
+
+#: Default duration buckets (seconds): spans sub-RTT control exchanges up
+#: to the multi-minute transfers of the paper's 1 GB points.
+DURATION_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0,
+)
+
+#: Default rate buckets (bits/second): the case study spans ~1 Mbit/s
+#: last-mile caps to 10 Gbit/s backbone shares.
+RATE_BUCKETS: Tuple[float, ...] = (
+    1e5, 5e5, 1e6, 2e6, 5e6, 1e7, 2e7, 5e7, 1e8, 5e8, 1e9, 1e10,
+)
+
+#: Default size buckets (bytes): 1 kB .. 1 GB, the paper's file sweep.
+SIZE_BUCKETS: Tuple[float, ...] = (
+    1e3, 1e4, 1e5, 1e6, 1e7, 5e7, 1e8, 5e8, 1e9,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def valid_metric_name(name: str) -> bool:
+    """True when *name* follows the ``repro_*_<unit>`` convention."""
+    return bool(_NAME_RE.match(name))
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One exported time-series point: an instrument at one label set."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    labels: LabelKey
+    value: float  # counter/gauge value; histogram: sum of observations
+    count: int = 0  # histogram: number of observations
+    buckets: Tuple[float, ...] = ()  # histogram: finite upper bounds
+    bucket_counts: Tuple[int, ...] = ()  # histogram: per-bucket (non-cumulative,
+    # one extra trailing entry for the implicit +inf bucket)
+
+    @property
+    def mean(self) -> float:
+        return self.value / self.count if self.count else 0.0
+
+
+class _Instrument:
+    """Shared bookkeeping for all instrument kinds."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, help: str, enabled: bool):
+        self.name = name
+        self.help = help
+        self._enabled = enabled
+        self._values: Dict[LabelKey, object] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def label_sets(self) -> List[LabelKey]:
+        return sorted(self._values)
+
+    def clear(self) -> None:
+        self._values.clear()
+
+    def samples(self) -> List[MetricSample]:
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count (events, bytes, retries)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if not self._enabled:
+            return
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name} cannot decrease (inc by {amount})"
+            )
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return float(self._values.get(_label_key(labels), 0.0))
+
+    def total(self) -> float:
+        """Sum over every label set."""
+        return float(sum(self._values.values()))
+
+    def samples(self) -> List[MetricSample]:
+        return [
+            MetricSample(self.name, self.kind, key, float(v))
+            for key, v in sorted(self._values.items())
+        ]
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (active flows, an EWMA estimate)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        if not self._enabled:
+            return
+        self._values[_label_key(labels)] = float(value)
+
+    def add(self, delta: float, **labels: object) -> None:
+        if not self._enabled:
+            return
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + delta
+
+    def value(self, **labels: object) -> float:
+        return float(self._values.get(_label_key(labels), 0.0))
+
+    def samples(self) -> List[MetricSample]:
+        return [
+            MetricSample(self.name, self.kind, key, float(v))
+            for key, v in sorted(self._values.items())
+        ]
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution; buckets are finite upper bounds.
+
+    Observations above the last bound land in an implicit +inf bucket.
+    Per-bucket counts are stored non-cumulatively; exporters that need
+    Prometheus's cumulative ``le`` semantics accumulate at render time.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, enabled: bool,
+                 buckets: Sequence[float] = DURATION_BUCKETS):
+        super().__init__(name, help, enabled)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ObservabilityError(f"histogram {name} needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ObservabilityError(
+                f"histogram {name} buckets must be strictly increasing: {bounds}"
+            )
+        if bounds[-1] == float("inf"):
+            raise ObservabilityError(
+                f"histogram {name}: the +inf bucket is implicit; give finite bounds"
+            )
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: object) -> None:
+        if not self._enabled:
+            return
+        key = _label_key(labels)
+        state = self._values.get(key)
+        if state is None:
+            # [per-bucket counts (+1 for +inf), sum, count]
+            state = [[0] * (len(self.buckets) + 1), 0.0, 0]
+            self._values[key] = state
+        state[0][bisect_left(self.buckets, value)] += 1
+        state[1] += value
+        state[2] += 1
+
+    def count(self, **labels: object) -> int:
+        state = self._values.get(_label_key(labels))
+        return state[2] if state else 0
+
+    def sum(self, **labels: object) -> float:
+        state = self._values.get(_label_key(labels))
+        return float(state[1]) if state else 0.0
+
+    def mean(self, **labels: object) -> float:
+        state = self._values.get(_label_key(labels))
+        return float(state[1]) / state[2] if state and state[2] else 0.0
+
+    def approx_quantile(self, q: float, **labels: object) -> float:
+        """Bucket-resolution quantile (linear within the bucket)."""
+        if not (0.0 <= q <= 1.0):
+            raise ObservabilityError(f"quantile must be in [0,1], got {q}")
+        state = self._values.get(_label_key(labels))
+        if not state or not state[2]:
+            return 0.0
+        target = q * state[2]
+        seen = 0
+        lo = 0.0
+        for i, n in enumerate(state[0]):
+            hi = self.buckets[i] if i < len(self.buckets) else lo
+            if n and seen + n >= target:
+                frac = (target - seen) / n
+                return lo + (hi - lo) * frac
+            seen += n
+            lo = hi
+        return lo
+
+    def samples(self) -> List[MetricSample]:
+        return [
+            MetricSample(
+                self.name, self.kind, key,
+                value=float(state[1]), count=state[2],
+                buckets=self.buckets, bucket_counts=tuple(state[0]),
+            )
+            for key, state in sorted(self._values.items())
+        ]
+
+
+class MetricsRegistry:
+    """Named instruments keyed by component; the one handle a World holds.
+
+    Registration is idempotent: asking for an existing name returns the
+    same instrument (the kind — and, for histograms, the buckets — must
+    match).  Disabled registries register normally but record nothing.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._metrics: Dict[str, _Instrument] = {}
+
+    # -- registration -----------------------------------------------------
+
+    def _register(self, cls, name: str, help: str, **kwargs) -> _Instrument:
+        if not valid_metric_name(name):
+            raise ObservabilityError(
+                f"bad metric name {name!r}: must be snake_case, start with "
+                f"'repro_', and end with a unit suffix {UNIT_SUFFIXES}"
+            )
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            if kwargs.get("buckets") is not None and isinstance(existing, Histogram):
+                if tuple(float(b) for b in kwargs["buckets"]) != existing.buckets:
+                    raise ObservabilityError(
+                        f"histogram {name!r} re-registered with different buckets"
+                    )
+            return existing
+        instrument = cls(name, help, self.enabled, **kwargs)
+        self._metrics[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DURATION_BUCKETS) -> Histogram:
+        return self._register(Histogram, name, help, buckets=buckets)
+
+    # -- access -----------------------------------------------------------
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[_Instrument]:
+        for name in sorted(self._metrics):
+            yield self._metrics[name]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def collect(self) -> List[MetricSample]:
+        """Every sample from every instrument, sorted by (name, labels)."""
+        out: List[MetricSample] = []
+        for metric in self:
+            out.extend(metric.samples())
+        return out
+
+    def clear(self) -> None:
+        """Reset all recorded values (registrations survive)."""
+        for metric in self._metrics.values():
+            metric.clear()

@@ -1,0 +1,150 @@
+"""Kernel profiling: per-callback wall-time and per-component event counts.
+
+This is the ONE place in the package allowed to read a wall clock
+(``time.perf_counter``) — profiling measures the *simulator's* real cost,
+not simulated time, so it is exempt from the SL101 determinism rule
+(``repro.obs`` is not a model package; see ``docs/invariants.md``).
+Profiling never feeds back into model state: timings are write-only
+accumulators rendered after the run.
+
+Usage::
+
+    profiler = KernelProfiler()
+    sim = Simulator(profiler=profiler)
+    ...
+    print(profiler.report())
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["KernelProfiler"]
+
+
+def _callback_key(fn: Callable[[], None]) -> str:
+    """Stable attribution key for a scheduled callback."""
+    module = getattr(fn, "__module__", "") or ""
+    qual = getattr(fn, "__qualname__", None) or getattr(fn, "__name__", repr(fn))
+    # Closures show up as "Outer._method.<locals>.inner"; keep the owner.
+    qual = qual.replace(".<locals>", "")
+    return f"{module}.{qual}" if module else qual
+
+
+class KernelProfiler:
+    """Accumulates wall-time per callback site and event counts per key.
+
+    ``run_callback`` is the kernel hook: :meth:`Simulator.step` routes
+    every event through it when a profiler is attached.  ``begin`` /
+    ``end_section`` bracket named hot sections (e.g. the engine's
+    reallocation loop) that aren't whole callbacks.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        # key -> [calls, wall_seconds]
+        self._callbacks: Dict[str, List[float]] = {}
+        self._sections: Dict[str, List[float]] = {}
+        self._counts: Dict[str, int] = {}
+        self.events_total = 0
+
+    # -- kernel hook -------------------------------------------------------
+
+    def run_callback(self, fn: Callable[[], None]) -> None:
+        """Execute *fn* and charge its wall time to its definition site."""
+        if not self.enabled:
+            fn()
+            return
+        self.events_total += 1
+        t0 = time.perf_counter()
+        try:
+            fn()
+        finally:
+            dt = time.perf_counter() - t0
+            key = _callback_key(fn)
+            cell = self._callbacks.get(key)
+            if cell is None:
+                self._callbacks[key] = [1, dt]
+            else:
+                cell[0] += 1
+                cell[1] += dt
+
+    # -- section accounting ------------------------------------------------
+
+    def begin(self) -> Optional[float]:
+        """Start a section clock; returns None when disabled."""
+        return time.perf_counter() if self.enabled else None
+
+    def end_section(self, key: str, t0: Optional[float]) -> None:
+        """Charge wall time since *t0* (from :meth:`begin`) to *key*."""
+        if t0 is None or not self.enabled:
+            return
+        dt = time.perf_counter() - t0
+        cell = self._sections.get(key)
+        if cell is None:
+            self._sections[key] = [1, dt]
+        else:
+            cell[0] += 1
+            cell[1] += dt
+
+    # -- event counts ------------------------------------------------------
+
+    def count(self, key: str, n: int = 1) -> None:
+        """Bump a per-component event counter (cheap, count-only)."""
+        if not self.enabled:
+            return
+        self._counts[key] = self._counts.get(key, 0) + n
+
+    # -- access ------------------------------------------------------------
+
+    def callback_stats(self) -> List[Tuple[str, int, float]]:
+        """``(key, calls, wall_seconds)`` sorted by wall time descending."""
+        return sorted(
+            ((k, int(c), w) for k, (c, w) in self._callbacks.items()),
+            key=lambda row: (-row[2], row[0]),
+        )
+
+    def section_stats(self) -> List[Tuple[str, int, float]]:
+        return sorted(
+            ((k, int(c), w) for k, (c, w) in self._sections.items()),
+            key=lambda row: (-row[2], row[0]),
+        )
+
+    def counts(self) -> List[Tuple[str, int]]:
+        return sorted(self._counts.items())
+
+    def report(self, limit: int = 15) -> str:
+        """ASCII profile: top callbacks by wall time, sections, counts."""
+        lines = [f"kernel profile: {self.events_total} events"]
+        rows = self.callback_stats()
+        total_wall = sum(w for _, _, w in rows)
+        lines.append(f"  total callback wall time: {total_wall * 1e3:.1f} ms")
+        if rows:
+            lines.append(f"  {'callback':<52} {'calls':>8} {'wall ms':>9} {'%':>6}")
+            for key, calls, wall in rows[:limit]:
+                pct = 100.0 * wall / total_wall if total_wall else 0.0
+                lines.append(f"  {key:<52} {calls:>8} {wall * 1e3:>9.2f} {pct:>5.1f}%")
+            if len(rows) > limit:
+                rest = sum(w for _, _, w in rows[limit:])
+                lines.append(
+                    f"  {'(' + str(len(rows) - limit) + ' more)':<52} "
+                    f"{'':>8} {rest * 1e3:>9.2f}"
+                )
+        sections = self.section_stats()
+        if sections:
+            lines.append(f"  {'section':<52} {'enters':>8} {'wall ms':>9}")
+            for key, calls, wall in sections:
+                lines.append(f"  {key:<52} {calls:>8} {wall * 1e3:>9.2f}")
+        counts = self.counts()
+        if counts:
+            lines.append(f"  {'event count':<52} {'n':>8}")
+            for key, n in counts:
+                lines.append(f"  {key:<52} {n:>8}")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self._callbacks.clear()
+        self._sections.clear()
+        self._counts.clear()
+        self.events_total = 0

@@ -1,0 +1,217 @@
+"""Span tracing layered on the event :class:`~repro.sim.trace.Tracer`.
+
+A *span* is a named interval of simulated time.  Entering the context
+manager emits a ``span_begin`` trace event; leaving it emits a matched
+``span_end`` carrying the sim-time duration.  Spans nest — a transfer
+decomposes into ``plan -> leg -> chunk`` — and the nesting is recorded
+via parent ids so :func:`extract_span_records` can rebuild the tree.
+
+Always use the context manager::
+
+    with spans.span("core.executor", "plan:direct", provider="gdrive"):
+        ...  # yields inside the body are fine: generators keep the
+             # with-block suspended along with the frame
+
+Hand-emitting ``span_begin``/``span_end`` events is forbidden outside
+this module (lint rule ``SL402``) — unpaired events corrupt timelines.
+
+Parenting uses a single stack per :class:`SpanTracer`.  The repo's
+workloads open spans in straight-line coroutine code (one logical
+transfer at a time), so this is exact for them; if two *concurrent*
+processes interleave spans on one tracer, parent attribution follows
+stack order, not process identity — timelines stay well-formed but a
+span may claim the other process's open span as its parent.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.sim.trace import Tracer
+
+__all__ = ["Span", "SpanRecord", "SpanTracer", "extract_span_records"]
+
+
+class _NullSpan:
+    """Shared no-op span returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def annotate(self, **fields: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live span; emits its paired events on enter/exit."""
+
+    __slots__ = ("_tracer", "span_id", "component", "name", "fields", "start")
+
+    def __init__(self, tracer: "SpanTracer", component: str, name: str,
+                 fields: Dict[str, Any]):
+        self._tracer = tracer
+        self.span_id = next(tracer._ids)
+        self.component = component
+        self.name = name
+        self.fields = fields
+        self.start = 0.0
+
+    def annotate(self, **fields: Any) -> None:
+        """Attach extra fields; they appear on the ``span_end`` event."""
+        self.fields.update(fields)
+
+    def __enter__(self) -> "Span":
+        t = self._tracer
+        self.start = t.sim.now
+        parent = t._stack[-1].span_id if t._stack else 0
+        t._stack.append(self)
+        t._emit_pair_event(
+            self.start, self.component, "span_begin",
+            span=self.span_id, parent=parent, name=self.name, **self.fields,
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        t = self._tracer
+        # Exiting out of order (an exception unwound nested spans) still
+        # removes *this* span, keeping the stack consistent.
+        if t._stack and t._stack[-1] is self:
+            t._stack.pop()
+        elif self in t._stack:
+            t._stack.remove(self)
+        now = t.sim.now
+        fields = dict(self.fields)
+        if exc_type is not None:
+            fields["error"] = exc_type.__name__
+        t._emit_pair_event(
+            now, self.component, "span_end",
+            span=self.span_id, name=self.name,
+            duration_s=now - self.start, **fields,
+        )
+        return False
+
+
+class SpanTracer:
+    """Factory for spans bound to one simulator clock and one tracer."""
+
+    def __init__(self, sim: Any, tracer: Tracer):
+        self.sim = sim
+        self.tracer = tracer
+        self._ids = itertools.count(1)
+        self._stack: List[Span] = []
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled
+
+    def span(self, component: str, name: str, **fields: Any):
+        """Open a span; returns a context manager.
+
+        When the underlying tracer is disabled this returns a shared
+        null object — no allocation, no id consumption — so disabled
+        runs stay bit-identical to uninstrumented ones.
+        """
+        if not self.tracer.enabled:
+            return _NULL_SPAN
+        return Span(self, component, name, dict(fields))
+
+    def _emit_pair_event(self, time: float, component: str, kind: str,
+                         **fields: Any) -> None:
+        self.tracer.emit(time, component, kind, **fields)
+
+    @property
+    def depth(self) -> int:
+        """Number of currently-open spans (0 outside any span)."""
+        return len(self._stack)
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """A completed span reconstructed from its begin/end event pair."""
+
+    span_id: int
+    parent_id: int
+    component: str
+    name: str
+    start: float
+    end: float
+    fields: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def field(self, key: str, default: Any = None) -> Any:
+        for k, v in self.fields:
+            if k == key:
+                return v
+        return default
+
+
+def extract_span_records(tracer: Tracer) -> List[SpanRecord]:
+    """Pair ``span_begin``/``span_end`` events into :class:`SpanRecord`s.
+
+    Unfinished spans (begin without end) are dropped; orphan ends are
+    ignored.  Records come back sorted by ``(start, span_id)`` so nested
+    spans follow their parents.
+    """
+    begins: Dict[int, Any] = {}
+    records: List[SpanRecord] = []
+    for ev in tracer:
+        if ev.kind == "span_begin":
+            begins[ev.fields["span"]] = ev
+        elif ev.kind == "span_end":
+            begin = begins.pop(ev.fields["span"], None)
+            if begin is None:
+                continue
+            merged = dict(begin.fields)
+            merged.update(ev.fields)
+            extras = tuple(
+                sorted(
+                    (k, v) for k, v in merged.items()
+                    if k not in ("span", "parent", "name", "duration_s")
+                )
+            )
+            records.append(
+                SpanRecord(
+                    span_id=begin.fields["span"],
+                    parent_id=begin.fields.get("parent", 0),
+                    component=begin.component,
+                    name=begin.fields["name"],
+                    start=begin.time,
+                    end=ev.time,
+                    fields=extras,
+                )
+            )
+    records.sort(key=lambda r: (r.start, r.span_id))
+    return records
+
+
+def span_depths(records: List[SpanRecord]) -> Dict[int, int]:
+    """Nesting depth per span id (roots at 0), by walking parent links."""
+    by_id = {r.span_id: r for r in records}
+    depths: Dict[int, int] = {}
+
+    def depth_of(span_id: int) -> int:
+        if span_id in depths:
+            return depths[span_id]
+        rec = by_id.get(span_id)
+        if rec is None or rec.parent_id == 0 or rec.parent_id not in by_id:
+            depths[span_id] = 0
+        else:
+            depths[span_id] = depth_of(rec.parent_id) + 1
+        return depths[span_id]
+
+    for r in records:
+        depth_of(r.span_id)
+    return depths

@@ -98,14 +98,19 @@ class Simulator:
     ----------
     start:
         Initial simulated time (seconds).
+    profiler:
+        Optional :class:`repro.obs.KernelProfiler` (duck-typed to keep the
+        kernel dependency-free: anything with ``run_callback(fn)``).  When
+        set, every event executes through it for wall-time attribution.
     """
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0, profiler: Optional[Any] = None):
         self._now = float(start)
         self._heap: list[_Scheduled] = []
         self._seq = itertools.count()
         self._running = False
         self._active_processes = 0
+        self.profiler = profiler
 
     # -- clock ------------------------------------------------------------
 
@@ -148,7 +153,11 @@ class Simulator:
             if entry.time < self._now - 1e-12:
                 raise SimulationError("event heap corrupted: time went backwards")
             self._now = max(self._now, entry.time)
-            entry.fn()
+            prof = self.profiler
+            if prof is None:
+                entry.fn()
+            else:
+                prof.run_callback(entry.fn)
             return True
         return False
 

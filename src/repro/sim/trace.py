@@ -7,8 +7,10 @@ analysis layer and make failed tests debuggable without print statements.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from itertools import islice
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
 
 __all__ = ["TraceEvent", "Tracer"]
 
@@ -41,7 +43,9 @@ class Tracer:
     def __init__(self, enabled: bool = True, max_events: int = 1_000_000):
         self.enabled = enabled
         self.max_events = max_events
-        self._events: List[TraceEvent] = []
+        # deque(maxlen=...) evicts the oldest event in O(1); a plain list
+        # made every overflowing emit an O(n) pop(0).
+        self._events: Deque[TraceEvent] = deque(maxlen=max_events)
         self._dropped = 0
         self._subscribers: List[Callable[[TraceEvent], None]] = []
 
@@ -51,7 +55,6 @@ class Tracer:
             return
         ev = TraceEvent(time, component, kind, fields)
         if len(self._events) >= self.max_events:
-            self._events.pop(0)
             self._dropped += 1
         self._events.append(ev)
         for sub in self._subscribers:
@@ -100,7 +103,8 @@ class Tracer:
 
     def dump(self, limit: int = 200) -> str:
         """Human-readable tail of the trace."""
-        tail = self._events[-limit:]
+        skip = max(0, len(self._events) - limit)
+        tail = list(islice(self._events, skip, None))
         lines = [str(ev) for ev in tail]
         if self._dropped or len(self._events) > limit:
             lines.insert(0, f"... ({len(self._events) - len(tail)} earlier events not shown, {self._dropped} dropped)")

@@ -22,7 +22,7 @@ The per-path effective throughputs this produces match DESIGN.md Sec. 6.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Union
 
 from repro.cloud.dropbox import make_dropbox_protocol
 from repro.cloud.gdrive import make_gdrive_protocol
@@ -39,6 +39,8 @@ from repro.net.policy import PbrRule, PolicyTable
 from repro.net.routing import Router
 from repro.net.tcp import TcpModel
 from repro.net.topology import Link, Node, NodeKind, Topology
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import KernelProfiler
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
@@ -300,6 +302,8 @@ def build_case_study(
     params: Optional[CaseStudyParams] = None,
     trace: bool = False,
     cross_traffic: bool = True,
+    metrics: Union[bool, MetricsRegistry] = False,
+    profile: Union[bool, KernelProfiler] = False,
 ) -> World:
     """Construct the full case-study world.
 
@@ -314,9 +318,25 @@ def build_case_study(
         Enable the structured event tracer (off for benchmarks).
     cross_traffic:
         Disable to get a noise-free world (useful in tests).
+    metrics:
+        True to enable the metrics registry, or an existing
+        :class:`~repro.obs.MetricsRegistry` to share one across worlds
+        (e.g. the report harness aggregating many cells).
+    profile:
+        True to attach a fresh :class:`~repro.obs.KernelProfiler` to the
+        kernel, or an existing profiler to aggregate across worlds
+        (wall-time accounting; has no effect on simulated results).
     """
     p = params if params is not None else DEFAULT_PARAMS
-    sim = Simulator()
+    if isinstance(metrics, MetricsRegistry):
+        registry = metrics
+    else:
+        registry = MetricsRegistry(enabled=bool(metrics))
+    if isinstance(profile, KernelProfiler):
+        profiler = profile
+    else:
+        profiler = KernelProfiler() if profile else None
+    sim = Simulator(profiler=profiler)
     rng = RngRegistry(seed)
     tracer = Tracer(enabled=trace)
 
@@ -351,11 +371,13 @@ def build_case_study(
                  else p.capacity_jitter_sigma)
         capacity_scale[link_name] = rng.lognormal_factor(f"capjitter.{link_name}", sigma)
 
-    engine = NetworkEngine(sim, topo, tracer=tracer, capacity_scale=capacity_scale)
+    engine = NetworkEngine(sim, topo, tracer=tracer, capacity_scale=capacity_scale,
+                           metrics=registry)
 
     world = World(
         sim=sim, topology=topo, as_graph=as_graph, policy=policy, router=router,
-        dns=dns, engine=engine, tcp=TcpModel(), rng=rng, tracer=tracer, seed=seed,
+        dns=dns, engine=engine, tcp=TcpModel(metrics=registry), rng=rng,
+        tracer=tracer, seed=seed, metrics=registry, profiler=profiler,
     )
 
     world.add_provider(CloudProvider(
@@ -394,12 +416,19 @@ def world_factory(
     params: Optional[CaseStudyParams] = None,
     trace: bool = False,
     cross_traffic: bool = True,
+    metrics: Union[bool, MetricsRegistry] = False,
+    profile: Union[bool, KernelProfiler] = False,
 ) -> Callable[[int], World]:
-    """A seed -> World callable for the measurement harness."""
+    """A seed -> World callable for the measurement harness.
+
+    Passing a shared :class:`~repro.obs.MetricsRegistry` as *metrics*
+    aggregates every produced world's metrics into one registry.
+    """
 
     def make(seed: int) -> World:
         return build_case_study(seed=seed, params=params, trace=trace,
-                                cross_traffic=cross_traffic)
+                                cross_traffic=cross_traffic, metrics=metrics,
+                                profile=profile)
 
     return make
 

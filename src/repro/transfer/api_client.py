@@ -24,7 +24,10 @@ from repro.net.dns import DnsResolver
 from repro.net.engine import NetworkEngine
 from repro.net.routing import Router
 from repro.net.tcp import TcpModel, TcpPathParams
+from repro.obs.metrics import RATE_BUCKETS, MetricsRegistry
+from repro.obs.spans import SpanTracer
 from repro.sim.kernel import Simulator
+from repro.sim.trace import Tracer
 from repro.transfer.files import FileSpec
 
 __all__ = ["CloudClient", "UploadReport", "DownloadReport"]
@@ -85,6 +88,8 @@ class CloudClient:
         token_cache: Optional[TokenCache] = None,
         rng: Optional[np.random.Generator] = None,
         app_name: str = "repro-bench",
+        metrics: Optional[MetricsRegistry] = None,
+        spans: Optional[SpanTracer] = None,
     ):
         self.sim = sim
         self.engine = engine
@@ -95,6 +100,21 @@ class CloudClient:
         self.rng = rng
         self.app_name = app_name
         self._secrets: Dict[Tuple[str, str], str] = {}
+        self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
+        self.spans = spans if spans is not None else SpanTracer(sim, Tracer(enabled=False))
+        self._m_uploads = self.metrics.counter(
+            "repro_api_uploads_total", "API uploads completed")
+        self._m_downloads = self.metrics.counter(
+            "repro_api_downloads_total", "API downloads completed")
+        self._m_chunks = self.metrics.counter(
+            "repro_api_chunks_total", "Payload chunks transferred")
+        self._m_token_fetches = self.metrics.counter(
+            "repro_api_token_fetches_total", "OAuth2 token fetches")
+        self._m_upload_s = self.metrics.histogram(
+            "repro_api_upload_seconds", "End-to-end API upload duration")
+        self._m_upload_bps = self.metrics.histogram(
+            "repro_api_upload_throughput_bps", "API upload throughput",
+            buckets=RATE_BUCKETS)
 
     # -- helpers -----------------------------------------------------------
 
@@ -119,6 +139,8 @@ class CloudClient:
             self.sim, self.tcp, params,
             fault=provider.fault_injector,
             retry=provider.retry_policy,
+            metrics=self.metrics,
+            endpoint=provider.name,
         )
 
     def _ensure_token(self, host: str, provider: CloudProvider, events: List):
@@ -126,18 +148,20 @@ class CloudClient:
         token = self.token_cache.get_valid(host, provider.name, self.sim.now)
         if token is not None:
             return token, False
-        auth_node = self.dns.resolve(provider.auth_hostname, client_node=host)
-        auth_path = self.router.resolve(host, auth_node)
-        params = TcpPathParams(rtt_s=auth_path.rtt_s, loss=auth_path.loss)
-        session = self._session(provider, params)
-        yield from session.request(
-            self._jitter(provider.protocol.auth_server_s,
-                         provider.protocol.server_jitter_sigma),
-            label="POST /oauth2/token",
-        )
-        client_id, secret = self._credentials(host, provider)
-        token = provider.oauth.issue_token(client_id, secret, self.sim.now)
-        self.token_cache.store(host, provider.name, token)
+        with self.spans.span("transfer.api", "token_fetch", provider=provider.name):
+            auth_node = self.dns.resolve(provider.auth_hostname, client_node=host)
+            auth_path = self.router.resolve(host, auth_node)
+            params = TcpPathParams(rtt_s=auth_path.rtt_s, loss=auth_path.loss)
+            session = self._session(provider, params)
+            yield from session.request(
+                self._jitter(provider.protocol.auth_server_s,
+                             provider.protocol.server_jitter_sigma),
+                label="POST /oauth2/token",
+            )
+            client_id, secret = self._credentials(host, provider)
+            token = provider.oauth.issue_token(client_id, secret, self.sim.now)
+            self.token_cache.store(host, provider.name, token)
+        self._m_token_fetches.inc(provider=provider.name)
         events.append((self.sim.now, "POST /oauth2/token"))
         return token, True
 
@@ -167,58 +191,73 @@ class CloudClient:
         path = self.router.resolve(src, frontend)
         params = TcpPathParams(rtt_s=path.rtt_s, loss=path.loss)
 
-        token, token_fetched = yield from self._ensure_token(src, provider, events)
+        with self.spans.span("transfer.api", f"upload:{spec.name}",
+                             provider=provider.name, src=src,
+                             bytes=int(spec.size_bytes)):
+            token, token_fetched = yield from self._ensure_token(src, provider, events)
 
-        # TLS connect + session initiation (retried on transient errors)
-        session = self._session(provider, params)
-        yield from session.connect()
-        yield from session.request(
-            self._jitter(proto.session_init_server_s, proto.server_jitter_sigma),
-            label=proto.init_request_name,
-        )
-        events.append((self.sim.now, proto.init_request_name))
-
-        directions = self.router.path_directions(path)
-        ceiling = min(self.tcp.rate_ceiling_bps(params), path.per_flow_cap_bps)
-        sizes = proto.chunk_sizes(spec.size_bytes)
-        for index, chunk in enumerate(sizes):
-            deficit_bytes = 0.0
-            if index == 0:
-                est = self.engine.estimate_rate(directions, ceiling)
-                if est > 0 and np.isfinite(est):
-                    deficit_bytes = (
-                        self.tcp.startup_penalty_s(params, est) * units.bytes_per_sec(est)
-                    )
-            transfer = self.engine.start_transfer(
-                directions,
-                chunk + proto.request_overhead_bytes,
-                ceiling_bps=ceiling,
-                label=f"api:{provider.name}:{src}:{spec.name}#{index}",
-                startup_deficit_bytes=deficit_bytes,
-            )
-            yield transfer.done
+            # TLS connect + session initiation (retried on transient errors)
+            session = self._session(provider, params)
+            yield from session.connect()
             yield from session.request(
-                self._jitter(proto.per_chunk_server_s, proto.server_jitter_sigma),
-                label=f"chunk {index}",
+                self._jitter(proto.session_init_server_s, proto.server_jitter_sigma),
+                label=proto.init_request_name,
             )
-            events.append((self.sim.now, proto.chunk_request_name.replace("{index}", str(index))))
+            events.append((self.sim.now, proto.init_request_name))
 
-        # commit / finalize
-        token = yield from self._refresh_if_expired(src, provider, token, events)
-        yield from session.request(
-            self._jitter(proto.commit_server_s, proto.server_jitter_sigma),
-            label=proto.commit_request_name,
-        )
-        events.append((self.sim.now, proto.commit_request_name))
+            directions = self.router.path_directions(path)
+            ceiling = min(self.tcp.rate_ceiling_bps(params), path.per_flow_cap_bps)
+            sizes = proto.chunk_sizes(spec.size_bytes)
+            for index, chunk in enumerate(sizes):
+                deficit_bytes = 0.0
+                if index == 0:
+                    est = self.engine.estimate_rate(directions, ceiling)
+                    if est > 0 and np.isfinite(est):
+                        deficit_bytes = (
+                            self.tcp.startup_penalty_s(params, est)
+                            * units.bytes_per_sec(est)
+                        )
+                with self.spans.span("transfer.api", f"chunk#{index}",
+                                     bytes=int(chunk)):
+                    transfer = self.engine.start_transfer(
+                        directions,
+                        chunk + proto.request_overhead_bytes,
+                        ceiling_bps=ceiling,
+                        label=f"api:{provider.name}:{src}:{spec.name}#{index}",
+                        startup_deficit_bytes=deficit_bytes,
+                    )
+                    yield transfer.done
+                    yield from session.request(
+                        self._jitter(proto.per_chunk_server_s, proto.server_jitter_sigma),
+                        label=f"chunk {index}",
+                    )
+                self._m_chunks.inc(provider=provider.name)
+                events.append((self.sim.now,
+                               proto.chunk_request_name.replace("{index}", str(index))))
 
-        provider.oauth.validate(token.value, self.sim.now)
-        provider.store.put(
-            remote_path or spec.name,
-            spec.size_bytes,
-            spec.content_digest(),
-            owner=src,
-            now=self.sim.now,
-        )
+            # commit / finalize
+            token = yield from self._refresh_if_expired(src, provider, token, events)
+            yield from session.request(
+                self._jitter(proto.commit_server_s, proto.server_jitter_sigma),
+                label=proto.commit_request_name,
+            )
+            events.append((self.sim.now, proto.commit_request_name))
+
+            provider.oauth.validate(token.value, self.sim.now)
+            provider.store.put(
+                remote_path or spec.name,
+                spec.size_bytes,
+                spec.content_digest(),
+                owner=src,
+                now=self.sim.now,
+            )
+        self._m_uploads.inc(provider=provider.name)
+        duration = self.sim.now - start
+        self._m_upload_s.observe(duration, provider=provider.name)
+        if duration > 0:
+            self._m_upload_bps.observe(
+                units.throughput_bps(spec.size_bytes, duration),
+                provider=provider.name)
         return UploadReport(
             provider=provider.name,
             src=src,
@@ -246,37 +285,45 @@ class CloudClient:
         down_path = self.router.resolve(frontend, dst)     # data direction
         params = TcpPathParams(rtt_s=up_path.rtt_s, loss=down_path.loss)
 
-        yield from self._ensure_token(dst, provider, events)
-        session = self._session(provider, params)
-        yield from session.connect()
-        yield from session.request(
-            self._jitter(proto.session_init_server_s, proto.server_jitter_sigma),
-            label="GET (ranged download start)",
-        )
-
-        directions = self.router.path_directions(down_path)
-        ceiling = min(self.tcp.rate_ceiling_bps(params), down_path.per_flow_cap_bps)
-        sizes = proto.chunk_sizes(obj.size_bytes)
-        for index, chunk in enumerate(sizes):
-            deficit_bytes = 0.0
-            if index == 0:
-                est = self.engine.estimate_rate(directions, ceiling)
-                if est > 0 and np.isfinite(est):
-                    deficit_bytes = (
-                        self.tcp.startup_penalty_s(params, est) * units.bytes_per_sec(est)
-                    )
-            transfer = self.engine.start_transfer(
-                directions,
-                chunk + proto.request_overhead_bytes,
-                ceiling_bps=ceiling,
-                label=f"api-dl:{provider.name}:{dst}:{remote_path}#{index}",
-                startup_deficit_bytes=deficit_bytes,
-            )
-            yield transfer.done
+        with self.spans.span("transfer.api", f"download:{remote_path}",
+                             provider=provider.name, dst=dst,
+                             bytes=int(obj.size_bytes)):
+            yield from self._ensure_token(dst, provider, events)
+            session = self._session(provider, params)
+            yield from session.connect()
             yield from session.request(
-                self._jitter(proto.per_chunk_server_s, proto.server_jitter_sigma),
-                label=f"dl chunk {index}",
+                self._jitter(proto.session_init_server_s, proto.server_jitter_sigma),
+                label="GET (ranged download start)",
             )
+
+            directions = self.router.path_directions(down_path)
+            ceiling = min(self.tcp.rate_ceiling_bps(params), down_path.per_flow_cap_bps)
+            sizes = proto.chunk_sizes(obj.size_bytes)
+            for index, chunk in enumerate(sizes):
+                deficit_bytes = 0.0
+                if index == 0:
+                    est = self.engine.estimate_rate(directions, ceiling)
+                    if est > 0 and np.isfinite(est):
+                        deficit_bytes = (
+                            self.tcp.startup_penalty_s(params, est)
+                            * units.bytes_per_sec(est)
+                        )
+                with self.spans.span("transfer.api", f"chunk#{index}",
+                                     bytes=int(chunk)):
+                    transfer = self.engine.start_transfer(
+                        directions,
+                        chunk + proto.request_overhead_bytes,
+                        ceiling_bps=ceiling,
+                        label=f"api-dl:{provider.name}:{dst}:{remote_path}#{index}",
+                        startup_deficit_bytes=deficit_bytes,
+                    )
+                    yield transfer.done
+                    yield from session.request(
+                        self._jitter(proto.per_chunk_server_s, proto.server_jitter_sigma),
+                        label=f"dl chunk {index}",
+                    )
+                self._m_chunks.inc(provider=provider.name)
+        self._m_downloads.inc(provider=provider.name)
         return DownloadReport(
             provider=provider.name,
             dst=dst,

@@ -1,0 +1,174 @@
+"""Exporters (JSONL round-trip, Prometheus, tables) and the obs CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import DetourPlanner
+from repro.errors import ObservabilityError
+from repro.obs import (
+    MetricsRegistry,
+    extract_span_records,
+    read_jsonl,
+    render_metrics_table,
+    render_prometheus,
+    write_jsonl,
+)
+from repro.testbed import build_case_study
+from repro.units import mb
+
+
+@pytest.fixture(scope="module")
+def instrumented_world():
+    world = build_case_study(seed=0, trace=True, metrics=True)
+    planner = DetourPlanner(world, runs_per_route=2, discard_runs=1)
+    planner.compare("ubc", "gdrive", int(mb(20)))
+    return world
+
+
+class TestJsonlRoundTrip:
+    def test_compare_run_round_trips_losslessly(self, instrumented_world):
+        """Satellite: dump a real compare run and reload it without loss."""
+        world = instrumented_world
+        buf = io.StringIO()
+        n = write_jsonl(buf, metrics=world.metrics, tracer=world.tracer)
+        assert n == len(world.metrics.collect()) + len(world.tracer)
+
+        buf.seek(0)
+        dump = read_jsonl(buf)
+        assert list(dump.metrics) == world.metrics.collect()
+        assert list(dump.events) == world.tracer.events
+
+    def test_each_line_is_valid_json(self, instrumented_world):
+        buf = io.StringIO()
+        write_jsonl(buf, metrics=instrumented_world.metrics,
+                    tracer=instrumented_world.tracer)
+        lines = buf.getvalue().splitlines()
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert record["type"] in ("metric", "event")
+
+    def test_bad_input_raises(self):
+        with pytest.raises(ObservabilityError):
+            read_jsonl(io.StringIO("not json\n"))
+        with pytest.raises(ObservabilityError):
+            read_jsonl(io.StringIO('{"type": "mystery"}\n'))
+
+    def test_blank_lines_skipped(self):
+        dump = read_jsonl(io.StringIO("\n\n"))
+        assert dump.metrics == () and dump.events == ()
+
+
+class TestPrometheus:
+    def test_exposition_format(self, instrumented_world):
+        text = render_prometheus(instrumented_world.metrics)
+        assert "# TYPE repro_engine_flows_completed_total counter" in text
+        assert 'le="+Inf"' in text
+        assert "repro_api_upload_seconds_sum" in text
+
+    def test_histogram_buckets_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_t_x_seconds", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        text = render_prometheus(reg)
+        assert 'repro_t_x_seconds_bucket{le="1"} 1' in text
+        assert 'repro_t_x_seconds_bucket{le="2"} 2' in text
+        assert 'repro_t_x_seconds_bucket{le="+Inf"} 2' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestMetricsTable:
+    def test_renders_samples(self, instrumented_world):
+        table = render_metrics_table(instrumented_world.metrics)
+        assert "repro_engine_flows_completed_total" in table
+        assert "count=" in table  # histogram detail
+
+    def test_empty(self):
+        assert render_metrics_table(MetricsRegistry()) == "metrics: (empty)"
+
+
+class TestObsCli:
+    def test_obs_text(self, capsys):
+        assert main(["obs", "--size-mb", "10", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "span timeline:" in out
+        assert "metrics (" in out
+        assert "core.executor:plan:direct" in out
+
+    def test_obs_json_parses_and_round_trips(self, capsys):
+        """Satellite: `repro obs --format json` output reloads losslessly."""
+        assert main(["obs", "--size-mb", "10", "--runs", "2",
+                     "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        dump = read_jsonl(io.StringIO(out))
+        assert dump.metrics and dump.events
+        by_name = {s.name: s for s in dump.metrics}
+        completed = by_name["repro_engine_flows_completed_total"]
+        flow_ends = [e for e in dump.events if e.kind == "flow_end"]
+        assert completed.value == len(flow_ends)
+
+    def test_obs_prom(self, capsys):
+        assert main(["obs", "--size-mb", "10", "--runs", "2",
+                     "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_engine_flows_completed_total counter" in out
+
+    def test_obs_out_file(self, tmp_path, capsys):
+        target = tmp_path / "dump.jsonl"
+        assert main(["obs", "--size-mb", "10", "--runs", "2",
+                     "--format", "json", "--out", str(target)]) == 0
+        dump = read_jsonl(io.StringIO(target.read_text()))
+        assert dump.metrics and dump.events
+
+
+class TestCompareObsFlags:
+    def test_profile_metrics_acceptance(self, capsys):
+        """`repro compare --profile --metrics -` prints timeline + table."""
+        assert main(["compare", "ubc", "gdrive", "--size-mb", "10",
+                     "--runs", "2", "--profile", "--metrics", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "fastest" in out
+        assert "span timeline:" in out
+        assert "repro_engine_flows_completed_total" in out
+        assert "kernel profile:" in out
+
+    def test_trace_out_file(self, tmp_path, capsys):
+        target = tmp_path / "trace.jsonl"
+        assert main(["compare", "ubc", "gdrive", "--size-mb", "10",
+                     "--runs", "2", "--trace-out", str(target)]) == 0
+        dump = read_jsonl(io.StringIO(target.read_text()))
+        assert dump.events
+
+    def test_metrics_prometheus_file(self, tmp_path, capsys):
+        target = tmp_path / "metrics.prom"
+        assert main(["compare", "ubc", "gdrive", "--size-mb", "10",
+                     "--runs", "2", "--metrics", str(target)]) == 0
+        assert "# TYPE" in target.read_text()
+
+    def test_no_flags_prints_no_obs_output(self, capsys):
+        assert main(["compare", "ubc", "gdrive", "--size-mb", "10",
+                     "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "span timeline" not in out and "metrics (" not in out
+
+
+class TestSpanTimelineRender:
+    def test_timeline_shows_nesting_and_durations(self, instrumented_world):
+        from repro.analysis import span_timeline
+
+        records = extract_span_records(instrumented_world.tracer)
+        text = span_timeline(records)
+        assert "span timeline:" in text
+        assert "transfer.api:upload" in text
+        assert "=" in text
+
+    def test_empty_records(self):
+        from repro.analysis import span_timeline
+
+        assert "no spans" in span_timeline([])

@@ -1,0 +1,153 @@
+"""Metrics registry: instruments, naming, labels, and the disabled path."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    DURATION_BUCKETS,
+    RATE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    valid_metric_name,
+)
+
+
+class TestNaming:
+    def test_convention_accepted(self):
+        assert valid_metric_name("repro_engine_flows_started_total")
+        assert valid_metric_name("repro_api_upload_seconds")
+        assert valid_metric_name("repro_engine_payload_bytes")
+        assert valid_metric_name("repro_flow_throughput_bps")
+
+    def test_violations_rejected(self):
+        assert not valid_metric_name("engine_flows_total")  # no prefix
+        assert not valid_metric_name("repro_flows")  # no unit suffix
+        assert not valid_metric_name("repro_Flows_total")  # not snake_case
+        assert not valid_metric_name("repro__flows_total")  # empty segment
+        assert not valid_metric_name("repro_flows_total_")  # trailing _
+
+    def test_registry_enforces_names(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            reg.counter("bad_name")
+
+
+class TestCounter:
+    def test_inc_and_labels(self):
+        c = MetricsRegistry().counter("repro_t_x_total")
+        c.inc()
+        c.inc(2, route="direct")
+        c.inc(3, route="direct")
+        assert c.value() == 1
+        assert c.value(route="direct") == 5
+        assert c.total() == 6
+
+    def test_label_order_is_canonical(self):
+        c = MetricsRegistry().counter("repro_t_x_total")
+        c.inc(a="1", b="2")
+        assert c.value(b="2", a="1") == 1
+
+    def test_cannot_decrease(self):
+        c = MetricsRegistry().counter("repro_t_x_total")
+        with pytest.raises(ObservabilityError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_add(self):
+        g = MetricsRegistry().gauge("repro_t_x_count")
+        g.set(5)
+        g.add(-2)
+        assert g.value() == 3
+
+
+class TestHistogram:
+    def test_observe_and_stats(self):
+        h = MetricsRegistry().histogram("repro_t_x_seconds", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 5.0, 50.0):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.sum() == pytest.approx(60.5)
+        assert h.mean() == pytest.approx(60.5 / 4)
+        sample = h.samples()[0]
+        assert sample.bucket_counts == (1, 2, 1)  # <=1, <=10, +inf
+
+    def test_approx_quantile_within_bucket(self):
+        h = MetricsRegistry().histogram("repro_t_x_seconds", buckets=(1.0, 2.0))
+        for _ in range(4):
+            h.observe(1.5)
+        q = h.approx_quantile(0.5)
+        assert 1.0 <= q <= 2.0
+
+    def test_bad_buckets_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            reg.histogram("repro_t_a_seconds", buckets=())
+        with pytest.raises(ObservabilityError):
+            reg.histogram("repro_t_b_seconds", buckets=(2.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            reg.histogram("repro_t_c_seconds", buckets=(1.0, float("inf")))
+
+
+class TestRegistry:
+    def test_registration_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_t_x_total")
+        b = reg.counter("repro_t_x_total")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_t_x_total")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("repro_t_x_total")
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_t_x_seconds", buckets=DURATION_BUCKETS)
+        with pytest.raises(ObservabilityError):
+            reg.histogram("repro_t_x_seconds", buckets=RATE_BUCKETS)
+
+    def test_collect_sorted_and_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_t_b_total").inc()
+        reg.counter("repro_t_a_total").inc()
+        names = [s.name for s in reg.collect()]
+        assert names == ["repro_t_a_total", "repro_t_b_total"]
+        reg.clear()
+        assert reg.collect() == []
+        assert "repro_t_a_total" in reg  # registrations survive clear()
+
+
+class TestDisabledRegistry:
+    """Satellite: a disabled registry must be a no-op, not an error."""
+
+    def test_instruments_still_register(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("repro_t_x_total")
+        g = reg.gauge("repro_t_x_count")
+        h = reg.histogram("repro_t_x_seconds")
+        assert isinstance(c, Counter)
+        assert isinstance(g, Gauge)
+        assert isinstance(h, Histogram)
+
+    def test_mutators_record_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("repro_t_x_total")
+        g = reg.gauge("repro_t_x_count")
+        h = reg.histogram("repro_t_x_seconds")
+        c.inc(5, route="direct")
+        g.set(3)
+        h.observe(1.0)
+        assert c.total() == 0
+        assert g.value() == 0
+        assert h.count() == 0
+        assert reg.collect() == []
+
+    def test_naming_still_enforced_when_disabled(self):
+        reg = MetricsRegistry(enabled=False)
+        with pytest.raises(ObservabilityError):
+            reg.counter("not_a_valid_name")

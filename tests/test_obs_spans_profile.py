@@ -1,0 +1,166 @@
+"""Span tracing and kernel profiling over a real simulator."""
+
+import pytest
+
+from repro.obs import KernelProfiler, SpanTracer, extract_span_records, span_depths
+from repro.obs.spans import _NULL_SPAN
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Tracer
+
+
+def make_tracer(enabled=True):
+    sim = Simulator()
+    return sim, SpanTracer(sim, Tracer(enabled=enabled))
+
+
+class TestSpans:
+    def test_pairing_and_duration(self):
+        sim, spans = make_tracer()
+
+        def proc():
+            with spans.span("t", "outer"):
+                yield 2.0
+
+        sim.process(proc())
+        sim.run()
+        (rec,) = extract_span_records(spans.tracer)
+        assert rec.name == "outer"
+        assert rec.start == 0.0
+        assert rec.duration == pytest.approx(2.0)
+
+    def test_nesting_and_depths(self):
+        sim, spans = make_tracer()
+
+        def proc():
+            with spans.span("t", "outer"):
+                yield 1.0
+                with spans.span("t", "inner"):
+                    yield 1.0
+
+        sim.process(proc())
+        sim.run()
+        records = extract_span_records(spans.tracer)
+        assert [r.name for r in records] == ["outer", "inner"]
+        outer, inner = records
+        assert inner.parent_id == outer.span_id
+        depths = span_depths(records)
+        assert depths[outer.span_id] == 0
+        assert depths[inner.span_id] == 1
+
+    def test_annotate_and_fields(self):
+        sim, spans = make_tracer()
+        with spans.span("t", "s", route="direct") as sp:
+            sp.annotate(bytes=42)
+        (rec,) = extract_span_records(spans.tracer)
+        assert rec.field("route") == "direct"
+        assert rec.field("bytes") == 42
+        assert rec.field("missing", "dflt") == "dflt"
+
+    def test_exception_recorded_and_propagated(self):
+        sim, spans = make_tracer()
+        with pytest.raises(ValueError):
+            with spans.span("t", "boom"):
+                raise ValueError("x")
+        (rec,) = extract_span_records(spans.tracer)
+        assert rec.field("error") == "ValueError"
+
+    def test_unfinished_span_dropped(self):
+        sim, spans = make_tracer()
+        spans.span("t", "open").__enter__()  # never exited
+        assert extract_span_records(spans.tracer) == []
+
+    def test_depth_tracks_stack(self):
+        sim, spans = make_tracer()
+        assert spans.depth == 0
+        with spans.span("t", "a"):
+            assert spans.depth == 1
+        assert spans.depth == 0
+
+
+class TestDisabledSpans:
+    """Satellite: disabled tracing must allocate nothing and emit nothing."""
+
+    def test_null_span_is_shared_singleton(self):
+        _, spans = make_tracer(enabled=False)
+        assert not spans.enabled
+        s1 = spans.span("t", "a")
+        s2 = spans.span("t", "b", route="direct")
+        assert s1 is _NULL_SPAN and s2 is _NULL_SPAN
+
+    def test_null_span_noops(self):
+        _, spans = make_tracer(enabled=False)
+        with spans.span("t", "a") as sp:
+            sp.annotate(k="v")
+        assert len(spans.tracer) == 0
+        assert extract_span_records(spans.tracer) == []
+
+    def test_null_span_consumes_no_ids(self):
+        _, spans = make_tracer(enabled=False)
+        spans.span("t", "a")
+        assert next(spans._ids) == 1  # nothing was drawn from the counter
+
+
+class TestKernelProfiler:
+    def test_simulator_routes_callbacks_through_profiler(self):
+        prof = KernelProfiler()
+        sim = Simulator(profiler=prof)
+
+        def proc():
+            yield 1.0
+            yield 1.0
+
+        sim.process(proc())
+        sim.run()
+        assert prof.events_total > 0
+        stats = prof.callback_stats()
+        assert stats, "expected at least one attributed callback"
+        keys = [k for k, _, _ in stats]
+        assert any("repro.sim.kernel" in k for k in keys)
+        assert all(wall >= 0 for _, _, wall in stats)
+
+    def test_profiler_does_not_change_results(self):
+        def run(profiler):
+            sim = Simulator(profiler=profiler)
+            out = []
+
+            def proc():
+                yield 1.5
+                out.append(sim.now)
+
+            sim.process(proc())
+            sim.run()
+            return out
+
+        assert run(None) == run(KernelProfiler())
+
+    def test_sections_and_counts(self):
+        prof = KernelProfiler()
+        t0 = prof.begin()
+        prof.end_section("hot.loop", t0)
+        prof.count("events", 3)
+        assert prof.section_stats()[0][0] == "hot.loop"
+        assert prof.counts() == [("events", 3)]
+
+    def test_disabled_profiler_noops(self):
+        prof = KernelProfiler(enabled=False)
+        ran = []
+        prof.run_callback(lambda: ran.append(1))
+        assert ran == [1]  # still executes the callback
+        assert prof.events_total == 0
+        assert prof.callback_stats() == []
+        assert prof.begin() is None
+        prof.end_section("x", None)
+        prof.count("x")
+        assert prof.section_stats() == [] and prof.counts() == []
+
+    def test_report_renders(self):
+        prof = KernelProfiler()
+        prof.run_callback(lambda: None)
+        text = prof.report()
+        assert "kernel profile" in text and "wall ms" in text
+
+    def test_clear(self):
+        prof = KernelProfiler()
+        prof.run_callback(lambda: None)
+        prof.clear()
+        assert prof.events_total == 0 and prof.callback_stats() == []
