@@ -7,6 +7,12 @@ sweep), prints it to the terminal, and writes it under
 
 Set ``REPRO_BENCH_FAST=1`` to shrink the protocol (3 runs, 3 sizes) for a
 quick smoke pass.
+
+Experiment cells are persisted to the campaign result store at
+``benchmarks/.cellcache`` (git-ignored), so re-running a benchmark —
+or several benchmarks sharing cells, as Fig. 2 and Table II do — never
+recomputes a cell across invocations.  Set ``REPRO_BENCH_NO_CACHE=1``
+to measure cold regeneration instead.
 """
 
 import os
@@ -15,23 +21,30 @@ import pathlib
 import pytest
 
 from repro.analysis import AnalysisConfig
+from repro.campaign import ResultStore
 from repro.measure import ExperimentProtocol
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+CELL_CACHE_DIR = pathlib.Path(__file__).parent / ".cellcache"
 
 #: The paper's full size ladder, or a short one for smoke runs.
 FAST = bool(int(os.environ.get("REPRO_BENCH_FAST", "0")))
+
+#: Opt out of the on-disk cell store (forces cold regeneration).
+NO_CACHE = bool(int(os.environ.get("REPRO_BENCH_NO_CACHE", "0")))
 
 
 @pytest.fixture(scope="session")
 def paper_config() -> AnalysisConfig:
     """The paper's protocol: 7 runs/cell, keep 5, sizes 10..100 MB."""
+    store = None if NO_CACHE else ResultStore(CELL_CACHE_DIR)
     if FAST:
         return AnalysisConfig(
             sizes_mb=(10, 50, 100),
             protocol=ExperimentProtocol(total_runs=3, discard_runs=1),
+            store=store,
         )
-    return AnalysisConfig()
+    return AnalysisConfig(store=store)
 
 
 @pytest.fixture

@@ -1,0 +1,73 @@
+"""Campaign engine: serial-vs-parallel wall-clock on a fixed 12-cell matrix.
+
+Times the same campaign twice — ``jobs=1`` in-process and ``jobs=4``
+worker processes — asserts the exports are byte-identical (the engine's
+core contract), and records both wall-clocks plus the speedup to
+``benchmarks/results/BENCH_campaign.json``.  No result store is used:
+both runs must compute every cell.
+
+The recorded speedup is only meaningful relative to the recorded
+``cpus``: on a single-core box the parallel run *should* come out
+slightly slower (fork + pipe overhead with no cores to spend it on), so
+the assertion here only bounds that overhead, it does not demand a win.
+"""
+
+import json
+import os
+import time
+
+from repro.campaign import CampaignRunner, CampaignSpec, PoolConfig, export_records
+from repro.measure import ExperimentProtocol
+
+from benchmarks.conftest import RESULTS_DIR, once
+
+#: 1 client x 2 providers x 3 routes x 2 sizes = 12 cells, each heavy
+#: enough (cross-traffic, 10/20 MB) that fork overhead doesn't dominate.
+SPEC = CampaignSpec(
+    clients=("ubc",),
+    providers=("gdrive", "dropbox"),
+    sizes_mb=(10.0, 20.0),
+    protocol=ExperimentProtocol(total_runs=3, discard_runs=1),
+)
+
+JOBS = 4
+
+
+def test_campaign_parallel_speedup(benchmark, emit):
+    cells = len(SPEC.expand())
+    assert cells == 12
+
+    def run_both():
+        t0 = time.perf_counter()
+        serial = CampaignRunner(SPEC, pool=PoolConfig(jobs=1)).run()
+        t1 = time.perf_counter()
+        parallel = CampaignRunner(SPEC, pool=PoolConfig(jobs=JOBS)).run()
+        t2 = time.perf_counter()
+        return serial, parallel, t1 - t0, t2 - t1
+
+    serial, parallel, serial_s, parallel_s = once(benchmark, run_both)
+
+    # the engine's core contract: scheduling never changes the numbers
+    assert export_records(serial.records, SPEC) == \
+        export_records(parallel.records, SPEC)
+    assert serial.errors == parallel.errors == 0
+
+    record = {
+        "cells": cells,
+        "jobs": JOBS,
+        "cpus": os.cpu_count(),
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 2),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_campaign.json").write_text(
+        json.dumps(record, indent=1) + "\n")
+    emit("campaign_engine",
+         f"campaign engine: {cells} cells on {record['cpus']} cpu(s)  "
+         f"serial {serial_s:.2f}s  jobs={JOBS} {parallel_s:.2f}s  "
+         f"speedup {record['speedup']:.2f}x")
+
+    # worker fan-out overhead must stay bounded even with nothing to
+    # gain (1 cpu); with cores available the ratio should exceed 1
+    assert parallel_s < serial_s * 1.5

@@ -21,6 +21,8 @@ Quickstart
 from repro._version import __version__
 
 __all__ = [
+    "CampaignRunner",
+    "CampaignSpec",
     "DetourPlanner",
     "DetourRoute",
     "DirectRoute",
@@ -40,6 +42,10 @@ def __getattr__(name):
         import repro.core as core
 
         return getattr(core, name)
+    if name in ("CampaignRunner", "CampaignSpec"):
+        import repro.campaign as campaign
+
+        return getattr(campaign, name)
     if name == "FileSpec":
         from repro.transfer import FileSpec
 

@@ -10,7 +10,12 @@
 """
 
 from repro.analysis.ascii_plot import bar_chart, span_timeline
-from repro.analysis.common import AnalysisConfig, measure_cell, measure_rsync_hop
+from repro.analysis.common import (
+    AnalysisConfig,
+    measure_cell,
+    measure_rsync_hop,
+    report_campaign_spec,
+)
 from repro.analysis.export import figure_to_csv, figure_to_json, table_to_csv, table_to_json
 from repro.analysis.full_report import generate_full_report
 from repro.analysis.sensitivity import (
@@ -72,6 +77,7 @@ __all__ = [
     "measure_cell",
     "measure_rsync_hop",
     "render_experiment_report",
+    "report_campaign_spec",
     "render_table1",
     "render_table4",
     "render_table5",

@@ -5,6 +5,14 @@ world seeded from the cell's label, executes the paper's 7-run protocol,
 and returns the kept-run summary.  All tables and figures are assembled
 from cells, so their numbers agree wherever they overlap (as in the
 paper, where Fig. 2 and Table II show the same data).
+
+Cells are executed through :func:`repro.campaign.worker.run_cell`, the
+same entry point the campaign engine's worker pool uses, so a number in
+a table, a campaign export, or a direct harness run is always the same
+world from the same derived seed.  Give the config a ``store`` and every
+cell is answered from / persisted to the on-disk campaign result store —
+which is how ``repro report --cache-dir`` skips recomputation across
+invocations.
 """
 
 from __future__ import annotations
@@ -12,20 +20,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
-from repro.core.executor import PlanExecutor
-from repro.core.routes import Route, TransferPlan
+from repro.campaign.spec import CampaignCell, CampaignSpec
+from repro.campaign.store import CellRecord, ResultStore
+from repro.campaign.worker import run_cell
+from repro.core.routes import Route
 from repro.core.world import World
 from repro.measure.harness import ExperimentProtocol, ExperimentRunner, Measurement
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import KernelProfiler
 from repro.testbed.build import world_factory
 from repro.testbed.params import CaseStudyParams
-from repro.testbed.scenarios import experiment_label
 from repro.transfer.files import FileSpec, PAPER_SIZES_MB
 from repro.transfer.rsync import RsyncSession
 from repro.units import mb
 
-__all__ = ["AnalysisConfig", "measure_cell", "measure_rsync_hop"]
+__all__ = ["AnalysisConfig", "measure_cell", "measure_rsync_hop",
+           "report_campaign_spec"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +55,9 @@ class AnalysisConfig:
     #: (compared by identity, so distinct sinks never alias cache entries)
     metrics: Optional[MetricsRegistry] = None
     profiler: Optional[KernelProfiler] = None
+    #: optional campaign result store: cells found there are not re-run,
+    #: cells computed here are persisted there (``repro report --cache-dir``)
+    store: Optional[ResultStore] = None
 
     def runner(self) -> ExperimentRunner:
         return ExperimentRunner(
@@ -62,6 +75,21 @@ class AnalysisConfig:
 _CELL_CACHE: dict = {}
 
 
+def _campaign_cell(cfg: AnalysisConfig, client: str, provider: str,
+                   route: Route, size_mb: float) -> CampaignCell:
+    """The campaign-engine view of one analysis cell (same key, same seed)."""
+    return CampaignCell(
+        client=client,
+        provider=provider,
+        route=route.describe(),
+        size_mb=float(size_mb),
+        seed=cfg.master_seed,
+        protocol=cfg.protocol,
+        cross_traffic=cfg.cross_traffic,
+        params=cfg.params,
+    )
+
+
 def measure_cell(
     cfg: AnalysisConfig,
     client: str,
@@ -71,23 +99,44 @@ def measure_cell(
 ) -> Measurement:
     """Run one (client, provider, route, size) cell per the paper protocol.
 
-    Results are memoized per (cfg, cell): cells are deterministic.
+    Results are memoized per (cfg, cell) in-process, and — when the
+    config carries a ``store`` — persisted as campaign records on disk,
+    so repeated invocations (or a prior ``repro campaign run`` over the
+    same matrix) never recompute a cell.  A store hit skips the world
+    entirely, so it contributes nothing to ``cfg.metrics``/``profiler``.
     """
     key = (cfg, client, provider, route, size_mb)
     cached = _CELL_CACHE.get(key)
     if cached is not None:
         return cached
-    label = experiment_label(client, provider, route, size_mb)
-    spec = FileSpec(f"test-{size_mb:g}MB.bin", int(mb(size_mb)))
-
-    def run_factory(world: World, run_index: int):
-        plan = TransferPlan(client, provider, spec, route)
-        result = yield from PlanExecutor(world).execute(plan)
-        return result
-
-    measurement = cfg.runner().measure(label, run_factory)
+    cell = _campaign_cell(cfg, client, provider, route, size_mb)
+    if cfg.store is not None:
+        rec = cfg.store.get(cell)
+        if rec is not None and rec.ok:
+            _CELL_CACHE[key] = rec.measurement
+            return rec.measurement
+    measurement = run_cell(cell, metrics=cfg.metrics, profiler=cfg.profiler)
+    if cfg.store is not None:
+        cfg.store.put(CellRecord(cell=cell, status="ok", measurement=measurement))
     _CELL_CACHE[key] = measurement
     return measurement
+
+
+def report_campaign_spec(cfg: AnalysisConfig) -> CampaignSpec:
+    """The campaign matrix behind ``repro report`` for this config.
+
+    ``repro campaign run`` on this spec pre-fills exactly the cells the
+    tables and figures will ask :func:`measure_cell` for (the paper
+    route set over ``cfg.sizes_mb``), so a report pointed at the same
+    store finds every cell already computed.
+    """
+    return CampaignSpec(
+        sizes_mb=tuple(float(s) for s in cfg.sizes_mb),
+        seeds=(cfg.master_seed,),
+        protocol=cfg.protocol,
+        cross_traffic=cfg.cross_traffic,
+        params=cfg.params,
+    )
 
 
 def measure_rsync_hop(

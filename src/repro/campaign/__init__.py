@@ -1,0 +1,44 @@
+"""repro.campaign: parallel, cached, resumable experiment campaigns.
+
+The four moving parts, one module each:
+
+* :mod:`~repro.campaign.spec` — the declarative experiment matrix and
+  the content-addressed cell identity (``CampaignSpec`` / ``CampaignCell``);
+* :mod:`~repro.campaign.store` — the on-disk result store that makes
+  campaigns resumable (``ResultStore`` / ``CellRecord``);
+* :mod:`~repro.campaign.pool` — the per-cell worker pool with timeout,
+  bounded retry, and quarantine (``PoolConfig`` / ``execute_cells``);
+* :mod:`~repro.campaign.runner` — the orchestrator tying them together
+  (``CampaignRunner``), plus :mod:`~repro.campaign.export` for the
+  canonical JSON export.
+
+This package is the **only** place in the tree allowed to use
+``multiprocessing`` (lint rules SL501/SL502); everything inside a worker
+is the ordinary single-process deterministic harness.
+"""
+
+from repro.campaign.export import export_campaign, export_records, load_export
+from repro.campaign.pool import CellOutcome, PoolConfig, execute_cells
+from repro.campaign.runner import CampaignResult, CampaignRunner, campaign_status
+from repro.campaign.spec import CampaignCell, CampaignSpec, route_from_string
+from repro.campaign.store import CellError, CellRecord, ResultStore
+from repro.campaign.worker import run_cell
+
+__all__ = [
+    "CampaignCell",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CellError",
+    "CellOutcome",
+    "CellRecord",
+    "PoolConfig",
+    "ResultStore",
+    "campaign_status",
+    "execute_cells",
+    "export_campaign",
+    "export_records",
+    "load_export",
+    "route_from_string",
+    "run_cell",
+]

@@ -1,0 +1,67 @@
+"""Canonical JSON export of campaign results.
+
+The export is a *deterministic function of the records*: cells appear in
+spec order, keys are sorted, floats round-trip exactly, and nothing
+schedule-dependent (timings, worker ids, completion order) is included.
+That is the property the acceptance test pins: a ``--jobs 4`` run
+exports **byte-identical** output to a ``--jobs 1`` run of the same
+spec.  Error records ride along with the same shape as ok records
+(``status``/``error`` fields), so quarantined cells survive the
+round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List, Optional, Sequence
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import CellRecord, ResultStore, record_from_dict, record_to_dict
+from repro.errors import CampaignError
+
+__all__ = ["export_records", "export_campaign", "load_export"]
+
+EXPORT_FORMAT_VERSION = 1
+
+
+def export_records(records: Sequence[CellRecord],
+                   spec: Optional[CampaignSpec] = None) -> str:
+    """Render records (already in spec order) as canonical JSON text."""
+    doc: Dict[str, object] = {
+        "format": "repro-campaign-export",
+        "version": EXPORT_FORMAT_VERSION,
+        "cells": [record_to_dict(r) for r in records],
+    }
+    if spec is not None:
+        doc["spec"] = spec.describe()
+    return json.dumps(doc, sort_keys=True, indent=1) + "\n"
+
+
+def export_campaign(spec: CampaignSpec, store: ResultStore, fp: IO[str]) -> int:
+    """Export every stored cell of *spec*, in spec order; returns the count.
+
+    Cells not yet in the store are simply absent from the export (use
+    ``campaign status`` to see what is missing); a partially-run campaign
+    still exports cleanly.
+    """
+    records = []
+    for cell in spec.expand():
+        rec = store.get(cell)
+        if rec is not None:
+            records.append(rec)
+    fp.write(export_records(records, spec))
+    return len(records)
+
+
+def load_export(fp: IO[str]) -> List[CellRecord]:
+    """Parse an export back into records (the round-trip inverse)."""
+    try:
+        doc = json.load(fp)
+    except json.JSONDecodeError as exc:
+        raise CampaignError(f"bad campaign export: {exc}") from exc
+    if doc.get("format") != "repro-campaign-export":
+        raise CampaignError("not a repro-campaign-export document")
+    if doc.get("version") != EXPORT_FORMAT_VERSION:
+        raise CampaignError(
+            f"unsupported export version {doc.get('version')!r}")
+    return [record_from_dict(d) for d in doc["cells"]]

@@ -1,0 +1,199 @@
+"""Worker pool: cells out, deterministic-order outcomes back.
+
+The only module in the tree allowed to import ``multiprocessing`` (the
+SL501 lint rule pins this): workers must never nest pools, and model
+code must stay single-process deterministic.
+
+Scheduling model — one short-lived process per cell, at most ``jobs``
+alive at once.  That costs a fork per cell but buys three properties a
+shared ``multiprocessing.Pool`` cannot give cheaply:
+
+* a **per-cell timeout** that actually kills the offender (``terminate``)
+  instead of abandoning a busy pool worker,
+* **quarantine** — a crashed or timed-out child affects exactly one
+  cell's record, never its neighbours,
+* **no shared mutable state** between cells, so parallel execution
+  cannot perturb results (each cell is its own seeded world anyway).
+
+Timeouts and retries are *wall-clock* concepts: this is orchestration
+code outside the simulation, the one place (besides ``repro.obs.profile``)
+where reading real time is sanctioned.  Outcomes are always returned in
+input order, regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.spec import CampaignCell
+from repro.campaign.store import CRASH_KIND, TIMEOUT_KIND, CellError
+from repro.campaign.worker import child_main, run_cell_payload
+from repro.errors import CampaignError
+from repro.measure.harness import Measurement
+from repro.obs.metrics import MetricSample
+
+__all__ = ["PoolConfig", "CellOutcome", "execute_cells"]
+
+#: Parent poll interval while waiting on children (wall-clock seconds).
+_POLL_S = 0.02
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """How cells are executed: parallelism, per-attempt timeout, retries."""
+
+    jobs: int = 1
+    #: Wall-clock budget per attempt; None = unbounded.  Enforced only
+    #: when ``jobs > 1`` (killing a timed-out cell needs a subprocess),
+    #: and strictly: an attempt whose deadline passed is a timeout even
+    #: if its result arrived before the parent noticed.
+    timeout_s: Optional[float] = None
+    #: Extra attempts after a crash or timeout (deterministic model
+    #: exceptions are quarantined immediately — retrying cannot help).
+    retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise CampaignError(f"jobs must be >= 1, got {self.jobs}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise CampaignError(f"timeout must be positive, got {self.timeout_s}")
+        if self.retries < 0:
+            raise CampaignError(f"retries must be >= 0, got {self.retries}")
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """In-memory result of executing one cell (pre-store)."""
+
+    cell: CampaignCell
+    status: str  # "ok" | "error"
+    measurement: Optional[Measurement]
+    error: Optional[CellError]
+    attempts: int
+    metric_samples: Tuple[MetricSample, ...]
+
+
+def _decode(cell: CampaignCell, payload: dict, attempts: int) -> CellOutcome:
+    """Payload dict (from the serial path or a child process) -> outcome."""
+    from repro.campaign.store import measurement_from_dict
+
+    samples = tuple(MetricSample.from_dict(d) for d in payload.get("metrics", ()))
+    if payload["status"] == "ok":
+        return CellOutcome(cell, "ok", measurement_from_dict(payload["measurement"]),
+                           None, attempts, samples)
+    err = payload["error"]
+    return CellOutcome(cell, "error", None, CellError(err["kind"], err["message"]),
+                       attempts, samples)
+
+
+def _execute_serial(cells: Sequence[CampaignCell]) -> List[CellOutcome]:
+    return [_decode(cell, run_cell_payload(cell), attempts=1) for cell in cells]
+
+
+class _Running:
+    """Bookkeeping for one in-flight child process."""
+
+    def __init__(self, ctx, index: int, cell: CampaignCell, attempt: int,
+                 timeout_s: Optional[float]):
+        self.index = index
+        self.cell = cell
+        self.attempt = attempt
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        self.conn = parent_conn
+        self.proc = ctx.Process(target=child_main, args=(child_conn, cell),
+                                daemon=True)
+        self.proc.start()
+        child_conn.close()  # the parent's copy; the child holds its own
+        self.deadline = (None if timeout_s is None
+                         else time.monotonic() + timeout_s)
+
+    def reap(self) -> None:
+        self.conn.close()
+        self.proc.join()
+
+    def kill(self) -> None:
+        self.proc.terminate()
+        self.reap()
+
+
+def _execute_parallel(cells: Sequence[CampaignCell],
+                      config: PoolConfig) -> List[CellOutcome]:
+    ctx = multiprocessing.get_context()
+    pending = deque((i, cell, 1) for i, cell in enumerate(cells))
+    running: Dict[int, _Running] = {}
+    outcomes: Dict[int, CellOutcome] = {}
+
+    def infra_failure(task: _Running, kind: str, message: str) -> None:
+        """A crash/timeout: retry while budget remains, else quarantine."""
+        if task.attempt <= config.retries:
+            pending.appendleft((task.index, task.cell, task.attempt + 1))
+        else:
+            outcomes[task.index] = CellOutcome(
+                task.cell, "error", None, CellError(kind, message),
+                task.attempt, ())
+
+    try:
+        while pending or running:
+            while pending and len(running) < config.jobs:
+                index, cell, attempt = pending.popleft()
+                running[index] = _Running(ctx, index, cell, attempt,
+                                          config.timeout_s)
+            progressed = []
+            for index, task in running.items():
+                # Deadline first: an attempt only counts if it beat its
+                # budget — a payload that raced in late is still a timeout,
+                # so timeout behaviour never depends on poll scheduling.
+                if task.deadline is not None and time.monotonic() > task.deadline:
+                    task.kill()
+                    infra_failure(task, TIMEOUT_KIND,
+                                  f"cell exceeded {config.timeout_s:g}s "
+                                  f"wall-clock (attempt {task.attempt})")
+                    progressed.append(index)
+                elif task.conn.poll(0):
+                    try:
+                        payload = task.conn.recv()
+                    except EOFError:
+                        payload = None
+                    task.reap()
+                    if payload is None:
+                        infra_failure(task, CRASH_KIND,
+                                      "worker exited without a result")
+                    else:
+                        outcomes[index] = _decode(task.cell, payload,
+                                                  task.attempt)
+                    progressed.append(index)
+                elif not task.proc.is_alive():
+                    task.reap()
+                    infra_failure(task, CRASH_KIND,
+                                  f"worker died with exit code "
+                                  f"{task.proc.exitcode}")
+                    progressed.append(index)
+            for index in progressed:
+                del running[index]
+            if not progressed and running:
+                time.sleep(_POLL_S)
+    finally:
+        for task in running.values():  # interrupted: leave no orphans
+            task.kill()
+
+    return [outcomes[i] for i in range(len(cells))]
+
+
+def execute_cells(cells: Sequence[CampaignCell],
+                  config: Optional[PoolConfig] = None) -> List[CellOutcome]:
+    """Execute *cells*, returning outcomes in input order.
+
+    ``jobs == 1`` runs in-process (through the exact payload path the
+    children use, so serial and parallel campaigns are byte-identical);
+    ``jobs > 1`` fans out over worker processes.
+    """
+    config = config if config is not None else PoolConfig()
+    if not cells:
+        return []
+    if config.jobs == 1:
+        return _execute_serial(cells)
+    return _execute_parallel(cells, config)

@@ -1,0 +1,139 @@
+"""Campaign orchestration: spec -> (store ∪ pool) -> ordered records.
+
+The runner is deliberately thin.  It expands the spec, skips every cell
+the store already holds, hands the rest to the pool, persists what comes
+back, and merges worker metrics into the parent registry **in spec
+order** (not completion order), so the aggregated registry is identical
+for any ``--jobs`` setting.
+
+Resume semantics fall out of the store check: killing a campaign and
+re-running it with the same spec and store executes only the missing
+cells.  The parent-side counters make that observable —
+``repro_campaign_cells_executed_total`` vs
+``repro_campaign_cells_cached_total`` — which is also how the resume
+tests assert "only the remaining cells ran".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.campaign.pool import CellOutcome, PoolConfig, execute_cells
+from repro.campaign.spec import CampaignCell, CampaignSpec
+from repro.campaign.store import CellRecord, ResultStore
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["CampaignResult", "CampaignRunner", "campaign_status"]
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """What one :meth:`CampaignRunner.run` produced, in spec order."""
+
+    spec: CampaignSpec
+    records: Tuple[CellRecord, ...]
+    executed: int  # cells actually run this invocation
+    cached: int  # cells answered from the store
+    errors: int  # quarantined cells among ``records``
+
+    @property
+    def ok(self) -> bool:
+        return self.errors == 0
+
+
+class CampaignRunner:
+    """Run a campaign spec against an optional store with a worker pool."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: Optional[ResultStore] = None,
+        pool: Optional[PoolConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.spec = spec
+        self.store = store
+        self.pool = pool if pool is not None else PoolConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
+
+    def run(self) -> CampaignResult:
+        cells = self.spec.expand()
+        executed_ctr = self.metrics.counter(
+            "repro_campaign_cells_executed_total",
+            "Campaign cells computed by this invocation")
+        cached_ctr = self.metrics.counter(
+            "repro_campaign_cells_cached_total",
+            "Campaign cells answered from the result store")
+        error_ctr = self.metrics.counter(
+            "repro_campaign_cells_error_total",
+            "Campaign cells quarantined with an error record")
+        retry_ctr = self.metrics.counter(
+            "repro_campaign_retries_total",
+            "Extra attempts after worker crashes or timeouts")
+
+        records: Dict[int, CellRecord] = {}
+        to_run: List[Tuple[int, CampaignCell]] = []
+        for i, cell in enumerate(cells):
+            hit = self.store.get(cell) if self.store is not None else None
+            if hit is not None:
+                records[i] = hit
+                cached_ctr.inc()
+            else:
+                to_run.append((i, cell))
+
+        outcomes = execute_cells([cell for _, cell in to_run], self.pool)
+        for (i, _cell), outcome in zip(to_run, outcomes):
+            records[i] = self._persist(outcome)
+            executed_ctr.inc()
+            if outcome.attempts > 1:
+                retry_ctr.inc(outcome.attempts - 1)
+            # Worker metrics merge in spec order (this loop), regardless
+            # of the order the pool finished them in.
+            self.metrics.merge_samples(outcome.metric_samples)
+
+        ordered = tuple(records[i] for i in range(len(cells)))
+        errors = sum(1 for r in ordered if not r.ok)
+        error_ctr.inc(sum(1 for _, o in zip(to_run, outcomes) if o.status == "error"))
+        return CampaignResult(
+            spec=self.spec,
+            records=ordered,
+            executed=len(to_run),
+            cached=len(cells) - len(to_run),
+            errors=errors,
+        )
+
+    def _persist(self, outcome: CellOutcome) -> CellRecord:
+        rec = CellRecord(
+            cell=outcome.cell,
+            status=outcome.status,
+            measurement=outcome.measurement,
+            error=outcome.error,
+            attempts=outcome.attempts,
+        )
+        if self.store is not None:
+            self.store.put(rec)
+        return rec
+
+
+def campaign_status(spec: CampaignSpec,
+                    store: Optional[ResultStore]) -> Dict[str, object]:
+    """How much of *spec* the store already holds (for ``campaign status``)."""
+    cells = spec.expand()
+    done = errored = 0
+    missing: List[str] = []
+    for cell in cells:
+        rec = store.get(cell) if store is not None else None
+        if rec is None:
+            missing.append(cell.describe())
+        elif rec.ok:
+            done += 1
+        else:
+            errored += 1
+    return {
+        "total": len(cells),
+        "ok": done,
+        "error": errored,
+        "missing": len(missing),
+        "missing_cells": missing,
+    }

@@ -1,0 +1,90 @@
+"""Execution of one campaign cell — the harness run, verbatim.
+
+:func:`run_cell` is the *only* way campaign results are produced, and it
+is also what :func:`repro.analysis.common.measure_cell` calls, so a cell
+measured through a worker pool, through ``repro report``, or through a
+direct :class:`~repro.measure.harness.ExperimentRunner` is the same
+world executing the same coroutine from the same derived seed.
+
+:func:`child_main` is the entry point of a pool worker process: it runs
+one cell against a fresh :class:`~repro.obs.MetricsRegistry`, then ships
+a plain-dict result (measurement or error, plus metric samples) back
+over a pipe.  Everything crossing the process boundary is primitives,
+so the parent never unpickles model objects from a child.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Dict, Optional
+
+from repro.campaign.spec import CampaignCell, route_from_string
+from repro.campaign.store import measurement_to_dict
+from repro.core.executor import PlanExecutor
+from repro.core.routes import TransferPlan
+from repro.core.world import World
+from repro.measure.harness import ExperimentRunner, Measurement
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import KernelProfiler
+from repro.testbed.build import world_factory
+from repro.transfer.files import FileSpec
+from repro.units import mb
+
+__all__ = ["run_cell", "child_main"]
+
+
+def run_cell(
+    cell: CampaignCell,
+    metrics: Optional[MetricsRegistry] = None,
+    profiler: Optional[KernelProfiler] = None,
+) -> Measurement:
+    """Run one cell per the paper protocol; bit-identical to the harness."""
+    route = route_from_string(cell.route)
+    spec = FileSpec(f"test-{cell.size_mb:g}MB.bin", int(mb(cell.size_mb)))
+    runner = ExperimentRunner(
+        world_factory(params=cell.params, cross_traffic=cell.cross_traffic,
+                      metrics=metrics if metrics is not None else False,
+                      profile=profiler if profiler is not None else False),
+        cell.protocol,
+        master_seed=cell.seed,
+    )
+
+    def run_factory(world: World, run_index: int):
+        plan = TransferPlan(cell.client, cell.provider, spec, route)
+        result = yield from PlanExecutor(world).execute(plan)
+        return result
+
+    return runner.measure(cell.label, run_factory)
+
+
+def run_cell_payload(cell: CampaignCell) -> Dict[str, Any]:
+    """One attempt at a cell, reduced to a primitives-only payload.
+
+    Used identically by the serial executor and by pool children, so
+    ``--jobs 1`` and ``--jobs N`` flow through the same code path.
+    """
+    registry = MetricsRegistry()
+    try:
+        measurement = run_cell(cell, metrics=registry)
+    except Exception as exc:  # quarantine: a failing cell is a record
+        return {
+            "status": "error",
+            "error": {"kind": type(exc).__name__,
+                      "message": str(exc) or traceback.format_exc(limit=1).strip()},
+            "metrics": [s.to_dict() for s in registry.collect()],
+        }
+    return {
+        "status": "ok",
+        "measurement": measurement_to_dict(measurement,
+                                           cell.protocol.discard_runs),
+        "metrics": [s.to_dict() for s in registry.collect()],
+    }
+
+
+def child_main(conn, cell: CampaignCell) -> None:
+    """Pool-worker process entry: run one cell, send the payload, exit."""
+    try:
+        payload = run_cell_payload(cell)
+        conn.send(payload)
+    finally:
+        conn.close()

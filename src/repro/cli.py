@@ -7,6 +7,8 @@
     python -m repro.cli table 2 --fast
     python -m repro.cli routeviews google
     python -m repro.cli tiv
+    python -m repro.cli campaign run --fast --jobs 4 --cache-dir .cells
+    python -m repro.cli campaign export --fast --cache-dir .cells
 """
 
 from __future__ import annotations
@@ -19,6 +21,39 @@ from repro import units
 from repro._version import __version__
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_cache_flags(p: argparse.ArgumentParser) -> None:
+    """Campaign-engine flags shared by report/table/figure."""
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="precompute the experiment matrix with N parallel "
+                        "workers before rendering (default: 1, in-process)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR", dest="cache_dir",
+                   help="campaign result store: reuse cells already there, "
+                        "persist cells computed here")
+
+
+def _add_campaign_spec_flags(p: argparse.ArgumentParser) -> None:
+    """Matrix axes shared by campaign run/status/export."""
+    p.add_argument("--clients", default=None, metavar="A,B",
+                   help="comma-separated client sites (default: ubc,purdue,ucla)")
+    p.add_argument("--providers", default=None, metavar="A,B",
+                   help="comma-separated providers (default: gdrive,dropbox,onedrive)")
+    p.add_argument("--routes", default=None, metavar="R;R",
+                   help="semicolon-separated canonical routes ('direct', "
+                        "'via umich', 'via ualberta (pipelined)'); default: "
+                        "the paper route set per client")
+    p.add_argument("--sizes-mb", default=None, metavar="N,N", dest="sizes_mb",
+                   help="comma-separated sizes in MB (default: the paper sweep)")
+    p.add_argument("--seeds", default=None, metavar="N,N",
+                   help="comma-separated master seeds (default: 0)")
+    p.add_argument("--fast", action="store_true",
+                   help="3 runs (discard 1) instead of the paper's 7-run protocol")
+    p.add_argument("--no-cross-traffic", action="store_true", dest="no_cross_traffic",
+                   help="build worlds without background cross-traffic")
+    p.add_argument("--cache-dir", default=None, metavar="DIR", dest="cache_dir",
+                   help="result store directory (run: resume into it; "
+                        "status/export: read from it)")
 
 
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
@@ -68,11 +103,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fast", action="store_true",
                    help="3 runs x 3 sizes instead of the full protocol")
     p.add_argument("--seed", type=int, default=0)
+    _add_cache_flags(p)
 
     p = sub.add_parser("table", help="regenerate a paper table")
     p.add_argument("table_id", choices=["1", "2", "3", "4", "5"])
     p.add_argument("--fast", action="store_true")
     p.add_argument("--seed", type=int, default=0)
+    _add_cache_flags(p)
 
     p = sub.add_parser("routeviews", help="dump the BGP RIB toward a provider AS "
                                           "and flag control/forwarding anomalies")
@@ -94,7 +131,34 @@ def build_parser() -> argparse.ArgumentParser:
                                       "paper-vs-measured comparison")
     p.add_argument("--fast", action="store_true")
     p.add_argument("--seed", type=int, default=0)
+    _add_cache_flags(p)
     _add_obs_flags(p)
+
+    p = sub.add_parser("campaign", help="run/inspect/export an experiment "
+                                        "campaign (parallel, cached, resumable)")
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    c = csub.add_parser("run", help="execute every cell of the matrix not "
+                                    "already in the store")
+    _add_campaign_spec_flags(c)
+    c.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="parallel worker processes (default: 1, in-process)")
+    c.add_argument("--timeout-s", type=float, default=None, dest="timeout_s",
+                   metavar="S", help="per-cell wall-clock budget (needs --jobs > 1)")
+    c.add_argument("--retries", type=int, default=1,
+                   help="extra attempts after a worker crash/timeout (default: 1)")
+    c.add_argument("--metrics", default=None, metavar="FILE",
+                   help="export campaign metrics: '-' prints a table, any "
+                        "other path gets Prometheus exposition text")
+
+    c = csub.add_parser("status", help="how much of the matrix the store holds")
+    _add_campaign_spec_flags(c)
+
+    c = csub.add_parser("export", help="canonical JSON of every stored cell, "
+                                       "in spec order")
+    _add_campaign_spec_flags(c)
+    c.add_argument("--out", default=None, metavar="FILE",
+                   help="write the export to FILE instead of stdout")
 
     p = sub.add_parser("obs", help="run an instrumented compare and export "
                                    "its metrics, spans, and profile")
@@ -138,6 +202,73 @@ def _analysis_config(fast: bool, seed: int):
         return AnalysisConfig(master_seed=seed, sizes_mb=(10, 50, 100),
                               protocol=ExperimentProtocol(3, 1))
     return AnalysisConfig(master_seed=seed)
+
+
+def _split_csv(text: Optional[str], cast=str, sep: str = ",") -> Optional[tuple]:
+    if text is None:
+        return None
+    return tuple(cast(part.strip()) for part in text.split(sep) if part.strip())
+
+
+def _campaign_spec(args):
+    """Build a CampaignSpec from the shared matrix flags."""
+    from repro.campaign import CampaignSpec
+    from repro.measure import ExperimentProtocol
+
+    protocol = ExperimentProtocol(3, 1) if args.fast else ExperimentProtocol()
+    return CampaignSpec(
+        clients=_split_csv(args.clients) or CampaignSpec.clients,
+        providers=_split_csv(args.providers) or CampaignSpec.providers,
+        routes=_split_csv(args.routes, sep=";"),
+        sizes_mb=_split_csv(args.sizes_mb, cast=float) or CampaignSpec.sizes_mb,
+        seeds=_split_csv(args.seeds, cast=int) or (0,),
+        protocol=protocol,
+        cross_traffic=not args.no_cross_traffic,
+    )
+
+
+def _campaign_store(args, required: bool):
+    from repro.campaign import ResultStore
+
+    if args.cache_dir:
+        return ResultStore(args.cache_dir)
+    if required:
+        raise SystemExit("error: this campaign command needs --cache-dir")
+    return None
+
+
+def _warmed_config(cfg, args):
+    """Honour --cache-dir/--jobs on report/table/figure.
+
+    With a cache dir, cells read from / persist to the store.  With
+    ``--jobs N > 1`` the full report matrix is precomputed by a parallel
+    campaign first (into the cache dir, or a throwaway store), so the
+    serial rendering path finds every cell already measured.  Returns
+    ``(cfg, keepalive)`` — hold *keepalive* until rendering is done.
+    """
+    from dataclasses import replace
+
+    from repro.analysis import report_campaign_spec
+    from repro.campaign import CampaignRunner, PoolConfig, ResultStore
+
+    store = _campaign_store(args, required=False)
+    keepalive = None
+    if args.jobs > 1:
+        if store is None:
+            import tempfile
+
+            keepalive = tempfile.TemporaryDirectory(prefix="repro-campaign-")
+            store = ResultStore(keepalive.name)
+        cfg = replace(cfg, store=store)
+        result = CampaignRunner(report_campaign_spec(cfg), store=store,
+                                pool=PoolConfig(jobs=args.jobs),
+                                metrics=cfg.metrics).run()
+        print(f"campaign: {result.executed} cell(s) computed with "
+              f"--jobs {args.jobs}, {result.cached} from cache", file=sys.stderr)
+        return cfg, keepalive
+    if store is not None:
+        cfg = replace(cfg, store=store)
+    return cfg, keepalive
 
 
 def _obs_requested(args) -> bool:
@@ -240,8 +371,10 @@ def _cmd_figure(args) -> int:
         figs = run_traceroute_figures(seed=args.seed)
         print(figs[args.figure_id])
         return 0
-    result = run_figure(args.figure_id, _analysis_config(args.fast, args.seed))
+    cfg, keepalive = _warmed_config(_analysis_config(args.fast, args.seed), args)
+    result = run_figure(args.figure_id, cfg)
     print(result.render())
+    del keepalive
     return 0
 
 
@@ -257,7 +390,7 @@ def _cmd_table(args) -> int:
         run_table5,
     )
 
-    cfg = _analysis_config(args.fast, args.seed)
+    cfg, keepalive = _warmed_config(_analysis_config(args.fast, args.seed), args)
     if args.table_id == "1":
         print(render_table1(run_table1(cfg)))
     elif args.table_id == "2":
@@ -269,6 +402,7 @@ def _cmd_table(args) -> int:
         print(render_table4(run_table4(cfg, sizes_mb=sizes)))
     else:
         print(render_table5(run_table5(cfg)))
+    del keepalive
     return 0
 
 
@@ -341,7 +475,9 @@ def _cmd_report(args) -> int:
         if args.profile:
             profiler = KernelProfiler()
         cfg = replace(cfg, metrics=registry, profiler=profiler)
+    cfg, keepalive = _warmed_config(cfg, args)
     print(generate_full_report(cfg))
+    del keepalive
     if registry is not None:
         from repro.obs import render_metrics_table, render_prometheus
 
@@ -396,6 +532,66 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    from repro.campaign import (
+        CampaignRunner,
+        PoolConfig,
+        campaign_status,
+        export_campaign,
+    )
+    from repro.obs import MetricsRegistry, render_metrics_table, render_prometheus
+
+    spec = _campaign_spec(args)
+
+    if args.campaign_command == "run":
+        store = _campaign_store(args, required=False)
+        registry = MetricsRegistry()
+        pool = PoolConfig(jobs=args.jobs, timeout_s=args.timeout_s,
+                          retries=args.retries)
+        result = CampaignRunner(spec, store=store, pool=pool,
+                                metrics=registry).run()
+        for rec in result.records:
+            if rec.ok:
+                mean = rec.measurement.kept.mean
+                print(f"  ok    {rec.cell.describe():<44} mean {mean:9.2f} s")
+            else:
+                print(f"  ERROR {rec.cell.describe():<44} "
+                      f"{rec.error.describe()}")
+        print(f"\n{spec.describe()}")
+        print(f"executed {result.executed}, cached {result.cached}, "
+              f"quarantined {result.errors}"
+              + (f"; store: {store.root}" if store is not None else ""))
+        if args.metrics == "-":
+            print()
+            print(render_metrics_table(registry))
+        elif args.metrics:
+            with open(args.metrics, "w", encoding="utf-8") as fp:
+                fp.write(render_prometheus(registry))
+            print(f"wrote Prometheus metrics to {args.metrics}")
+        return 0 if result.errors == 0 else 1
+
+    store = _campaign_store(args, required=True)
+    if args.campaign_command == "status":
+        status = campaign_status(spec, store)
+        print(f"{spec.describe()}")
+        print(f"ok {status['ok']}  error {status['error']}  "
+              f"missing {status['missing']}  (store: {store.root})")
+        for desc in status["missing_cells"][:20]:
+            print(f"  missing: {desc}")
+        if status["missing"] > 20:
+            print(f"  ... and {status['missing'] - 20} more")
+        return 0 if status["missing"] == 0 and status["error"] == 0 else 1
+
+    # export
+    if args.out in (None, "-"):
+        export_campaign(spec, store, sys.stdout)
+    else:
+        with open(args.out, "w", encoding="utf-8") as fp:
+            n = export_campaign(spec, store, fp)
+        print(f"exported {n} cell record(s) to {args.out}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint import run_lint
 
@@ -419,6 +615,7 @@ _COMMANDS = {
     "tiv": _cmd_tiv,
     "validate": _cmd_validate,
     "obs": _cmd_obs,
+    "campaign": _cmd_campaign,
     "lint": _cmd_lint,
 }
 

@@ -56,6 +56,10 @@ class MeasurementError(ReproError):
     """Experiment harness misconfiguration."""
 
 
+class CampaignError(ReproError):
+    """Campaign engine misuse (bad spec, corrupt store, unknown route)."""
+
+
 class ObservabilityError(ReproError):
     """Misuse of the observability layer (bad metric name, bad buckets)."""
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import FrozenSet, Mapping, Optional, Tuple
 
 from repro.lint.findings import Severity
@@ -37,20 +37,16 @@ class LintConfig:
     #: events: the SpanTracer implementation itself.  Everywhere else the
     #: paired-emission guarantee comes from the context manager.
     span_emitter_files: FrozenSet[str] = frozenset({"obs/spans.py"})
+    #: The packages allowed to import ``multiprocessing`` /
+    #: ``concurrent.futures`` (SL501): the campaign worker-pool engine.
+    parallelism_packages: FrozenSet[str] = frozenset({"campaign"})
     #: Rule ids disabled for this run (e.g. frozenset({"SL203"})).
     disabled_rules: FrozenSet[str] = frozenset()
     #: Per-rule severity overrides, e.g. {"SL203": Severity.ERROR}.
     severity_overrides: Mapping[str, Severity] = field(default_factory=dict)
 
     def with_disabled(self, *rule_ids: str) -> "LintConfig":
-        return LintConfig(
-            model_packages=self.model_packages,
-            rng_entrypoints=self.rng_entrypoints,
-            units_definition_files=self.units_definition_files,
-            span_emitter_files=self.span_emitter_files,
-            disabled_rules=self.disabled_rules | frozenset(rule_ids),
-            severity_overrides=dict(self.severity_overrides),
-        )
+        return replace(self, disabled_rules=self.disabled_rules | frozenset(rule_ids))
 
 
 DEFAULT_CONFIG = LintConfig()

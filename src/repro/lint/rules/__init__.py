@@ -4,6 +4,13 @@
 * :mod:`repro.lint.rules.units` — SL2xx, unit-constant discipline
 * :mod:`repro.lint.rules.kernel` — SL3xx, kernel-safety
 * :mod:`repro.lint.rules.observability` — SL4xx, metric naming and span pairing
+* :mod:`repro.lint.rules.parallel` — SL5xx, parallelism containment
 """
 
-from repro.lint.rules import determinism, kernel, observability, units  # noqa: F401
+from repro.lint.rules import (  # noqa: F401
+    determinism,
+    kernel,
+    observability,
+    parallel,
+    units,
+)

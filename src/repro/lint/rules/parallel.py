@@ -1,0 +1,81 @@
+"""SL5xx — parallelism containment: process fan-out stays in one package.
+
+The simulation's determinism story depends on every world running in a
+single process: the campaign engine (``repro/campaign/``) is the one
+component that forks workers, and everything it runs inside a worker is
+ordinary single-process harness code.  A ``multiprocessing`` import
+anywhere else is either a nested pool waiting to deadlock under the
+campaign engine or an unmanaged side channel around the result store —
+both invisible to the bit-identity tests until they flake.
+
+SL501 forbids importing ``multiprocessing`` / ``concurrent.futures``
+outside ``config.parallelism_packages``; SL502 forbids raw
+``os.fork``-family calls everywhere (even the campaign engine must go
+through ``multiprocessing`` so children are tracked and reaped).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.lint.context import FileContext, dotted_name
+from repro.lint.engine import TREE, rule
+
+__all__ = []
+
+#: Module roots whose import marks process-level parallelism.
+_PARALLEL_MODULES = ("multiprocessing", "concurrent.futures")
+
+#: ``os`` functions that create a child process behind the runtime's back.
+_FORK_CALLS = frozenset({"fork", "forkpty"})
+
+
+def _is_parallel_module(module: str) -> bool:
+    return any(module == root or module.startswith(root + ".")
+               for root in _PARALLEL_MODULES)
+
+
+def _in_parallelism_package(ctx: FileContext) -> bool:
+    return ctx.package in ctx.config.parallelism_packages
+
+
+@rule("SL501", "process-pool import outside the campaign engine", scope=TREE)
+def parallel_import_containment(ctx: FileContext) -> Iterator[Tuple[int, str]]:
+    if _in_parallelism_package(ctx):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _is_parallel_module(alias.name):
+                    yield node.lineno, (
+                        f"import of {alias.name!r} outside "
+                        f"{sorted(ctx.config.parallelism_packages)}: worker "
+                        f"fan-out belongs to the campaign engine (run cells "
+                        f"through repro.campaign instead)"
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            # `from concurrent import futures` names the parent module.
+            candidates = [node.module] + [f"{node.module}.{a.name}"
+                                          for a in node.names]
+            if any(_is_parallel_module(c) for c in candidates):
+                yield node.lineno, (
+                    f"import from {node.module!r} outside "
+                    f"{sorted(ctx.config.parallelism_packages)}: worker "
+                    f"fan-out belongs to the campaign engine (run cells "
+                    f"through repro.campaign instead)"
+                )
+
+
+@rule("SL502", "raw os.fork bypasses the worker pool", scope=TREE)
+def raw_fork(ctx: FileContext) -> Iterator[Tuple[int, str]]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name in {f"os.{fn}" for fn in _FORK_CALLS}:
+            yield node.lineno, (
+                f"{name}() creates an untracked child process; even the "
+                f"campaign engine must fork via multiprocessing so workers "
+                f"are joined, timed out, and reaped"
+            )

@@ -5,7 +5,12 @@ among a total of seven runs.  One standard deviation has been shown as
 the error-bar in the figures."  (Paper, Sec. II.)
 """
 
-from repro.measure.harness import ExperimentProtocol, ExperimentRunner, Measurement
+from repro.measure.harness import (
+    ExperimentProtocol,
+    ExperimentRunner,
+    Measurement,
+    experiment_seed,
+)
 from repro.measure.stats import (
     Summary,
     TTestResult,
@@ -25,6 +30,7 @@ __all__ = [
     "Summary",
     "TTestResult",
     "error_bars_overlap",
+    "experiment_seed",
     "relative_gain_pct",
     "summarize",
     "welch_t_test",

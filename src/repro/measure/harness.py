@@ -17,7 +17,20 @@ from repro.errors import MeasurementError
 from repro.measure.stats import Summary, summarize
 from repro.sim.rng import derive_seed
 
-__all__ = ["ExperimentProtocol", "Measurement", "ExperimentRunner"]
+__all__ = ["ExperimentProtocol", "Measurement", "ExperimentRunner", "experiment_seed"]
+
+
+def experiment_seed(master_seed: int, label: str) -> int:
+    """World seed for one experiment cell, derived from its label.
+
+    This is the cell <-> harness bit-identity contract: any runner that
+    builds a world from ``experiment_seed(master_seed, label)`` and
+    executes the same run coroutine reproduces an
+    :class:`ExperimentRunner` measurement exactly.  The campaign engine
+    (:mod:`repro.campaign`) relies on this to make a pool-executed cell
+    indistinguishable from a direct harness run.
+    """
+    return derive_seed(master_seed, f"experiment:{label}")
 
 
 @dataclass(frozen=True)
@@ -90,7 +103,7 @@ class ExperimentRunner:
         horizon_s: float = 1e7,
     ) -> Measurement:
         """Execute one experiment cell; returns its :class:`Measurement`."""
-        seed = derive_seed(self.master_seed, f"experiment:{label}")
+        seed = experiment_seed(self.master_seed, label)
         world = self.world_factory(seed)
         proto = self.protocol
         durations: List[float] = []

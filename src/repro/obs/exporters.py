@@ -53,17 +53,7 @@ def write_jsonl(fp: IO[str], metrics: MetricsRegistry = None,
     n = 0
     if metrics is not None:
         for s in metrics.collect():
-            record = {
-                "type": "metric",
-                "name": s.name,
-                "kind": s.kind,
-                "labels": [list(pair) for pair in s.labels],
-                "value": s.value,
-            }
-            if s.kind == "histogram":
-                record["count"] = s.count
-                record["buckets"] = list(s.buckets)
-                record["bucket_counts"] = list(s.bucket_counts)
+            record = {"type": "metric", **s.to_dict()}
             fp.write(json.dumps(record, sort_keys=True) + "\n")
             n += 1
     if tracer is not None:
@@ -94,17 +84,7 @@ def read_jsonl(fp: IO[str]) -> ObsDump:
             raise ObservabilityError(f"bad JSONL at line {lineno}: {exc}") from exc
         rtype = record.get("type")
         if rtype == "metric":
-            metrics.append(
-                MetricSample(
-                    name=record["name"],
-                    kind=record["kind"],
-                    labels=tuple((k, v) for k, v in record["labels"]),
-                    value=record["value"],
-                    count=record.get("count", 0),
-                    buckets=tuple(record.get("buckets", ())),
-                    bucket_counts=tuple(record.get("bucket_counts", ())),
-                )
-            )
+            metrics.append(MetricSample.from_dict(record))
         elif rtype == "event":
             events.append(
                 TraceEvent(

@@ -97,6 +97,34 @@ class MetricSample:
     def mean(self) -> float:
         return self.value / self.count if self.count else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON/pipe-safe view; the shape behind the JSONL exporter and
+        the campaign worker->parent metric hand-off."""
+        record = {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": [list(pair) for pair in self.labels],
+            "value": self.value,
+        }
+        if self.kind == "histogram":
+            record["count"] = self.count
+            record["buckets"] = list(self.buckets)
+            record["bucket_counts"] = list(self.bucket_counts)
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "MetricSample":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=record["name"],
+            kind=record["kind"],
+            labels=tuple((k, v) for k, v in record["labels"]),
+            value=record["value"],
+            count=record.get("count", 0),
+            buckets=tuple(record.get("buckets", ())),
+            bucket_counts=tuple(record.get("bucket_counts", ())),
+        )
+
 
 class _Instrument:
     """Shared bookkeeping for all instrument kinds."""
@@ -145,6 +173,13 @@ class Counter(_Instrument):
         """Sum over every label set."""
         return float(sum(self._values.values()))
 
+    def merge_sample(self, sample: MetricSample) -> None:
+        """Fold another process's sample in: counters add."""
+        if not self._enabled:
+            return
+        key = tuple(sample.labels)
+        self._values[key] = self._values.get(key, 0.0) + float(sample.value)
+
     def samples(self) -> List[MetricSample]:
         return [
             MetricSample(self.name, self.kind, key, float(v))
@@ -170,6 +205,13 @@ class Gauge(_Instrument):
 
     def value(self, **labels: object) -> float:
         return float(self._values.get(_label_key(labels), 0.0))
+
+    def merge_sample(self, sample: MetricSample) -> None:
+        """Fold another process's sample in: gauges take the last value
+        merged (levels like "active flows" do not sum across workers)."""
+        if not self._enabled:
+            return
+        self._values[tuple(sample.labels)] = float(sample.value)
 
     def samples(self) -> List[MetricSample]:
         return [
@@ -228,6 +270,26 @@ class Histogram(_Instrument):
     def mean(self, **labels: object) -> float:
         state = self._values.get(_label_key(labels))
         return float(state[1]) / state[2] if state and state[2] else 0.0
+
+    def merge_sample(self, sample: MetricSample) -> None:
+        """Fold another process's sample in: bucket counts, sum, and
+        count add (both sides must agree on the bucket bounds)."""
+        if not self._enabled:
+            return
+        if tuple(sample.buckets) != self.buckets:
+            raise ObservabilityError(
+                f"histogram {self.name}: cannot merge a sample with buckets "
+                f"{tuple(sample.buckets)} into {self.buckets}"
+            )
+        key = tuple(sample.labels)
+        state = self._values.get(key)
+        if state is None:
+            state = [[0] * (len(self.buckets) + 1), 0.0, 0]
+            self._values[key] = state
+        for i, n in enumerate(sample.bucket_counts):
+            state[0][i] += int(n)
+        state[1] += float(sample.value)
+        state[2] += int(sample.count)
 
     def approx_quantile(self, q: float, **labels: object) -> float:
         """Bucket-resolution quantile (linear within the bucket)."""
@@ -326,6 +388,28 @@ class MetricsRegistry:
         for metric in self:
             out.extend(metric.samples())
         return out
+
+    def merge_samples(self, samples: Sequence[MetricSample]) -> None:
+        """Fold samples from another registry (usually another process) in.
+
+        Instruments are registered on demand with the sample's kind (and,
+        for histograms, its buckets).  Counters add, gauges take the last
+        value merged, histograms add bucket counts — so a campaign parent
+        aggregating its workers in deterministic spec order produces the
+        same registry no matter how the cells were scheduled.  A disabled
+        registry absorbs nothing, as usual.
+        """
+        for s in samples:
+            if s.kind == "counter":
+                self.counter(s.name).merge_sample(s)
+            elif s.kind == "gauge":
+                self.gauge(s.name).merge_sample(s)
+            elif s.kind == "histogram":
+                self.histogram(s.name, buckets=s.buckets).merge_sample(s)
+            else:
+                raise ObservabilityError(
+                    f"cannot merge sample of unknown kind {s.kind!r}"
+                )
 
     def clear(self) -> None:
         """Reset all recorded values (registrations survive)."""

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Tuple, Union
 
 from repro.core.routes import DetourRoute, DirectRoute, Route
 from repro.transfer.files import PAPER_SIZES_MB
@@ -28,6 +28,13 @@ def paper_route_set(client: str) -> List[Route]:
     return routes
 
 
-def experiment_label(client: str, provider: str, route: Route, size_mb: float) -> str:
-    """Stable label for one experiment cell (drives its derived seed)."""
-    return f"{client}->{provider} [{route.describe()}] {size_mb:g}MB"
+def experiment_label(client: str, provider: str, route: Union[Route, str],
+                     size_mb: float) -> str:
+    """Stable label for one experiment cell (drives its derived seed).
+
+    *route* may be a :class:`Route` or its canonical ``describe()``
+    string, so the campaign layer can label cells it has not yet
+    materialized into route objects.
+    """
+    descr = route if isinstance(route, str) else route.describe()
+    return f"{client}->{provider} [{descr}] {size_mb:g}MB"

@@ -1,0 +1,231 @@
+"""Campaign engine end-to-end: pool, runner, resume, quarantine, CLI.
+
+The acceptance contracts live here:
+
+* a 12-cell campaign run with ``jobs=4`` exports **byte-identical**
+  JSON to the same campaign run with ``jobs=1``;
+* a campaign killed mid-run and resumed from the same store executes
+  only the missing cells (asserted via the ``repro.obs`` cell counters);
+* a quarantined cell becomes an error record that survives
+  ``campaign export`` round-trips and never aborts the campaign.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    PoolConfig,
+    ResultStore,
+    campaign_status,
+    export_records,
+)
+from repro.campaign.store import TIMEOUT_KIND
+from repro.cli import main as cli_main
+from repro.errors import CampaignError
+from repro.measure import ExperimentProtocol
+from repro.obs import MetricsRegistry
+
+pytestmark = pytest.mark.campaign
+
+FAST_PROTO = ExperimentProtocol(2, 0, 1.0)
+
+
+def twelve_cell_spec(**over) -> CampaignSpec:
+    """1 client x 2 providers x 3 routes x 2 sizes = 12 cells."""
+    kw = dict(clients=("ubc",), providers=("gdrive", "dropbox"),
+              sizes_mb=(1.0, 2.0), protocol=FAST_PROTO, cross_traffic=False)
+    kw.update(over)
+    return CampaignSpec(**kw)
+
+
+class TestPoolConfig:
+    def test_rejects_bad_values(self):
+        for bad in (dict(jobs=0), dict(timeout_s=0.0), dict(retries=-1)):
+            with pytest.raises(CampaignError):
+                PoolConfig(**bad)
+
+
+class TestParallelBitIdentity:
+    def test_jobs4_export_is_byte_identical_to_jobs1(self):
+        spec = twelve_cell_spec()
+        assert len(spec.expand()) == 12
+        serial = CampaignRunner(spec, pool=PoolConfig(jobs=1)).run()
+        parallel = CampaignRunner(spec, pool=PoolConfig(jobs=4)).run()
+        assert export_records(serial.records, spec) == \
+            export_records(parallel.records, spec)
+
+    def test_metrics_merge_is_schedule_independent(self):
+        spec = twelve_cell_spec(sizes_mb=(1.0,))
+        m1, m4 = MetricsRegistry(), MetricsRegistry()
+        CampaignRunner(spec, pool=PoolConfig(jobs=1), metrics=m1).run()
+        CampaignRunner(spec, pool=PoolConfig(jobs=4), metrics=m4).run()
+        assert m1.collect() == m4.collect()
+
+
+class TestResume:
+    def test_prefilled_cells_are_not_recomputed(self, tmp_path):
+        store = ResultStore(tmp_path / "cells")
+        # pre-fill half the matrix (one size), as an interrupted run would
+        CampaignRunner(twelve_cell_spec(sizes_mb=(1.0,)), store=store).run()
+        assert len(store) == 6
+        metrics = MetricsRegistry()
+        result = CampaignRunner(twelve_cell_spec(), store=store,
+                                metrics=metrics).run()
+        assert (result.executed, result.cached) == (6, 6)
+        assert metrics.get("repro_campaign_cells_executed_total").total() == 6
+        assert metrics.get("repro_campaign_cells_cached_total").total() == 6
+        assert len(result.records) == 12
+
+    def test_kill_mid_campaign_then_resume(self, tmp_path):
+        """SIGKILL a running campaign; resuming completes only the rest."""
+        store_root = tmp_path / "cells"
+        # cross-traffic + larger files: slow enough (~0.5 s/cell) that the
+        # kill lands mid-campaign instead of after the last cell
+        spec = twelve_cell_spec(sizes_mb=(10.0, 20.0), cross_traffic=True)
+
+        pid = os.fork()  # simlint: ignore[SL502] -- the test *is* the killer
+        if pid == 0:  # child: run the campaign serially until killed
+            os.closerange(0, 3)
+            CampaignRunner(spec, store=ResultStore(store_root)).run()
+            os._exit(0)
+
+        try:  # parent: wait for some—not all—cells, then kill -9
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if len(ResultStore(store_root)) >= 2:
+                    break
+                time.sleep(0.02)
+        finally:
+            os.kill(pid, signal.SIGKILL)
+            os.waitpid(pid, 0)
+
+        store = ResultStore(store_root)
+        survived = len(store)  # atomic writes: every record is whole
+        assert survived >= 2
+        metrics = MetricsRegistry()
+        result = CampaignRunner(spec, store=store, metrics=metrics).run()
+        assert result.cached == survived
+        assert result.executed == 12 - survived
+        assert metrics.get("repro_campaign_cells_executed_total").total() == \
+            12 - survived
+        assert campaign_status(spec, store)["missing"] == 0
+
+
+class TestQuarantine:
+    def test_failing_cell_never_aborts_the_campaign(self, tmp_path):
+        spec = twelve_cell_spec(providers=("gdrive", "nosuch"),
+                                sizes_mb=(1.0,))
+        metrics = MetricsRegistry()
+        store = ResultStore(tmp_path / "cells")
+        result = CampaignRunner(spec, store=store, pool=PoolConfig(jobs=3),
+                                metrics=metrics).run()
+        assert len(result.records) == 6
+        ok = [r for r in result.records if r.ok]
+        bad = [r for r in result.records if not r.ok]
+        assert len(ok) == 3 and len(bad) == 3
+        assert all(r.cell.provider == "nosuch" for r in bad)
+        assert all(r.error.kind and r.error.message for r in bad)
+        assert metrics.get("repro_campaign_cells_error_total").total() == 3
+
+    def test_deterministic_failures_are_not_retried(self):
+        spec = CampaignSpec(clients=("ubc",), providers=("nosuch",),
+                            routes=("direct",), sizes_mb=(1.0,),
+                            protocol=FAST_PROTO, cross_traffic=False)
+        result = CampaignRunner(spec, pool=PoolConfig(jobs=2, retries=3)).run()
+        assert result.records[0].attempts == 1  # model errors: no retry
+
+    def test_error_records_round_trip_through_the_cli_export(
+            self, tmp_path, capsys):
+        store_dir = str(tmp_path / "cells")
+        args = ["--clients", "ubc", "--providers", "nosuch",
+                "--routes", "direct", "--sizes-mb", "1",
+                "--fast", "--cache-dir", store_dir]
+        assert cli_main(["campaign", "run"] + args + ["--jobs", "2"]) == 1
+        capsys.readouterr()
+        out_path = tmp_path / "export.json"
+        assert cli_main(["campaign", "export"] + args +
+                        ["--out", str(out_path)]) == 0
+        capsys.readouterr()
+        from repro.campaign import load_export
+
+        with open(out_path, encoding="utf-8") as fp:
+            records = load_export(fp)
+        assert len(records) == 1 and not records[0].ok
+        assert records[0].error.kind
+
+
+class TestTimeout:
+    def test_slow_cell_times_out_with_bounded_retries(self, tmp_path):
+        # 1 MB cell takes ~0.2 s wall-clock; 1 ms cannot succeed
+        spec = CampaignSpec(clients=("ubc",), providers=("gdrive",),
+                            routes=("direct",), sizes_mb=(1.0,),
+                            protocol=FAST_PROTO, cross_traffic=False)
+        result = CampaignRunner(
+            spec, pool=PoolConfig(jobs=2, timeout_s=0.001, retries=1)).run()
+        rec = result.records[0]
+        assert not rec.ok
+        assert rec.error.kind == TIMEOUT_KIND
+        assert rec.attempts == 2  # first try + one retry
+
+
+class TestCliCampaign:
+    ARGS = ["--clients", "ubc", "--providers", "gdrive", "--routes",
+            "direct;via umich", "--sizes-mb", "1", "--fast"]
+
+    def test_run_status_export(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "cells")
+        assert cli_main(["campaign", "status"] + self.ARGS +
+                        ["--cache-dir", store_dir]) == 1
+        out = capsys.readouterr().out
+        assert "missing 2" in out
+
+        assert cli_main(["campaign", "run"] + self.ARGS +
+                        ["--cache-dir", store_dir, "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "executed 2, cached 0" in out
+
+        assert cli_main(["campaign", "status"] + self.ARGS +
+                        ["--cache-dir", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "ok 2" in out and "missing 0" in out
+
+        assert cli_main(["campaign", "export"] + self.ARGS +
+                        ["--cache-dir", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert '"repro-campaign-export"' in out
+
+    def test_run_resumes_from_store(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "cells")
+        assert cli_main(["campaign", "run"] + self.ARGS +
+                        ["--cache-dir", store_dir]) == 0
+        capsys.readouterr()
+        assert cli_main(["campaign", "run"] + self.ARGS +
+                        ["--cache-dir", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "executed 0, cached 2" in out
+
+    def test_export_without_store_is_an_error(self):
+        with pytest.raises(SystemExit):
+            cli_main(["campaign", "export"] + self.ARGS)
+
+
+class TestReportCacheFlags:
+    def test_table_with_cache_dir_populates_and_reuses(self, tmp_path, capsys):
+        from repro.analysis.common import _CELL_CACHE
+
+        store_dir = str(tmp_path / "cells")
+        _CELL_CACHE.clear()
+        assert cli_main(["table", "2", "--fast",
+                         "--cache-dir", store_dir]) == 0
+        first = capsys.readouterr().out
+        assert len(ResultStore(store_dir)) > 0
+        _CELL_CACHE.clear()
+        assert cli_main(["table", "2", "--fast",
+                         "--cache-dir", store_dir]) == 0
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,312 @@
+"""Campaign spec, cell identity, result store, and export round-trips.
+
+Everything here is single-process; the worker-pool suite lives in
+``test_campaign_runner.py``.  The golden-seed tests pin the derived-seed
+contract: a campaign cell's world seed must equal what the measurement
+harness derives for the same label, forever — changing either side
+silently invalidates every stored result.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis.common import AnalysisConfig, _CELL_CACHE, measure_cell
+from repro.campaign import (
+    CampaignCell,
+    CampaignSpec,
+    CellError,
+    CellRecord,
+    ResultStore,
+    export_records,
+    load_export,
+    route_from_string,
+    run_cell,
+)
+from repro.campaign.spec import CELL_KEY_VERSION
+from repro.campaign.store import record_from_dict, record_to_dict
+from repro.core.routes import DetourRoute, DirectRoute
+from repro.errors import CampaignError
+from repro.measure import ExperimentProtocol, experiment_seed
+from repro.sim.rng import derive_seed
+from repro.transfer.dtn import RelayMode
+
+pytestmark = pytest.mark.campaign
+
+FAST_PROTO = ExperimentProtocol(2, 0, 1.0)
+
+
+def fast_cell(**over) -> CampaignCell:
+    kw = dict(client="ubc", provider="gdrive", route="direct", size_mb=1.0,
+              protocol=FAST_PROTO, cross_traffic=False)
+    kw.update(over)
+    return CampaignCell(**kw)
+
+
+class TestGoldenSeeds:
+    """Pinned derived seeds — the bit-identity contract, frozen."""
+
+    GOLDEN = [
+        (0, "ubc->gdrive [direct] 100MB", 5971421140900440915),
+        (0, "ubc->gdrive [via ualberta] 100MB", 10525473373727383994),
+        (7, "purdue->dropbox [via umich (pipelined)] 60MB", 6493889953740047265),
+    ]
+
+    @pytest.mark.parametrize("master,label,expected", GOLDEN)
+    def test_pinned_values(self, master, label, expected):
+        assert experiment_seed(master, label) == expected
+
+    def test_matches_derive_seed_spelling(self):
+        # the helper is sugar for the harness's historical derivation
+        assert experiment_seed(3, "x") == derive_seed(3, "experiment:x")
+
+    def test_cell_world_seed_uses_the_helper(self):
+        cell = CampaignCell("ubc", "gdrive", "direct", 100.0)
+        assert cell.label == "ubc->gdrive [direct] 100MB"
+        assert cell.world_seed == 5971421140900440915
+
+    def test_cell_key_pinned(self):
+        # default-protocol cell; a key change invalidates every store
+        assert CampaignCell("ubc", "gdrive", "direct", 100.0).key == \
+            "8efe958a53d4600ba856ae5a"
+
+
+class TestRouteFromString:
+    def test_direct(self):
+        assert isinstance(route_from_string("direct"), DirectRoute)
+
+    def test_detour(self):
+        r = route_from_string("via ualberta")
+        assert isinstance(r, DetourRoute) and r.via_site == "ualberta"
+        assert r.mode is RelayMode.STORE_AND_FORWARD
+
+    def test_pipelined(self):
+        r = route_from_string("via umich (pipelined)")
+        assert r.mode is RelayMode.PIPELINED
+
+    def test_round_trips_describe(self):
+        for text in ("direct", "via umich", "via ualberta (pipelined)"):
+            assert route_from_string(text).describe() == text
+
+    @pytest.mark.parametrize("bad", ["", "detour", "via", "via x (warp)"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(CampaignError):
+            route_from_string(bad)
+
+
+class TestSpecExpansion:
+    def test_deterministic_order(self):
+        spec = CampaignSpec(clients=("ubc", "ucla"), providers=("gdrive",),
+                            routes=("direct",), sizes_mb=(10.0, 50.0),
+                            seeds=(0, 1))
+        got = [(c.seed, c.client, c.size_mb) for c in spec.expand()]
+        assert got == [(0, "ubc", 10.0), (0, "ubc", 50.0),
+                       (0, "ucla", 10.0), (0, "ucla", 50.0),
+                       (1, "ubc", 10.0), (1, "ubc", 50.0),
+                       (1, "ucla", 10.0), (1, "ucla", 50.0)]
+
+    def test_default_routes_are_the_paper_set(self):
+        spec = CampaignSpec(clients=("ubc",), providers=("gdrive",),
+                            sizes_mb=(10.0,))
+        assert spec.routes_for("ubc") == ("direct", "via ualberta", "via umich")
+
+    def test_explicit_routes_skip_self_detour(self):
+        spec = CampaignSpec(routes=("direct", "via ualberta"))
+        assert spec.routes_for("ualberta") == ("direct",)
+        assert spec.routes_for("ubc") == ("direct", "via ualberta")
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(CampaignError):
+            CampaignSpec(clients=())
+
+    def test_bad_route_rejected_at_construction(self):
+        with pytest.raises(CampaignError):
+            CampaignSpec(routes=("warp drive",))
+
+    def test_all_self_detours_expand_to_zero_cells(self):
+        spec = CampaignSpec(clients=("umich",), routes=("via umich",))
+        with pytest.raises(CampaignError):
+            spec.expand()
+
+    def test_describe_counts_cells(self):
+        spec = CampaignSpec(clients=("ubc",), providers=("gdrive",),
+                            routes=("direct",), sizes_mb=(10.0,))
+        assert "= 1 cells" in spec.describe()
+
+
+class TestCellIdentity:
+    def test_key_is_stable_under_reconstruction(self):
+        assert fast_cell().key == fast_cell().key
+
+    @pytest.mark.parametrize("field,value", [
+        ("client", "ucla"), ("provider", "dropbox"), ("route", "via umich"),
+        ("size_mb", 2.0), ("seed", 1), ("cross_traffic", True),
+        ("protocol", ExperimentProtocol(3, 1, 1.0)),
+    ])
+    def test_every_result_shaping_field_changes_the_key(self, field, value):
+        assert fast_cell(**{field: value}).key != fast_cell().key
+
+    def test_identity_round_trip(self):
+        cell = fast_cell(seed=3)
+        again = CampaignCell.from_identity(cell.identity())
+        assert again == cell and again.key == cell.key
+
+    def test_identity_version_checked(self):
+        ident = fast_cell().identity()
+        ident["version"] = CELL_KEY_VERSION + 1
+        with pytest.raises(CampaignError):
+            CampaignCell.from_identity(ident)
+
+    def test_identity_is_json_canonical(self):
+        blob = json.dumps(fast_cell().identity(), sort_keys=True)
+        assert json.loads(blob) == fast_cell().identity()
+
+
+class TestResultStore:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        return ResultStore(tmp_path / "cells")
+
+    @pytest.fixture(scope="class")
+    def measured(self):
+        cell = fast_cell()
+        return cell, run_cell(cell)
+
+    def test_round_trip_is_bit_identical(self, store, measured):
+        cell, m = measured
+        store.put(CellRecord(cell=cell, status="ok", measurement=m))
+        back = store.get(cell).measurement
+        assert back.all_durations_s == m.all_durations_s
+        assert back.kept == m.kept
+        assert back.results == ()  # per-run payloads are not persisted
+
+    def test_missing_cell_is_none(self, store):
+        assert store.get(fast_cell()) is None
+        assert fast_cell() not in store and len(store) == 0
+
+    def test_contains_and_len(self, store, measured):
+        cell, m = measured
+        store.put(CellRecord(cell=cell, status="ok", measurement=m))
+        assert cell in store and len(store) == 1
+
+    def test_error_record_round_trip(self, store):
+        cell = fast_cell(provider="nosuch")
+        rec = CellRecord(cell=cell, status="error",
+                         error=CellError("TopologyError", "no such host"),
+                         attempts=2)
+        store.put(rec)
+        back = store.get(cell)
+        assert not back.ok
+        assert back.error == CellError("TopologyError", "no such host")
+        assert back.attempts == 2
+
+    def test_corrupt_record_raises(self, store, measured):
+        cell, m = measured
+        path = store.put(CellRecord(cell=cell, status="ok", measurement=m))
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(CampaignError, match="corrupt"):
+            store.get(cell)
+
+    def test_identity_mismatch_raises(self, store, measured):
+        cell, m = measured
+        other = fast_cell(size_mb=2.0)
+        # plant cell's record where other's key points: a forged collision
+        path = store.put(CellRecord(cell=cell, status="ok", measurement=m))
+        path.rename(store.path_for(other))
+        with pytest.raises(CampaignError, match="does not match"):
+            store.get(other)
+
+    def test_discard(self, store, measured):
+        cell, m = measured
+        store.put(CellRecord(cell=cell, status="ok", measurement=m))
+        assert store.discard(cell) is True
+        assert store.discard(cell) is False
+        assert store.get(cell) is None
+
+    def test_records_sorted_by_identity(self, store, measured):
+        cell, m = measured
+        b = fast_cell(size_mb=2.0)
+        store.put(CellRecord(cell=b, status="error",
+                             error=CellError("timeout", "")))
+        store.put(CellRecord(cell=cell, status="ok", measurement=m))
+        assert [r.cell.size_mb for r in store.records()] == [1.0, 2.0]
+
+    def test_record_validation(self):
+        with pytest.raises(CampaignError):
+            CellRecord(cell=fast_cell(), status="ok")  # no measurement
+        with pytest.raises(CampaignError):
+            CellRecord(cell=fast_cell(), status="error")  # no error
+        with pytest.raises(CampaignError):
+            CellRecord(cell=fast_cell(), status="maybe")
+
+    def test_record_dict_round_trip(self, measured):
+        cell, m = measured
+        rec = CellRecord(cell=cell, status="ok", measurement=m)
+        again = record_from_dict(json.loads(json.dumps(record_to_dict(rec))))
+        assert again.cell == cell
+        assert again.measurement.all_durations_s == m.all_durations_s
+        assert again.measurement.kept == m.kept
+
+
+class TestExport:
+    def test_round_trip_including_errors(self):
+        cell = fast_cell()
+        m = run_cell(cell)
+        recs = [
+            CellRecord(cell=cell, status="ok", measurement=m),
+            CellRecord(cell=fast_cell(provider="nosuch"), status="error",
+                       error=CellError("TopologyError", "unknown host"),
+                       attempts=2),
+        ]
+        back = load_export(io.StringIO(export_records(recs)))
+        assert len(back) == 2
+        assert back[0].measurement.kept == m.kept
+        assert back[1].error == CellError("TopologyError", "unknown host")
+        assert back[1].attempts == 2
+
+    def test_export_is_deterministic_text(self):
+        cell = fast_cell()
+        m = run_cell(cell)
+        recs = [CellRecord(cell=cell, status="ok", measurement=m)]
+        assert export_records(recs) == export_records(recs)
+
+    def test_rejects_foreign_documents(self):
+        with pytest.raises(CampaignError):
+            load_export(io.StringIO('{"format": "something-else"}'))
+        with pytest.raises(CampaignError):
+            load_export(io.StringIO("not json"))
+
+
+class TestMeasureCellStoreIntegration:
+    """``measure_cell`` is the analysis layer's door into the store."""
+
+    CFG = dict(protocol=FAST_PROTO, sizes_mb=(1.0,), cross_traffic=False)
+
+    def test_cells_persist_and_reload_bit_identically(self, tmp_path):
+        store = ResultStore(tmp_path / "cells")
+        cfg = AnalysisConfig(store=store, **self.CFG)
+        route = DirectRoute()
+        fresh = measure_cell(cfg, "ubc", "gdrive", route, 1.0)
+        assert len(store) == 1
+        # clear the in-process memo: the next call must hit the disk store
+        _CELL_CACHE.clear()
+        loaded = measure_cell(cfg, "ubc", "gdrive", route, 1.0)
+        assert loaded.kept == fresh.kept
+        assert loaded.all_durations_s == fresh.all_durations_s
+        assert loaded.results == ()  # proves it came from disk, not a re-run
+
+    def test_store_agrees_with_direct_run_cell(self, tmp_path):
+        # the same cell measured through the analysis layer and through
+        # the campaign worker is one world: identical durations
+        store = ResultStore(tmp_path / "cells")
+        cfg = AnalysisConfig(store=store, **self.CFG)
+        via_analysis = measure_cell(cfg, "ubc", "gdrive", DirectRoute(), 1.0)
+        via_campaign = run_cell(fast_cell())
+        assert via_analysis.all_durations_s == via_campaign.all_durations_s
+
+    def test_storeless_config_still_works(self):
+        _CELL_CACHE.clear()
+        cfg = AnalysisConfig(**self.CFG)
+        m = measure_cell(cfg, "ubc", "gdrive", DirectRoute(), 1.0)
+        assert m.kept.n == FAST_PROTO.total_runs - FAST_PROTO.discard_runs

@@ -1,0 +1,88 @@
+"""SL5xx fixtures: parallelism containment (campaign engine only)."""
+
+import textwrap
+
+from repro.lint import DEFAULT_CONFIG, LintEngine
+
+
+def lint(source, rel="net/fixture.py", config=None):
+    engine = LintEngine(config=config or DEFAULT_CONFIG)
+    return engine.lint_source(textwrap.dedent(source), rel=rel)
+
+
+def rules_hit(source, rel="net/fixture.py", config=None):
+    return {f.rule for f in lint(source, rel=rel, config=config)}
+
+
+class TestSL501ParallelImportContainment:
+    def test_multiprocessing_import_flagged(self):
+        findings = lint("import multiprocessing\n")
+        assert [f.rule for f in findings] == ["SL501"]
+        assert findings[0].line == 1
+
+    def test_submodule_import_flagged(self):
+        assert "SL501" in rules_hit("import multiprocessing.connection\n")
+
+    def test_concurrent_futures_import_flagged(self):
+        assert "SL501" in rules_hit("import concurrent.futures\n")
+
+    def test_from_concurrent_import_futures_flagged(self):
+        # names the parent module; the rule must still see it
+        assert "SL501" in rules_hit("from concurrent import futures\n")
+
+    def test_from_multiprocessing_import_flagged(self):
+        assert "SL501" in rules_hit("from multiprocessing import Process\n")
+
+    def test_campaign_package_is_exempt(self):
+        assert "SL501" not in rules_hit(
+            "import multiprocessing\n", rel="campaign/pool.py")
+
+    def test_applies_everywhere_else(self):
+        # TREE scope: analysis, obs, cli — no package is special-cased
+        for rel in ("analysis/fixture.py", "obs/fixture.py", "cli.py"):
+            assert "SL501" in rules_hit("import multiprocessing\n", rel=rel), rel
+
+    def test_similarly_named_module_ok(self):
+        assert "SL501" not in rules_hit("import multiprocessing_utils\n")
+
+    def test_ordinary_imports_ok(self):
+        assert "SL501" not in rules_hit("import concurrent_log_handler\n")
+
+
+class TestSL502RawFork:
+    def test_os_fork_flagged(self):
+        findings = lint("""\
+            import os
+
+            def spawn():
+                return os.fork()
+            """, rel="campaign/fixture.py")
+        assert [f.rule for f in findings] == ["SL502"]
+        assert findings[0].line == 4
+
+    def test_forkpty_flagged(self):
+        assert "SL502" in rules_hit("pid, fd = os.forkpty()\n")
+
+    def test_no_exemption_even_in_campaign(self):
+        # the pool itself must go through multiprocessing
+        assert "SL502" in rules_hit("os.fork()\n", rel="campaign/pool.py")
+
+    def test_other_os_calls_ok(self):
+        assert "SL502" not in rules_hit("os.replace('a', 'b')\n")
+
+    def test_non_os_fork_ok(self):
+        assert "SL502" not in rules_hit("repo.fork()\n")
+
+
+class TestZeroBaseline:
+    def test_no_sl5xx_entries_are_grandfathered(self):
+        # zero-baseline family: violations get fixed, never baselined
+        from pathlib import Path
+
+        from repro.lint import Baseline
+        from repro.lint.runner import BASELINE_FILENAME
+
+        path = Path(__file__).resolve().parents[1] / BASELINE_FILENAME
+        baseline = Baseline.load(path)
+        offenders = [e for e in baseline.entries if e.rule.startswith("SL5")]
+        assert offenders == []
