@@ -1,0 +1,105 @@
+"""Broker vs broker-off fleet: the control plane must pay for itself.
+
+Runs the same ≥50-upload, three-site fleet schedule on the calibrated
+testbed under four policies — direct-only, both static detours, and the
+broker — then records to ``benchmarks/results/BENCH_broker.json``:
+
+* mean transfer time per policy (broker must beat direct-only by ≥20%,
+  and ``static_best_s`` is the best broker-off policy for reference),
+* probe amortization (≤ 1 probe per 5 uploads),
+* steady-state directory hit rate (≥ 80%),
+
+and asserts the broker run is byte-deterministic (two runs, identical
+canonical dicts).
+"""
+
+import json
+
+import pytest
+
+from repro.broker import BrokerConfig, run_fleet, score_fleet
+
+from benchmarks.conftest import RESULTS_DIR, once
+
+pytestmark = pytest.mark.broker
+
+SITES = ("ubc", "purdue", "ucla")
+UPLOADS_PER_SITE = 20
+N_UPLOADS = UPLOADS_PER_SITE * len(SITES)
+SEED = 0
+
+#: Probe budget sized to the acceptance bar: ≤ 1 probe per 5 uploads.
+CONFIG = BrokerConfig(max_probes=N_UPLOADS // 5, ttl_s=7200.0)
+
+FLEET_KW = dict(
+    sites=SITES,
+    provider="gdrive",
+    n_uploads_per_site=UPLOADS_PER_SITE,
+    mean_interarrival_s=60.0,
+    mean_size_mb=40.0,
+    cross_traffic=True,
+)
+
+MODES = ("direct", "static:via ualberta", "static:via umich", "broker")
+
+
+def _run(mode):
+    config = CONFIG if mode == "broker" else None
+    return run_fleet(SEED, mode=mode, config=config, **FLEET_KW)
+
+
+def test_broker_fleet_beats_direct(benchmark, emit):
+    def run_all():
+        results = {mode: _run(mode) for mode in MODES}
+        repeat = _run("broker")
+        return results, repeat
+
+    results, repeat = once(benchmark, run_all)
+    broker = results["broker"]
+
+    # byte-determinism: the exact ledger, not just the means
+    assert json.dumps(broker.to_dict(), sort_keys=True) == \
+        json.dumps(repeat.to_dict(), sort_keys=True)
+
+    direct_s = results["direct"].mean_transfer_s
+    static_best_mode = min(
+        (m for m in MODES if m.startswith("static:")),
+        key=lambda m: results[m].mean_transfer_s)
+    static_best_s = results[static_best_mode].mean_transfer_s
+    broker_s = broker.mean_transfer_s
+
+    # the acceptance bar: ≥20% faster than direct-only, amortized
+    # probing ≤ 1 per 5 uploads, steady-state hit rate ≥ 80%
+    assert broker_s <= 0.8 * direct_s, (broker_s, direct_s)
+    assert broker.probes_per_upload <= 0.2, broker.probes_per_upload
+    assert broker.hit_rate >= 0.8, broker.hit_rate
+
+    score = score_fleet(results)
+    record = {
+        "uploads": N_UPLOADS,
+        "sites": list(SITES),
+        "seed": SEED,
+        "direct_mean_s": round(direct_s, 3),
+        "static_best_mode": static_best_mode,
+        "static_best_mean_s": round(static_best_s, 3),
+        "broker_mean_s": round(broker_s, 3),
+        "speedup_vs_direct": round(direct_s / broker_s, 2),
+        "probes_issued": broker.probes_issued,
+        "probes_per_upload": round(broker.probes_per_upload, 3),
+        "directory_hit_rate": round(broker.hit_rate, 3),
+        "admission_spills": broker.admission_spills,
+        "oracle_mean_s": round(score.oracle_mean_s, 3),
+        "regret_s": {m: round(score.by_mode[m][1], 3) for m in MODES},
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_broker.json").write_text(
+        json.dumps(record, indent=1) + "\n")
+    emit("broker_fleet",
+         f"broker fleet: {N_UPLOADS} uploads over {'+'.join(SITES)}\n"
+         f"{score.render()}\n"
+         f"direct {direct_s:.1f}s  static-best [{static_best_mode}] "
+         f"{static_best_s:.1f}s  broker {broker_s:.1f}s "
+         f"({record['speedup_vs_direct']:.2f}x vs direct)\n"
+         f"probes/upload {broker.probes_per_upload:.3f}  "
+         f"hit rate {broker.hit_rate:.0%}  "
+         f"spills {broker.admission_spills}")

@@ -21,17 +21,22 @@ Quickstart
 from repro._version import __version__
 
 __all__ = [
+    "BrokerConfig",
     "CampaignRunner",
     "CampaignSpec",
+    "DetourBroker",
     "DetourPlanner",
     "DetourRoute",
     "DirectRoute",
     "FileSpec",
+    "FleetRunner",
     "PlanExecutor",
     "TransferPlan",
     "World",
     "__version__",
     "build_case_study",
+    "run_fleet",
+    "score_fleet",
 ]
 
 
@@ -46,6 +51,11 @@ def __getattr__(name):
         import repro.campaign as campaign
 
         return getattr(campaign, name)
+    if name in ("BrokerConfig", "DetourBroker", "FleetRunner", "run_fleet",
+                "score_fleet"):
+        import repro.broker as broker
+
+        return getattr(broker, name)
     if name == "FileSpec":
         from repro.transfer import FileSpec
 

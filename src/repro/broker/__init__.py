@@ -1,0 +1,48 @@
+"""repro.broker — an online detour-brokerage control plane.
+
+The broker runs *inside* the simulation as kernel processes: a TTL'd
+:class:`RouteDirectory` serving recommendations out of shared
+:class:`~repro.core.selection.HistorySelector` state, a budgeted
+:class:`ProbeScheduler` refreshing the stalest entries first, DTN
+load-aware admission, and a :class:`FleetRunner` that drives
+``repro.workloads`` population schedules through broker-guided clients
+and scores them against broker-off baselines.
+
+See ``docs/BROKER.md`` for the architecture and the regret metrics.
+"""
+
+from repro.broker.admission import AdmissionController
+from repro.broker.campaign import BrokerSweepSpec, FleetCell, SweepSummary, score_sweep
+from repro.broker.config import BrokerConfig
+from repro.broker.directory import DirectoryEntry, RouteDirectory, size_class
+from repro.broker.fleet import (
+    FleetResult,
+    FleetRunner,
+    FleetScore,
+    FleetUploadRecord,
+    run_fleet,
+    score_fleet,
+)
+from repro.broker.scheduler import ProbeScheduler
+from repro.broker.service import DetourBroker, Recommendation
+
+__all__ = [
+    "AdmissionController",
+    "BrokerConfig",
+    "BrokerSweepSpec",
+    "DetourBroker",
+    "DirectoryEntry",
+    "FleetCell",
+    "FleetResult",
+    "FleetRunner",
+    "FleetScore",
+    "FleetUploadRecord",
+    "ProbeScheduler",
+    "Recommendation",
+    "RouteDirectory",
+    "SweepSummary",
+    "run_fleet",
+    "score_fleet",
+    "score_sweep",
+    "size_class",
+]

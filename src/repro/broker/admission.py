@@ -1,0 +1,51 @@
+"""DTN load-aware admission: spill to direct when a detour is saturated.
+
+A detour recommendation is only as good as the DTN behind it.  DTNs with
+a session limit expose a FIFO :class:`~repro.sim.resources.Resource`
+(``dtn.sessions``); rather than queue a client behind a saturated relay
+— turning the mitigation into a bottleneck — the broker admits the
+detour only while a session slot is free and otherwise *spills* the
+upload onto its direct route.  Unbounded DTNs (no session resource)
+always admit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.routes import DirectRoute, Route
+from repro.core.world import World
+
+from repro.broker.config import BrokerConfig
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Decide whether a recommended detour may actually be taken now."""
+
+    def __init__(self, world: World, config: Optional[BrokerConfig] = None):
+        self.world = world
+        self.config = config if config is not None else BrokerConfig()
+        self.spills = 0
+        self._m_spills = world.metrics.counter(
+            "repro_broker_admission_spills_total",
+            "Detour recommendations spilled to direct (DTN saturated)")
+
+    def dtn_saturated(self, via_site: str) -> bool:
+        """True when the DTN at *via_site* has no free session slot."""
+        dtn = self.world.dtns.get(via_site)
+        if dtn is None or dtn.sessions is None:
+            return False
+        return dtn.sessions.available <= 0
+
+    def admit(self, route: Route) -> Tuple[Route, bool]:
+        """``(admitted route, spilled?)`` — spill swaps in the direct route."""
+        via = route.via
+        if via is None or not self.dtn_saturated(via):
+            return route, False
+        self.spills += 1
+        self._m_spills.inc(via=via)
+        self.world.tracer.emit(self.world.sim.now, "broker.admission",
+                               "spill_to_direct", via=via)
+        return DirectRoute(), True

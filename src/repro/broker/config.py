@@ -1,0 +1,83 @@
+"""Broker tunables: TTLs, probe budgets, staleness, size classes.
+
+One frozen dataclass so a broker deployment is fully described by a
+single value — campaign cells and benchmarks can carry it around, and
+two brokers with equal configs behave identically under equal seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro import units
+from repro.errors import BrokerError
+
+__all__ = ["BrokerConfig"]
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """How the control plane caches, probes, and admits.
+
+    The defaults are tuned for fleet scales of tens of uploads per hour:
+    long TTLs (recommendations are refreshed by transfer reports anyway),
+    a slow background probe loop, and a probe budget that keeps the
+    amortized cost under one probe per five uploads.
+    """
+
+    #: Directory entry time-to-live (sim seconds).
+    ttl_s: float = 3600.0
+    #: Background scheduler wake period (sim seconds).
+    probe_interval_s: float = 600.0
+    #: Probes the scheduler may issue per wake.
+    probes_per_wake: int = 1
+    #: Hard cap on probes over the broker's lifetime (None = unbounded).
+    max_probes: Optional[int] = None
+    #: Size of each scheduler probe transfer.  Large enough that fixed
+    #: per-transfer overheads (staging, handshakes) don't swamp the
+    #: bandwidth signal — a 1 MB probe makes a policed-but-low-latency
+    #: direct path look competitive with a fast detour; an 8 MB one
+    #: reflects the sec/byte a bulk upload will actually see.
+    probe_bytes: int = 8 * units.MB
+    #: EWMA smoothing for the shared history estimates.
+    history_alpha: float = 0.3
+    #: Staleness half-life of history estimates (sim seconds).
+    half_life_s: float = 1800.0
+    #: Below this freshness an estimate no longer backs recommendations
+    #: and becomes a probe-refresh candidate.
+    min_freshness: float = 0.25
+    #: Upper edges (decimal MB) of the directory's file-size classes; an
+    #: upload larger than every edge falls in the open top class.
+    size_class_edges_mb: Tuple[float, ...] = (8.0, 64.0)
+    #: Probe every (pair, route) once at startup before serving.
+    warmup: bool = True
+    #: Scan for control/forwarding-plane anomalies on each wake and
+    #: invalidate direct-route entries the first time one appears.
+    anomaly_scan: bool = True
+
+    def __post_init__(self) -> None:
+        if self.ttl_s <= 0:
+            raise BrokerError("directory TTL must be positive")
+        if self.probe_interval_s <= 0:
+            raise BrokerError("probe interval must be positive")
+        if self.probes_per_wake < 1:
+            raise BrokerError("probes per wake must be >= 1")
+        if self.max_probes is not None and self.max_probes < 0:
+            raise BrokerError("max_probes must be >= 0 (or None)")
+        if self.probe_bytes <= 0:
+            raise BrokerError("probe size must be positive")
+        if not (0 < self.history_alpha <= 1):
+            raise BrokerError("history alpha must be in (0, 1]")
+        if self.half_life_s <= 0:
+            raise BrokerError("half-life must be positive")
+        if not (0 < self.min_freshness <= 1):
+            raise BrokerError("min_freshness must be in (0, 1]")
+        if not self.size_class_edges_mb:
+            raise BrokerError("need at least one size-class edge")
+        if any(e <= 0 for e in self.size_class_edges_mb):
+            raise BrokerError("size-class edges must be positive MB values")
+        if list(self.size_class_edges_mb) != sorted(self.size_class_edges_mb):
+            raise BrokerError("size-class edges must be strictly ascending")
+        if len(set(self.size_class_edges_mb)) != len(self.size_class_edges_mb):
+            raise BrokerError("size-class edges must be strictly ascending")

@@ -1,0 +1,195 @@
+"""The route directory: a TTL'd recommendation cache with invalidation.
+
+The directory is the broker's serving tier.  A lookup is O(1) on
+``(client site, provider, size class)``; a hit returns the cached route
+without touching the network, a miss sends the caller back to the shared
+history estimates (and the resulting recommendation is installed, so the
+next client in the same cohort hits).
+
+Entries leave the directory three ways, mirroring how real control
+planes lose confidence in cached answers:
+
+* **expiry** — every entry carries ``installed_s + ttl_s``; lookups
+  lazily evict entries past their deadline,
+* **dead-route invalidation** — a :class:`~repro.core.monitor.BottleneckMonitor`
+  dead-route event drops every entry recommending that route,
+* **policy-anomaly invalidation** — a ``routeviews`` control/forwarding
+  divergence on a client's direct path drops that pair's direct entries,
+* **supersession** — a transfer report that dethrones the cached route in
+  the shared history drops that one cohort's entry early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.world import World
+from repro.errors import BrokerError
+from repro.units import mb
+
+from repro.broker.config import BrokerConfig
+
+__all__ = ["size_class", "DirectoryEntry", "RouteDirectory"]
+
+
+def size_class(size_bytes: int, edges_mb: Tuple[float, ...]) -> str:
+    """Bucket an upload size into the directory's class label.
+
+    Labels are human-readable and stable: ``"le8MB"``, ``"le64MB"``,
+    ``"gt64MB"`` for the default edges.
+    """
+    if size_bytes <= 0:
+        raise BrokerError("size must be positive")
+    for edge in edges_mb:
+        if size_bytes <= mb(edge):
+            return f"le{edge:g}MB"
+    return f"gt{edges_mb[-1]:g}MB"
+
+
+@dataclass(frozen=True)
+class DirectoryEntry:
+    """One cached recommendation."""
+
+    client_site: str
+    provider_name: str
+    size_class: str
+    route_descr: str
+    #: Sim time the entry was installed (drives the staleness metric).
+    installed_s: float
+    #: Sim time past which lookups treat the entry as gone.
+    expires_s: float
+    #: What produced the recommendation: "probe" | "history".
+    source: str
+
+    def age_s(self, now: float) -> float:
+        return now - self.installed_s
+
+
+class RouteDirectory:
+    """TTL'd recommendation cache keyed by (client, provider, size class)."""
+
+    def __init__(self, world: World, config: Optional[BrokerConfig] = None):
+        self.world = world
+        self.config = config if config is not None else BrokerConfig()
+        self._entries: Dict[Tuple[str, str, str], DirectoryEntry] = {}
+        #: plain counters (not just metrics) so fleet results stay
+        #: self-contained even with the registry disabled
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        metrics = world.metrics
+        self._m_hits = metrics.counter(
+            "repro_broker_directory_hits_total", "Directory lookups served from cache")
+        self._m_misses = metrics.counter(
+            "repro_broker_directory_misses_total", "Directory lookups that missed")
+        self._m_invalidations = metrics.counter(
+            "repro_broker_directory_invalidations_total",
+            "Directory entries dropped before expiry, by reason")
+        self._m_entries = metrics.gauge(
+            "repro_broker_directory_entries_count", "Live directory entries")
+
+    def _key(self, client_site: str, provider_name: str,
+             size_bytes: int) -> Tuple[str, str, str]:
+        return (client_site, provider_name,
+                size_class(size_bytes, self.config.size_class_edges_mb))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_ratio(self) -> float:
+        looked = self.hits + self.misses
+        return self.hits / looked if looked else 0.0
+
+    def lookup(self, client_site: str, provider_name: str,
+               size_bytes: int) -> Optional[DirectoryEntry]:
+        """The live cached recommendation, or None (counted as a miss)."""
+        key = self._key(client_site, provider_name, size_bytes)
+        entry = self._entries.get(key)
+        now = self.world.sim.now
+        if entry is not None and now >= entry.expires_s:
+            del self._entries[key]
+            self._m_entries.set(len(self._entries))
+            self.world.tracer.emit(now, "broker.directory", "entry_expired",
+                                   client=client_site, provider=provider_name,
+                                   size_class=key[2], route=entry.route_descr)
+            entry = None
+        if entry is None:
+            self.misses += 1
+            self._m_misses.inc(client=client_site, provider=provider_name)
+            return None
+        self.hits += 1
+        self._m_hits.inc(client=client_site, provider=provider_name)
+        return entry
+
+    def peek(self, client_site: str, provider_name: str,
+             size_bytes: int) -> Optional[DirectoryEntry]:
+        """Like :meth:`lookup` but off the books: no eviction, no counters.
+
+        The broker's report path uses it to see what a cohort is being
+        told without perturbing the hit-rate accounting.
+        """
+        key = self._key(client_site, provider_name, size_bytes)
+        entry = self._entries.get(key)
+        if entry is not None and self.world.sim.now >= entry.expires_s:
+            return None
+        return entry
+
+    def install(self, client_site: str, provider_name: str, size_bytes: int,
+                route_descr: str, source: str) -> DirectoryEntry:
+        """Cache a recommendation; replaces any entry under the same key."""
+        key = self._key(client_site, provider_name, size_bytes)
+        now = self.world.sim.now
+        entry = DirectoryEntry(
+            client_site=client_site,
+            provider_name=provider_name,
+            size_class=key[2],
+            route_descr=route_descr,
+            installed_s=now,
+            expires_s=now + self.config.ttl_s,
+            source=source,
+        )
+        self._entries[key] = entry
+        self._m_entries.set(len(self._entries))
+        self.world.tracer.emit(now, "broker.directory", "entry_installed",
+                               client=client_site, provider=provider_name,
+                               size_class=key[2], route=route_descr,
+                               source=source)
+        return entry
+
+    def _drop(self, keys: List[Tuple[str, str, str]], reason: str) -> int:
+        for key in keys:
+            del self._entries[key]
+        if keys:
+            self.invalidations += len(keys)
+            self._m_invalidations.inc(len(keys), reason=reason)
+            self._m_entries.set(len(self._entries))
+            self.world.tracer.emit(self.world.sim.now, "broker.directory",
+                                   "invalidated", reason=reason,
+                                   entries=len(keys))
+        return len(keys)
+
+    def invalidate_entry(self, client_site: str, provider_name: str,
+                         size_bytes: int, reason: str = "superseded") -> int:
+        """Drop one cohort's entry (fresh evidence dethroned its route)."""
+        key = self._key(client_site, provider_name, size_bytes)
+        return self._drop([key] if key in self._entries else [], reason)
+
+    def invalidate_route(self, route_descr: str, reason: str = "dead_route") -> int:
+        """Drop every entry recommending *route_descr*; returns the count."""
+        doomed = [k for k, e in self._entries.items()
+                  if e.route_descr == route_descr]
+        return self._drop(doomed, reason)
+
+    def invalidate_pair_direct(self, client_site: str, provider_name: str,
+                               reason: str = "policy_anomaly") -> int:
+        """Drop the pair's *direct* entries (an anomalous forwarding path)."""
+        doomed = [k for k, e in self._entries.items()
+                  if k[0] == client_site and k[1] == provider_name
+                  and e.route_descr == "direct"]
+        return self._drop(doomed, reason)
+
+    def entries(self) -> List[DirectoryEntry]:
+        """Live entries in deterministic key order."""
+        return [self._entries[k] for k in sorted(self._entries)]

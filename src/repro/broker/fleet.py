@@ -1,0 +1,309 @@
+"""Fleet execution: a population schedule driven through the broker.
+
+``FleetRunner`` plays an :class:`~repro.workloads.UploadSchedule` inside
+one world, one kernel process per upload.  Three policies:
+
+* ``"direct"`` — every upload takes its direct route.  This mode is
+  *broker-off bit-identical*: it performs exactly the kernel operations
+  of a plain schedule loop, so a world that never imported
+  ``repro.broker`` renders the same numbers (pinned by a tier-1 test).
+* ``"static:<route>"`` — one fixed route for the whole fleet (clients
+  for whom it would be a self-detour fall back to direct).
+* ``"broker"`` — each upload asks the :class:`~repro.broker.service.DetourBroker`
+  at its start time and reports its realized duration back.
+
+``score_fleet`` computes the regret of each policy against the per-upload
+oracle (the best duration any compared policy achieved for that upload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.executor import PlanExecutor
+from repro.core.routes import DirectRoute, Route, TransferPlan
+from repro.core.world import World
+from repro.errors import BrokerError
+from repro.sim.kernel import AllOf
+from repro.workloads.generator import UploadSchedule, fleet_population_schedule
+
+from repro.broker.config import BrokerConfig
+from repro.broker.service import DetourBroker, Recommendation
+
+__all__ = ["FleetUploadRecord", "FleetResult", "FleetRunner", "run_fleet",
+           "FleetScore", "score_fleet"]
+
+
+@dataclass(frozen=True)
+class FleetUploadRecord:
+    """One realized upload of a fleet run."""
+
+    index: int
+    client_site: str
+    provider_name: str
+    size_bytes: int
+    start_s: float
+    route_descr: str
+    #: "directory" | "history" | "default" (broker mode), or the policy
+    #: name ("direct" / "static") otherwise.
+    source: str
+    spilled: bool
+    staleness_s: float
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Everything one fleet run produced, in schedule order."""
+
+    mode: str
+    seed: int
+    records: Tuple[FleetUploadRecord, ...]
+    probes_issued: int
+    directory_hits: int
+    directory_misses: int
+    admission_spills: int
+
+    @property
+    def durations_s(self) -> Tuple[float, ...]:
+        return tuple(r.duration_s for r in self.records)
+
+    @property
+    def mean_transfer_s(self) -> float:
+        return sum(self.durations_s) / len(self.records)
+
+    @property
+    def hit_rate(self) -> float:
+        looked = self.directory_hits + self.directory_misses
+        return self.directory_hits / looked if looked else 0.0
+
+    @property
+    def probes_per_upload(self) -> float:
+        return self.probes_issued / len(self.records)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical (JSON-able) view; equal dicts == bit-identical runs."""
+        return {
+            "mode": self.mode,
+            "seed": self.seed,
+            "probes_issued": self.probes_issued,
+            "directory_hits": self.directory_hits,
+            "directory_misses": self.directory_misses,
+            "admission_spills": self.admission_spills,
+            "uploads": [
+                {
+                    "index": r.index,
+                    "client": r.client_site,
+                    "provider": r.provider_name,
+                    "size_bytes": r.size_bytes,
+                    "start_s": r.start_s,
+                    "route": r.route_descr,
+                    "source": r.source,
+                    "spilled": r.spilled,
+                    "staleness_s": r.staleness_s,
+                    "duration_s": r.duration_s,
+                }
+                for r in self.records
+            ],
+        }
+
+
+def _parse_mode(mode: str) -> Tuple[str, Optional[str]]:
+    """``"broker" | "direct" | "static:<route>"`` -> (kind, static route)."""
+    if mode in ("broker", "direct"):
+        return mode, None
+    if mode.startswith("static:"):
+        descr = mode.split(":", 1)[1].strip()
+        if not descr:
+            raise BrokerError("static mode needs a route, e.g. 'static:via umich'")
+        return "static", descr
+    raise BrokerError(
+        f"unknown fleet mode {mode!r}; have: 'broker', 'direct', 'static:<route>'")
+
+
+class FleetRunner:
+    """Drive one upload schedule through one policy inside one world."""
+
+    def __init__(self, world: World, schedule: UploadSchedule,
+                 mode: str = "broker", broker: Optional[DetourBroker] = None):
+        if not schedule.uploads:
+            raise BrokerError("fleet schedule is empty")
+        self.kind, self.static_route = _parse_mode(mode)
+        if self.kind == "broker" and broker is None:
+            raise BrokerError("broker mode needs a DetourBroker instance")
+        if self.kind != "broker" and broker is not None:
+            raise BrokerError(f"mode {mode!r} must not carry a broker")
+        self.world = world
+        self.schedule = schedule
+        self.mode = mode
+        self.broker = broker
+        self._m_uploads = world.metrics.counter(
+            "repro_broker_fleet_uploads_total", "Fleet uploads completed")
+        self._m_transfer = world.metrics.histogram(
+            "repro_broker_fleet_transfer_seconds", "Realized upload durations")
+
+    def _recommend(self, upload) -> Recommendation:
+        if self.kind == "broker":
+            return self.broker.recommend(upload.client_site,
+                                         upload.provider_name,
+                                         upload.file.size_bytes)
+        if self.kind == "static":
+            from repro.campaign.spec import route_from_string
+
+            route: Route = route_from_string(self.static_route)
+            if route.via == upload.client_site:
+                route = DirectRoute()
+            return Recommendation(route, "static", False, 0.0)
+        return Recommendation(DirectRoute(), "direct", False, 0.0)
+
+    def run(self, horizon_s: float = 1e7) -> FleetResult:
+        """Execute the whole schedule; returns the ordered records."""
+        world = self.world
+        executor = PlanExecutor(world)
+        uploads = self.schedule.uploads
+        records: List[Optional[FleetUploadRecord]] = [None] * len(uploads)
+
+        def one(index: int, upload):
+            delay = upload.start_s - world.sim.now
+            if delay > 0:
+                yield delay
+            rec = self._recommend(upload)
+            plan = TransferPlan(upload.client_site, upload.provider_name,
+                                upload.file, rec.route)
+            result = yield from executor.execute(plan)
+            duration = result.total_s
+            if self.broker is not None:
+                self.broker.report(upload.client_site, upload.provider_name,
+                                   rec.route, upload.file.size_bytes, duration)
+            self._m_uploads.inc(mode=self.kind)
+            self._m_transfer.observe(duration, mode=self.kind)
+            records[index] = FleetUploadRecord(
+                index=index,
+                client_site=upload.client_site,
+                provider_name=upload.provider_name,
+                size_bytes=upload.file.size_bytes,
+                start_s=upload.start_s,
+                route_descr=rec.route.describe(),
+                source=rec.source,
+                spilled=rec.spilled,
+                staleness_s=rec.staleness_s,
+                duration_s=duration,
+            )
+
+        if self.broker is not None:
+            self.broker.start()
+        procs = [world.sim.process(one(i, u), name=f"fleet:{i}")
+                 for i, u in enumerate(uploads)]
+
+        def drive():
+            yield AllOf(procs)
+
+        driver = world.sim.process(drive(), name="fleet-drive")
+        world.sim.run_until_triggered(driver.done, horizon=horizon_s)
+        if not driver.finished:
+            done = sum(1 for r in records if r is not None)
+            raise BrokerError(
+                f"fleet did not finish within {horizon_s:g}s of sim time "
+                f"({done}/{len(uploads)} uploads done)")
+        for proc in procs:
+            if proc.error is not None:
+                raise proc.error
+        if self.broker is not None:
+            probes = self.broker.probes_issued
+            hits = self.broker.directory.hits
+            misses = self.broker.directory.misses
+            spills = self.broker.admission.spills
+        else:
+            probes = hits = misses = spills = 0
+        return FleetResult(
+            mode=self.mode,
+            seed=world.seed,
+            records=tuple(records),
+            probes_issued=probes,
+            directory_hits=hits,
+            directory_misses=misses,
+            admission_spills=spills,
+        )
+
+
+def run_fleet(
+    seed: int,
+    sites: Sequence[str],
+    provider: str = "gdrive",
+    n_uploads_per_site: int = 20,
+    mean_interarrival_s: float = 60.0,
+    mean_size_mb: float = 40.0,
+    size_dist: str = "lognormal",
+    mode: str = "broker",
+    config: Optional[BrokerConfig] = None,
+    cross_traffic: bool = True,
+    metrics=False,
+    schedule_seed: Optional[int] = None,
+    horizon_s: float = 1e7,
+) -> FleetResult:
+    """Build a calibrated world + fleet schedule and run one policy.
+
+    ``schedule_seed`` decouples the workload from the world (defaults to
+    *seed*, so one number reproduces the whole run).
+    """
+    from repro.testbed.build import build_case_study
+
+    world = build_case_study(seed=seed, cross_traffic=cross_traffic,
+                             metrics=metrics)
+    schedule = fleet_population_schedule(
+        tuple(sites), provider, n_uploads_per_site, mean_interarrival_s,
+        mean_size_mb, seed=schedule_seed if schedule_seed is not None else seed,
+        size_dist=size_dist)
+    broker = None
+    if _parse_mode(mode)[0] == "broker":
+        broker = DetourBroker(world, pairs=[(c, provider) for c in sites],
+                              config=config)
+    return FleetRunner(world, schedule, mode=mode, broker=broker).run(horizon_s)
+
+
+@dataclass(frozen=True)
+class FleetScore:
+    """Cross-policy comparison over one shared schedule."""
+
+    n_uploads: int
+    oracle_mean_s: float
+    #: mode -> (mean transfer seconds, mean regret seconds vs the oracle)
+    by_mode: Dict[str, Tuple[float, float]]
+
+    def render(self) -> str:
+        lines = [f"fleet of {self.n_uploads} uploads; "
+                 f"per-upload oracle mean {self.oracle_mean_s:.2f}s"]
+        width = max(len(m) for m in self.by_mode)
+        for mode in sorted(self.by_mode):
+            mean_s, regret_s = self.by_mode[mode]
+            lines.append(f"  {mode:<{width}}  mean {mean_s:9.2f}s  "
+                         f"regret {regret_s:8.2f}s")
+        return "\n".join(lines)
+
+
+def score_fleet(results: Mapping[str, FleetResult]) -> FleetScore:
+    """Score policies that ran the *same* schedule against each other.
+
+    The oracle for upload *i* is the fastest duration any compared policy
+    realized for it; a policy's regret is its mean excess over that
+    oracle.  (An oracle over policies, not over routes — contention makes
+    a true per-route oracle schedule-dependent.)
+    """
+    if not results:
+        raise BrokerError("score_fleet needs at least one result")
+    lengths = {len(r.records) for r in results.values()}
+    if len(lengths) != 1:
+        raise BrokerError(f"fleet results disagree on upload count: {lengths}")
+    n = lengths.pop()
+    modes = sorted(results)
+    oracle = [min(results[m].records[i].duration_s for m in modes)
+              for i in range(n)]
+    by_mode: Dict[str, Tuple[float, float]] = {}
+    for mode in modes:
+        durations = results[mode].durations_s
+        mean_s = sum(durations) / n
+        regret_s = sum(d - o for d, o in zip(durations, oracle)) / n
+        by_mode[mode] = (mean_s, regret_s)
+    return FleetScore(n_uploads=n, oracle_mean_s=sum(oracle) / n,
+                      by_mode=by_mode)

@@ -1,0 +1,156 @@
+"""The budgeted background probe scheduler.
+
+Per-transfer probing (the :class:`~repro.core.selection.ProbeSelector`
+pattern) costs two probe transfers per route per upload — fine for one
+scientist, ruinous for a fleet.  The broker amortizes instead: one
+kernel process wakes every ``probe_interval_s``, ranks every
+(client, provider, route) estimate by freshness, and refreshes only the
+stalest few, never exceeding ``probes_per_wake`` per wake or
+``max_probes`` overall.  Transfer reports from served clients refresh
+the routes the fleet actually uses for free, so the probe budget is
+spent almost entirely on the roads not taken.
+
+Each wake also runs the ``routeviews`` control/forwarding-plane scan:
+the first time a client's direct path to a provider diverges from its
+BGP choice (the paper's Pacific Wave artifact), the pair's cached
+direct-route entries are invalidated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.monitor import BottleneckMonitor
+from repro.core.routes import Route
+from repro.core.selection import HistorySelector, SelectionContext
+from repro.core.world import World
+from repro.net import detect_policy_anomalies
+from repro.units import transfer_seconds
+
+from repro.broker.config import BrokerConfig
+from repro.broker.directory import RouteDirectory
+
+__all__ = ["ProbeScheduler"]
+
+
+class ProbeScheduler:
+    """Background kernel process refreshing the stalest route estimates."""
+
+    def __init__(
+        self,
+        world: World,
+        pairs: Sequence[Tuple[str, str]],
+        vias: Dict[str, Tuple[str, ...]],
+        history: HistorySelector,
+        monitors: Dict[Tuple[str, str], BottleneckMonitor],
+        directory: RouteDirectory,
+        config: Optional[BrokerConfig] = None,
+    ):
+        self.world = world
+        self.pairs = tuple(pairs)
+        self.vias = vias
+        self.history = history
+        self.monitors = monitors
+        self.directory = directory
+        self.config = config if config is not None else BrokerConfig()
+        self.probes_issued = 0
+        self.wakes = 0
+        #: (client, provider) pairs whose direct path already tripped the
+        #: anomaly detector (insertion-ordered; invalidate only on onset)
+        self._anomalous_pairs: Dict[Tuple[str, str], bool] = {}
+        self._m_probes = world.metrics.counter(
+            "repro_broker_probes_total", "Background probes issued by the scheduler")
+        self._m_wakes = world.metrics.counter(
+            "repro_broker_scheduler_wakes_total", "Scheduler wake-ups")
+        self._m_anomalies = world.metrics.counter(
+            "repro_broker_anomalies_total",
+            "Policy anomalies newly detected by the wake-time scan")
+
+    # -- probing ---------------------------------------------------------------
+
+    def _ctx(self, client: str, provider: str) -> SelectionContext:
+        return SelectionContext(self.world, client, provider,
+                                self.config.probe_bytes, self.vias[client])
+
+    def budget_left(self) -> bool:
+        return (self.config.max_probes is None
+                or self.probes_issued < self.config.max_probes)
+
+    def _probe_one(self, client: str, provider: str, route: Route):
+        """Coroutine: one probe; feeds the shared history. False = no budget."""
+        if not self.budget_left():
+            return False
+        monitor = self.monitors[(client, provider)]
+        observed_bps = yield from monitor.probe(route)
+        self.probes_issued += 1
+        self._m_probes.inc(client=client, provider=provider,
+                           route=route.describe())
+        if observed_bps > 0:
+            duration_s = transfer_seconds(self.config.probe_bytes, observed_bps)
+            self.history.update(self._ctx(client, provider), route,
+                                self.config.probe_bytes, duration_s)
+        # a dead probe already invalidated the directory through the
+        # monitor's on_dead hook — nothing more to do here
+        return True
+
+    def warmup(self):
+        """Coroutine: probe every (pair, route) once before serving."""
+        for client, provider in self.pairs:
+            for route in self.monitors[(client, provider)].routes():
+                if not (yield from self._probe_one(client, provider, route)):
+                    return
+
+    # -- the background loop ---------------------------------------------------
+
+    def _stale_candidates(self) -> List[Tuple[float, str, str, Route]]:
+        """Every route estimate below the freshness bar, stalest first."""
+        out: List[Tuple[float, str, str, Route]] = []
+        for client, provider in self.pairs:
+            ctx = self._ctx(client, provider)
+            for route in self.monitors[(client, provider)].routes():
+                freshness = self.history.freshness(ctx, route)
+                if freshness < self.config.min_freshness:
+                    out.append((freshness, client, provider, route))
+        out.sort(key=lambda c: (c[0], c[1], c[2], c[3].describe()))
+        return out
+
+    def scan_anomalies(self) -> int:
+        """Run the control/forwarding divergence scan; returns new anomalies."""
+        fresh = 0
+        for client, provider in self.pairs:
+            if (client, provider) in self._anomalous_pairs:
+                continue
+            src_host = self.world.host_of(client)
+            dst_host = self.world.provider(provider).frontend_for(
+                self.world.dns, src_host)
+            anomalies = detect_policy_anomalies(self.world.router,
+                                                [src_host], dst_host)
+            if anomalies:
+                self._anomalous_pairs[(client, provider)] = True
+                fresh += 1
+                self._m_anomalies.inc(client=client, provider=provider)
+                self.directory.invalidate_pair_direct(client, provider)
+                self.world.tracer.emit(
+                    self.world.sim.now, "broker.scheduler", "anomaly_detected",
+                    client=client, provider=provider, dst=dst_host)
+        return fresh
+
+    def run(self):
+        """The scheduler's kernel process body (runs until interrupted)."""
+        while True:
+            yield self.config.probe_interval_s
+            self.wakes += 1
+            self._m_wakes.inc()
+            with self.world.spans.span("broker.scheduler", "wake",
+                                       wake=self.wakes) as wake_span:
+                if self.config.anomaly_scan:
+                    self.scan_anomalies()
+                issued = 0
+                for _, client, provider, route in self._stale_candidates():
+                    if issued >= self.config.probes_per_wake:
+                        break
+                    if not (yield from self._probe_one(client, provider, route)):
+                        wake_span.annotate(budget_exhausted=True)
+                        return
+                    issued += 1
+                wake_span.annotate(probes=issued)

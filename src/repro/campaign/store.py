@@ -20,6 +20,7 @@ empty on load).
 
 from __future__ import annotations
 
+import importlib
 import json
 import os
 from dataclasses import dataclass
@@ -31,7 +32,7 @@ from repro.errors import CampaignError
 from repro.measure.harness import Measurement
 from repro.measure.stats import summarize
 
-__all__ = ["CellError", "CellRecord", "ResultStore",
+__all__ = ["CellError", "CellRecord", "ResultStore", "register_cell_type",
            "measurement_to_dict", "measurement_from_dict"]
 
 STORE_FORMAT_VERSION = 1
@@ -40,6 +41,45 @@ STORE_FORMAT_VERSION = 1
 #: class name of a model exception).
 TIMEOUT_KIND = "timeout"
 CRASH_KIND = "worker-crash"
+
+#: Registered cell types: the ``cell_type`` field of a stored identity
+#: names the class that rebuilds it.  Identities *without* the field are
+#: the original paper cells, so pre-registry stores keep loading.
+_CELL_TYPES: Dict[str, type] = {}
+
+#: Lazily imported providers of non-default cell types (importing the
+#: module runs its ``register_cell_type`` call).
+_CELL_TYPE_MODULES: Dict[str, str] = {
+    "broker-fleet": "repro.broker.campaign",
+}
+
+
+def register_cell_type(name: str, cls: type) -> None:
+    """Make stored identities with ``cell_type == name`` loadable as *cls*.
+
+    *cls* must provide the cell protocol the engine duck-types:
+    ``identity()`` / ``key`` / ``label`` / ``describe()`` / ``protocol``,
+    a ``from_identity`` classmethod, and either the paper-cell fields
+    (run through :func:`~repro.campaign.worker.run_cell`) or a
+    ``run_measurement(metrics=...)`` method.
+    """
+    _CELL_TYPES[name] = cls
+
+
+register_cell_type("paper", CampaignCell)
+
+
+def _cell_from_identity(ident: Dict[str, object]):
+    name = str(ident.get("cell_type", "paper"))
+    cls = _CELL_TYPES.get(name)
+    if cls is None and name in _CELL_TYPE_MODULES:
+        importlib.import_module(_CELL_TYPE_MODULES[name])
+        cls = _CELL_TYPES.get(name)
+    if cls is None:
+        raise CampaignError(
+            f"unknown campaign cell type {name!r}; registered: "
+            f"{sorted(_CELL_TYPES)}")
+    return cls.from_identity(ident)
 
 
 @dataclass(frozen=True)
@@ -118,7 +158,7 @@ def record_from_dict(d: Dict[str, object]) -> CellRecord:
     version = d.get("version")
     if version != STORE_FORMAT_VERSION:
         raise CampaignError(f"unsupported store record version {version!r}")
-    cell = CampaignCell.from_identity(d["identity"])
+    cell = _cell_from_identity(d["identity"])
     measurement = d.get("measurement")
     error = d.get("error")
     return CellRecord(
@@ -196,6 +236,14 @@ class ResultStore:
                     json.loads(path.read_text(encoding="utf-8"))))
             except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
                 raise CampaignError(f"corrupt store record {path}: {exc}") from exc
-        out.sort(key=lambda r: (r.cell.seed, r.cell.client, r.cell.provider,
-                                r.cell.route, r.cell.size_mb))
+        out.sort(key=_record_order)
         return out
+
+
+def _record_order(rec: CellRecord):
+    """Deterministic listing order; stable for stores mixing cell types."""
+    cell = rec.cell
+    if isinstance(cell, CampaignCell):
+        return (0, cell.seed, cell.client, cell.provider, cell.route,
+                cell.size_mb)
+    return (1, json.dumps(cell.identity(), sort_keys=True))

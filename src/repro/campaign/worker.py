@@ -62,10 +62,18 @@ def run_cell_payload(cell: CampaignCell) -> Dict[str, Any]:
 
     Used identically by the serial executor and by pool children, so
     ``--jobs 1`` and ``--jobs N`` flow through the same code path.
+
+    Cells that know how to run themselves (a ``run_measurement`` method —
+    e.g. the broker's fleet cells) are dispatched to it; classic paper
+    cells go through :func:`run_cell`.
     """
     registry = MetricsRegistry()
     try:
-        measurement = run_cell(cell, metrics=registry)
+        self_runner = getattr(cell, "run_measurement", None)
+        if self_runner is not None:
+            measurement = self_runner(metrics=registry)
+        else:
+            measurement = run_cell(cell, metrics=registry)
     except Exception as exc:  # quarantine: a failing cell is a record
         return {
             "status": "error",

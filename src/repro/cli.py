@@ -56,6 +56,28 @@ def _add_campaign_spec_flags(p: argparse.ArgumentParser) -> None:
                         "status/export: read from it)")
 
 
+def _add_broker_fleet_flags(p: argparse.ArgumentParser) -> None:
+    """Fleet workload axes shared by broker simulate/eval/export."""
+    p.add_argument("--sites", default=None, metavar="A,B",
+                   help="comma-separated client sites (default: ubc,purdue,ucla)")
+    p.add_argument("--provider", default="gdrive",
+                   choices=["gdrive", "dropbox", "onedrive"])
+    p.add_argument("--uploads-per-site", type=int, default=20, metavar="N",
+                   dest="uploads_per_site")
+    p.add_argument("--interarrival-s", type=float, default=60.0, metavar="S",
+                   dest="interarrival_s",
+                   help="mean exponential interarrival per site (default: 60)")
+    p.add_argument("--size-mb", type=float, default=40.0, dest="size_mb",
+                   help="mean upload size in MB (default: 40)")
+    p.add_argument("--size-dist", choices=["lognormal", "fixed"],
+                   default="lognormal", dest="size_dist",
+                   help="heavy-tailed lognormal sizes, or every upload at "
+                        "exactly --size-mb")
+    p.add_argument("--no-cross-traffic", action="store_true",
+                   dest="no_cross_traffic",
+                   help="build worlds without background cross-traffic")
+
+
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
     """Observability flags shared by compare/upload/report."""
     p.add_argument("--metrics", default=None, metavar="FILE",
@@ -158,6 +180,39 @@ def build_parser() -> argparse.ArgumentParser:
                                        "in spec order")
     _add_campaign_spec_flags(c)
     c.add_argument("--out", default=None, metavar="FILE",
+                   help="write the export to FILE instead of stdout")
+
+    p = sub.add_parser("broker", help="simulate/evaluate the detour-brokerage "
+                                      "control plane over a client fleet")
+    bsub = p.add_subparsers(dest="broker_command", required=True)
+
+    b = bsub.add_parser("simulate", help="run one fleet under one policy and "
+                                         "print the per-upload ledger")
+    _add_broker_fleet_flags(b)
+    b.add_argument("--mode", default="broker", metavar="POLICY",
+                   help="'broker', 'direct', or 'static:<route>' "
+                        "(default: broker)")
+    b.add_argument("--seed", type=int, default=0)
+    b.add_argument("--uploads", action="store_true", dest="show_uploads",
+                   help="also print one line per upload")
+
+    b = bsub.add_parser("eval", help="run the broker-on vs broker-off sweep "
+                                     "through the campaign engine and score it")
+    _add_broker_fleet_flags(b)
+    b.add_argument("--modes", default=None, metavar="M1;M2;...",
+                   help="policies to compare, ';'-separated (default: direct, "
+                        "both static detours, broker)")
+    b.add_argument("--seeds", default=None, metavar="S1,S2,...")
+    _add_cache_flags(b)
+
+    b = bsub.add_parser("export", help="canonical JSON of every stored fleet "
+                                       "cell, in sweep order")
+    _add_broker_fleet_flags(b)
+    b.add_argument("--modes", default=None, metavar="M1;M2;...")
+    b.add_argument("--seeds", default=None, metavar="S1,S2,...")
+    b.add_argument("--cache-dir", default=None, metavar="DIR", dest="cache_dir",
+                   help="result store directory to export from")
+    b.add_argument("--out", default=None, metavar="FILE",
                    help="write the export to FILE instead of stdout")
 
     p = sub.add_parser("obs", help="run an instrumented compare and export "
@@ -592,6 +647,85 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _broker_sweep_spec(args):
+    """Build a BrokerSweepSpec from the shared fleet flags."""
+    from repro.broker import BrokerSweepSpec
+
+    return BrokerSweepSpec(
+        sites=_split_csv(args.sites) or BrokerSweepSpec.sites,
+        provider=args.provider,
+        modes=_split_csv(args.modes, sep=";") or BrokerSweepSpec.modes,
+        n_uploads_per_site=args.uploads_per_site,
+        mean_interarrival_s=args.interarrival_s,
+        mean_size_mb=args.size_mb,
+        size_dist=args.size_dist,
+        seeds=_split_csv(args.seeds, cast=int) or (0,),
+        cross_traffic=not args.no_cross_traffic,
+    )
+
+
+def _cmd_broker(args) -> int:
+    from repro.broker import BrokerSweepSpec, run_fleet, score_sweep
+
+    if args.broker_command == "simulate":
+        result = run_fleet(
+            seed=args.seed,
+            sites=_split_csv(args.sites) or BrokerSweepSpec.sites,
+            provider=args.provider,
+            n_uploads_per_site=args.uploads_per_site,
+            mean_interarrival_s=args.interarrival_s,
+            mean_size_mb=args.size_mb,
+            size_dist=args.size_dist,
+            mode=args.mode,
+            cross_traffic=not args.no_cross_traffic,
+        )
+        if args.show_uploads:
+            for r in result.records:
+                print(f"  #{r.index:<3} t={r.start_s:8.1f}s {r.client_site:<7} "
+                      f"{r.size_bytes / 1e6:7.1f} MB  {r.route_descr:<13} "
+                      f"[{r.source}{', spilled' if r.spilled else ''}]  "
+                      f"{r.duration_s:8.2f} s")
+        n = len(result.records)
+        print(f"fleet [{result.mode}]: {n} uploads, "
+              f"mean transfer {result.mean_transfer_s:.2f} s")
+        print(f"  probes {result.probes_issued} "
+              f"({result.probes_per_upload:.2f}/upload), "
+              f"directory hit rate {result.hit_rate:.0%} "
+              f"({result.directory_hits}/{result.directory_hits + result.directory_misses}), "
+              f"admission spills {result.admission_spills}")
+        return 0
+
+    from repro.campaign import CampaignRunner, PoolConfig, export_campaign
+
+    spec = _broker_sweep_spec(args)
+    store = _campaign_store(args, required=(args.broker_command == "export"))
+
+    if args.broker_command == "eval":
+        pool = PoolConfig(jobs=args.jobs)
+        result = CampaignRunner(spec, store=store, pool=pool).run()
+        for rec in result.records:
+            if not rec.ok:
+                print(f"  ERROR {rec.cell.describe():<52} {rec.error.describe()}")
+        print(spec.describe())
+        print(f"executed {result.executed}, cached {result.cached}, "
+              f"quarantined {result.errors}"
+              + (f"; store: {store.root}" if store is not None else ""))
+        if result.errors:
+            return 1
+        print()
+        print(score_sweep(spec, result.records).render())
+        return 0
+
+    # export
+    if args.out in (None, "-"):
+        export_campaign(spec, store, sys.stdout)
+    else:
+        with open(args.out, "w", encoding="utf-8") as fp:
+            n = export_campaign(spec, store, fp)
+        print(f"exported {n} fleet cell record(s) to {args.out}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint import run_lint
 
@@ -616,6 +750,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "obs": _cmd_obs,
     "campaign": _cmd_campaign,
+    "broker": _cmd_broker,
     "lint": _cmd_lint,
 }
 

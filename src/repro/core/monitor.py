@@ -18,7 +18,7 @@ with these providers' session-URI upload APIs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import units
 from repro.core.executor import PlanExecutor
@@ -55,6 +55,10 @@ class BottleneckMonitor:
         self.executor = PlanExecutor(world)
         self._estimate_bps: Dict[str, float] = {}
         self._probe_serial = 0
+        #: callbacks fired (with the route's describe() string) whenever a
+        #: route is found or declared dead — the broker's route directory
+        #: subscribes here to invalidate its cached recommendations.
+        self._dead_listeners: List[Callable[[str], None]] = []
         self._m_probes = world.metrics.counter(
             "repro_monitor_probes_total", "Route probes issued")
         self._m_probe_failures = world.metrics.counter(
@@ -69,6 +73,14 @@ class BottleneckMonitor:
 
     def estimate_bps(self, route: Route) -> Optional[float]:
         return self._estimate_bps.get(route.describe())
+
+    def on_dead(self, callback: Callable[[str], None]) -> None:
+        """Subscribe to dead-route events (probe failures and mark_dead)."""
+        self._dead_listeners.append(callback)
+
+    def _notify_dead(self, route_descr: str) -> None:
+        for callback in self._dead_listeners:
+            callback(route_descr)
 
     def probe(self, route: Route):
         """Coroutine: run one probe over *route*; updates its estimate.
@@ -96,6 +108,7 @@ class BottleneckMonitor:
                 probe_span.annotate(dead=True)
                 world.tracer.emit(world.sim.now, "core.monitor", "probe_failed",
                                   route=key)
+                self._notify_dead(key)
                 return 0.0
         observed = units.throughput_bps(self.probe_bytes, result.total_s)
         old = self._estimate_bps.get(key)
@@ -115,6 +128,7 @@ class BottleneckMonitor:
         self._m_estimate.set(0.0, route=key)
         self.world.tracer.emit(self.world.sim.now, "core.monitor", "route_dead",
                                route=key)
+        self._notify_dead(key)
 
     def probe_all(self):
         """Coroutine: probe every route once (serially)."""

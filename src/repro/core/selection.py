@@ -223,12 +223,24 @@ class HistorySelector(Selector):
     best per-byte estimate (or explores with probability ``epsilon``).
     Estimates are kept per (client, provider, route); unseen routes are
     always tried first.
+
+    With ``half_life_s`` set, estimates additionally *age*: every entry
+    carries the sim time of its last update (read from the injected
+    ``clock``), and :meth:`freshness` decays from 1.0 toward 0.0 with the
+    given half-life.  A route whose freshness has fallen below
+    ``min_freshness`` is treated as unseen by ``choose`` (explore again),
+    which is what lets a long-running consumer — the detour broker —
+    distinguish fresh estimates from fossils without ever deleting the
+    EWMA state itself.
     """
 
     name = "history"
 
     def __init__(self, alpha: float = 0.3, epsilon: float = 0.1,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 half_life_s: Optional[float] = None,
+                 clock: Optional[Callable[[], float]] = None,
+                 min_freshness: float = 0.25):
         if not (0 < alpha <= 1):
             raise SelectionError("alpha must be in (0, 1]")
         if not (0 <= epsilon < 1):
@@ -239,11 +251,27 @@ class HistorySelector(Selector):
                 "stream or injected np.random.Generator) for its "
                 "epsilon-greedy exploration draws"
             )
+        if half_life_s is not None:
+            if half_life_s <= 0:
+                raise SelectionError("half-life must be positive (sim seconds)")
+            if clock is None:
+                raise SelectionError(
+                    "staleness decay needs an injected clock (e.g. "
+                    "lambda: world.sim.now) so freshness is a function of "
+                    "sim time, never wall time"
+                )
+        if not (0 < min_freshness <= 1):
+            raise SelectionError("min_freshness must be in (0, 1]")
         self.alpha = alpha
         self.epsilon = epsilon
         self.rng = rng
+        self.half_life_s = half_life_s
+        self.clock = clock
+        self.min_freshness = min_freshness
         # (client, provider, route descr) -> EWMA seconds per byte
         self._rate: Dict[Tuple[str, str, str], float] = {}
+        # (client, provider, route descr) -> sim time of the last update
+        self._updated_at: Dict[Tuple[str, str, str], float] = {}
 
     def _key(self, ctx: SelectionContext, route: Route) -> Tuple[str, str, str]:
         return (ctx.client_site, ctx.provider_name, route.describe())
@@ -259,15 +287,40 @@ class HistorySelector(Selector):
         self._rate[key] = (
             sec_per_byte if old is None else (1 - self.alpha) * old + self.alpha * sec_per_byte
         )
+        if self.clock is not None:
+            self._updated_at[key] = float(self.clock())
 
     def estimate_s(self, ctx: SelectionContext, route: Route) -> Optional[float]:
         """Predicted duration for the context's size, or None if unseen."""
         spb = self._rate.get(self._key(ctx, route))
         return None if spb is None else spb * ctx.size_bytes
 
+    def last_update_s(self, ctx: SelectionContext, route: Route) -> Optional[float]:
+        """Sim time this route's estimate last changed (None if unseen or
+        no clock was injected)."""
+        return self._updated_at.get(self._key(ctx, route))
+
+    def freshness(self, ctx: SelectionContext, route: Route) -> float:
+        """Exponential-decay confidence in this route's estimate.
+
+        1.0 immediately after an update, 0.5 one half-life later, 0.0 for
+        a route never observed.  Without ``half_life_s`` every seen route
+        stays at 1.0 (the pre-decay behaviour).
+        """
+        key = self._key(ctx, route)
+        if key not in self._rate:
+            return 0.0
+        if self.half_life_s is None:
+            return 1.0
+        age_s = float(self.clock()) - self._updated_at.get(key, 0.0)
+        if age_s <= 0:
+            return 1.0
+        return 0.5 ** (age_s / self.half_life_s)
+
     def choose(self, ctx: SelectionContext):
         routes = ctx.routes()
-        unseen = [r for r in routes if self._key(ctx, r) not in self._rate]
+        unseen = [r for r in routes
+                  if self.freshness(ctx, r) < self.min_freshness]
         if unseen:
             return unseen[0]
         if float(self.rng.random()) < self.epsilon:

@@ -64,5 +64,9 @@ class ObservabilityError(ReproError):
     """Misuse of the observability layer (bad metric name, bad buckets)."""
 
 
+class BrokerError(ReproError):
+    """Detour-broker misconfiguration or protocol misuse."""
+
+
 class CalibrationError(ReproError):
     """Testbed calibration targets are inconsistent or unachievable."""

@@ -25,7 +25,7 @@ class LintConfig:
     """
 
     model_packages: FrozenSet[str] = frozenset(
-        {"sim", "net", "core", "transfer", "overlay", "cloud"}
+        {"sim", "net", "core", "transfer", "overlay", "cloud", "broker"}
     )
     #: Files (relative to the scanned root) that may construct generators
     #: directly: the RngRegistry itself derives streams there.

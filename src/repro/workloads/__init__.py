@@ -4,6 +4,7 @@ from repro.workloads.generator import (
     ScheduledUpload,
     UploadSchedule,
     client_population_schedule,
+    fleet_population_schedule,
     size_sweep,
 )
 
@@ -11,5 +12,6 @@ __all__ = [
     "ScheduledUpload",
     "UploadSchedule",
     "client_population_schedule",
+    "fleet_population_schedule",
     "size_sweep",
 ]

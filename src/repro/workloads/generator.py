@@ -15,10 +15,20 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import MeasurementError
+from repro.sim.rng import derive_seed
 from repro.transfer.files import Entropy, FileSpec
 from repro.units import mb
 
-__all__ = ["size_sweep", "ScheduledUpload", "UploadSchedule", "client_population_schedule"]
+__all__ = [
+    "size_sweep",
+    "ScheduledUpload",
+    "UploadSchedule",
+    "client_population_schedule",
+    "fleet_population_schedule",
+]
+
+#: Supported file-size distributions for population schedules.
+SIZE_DISTS = ("lognormal", "fixed")
 
 
 def size_sweep(
@@ -79,15 +89,23 @@ def client_population_schedule(
     seed: int = 0,
     sigma_log_size: float = 0.8,
     min_size_mb: float = 1.0,
+    size_dist: str = "lognormal",
 ) -> UploadSchedule:
-    """Poisson arrivals of lognormally-sized uploads from one campus.
+    """Poisson arrivals of uploads from one campus.
 
-    Deterministic for a given seed.
+    ``size_dist`` selects the file-size law: ``"lognormal"`` (the default
+    — heavy-tailed, matching measured cloud-sync traffic) or ``"fixed"``
+    (every upload is exactly ``mean_size_mb``, for controlled ablations).
+    Deterministic for a given seed; the default draw sequence is
+    unchanged from before ``size_dist`` existed.
     """
     if n_uploads < 1:
         raise MeasurementError("need at least one upload")
     if mean_interarrival_s <= 0 or mean_size_mb <= 0:
         raise MeasurementError("interarrival and size means must be positive")
+    if size_dist not in SIZE_DISTS:
+        raise MeasurementError(
+            f"unknown size_dist {size_dist!r}; have: {', '.join(SIZE_DISTS)}")
     # Workload-generation entry point: *seed* is the caller-facing
     # parameter, so converting it to a generator here is the injection point.
     rng = np.random.default_rng(seed)  # simlint: ignore[SL103] -- seed-parameterized entry point
@@ -96,7 +114,10 @@ def client_population_schedule(
     uploads: List[ScheduledUpload] = []
     for i in range(n_uploads):
         t += float(rng.exponential(mean_interarrival_s))
-        size_mb_i = max(min_size_mb, float(rng.lognormal(mu, sigma_log_size)))
+        # Always consume the size draw (common random numbers): switching
+        # the size law never perturbs the arrival process.
+        drawn_mb = max(min_size_mb, float(rng.lognormal(mu, sigma_log_size)))
+        size_mb_i = drawn_mb if size_dist == "lognormal" else mean_size_mb
         uploads.append(ScheduledUpload(
             start_s=t,
             client_site=client_site,
@@ -105,3 +126,39 @@ def client_population_schedule(
                           Entropy.RANDOM, seed=seed + i),
         ))
     return UploadSchedule(tuple(uploads))
+
+
+def fleet_population_schedule(
+    client_sites: Sequence[str],
+    provider_name: str,
+    n_uploads_per_site: int,
+    mean_interarrival_s: float,
+    mean_size_mb: float,
+    seed: int = 0,
+    sigma_log_size: float = 0.8,
+    min_size_mb: float = 1.0,
+    size_dist: str = "lognormal",
+) -> UploadSchedule:
+    """A multi-site fleet: independent Poisson populations, one timeline.
+
+    Each site gets its own :func:`client_population_schedule` under a
+    seed derived from ``(seed, site)`` — so adding or removing a site
+    never perturbs another site's arrivals — and the merged schedule is
+    sorted by start time (ties broken by site, then file name), which
+    makes the fleet order a pure function of the inputs.
+    """
+    if not client_sites:
+        raise MeasurementError("a fleet needs at least one client site")
+    if len(set(client_sites)) != len(client_sites):
+        raise MeasurementError(f"duplicate client sites in fleet: {client_sites}")
+    merged: List[ScheduledUpload] = []
+    for site in client_sites:
+        site_schedule = client_population_schedule(
+            site, provider_name, n_uploads_per_site, mean_interarrival_s,
+            mean_size_mb, seed=derive_seed(seed, f"fleet:{site}"),
+            sigma_log_size=sigma_log_size, min_size_mb=min_size_mb,
+            size_dist=size_dist,
+        )
+        merged.extend(site_schedule.uploads)
+    merged.sort(key=lambda u: (u.start_s, u.client_site, u.file.name))
+    return UploadSchedule(tuple(merged))

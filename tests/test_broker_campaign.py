@@ -1,0 +1,151 @@
+"""Broker sweeps through the campaign engine: cells, caching, export."""
+
+import io
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.broker import BrokerConfig, BrokerSweepSpec, FleetCell, score_sweep
+from repro.broker.campaign import FLEET_CELL_TYPE
+from repro.campaign import (
+    CampaignRunner,
+    PoolConfig,
+    ResultStore,
+    export_campaign,
+    load_export,
+)
+from repro.campaign.store import record_from_dict, record_to_dict
+from repro.errors import BrokerError, CampaignError
+
+pytestmark = [pytest.mark.broker, pytest.mark.campaign]
+
+CELL_KW = dict(sites=("ubc",), provider="gdrive", mode="broker",
+               n_uploads_per_site=3, mean_interarrival_s=60.0,
+               mean_size_mb=20.0, cross_traffic=False)
+
+SPEC = BrokerSweepSpec(sites=("ubc",), modes=("direct", "broker"),
+                       n_uploads_per_site=3, mean_interarrival_s=60.0,
+                       mean_size_mb=20.0, seeds=(0,), cross_traffic=False)
+
+
+class TestFleetCell:
+    def test_identity_round_trip(self):
+        cell = FleetCell(config=BrokerConfig(ttl_s=1234.0), **CELL_KW)
+        clone = FleetCell.from_identity(
+            json.loads(json.dumps(cell.identity())))
+        assert clone == cell
+        assert clone.key == cell.key
+
+    def test_key_is_stable_and_sensitive(self):
+        a = FleetCell(**CELL_KW)
+        b = FleetCell(**CELL_KW)
+        assert a.key == b.key
+        c = FleetCell(**{**CELL_KW, "mode": "direct"})
+        assert a.key != c.key
+
+    def test_world_seed_shared_across_modes(self):
+        a = FleetCell(**CELL_KW)
+        b = FleetCell(**{**CELL_KW, "mode": "direct"})
+        assert a.world_seed == b.world_seed  # same workload, same world
+        c = FleetCell(**{**CELL_KW, "seed": 1})
+        assert a.world_seed != c.world_seed
+
+    def test_protocol_keeps_every_upload(self):
+        cell = FleetCell(**CELL_KW)
+        assert cell.protocol.total_runs == cell.n_uploads == 3
+        assert cell.protocol.discard_runs == 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(CampaignError):
+            FleetCell(**{**CELL_KW, "sites": ()})
+        with pytest.raises(BrokerError):
+            FleetCell(**{**CELL_KW, "mode": "greedy"})
+        with pytest.raises(CampaignError):
+            FleetCell.from_identity({"cell_type": "paper"})
+        bad = FleetCell(**CELL_KW).identity()
+        bad["version"] = 99
+        with pytest.raises(CampaignError):
+            FleetCell.from_identity(bad)
+
+    def test_record_round_trip_restores_fleet_cell(self):
+        cell = FleetCell(**CELL_KW)
+        measurement = cell.run_measurement()
+        from repro.campaign.store import CellRecord
+        rec = CellRecord(cell=cell, status="ok", measurement=measurement)
+        clone = record_from_dict(json.loads(json.dumps(record_to_dict(rec))))
+        assert isinstance(clone.cell, FleetCell)
+        assert clone.cell == cell
+        assert clone.measurement.all_durations_s == measurement.all_durations_s
+
+
+class TestSweepThroughRunner:
+    def test_run_cache_resume_and_score(self, tmp_path):
+        store = ResultStore(tmp_path / "cells")
+        first = CampaignRunner(SPEC, store).run()
+        assert first.executed == 2 and first.errors == 0
+
+        again = CampaignRunner(SPEC, store).run()
+        assert again.executed == 0 and again.cached == 2
+
+        summary = score_sweep(SPEC, again.records)
+        assert set(summary.by_mode) == {"direct", "broker"}
+        assert summary.regret_s("broker") >= 0.0
+        # on ubc the policed direct path always loses to the broker
+        assert summary.mean_s("broker") < summary.mean_s("direct")
+
+    def test_pool_and_serial_agree(self, tmp_path):
+        serial = CampaignRunner(SPEC).run()
+        pooled = CampaignRunner(SPEC, pool=PoolConfig(jobs=2)).run()
+        assert [r.measurement.all_durations_s for r in serial.records] == \
+            [r.measurement.all_durations_s for r in pooled.records]
+
+    def test_export_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "cells")
+        CampaignRunner(SPEC, store).run()
+        buf = io.StringIO()
+        n = export_campaign(SPEC, store, buf)
+        assert n == 2
+        doc = load_export(io.StringIO(buf.getvalue()))
+        assert [r.cell.identity()["cell_type"] for r in doc] == \
+            [FLEET_CELL_TYPE] * 2
+
+    def test_score_sweep_rejects_partial(self, tmp_path):
+        store = ResultStore(tmp_path / "cells")
+        CampaignRunner(SPEC, store).run()
+        half = BrokerSweepSpec(**{**SPEC.__dict__, "modes": ("direct", "broker",
+                                                            "static:via umich")})
+        with pytest.raises(BrokerError):
+            score_sweep(half, store.records())
+
+
+class TestLazyCellTypeDispatch:
+    def test_store_loads_fleet_cells_without_prior_broker_import(self, tmp_path):
+        store = ResultStore(tmp_path / "cells")
+        CampaignRunner(SPEC, store).run()
+        src_dir = Path(__file__).resolve().parent.parent / "src"
+        script = (
+            "import sys\n"
+            "from repro.campaign.store import ResultStore\n"
+            "assert 'repro.broker' not in sys.modules\n"
+            f"recs = ResultStore({str(tmp_path / 'cells')!r}).records()\n"
+            "print(len(recs), type(recs[0].cell).__name__)\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": str(src_dir), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.stdout.split() == ["2", "FleetCell"]
+
+    def test_unknown_cell_type_raises(self):
+        with pytest.raises(CampaignError):
+            record_from_dict({
+                "version": 1,
+                "identity": {"cell_type": "no-such-type"},
+                "status": "error",
+                "error": {"kind": "x", "message": "y"},
+                "measurement": None,
+            })

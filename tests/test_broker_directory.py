@@ -1,0 +1,244 @@
+"""Broker serving tier: config, size classes, directory, admission, decay."""
+
+import pytest
+
+from repro.broker import (
+    AdmissionController,
+    BrokerConfig,
+    DetourBroker,
+    RouteDirectory,
+    size_class,
+)
+from repro.core.routes import DetourRoute, DirectRoute
+from repro.core.selection import HistorySelector, SelectionContext
+from repro.errors import BrokerError, SelectionError
+from repro.sim.rng import RngRegistry
+from repro.testbed import build_case_study
+from repro.units import mb
+
+pytestmark = pytest.mark.broker
+
+
+@pytest.fixture
+def world():
+    return build_case_study(seed=0, cross_traffic=False)
+
+
+class TestBrokerConfig:
+    def test_defaults_valid(self):
+        cfg = BrokerConfig()
+        assert cfg.ttl_s > 0 and cfg.probes_per_wake >= 1
+
+    @pytest.mark.parametrize("bad", [
+        dict(ttl_s=0.0),
+        dict(probe_interval_s=-1.0),
+        dict(probes_per_wake=0),
+        dict(max_probes=-1),
+        dict(probe_bytes=0),
+        dict(history_alpha=0.0),
+        dict(half_life_s=0.0),
+        dict(min_freshness=0.0),
+        dict(min_freshness=1.5),
+        dict(size_class_edges_mb=()),
+        dict(size_class_edges_mb=(64.0, 8.0)),
+        dict(size_class_edges_mb=(8.0, 8.0)),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(BrokerError):
+            BrokerConfig(**bad)
+
+
+class TestSizeClass:
+    def test_edges_are_inclusive_upper_bounds(self):
+        edges = (8.0, 64.0)
+        assert size_class(int(mb(1)), edges) == "le8MB"
+        assert size_class(int(mb(8)), edges) == "le8MB"
+        assert size_class(int(mb(8)) + 1, edges) == "le64MB"
+        assert size_class(int(mb(64)), edges) == "le64MB"
+        assert size_class(int(mb(65)), edges) == "gt64MB"
+
+    def test_single_edge(self):
+        assert size_class(int(mb(2)), (10.0,)) == "le10MB"
+        assert size_class(int(mb(20)), (10.0,)) == "gt10MB"
+
+
+class TestRouteDirectory:
+    def test_miss_then_hit_then_ttl_expiry(self, world):
+        directory = RouteDirectory(world, BrokerConfig(ttl_s=100.0))
+        assert directory.lookup("ubc", "gdrive", int(mb(4))) is None
+        assert directory.misses == 1
+        directory.install("ubc", "gdrive", int(mb(4)), "via ualberta",
+                          source="history")
+        entry = directory.lookup("ubc", "gdrive", int(mb(4)))
+        assert entry is not None and entry.route_descr == "via ualberta"
+        assert directory.hits == 1
+
+        # size classes are separate keys
+        assert directory.lookup("ubc", "gdrive", int(mb(50))) is None
+
+        world.sim.run(101.0)
+        assert directory.lookup("ubc", "gdrive", int(mb(4))) is None
+        assert directory.misses == 3
+        assert directory.hit_ratio == pytest.approx(0.25)
+
+    def test_invalidate_route_drops_every_pair_using_it(self, world):
+        directory = RouteDirectory(world, BrokerConfig())
+        directory.install("ubc", "gdrive", int(mb(4)), "via umich", source="history")
+        directory.install("purdue", "gdrive", int(mb(4)), "via umich", source="history")
+        directory.install("ucla", "gdrive", int(mb(4)), "direct", source="history")
+        directory.invalidate_route("via umich")
+        assert directory.invalidations == 2
+        assert [e.route_descr for e in directory.entries()] == ["direct"]
+
+    def test_invalidate_pair_direct_spares_detours(self, world):
+        directory = RouteDirectory(world, BrokerConfig())
+        directory.install("ubc", "gdrive", int(mb(4)), "direct", source="history")
+        directory.install("ubc", "gdrive", int(mb(50)), "via ualberta", source="history")
+        directory.install("purdue", "gdrive", int(mb(4)), "direct", source="history")
+        directory.invalidate_pair_direct("ubc", "gdrive")
+        kept = [(e.client_site, e.route_descr) for e in directory.entries()]
+        assert kept == [("purdue", "direct"), ("ubc", "via ualberta")]
+
+
+class TestAdmission:
+    def test_direct_never_consults_dtns(self, world):
+        admission = AdmissionController(world, BrokerConfig())
+        route, spilled = admission.admit(DirectRoute())
+        assert route.via is None and not spilled
+
+    def test_unbounded_dtn_admits(self, world):
+        admission = AdmissionController(world, BrokerConfig())
+        route, spilled = admission.admit(DetourRoute("ualberta"))
+        assert route.via == "ualberta" and not spilled
+        assert admission.spills == 0
+
+    def test_saturated_dtn_spills_to_direct(self, world):
+        world.add_dtn("bounded", world.dtn_of("ualberta").host, max_sessions=1)
+        admission = AdmissionController(world, BrokerConfig())
+        slot = world.dtn_of("bounded").sessions.try_acquire()
+        assert slot is not None
+        route, spilled = admission.admit(DetourRoute("bounded"))
+        assert route.via is None and spilled
+        assert admission.spills == 1
+        world.dtn_of("bounded").sessions.release(slot)
+        route, spilled = admission.admit(DetourRoute("bounded"))
+        assert route.via == "bounded" and not spilled
+
+
+class TestStalenessDecay:
+    """The satellite decay math, against a hand-rolled clock."""
+
+    def _selector(self, clock, half_life_s=100.0):
+        return HistorySelector(
+            alpha=0.5, epsilon=0.0, rng=RngRegistry(0).stream("t"),
+            half_life_s=half_life_s, clock=clock, min_freshness=0.25)
+
+    def _ctx(self, world, size=int(mb(10))):
+        return SelectionContext(world, "ubc", "gdrive", size,
+                                ("ualberta", "umich"))
+
+    def test_half_life_math(self, world):
+        now = [0.0]
+        sel = self._selector(lambda: now[0])
+        ctx = self._ctx(world)
+        route = DetourRoute("umich")
+        assert sel.freshness(ctx, route) == 0.0  # never seen
+        sel.update(ctx, route, int(mb(10)), 10.0)
+        assert sel.freshness(ctx, route) == 1.0
+        assert sel.last_update_s(ctx, route) == 0.0
+        now[0] = 100.0
+        assert sel.freshness(ctx, route) == pytest.approx(0.5)
+        now[0] = 200.0
+        assert sel.freshness(ctx, route) == pytest.approx(0.25)
+        now[0] = 300.0
+        assert sel.freshness(ctx, route) == pytest.approx(0.125)
+
+    def test_update_restores_freshness(self, world):
+        now = [0.0]
+        sel = self._selector(lambda: now[0])
+        ctx = self._ctx(world)
+        route = DirectRoute()
+        sel.update(ctx, route, int(mb(10)), 10.0)
+        now[0] = 500.0
+        assert sel.freshness(ctx, route) < 0.05
+        sel.update(ctx, route, int(mb(10)), 10.0)
+        assert sel.freshness(ctx, route) == 1.0
+        assert sel.last_update_s(ctx, route) == 500.0
+
+    def test_stale_routes_are_re_explored_by_choose(self, world):
+        now = [0.0]
+        sel = self._selector(lambda: now[0])
+        ctx = self._ctx(world)
+        for route in ctx.routes():
+            sel.update(ctx, route, int(mb(10)), 10.0)
+        # everything fresh: exploit (epsilon=0) — a deterministic best
+        chosen = next(sel.choose(ctx), None) or None
+        # two half-lives later every estimate is exactly at the 0.25
+        # threshold; one tick more and the first route is stale again
+        now[0] = 201.0
+        gen = sel.choose(ctx)
+        try:
+            stale_choice = gen.send(None)
+        except StopIteration as stop:
+            stale_choice = stop.value
+        assert stale_choice.describe() == ctx.routes()[0].describe()
+        del chosen
+
+    def test_no_half_life_means_no_decay(self, world):
+        sel = HistorySelector(alpha=0.5, epsilon=0.0,
+                              rng=RngRegistry(0).stream("t"))
+        ctx = self._ctx(world)
+        route = DirectRoute()
+        sel.update(ctx, route, int(mb(10)), 10.0)
+        assert sel.freshness(ctx, route) == 1.0
+        assert sel.last_update_s(ctx, route) is None  # no clock injected
+
+    def test_half_life_needs_clock(self):
+        with pytest.raises(SelectionError):
+            HistorySelector(alpha=0.5, epsilon=0.0,
+                            rng=RngRegistry(0).stream("t"), half_life_s=60.0)
+        with pytest.raises(SelectionError):
+            HistorySelector(alpha=0.5, epsilon=0.0,
+                            rng=RngRegistry(0).stream("t"),
+                            half_life_s=60.0, clock=lambda: 0.0,
+                            min_freshness=0.0)
+
+
+class TestBrokerService:
+    def test_default_then_history_then_directory(self, world):
+        broker = DetourBroker(world, pairs=[("ubc", "gdrive")])
+        rec = broker.recommend("ubc", "gdrive", int(mb(10)))
+        assert rec.source == "default" and rec.route.via is None
+
+        broker.report("ubc", "gdrive", DetourRoute("ualberta"), int(mb(10)), 5.0)
+        rec = broker.recommend("ubc", "gdrive", int(mb(10)))
+        assert rec.source == "history" and rec.route.via == "ualberta"
+
+        rec = broker.recommend("ubc", "gdrive", int(mb(10)))
+        assert rec.source == "directory" and rec.route.via == "ualberta"
+
+    def test_report_prefers_faster_route(self, world):
+        broker = DetourBroker(world, pairs=[("ubc", "gdrive")])
+        broker.report("ubc", "gdrive", DetourRoute("ualberta"), int(mb(10)), 50.0)
+        broker.report("ubc", "gdrive", DetourRoute("umich"), int(mb(10)), 5.0)
+        rec = broker.recommend("ubc", "gdrive", int(mb(10)))
+        assert rec.route.via == "umich"
+
+    def test_dead_route_invalidates_directory(self, world):
+        broker = DetourBroker(world, pairs=[("ubc", "gdrive")])
+        broker.report("ubc", "gdrive", DetourRoute("ualberta"), int(mb(10)), 5.0)
+        broker.recommend("ubc", "gdrive", int(mb(10)))  # installs the entry
+        assert len(broker.directory.entries()) == 1
+        broker.monitors[("ubc", "gdrive")].mark_dead(DetourRoute("ualberta"))
+        assert broker.directory.entries() == []
+
+    def test_unserved_client_raises(self, world):
+        broker = DetourBroker(world, pairs=[("ubc", "gdrive")])
+        with pytest.raises(BrokerError):
+            broker.recommend("ucla", "gdrive", int(mb(10)))
+
+    def test_double_start_raises(self, world):
+        broker = DetourBroker(world, pairs=[("ubc", "gdrive")])
+        broker.start()
+        with pytest.raises(BrokerError):
+            broker.start()

@@ -1,0 +1,154 @@
+"""Fleet runs: determinism, broker-off bit-identity, policy behavior."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.broker import BrokerConfig, DetourBroker, FleetRunner, run_fleet, score_fleet
+from repro.errors import BrokerError
+from repro.testbed import build_case_study
+from repro.workloads import fleet_population_schedule
+
+pytestmark = pytest.mark.broker
+
+SITES = ("ubc", "purdue")
+
+#: The broker-off control: exactly the kernel operations FleetRunner
+#: performs in ``direct`` mode, written against the pre-broker API only.
+#: Run in a subprocess so the interpreter provably never imported
+#: ``repro.broker`` (asserted before and after the simulation).
+NAIVE_DIRECT_FLEET = """
+import json, sys
+from repro.core.executor import PlanExecutor
+from repro.core.routes import DirectRoute, TransferPlan
+from repro.sim.kernel import AllOf
+from repro.testbed import build_case_study
+from repro.workloads import fleet_population_schedule
+
+assert "repro.broker" not in sys.modules
+world = build_case_study(seed=5, cross_traffic=True)
+sched = fleet_population_schedule(("ubc", "purdue"), "gdrive", 4, 60.0, 20.0, seed=5)
+executor = PlanExecutor(world)
+durations = [None] * len(sched.uploads)
+
+def one(i, u):
+    delay = u.start_s - world.sim.now
+    if delay > 0:
+        yield delay
+    plan = TransferPlan(u.client_site, u.provider_name, u.file, DirectRoute())
+    result = yield from executor.execute(plan)
+    durations[i] = result.total_s
+
+procs = [world.sim.process(one(i, u), name=f"fleet:{i}")
+         for i, u in enumerate(sched.uploads)]
+
+def drive():
+    yield AllOf(procs)
+
+driver = world.sim.process(drive(), name="fleet-drive")
+world.sim.run_until_triggered(driver.done, horizon=1e7)
+assert driver.finished
+assert "repro.broker" not in sys.modules
+print(json.dumps(durations))
+"""
+
+
+class TestBitIdentity:
+    def test_direct_mode_matches_world_that_never_imported_broker(self):
+        src_dir = Path(__file__).resolve().parent.parent / "src"
+        proc = subprocess.run(
+            [sys.executable, "-c", NAIVE_DIRECT_FLEET],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": str(src_dir), "PATH": "/usr/bin:/bin"},
+        )
+        naive = json.loads(proc.stdout)
+        result = run_fleet(5, SITES, n_uploads_per_site=4,
+                           mean_interarrival_s=60.0, mean_size_mb=20.0,
+                           cross_traffic=True, mode="direct")
+        assert list(result.durations_s) == naive
+        assert result.probes_issued == 0
+        assert result.directory_hits == result.directory_misses == 0
+
+
+class TestDeterminism:
+    def test_broker_fleet_identical_across_two_runs(self):
+        a = run_fleet(11, SITES, n_uploads_per_site=4, cross_traffic=True)
+        b = run_fleet(11, SITES, n_uploads_per_site=4, cross_traffic=True)
+        assert json.dumps(a.to_dict(), sort_keys=True) == \
+            json.dumps(b.to_dict(), sort_keys=True)
+
+    def test_different_seed_differs(self):
+        a = run_fleet(11, SITES, n_uploads_per_site=4, cross_traffic=False)
+        b = run_fleet(12, SITES, n_uploads_per_site=4, cross_traffic=False)
+        assert a.to_dict() != b.to_dict()
+
+
+class TestPolicies:
+    def test_broker_learns_and_beats_direct_on_policed_client(self):
+        direct = run_fleet(3, ("ubc",), n_uploads_per_site=6,
+                           cross_traffic=False, mode="direct")
+        broker = run_fleet(3, ("ubc",), n_uploads_per_site=6,
+                           cross_traffic=False, mode="broker")
+        # ubc's direct route is policed to ~9.6 Mbps; warmup probes find
+        # the ualberta detour before the first upload even starts
+        assert broker.mean_transfer_s < direct.mean_transfer_s
+        assert all(r.route_descr != "direct" for r in broker.records)
+
+    def test_static_self_detour_falls_back_to_direct(self):
+        result = run_fleet(3, ("ubc",), n_uploads_per_site=2,
+                           cross_traffic=False, mode="static:via ualberta")
+        assert all(r.route_descr == "via ualberta" for r in result.records)
+        world = build_case_study(seed=3, cross_traffic=False)
+        sched = fleet_population_schedule(("ualberta",), "gdrive", 2, 60.0,
+                                          20.0, seed=3)
+        runner = FleetRunner(world, sched, mode="static:via ualberta")
+        records = runner.run().records
+        assert all(r.route_descr == "direct" for r in records)
+
+    def test_probe_budget_is_honored(self):
+        cfg = BrokerConfig(max_probes=2, warmup=True)
+        result = run_fleet(3, ("ubc",), n_uploads_per_site=4,
+                           cross_traffic=False, config=cfg)
+        assert result.probes_issued <= 2
+
+    def test_mode_validation(self):
+        world = build_case_study(seed=0, cross_traffic=False)
+        sched = fleet_population_schedule(("ubc",), "gdrive", 2, 60.0, 20.0)
+        with pytest.raises(BrokerError):
+            FleetRunner(world, sched, mode="static:")
+        with pytest.raises(BrokerError):
+            FleetRunner(world, sched, mode="greedy")
+        with pytest.raises(BrokerError):
+            FleetRunner(world, sched, mode="broker")  # no broker given
+        with pytest.raises(BrokerError):
+            FleetRunner(world, sched, mode="direct",
+                        broker=DetourBroker(world, pairs=[("ubc", "gdrive")]))
+
+
+class TestScoring:
+    def test_score_fleet_regret(self):
+        kw = dict(n_uploads_per_site=3, cross_traffic=False)
+        results = {
+            "direct": run_fleet(2, ("ubc",), mode="direct", **kw),
+            "broker": run_fleet(2, ("ubc",), mode="broker", **kw),
+        }
+        score = score_fleet(results)
+        assert score.n_uploads == 3
+        # the oracle is at least as fast as every policy
+        for mode in results:
+            assert score.by_mode[mode][0] >= score.oracle_mean_s
+            assert score.by_mode[mode][1] >= 0.0
+        assert "regret" in score.render()
+
+    def test_score_fleet_validation(self):
+        with pytest.raises(BrokerError):
+            score_fleet({})
+        a = run_fleet(2, ("ubc",), n_uploads_per_site=2, cross_traffic=False,
+                      mode="direct")
+        b = run_fleet(2, ("ubc",), n_uploads_per_site=3, cross_traffic=False,
+                      mode="direct")
+        with pytest.raises(BrokerError):
+            score_fleet({"a": a, "b": b})

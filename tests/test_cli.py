@@ -74,3 +74,45 @@ class TestCommands:
         with pytest.raises(SystemExit) as exc:
             main(["--version"])
         assert exc.value.code == 0
+
+
+class TestBrokerCommand:
+    FLEET = ["--sites", "ubc", "--uploads-per-site", "3",
+             "--size-mb", "20", "--no-cross-traffic"]
+
+    def test_simulate(self, capsys):
+        assert main(["broker", "simulate", *self.FLEET, "--uploads"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet [broker]: 3 uploads" in out
+        assert "directory hit rate" in out
+        assert out.count("#") == 3  # one ledger line per upload
+
+    def test_simulate_direct_mode(self, capsys):
+        assert main(["broker", "simulate", *self.FLEET,
+                     "--mode", "direct"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet [direct]" in out and "probes 0" in out
+
+    def test_eval_and_export(self, capsys, tmp_path):
+        store = str(tmp_path / "cells")
+        assert main(["broker", "eval", *self.FLEET,
+                     "--modes", "direct;broker", "--cache-dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "executed 2, cached 0" in out
+        assert "regret" in out
+
+        # a second eval answers fully from the store
+        assert main(["broker", "eval", *self.FLEET,
+                     "--modes", "direct;broker", "--cache-dir", store]) == 0
+        assert "executed 0, cached 2" in capsys.readouterr().out
+
+        out_file = tmp_path / "export.json"
+        assert main(["broker", "export", *self.FLEET,
+                     "--modes", "direct;broker", "--cache-dir", store,
+                     "--out", str(out_file)]) == 0
+        doc = out_file.read_text()
+        assert '"cell_type": "broker-fleet"' in doc
+
+    def test_export_requires_cache_dir(self):
+        with pytest.raises(SystemExit):
+            main(["broker", "export", *self.FLEET])

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.errors import MeasurementError
-from repro.workloads import UploadSchedule, client_population_schedule, size_sweep
+from repro.sim.rng import derive_seed
+from repro.workloads import (
+    UploadSchedule,
+    client_population_schedule,
+    fleet_population_schedule,
+    size_sweep,
+)
 
 
 class TestSizeSweep:
@@ -58,3 +64,72 @@ class TestPopulationSchedule:
             client_population_schedule("ubc", "gdrive", 0, 1.0, 1.0)
         with pytest.raises(MeasurementError):
             client_population_schedule("ubc", "gdrive", 1, 0.0, 1.0)
+
+
+class TestSizeDistributions:
+    def test_fixed_sizes_are_exact(self):
+        sched = client_population_schedule("ubc", "gdrive", 10, 30.0, 25.0,
+                                           seed=1, size_dist="fixed")
+        assert all(u.file.size_bytes == 25_000_000 for u in sched.uploads)
+
+    def test_lognormal_is_the_default_and_heavy_tailed(self):
+        default = client_population_schedule("ubc", "gdrive", 200, 30.0, 20.0, seed=1)
+        explicit = client_population_schedule("ubc", "gdrive", 200, 30.0, 20.0,
+                                              seed=1, size_dist="lognormal")
+        assert default == explicit
+        sizes = sorted(u.file.size_bytes for u in default.uploads)
+        # heavy tail: the max dwarfs the median
+        assert sizes[-1] > 4 * sizes[len(sizes) // 2]
+
+    def test_fixed_keeps_arrival_process(self):
+        a = client_population_schedule("ubc", "gdrive", 10, 30.0, 25.0, seed=1)
+        b = client_population_schedule("ubc", "gdrive", 10, 30.0, 25.0,
+                                       seed=1, size_dist="fixed")
+        assert [u.start_s for u in a.uploads] == [u.start_s for u in b.uploads]
+
+    def test_unknown_dist_rejected(self):
+        with pytest.raises(MeasurementError):
+            client_population_schedule("ubc", "gdrive", 1, 1.0, 1.0,
+                                       size_dist="pareto")
+
+
+class TestFleetPopulationSchedule:
+    def test_deterministic(self):
+        a = fleet_population_schedule(("ubc", "purdue"), "gdrive", 10, 60.0,
+                                      20.0, seed=4)
+        b = fleet_population_schedule(("ubc", "purdue"), "gdrive", 10, 60.0,
+                                      20.0, seed=4)
+        assert a == b
+        c = fleet_population_schedule(("ubc", "purdue"), "gdrive", 10, 60.0,
+                                      20.0, seed=5)
+        assert a != c
+
+    def test_merged_in_start_order(self):
+        sched = fleet_population_schedule(("ubc", "purdue", "ucla"), "gdrive",
+                                          15, 30.0, 10.0, seed=2)
+        starts = [u.start_s for u in sched.uploads]
+        assert starts == sorted(starts)
+        assert len(sched.uploads) == 45
+        assert sorted(sched.by_client()) == ["purdue", "ubc", "ucla"]
+
+    def test_per_site_streams_match_solo_schedules(self):
+        fleet = fleet_population_schedule(("ubc", "purdue"), "gdrive", 8,
+                                          45.0, 15.0, seed=9)
+        for site in ("ubc", "purdue"):
+            solo = client_population_schedule(
+                site, "gdrive", 8, 45.0, 15.0,
+                seed=derive_seed(9, f"fleet:{site}"))
+            assert fleet.by_client()[site] == list(solo.uploads)
+
+    def test_site_order_does_not_change_draws(self):
+        a = fleet_population_schedule(("ubc", "purdue"), "gdrive", 5, 30.0,
+                                      10.0, seed=3)
+        b = fleet_population_schedule(("purdue", "ubc"), "gdrive", 5, 30.0,
+                                      10.0, seed=3)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            fleet_population_schedule((), "gdrive", 5, 30.0, 10.0)
+        with pytest.raises(MeasurementError):
+            fleet_population_schedule(("ubc", "ubc"), "gdrive", 5, 30.0, 10.0)
