@@ -237,15 +237,32 @@ def build_parser() -> argparse.ArgumentParser:
                                     "(determinism / units / kernel-safety)")
     p.add_argument("paths", nargs="*",
                    help="files or directories to lint (default: the installed "
-                        "repro package)")
-    p.add_argument("--format", choices=["text", "json"], default="text",
-                   dest="fmt")
+                        "repro package); the literal first path 'graph' "
+                        "switches to call-graph inspection (see --dot)")
+    p.add_argument("--format", choices=["text", "json", "sarif"],
+                   default="text", dest="fmt")
     p.add_argument("--baseline", default=None, metavar="FILE",
                    help="baseline JSON (default: auto-discover lint_baseline.json)")
     p.add_argument("--no-baseline", action="store_true",
                    help="ignore any baseline file")
     p.add_argument("--update-baseline", action="store_true",
                    help="rewrite the baseline to cover the current findings")
+    p.add_argument("--graph", action="store_true",
+                   help="whole-program analysis: per-file rules plus the "
+                        "SL6xx transitive-determinism and SL7xx unit-"
+                        "dataflow call-graph rules")
+    p.add_argument("--cache-dir", default=None, metavar="DIR", dest="cache_dir",
+                   help="incremental analysis cache for --graph runs "
+                        "(default: .lint_cache)")
+    p.add_argument("--no-cache", action="store_true", dest="no_cache",
+                   help="analyze from scratch, neither reading nor writing "
+                        "the cache")
+    p.add_argument("--dot", action="store_true",
+                   help="with 'graph': emit the project call graph as "
+                        "Graphviz DOT instead of stats")
+    p.add_argument("--focus", default=None, metavar="PREFIX",
+                   help="with 'graph --dot': keep only edges touching "
+                        "functions under this dotted-name prefix")
     return parser
 
 
@@ -727,14 +744,25 @@ def _cmd_broker(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from repro.lint import run_lint
+    from repro.lint import run_graph_export, run_lint
 
+    if args.paths and args.paths[0] == "graph":
+        return run_graph_export(
+            paths=args.paths[1:] or None,
+            dot=args.dot,
+            focus=args.focus,
+            cache_dir=args.cache_dir,
+            no_cache=args.no_cache,
+        )
     return run_lint(
         paths=args.paths or None,
         fmt=args.fmt,
         baseline_path=args.baseline,
         no_baseline=args.no_baseline,
         update_baseline=args.update_baseline,
+        graph=args.graph,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
     )
 
 

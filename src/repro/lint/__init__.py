@@ -12,6 +12,16 @@ docstrings alone cannot enforce:
 * **kernel-safety** (SL3xx) — no mutable default arguments, no bare
   ``except:``, no float ``==`` against simulation-time expressions.
 
+On top of the per-file families, ``repro lint --graph`` runs the
+whole-program analyses of :mod:`repro.lint.graph`:
+
+* **transitive determinism** (SL6xx) — taint from wall-clock / OS-entropy
+  / hash-order sinks anywhere in the tree back to model-code callers,
+  through the project call graph;
+* **unit dataflow** (SL7xx) — second/byte/bps unit tags propagated across
+  call boundaries; mixed-unit arithmetic and suffix-contradicting
+  argument bindings.
+
 The analyzer is stdlib-``ast`` based (no third-party dependencies) and is
 wired into the CLI (``python -m repro.cli lint``) and the test suite
 (``python -m pytest -m lint``).  See ``docs/invariants.md`` for the rule
@@ -21,9 +31,19 @@ baseline workflow (``lint_baseline.json``).
 
 from repro.lint.baseline import Baseline, BaselineEntry
 from repro.lint.config import DEFAULT_CONFIG, LintConfig
-from repro.lint.engine import LintEngine, LintReport, Rule, RULES, all_rules
+from repro.lint.engine import (
+    GRAPH_RULES,
+    GraphRule,
+    LintEngine,
+    LintReport,
+    Rule,
+    RULES,
+    all_graph_rules,
+    all_rules,
+)
 from repro.lint.findings import Finding, Severity
-from repro.lint.runner import run_lint
+from repro.lint.runner import run_graph_export, run_lint
+from repro.lint.sarif import render_sarif, to_sarif
 
 # Importing the rule modules registers every shipped rule.
 from repro.lint import rules as _rules  # noqa: F401  (registration side effect)
@@ -33,12 +53,18 @@ __all__ = [
     "BaselineEntry",
     "DEFAULT_CONFIG",
     "Finding",
+    "GRAPH_RULES",
+    "GraphRule",
     "LintConfig",
     "LintEngine",
     "LintReport",
     "RULES",
     "Rule",
     "Severity",
+    "all_graph_rules",
     "all_rules",
+    "render_sarif",
+    "run_graph_export",
     "run_lint",
+    "to_sarif",
 ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Collection, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.lint.findings import Finding
 
@@ -77,15 +77,24 @@ class Baseline:
 
     # -- filtering -------------------------------------------------------
 
-    def filter(self, findings: Sequence[Finding]) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+    def filter(self, findings: Sequence[Finding],
+               active_rules: Optional[Collection[str]] = None,
+               ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
         """Split findings into (kept, baselined); also return stale entries.
 
         For each (file, rule) the first ``count`` findings are forgiven;
         any excess is kept.  Entries that matched nothing are *stale* —
         the debt they recorded has been paid and they should be removed.
+
+        When ``active_rules`` is given, entries for rules outside it are
+        neither spent nor reported stale: a per-file-only run must not
+        declare a grandfathered whole-program finding "fixed" just
+        because the rule that produces it did not execute.
         """
         budget: Dict[Tuple[str, str], int] = {}
         for e in self.entries:
+            if active_rules is not None and e.rule not in active_rules:
+                continue
             budget[e.key()] = budget.get(e.key(), 0) + e.count
         used: Dict[Tuple[str, str], int] = {}
         kept: List[Finding] = []
@@ -97,7 +106,9 @@ class Baseline:
                 baselined.append(f)
             else:
                 kept.append(f)
-        stale = [e for e in self.entries if used.get(e.key(), 0) == 0]
+        stale = [e for e in self.entries
+                 if (active_rules is None or e.rule in active_rules)
+                 and used.get(e.key(), 0) == 0]
         return kept, baselined, stale
 
     @classmethod

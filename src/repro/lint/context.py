@@ -13,6 +13,7 @@ __all__ = [
     "FileContext",
     "dotted_name",
     "identifiers_in",
+    "is_setish",
     "parse_suppressions",
     "terminal_name",
 ]
@@ -52,6 +53,19 @@ def terminal_name(node: ast.AST) -> Optional[str]:
     if isinstance(node, ast.Attribute):
         return node.attr
     return None
+
+
+def is_setish(node: ast.AST) -> bool:
+    """Expressions whose iteration order depends on hashing."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if dotted_name(node.func) in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
+        return is_setish(node.left) or is_setish(node.right)
+    return False
 
 
 def identifiers_in(node: ast.AST) -> Iterator[str]:

@@ -17,9 +17,16 @@ from repro.lint.config import DEFAULT_CONFIG, LintConfig
 from repro.lint.context import FileContext
 from repro.lint.findings import Finding, Severity
 
-__all__ = ["Rule", "RULES", "rule", "all_rules", "LintEngine", "LintReport"]
+__all__ = [
+    "Rule", "RULES", "rule", "all_rules",
+    "GraphRule", "GRAPH_RULES", "graph_rule", "all_graph_rules",
+    "LintEngine", "LintReport",
+]
 
 CheckFn = Callable[[FileContext], Iterable[Tuple[int, str]]]
+
+#: Whole-program checks yield (rel path, lineno, message) triples.
+GraphCheckFn = Callable[[object], Iterable[Tuple[str, int, str]]]
 
 #: Scope of a rule: ``model`` rules only run on files inside the
 #: configured model packages; ``tree`` rules run on every file.
@@ -71,6 +78,46 @@ def all_rules() -> List[Rule]:
     return sorted(RULES.values(), key=lambda r: r.rule_id)
 
 
+@dataclass(frozen=True)
+class GraphRule:
+    """A whole-program check running over the project call graph.
+
+    Unlike per-file :class:`Rule` checks, a graph rule sees every file at
+    once (a :class:`repro.lint.graph.ProjectGraph`) and yields findings
+    as ``(rel, lineno, message)`` triples — the analysis driver attaches
+    severities and applies suppressions.
+    """
+
+    rule_id: str
+    summary: str
+    severity: Severity
+    check: GraphCheckFn
+
+
+GRAPH_RULES: Dict[str, GraphRule] = {}
+
+
+def graph_rule(rule_id: str, summary: str, *,
+               severity: Severity = Severity.ERROR
+               ) -> Callable[[GraphCheckFn], GraphCheckFn]:
+    """Decorator registering a whole-program check under ``rule_id``."""
+
+    def deco(fn: GraphCheckFn) -> GraphCheckFn:
+        if rule_id in RULES or rule_id in GRAPH_RULES:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        GRAPH_RULES[rule_id] = GraphRule(rule_id, summary, severity, fn)
+        return fn
+
+    return deco
+
+
+def all_graph_rules() -> List[GraphRule]:
+    """The shipped whole-program catalogue, sorted by id."""
+    import repro.lint.rules  # noqa: F401  -- ensure registration ran
+
+    return sorted(GRAPH_RULES.values(), key=lambda r: r.rule_id)
+
+
 @dataclass
 class LintReport:
     """Outcome of one engine run (before baseline filtering)."""
@@ -120,6 +167,13 @@ class LintEngine:
                               Severity.ERROR, f"cannot parse: {exc.msg}")
             report.findings.append(finding)
             return [finding]
+        return self.lint_context(ctx, report)
+
+    def lint_context(self, ctx: FileContext,
+                     report: Optional[LintReport] = None) -> List[Finding]:
+        """Run the per-file rules over an already-parsed context."""
+        report = report if report is not None else LintReport()
+        rel = ctx.rel
         out: List[Finding] = []
         seen = set()
         for r in self.active_rules():

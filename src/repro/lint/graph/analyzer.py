@@ -1,0 +1,175 @@
+"""The whole-program analysis driver behind ``repro lint --graph``.
+
+One :class:`ProjectAnalyzer` run:
+
+1. walks the scan roots, content-hashing every ``*.py`` file;
+2. reuses the cached per-file findings + summary for unchanged files,
+   re-parsing and re-analyzing only what changed (see
+   :mod:`repro.lint.graph.cache`);
+3. rebuilds the project call graph from the (cached + fresh) summaries;
+4. runs the registered whole-program rules (SL6xx taint, SL7xx unit
+   dataflow) over the graph, applying inline suppressions and severity
+   overrides exactly like the per-file engine.
+
+The resulting :class:`~repro.lint.engine.LintReport` is byte-identical
+whether the cache was cold, warm, stale, or corrupt — the cache is an
+accelerator, not an input.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.context import FileContext
+from repro.lint.engine import (
+    PARSE_ERROR_RULE,
+    GraphRule,
+    LintEngine,
+    LintReport,
+    all_graph_rules,
+)
+from repro.lint.findings import Finding, Severity
+from repro.lint.graph.cache import (
+    CacheEntry,
+    CacheStats,
+    SummaryCache,
+    ruleset_fingerprint,
+)
+from repro.lint.graph.graphbuild import ProjectGraph, build_graph
+from repro.lint.graph.summary import FileSummary, summarize_tree
+
+__all__ = ["AnalysisResult", "ProjectAnalyzer"]
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one whole-program run produced."""
+
+    report: LintReport
+    graph: ProjectGraph
+    cache_stats: CacheStats
+    summaries: Dict[str, FileSummary]
+
+
+def _iter_files(root: Path):
+    """(path, rel, rootdir) for every python file under *root*."""
+    if root.is_file():
+        yield root, root.name, root.parent
+        return
+    for path in sorted(root.rglob("*.py")):
+        yield path, path.relative_to(root).as_posix(), root
+
+
+def _module_name(rootpkg: str, rel: str) -> str:
+    """``net/engine.py`` under root ``repro`` -> ``repro.net.engine``."""
+    parts = rel[:-3].split("/")  # strip ".py"
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join([rootpkg] + parts) if parts else rootpkg
+
+
+class ProjectAnalyzer:
+    """Whole-program lint: per-file rules + call-graph rules + cache."""
+
+    def __init__(self, config: Optional[LintConfig] = None,
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 engine: Optional[LintEngine] = None,
+                 graph_rules: Optional[Sequence[GraphRule]] = None):
+        self.config = config or DEFAULT_CONFIG
+        self.engine = engine or LintEngine(config=self.config)
+        rules = list(graph_rules) if graph_rules is not None else all_graph_rules()
+        self.graph_rules = [r for r in rules
+                            if r.rule_id not in self.config.disabled_rules]
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+
+    def _severity(self, rule: GraphRule) -> Severity:
+        return self.config.severity_overrides.get(rule.rule_id, rule.severity)
+
+    def _open_cache(self) -> Optional[SummaryCache]:
+        if self.cache_dir is None:
+            return None
+        fingerprint = ruleset_fingerprint(
+            self.config, self.engine.active_rules(), self.graph_rules)
+        return SummaryCache(self.cache_dir, fingerprint)
+
+    # -- per-file pass ------------------------------------------------------
+
+    def _analyze_file(self, path: Path, rel: str, module: str) -> CacheEntry:
+        """Parse once; run the per-file rules and build the summary."""
+        source = path.read_bytes().decode("utf-8")
+        scratch = LintReport()
+        try:
+            ctx = FileContext.from_source(source, rel, self.config)
+        except SyntaxError as exc:
+            finding = Finding(rel, exc.lineno or 1, PARSE_ERROR_RULE,
+                              Severity.ERROR, f"cannot parse: {exc.msg}")
+            summary = FileSummary(rel=rel, module=module,
+                                  parse_error=(exc.lineno or 1, str(exc.msg)))
+            return CacheEntry(sha256="", summary=summary, findings=[finding])
+        findings = self.engine.lint_context(ctx, scratch)
+        summary = summarize_tree(ctx.tree, rel, module, ctx.suppressions)
+        return CacheEntry(sha256="", summary=summary, findings=findings,
+                          suppressed=list(scratch.suppressed))
+
+    # -- the run ------------------------------------------------------------
+
+    def run(self, roots: Sequence[Union[str, Path]]) -> AnalysisResult:
+        cache = self._open_cache()
+        stats = cache.stats if cache is not None else CacheStats()
+        report = LintReport()
+        summaries: Dict[str, FileSummary] = {}
+
+        for root in [Path(r) for r in roots]:
+            rootpkg = (root.name if root.is_dir() else root.parent.name)
+            for path, rel, _rootdir in _iter_files(root):
+                digest = hashlib.sha256(path.read_bytes()).hexdigest()
+                entry = cache.lookup(rel, digest) if cache is not None else None
+                if entry is None:
+                    if cache is None:
+                        stats.misses += 1
+                    entry = self._analyze_file(path, rel,
+                                               _module_name(rootpkg, rel))
+                    entry.sha256 = digest
+                if cache is not None:
+                    cache.store(rel, entry)
+                report.files_scanned += 1
+                report.findings.extend(entry.findings)
+                report.suppressed.extend(entry.suppressed)
+                summaries[rel] = entry.summary
+
+        graph = build_graph(summaries, self.config)
+        kept, suppressed = self._graph_findings(graph)
+        report.findings.extend(kept)
+        report.suppressed.extend(suppressed)
+        report.findings.sort(key=Finding.sort_key)
+        report.suppressed.sort(key=Finding.sort_key)
+
+        if cache is not None:
+            cache.save()
+        return AnalysisResult(report=report, graph=graph,
+                              cache_stats=stats, summaries=summaries)
+
+    def _graph_findings(self, graph: ProjectGraph):
+        kept: List[Finding] = []
+        suppressed: List[Finding] = []
+        seen = {}
+        for rule in self.graph_rules:
+            severity = self._severity(rule)
+            for rel, line, message in rule.check(graph):
+                key = (rel, line, rule.rule_id, message)
+                if key in seen:
+                    continue
+                seen[key] = True
+                finding = Finding(rel, line, rule.rule_id, severity, message)
+                summary = graph.summaries.get(rel)
+                if summary is not None and summary.is_suppressed(line, rule.rule_id):
+                    suppressed.append(finding)
+                else:
+                    kept.append(finding)
+        kept.sort(key=Finding.sort_key)
+        suppressed.sort(key=Finding.sort_key)
+        return kept, suppressed

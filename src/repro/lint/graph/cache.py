@@ -1,0 +1,180 @@
+"""The incremental analysis cache (``.lint_cache/``).
+
+One JSON document per (rule-set fingerprint), mapping each scanned file
+to its content hash, its per-file findings, and its whole-program
+summary.  On a warm run an unchanged file costs one ``sha256`` — no
+parse, no rule execution — and the call graph is rebuilt from cached
+summaries alone.  The fingerprint covers the summary schema version, the
+active rule catalogue (ids and severities), and the lint configuration,
+so any change to the analyzer invalidates the whole cache rather than
+serving stale results.
+
+The cache is an *accelerator*, never a source of truth: a corrupt or
+stale entry (hash mismatch, bad JSON, wrong version) is dropped and the
+file transparently re-analyzed — reports are byte-identical either way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.graph.summary import SUMMARY_VERSION, FileSummary
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "CacheEntry",
+    "CacheStats",
+    "SummaryCache",
+    "ruleset_fingerprint",
+]
+
+CACHE_VERSION = 1
+
+#: Conventional location, relative to the invoking working directory.
+DEFAULT_CACHE_DIR = ".lint_cache"
+
+
+def ruleset_fingerprint(config, rules, graph_rules) -> str:
+    """Stable hex key for (schema, rule catalogue, configuration).
+
+    Any difference — a rule added or re-severitied, a config knob
+    flipped, a summary-schema bump — yields a different fingerprint and
+    therefore a disjoint cache file.
+    """
+    payload = {
+        "cache_version": CACHE_VERSION,
+        "summary_version": SUMMARY_VERSION,
+        "rules": [[r.rule_id, r.severity.value, r.scope] for r in rules],
+        "graph_rules": [[r.rule_id, r.severity.value] for r in graph_rules],
+        "config": {
+            "model_packages": sorted(config.model_packages),
+            "rng_entrypoints": sorted(config.rng_entrypoints),
+            "units_definition_files": sorted(config.units_definition_files),
+            "span_emitter_files": sorted(config.span_emitter_files),
+            "parallelism_packages": sorted(config.parallelism_packages),
+            "disabled_rules": sorted(config.disabled_rules),
+            "severity_overrides": {
+                k: v.value for k, v in sorted(config.severity_overrides.items())
+            },
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class CacheStats:
+    """Counters the incremental-cache tests assert against."""
+
+    hits: int = 0
+    misses: int = 0
+    #: Entries present but unusable (content hash changed, bad schema).
+    invalidated: int = 0
+    #: The cache file existed but could not be read at all.
+    corrupt: bool = False
+
+    def describe(self) -> str:
+        return (f"{self.hits} hit(s), {self.misses} miss(es), "
+                f"{self.invalidated} invalidated"
+                + (", corrupt cache dropped" if self.corrupt else ""))
+
+
+@dataclass
+class CacheEntry:
+    """Everything cached for one file at one content hash."""
+
+    sha256: str
+    summary: FileSummary
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "sha256": self.sha256,
+            "summary": self.summary.to_json(),
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CacheEntry":
+        def revive(d) -> Finding:
+            return Finding(file=d["file"], line=int(d["line"]), rule=d["rule"],
+                           severity=Severity(d["severity"]), message=d["message"])
+
+        return cls(
+            sha256=data["sha256"],
+            summary=FileSummary.from_json(data["summary"]),
+            findings=[revive(f) for f in data["findings"]],
+            suppressed=[revive(f) for f in data["suppressed"]],
+        )
+
+
+class SummaryCache:
+    """Load/store per-file analysis results under one fingerprint."""
+
+    def __init__(self, directory: Union[str, Path], fingerprint: str):
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+        self.path = self.directory / f"lint-cache-{fingerprint}.json"
+        self.stats = CacheStats()
+        self._entries: Dict[str, CacheEntry] = {}
+        self._loaded_raw: Dict[str, dict] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.is_file():
+            return
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+            if data.get("version") != CACHE_VERSION \
+                    or data.get("fingerprint") != self.fingerprint:
+                raise ValueError("cache schema mismatch")
+            files = data["files"]
+            if not isinstance(files, dict):
+                raise ValueError("bad cache payload")
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            self.stats.corrupt = True
+            return
+        self._loaded_raw = files
+
+    def lookup(self, rel: str, sha256: str) -> Optional[CacheEntry]:
+        """The cached entry for *rel* iff its content hash still matches."""
+        raw = self._loaded_raw.get(rel)
+        if raw is None:
+            self.stats.misses += 1
+            return None
+        try:
+            if raw.get("sha256") != sha256:
+                raise ValueError("content changed")
+            entry = CacheEntry.from_json(raw)
+        except (ValueError, KeyError, TypeError):
+            self.stats.invalidated += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def store(self, rel: str, entry: CacheEntry) -> None:
+        self._entries[rel] = entry
+
+    def save(self) -> None:
+        """Atomically persist exactly the entries stored this run."""
+        payload = {
+            "version": CACHE_VERSION,
+            "fingerprint": self.fingerprint,
+            "files": {rel: self._entries[rel].to_json()
+                      for rel in sorted(self._entries)},
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        tmp = self.path.with_suffix(f".tmp-{os.getpid()}")
+        tmp.write_text(blob, encoding="utf-8")
+        os.replace(tmp, self.path)

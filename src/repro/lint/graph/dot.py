@@ -1,0 +1,86 @@
+"""Graphviz DOT export of the project call graph (``repro lint graph --dot``).
+
+Nodes are project functions, clustered per module; model-package
+entrypoints are drawn as blue boxes, external sink callees (wall clock,
+OS entropy) red, and unresolved dynamic calls as dashed edges to gray
+ellipses — the explicit ``unknown`` edges the resolver refuses to drop.
+Output is fully deterministic (sorted nodes and edges) so diffs of two
+exports are meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lint.graph.graphbuild import ProjectGraph
+from repro.lint.rules.taint import (
+    ARGLESS_ENTROPY_SINKS,
+    ENTROPY_SINKS,
+    WALL_CLOCK_SINKS,
+)
+
+__all__ = ["to_dot"]
+
+_SINK_FQS = WALL_CLOCK_SINKS | ENTROPY_SINKS | ARGLESS_ENTROPY_SINKS
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '\\"') + '"'
+
+
+def to_dot(graph: ProjectGraph, focus: Optional[str] = None) -> str:
+    """Render the call graph as DOT; *focus* keeps edges touching a
+    dotted-name prefix (e.g. ``repro.broker``)."""
+
+    def in_focus(fq: Optional[str]) -> bool:
+        return bool(fq) and (focus is None or fq.startswith(focus))
+
+    lines: List[str] = [
+        "digraph repro_lint_callgraph {",
+        "  rankdir=LR;",
+        '  node [fontsize=9, shape=box, style=filled, fillcolor=white];',
+        "  edge [fontsize=8];",
+    ]
+
+    edges = [e for e in graph.edges
+             if in_focus(e.caller) or in_focus(e.target)]
+    nodes = set()
+    for e in edges:
+        nodes.add(e.caller)
+        if e.kind in ("project", "defines") and e.target:
+            nodes.add(e.target)
+
+    for fq in sorted(nodes):
+        attrs = []
+        if fq in graph.functions and graph.is_model(fq):
+            attrs.append('fillcolor="#cfe2f3"')
+        label = fq.replace('"', '\\"')
+        attrs.append(f'label="{label}"')
+        lines.append(f"  {_quote(fq)} [{', '.join(attrs)}];")
+
+    extern_nodes = set()
+    for e in edges:
+        if e.kind == "external" and e.target in _SINK_FQS:
+            extern_nodes.add(e.target)
+        elif e.kind == "unknown":
+            extern_nodes.add(e.raw or "<dynamic>")
+    for name in sorted(extern_nodes):
+        color = '"#f4cccc"' if name in _SINK_FQS else '"#eeeeee"'
+        lines.append(f"  {_quote(name)} [shape=ellipse, fillcolor={color}];")
+
+    for e in sorted(edges, key=lambda e: (e.caller, e.line,
+                                          e.target or e.raw or "")):
+        if e.kind in ("project", "defines") and e.target:
+            style = ' [style=dotted, label="defines"]' \
+                if e.kind == "defines" else ""
+            lines.append(f"  {_quote(e.caller)} -> {_quote(e.target)}{style};")
+        elif e.kind == "external" and e.target in _SINK_FQS:
+            lines.append(f"  {_quote(e.caller)} -> {_quote(e.target)}"
+                         f" [color=red];")
+        elif e.kind == "unknown":
+            lines.append(f"  {_quote(e.caller)} -> "
+                         f"{_quote(e.raw or '<dynamic>')}"
+                         f" [style=dashed, color=gray];")
+
+    lines.append("}")
+    return "\n".join(lines) + "\n"

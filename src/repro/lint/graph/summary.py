@@ -1,0 +1,658 @@
+"""Per-file analysis summaries — the unit of whole-program analysis.
+
+A :class:`FileSummary` is everything the cross-file passes need to know
+about one module: its import table, the functions it defines (with the
+calls they make, the unit tags of their parameters and returns, and any
+locally detected nondeterminism sinks), its classes, and its suppression
+comments.  Summaries are plain-JSON serializable, which is what makes
+the incremental cache (:mod:`repro.lint.graph.cache`) possible: a warm
+run never re-parses an unchanged file — the whole-program graph is
+rebuilt from cached summaries alone.
+
+Unit terms
+----------
+
+The unit-dataflow pass (SL7xx) reasons over *unit terms*, a tiny lattice
+serialized as JSON lists:
+
+* ``None`` — unknown / dimensionless;
+* ``["u", "s"]`` — a concrete unit tag inferred from a name suffix
+  (``_s``, ``_bytes``, ``_bps``, ``_mb``, ...);
+* ``["c", "pkg.helper"]`` — the unit of whatever the named callee
+  returns (resolved later against the call graph).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.lint.context import dotted_name, is_setish, parse_suppressions
+
+__all__ = [
+    "SUMMARY_VERSION",
+    "CallSite",
+    "FunctionSummary",
+    "FileSummary",
+    "MODULE_BODY",
+    "unit_of_name",
+    "unit_family",
+    "summarize_source",
+    "summarize_tree",
+]
+
+#: Bump whenever the summary schema or extraction logic changes: the
+#: incremental cache keys on it, so stale summaries are never reused.
+SUMMARY_VERSION = 1
+
+#: Pseudo-function name for statements executed at import time.
+MODULE_BODY = "<module>"
+
+# -- unit vocabulary --------------------------------------------------------
+
+#: Name-suffix -> unit tag, longest suffix first so ``_mbps`` is not
+#: mistaken for ``_bps`` and ``_bytes`` not for ``_s``.
+_UNIT_SUFFIXES: Tuple[Tuple[str, str], ...] = (
+    ("_bytes", "bytes"),
+    ("_kbps", "kbps"), ("_mbps", "mbps"), ("_gbps", "gbps"), ("_bps", "bps"),
+    ("_kib", "kib"), ("_mib", "mib"), ("_gib", "gib"),
+    ("_kb", "kb"), ("_mb", "mb"), ("_gb", "gb"),
+    ("_ms", "ms"), ("_us", "us"), ("_s", "s"),
+)
+
+#: Conventional bare names that carry a unit without a suffix.
+_EXACT_UNIT_NAMES = {"nbytes": "bytes", "seconds": "s"}
+
+_FAMILIES = {
+    "s": "time", "ms": "time", "us": "time",
+    "bytes": "size", "kb": "size", "mb": "size", "gb": "size",
+    "kib": "size", "mib": "size", "gib": "size",
+    "bps": "rate", "kbps": "rate", "mbps": "rate", "gbps": "rate",
+}
+
+
+def unit_of_name(name: Optional[str]) -> Optional[str]:
+    """The unit tag a name's suffix declares, if any."""
+    if not name:
+        return None
+    lowered = name.lower()
+    if lowered in _EXACT_UNIT_NAMES:
+        return _EXACT_UNIT_NAMES[lowered]
+    for suffix, unit in _UNIT_SUFFIXES:
+        if lowered.endswith(suffix):
+            return unit
+    return None
+
+
+def unit_family(unit: str) -> str:
+    """``s``/``ms`` -> ``time``, ``bytes``/``mb`` -> ``size``, ..."""
+    return _FAMILIES[unit]
+
+
+# A unit term: None | ["u", unit] | ["c", raw_callee]
+Term = Optional[List[str]]
+
+
+def _unit_term(unit: Optional[str]) -> Term:
+    return ["u", unit] if unit else None
+
+
+# -- summary dataclasses ----------------------------------------------------
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    line: int
+    #: Dotted callee spelling (``np.random.default_rng``); None when the
+    #: callee is not a Name/Attribute chain (``handlers[k]()``).
+    raw: Optional[str]
+    nargs: int = 0
+    nkw: int = 0
+    #: ``*args`` / ``**kwargs`` present — argument binding is not mapped.
+    star: bool = False
+    #: The head identifier is a local variable — dynamic dispatch.
+    local_head: bool = False
+    #: Argument unit terms: (positional index | keyword name, term).
+    args: List[Tuple[Any, Term]] = field(default_factory=list)
+
+    def to_json(self) -> list:
+        return [self.line, self.raw, self.nargs, self.nkw,
+                int(self.star), int(self.local_head), list(self.args)]
+
+    @classmethod
+    def from_json(cls, data: list) -> "CallSite":
+        line, raw, nargs, nkw, star, local_head, args = data
+        return cls(line=line, raw=raw, nargs=nargs, nkw=nkw, star=bool(star),
+                   local_head=bool(local_head),
+                   args=[(k, t) for k, t in args])
+
+
+@dataclass
+class FunctionSummary:
+    """One function/method (or the module body) as the graph sees it."""
+
+    qname: str  # "func", "Class.method", "outer.inner", or "<module>"
+    line: int
+    cls: Optional[str] = None
+    #: Positional-capable parameter names, in order (incl. self/cls).
+    posparams: List[str] = field(default_factory=list)
+    kwonly: List[str] = field(default_factory=list)
+    vararg: bool = False
+    kwarg: bool = False
+    #: Parameter name -> unit tag (suffix-inferred), only tagged ones.
+    param_units: Dict[str, str] = field(default_factory=dict)
+    calls: List[CallSite] = field(default_factory=list)
+    #: Locally detected sinks: (line, kind); kinds: "set-iter".
+    sinks: List[Tuple[int, str]] = field(default_factory=list)
+    #: Unit terms of ``return`` expressions.
+    returns: List[Term] = field(default_factory=list)
+    #: Mixed-unit arithmetic candidates: (line, op, left term, right term).
+    binop_checks: List[Tuple[int, str, Term, Term]] = field(default_factory=list)
+    #: Suffix-vs-call-return candidates: (line, target, target unit, term).
+    assign_checks: List[Tuple[int, str, str, Term]] = field(default_factory=list)
+    #: Locally defined nested functions: bare name -> qname.
+    nested: Dict[str, str] = field(default_factory=dict)
+    has_value_return: bool = False
+    #: Binding-relevant decorators only: "staticmethod" / "classmethod".
+    decorators: List[str] = field(default_factory=list)
+
+    @property
+    def implicit_first_param(self) -> bool:
+        """True when calls through an instance bind ``self``/``cls``."""
+        return self.cls is not None and "staticmethod" not in self.decorators
+
+    def to_json(self) -> dict:
+        return {
+            "q": self.qname, "ln": self.line, "cls": self.cls,
+            "pp": self.posparams, "kw": self.kwonly,
+            "va": int(self.vararg), "ka": int(self.kwarg),
+            "pu": self.param_units,
+            "calls": [c.to_json() for c in self.calls],
+            "sinks": [list(s) for s in self.sinks],
+            "rets": self.returns,
+            "bin": [list(b) for b in self.binop_checks],
+            "asg": [list(a) for a in self.assign_checks],
+            "nested": self.nested,
+            "hvr": int(self.has_value_return),
+            "dec": self.decorators,
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "FunctionSummary":
+        return cls(
+            qname=d["q"], line=d["ln"], cls=d["cls"],
+            posparams=list(d["pp"]), kwonly=list(d["kw"]),
+            vararg=bool(d["va"]), kwarg=bool(d["ka"]),
+            param_units=dict(d["pu"]),
+            calls=[CallSite.from_json(c) for c in d["calls"]],
+            sinks=[(s[0], s[1]) for s in d["sinks"]],
+            returns=list(d["rets"]),
+            binop_checks=[(b[0], b[1], b[2], b[3]) for b in d["bin"]],
+            assign_checks=[(a[0], a[1], a[2], a[3]) for a in d["asg"]],
+            nested=dict(d["nested"]),
+            has_value_return=bool(d["hvr"]),
+            decorators=list(d["dec"]),
+        )
+
+
+@dataclass
+class FileSummary:
+    """Everything the whole-program passes need from one source file."""
+
+    rel: str
+    module: str  # fully dotted, e.g. "repro.net.engine"
+    #: Local binding -> fully qualified target ("np" -> "numpy",
+    #: "Engine" -> "repro.net.engine.Engine").
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: Modules star-imported (``from m import *``), in source order.
+    star_imports: List[str] = field(default_factory=list)
+    #: Top-level definitions: name -> "func" | "class".
+    defs: Dict[str, str] = field(default_factory=dict)
+    #: Class name -> {"bases": [raw dotted], "methods": [names]}.
+    classes: Dict[str, Dict[str, List[str]]] = field(default_factory=dict)
+    functions: List[FunctionSummary] = field(default_factory=list)
+    #: Suppression comments: line -> sorted rule ids ("*" = all).
+    suppressions: Dict[int, List[str]] = field(default_factory=dict)
+    #: (lineno, message) when the file does not parse.
+    parse_error: Optional[Tuple[int, str]] = None
+
+    @property
+    def package(self) -> str:
+        head = self.rel.split("/", 1)[0]
+        return head[:-3] if head.endswith(".py") else head
+
+    def function(self, qname: str) -> Optional[FunctionSummary]:
+        for fn in self.functions:
+            if fn.qname == qname:
+                return fn
+        return None
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        rules = self.suppressions.get(line)
+        return bool(rules) and (rule_id in rules or "*" in rules)
+
+    def to_json(self) -> dict:
+        return {
+            "rel": self.rel, "module": self.module,
+            "imports": self.imports, "stars": self.star_imports,
+            "defs": self.defs, "classes": self.classes,
+            "funcs": [f.to_json() for f in self.functions],
+            "supp": {str(k): v for k, v in sorted(self.suppressions.items())},
+            "err": list(self.parse_error) if self.parse_error else None,
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "FileSummary":
+        return cls(
+            rel=d["rel"], module=d["module"],
+            imports=dict(d["imports"]), star_imports=list(d["stars"]),
+            defs=dict(d["defs"]), classes=dict(d["classes"]),
+            functions=[FunctionSummary.from_json(f) for f in d["funcs"]],
+            suppressions={int(k): list(v) for k, v in d["supp"].items()},
+            parse_error=tuple(d["err"]) if d["err"] else None,
+        )
+
+
+# -- extraction -------------------------------------------------------------
+
+
+class _FuncCtx:
+    """Mutable state while walking one function body."""
+
+    def __init__(self, qname: str, cls: Optional[str], line: int):
+        self.summary = FunctionSummary(qname=qname, cls=cls, line=line)
+        #: local name -> unit term (for propagation through assignments)
+        self.env: Dict[str, Term] = {}
+        #: every locally bound name (params, assignments, defs)
+        self.local_names: set = set()
+
+
+class _Summarizer:
+    """Single-pass AST walk producing a :class:`FileSummary`."""
+
+    def __init__(self, rel: str, module: str, suppressions: Dict[int, FrozenSet[str]]):
+        self.out = FileSummary(
+            rel=rel, module=module,
+            suppressions={line: sorted(rules)
+                          for line, rules in sorted(suppressions.items())},
+        )
+        self._package = module if rel.endswith("__init__.py") else (
+            module.rsplit(".", 1)[0] if "." in module else module)
+
+    # -- imports ------------------------------------------------------------
+
+    def _record_import(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    self.out.imports[alias.asname] = alias.name
+                else:
+                    # ``import a.b.c`` binds the top-level name ``a``.
+                    head = alias.name.split(".", 1)[0]
+                    self.out.imports[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                pkg_parts = self._package.split(".")
+                if node.level > 1:
+                    pkg_parts = pkg_parts[:len(pkg_parts) - (node.level - 1)]
+                prefix = ".".join(pkg_parts)
+                base = f"{prefix}.{base}" if base else prefix
+            for alias in node.names:
+                if alias.name == "*":
+                    if base not in self.out.star_imports:
+                        self.out.star_imports.append(base)
+                else:
+                    bound = alias.asname or alias.name
+                    self.out.imports[bound] = f"{base}.{alias.name}"
+
+    # -- statements ---------------------------------------------------------
+
+    def run(self, tree: ast.Module) -> FileSummary:
+        ctx = _FuncCtx(MODULE_BODY, None, 1)
+        self._walk_stmts(tree.body, ctx, prefix="", cls=None)
+        self.out.functions.append(ctx.summary)
+        return self.out
+
+    def _walk_stmts(self, stmts, ctx: _FuncCtx, prefix: str,
+                    cls: Optional[str]) -> None:
+        for st in stmts:
+            self._walk_stmt(st, ctx, prefix, cls)
+
+    def _walk_stmt(self, st: ast.stmt, ctx: _FuncCtx, prefix: str,
+                   cls: Optional[str]) -> None:
+        if isinstance(st, (ast.Import, ast.ImportFrom)):
+            self._record_import(st)
+        elif isinstance(st, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._function(st, ctx, prefix, cls)
+        elif isinstance(st, ast.ClassDef):
+            self._class(st, ctx, prefix)
+        elif isinstance(st, ast.Assign):
+            self._assign(st.targets, st.value, st, ctx)
+        elif isinstance(st, ast.AnnAssign):
+            if st.value is not None:
+                self._assign([st.target], st.value, st, ctx)
+            elif isinstance(st.target, ast.Name):
+                ctx.local_names.add(st.target.id)
+        elif isinstance(st, ast.AugAssign):
+            self._augassign(st, ctx)
+        elif isinstance(st, ast.Return):
+            if st.value is not None:
+                term = self._eval(st.value, ctx)
+                ctx.summary.returns.append(term)
+                ctx.summary.has_value_return = True
+        elif isinstance(st, (ast.For, ast.AsyncFor)):
+            if is_setish(st.iter):
+                ctx.summary.sinks.append((st.iter.lineno, "set-iter"))
+            self._eval(st.iter, ctx)
+            self._bind_target(st.target, None, ctx)
+            self._walk_stmts(st.body, ctx, prefix, cls)
+            self._walk_stmts(st.orelse, ctx, prefix, cls)
+        elif isinstance(st, ast.While):
+            self._eval(st.test, ctx)
+            self._walk_stmts(st.body, ctx, prefix, cls)
+            self._walk_stmts(st.orelse, ctx, prefix, cls)
+        elif isinstance(st, ast.If):
+            self._eval(st.test, ctx)
+            self._walk_stmts(st.body, ctx, prefix, cls)
+            self._walk_stmts(st.orelse, ctx, prefix, cls)
+        elif isinstance(st, (ast.With, ast.AsyncWith)):
+            for item in st.items:
+                self._eval(item.context_expr, ctx)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, None, ctx)
+            self._walk_stmts(st.body, ctx, prefix, cls)
+        elif isinstance(st, ast.Try):
+            self._walk_stmts(st.body, ctx, prefix, cls)
+            for handler in st.handlers:
+                if handler.type is not None:
+                    self._eval(handler.type, ctx)
+                if handler.name:
+                    ctx.local_names.add(handler.name)
+                self._walk_stmts(handler.body, ctx, prefix, cls)
+            self._walk_stmts(st.orelse, ctx, prefix, cls)
+            self._walk_stmts(st.finalbody, ctx, prefix, cls)
+        elif isinstance(st, ast.Expr):
+            self._eval(st.value, ctx)
+        elif isinstance(st, ast.Raise):
+            if st.exc is not None:
+                self._eval(st.exc, ctx)
+            if st.cause is not None:
+                self._eval(st.cause, ctx)
+        elif isinstance(st, ast.Assert):
+            self._eval(st.test, ctx)
+            if st.msg is not None:
+                self._eval(st.msg, ctx)
+        elif isinstance(st, ast.Delete):
+            for t in st.targets:
+                self._eval(t, ctx)
+        elif hasattr(ast, "Match") and isinstance(st, ast.Match):
+            self._eval(st.subject, ctx)
+            for case in st.cases:
+                if case.guard is not None:
+                    self._eval(case.guard, ctx)
+                self._walk_stmts(case.body, ctx, prefix, cls)
+        # Global/Nonlocal/Pass/Break/Continue: nothing to record.
+
+    def _function(self, st, ctx: _FuncCtx, prefix: str, cls: Optional[str]) -> None:
+        # Decorators and defaults evaluate in the *enclosing* scope.
+        binding_decos = []
+        for deco in st.decorator_list:
+            name = dotted_name(deco)
+            if name in ("staticmethod", "classmethod"):
+                binding_decos.append(name)
+            self._eval(deco, ctx)
+        for default in list(st.args.defaults) + [d for d in st.args.kw_defaults
+                                                 if d is not None]:
+            self._eval(default, ctx)
+
+        qname = f"{prefix}{st.name}"
+        child = _FuncCtx(qname, cls, st.lineno)
+        fn = child.summary
+        fn.decorators = binding_decos
+        args = st.args
+        fn.posparams = [a.arg for a in args.posonlyargs + args.args]
+        fn.kwonly = [a.arg for a in args.kwonlyargs]
+        fn.vararg = args.vararg is not None
+        fn.kwarg = args.kwarg is not None
+        for pname in fn.posparams + fn.kwonly:
+            child.local_names.add(pname)
+            unit = unit_of_name(pname)
+            if unit:
+                fn.param_units[pname] = unit
+        if args.vararg:
+            child.local_names.add(args.vararg.arg)
+        if args.kwarg:
+            child.local_names.add(args.kwarg.arg)
+
+        self._walk_stmts(st.body, child, prefix=f"{qname}.", cls=cls)
+        self.out.functions.append(fn)
+
+        # Record the definition in the enclosing scope: a top-level def,
+        # a method (recorded via its class), or a nested function.
+        if ctx.summary.qname == MODULE_BODY and cls is None:
+            self.out.defs.setdefault(st.name, "func")
+        elif ctx.summary.qname != MODULE_BODY:
+            ctx.summary.nested[st.name] = qname
+            ctx.local_names.add(st.name)
+
+    def _class(self, st: ast.ClassDef, ctx: _FuncCtx, prefix: str) -> None:
+        for deco in st.decorator_list:
+            self._eval(deco, ctx)
+        bases: List[str] = []
+        for base in st.bases:
+            raw = dotted_name(base)
+            if raw:
+                bases.append(raw)
+            else:
+                self._eval(base, ctx)
+        for kw in st.keywords:
+            self._eval(kw.value, ctx)
+
+        cls_qname = f"{prefix}{st.name}"
+        methods: List[str] = []
+        for sub in st.body:
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods.append(sub.name)
+                self._function(sub, ctx, prefix=f"{cls_qname}.", cls=cls_qname)
+            else:
+                # Class-level assignments etc. run at import time.
+                self._walk_stmt(sub, ctx, prefix=f"{cls_qname}.", cls=cls_qname)
+
+        if ctx.summary.qname == MODULE_BODY and prefix == "":
+            self.out.defs.setdefault(st.name, "class")
+            self.out.classes[st.name] = {"bases": bases, "methods": methods}
+        else:
+            ctx.local_names.add(st.name)
+
+    # -- assignments --------------------------------------------------------
+
+    def _bind_target(self, target: ast.AST, term: Term, ctx: _FuncCtx) -> None:
+        if isinstance(target, ast.Name):
+            ctx.local_names.add(target.id)
+            if term is not None:
+                ctx.env[target.id] = term
+            target_unit = unit_of_name(target.id)
+            if target_unit and term is not None and term[0] == "c":
+                ctx.summary.assign_checks.append(
+                    (target.lineno, target.id, target_unit, term))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_target(elt, None, ctx)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            self._eval(target.value, ctx)
+
+    def _assign(self, targets, value, st, ctx: _FuncCtx) -> None:
+        term = self._eval(value, ctx)
+        for target in targets:
+            self._bind_target(target, term, ctx)
+
+    def _augassign(self, st: ast.AugAssign, ctx: _FuncCtx) -> None:
+        term = self._eval(st.value, ctx)
+        if isinstance(st.target, ast.Name):
+            ctx.local_names.add(st.target.id)
+            target_unit = unit_of_name(st.target.id)
+            if target_unit and term is not None and term[0] == "c" \
+                    and isinstance(st.op, (ast.Add, ast.Sub)):
+                ctx.summary.assign_checks.append(
+                    (st.target.lineno, st.target.id, target_unit, term))
+        elif isinstance(st.target, (ast.Attribute, ast.Subscript)):
+            self._eval(st.target.value, ctx)
+
+    # -- expressions --------------------------------------------------------
+
+    def _eval(self, node: ast.expr, ctx: _FuncCtx) -> Term:
+        """Unit term of an expression; records calls and check sites."""
+        if isinstance(node, ast.Name):
+            if node.id in ctx.env:
+                return ctx.env[node.id]
+            return _unit_term(unit_of_name(node.id))
+        if isinstance(node, ast.Attribute):
+            self._eval(node.value, ctx)
+            return _unit_term(unit_of_name(node.attr))
+        if isinstance(node, ast.Call):
+            return self._call(node, ctx)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node, ctx)
+        if isinstance(node, ast.Compare):
+            terms = [self._eval(node.left, ctx)]
+            terms += [self._eval(c, ctx) for c in node.comparators]
+            known = [t for t in terms if t is not None]
+            if len(known) == 2 and known[0] != known[1]:
+                ctx.summary.binop_checks.append(
+                    (node.lineno, "cmp", known[0], known[1]))
+            return None
+        if isinstance(node, ast.BoolOp):
+            for v in node.values:
+                self._eval(v, ctx)
+            return None
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, ctx)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, ctx)
+            left = self._eval(node.body, ctx)
+            right = self._eval(node.orelse, ctx)
+            return left if left == right else None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            for gen in node.generators:
+                if is_setish(gen.iter):
+                    ctx.summary.sinks.append((gen.iter.lineno, "set-iter"))
+                self._eval(gen.iter, ctx)
+                self._bind_target(gen.target, None, ctx)
+                for cond in gen.ifs:
+                    self._eval(cond, ctx)
+            if isinstance(node, ast.DictComp):
+                self._eval(node.key, ctx)
+                self._eval(node.value, ctx)
+            else:
+                self._eval(node.elt, ctx)
+            return None
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self._eval(elt, ctx)
+            return None
+        if isinstance(node, ast.Dict):
+            for k in node.keys:
+                if k is not None:
+                    self._eval(k, ctx)
+            for v in node.values:
+                self._eval(v, ctx)
+            return None
+        if isinstance(node, ast.Subscript):
+            self._eval(node.value, ctx)
+            self._eval(node.slice, ctx)
+            return None
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self._eval(part, ctx)
+            return None
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, ctx)
+        if isinstance(node, ast.Lambda):
+            self._eval(node.body, ctx)
+            return None
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self._eval(node.value, ctx)
+        if isinstance(node, ast.Yield):
+            if node.value is not None:
+                self._eval(node.value, ctx)
+            return None
+        if isinstance(node, ast.NamedExpr):
+            term = self._eval(node.value, ctx)
+            self._bind_target(node.target, term, ctx)
+            return term
+        if isinstance(node, ast.JoinedStr):
+            for v in node.values:
+                if isinstance(v, ast.FormattedValue):
+                    self._eval(v.value, ctx)
+            return None
+        return None  # Constant and anything exotic
+
+    def _binop(self, node: ast.BinOp, ctx: _FuncCtx) -> Term:
+        left = self._eval(node.left, ctx)
+        right = self._eval(node.right, ctx)
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
+            return None  # *, /, //, %, ** legitimately change units
+        op = "+" if isinstance(node.op, ast.Add) else "-"
+        if left is not None and right is not None:
+            if left == right:
+                return left
+            ctx.summary.binop_checks.append((node.lineno, op, left, right))
+            return None
+        return left if left is not None else right
+
+    def _call(self, node: ast.Call, ctx: _FuncCtx) -> Term:
+        raw = dotted_name(node.func)
+        head = raw.split(".", 1)[0] if raw is not None else None
+        if raw is None and isinstance(node.func, ast.Attribute) \
+                and isinstance(node.func.value, ast.Call):
+            # ``Ctor().method(...)``: keep the pattern resolvable with a
+            # ``().`` marker, and record the constructor call itself too.
+            inner = dotted_name(node.func.value.func)
+            if inner is not None:
+                raw = f"{inner}().{node.func.attr}"
+                head = inner.split(".", 1)[0]
+            self._eval(node.func.value, ctx)
+        elif raw is None:
+            self._eval(node.func, ctx)
+        site = CallSite(line=node.lineno, raw=raw)
+        if raw is not None:
+            site.local_head = (head in ctx.local_names
+                               and head not in ("self", "cls")
+                               and head not in ctx.summary.nested)
+        for i, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                site.star = True
+                self._eval(arg.value, ctx)
+                continue
+            term = self._eval(arg, ctx)
+            site.nargs += 1
+            if term is not None:
+                site.args.append((i, term))
+        for kw in node.keywords:
+            term = self._eval(kw.value, ctx)
+            if kw.arg is None:
+                site.star = True
+                continue
+            site.nkw += 1
+            if term is not None:
+                site.args.append((kw.arg, term))
+        ctx.summary.calls.append(site)
+        return ["c", raw] if raw is not None else None
+
+
+def summarize_tree(tree: ast.Module, rel: str, module: str,
+                   suppressions: Dict[int, FrozenSet[str]]) -> FileSummary:
+    """Summarize an already-parsed module (one parse per file, total)."""
+    return _Summarizer(rel, module, suppressions).run(tree)
+
+
+def summarize_source(source: str, rel: str, module: str) -> FileSummary:
+    """Parse and summarize one file; raises ``SyntaxError`` like ``ast``."""
+    tree = ast.parse(source, filename=rel)
+    return summarize_tree(tree, rel, module, parse_suppressions(source))

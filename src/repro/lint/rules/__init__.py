@@ -5,6 +5,10 @@
 * :mod:`repro.lint.rules.kernel` — SL3xx, kernel-safety
 * :mod:`repro.lint.rules.observability` — SL4xx, metric naming and span pairing
 * :mod:`repro.lint.rules.parallel` — SL5xx, parallelism containment
+* :mod:`repro.lint.rules.taint` — SL6xx, transitive-determinism taint
+  (whole-program, via ``repro lint --graph``)
+* :mod:`repro.lint.rules.unitsflow` — SL7xx, cross-call unit dataflow
+  (whole-program, via ``repro lint --graph``)
 """
 
 from repro.lint.rules import (  # noqa: F401
@@ -12,5 +16,7 @@ from repro.lint.rules import (  # noqa: F401
     kernel,
     observability,
     parallel,
+    taint,
     units,
+    unitsflow,
 )

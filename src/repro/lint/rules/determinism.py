@@ -7,7 +7,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Tuple
 
-from repro.lint.context import FileContext, dotted_name
+from repro.lint.context import FileContext, dotted_name, is_setish
 from repro.lint.engine import MODEL, TREE, rule
 
 __all__ = []
@@ -91,17 +91,8 @@ def adhoc_default_rng(ctx: FileContext) -> Iterator[Tuple[int, str]]:
             )
 
 
-def _is_setish(node: ast.AST) -> bool:
-    """Expressions whose iteration order depends on hashing."""
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    if isinstance(node, ast.Call):
-        if dotted_name(node.func) in ("set", "frozenset"):
-            return True
-    if isinstance(node, ast.BinOp) and isinstance(
-            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)):
-        return _is_setish(node.left) or _is_setish(node.right)
-    return False
+#: Shared with the whole-program summarizer (repro.lint.graph.summary).
+_is_setish = is_setish
 
 
 @rule("SL104", "iteration over a hash-ordered set in model code", scope=MODEL)

@@ -1,0 +1,207 @@
+"""SL7xx — unit dataflow across the whole-program call graph.
+
+The per-file SL2xx rules catch magic constants and same-statement suffix
+clashes; they cannot see a seconds value flow through three calls into a
+milliseconds slot.  These rules propagate unit tags — inferred from the
+established name-suffix conventions (``_s``, ``_bytes``, ``_bps``,
+``_mb``, ...) and from the :mod:`repro.units` converter signatures —
+through assignments, returns, and call bindings in the project graph:
+
+* **SL701** — arithmetic (``+``/``-``/comparison) between expressions
+  whose resolved units disagree (``elapsed_s + delay_ms``);
+* **SL702** — a call binds an argument whose unit contradicts the
+  parameter's declared suffix (``retry(timeout_s=backoff_ms)``);
+* **SL703** — a suffix-tagged name is assigned from a call whose
+  propagated return unit contradicts it (``t_ms = transfer_seconds(...)``).
+
+All three resolve call terms through the graph: a function's return unit
+is computed as a fixpoint over its ``return`` expressions, converter
+calls, and callees.  Conservative by construction — a term that does not
+resolve to a concrete unit never fires — so the family runs at
+**warning** severity but is expected to stay at zero findings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.engine import graph_rule
+from repro.lint.findings import Severity
+
+__all__ = []
+
+#: Return units of the ``repro.units`` converters, keyed by their last
+#: two dotted components so any project's ``units`` module matches.
+CONVERTER_RETURNS: Dict[Tuple[str, str], str] = {
+    ("units", "mb"): "bytes",
+    ("units", "mib"): "bytes",
+    ("units", "bytes_to_mb"): "mb",
+    ("units", "kbps"): "bps",
+    ("units", "mbps"): "bps",
+    ("units", "gbps"): "bps",
+    ("units", "bps_to_mbps"): "mbps",
+    ("units", "transfer_seconds"): "s",
+    ("units", "throughput_bps"): "bps",
+    ("units", "ms"): "s",
+    ("units", "seconds_to_ms"): "ms",
+    ("units", "propagation_delay_s"): "s",
+}
+
+_SCRATCH_KEY = "unitsflow"
+
+
+def _converter_unit(fq: Optional[str]) -> Optional[str]:
+    if not fq:
+        return None
+    parts = fq.split(".")
+    if len(parts) < 2:
+        return None
+    return CONVERTER_RETURNS.get((parts[-2], parts[-1]))
+
+
+class _UnitFlow:
+    """Fixpoint return-unit propagation + the three check passes."""
+
+    def __init__(self, graph):
+        self.graph = graph
+        self.ret: Dict[str, Optional[str]] = {}
+        self._solve()
+
+    # -- term/return resolution ---------------------------------------------
+
+    def _edge_unit(self, edge) -> Optional[str]:
+        unit = _converter_unit(edge.target)
+        if unit is not None:
+            return unit
+        if edge.kind == "project":
+            return self.ret.get(edge.target)
+        return None
+
+    def resolve(self, fq: str, term) -> Optional[str]:
+        """Concrete unit of a summary term in function *fq*, if known."""
+        if term is None:
+            return None
+        kind, value = term[0], term[1]
+        if kind == "u":
+            return value
+        edge = self.graph.resolve_raw(fq, value)
+        if edge is None:
+            return None
+        return self._edge_unit(edge)
+
+    def _solve(self) -> None:
+        ordered = sorted(self.graph.functions)
+        for _ in range(20):
+            changed = False
+            for fq in ordered:
+                fn = self.graph.functions[fq][1]
+                units = set()
+                for term in fn.returns:
+                    unit = self.resolve(fq, term)
+                    if unit is not None:
+                        units.add(unit)
+                new = units.pop() if len(units) == 1 else None
+                if self.ret.get(fq, "\0unset") != new:
+                    self.ret[fq] = new
+                    changed = True
+            if not changed:
+                break
+
+    # -- describing terms in messages ---------------------------------------
+
+    def describe(self, fq: str, term) -> str:
+        unit = self.resolve(fq, term)
+        if term[0] == "c":
+            return f"{term[1]}(...) returning '{unit}'"
+        return f"'{unit}'"
+
+    # -- the three passes ---------------------------------------------------
+
+    def mixed_arithmetic(self) -> List[Tuple[str, int, str]]:
+        out = []
+        for fq in sorted(self.graph.functions):
+            fsum, fn = self.graph.functions[fq]
+            for line, op, left, right in fn.binop_checks:
+                lu = self.resolve(fq, left)
+                ru = self.resolve(fq, right)
+                if lu is None or ru is None or lu == ru:
+                    continue
+                verb = "compares" if op == "cmp" else f"mixes ('{op}')"
+                out.append((fsum.rel, line, (
+                    f"{verb} {self.describe(fq, left)} with "
+                    f"{self.describe(fq, right)} without an explicit "
+                    f"repro.units conversion"
+                )))
+        return out
+
+    def contradicting_bindings(self) -> List[Tuple[str, int, str]]:
+        out = []
+        for edge in self.graph.edges:
+            if edge.kind != "project" or edge.site is None or edge.site.star:
+                continue
+            callee = self.graph.functions[edge.target][1]
+            if not callee.param_units:
+                continue
+            for key, term in edge.site.args:
+                if isinstance(key, int):
+                    index = key + edge.offset
+                    if index >= len(callee.posparams):
+                        continue  # lands in *args
+                    pname = callee.posparams[index]
+                elif key in callee.posparams or key in callee.kwonly:
+                    pname = key
+                else:
+                    continue  # lands in **kwargs
+                declared = callee.param_units.get(pname)
+                if declared is None:
+                    continue
+                actual = self.resolve(edge.caller, term)
+                if actual is None or actual == declared:
+                    continue
+                caller_rel = self.graph.functions[edge.caller][0].rel
+                out.append((caller_rel, edge.site.line, (
+                    f"argument for parameter '{pname}' of {edge.target} "
+                    f"(declares '{declared}') is "
+                    f"{self.describe(edge.caller, term)}"
+                )))
+        return out
+
+    def contradicting_assignments(self) -> List[Tuple[str, int, str]]:
+        out = []
+        for fq in sorted(self.graph.functions):
+            fsum, fn = self.graph.functions[fq]
+            for line, target, declared, term in fn.assign_checks:
+                actual = self.resolve(fq, term)
+                if actual is None or actual == declared:
+                    continue
+                out.append((fsum.rel, line, (
+                    f"'{target}' (declares '{declared}') is assigned from "
+                    f"{self.describe(fq, term)}; convert via repro.units"
+                )))
+        return out
+
+
+def _flow(graph) -> _UnitFlow:
+    cached = graph.scratch.get(_SCRATCH_KEY)
+    if cached is None:
+        cached = _UnitFlow(graph)
+        graph.scratch[_SCRATCH_KEY] = cached
+    return cached
+
+
+@graph_rule("SL701", "mixed-unit arithmetic across the dataflow graph",
+            severity=Severity.WARNING)
+def mixed_unit_arithmetic(graph) -> Iterator[Tuple[str, int, str]]:
+    return iter(_flow(graph).mixed_arithmetic())
+
+
+@graph_rule("SL702", "argument unit contradicts the parameter's suffix",
+            severity=Severity.WARNING)
+def contradicting_argument_binding(graph) -> Iterator[Tuple[str, int, str]]:
+    return iter(_flow(graph).contradicting_bindings())
+
+
+@graph_rule("SL703", "assignment target suffix contradicts the call's return unit",
+            severity=Severity.WARNING)
+def contradicting_assignment(graph) -> Iterator[Tuple[str, int, str]]:
+    return iter(_flow(graph).contradicting_assignments())

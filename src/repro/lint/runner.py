@@ -1,22 +1,34 @@
 """End-to-end lint runs: path resolution, baseline handling, output.
 
 This is the layer behind ``python -m repro.cli lint`` and the ``lint``
-pytest gate.  Exit codes: 0 clean (modulo baseline/suppressions), 1 at
-least one error-severity finding, 2 operational failure (bad baseline).
+pytest gate.  Exit codes are a stable contract:
+
+* **0** — clean (modulo baseline and inline suppressions);
+* **1** — at least one error-severity finding;
+* **2** — the analysis itself failed: unparseable file (``SL001``),
+  unreadable baseline, bad paths.
+
+``--graph`` upgrades the run to whole-program analysis
+(:class:`repro.lint.graph.ProjectAnalyzer`): per-file rules plus the
+SL6xx/SL7xx call-graph families, accelerated by the ``.lint_cache/``
+incremental store.  ``run_graph_export`` backs ``repro lint graph
+--dot``.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Set, Tuple, Union
 
 from repro.lint.baseline import Baseline
 from repro.lint.config import LintConfig
-from repro.lint.engine import LintEngine
+from repro.lint.engine import PARSE_ERROR_RULE, LintEngine, LintReport
 from repro.lint.findings import Severity
+from repro.lint.sarif import render_sarif
 
-__all__ = ["run_lint", "default_scan_root", "discover_baseline"]
+__all__ = ["run_lint", "run_graph_export", "default_scan_root",
+           "discover_baseline"]
 
 BASELINE_FILENAME = "lint_baseline.json"
 
@@ -44,6 +56,32 @@ def discover_baseline(roots: Sequence[Path]) -> Optional[Path]:
     return None
 
 
+def _analyze(roots: Sequence[Path], config: Optional[LintConfig],
+             graph: bool, cache_dir: Optional[Union[str, Path]],
+             no_cache: bool) -> Tuple[LintReport, Set[str], object]:
+    """Run per-file or whole-program analysis.
+
+    Returns ``(report, active_rule_ids, analysis_result_or_None)``.
+    ``active_rule_ids`` drives baseline staleness: only rules that
+    actually executed may declare a grandfathered finding fixed.
+    """
+    if graph:
+        from repro.lint.graph import ProjectAnalyzer
+
+        resolved_cache = None if no_cache else (cache_dir or ".lint_cache")
+        analyzer = ProjectAnalyzer(config=config, cache_dir=resolved_cache)
+        result = analyzer.run(roots)
+        active = {r.rule_id for r in analyzer.engine.active_rules()}
+        active |= {r.rule_id for r in analyzer.graph_rules}
+        active.add(PARSE_ERROR_RULE)
+        return result.report, active, result
+    engine = LintEngine(config=config)
+    report = engine.lint_paths(roots)
+    active = {r.rule_id for r in engine.active_rules()}
+    active.add(PARSE_ERROR_RULE)
+    return report, active, None
+
+
 def run_lint(
     paths: Optional[Sequence[Union[str, Path]]] = None,
     fmt: str = "text",
@@ -51,12 +89,17 @@ def run_lint(
     no_baseline: bool = False,
     update_baseline: bool = False,
     config: Optional[LintConfig] = None,
+    graph: bool = False,
+    cache_dir: Optional[Union[str, Path]] = None,
+    no_cache: bool = False,
     out: Callable[[str], None] = print,
 ) -> int:
     """Lint *paths* (default: the installed package) and report.
 
-    Returns a process exit code.  ``update_baseline`` rewrites the
-    baseline to cover exactly the current findings and exits 0.
+    Returns a process exit code (see module docstring).
+    ``update_baseline`` rewrites the baseline to cover exactly the
+    current findings — preserving entries for rule families that did not
+    run in this invocation — and exits 0.
     """
     roots = [Path(p) for p in paths] if paths else [default_scan_root()]
     missing = [r for r in roots if not r.exists()]
@@ -64,8 +107,8 @@ def run_lint(
         for r in missing:
             out(f"error: no such file or directory: {r}")
         return 2
-    engine = LintEngine(config=config)
-    report = engine.lint_paths(roots)
+    report, active_rules, _result = _analyze(
+        roots, config, graph, cache_dir, no_cache)
 
     baseline = Baseline()
     resolved_baseline: Optional[Path] = None
@@ -85,13 +128,20 @@ def run_lint(
 
     if update_baseline:
         target = resolved_baseline or (Path.cwd() / BASELINE_FILENAME)
-        Baseline.from_findings(report.findings, previous=baseline).save(target)
+        fresh = Baseline.from_findings(report.findings, previous=baseline)
+        # Keep grandfathered debt for rule families that did not execute
+        # here (e.g. SL6xx entries during a per-file-only run).
+        inactive = [e for e in baseline.entries if e.rule not in active_rules]
+        fresh.entries.extend(inactive)
+        fresh.save(target)
         out(f"wrote {len(report.findings)} finding(s) to {target}")
         return 0
 
-    kept, baselined, stale = baseline.filter(report.findings)
+    kept, baselined, stale = baseline.filter(report.findings,
+                                             active_rules=active_rules)
     errors = [f for f in kept if f.severity is Severity.ERROR]
     warnings = [f for f in kept if f.severity is Severity.WARNING]
+    parse_errors = [f for f in kept if f.rule == PARSE_ERROR_RULE]
 
     if fmt == "json":
         out(json.dumps({
@@ -103,6 +153,8 @@ def run_lint(
                 {"file": e.file, "rule": e.rule} for e in stale
             ],
         }, indent=2))
+    elif fmt == "sarif":
+        out(render_sarif(kept, baselined))
     else:
         for f in kept:
             out(f.render())
@@ -112,4 +164,37 @@ def run_lint(
         out(f"{report.files_scanned} file(s) scanned: {len(errors)} error(s), "
             f"{len(warnings)} warning(s), {len(baselined)} baselined, "
             f"{len(report.suppressed)} suppressed")
+    if parse_errors:
+        return 2
     return 1 if errors else 0
+
+
+def run_graph_export(
+    paths: Optional[Sequence[Union[str, Path]]] = None,
+    dot: bool = False,
+    focus: Optional[str] = None,
+    config: Optional[LintConfig] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    no_cache: bool = False,
+    out: Callable[[str], None] = print,
+) -> int:
+    """``repro lint graph``: project call-graph stats, or DOT with ``--dot``."""
+    from repro.lint.graph import ProjectAnalyzer, to_dot
+
+    roots = [Path(p) for p in paths] if paths else [default_scan_root()]
+    missing = [r for r in roots if not r.exists()]
+    if missing:
+        for r in missing:
+            out(f"error: no such file or directory: {r}")
+        return 2
+    resolved_cache = None if no_cache else (cache_dir or ".lint_cache")
+    analyzer = ProjectAnalyzer(config=config, cache_dir=resolved_cache)
+    result = analyzer.run(roots)
+    if dot:
+        out(to_dot(result.graph, focus=focus))
+        return 0
+    stats = result.graph.stats()
+    for key in sorted(stats):
+        out(f"{key}: {stats[key]}")
+    out(f"cache: {result.cache_stats.describe()}")
+    return 0

@@ -1,0 +1,158 @@
+"""The incremental analysis cache: hit accounting and crash-safety.
+
+The cache is an accelerator, never an input: every test here asserts
+both the counter behavior *and* that the produced report is identical
+to an uncached run.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.config import LintConfig
+from repro.lint.graph import ProjectAnalyzer, ruleset_fingerprint
+
+pytestmark = pytest.mark.lint
+
+CFG = LintConfig(model_packages=frozenset({"sim"}))
+
+FILES = {
+    "__init__.py": "",
+    "sim/__init__.py": "",
+    "sim/engine.py": (
+        "from proj.util.clockish import stamp\n\n\n"
+        "def step():\n"
+        "    return stamp()\n"
+    ),
+    "util/__init__.py": "",
+    "util/clockish.py": (
+        "import time\n\n\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+    ),
+    "util/helpers.py": (
+        "def double(x):\n"
+        "    return 2 * x\n"
+    ),
+}
+
+
+@pytest.fixture
+def proj(tmp_path):
+    root = tmp_path / "proj"
+    for rel, source in FILES.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return root
+
+
+def _payload(result):
+    """The report as the JSON the CLI would emit (no cache state)."""
+    return json.dumps({
+        "files_scanned": result.report.files_scanned,
+        "findings": [f.to_dict() for f in result.report.findings],
+    }, indent=2)
+
+
+def _run(proj, cache_dir):
+    return ProjectAnalyzer(config=CFG, cache_dir=cache_dir).run([proj])
+
+
+def test_cold_run_all_misses_then_warm_run_all_hits(proj, tmp_path):
+    cache_dir = tmp_path / "cache"
+    cold = _run(proj, cache_dir)
+    assert cold.cache_stats.misses == len(FILES)
+    assert cold.cache_stats.hits == 0
+
+    warm = _run(proj, cache_dir)
+    assert warm.cache_stats.hits == len(FILES)
+    assert warm.cache_stats.misses == 0
+    assert _payload(warm) == _payload(cold)
+
+
+def test_mutating_one_file_recomputes_only_that_summary(proj, tmp_path):
+    cache_dir = tmp_path / "cache"
+    _run(proj, cache_dir)
+    target = proj / "util" / "helpers.py"
+    target.write_text(FILES["util/helpers.py"] + "\n\ndef triple(x):\n"
+                      "    return 3 * x\n", encoding="utf-8")
+
+    result = _run(proj, cache_dir)
+    assert result.cache_stats.misses == 1
+    assert result.cache_stats.invalidated == 1
+    assert result.cache_stats.hits == len(FILES) - 1
+    # The changed file's summary really was rebuilt:
+    assert "triple" in result.summaries["util/helpers.py"].defs
+
+
+def test_corrupt_cache_file_recomputes_transparently(proj, tmp_path):
+    cache_dir = tmp_path / "cache"
+    reference = _run(proj, cache_dir)
+    for cache_file in cache_dir.glob("lint-cache-*.json"):
+        cache_file.write_text("{not json", encoding="utf-8")
+
+    result = _run(proj, cache_dir)
+    assert result.cache_stats.corrupt
+    assert result.cache_stats.misses == len(FILES)
+    assert _payload(result) == _payload(reference)
+    # ...and the corrupt file was replaced by a good one:
+    assert _run(proj, cache_dir).cache_stats.hits == len(FILES)
+
+
+def test_stale_entry_hash_mismatch_recomputes_that_file(proj, tmp_path):
+    cache_dir = tmp_path / "cache"
+    reference = _run(proj, cache_dir)
+    cache_file = next(cache_dir.glob("lint-cache-*.json"))
+    data = json.loads(cache_file.read_text(encoding="utf-8"))
+    data["files"]["sim/engine.py"]["sha256"] = "0" * 64
+    cache_file.write_text(json.dumps(data), encoding="utf-8")
+
+    result = _run(proj, cache_dir)
+    assert result.cache_stats.invalidated == 1
+    assert result.cache_stats.hits == len(FILES) - 1
+    assert _payload(result) == _payload(reference)
+
+
+def test_cached_and_uncached_reports_identical(proj, tmp_path):
+    cache_dir = tmp_path / "cache"
+    _run(proj, cache_dir)
+    warm = _run(proj, cache_dir)
+    uncached = ProjectAnalyzer(config=CFG, cache_dir=None).run([proj])
+    assert _payload(warm) == _payload(uncached)
+    # The taint finding is served from cache, not re-derived per-file:
+    assert any(f.rule == "SL601" for f in warm.report.findings)
+
+
+def test_config_change_changes_fingerprint(proj, tmp_path):
+    cache_dir = tmp_path / "cache"
+    _run(proj, cache_dir)
+    other_cfg = LintConfig(model_packages=frozenset({"sim", "util"}))
+    result = ProjectAnalyzer(config=other_cfg,
+                             cache_dir=cache_dir).run([proj])
+    # Different rule-set fingerprint -> disjoint cache file, all misses.
+    assert result.cache_stats.misses == len(FILES)
+    assert len(list(cache_dir.glob("lint-cache-*.json"))) == 2
+
+
+def test_fingerprint_is_deterministic():
+    a1 = ProjectAnalyzer(config=CFG)
+    a2 = ProjectAnalyzer(config=CFG)
+    fp1 = ruleset_fingerprint(a1.config, a1.engine.active_rules(),
+                              a1.graph_rules)
+    fp2 = ruleset_fingerprint(a2.config, a2.engine.active_rules(),
+                              a2.graph_rules)
+    assert fp1 == fp2
+    assert len(fp1) == 16
+
+
+def test_cache_survives_deleted_file(proj, tmp_path):
+    cache_dir = tmp_path / "cache"
+    _run(proj, cache_dir)
+    (proj / "util" / "helpers.py").unlink()
+    result = _run(proj, cache_dir)
+    assert result.report.files_scanned == len(FILES) - 1
+    assert "util/helpers.py" not in result.summaries
+    # The vanished file's entry is not resurrected on the next run:
+    assert _run(proj, cache_dir).report.files_scanned == len(FILES) - 1

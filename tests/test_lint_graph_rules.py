@@ -1,0 +1,341 @@
+"""Behavior of the whole-program rule families (SL6xx taint, SL7xx units).
+
+Each test builds a tiny multi-module project on disk, runs the
+:class:`repro.lint.graph.ProjectAnalyzer` over it with ``sim`` as the
+model package, and asserts on the findings — including the full call
+chain the taint rules print.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, BaselineEntry
+from repro.lint.config import LintConfig
+from repro.lint.graph import ProjectAnalyzer
+
+pytestmark = pytest.mark.lint
+
+CFG = LintConfig(model_packages=frozenset({"sim"}))
+
+
+def _project(tmp_path: Path, files: dict) -> Path:
+    root = tmp_path / "proj"
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    for pkg in {p.parent for p in root.rglob("*.py")} | {root}:
+        init = pkg / "__init__.py"
+        if not init.exists():
+            init.write_text("", encoding="utf-8")
+    return root
+
+def _run(tmp_path: Path, files: dict, config: LintConfig = CFG):
+    root = _project(tmp_path, files)
+    analyzer = ProjectAnalyzer(config=config, cache_dir=None)
+    return analyzer.run([root])
+
+
+def _rules(result):
+    return [(f.rule, f.file, f.message) for f in result.report.findings]
+
+
+# -- SL6xx: transitive determinism taint ---------------------------------
+
+
+def test_sl601_wall_clock_chain_reported(tmp_path):
+    result = _run(tmp_path, {
+        "util/clockish.py": (
+            "import time\n\n\n"
+            "def stamp():\n"
+            "    return time.time()\n"
+        ),
+        "sim/engine.py": (
+            "from proj.util.clockish import stamp\n\n\n"
+            "def step():\n"
+            "    return stamp()\n"
+        ),
+    })
+    sl601 = [f for f in result.report.findings if f.rule == "SL601"]
+    assert len(sl601) == 1
+    f = sl601[0]
+    assert f.file == "util/clockish.py"
+    assert "time.time()" in f.message
+    assert ("reachable from model code via proj.sim.engine.step"
+            " -> proj.util.clockish.stamp") in f.message
+
+
+def test_sl601_not_reported_when_unreachable_from_model_code(tmp_path):
+    result = _run(tmp_path, {
+        "util/clockish.py": (
+            "import time\n\n\n"
+            "def stamp():\n"
+            "    return time.time()\n"
+        ),
+        "sim/engine.py": "def step():\n    return 1\n",
+    })
+    assert [f.rule for f in result.report.findings] == []
+
+
+def test_sl601_sink_inside_model_package_is_per_file_territory(tmp_path):
+    """A wall-clock read *in* model code is SL101's job, not SL601's."""
+    result = _run(tmp_path, {
+        "sim/engine.py": (
+            "import time\n\n\n"
+            "def step():\n"
+            "    return time.time()\n"
+        ),
+    })
+    rules = [f.rule for f in result.report.findings]
+    assert "SL101" in rules
+    assert "SL601" not in rules
+
+
+def test_sl602_argless_default_rng_and_os_urandom(tmp_path):
+    result = _run(tmp_path, {
+        "util/entropy.py": (
+            "import os\n"
+            "import numpy as np\n\n\n"
+            "def fresh_rng():\n"
+            "    return np.random.default_rng()\n\n\n"
+            "def seeded_rng(seed):\n"
+            "    return np.random.default_rng(seed)\n\n\n"
+            "def noise():\n"
+            "    return os.urandom(8)\n"
+        ),
+        "sim/engine.py": (
+            "from proj.util.entropy import fresh_rng, noise, seeded_rng\n\n\n"
+            "def a():\n"
+            "    return fresh_rng()\n\n\n"
+            "def b():\n"
+            "    return noise()\n\n\n"
+            "def c(seed):\n"
+            "    return seeded_rng(seed)\n"
+        ),
+    })
+    sl602 = [f for f in result.report.findings if f.rule == "SL602"]
+    messages = "\n".join(f.message for f in sl602)
+    assert "default_rng()" in messages and "os.urandom()" in messages
+    # The *seeded* construction is deliberate injection — never tainted.
+    assert "seeded_rng" not in messages
+
+
+def test_sl603_set_iteration_feeding_return(tmp_path):
+    result = _run(tmp_path, {
+        "util/pick.py": (
+            "def pick(items):\n"
+            "    out = []\n"
+            "    for x in set(items):\n"
+            "        out.append(x)\n"
+            "    return out\n\n\n"
+            "def harmless(items):\n"
+            "    for x in set(items):\n"
+            "        print(x)\n"
+        ),
+        "sim/engine.py": (
+            "from proj.util.pick import harmless, pick\n\n\n"
+            "def choose(xs):\n"
+            "    return pick(xs)\n\n\n"
+            "def log(xs):\n"
+            "    harmless(xs)\n"
+        ),
+    })
+    sl603 = [f for f in result.report.findings if f.rule == "SL603"]
+    assert len(sl603) == 1
+    assert "proj.util.pick.pick" in sl603[0].message
+
+
+def test_sl6xx_chain_through_intermediate_module(tmp_path):
+    """Taint crosses more than one non-model hop and prints every hop."""
+    result = _run(tmp_path, {
+        "util/clockish.py": (
+            "import time\n\n\n"
+            "def stamp():\n"
+            "    return time.time()\n"
+        ),
+        "util/middle.py": (
+            "from proj.util.clockish import stamp\n\n\n"
+            "def relay():\n"
+            "    return stamp()\n"
+        ),
+        "sim/engine.py": (
+            "from proj.util.middle import relay\n\n\n"
+            "def step():\n"
+            "    return relay()\n"
+        ),
+    })
+    sl601 = [f for f in result.report.findings if f.rule == "SL601"]
+    assert len(sl601) == 1
+    assert ("proj.sim.engine.step -> proj.util.middle.relay"
+            " -> proj.util.clockish.stamp") in sl601[0].message
+
+
+def test_graph_finding_suppressible_at_sink_line(tmp_path):
+    result = _run(tmp_path, {
+        "util/clockish.py": (
+            "import time\n\n\n"
+            "def stamp():\n"
+            "    return time.time()  # simlint: ignore[SL601] -- ok here\n"
+        ),
+        "sim/engine.py": (
+            "from proj.util.clockish import stamp\n\n\n"
+            "def step():\n"
+            "    return stamp()\n"
+        ),
+    })
+    assert [f.rule for f in result.report.findings] == []
+    assert [f.rule for f in result.report.suppressed] == ["SL601"]
+
+
+def test_unknown_calls_become_explicit_unknown_edges(tmp_path):
+    result = _run(tmp_path, {
+        "sim/engine.py": (
+            "def step(handler):\n"
+            "    return handler.fire()\n"
+        ),
+    })
+    unknown = [e for e in result.graph.edges if e.kind == "unknown"]
+    assert len(unknown) == 1
+    assert result.graph.stats()["unknown_edges"] == 1
+
+
+def test_method_call_through_self_resolves(tmp_path):
+    result = _run(tmp_path, {
+        "util/clockish.py": (
+            "import time\n\n\n"
+            "class Clock:\n"
+            "    def read(self):\n"
+            "        return self._raw()\n\n"
+            "    def _raw(self):\n"
+            "        return time.time()\n"
+        ),
+        "sim/engine.py": (
+            "from proj.util.clockish import Clock\n\n\n"
+            "def step():\n"
+            "    return Clock().read()\n"
+        ),
+    })
+    sl601 = [f for f in result.report.findings if f.rule == "SL601"]
+    assert len(sl601) == 1
+    assert "proj.util.clockish.Clock.read" in sl601[0].message
+    assert "proj.util.clockish.Clock._raw" in sl601[0].message
+
+
+# -- SL7xx: unit dataflow ------------------------------------------------
+
+
+def test_sl701_mixed_unit_arithmetic(tmp_path):
+    result = _run(tmp_path, {
+        "sim/engine.py": (
+            "def total(payload_mb, duration_s):\n"
+            "    return payload_mb + duration_s\n\n\n"
+            "def fine(size_mb, other_mb):\n"
+            "    return size_mb + other_mb\n\n\n"
+            "def ratio(size_bytes, duration_s):\n"
+            "    return size_bytes / duration_s\n"
+        ),
+    })
+    sl701 = [f for f in result.report.findings if f.rule == "SL701"]
+    assert len(sl701) == 1
+    assert "'mb'" in sl701[0].message and "'s'" in sl701[0].message
+
+
+def test_sl702_contradicting_argument_binding(tmp_path):
+    result = _run(tmp_path, {
+        "util/send.py": (
+            "def send(size_bytes):\n"
+            "    return size_bytes\n"
+        ),
+        "sim/engine.py": (
+            "from proj.util.send import send\n\n\n"
+            "def bad():\n"
+            "    latency_s = 3.0\n"
+            "    return send(latency_s)\n\n\n"
+            "def good():\n"
+            "    payload_bytes = 4096\n"
+            "    return send(payload_bytes)\n\n\n"
+            "def kw_bad():\n"
+            "    window_s = 1.0\n"
+            "    return send(size_bytes=window_s)\n"
+        ),
+    })
+    sl702 = [f for f in result.report.findings if f.rule == "SL702"]
+    assert len(sl702) == 2
+    for f in sl702:
+        assert "size_bytes" in f.message and "'s'" in f.message
+
+
+def test_sl702_unit_flows_through_converter_return(tmp_path):
+    """``units.mb`` returns bytes, so feeding it to a ``_bytes``
+    parameter is clean while feeding it to ``_s`` contradicts."""
+    result = _run(tmp_path, {
+        "util/send.py": (
+            "def send(size_bytes):\n"
+            "    return size_bytes\n\n\n"
+            "def wait(timeout_s):\n"
+            "    return timeout_s\n"
+        ),
+        "sim/engine.py": (
+            "from repro import units\n\n"
+            "from proj.util.send import send, wait\n\n\n"
+            "def good(n):\n"
+            "    return send(units.mb(n))\n\n\n"
+            "def bad(n):\n"
+            "    return wait(units.mb(n))\n"
+        ),
+    })
+    sl702 = [f for f in result.report.findings if f.rule == "SL702"]
+    assert len(sl702) == 1
+    assert "timeout_s" in sl702[0].message
+    assert "'bytes'" in sl702[0].message
+
+
+def test_sl703_assignment_contradicts_callee_unit(tmp_path):
+    result = _run(tmp_path, {
+        "util/conv.py": (
+            "from repro import units\n\n\n"
+            "def chunk_bytes(n):\n"
+            "    return units.mb(n)\n"
+        ),
+        "sim/engine.py": (
+            "from proj.util.conv import chunk_bytes\n\n\n"
+            "def bad():\n"
+            "    duration_s = chunk_bytes(5)\n"
+            "    return duration_s\n\n\n"
+            "def good():\n"
+            "    size_bytes = chunk_bytes(5)\n"
+            "    return size_bytes\n"
+        ),
+    })
+    sl703 = [f for f in result.report.findings if f.rule == "SL703"]
+    assert len(sl703) == 1
+    assert "duration_s" in sl703[0].message
+
+
+def test_sl7xx_unresolved_call_terms_never_fire(tmp_path):
+    """A call with no known return unit must not produce findings."""
+    result = _run(tmp_path, {
+        "sim/engine.py": (
+            "def check(xs, max_bytes):\n"
+            "    return len(xs) > max_bytes\n"
+        ),
+    })
+    assert [f.rule for f in result.report.findings] == []
+
+
+# -- baseline interaction -------------------------------------------------
+
+
+def test_graph_rule_baseline_entries_not_stale_in_per_file_run():
+    """A per-file-only run must not mark SL6xx baseline debt as stale."""
+    baseline = Baseline(entries=[
+        BaselineEntry(file="util/clockish.py", rule="SL601",
+                      justification="known debt"),
+    ])
+    kept, baselined, stale = baseline.filter(
+        [], active_rules={"SL101", "SL201"})
+    assert (kept, baselined, stale) == ([], [], [])
+    # ...while a run that *did* execute SL601 reports it stale:
+    _, _, stale = baseline.filter([], active_rules={"SL101", "SL601"})
+    assert [e.rule for e in stale] == ["SL601"]
