@@ -263,6 +263,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--focus", default=None, metavar="PREFIX",
                    help="with 'graph --dot': keep only edges touching "
                         "functions under this dotted-name prefix")
+    p.add_argument("--fix", action="store_true",
+                   help="auto-repair fixable findings (SL104 sorted-"
+                        "iteration, SL201 units constants, SL802 hot-loop "
+                        "hoists) with token-preserving rewrites, printing "
+                        "unified diffs")
+    p.add_argument("--fix-mode", choices=["rewrite", "suppress"],
+                   default="rewrite", dest="fix_mode",
+                   help="rewrite: repair the code; suppress: insert inline "
+                        "'# simlint: ignore[...]' markers instead")
+    p.add_argument("--dry-run", action="store_true", dest="dry_run",
+                   help="with --fix: print the diffs without writing files")
     return parser
 
 
@@ -763,6 +774,9 @@ def _cmd_lint(args) -> int:
         graph=args.graph,
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
+        fix=args.fix,
+        fix_mode=args.fix_mode,
+        dry_run=args.dry_run,
     )
 
 

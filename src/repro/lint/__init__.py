@@ -20,7 +20,18 @@ whole-program analyses of :mod:`repro.lint.graph`:
   through the project call graph;
 * **unit dataflow** (SL7xx) — second/byte/bps unit tags propagated across
   call boundaries; mixed-unit arithmetic and suffix-contradicting
-  argument bindings.
+  argument bindings;
+* **hot-path performance** (SL8xx) — per-event allocation, repeated
+  attribute-chain resolution, exception-driven control flow, and O(n)
+  membership tests inside loops reachable from the configured
+  ``hot_entrypoints`` (the simulator kernel and network-engine paths);
+* **architecture layering** (SL9xx) — upward imports against the
+  declared layer DAG, cross-package private-module imports, import
+  cycles, and dead ``__init__`` exports.
+
+``repro lint --fix`` (see :mod:`repro.lint.fix`) auto-repairs the
+fixable rules with token-preserving rewrites, or inserts inline
+suppressions with ``--fix-mode=suppress``; ``--dry-run`` previews diffs.
 
 The analyzer is stdlib-``ast`` based (no third-party dependencies) and is
 wired into the CLI (``python -m repro.cli lint``) and the test suite
@@ -30,7 +41,12 @@ baseline workflow (``lint_baseline.json``).
 """
 
 from repro.lint.baseline import Baseline, BaselineEntry
-from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.config import (
+    DEFAULT_CONFIG,
+    DEFAULT_HOT_ENTRYPOINTS,
+    DEFAULT_LAYERS,
+    LintConfig,
+)
 from repro.lint.engine import (
     GRAPH_RULES,
     GraphRule,
@@ -42,6 +58,7 @@ from repro.lint.engine import (
     all_rules,
 )
 from repro.lint.findings import Finding, Severity
+from repro.lint.fix import FIXABLE_RULES, FixResult, fix_findings
 from repro.lint.runner import run_graph_export, run_lint
 from repro.lint.sarif import render_sarif, to_sarif
 
@@ -52,7 +69,11 @@ __all__ = [
     "Baseline",
     "BaselineEntry",
     "DEFAULT_CONFIG",
+    "DEFAULT_HOT_ENTRYPOINTS",
+    "DEFAULT_LAYERS",
+    "FIXABLE_RULES",
     "Finding",
+    "FixResult",
     "GRAPH_RULES",
     "GraphRule",
     "LintConfig",
@@ -63,6 +84,7 @@ __all__ = [
     "Severity",
     "all_graph_rules",
     "all_rules",
+    "fix_findings",
     "render_sarif",
     "run_graph_export",
     "run_lint",

@@ -3,11 +3,49 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import FrozenSet, Mapping, Optional, Tuple
+from typing import FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.lint.findings import Severity
 
-__all__ = ["LintConfig", "DEFAULT_CONFIG"]
+__all__ = ["LintConfig", "DEFAULT_CONFIG", "DEFAULT_LAYERS",
+           "DEFAULT_HOT_ENTRYPOINTS"]
+
+#: The architecture layer DAG, lowest layer first.  Packages in the same
+#: inner tuple may import each other; a package may import any package
+#: in a *lower* layer, never a higher one (SL901).  Packages absent from
+#: the DAG are unconstrained.
+DEFAULT_LAYERS: Tuple[Tuple[str, ...], ...] = (
+    ("units", "errors", "_version"),
+    ("sim", "geo"),
+    ("obs", "measure"),
+    ("net",),
+    ("cloud",),
+    ("transfer",),
+    ("workloads", "core"),
+    ("overlay", "testbed"),
+    ("campaign",),
+    ("broker",),
+    ("analysis",),
+    ("lint",),
+    ("cli",),
+)
+
+#: Kernel-hot analysis roots for the SL8xx performance rules: everything
+#: reachable from these through the call graph is "hot".  Entries are
+#: dotted paths relative to the scanned root package
+#: (``sim.kernel.Simulator.run`` matches ``repro.sim.kernel.Simulator.run``).
+DEFAULT_HOT_ENTRYPOINTS: Tuple[str, ...] = (
+    "sim.kernel.Simulator.run",
+    "sim.kernel.Simulator.step",
+    "sim.kernel.Simulator.run_until_triggered",
+    "sim.kernel.Signal.trigger",
+    "net.engine.NetworkEngine._reallocate",
+    "net.tcp.TcpModel.request_response_time_s",
+    "net.tcp.mathis_ceiling_bps",
+    "net.tcp.slow_start_penalty_s",
+    "net.policer.TokenBucket.consume",
+    "net.policer.TokenBucket.peek_delay",
+)
 
 
 @dataclass(frozen=True)
@@ -44,9 +82,65 @@ class LintConfig:
     disabled_rules: FrozenSet[str] = frozenset()
     #: Per-rule severity overrides, e.g. {"SL203": Severity.ERROR}.
     severity_overrides: Mapping[str, Severity] = field(default_factory=dict)
+    #: Architecture layer DAG for SL901 (lowest layer first); empty
+    #: disables the layering rules entirely.
+    layers: Tuple[Tuple[str, ...], ...] = DEFAULT_LAYERS
+    #: package -> the only packages allowed to import it (besides itself
+    #: and tests, which are never scanned).  Enforced by SL901.
+    restricted_imports: Mapping[str, FrozenSet[str]] = field(
+        default_factory=lambda: {"lint": frozenset({"cli"})})
+    #: Call-graph roots of the kernel-hot set for SL8xx.
+    hot_entrypoints: Tuple[str, ...] = DEFAULT_HOT_ENTRYPOINTS
 
     def with_disabled(self, *rule_ids: str) -> "LintConfig":
         return replace(self, disabled_rules=self.disabled_rules | frozenset(rule_ids))
+
+    def layer_index(self) -> Mapping[str, int]:
+        """package -> layer number (0 = lowest), from ``layers``."""
+        index = {}
+        for i, layer in enumerate(self.layers):
+            for pkg in layer:
+                index[pkg] = i
+        return index
+
+    def validate(self) -> List[str]:
+        """Structural configuration errors (reported as SL001, exit 2).
+
+        The checks are tree-independent: they validate the declaration's
+        internal consistency, not its fit to any particular scan root.
+        """
+        errors: List[str] = []
+        seen: set = set()
+        for layer in self.layers:
+            for pkg in layer:
+                if pkg in seen:
+                    errors.append(
+                        f"layer DAG declares package {pkg!r} in more than "
+                        f"one layer")
+                seen.add(pkg)
+        if self.layers:
+            for target in sorted(self.restricted_imports):
+                if target not in seen:
+                    errors.append(
+                        f"restricted_imports names unknown package "
+                        f"{target!r} (not in the layer DAG)")
+                for importer in sorted(self.restricted_imports[target]):
+                    if importer not in seen:
+                        errors.append(
+                            f"restricted_imports allows unknown package "
+                            f"{importer!r} to import {target!r} (not in "
+                            f"the layer DAG)")
+        for entry in self.hot_entrypoints:
+            parts = entry.split(".")
+            if len(parts) < 2 or not all(parts):
+                errors.append(
+                    f"hot entrypoint {entry!r} must be a dotted path "
+                    f"(package.module.function)")
+            elif self.layers and parts[0] not in seen:
+                errors.append(
+                    f"hot entrypoint {entry!r} names unknown package "
+                    f"{parts[0]!r} (not in the layer DAG)")
+        return errors
 
 
 DEFAULT_CONFIG = LintConfig()

@@ -9,12 +9,17 @@ This subpackage powers ``repro lint --graph``:
 * :mod:`repro.lint.graph.cache` — the ``.lint_cache/`` incremental
   store keyed by content hash + rule-set fingerprint;
 * :mod:`repro.lint.graph.analyzer` — the driver combining the per-file
-  engine, the cache, and the registered graph rules (SL6xx / SL7xx);
+  engine, the cache, and the registered graph rules
+  (SL6xx / SL7xx / SL8xx / SL9xx);
 * :mod:`repro.lint.graph.dot` — deterministic DOT export for call-graph
   inspection (``repro lint graph --dot``).
 """
 
-from repro.lint.graph.analyzer import AnalysisResult, ProjectAnalyzer
+from repro.lint.graph.analyzer import (
+    AnalysisResult,
+    ProjectAnalyzer,
+    collect_reference_tokens,
+)
 from repro.lint.graph.cache import (
     CACHE_VERSION,
     DEFAULT_CACHE_DIR,
@@ -52,6 +57,7 @@ __all__ = [
     "SUMMARY_VERSION",
     "SummaryCache",
     "build_graph",
+    "collect_reference_tokens",
     "ruleset_fingerprint",
     "summarize_source",
     "summarize_tree",

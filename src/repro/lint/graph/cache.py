@@ -60,6 +60,11 @@ def ruleset_fingerprint(config, rules, graph_rules) -> str:
             "span_emitter_files": sorted(config.span_emitter_files),
             "parallelism_packages": sorted(config.parallelism_packages),
             "disabled_rules": sorted(config.disabled_rules),
+            "layers": [list(layer) for layer in config.layers],
+            "restricted_imports": {
+                k: sorted(v) for k, v in sorted(config.restricted_imports.items())
+            },
+            "hot_entrypoints": list(config.hot_entrypoints),
             "severity_overrides": {
                 k: v.value for k, v in sorted(config.severity_overrides.items())
             },

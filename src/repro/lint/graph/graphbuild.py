@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import builtins
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.lint.config import DEFAULT_CONFIG, LintConfig
 from repro.lint.graph.summary import (
@@ -64,15 +64,20 @@ class ProjectGraph:
     """Symbol table + call graph for one analyzed tree."""
 
     def __init__(self, summaries: Dict[str, FileSummary],
-                 config: Optional[LintConfig] = None):
+                 config: Optional[LintConfig] = None,
+                 extra_refs: Optional[FrozenSet[str]] = None):
         self.config = config or DEFAULT_CONFIG
+        #: Identifier tokens from outside the scanned tree (docs, tests,
+        #: examples) — the external half of SL904's reference corpus.
+        self.extra_refs: FrozenSet[str] = extra_refs or frozenset()
         #: rel -> summary, in sorted-rel order.
         self.summaries: Dict[str, FileSummary] = dict(
             sorted(summaries.items(), key=lambda kv: kv[0]))
         self.modules: Dict[str, FileSummary] = {
             s.module: s for s in self.summaries.values()}
         #: Top components of project module names ("repro", ...).
-        self._roots = frozenset(m.split(".", 1)[0] for m in self.modules)
+        self.roots = frozenset(m.split(".", 1)[0] for m in self.modules)
+        self._roots = self.roots
         #: fq -> (file summary, function summary)
         self.functions: Dict[str, Tuple[FileSummary, FunctionSummary]] = {}
         for fsum in self.summaries.values():
@@ -347,6 +352,7 @@ class ProjectGraph:
 
 
 def build_graph(summaries: Dict[str, FileSummary],
-                config: Optional[LintConfig] = None) -> ProjectGraph:
+                config: Optional[LintConfig] = None,
+                extra_refs: Optional[FrozenSet[str]] = None) -> ProjectGraph:
     """Construct the project call graph from per-file summaries."""
-    return ProjectGraph(summaries, config)
+    return ProjectGraph(summaries, config, extra_refs=extra_refs)

@@ -28,7 +28,12 @@ import ast
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
-from repro.lint.context import dotted_name, is_setish, parse_suppressions
+from repro.lint.context import (
+    dotted_name,
+    identifiers_in,
+    is_setish,
+    parse_suppressions,
+)
 
 __all__ = [
     "SUMMARY_VERSION",
@@ -44,7 +49,9 @@ __all__ = [
 
 #: Bump whenever the summary schema or extraction logic changes: the
 #: incremental cache keys on it, so stale summaries are never reused.
-SUMMARY_VERSION = 1
+#: v2: hot-path perf sites, import sites, exports and reference tables
+#: for the SL8xx/SL9xx families.
+SUMMARY_VERSION = 2
 
 #: Pseudo-function name for statements executed at import time.
 MODULE_BODY = "<module>"
@@ -158,6 +165,13 @@ class FunctionSummary:
     has_value_return: bool = False
     #: Binding-relevant decorators only: "staticmethod" / "classmethod".
     decorators: List[str] = field(default_factory=list)
+    #: Hot-path performance sites, ``[loop_line, kind, payload]``; kinds:
+    #: "loop-attr" ``[chain, count, first_line]`` (a dotted callee chain
+    #: resolved >= 2x per iteration), "loop-container" ``[line, name,
+    #: ctor]`` (fresh empty container bound every iteration), "loop-try"
+    #: ``[line, exception names]`` (control-flow exceptions per event),
+    #: "loop-list-in" ``[line, name]`` (O(n) list membership per event).
+    perf: List[list] = field(default_factory=list)
 
     @property
     def implicit_first_param(self) -> bool:
@@ -178,6 +192,7 @@ class FunctionSummary:
             "nested": self.nested,
             "hvr": int(self.has_value_return),
             "dec": self.decorators,
+            "perf": [list(p) for p in self.perf],
         }
 
     @classmethod
@@ -195,6 +210,7 @@ class FunctionSummary:
             nested=dict(d["nested"]),
             has_value_return=bool(d["hvr"]),
             decorators=list(d["dec"]),
+            perf=[[p[0], p[1], list(p[2])] for p in d["perf"]],
         )
 
 
@@ -218,6 +234,16 @@ class FileSummary:
     suppressions: Dict[int, List[str]] = field(default_factory=dict)
     #: (lineno, message) when the file does not parse.
     parse_error: Optional[Tuple[int, str]] = None
+    #: Import statements as ``[line, bound name, target fq, module_scope]``
+    #: (bound name is None for ``from m import *``) — the SL9xx layering
+    #: rules work off these, not off the resolved ``imports`` table.
+    import_sites: List[list] = field(default_factory=list)
+    #: ``__all__`` entries at module scope: ``[line, name]`` pairs, or
+    #: None when the module declares no ``__all__``.
+    dunder_all: Optional[List[list]] = None
+    #: Every identifier mentioned anywhere in the file (sorted, deduped);
+    #: the reference corpus for dead-export detection (SL904).
+    refs: List[str] = field(default_factory=list)
 
     @property
     def package(self) -> str:
@@ -242,6 +268,10 @@ class FileSummary:
             "funcs": [f.to_json() for f in self.functions],
             "supp": {str(k): v for k, v in sorted(self.suppressions.items())},
             "err": list(self.parse_error) if self.parse_error else None,
+            "sites": [list(s) for s in self.import_sites],
+            "all": ([list(a) for a in self.dunder_all]
+                    if self.dunder_all is not None else None),
+            "refs": self.refs,
         }
 
     @classmethod
@@ -253,10 +283,40 @@ class FileSummary:
             functions=[FunctionSummary.from_json(f) for f in d["funcs"]],
             suppressions={int(k): list(v) for k, v in d["supp"].items()},
             parse_error=tuple(d["err"]) if d["err"] else None,
+            import_sites=[[s[0], s[1], s[2], bool(s[3])] for s in d["sites"]],
+            dunder_all=([[a[0], a[1]] for a in d["all"]]
+                        if d["all"] is not None else None),
+            refs=list(d["refs"]),
         )
 
 
 # -- extraction -------------------------------------------------------------
+
+#: Exceptions whose per-event catch usually implements control flow the
+#: hot path should express with a lookup/guard instead (SL803).
+_CONTROL_FLOW_EXCEPTIONS = frozenset({
+    "KeyError", "IndexError", "AttributeError", "StopIteration",
+})
+
+#: Callees whose result is list-shaped (for SL804 membership tracking).
+_LIST_RETURNING = frozenset({"list", "sorted"})
+
+#: Argless constructors producing a fresh empty container (SL801).
+_CONTAINER_CTORS = frozenset({"list", "dict", "set", "tuple"})
+
+
+class _LoopInfo:
+    """Per-statement-loop bookkeeping for the hot-path perf sites."""
+
+    def __init__(self, line: int):
+        self.line = line
+        #: dotted callee chain -> [count, first line] inside this loop.
+        self.chains: Dict[str, List[int]] = {}
+        #: names and dotted chains (re)bound inside the loop — anything
+        #: here (or prefixed by it) is not hoistable.
+        self.stores: set = set()
+        #: candidate list-membership sites: (line, container name).
+        self.memberships: List[Tuple[int, str]] = []
 
 
 class _FuncCtx:
@@ -268,6 +328,10 @@ class _FuncCtx:
         self.env: Dict[str, Term] = {}
         #: every locally bound name (params, assignments, defs)
         self.local_names: set = set()
+        #: stack of statement loops currently being walked
+        self.loops: List[_LoopInfo] = []
+        #: locals currently known to hold a list (for SL804)
+        self.list_names: set = set()
 
 
 class _Summarizer:
@@ -284,15 +348,20 @@ class _Summarizer:
 
     # -- imports ------------------------------------------------------------
 
-    def _record_import(self, node: ast.AST) -> None:
+    def _record_import(self, node: ast.AST, ctx: "_FuncCtx") -> None:
+        module_scope = ctx.summary.qname == MODULE_BODY
         if isinstance(node, ast.Import):
             for alias in node.names:
                 if alias.asname:
                     self.out.imports[alias.asname] = alias.name
+                    bound = alias.asname
                 else:
                     # ``import a.b.c`` binds the top-level name ``a``.
                     head = alias.name.split(".", 1)[0]
                     self.out.imports[head] = head
+                    bound = head
+                self.out.import_sites.append(
+                    [node.lineno, bound, alias.name, module_scope])
         elif isinstance(node, ast.ImportFrom):
             base = node.module or ""
             if node.level:
@@ -305,9 +374,14 @@ class _Summarizer:
                 if alias.name == "*":
                     if base not in self.out.star_imports:
                         self.out.star_imports.append(base)
+                    self.out.import_sites.append(
+                        [node.lineno, None, base, module_scope])
                 else:
                     bound = alias.asname or alias.name
                     self.out.imports[bound] = f"{base}.{alias.name}"
+                    self.out.import_sites.append(
+                        [node.lineno, bound, f"{base}.{alias.name}",
+                         module_scope])
 
     # -- statements ---------------------------------------------------------
 
@@ -315,6 +389,7 @@ class _Summarizer:
         ctx = _FuncCtx(MODULE_BODY, None, 1)
         self._walk_stmts(tree.body, ctx, prefix="", cls=None)
         self.out.functions.append(ctx.summary)
+        self.out.refs = sorted(set(identifiers_in(tree)))
         return self.out
 
     def _walk_stmts(self, stmts, ctx: _FuncCtx, prefix: str,
@@ -325,7 +400,7 @@ class _Summarizer:
     def _walk_stmt(self, st: ast.stmt, ctx: _FuncCtx, prefix: str,
                    cls: Optional[str]) -> None:
         if isinstance(st, (ast.Import, ast.ImportFrom)):
-            self._record_import(st)
+            self._record_import(st, ctx)
         elif isinstance(st, (ast.FunctionDef, ast.AsyncFunctionDef)):
             self._function(st, ctx, prefix, cls)
         elif isinstance(st, ast.ClassDef):
@@ -347,13 +422,19 @@ class _Summarizer:
         elif isinstance(st, (ast.For, ast.AsyncFor)):
             if is_setish(st.iter):
                 ctx.summary.sinks.append((st.iter.lineno, "set-iter"))
+            # The iterable is evaluated once, in the *enclosing* scope.
             self._eval(st.iter, ctx)
+            self._push_loop(st.lineno, ctx)
             self._bind_target(st.target, None, ctx)
             self._walk_stmts(st.body, ctx, prefix, cls)
+            self._pop_loop(ctx)
             self._walk_stmts(st.orelse, ctx, prefix, cls)
         elif isinstance(st, ast.While):
+            # The test re-evaluates every iteration: count it as loop body.
+            self._push_loop(st.lineno, ctx)
             self._eval(st.test, ctx)
             self._walk_stmts(st.body, ctx, prefix, cls)
+            self._pop_loop(ctx)
             self._walk_stmts(st.orelse, ctx, prefix, cls)
         elif isinstance(st, ast.If):
             self._eval(st.test, ctx)
@@ -366,6 +447,13 @@ class _Summarizer:
                     self._bind_target(item.optional_vars, None, ctx)
             self._walk_stmts(st.body, ctx, prefix, cls)
         elif isinstance(st, ast.Try):
+            if ctx.loops:
+                caught = sorted(
+                    name for name in self._handler_names(st)
+                    if name in _CONTROL_FLOW_EXCEPTIONS)
+                if caught:
+                    ctx.summary.perf.append(
+                        [ctx.loops[-1].line, "loop-try", [st.lineno, caught]])
             self._walk_stmts(st.body, ctx, prefix, cls)
             for handler in st.handlers:
                 if handler.type is not None:
@@ -468,10 +556,74 @@ class _Summarizer:
         else:
             ctx.local_names.add(st.name)
 
+    # -- hot-loop perf sites ------------------------------------------------
+
+    @staticmethod
+    def _handler_names(st: ast.Try) -> List[str]:
+        names: List[str] = []
+        for handler in st.handlers:
+            spec = handler.type
+            elts = spec.elts if isinstance(spec, ast.Tuple) else [spec]
+            for elt in elts:
+                raw = dotted_name(elt) if elt is not None else None
+                if raw:
+                    names.append(raw.split(".")[-1])
+        return names
+
+    @staticmethod
+    def _push_loop(line: int, ctx: _FuncCtx) -> None:
+        ctx.loops.append(_LoopInfo(line))
+
+    @staticmethod
+    def _pop_loop(ctx: _FuncCtx) -> None:
+        loop = ctx.loops.pop()
+        for chain in sorted(loop.chains):
+            count, first_line = loop.chains[chain]
+            if count < 2:
+                continue
+            parts = chain.split(".")
+            prefixes = {".".join(parts[:i]) for i in range(1, len(parts) + 1)}
+            if prefixes & loop.stores:
+                continue  # (partially) rebound inside the loop
+            ctx.summary.perf.append(
+                [loop.line, "loop-attr", [chain, count, first_line]])
+        for line, name in loop.memberships:
+            if name in ctx.list_names:
+                ctx.summary.perf.append(
+                    [loop.line, "loop-list-in", [line, name]])
+
+    @staticmethod
+    def _loop_store(name: Optional[str], ctx: _FuncCtx) -> None:
+        """A (re)binding inside every currently open loop."""
+        if name:
+            for loop in ctx.loops:
+                loop.stores.add(name)
+
+    @staticmethod
+    def _empty_container(node: ast.expr) -> Optional[str]:
+        """Constructor name when *node* builds a fresh empty container."""
+        if isinstance(node, (ast.List, ast.Tuple)) and not node.elts:
+            return "list" if isinstance(node, ast.List) else "tuple"
+        if isinstance(node, ast.Dict) and not node.keys:
+            return "dict"
+        if isinstance(node, ast.Call) and not node.args and not node.keywords:
+            name = dotted_name(node.func)
+            if name in _CONTAINER_CTORS:
+                return name
+        return None
+
+    @staticmethod
+    def _listish(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.ListComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and dotted_name(node.func) in _LIST_RETURNING)
+
     # -- assignments --------------------------------------------------------
 
     def _bind_target(self, target: ast.AST, term: Term, ctx: _FuncCtx) -> None:
         if isinstance(target, ast.Name):
+            self._loop_store(target.id, ctx)
             ctx.local_names.add(target.id)
             if term is not None:
                 ctx.env[target.id] = term
@@ -483,9 +635,30 @@ class _Summarizer:
             for elt in target.elts:
                 self._bind_target(elt, None, ctx)
         elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            if isinstance(target, ast.Attribute):
+                self._loop_store(dotted_name(target), ctx)
             self._eval(target.value, ctx)
 
     def _assign(self, targets, value, st, ctx: _FuncCtx) -> None:
+        if (len(targets) == 1 and isinstance(targets[0], ast.Name)
+                and targets[0].id == "__all__"
+                and ctx.summary.qname == MODULE_BODY
+                and isinstance(value, (ast.List, ast.Tuple))):
+            self.out.dunder_all = [
+                [elt.lineno, elt.value] for elt in value.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            ]
+        if len(targets) == 1 and isinstance(targets[0], ast.Name):
+            if ctx.loops:
+                ctor = self._empty_container(value)
+                if ctor is not None:
+                    ctx.summary.perf.append(
+                        [ctx.loops[-1].line, "loop-container",
+                         [value.lineno, targets[0].id, ctor]])
+            if self._listish(value):
+                ctx.list_names.add(targets[0].id)
+            else:
+                ctx.list_names.discard(targets[0].id)
         term = self._eval(value, ctx)
         for target in targets:
             self._bind_target(target, term, ctx)
@@ -493,6 +666,7 @@ class _Summarizer:
     def _augassign(self, st: ast.AugAssign, ctx: _FuncCtx) -> None:
         term = self._eval(st.value, ctx)
         if isinstance(st.target, ast.Name):
+            self._loop_store(st.target.id, ctx)
             ctx.local_names.add(st.target.id)
             target_unit = unit_of_name(st.target.id)
             if target_unit and term is not None and term[0] == "c" \
@@ -500,6 +674,8 @@ class _Summarizer:
                 ctx.summary.assign_checks.append(
                     (st.target.lineno, st.target.id, target_unit, term))
         elif isinstance(st.target, (ast.Attribute, ast.Subscript)):
+            if isinstance(st.target, ast.Attribute):
+                self._loop_store(dotted_name(st.target), ctx)
             self._eval(st.target.value, ctx)
 
     # -- expressions --------------------------------------------------------
@@ -518,6 +694,16 @@ class _Summarizer:
         if isinstance(node, ast.BinOp):
             return self._binop(node, ctx)
         if isinstance(node, ast.Compare):
+            if ctx.loops:
+                for op, comp in zip(node.ops, node.comparators):
+                    if not isinstance(op, (ast.In, ast.NotIn)):
+                        continue
+                    if isinstance(comp, ast.Name):
+                        ctx.loops[-1].memberships.append((comp.lineno, comp.id))
+                    elif isinstance(comp, ast.List):
+                        ctx.summary.perf.append(
+                            [ctx.loops[-1].line, "loop-list-in",
+                             [comp.lineno, "<list literal>"]])
             terms = [self._eval(node.left, ctx)]
             terms += [self._eval(c, ctx) for c in node.comparators]
             known = [t for t in terms if t is not None]
@@ -625,6 +811,12 @@ class _Summarizer:
             site.local_head = (head in ctx.local_names
                                and head not in ("self", "cls")
                                and head not in ctx.summary.nested)
+            if ctx.loops and "." in raw and "()." not in raw:
+                # A dotted callee resolved per iteration — candidate for
+                # hoisting into a local (SL802); innermost loop only.
+                counter = ctx.loops[-1].chains.setdefault(
+                    raw, [0, node.lineno])
+                counter[0] += 1
         for i, arg in enumerate(node.args):
             if isinstance(arg, ast.Starred):
                 site.star = True

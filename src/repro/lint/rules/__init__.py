@@ -9,13 +9,19 @@
   (whole-program, via ``repro lint --graph``)
 * :mod:`repro.lint.rules.unitsflow` — SL7xx, cross-call unit dataflow
   (whole-program, via ``repro lint --graph``)
+* :mod:`repro.lint.rules.perf` — SL8xx, hot-path performance
+  (whole-program, via ``repro lint --graph``)
+* :mod:`repro.lint.rules.layering` — SL9xx, architecture layering
+  (whole-program, via ``repro lint --graph``)
 """
 
 from repro.lint.rules import (  # noqa: F401
     determinism,
     kernel,
+    layering,
     observability,
     parallel,
+    perf,
     taint,
     units,
     unitsflow,

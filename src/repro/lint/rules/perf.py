@@ -1,0 +1,148 @@
+"""SL8xx — hot-path performance rules over the whole-program call graph.
+
+The simulator's inner loops run millions of events per campaign; a
+per-event allocation or attribute resolution that is invisible in a unit
+test dominates the wall clock at scale.  These rules compute the
+*kernel-hot set* — every function reachable through the call graph from
+the configured ``hot_entrypoints`` (``Simulator.run``, the network
+engine's reallocation path, the TCP and policer step functions) — and
+flag the classic per-event inefficiencies inside its loops:
+
+* **SL801** — a fresh empty container (``[]``, ``{}``, ``set()``)
+  is bound every iteration; allocate once outside the loop instead.
+* **SL802** — a dotted callee chain (``self.sim.schedule``) is resolved
+  two or more times per iteration; hoist the bound method into a local.
+* **SL803** — ``try/except KeyError`` (or another control-flow
+  exception) implements per-event branching; a lookup or guard avoids
+  the exception machinery on the hot path.
+* **SL804** — an ``in`` test against a known list is O(n) per event;
+  use a set or dict.
+
+All four are **warnings**: each site is a judgement call, the evidence
+is static, and the cure (a local, a preallocated buffer, a set) is
+always a small local edit — which is why SL802 is auto-fixable by
+``repro lint --fix``.  The loop sites themselves are extracted into the
+per-file summaries (so warm cache runs never re-parse); only the
+hot-set reachability pass runs here.  Chains that are (even partially)
+rebound inside the loop are never flagged — hoisting them would change
+semantics — and plain data-attribute loads are out of scope entirely,
+because an attribute's *value* may legitimately change mid-loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.lint.engine import graph_rule
+from repro.lint.findings import Severity
+
+__all__ = ["hot_functions"]
+
+_HOTSET_KEY = "perf-hotset"
+_FINDINGS_KEY = "perf-findings"
+
+
+def hot_functions(graph) -> Dict[str, str]:
+    """fq -> the configured hot entrypoint that reaches it.
+
+    Deterministic forward BFS from ``config.hot_entrypoints`` over
+    resolved project call edges and nested-function definitions; the
+    lexicographically first entrypoint wins ties.  Memoized on the graph
+    so the four SL8xx rules share one reachability pass.
+    """
+    cached = graph.scratch.get(_HOTSET_KEY)
+    if cached is not None:
+        return cached
+    hot: Dict[str, str] = {}
+    frontier: List[str] = []
+    for entry in sorted(graph.config.hot_entrypoints):
+        suffix = f".{entry}"
+        for fq in sorted(graph.functions):
+            if (fq == entry or fq.endswith(suffix)) and fq not in hot:
+                hot[fq] = entry
+                frontier.append(fq)
+    while frontier:
+        new_frontier: List[str] = []
+        for fq in frontier:
+            for edge in sorted(graph.out_edges.get(fq, []),
+                               key=lambda e: (e.target or "", e.line)):
+                if edge.kind not in ("project", "defines"):
+                    continue
+                target = edge.target
+                if target is None or target in hot \
+                        or target not in graph.functions:
+                    continue
+                hot[target] = hot[fq]
+                new_frontier.append(target)
+        frontier = sorted(new_frontier)
+    graph.scratch[_HOTSET_KEY] = hot
+    return hot
+
+
+def _perf_findings(graph) -> List[Tuple[str, str, int, str]]:
+    """(rule id, rel, line, message) for every hot-loop perf site."""
+    cached = graph.scratch.get(_FINDINGS_KEY)
+    if cached is not None:
+        return cached
+    hot = hot_functions(graph)
+    findings: List[Tuple[str, str, int, str]] = []
+    for fq in sorted(hot):
+        fsum, fn = graph.functions[fq]
+        where = f"in hot function {fq} (reachable from {hot[fq]})"
+        for loop_line, kind, payload in fn.perf:
+            if kind == "loop-container":
+                line, name, ctor = payload
+                findings.append(("SL801", fsum.rel, line, (
+                    f"fresh {ctor} `{name}` is built every iteration of the "
+                    f"loop at line {loop_line} {where}; allocate it once "
+                    f"before the loop or reuse a scratch object")))
+            elif kind == "loop-attr":
+                chain, count, first_line = payload
+                findings.append(("SL802", fsum.rel, first_line, (
+                    f"`{chain}` is resolved {count}x per iteration of the "
+                    f"loop at line {loop_line} {where}; hoist it into a "
+                    f"local before the loop")))
+            elif kind == "loop-try":
+                line, names = payload
+                findings.append(("SL803", fsum.rel, line, (
+                    f"try/except {', '.join(names)} implements per-event "
+                    f"control flow in the loop at line {loop_line} {where}; "
+                    f"prefer a lookup or guard on the hot path")))
+            elif kind == "loop-list-in":
+                line, name = payload
+                findings.append(("SL804", fsum.rel, line, (
+                    f"membership test against list `{name}` is O(n) per "
+                    f"iteration of the loop at line {loop_line} {where}; "
+                    f"use a set or dict")))
+    graph.scratch[_FINDINGS_KEY] = findings
+    return findings
+
+
+def _by_rule(graph, rule_id: str) -> Iterator[Tuple[str, int, str]]:
+    for rid, rel, line, message in _perf_findings(graph):
+        if rid == rule_id:
+            yield rel, line, message
+
+
+@graph_rule("SL801", "per-event container construction in a hot loop",
+            severity=Severity.WARNING)
+def hot_loop_container(graph) -> Iterator[Tuple[str, int, str]]:
+    return _by_rule(graph, "SL801")
+
+
+@graph_rule("SL802", "repeated attribute-chain resolution in a hot loop",
+            severity=Severity.WARNING)
+def hot_loop_attr_chain(graph) -> Iterator[Tuple[str, int, str]]:
+    return _by_rule(graph, "SL802")
+
+
+@graph_rule("SL803", "exception-driven control flow in a hot loop",
+            severity=Severity.WARNING)
+def hot_loop_try_control_flow(graph) -> Iterator[Tuple[str, int, str]]:
+    return _by_rule(graph, "SL803")
+
+
+@graph_rule("SL804", "O(n) list membership test in a hot loop",
+            severity=Severity.WARNING)
+def hot_loop_list_membership(graph) -> Iterator[Tuple[str, int, str]]:
+    return _by_rule(graph, "SL804")

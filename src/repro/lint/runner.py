@@ -10,27 +10,66 @@ pytest gate.  Exit codes are a stable contract:
 
 ``--graph`` upgrades the run to whole-program analysis
 (:class:`repro.lint.graph.ProjectAnalyzer`): per-file rules plus the
-SL6xx/SL7xx call-graph families, accelerated by the ``.lint_cache/``
-incremental store.  ``run_graph_export`` backs ``repro lint graph
---dot``.
+SL6xx/SL7xx/SL8xx/SL9xx call-graph families, accelerated by the
+``.lint_cache/`` incremental store.  ``run_graph_export`` backs ``repro
+lint graph --dot``.  ``--fix`` hands the findings to the autofix engine
+(:mod:`repro.lint.fix`) instead of gating on them.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Callable, Optional, Sequence, Set, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.lint.baseline import Baseline
-from repro.lint.config import LintConfig
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
 from repro.lint.engine import PARSE_ERROR_RULE, LintEngine, LintReport
-from repro.lint.findings import Severity
+from repro.lint.findings import Finding, Severity
 from repro.lint.sarif import render_sarif
 
 __all__ = ["run_lint", "run_graph_export", "default_scan_root",
            "discover_baseline"]
 
 BASELINE_FILENAME = "lint_baseline.json"
+
+#: Conventional reference-corpus locations next to a project root (used
+#: by SL904 dead-export detection: names mentioned there count as used).
+_REFERENCE_NAMES = ("docs", "tests", "examples", "README.md")
+
+
+def _config_errors(config: Optional[LintConfig],
+                   out: Callable[[str], None]) -> bool:
+    """Report structural config errors as SL001 findings; True if any."""
+    errors = (config or DEFAULT_CONFIG).validate()
+    for message in errors:
+        finding = Finding("<lint-config>", 1, PARSE_ERROR_RULE,
+                          Severity.ERROR, f"invalid lint config: {message}")
+        out(finding.render())
+    return bool(errors)
+
+
+def _discover_reference_roots(roots: Sequence[Path]) -> List[Path]:
+    """docs/tests/examples/README next to the project that owns *roots*.
+
+    Walks upward from each scan root looking for a project marker
+    (``pyproject.toml`` or the checked-in baseline); tiny fixture trees
+    find nothing and fall back to in-tree references only.
+    """
+    found: List[Path] = []
+    seen: Set[str] = set()
+    for root in roots:
+        for parent in (root, *root.parents[:3]):
+            if not ((parent / "pyproject.toml").is_file()
+                    or (parent / BASELINE_FILENAME).is_file()):
+                continue
+            for name in _REFERENCE_NAMES:
+                cand = parent / name
+                if cand.exists() and str(cand) not in seen:
+                    seen.add(str(cand))
+                    found.append(cand)
+            break
+    return found
 
 
 def default_scan_root() -> Path:
@@ -69,7 +108,9 @@ def _analyze(roots: Sequence[Path], config: Optional[LintConfig],
         from repro.lint.graph import ProjectAnalyzer
 
         resolved_cache = None if no_cache else (cache_dir or ".lint_cache")
-        analyzer = ProjectAnalyzer(config=config, cache_dir=resolved_cache)
+        analyzer = ProjectAnalyzer(
+            config=config, cache_dir=resolved_cache,
+            reference_roots=_discover_reference_roots(roots))
         result = analyzer.run(roots)
         active = {r.rule_id for r in analyzer.engine.active_rules()}
         active |= {r.rule_id for r in analyzer.graph_rules}
@@ -92,6 +133,9 @@ def run_lint(
     graph: bool = False,
     cache_dir: Optional[Union[str, Path]] = None,
     no_cache: bool = False,
+    fix: bool = False,
+    fix_mode: str = "rewrite",
+    dry_run: bool = False,
     out: Callable[[str], None] = print,
 ) -> int:
     """Lint *paths* (default: the installed package) and report.
@@ -99,13 +143,18 @@ def run_lint(
     Returns a process exit code (see module docstring).
     ``update_baseline`` rewrites the baseline to cover exactly the
     current findings — preserving entries for rule families that did not
-    run in this invocation — and exits 0.
+    run in this invocation — and exits 0.  ``fix`` hands the kept (and,
+    in rewrite mode, baselined) findings to the autofix engine and
+    prints unified diffs instead of gating; ``dry_run`` previews without
+    writing.
     """
     roots = [Path(p) for p in paths] if paths else [default_scan_root()]
     missing = [r for r in roots if not r.exists()]
     if missing:
         for r in missing:
             out(f"error: no such file or directory: {r}")
+        return 2
+    if _config_errors(config, out):
         return 2
     report, active_rules, _result = _analyze(
         roots, config, graph, cache_dir, no_cache)
@@ -143,6 +192,10 @@ def run_lint(
     warnings = [f for f in kept if f.severity is Severity.WARNING]
     parse_errors = [f for f in kept if f.rule == PARSE_ERROR_RULE]
 
+    if fix:
+        return _run_fix(roots, kept, baselined, fix_mode, dry_run,
+                        bool(parse_errors), out)
+
     if fmt == "json":
         out(json.dumps({
             "files_scanned": report.files_scanned,
@@ -169,6 +222,38 @@ def run_lint(
     return 1 if errors else 0
 
 
+def _run_fix(roots: Sequence[Path], kept: Sequence[Finding],
+             baselined: Sequence[Finding], fix_mode: str, dry_run: bool,
+             had_parse_errors: bool, out: Callable[[str], None]) -> int:
+    """The ``--fix`` tail of a lint run: plan, preview, maybe write."""
+    from repro.lint.fix import MODE_REWRITE, fix_findings
+    from repro.lint.graph.analyzer import _iter_files
+
+    if fix_mode == MODE_REWRITE:
+        # Rewrite mode also repairs grandfathered debt — that is how the
+        # baseline shrinks — while suppress mode only annotates what the
+        # gate would currently fail on.
+        candidates = list(kept) + list(baselined)
+    else:
+        candidates = list(kept)
+    rel_paths = {}
+    for root in roots:
+        for path, rel, _rootdir in _iter_files(root):
+            rel_paths.setdefault(rel, path)
+    result = fix_findings(candidates, rel_paths, mode=fix_mode)
+    for ff in result.changed_files():
+        out(ff.diff())
+    changed = len(result.changed_files())
+    summary = (f"{len(result.fixed)} finding(s) fixable in {changed} "
+               f"file(s); {len(result.skipped)} skipped")
+    if dry_run:
+        out(f"--fix --dry-run: {summary}; no files written")
+    else:
+        written = result.write()
+        out(f"--fix: {summary}; {written} file(s) written")
+    return 2 if had_parse_errors else 0
+
+
 def run_graph_export(
     paths: Optional[Sequence[Union[str, Path]]] = None,
     dot: bool = False,
@@ -187,8 +272,12 @@ def run_graph_export(
         for r in missing:
             out(f"error: no such file or directory: {r}")
         return 2
+    if _config_errors(config, out):
+        return 2
     resolved_cache = None if no_cache else (cache_dir or ".lint_cache")
-    analyzer = ProjectAnalyzer(config=config, cache_dir=resolved_cache)
+    analyzer = ProjectAnalyzer(
+        config=config, cache_dir=resolved_cache,
+        reference_roots=_discover_reference_roots(roots))
     result = analyzer.run(roots)
     if dot:
         out(to_dot(result.graph, focus=focus))

@@ -256,6 +256,8 @@ class NetworkEngine:
     def _do_reallocate(self) -> None:
         self._m_reallocs.inc()
         alloc = self._allocate([t.spec for t in self._flows.values()])
+        _complete = self._complete
+        sim_schedule = self.sim.schedule
         for t in self._flows.values():
             t.rate_bps = alloc[t.flow_id]
             if t._completion_handle is not None:
@@ -263,10 +265,10 @@ class NetworkEngine:
                 t._completion_handle = None
             if t.remaining_bytes <= 1e-9:
                 # Completed exactly at this instant.
-                self.sim.schedule(0.0, lambda t=t: self._complete(t))
+                sim_schedule(0.0, lambda t=t: _complete(t))
             elif t.rate_bps > 0:
                 eta = units.transfer_seconds(t.remaining_bytes, t.rate_bps)
-                t._completion_handle = self.sim.schedule(eta, lambda t=t: self._complete(t))
+                t._completion_handle = sim_schedule(eta, lambda t=t: _complete(t))
             # rate == 0: flow is starved; it stays until a reallocation frees capacity
 
     def _complete(self, transfer: Transfer) -> None:

@@ -81,14 +81,16 @@ def max_min_allocation(
     unfrozen = {f.flow_id: f for f in flow_list}
 
     # Each iteration freezes at least one flow, so it terminates.
+    headroom_items = headroom.items
+    unfrozen_items = unfrozen.items
     while unfrozen:
         # Largest uniform increment all unfrozen flows can take.
         delta = inf
-        for r, room in headroom.items():
+        for r, room in headroom_items():
             active = sum(1 for fid in users[r] if fid in unfrozen)
             if active:
                 delta = min(delta, room / active)
-        for fid, f in unfrozen.items():
+        for fid, f in unfrozen_items():
             delta = min(delta, f.ceiling_bps - alloc[fid])
         if delta is inf:
             raise ValueError("unbounded allocation: flow with no resources and no ceiling")
@@ -101,10 +103,10 @@ def max_min_allocation(
             headroom[r] -= delta * active
 
         # Freeze ceiling-bound flows and flows on saturated resources.
-        saturated = {r for r, room in headroom.items() if room <= epsilon}
+        saturated = {r for r, room in headroom_items() if room <= epsilon}
         to_freeze = [
             fid
-            for fid, f in unfrozen.items()
+            for fid, f in unfrozen_items()
             if alloc[fid] >= f.ceiling_bps - epsilon or any(r in saturated for r in f.resources)
         ]
         if not to_freeze:

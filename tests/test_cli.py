@@ -116,3 +116,35 @@ class TestBrokerCommand:
     def test_export_requires_cache_dir(self):
         with pytest.raises(SystemExit):
             main(["broker", "export", *self.FLEET])
+
+
+class TestLintCli:
+    def test_fix_flags_parse(self):
+        args = build_parser().parse_args(
+            ["lint", "src", "--fix", "--fix-mode", "suppress", "--dry-run"])
+        assert args.fix and args.fix_mode == "suppress" and args.dry_run
+
+    def test_fix_mode_defaults_to_rewrite(self):
+        args = build_parser().parse_args(["lint", "--fix"])
+        assert args.fix_mode == "rewrite" and not args.dry_run
+
+    def test_bad_fix_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--fix", "--fix-mode", "yolo"])
+
+    def test_fix_dry_run_smoke(self, capsys, tmp_path):
+        tree = tmp_path / "sim"
+        tree.mkdir()
+        (tree / "__init__.py").write_text("", encoding="utf-8")
+        (tree / "mod.py").write_text(
+            "def order(out):\n"
+            "    for name in {\"b\", \"a\"}:\n"
+            "        out.append(name)\n", encoding="utf-8")
+        before = (tree / "mod.py").read_text(encoding="utf-8")
+        assert main(["lint", str(tmp_path), "--no-baseline",
+                     "--fix", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "1 finding(s) fixable in 1 file(s)" in out
+        assert "no files written" in out
+        assert "+    for name in sorted({\"b\", \"a\"}):" in out
+        assert (tree / "mod.py").read_text(encoding="utf-8") == before

@@ -156,3 +156,64 @@ def test_cache_survives_deleted_file(proj, tmp_path):
     assert "util/helpers.py" not in result.summaries
     # The vanished file's entry is not resurrected on the next run:
     assert _run(proj, cache_dir).report.files_scanned == len(FILES) - 1
+
+
+def test_older_fingerprint_cache_recomputed_transparently(proj, tmp_path):
+    """A warm cache written by an older rule set (different fingerprint)
+    must never serve summaries: the run recomputes everything and
+    replaces the file."""
+    cache_dir = tmp_path / "cache"
+    reference = _run(proj, cache_dir)
+    cache_file = next(cache_dir.glob("lint-cache-*.json"))
+    data = json.loads(cache_file.read_text(encoding="utf-8"))
+    # Re-stamp the document with a PR-era fingerprint.  The sha256
+    # entries are still correct, so a fingerprint-blind loader would
+    # happily serve every summary from it.
+    data["fingerprint"] = "0" * 16
+    cache_file.write_text(json.dumps(data), encoding="utf-8")
+
+    result = _run(proj, cache_dir)
+    assert result.cache_stats.hits == 0
+    assert result.cache_stats.misses == len(FILES)
+    assert _payload(result) == _payload(reference)
+    # ...and the stale document was replaced by a current one:
+    refreshed = json.loads(cache_file.read_text(encoding="utf-8"))
+    assert refreshed["fingerprint"] != "0" * 16
+    assert _run(proj, cache_dir).cache_stats.hits == len(FILES)
+
+
+def test_stale_fingerprint_filename_is_never_read(proj, tmp_path):
+    """Caches are keyed by fingerprint in the *filename* too: an
+    old-fingerprint file sitting in the directory is simply ignored."""
+    cache_dir = tmp_path / "cache"
+    reference = _run(proj, cache_dir)
+    cache_file = next(cache_dir.glob("lint-cache-*.json"))
+    stale = cache_dir / ("lint-cache-" + "f" * 16 + ".json")
+    stale.write_text(cache_file.read_text(encoding="utf-8"),
+                     encoding="utf-8")
+    cache_file.unlink()
+
+    result = _run(proj, cache_dir)
+    assert result.cache_stats.misses == len(FILES)
+    assert _payload(result) == _payload(reference)
+
+
+def test_v3_config_fields_change_fingerprint():
+    """layers / restricted_imports / hot_entrypoints are part of the
+    rule-set fingerprint: changing any of them must invalidate caches
+    (this is what keeps a PR-5-era warm cache from masking SL8xx/SL9xx
+    findings)."""
+    from dataclasses import replace
+
+    def fp_of(config):
+        analyzer = ProjectAnalyzer(config=config)
+        return ruleset_fingerprint(analyzer.config,
+                                   analyzer.engine.active_rules(),
+                                   analyzer.graph_rules)
+
+    base = fp_of(CFG)
+    assert fp_of(replace(CFG, layers=(("sim",), ("util",)))) != base
+    assert fp_of(replace(
+        CFG, hot_entrypoints=("sim.engine.step",))) != base
+    assert fp_of(replace(
+        CFG, restricted_imports={"sim": frozenset({"cli"})})) != base

@@ -47,10 +47,19 @@ def test_graph_gate_src_repro_is_clean(tmp_path):
     assert code == 0, f"repro lint --graph found new violations:\n{out}"
 
 
-def test_no_unbaselined_sl6xx_sl7xx_findings(tmp_path):
-    result = ProjectAnalyzer(cache_dir=None).run([default_scan_root()])
+def test_no_unbaselined_graph_family_findings(tmp_path):
+    """Zero unbaselined SL6xx/SL7xx/SL8xx/SL9xx on the real tree.
+
+    The analyzer is given the repository's docs/tests/examples corpus as
+    SL904 reference roots, exactly as the CLI discovers them.
+    """
+    reference = [REPO_ROOT / name
+                 for name in ("docs", "tests", "examples", "README.md")]
+    result = ProjectAnalyzer(
+        cache_dir=None, reference_roots=reference).run([default_scan_root()])
     kept, _, _ = Baseline.load(BASELINE_PATH).filter(result.report.findings)
-    graph_findings = [f for f in kept if f.rule.startswith(("SL6", "SL7"))]
+    graph_findings = [f for f in kept
+                      if f.rule.startswith(("SL6", "SL7", "SL8", "SL9"))]
     assert graph_findings == [], "\n".join(f.render() for f in graph_findings)
 
 
@@ -132,7 +141,9 @@ def test_sarif_output_is_valid_and_lists_graph_rules(tmp_path):
     assert log["version"] == "2.1.0"
     rules = {r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]}
     assert {"SL001", "SL101", "SL601", "SL602", "SL603",
-            "SL701", "SL702", "SL703"} <= rules
+            "SL701", "SL702", "SL703",
+            "SL801", "SL802", "SL803", "SL804",
+            "SL901", "SL902", "SL903", "SL904"} <= rules
 
 
 def test_exit_code_contract(tmp_path):
