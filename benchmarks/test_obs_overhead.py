@@ -1,0 +1,84 @@
+"""Observability overhead: instrumented-vs-bare wall-clock on one world.
+
+Runs the same detour comparison twice — all obs hooks off, then tracing,
+metrics, and the timeline profiler all on — asserts the obs-off results
+are bit-identical to the instrumented ones (the obs layer's core
+contract), bounds the instrumentation overhead, and records both
+wall-clocks to ``benchmarks/results/BENCH_obs.json`` so ``repro bench
+check`` trends the overhead across generations.
+
+Each configuration is timed as the best of ``REPEATS`` fresh worlds:
+min-of-repeats is the standard noise filter for sub-second measurements,
+and each world is rebuilt so no state leaks between timings.
+"""
+
+import json
+import time
+
+from repro.core import DetourPlanner
+from repro.testbed import build_case_study
+from repro.units import mb
+
+from benchmarks.conftest import RESULTS_DIR, once
+
+REPEATS = 5
+SIZE_MB = 20
+
+#: Generous ceiling: write-only accumulators must stay in the noise.
+#: (<5% is typical; small absolute slack absorbs sub-100ms jitter.)
+MAX_OVERHEAD_FRAC = 0.05
+ABS_SLACK_S = 0.05
+
+
+def run_once(**obs):
+    world = build_case_study(seed=3, **obs)
+    planner = DetourPlanner(world, runs_per_route=2, discard_runs=1)
+    t0 = time.perf_counter()
+    comparison = planner.compare("ubc", "gdrive", int(mb(SIZE_MB)))
+    return time.perf_counter() - t0, comparison, next(world.sim._seq)
+
+
+def best_of(repeats, **obs):
+    runs = [run_once(**obs) for _ in range(repeats)]
+    wall_s = min(r[0] for r in runs)
+    # every repeat is the same simulation: identical rendered result
+    renders = {r[1].render() for r in runs}
+    events = {r[2] for r in runs}
+    assert len(renders) == 1 and len(events) == 1
+    return wall_s, renders.pop(), events.pop()
+
+
+def test_obs_overhead(benchmark, emit):
+    def run_both():
+        off = best_of(REPEATS)
+        on = best_of(REPEATS, trace=True, metrics=True, profile=True)
+        return off, on
+
+    (off_s, off_render, off_events), (on_s, on_render, on_events) = \
+        once(benchmark, run_both)
+
+    # the obs layer's core contract: instrumentation is invisible to the
+    # model — same numbers, same kernel event count
+    assert on_render == off_render
+    assert on_events == off_events
+
+    overhead_frac = (on_s - off_s) / off_s
+    record = {
+        "repeats": REPEATS,
+        "size_mb": SIZE_MB,
+        "events": off_events,
+        "obs_off_s": round(off_s, 4),
+        "obs_on_s": round(on_s, 4),
+        "overhead_pct": round(overhead_frac * 100, 2),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_obs.json").write_text(
+        json.dumps(record, indent=1) + "\n")
+    emit("obs_overhead",
+         f"obs overhead: {off_events} kernel events  "
+         f"off {off_s * 1e3:.1f}ms  on {on_s * 1e3:.1f}ms  "
+         f"overhead {overhead_frac * 100:+.1f}%")
+
+    assert on_s <= off_s * (1.0 + MAX_OVERHEAD_FRAC) + ABS_SLACK_S, (
+        f"instrumentation overhead {overhead_frac * 100:.1f}% exceeds "
+        f"{MAX_OVERHEAD_FRAC * 100:.0f}% (+{ABS_SLACK_S}s slack)")

@@ -234,6 +234,23 @@ class SweepSummary:
                          f"regret {regret_s:8.2f}s")
         return "\n".join(lines)
 
+    def to_metrics(self, registry) -> None:
+        """Publish the seed-averaged per-policy rollup as gauges."""
+        uploads = registry.gauge(
+            "repro_broker_sweep_uploads_count",
+            "Uploads per seed in the scored sweep")
+        mean_g = registry.gauge(
+            "repro_broker_sweep_mean_transfer_seconds",
+            "Seed-averaged mean upload duration per policy")
+        regret_g = registry.gauge(
+            "repro_broker_sweep_regret_mean_seconds",
+            "Seed-averaged mean regret vs the per-upload oracle per policy")
+        uploads.set(self.n_uploads)
+        for mode in sorted(self.by_mode):
+            mean_s, regret_s = self.by_mode[mode]
+            mean_g.set(mean_s, mode=mode)
+            regret_g.set(regret_s, mode=mode)
+
 
 def score_sweep(spec: BrokerSweepSpec, records: Sequence) -> SweepSummary:
     """Score a completed sweep's records (cross-policy regret per seed).

@@ -18,7 +18,7 @@ oracle (the best duration any compared policy achieved for that upload).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.executor import PlanExecutor
@@ -142,6 +142,12 @@ class FleetRunner:
             "repro_broker_fleet_uploads_total", "Fleet uploads completed")
         self._m_transfer = world.metrics.histogram(
             "repro_broker_fleet_transfer_seconds", "Realized upload durations")
+        self._m_bytes = world.metrics.counter(
+            "repro_broker_fleet_payload_bytes_total",
+            "Fleet upload payload bytes by client site")
+        self._m_source = world.metrics.counter(
+            "repro_broker_fleet_route_source_total",
+            "Route recommendations by decision source")
 
     def _recommend(self, upload) -> Recommendation:
         if self.kind == "broker":
@@ -176,8 +182,11 @@ class FleetRunner:
             if self.broker is not None:
                 self.broker.report(upload.client_site, upload.provider_name,
                                    rec.route, upload.file.size_bytes, duration)
-            self._m_uploads.inc(mode=self.kind)
-            self._m_transfer.observe(duration, mode=self.kind)
+            self._m_uploads.inc(mode=self.kind, site=upload.client_site)
+            self._m_transfer.observe(duration, mode=self.kind,
+                                     site=upload.client_site)
+            self._m_bytes.inc(upload.file.size_bytes, site=upload.client_site)
+            self._m_source.inc(source=rec.source)
             records[index] = FleetUploadRecord(
                 index=index,
                 client_site=upload.client_site,
@@ -239,18 +248,21 @@ def run_fleet(
     config: Optional[BrokerConfig] = None,
     cross_traffic: bool = True,
     metrics=False,
+    profile=False,
     schedule_seed: Optional[int] = None,
     horizon_s: float = 1e7,
 ) -> FleetResult:
     """Build a calibrated world + fleet schedule and run one policy.
 
     ``schedule_seed`` decouples the workload from the world (defaults to
-    *seed*, so one number reproduces the whole run).
+    *seed*, so one number reproduces the whole run).  ``metrics`` and
+    ``profile`` take a bool or a prebuilt registry/profiler, exactly as
+    :func:`~repro.testbed.build.build_case_study` does.
     """
     from repro.testbed.build import build_case_study
 
     world = build_case_study(seed=seed, cross_traffic=cross_traffic,
-                             metrics=metrics)
+                             metrics=metrics, profile=profile)
     schedule = fleet_population_schedule(
         tuple(sites), provider, n_uploads_per_site, mean_interarrival_s,
         mean_size_mb, seed=schedule_seed if schedule_seed is not None else seed,
@@ -270,8 +282,12 @@ class FleetScore:
     oracle_mean_s: float
     #: mode -> (mean transfer seconds, mean regret seconds vs the oracle)
     by_mode: Dict[str, Tuple[float, float]]
+    #: (mode, site) -> (mean transfer seconds, mean regret seconds); the
+    #: per-site rollup of the same oracle comparison.
+    by_site: Dict[Tuple[str, str], Tuple[float, float]] = field(
+        default_factory=dict)
 
-    def render(self) -> str:
+    def render(self, per_site: bool = False) -> str:
         lines = [f"fleet of {self.n_uploads} uploads; "
                  f"per-upload oracle mean {self.oracle_mean_s:.2f}s"]
         width = max(len(m) for m in self.by_mode)
@@ -279,7 +295,41 @@ class FleetScore:
             mean_s, regret_s = self.by_mode[mode]
             lines.append(f"  {mode:<{width}}  mean {mean_s:9.2f}s  "
                          f"regret {regret_s:8.2f}s")
+            if per_site:
+                for (m, site) in sorted(self.by_site):
+                    if m != mode:
+                        continue
+                    s_mean, s_regret = self.by_site[(m, site)]
+                    lines.append(f"    {site:<{width - 2}}  "
+                                 f"mean {s_mean:9.2f}s  "
+                                 f"regret {s_regret:8.2f}s")
         return "\n".join(lines)
+
+    def to_metrics(self, registry) -> None:
+        """Publish the rollup as ``repro_broker_fleet_*`` gauges.
+
+        Per-policy series carry a ``mode`` label; the per-site breakdown
+        adds a ``site`` label, so the existing Prometheus/JSONL exporters
+        ship both granularities from one registry.
+        """
+        oracle = registry.gauge(
+            "repro_broker_fleet_oracle_mean_seconds",
+            "Mean per-upload oracle duration across compared policies")
+        mean_g = registry.gauge(
+            "repro_broker_fleet_mean_transfer_seconds",
+            "Mean realized upload duration per policy (and per site)")
+        regret_g = registry.gauge(
+            "repro_broker_fleet_regret_mean_seconds",
+            "Mean per-upload regret vs the oracle per policy (and per site)")
+        oracle.set(self.oracle_mean_s)
+        for mode in sorted(self.by_mode):
+            mean_s, regret_s = self.by_mode[mode]
+            mean_g.set(mean_s, mode=mode)
+            regret_g.set(regret_s, mode=mode)
+        for (mode, site) in sorted(self.by_site):
+            mean_s, regret_s = self.by_site[(mode, site)]
+            mean_g.set(mean_s, mode=mode, site=site)
+            regret_g.set(regret_s, mode=mode, site=site)
 
 
 def score_fleet(results: Mapping[str, FleetResult]) -> FleetScore:
@@ -288,7 +338,8 @@ def score_fleet(results: Mapping[str, FleetResult]) -> FleetScore:
     The oracle for upload *i* is the fastest duration any compared policy
     realized for it; a policy's regret is its mean excess over that
     oracle.  (An oracle over policies, not over routes — contention makes
-    a true per-route oracle schedule-dependent.)
+    a true per-route oracle schedule-dependent.)  The per-site rollup
+    restricts both aggregates to each client site's own uploads.
     """
     if not results:
         raise BrokerError("score_fleet needs at least one result")
@@ -300,10 +351,20 @@ def score_fleet(results: Mapping[str, FleetResult]) -> FleetScore:
     oracle = [min(results[m].records[i].duration_s for m in modes)
               for i in range(n)]
     by_mode: Dict[str, Tuple[float, float]] = {}
+    by_site: Dict[Tuple[str, str], Tuple[float, float]] = {}
     for mode in modes:
+        records = results[mode].records
         durations = results[mode].durations_s
         mean_s = sum(durations) / n
         regret_s = sum(d - o for d, o in zip(durations, oracle)) / n
         by_mode[mode] = (mean_s, regret_s)
+        site_idx: Dict[str, List[int]] = {}
+        for i, rec in enumerate(records):
+            site_idx.setdefault(rec.client_site, []).append(i)
+        for site in sorted(site_idx):
+            idx = site_idx[site]
+            s_mean = sum(durations[i] for i in idx) / len(idx)
+            s_regret = sum(durations[i] - oracle[i] for i in idx) / len(idx)
+            by_site[(mode, site)] = (s_mean, s_regret)
     return FleetScore(n_uploads=n, oracle_mean_s=sum(oracle) / n,
-                      by_mode=by_mode)
+                      by_mode=by_mode, by_site=by_site)

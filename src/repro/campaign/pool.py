@@ -35,6 +35,7 @@ from repro.campaign.worker import child_main, run_cell_payload
 from repro.errors import CampaignError
 from repro.measure.harness import Measurement
 from repro.obs.metrics import MetricSample
+from repro.obs.telemetry import TelemetryEvent, TelemetrySink, as_sink
 
 __all__ = ["PoolConfig", "CellOutcome", "execute_cells"]
 
@@ -75,6 +76,9 @@ class CellOutcome:
     error: Optional[CellError]
     attempts: int
     metric_samples: Tuple[MetricSample, ...]
+    #: Worker-measured wall time of the final attempt; telemetry only,
+    #: never stored (records must not vary with host speed).
+    wall_s: float = 0.0
 
 
 def _decode(cell: CampaignCell, payload: dict, attempts: int) -> CellOutcome:
@@ -82,16 +86,38 @@ def _decode(cell: CampaignCell, payload: dict, attempts: int) -> CellOutcome:
     from repro.campaign.store import measurement_from_dict
 
     samples = tuple(MetricSample.from_dict(d) for d in payload.get("metrics", ()))
+    wall_s = payload.get("wall_s", 0.0)
     if payload["status"] == "ok":
         return CellOutcome(cell, "ok", measurement_from_dict(payload["measurement"]),
-                           None, attempts, samples)
+                           None, attempts, samples, wall_s)
     err = payload["error"]
     return CellOutcome(cell, "error", None, CellError(err["kind"], err["message"]),
-                       attempts, samples)
+                       attempts, samples, wall_s)
 
 
-def _execute_serial(cells: Sequence[CampaignCell]) -> List[CellOutcome]:
-    return [_decode(cell, run_cell_payload(cell), attempts=1) for cell in cells]
+def _finished_event(outcome: CellOutcome, index: int, queue_depth: int,
+                    running: int, worker: int = 0) -> TelemetryEvent:
+    return TelemetryEvent(
+        "cell_finished", outcome.cell.describe(), index,
+        attempt=outcome.attempts, status=outcome.status,
+        error_kind=outcome.error.kind if outcome.error is not None else "",
+        wall_s=outcome.wall_s, queue_depth=queue_depth, running=running,
+        worker=worker)
+
+
+def _execute_serial(cells: Sequence[CampaignCell],
+                    sink: Optional[TelemetrySink] = None) -> List[CellOutcome]:
+    outcomes: List[CellOutcome] = []
+    for i, cell in enumerate(cells):
+        left = len(cells) - i - 1
+        if sink is not None:
+            sink(TelemetryEvent("cell_started", cell.describe(), i,
+                                queue_depth=left, running=1))
+        outcome = _decode(cell, run_cell_payload(cell), attempts=1)
+        if sink is not None:
+            sink(_finished_event(outcome, i, queue_depth=left, running=0))
+        outcomes.append(outcome)
+    return outcomes
 
 
 class _Running:
@@ -121,27 +147,38 @@ class _Running:
 
 
 def _execute_parallel(cells: Sequence[CampaignCell],
-                      config: PoolConfig) -> List[CellOutcome]:
+                      config: PoolConfig,
+                      sink: Optional[TelemetrySink] = None) -> List[CellOutcome]:
     ctx = multiprocessing.get_context()
     pending = deque((i, cell, 1) for i, cell in enumerate(cells))
     running: Dict[int, _Running] = {}
     outcomes: Dict[int, CellOutcome] = {}
 
+    def emit(kind: str, task: _Running, **kw) -> None:
+        if sink is not None:
+            sink(TelemetryEvent(kind, task.cell.describe(), task.index,
+                                attempt=task.attempt,
+                                queue_depth=len(pending), running=len(running),
+                                worker=task.proc.pid or 0, **kw))
+
     def infra_failure(task: _Running, kind: str, message: str) -> None:
         """A crash/timeout: retry while budget remains, else quarantine."""
         if task.attempt <= config.retries:
             pending.appendleft((task.index, task.cell, task.attempt + 1))
+            emit("cell_retried", task, error_kind=kind)
         else:
             outcomes[task.index] = CellOutcome(
                 task.cell, "error", None, CellError(kind, message),
                 task.attempt, ())
+            emit("cell_quarantined", task, error_kind=kind)
 
     try:
         while pending or running:
             while pending and len(running) < config.jobs:
                 index, cell, attempt = pending.popleft()
-                running[index] = _Running(ctx, index, cell, attempt,
-                                          config.timeout_s)
+                task = _Running(ctx, index, cell, attempt, config.timeout_s)
+                running[index] = task
+                emit("cell_started", task)
             progressed = []
             for index, task in running.items():
                 # Deadline first: an attempt only counts if it beat its
@@ -163,8 +200,13 @@ def _execute_parallel(cells: Sequence[CampaignCell],
                         infra_failure(task, CRASH_KIND,
                                       "worker exited without a result")
                     else:
-                        outcomes[index] = _decode(task.cell, payload,
-                                                  task.attempt)
+                        outcome = _decode(task.cell, payload, task.attempt)
+                        outcomes[index] = outcome
+                        if sink is not None:
+                            sink(_finished_event(
+                                outcome, index, queue_depth=len(pending),
+                                running=len(running) - 1,
+                                worker=task.proc.pid or 0))
                     progressed.append(index)
                 elif not task.proc.is_alive():
                     task.reap()
@@ -184,16 +226,24 @@ def _execute_parallel(cells: Sequence[CampaignCell],
 
 
 def execute_cells(cells: Sequence[CampaignCell],
-                  config: Optional[PoolConfig] = None) -> List[CellOutcome]:
+                  config: Optional[PoolConfig] = None,
+                  telemetry=None) -> List[CellOutcome]:
     """Execute *cells*, returning outcomes in input order.
 
     ``jobs == 1`` runs in-process (through the exact payload path the
     children use, so serial and parallel campaigns are byte-identical);
     ``jobs > 1`` fans out over worker processes.
+
+    ``telemetry`` is an optional sink (a callable or anything with an
+    ``.emit`` method, e.g. :class:`~repro.obs.telemetry.TelemetryAggregator`)
+    that receives one :class:`~repro.obs.telemetry.TelemetryEvent` per
+    cell-lifecycle transition.  Events carry pool state only — attaching
+    a sink never changes what executes or what is returned.
     """
     config = config if config is not None else PoolConfig()
+    sink = as_sink(telemetry)
     if not cells:
         return []
     if config.jobs == 1:
-        return _execute_serial(cells)
-    return _execute_parallel(cells, config)
+        return _execute_serial(cells, sink)
+    return _execute_parallel(cells, config, sink)

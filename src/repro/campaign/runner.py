@@ -23,6 +23,7 @@ from repro.campaign.pool import CellOutcome, PoolConfig, execute_cells
 from repro.campaign.spec import CampaignCell, CampaignSpec
 from repro.campaign.store import CellRecord, ResultStore
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import TelemetryEvent, as_sink, reindexed
 
 __all__ = ["CampaignResult", "CampaignRunner", "campaign_status"]
 
@@ -51,14 +52,21 @@ class CampaignRunner:
         store: Optional[ResultStore] = None,
         pool: Optional[PoolConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        telemetry=None,
     ):
         self.spec = spec
         self.store = store
         self.pool = pool if pool is not None else PoolConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
+        #: optional telemetry sink/aggregator; events use spec-order indexes.
+        self.telemetry = telemetry
 
     def run(self) -> CampaignResult:
         cells = self.spec.expand()
+        sink = as_sink(self.telemetry)
+        expect = getattr(self.telemetry, "expect", None)
+        if expect is not None:
+            expect(len(cells))
         executed_ctr = self.metrics.counter(
             "repro_campaign_cells_executed_total",
             "Campaign cells computed by this invocation")
@@ -79,10 +87,17 @@ class CampaignRunner:
             if hit is not None:
                 records[i] = hit
                 cached_ctr.inc()
+                if sink is not None:
+                    sink(TelemetryEvent("cell_cached", cell.describe(), i,
+                                        status="ok" if hit.ok else "error"))
             else:
                 to_run.append((i, cell))
 
-        outcomes = execute_cells([cell for _, cell in to_run], self.pool)
+        # Pool events index into the to_run subset; rewrite to spec order.
+        pool_sink = (reindexed(sink, [i for i, _ in to_run])
+                     if sink is not None else None)
+        outcomes = execute_cells([cell for _, cell in to_run], self.pool,
+                                 telemetry=pool_sink)
         for (i, _cell), outcome in zip(to_run, outcomes):
             records[i] = self._persist(outcome)
             executed_ctr.inc()

@@ -15,6 +15,7 @@ so the parent never unpickles model objects from a child.
 
 from __future__ import annotations
 
+import time
 import traceback
 from typing import Any, Dict, Optional
 
@@ -66,7 +67,13 @@ def run_cell_payload(cell: CampaignCell) -> Dict[str, Any]:
     Cells that know how to run themselves (a ``run_measurement`` method —
     e.g. the broker's fleet cells) are dispatched to it; classic paper
     cells go through :func:`run_cell`.
+
+    The payload carries ``wall_s``, the attempt's wall time measured
+    *here* — inside the worker — so campaign telemetry ships over the
+    same pipe as the result and the parent never times on a child's
+    behalf.  ``wall_s`` never enters the stored record (see ``_decode``).
     """
+    t0 = time.perf_counter()
     registry = MetricsRegistry()
     try:
         self_runner = getattr(cell, "run_measurement", None)
@@ -80,12 +87,14 @@ def run_cell_payload(cell: CampaignCell) -> Dict[str, Any]:
             "error": {"kind": type(exc).__name__,
                       "message": str(exc) or traceback.format_exc(limit=1).strip()},
             "metrics": [s.to_dict() for s in registry.collect()],
+            "wall_s": time.perf_counter() - t0,
         }
     return {
         "status": "ok",
         "measurement": measurement_to_dict(measurement,
                                            cell.protocol.discard_runs),
         "metrics": [s.to_dict() for s in registry.collect()],
+        "wall_s": time.perf_counter() - t0,
     }
 
 

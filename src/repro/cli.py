@@ -8,7 +8,10 @@
     python -m repro.cli routeviews google
     python -m repro.cli tiv
     python -m repro.cli campaign run --fast --jobs 4 --cache-dir .cells
+    python -m repro.cli campaign status --watch --cache-dir .cells
     python -m repro.cli campaign export --fast --cache-dir .cells
+    python -m repro.cli obs ubc gdrive --profile-trace trace.json
+    python -m repro.cli bench check --record
 """
 
 from __future__ import annotations
@@ -88,6 +91,14 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
                         "('-' for stdout)")
     p.add_argument("--profile", action="store_true",
                    help="profile kernel callbacks and print a wall-time report")
+    p.add_argument("--profile-trace", default=None, metavar="FILE",
+                   dest="profile_trace",
+                   help="record the profiler timeline and write it as "
+                        "Chrome-trace/Perfetto JSON (implies --profile)")
+    p.add_argument("--profile-stacks", default=None, metavar="FILE",
+                   dest="profile_stacks",
+                   help="write self-time-weighted collapsed stacks in "
+                        "flamegraph format (implies --profile)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -172,9 +183,17 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--metrics", default=None, metavar="FILE",
                    help="export campaign metrics: '-' prints a table, any "
                         "other path gets Prometheus exposition text")
+    c.add_argument("--progress", action="store_true",
+                   help="stream one telemetry line per cell-lifecycle event "
+                        "to stderr (started/finished/retried/quarantined)")
 
     c = csub.add_parser("status", help="how much of the matrix the store holds")
     _add_campaign_spec_flags(c)
+    c.add_argument("--watch", action="store_true",
+                   help="re-poll the store and print a progress line until "
+                        "every cell is present (follow a run live)")
+    c.add_argument("--interval-s", type=float, default=2.0, dest="interval_s",
+                   metavar="S", help="poll interval for --watch (default: 2)")
 
     c = csub.add_parser("export", help="canonical JSON of every stored cell, "
                                        "in spec order")
@@ -195,6 +214,13 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--seed", type=int, default=0)
     b.add_argument("--uploads", action="store_true", dest="show_uploads",
                    help="also print one line per upload")
+    b.add_argument("--metrics", default=None, metavar="FILE",
+                   help="export per-site fleet metrics: '-' prints a table, "
+                        "any other path gets Prometheus exposition text")
+    b.add_argument("--profile-trace", default=None, metavar="FILE",
+                   dest="profile_trace",
+                   help="profile the fleet's kernel and write the timeline "
+                        "as Chrome-trace/Perfetto JSON")
 
     b = bsub.add_parser("eval", help="run the broker-on vs broker-off sweep "
                                      "through the campaign engine and score it")
@@ -204,6 +230,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "both static detours, broker)")
     b.add_argument("--seeds", default=None, metavar="S1,S2,...")
     _add_cache_flags(b)
+    b.add_argument("--metrics", default=None, metavar="FILE",
+                   help="export the per-policy score rollup: '-' prints a "
+                        "table, any other path gets Prometheus text")
 
     b = bsub.add_parser("export", help="canonical JSON of every stored fleet "
                                        "cell, in sweep order")
@@ -232,6 +261,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the export to FILE instead of stdout")
     p.add_argument("--profile", action="store_true",
                    help="also print the kernel wall-time profile (text format)")
+    p.add_argument("--profile-trace", default=None, metavar="FILE",
+                   dest="profile_trace",
+                   help="record the profiler timeline and write it as "
+                        "Chrome-trace/Perfetto JSON")
+    p.add_argument("--profile-stacks", default=None, metavar="FILE",
+                   dest="profile_stacks",
+                   help="write self-time-weighted collapsed stacks in "
+                        "flamegraph format")
+
+    p = sub.add_parser("bench", help="trend ledger over the benchmark "
+                                     "suite's BENCH_*.json results")
+    nsub = p.add_subparsers(dest="bench_command", required=True)
+
+    n = nsub.add_parser("check", help="flag results that regressed past a "
+                                      "threshold vs the ledger's last "
+                                      "generation (exit 1 on regression)")
+    n.add_argument("--results-dir", default="benchmarks/results",
+                   dest="results_dir", metavar="DIR",
+                   help="directory holding BENCH_*.json "
+                        "(default: benchmarks/results)")
+    n.add_argument("--ledger", default=None, metavar="FILE",
+                   help="ledger path (default: <results-dir>/"
+                        "bench_ledger.jsonl)")
+    n.add_argument("--threshold", type=float, default=None,
+                   help="degradation ratio that counts as a regression "
+                        "(default: 1.25)")
+    n.add_argument("--record", action="store_true",
+                   help="after checking, append the current results to the "
+                        "ledger as a new generation")
+    n.add_argument("--note", default="", metavar="TEXT",
+                   help="free-form note stored with --record")
+
+    n = nsub.add_parser("trend", help="print the per-metric value trail "
+                                      "over recent ledger generations")
+    n.add_argument("--results-dir", default="benchmarks/results",
+                   dest="results_dir", metavar="DIR")
+    n.add_argument("--ledger", default=None, metavar="FILE")
+    n.add_argument("--suite", default=None,
+                   help="restrict to one suite (the X of BENCH_X.json)")
+    n.add_argument("--last", type=int, default=8, metavar="N",
+                   help="show the most recent N generations (default: 8)")
 
     p = sub.add_parser("lint", help="statically check the simulation invariants "
                                     "(determinism / units / kernel-safety)")
@@ -355,7 +425,20 @@ def _warmed_config(cfg, args):
 
 
 def _obs_requested(args) -> bool:
-    return bool(args.metrics or args.trace_out or args.profile)
+    return bool(args.metrics or args.trace_out or _profile_requested(args))
+
+
+def _profile_requested(args) -> bool:
+    return bool(args.profile or getattr(args, "profile_trace", None)
+                or getattr(args, "profile_stacks", None))
+
+
+def _build_profiler(args):
+    """A profiler matching the flags: timeline recording only when a
+    Chrome-trace export was asked for (it is the only consumer)."""
+    from repro.obs import KernelProfiler
+
+    return KernelProfiler(timeline=bool(getattr(args, "profile_trace", None)))
 
 
 def _instrumented_world(args):
@@ -371,8 +454,24 @@ def _instrumented_world(args):
         seed=args.seed,
         trace=obs_on,
         metrics=bool(args.metrics or args.trace_out),
-        profile=args.profile,
+        profile=_build_profiler(args) if _profile_requested(args) else False,
     )
+
+
+def _write_profile_exports(profiler, args) -> None:
+    """Honour --profile-trace / --profile-stacks for a finished profiler."""
+    from repro.obs import write_chrome_trace, write_collapsed_stacks
+
+    trace_path = getattr(args, "profile_trace", None)
+    stacks_path = getattr(args, "profile_stacks", None)
+    if trace_path:
+        with open(trace_path, "w", encoding="utf-8") as fp:
+            n = write_chrome_trace(fp, profiler)
+        print(f"wrote Chrome trace ({n} events) to {trace_path}")
+    if stacks_path:
+        with open(stacks_path, "w", encoding="utf-8") as fp:
+            n = write_collapsed_stacks(fp, profiler)
+        print(f"wrote {n} collapsed stack(s) to {stacks_path}")
 
 
 def _emit_obs(world, args) -> None:
@@ -380,13 +479,17 @@ def _emit_obs(world, args) -> None:
     from repro.analysis import span_timeline
     from repro.obs import (
         extract_span_records,
+        record_trace_health,
         render_metrics_table,
         render_prometheus,
         write_jsonl,
     )
 
+    record_trace_health(world.metrics, world.tracer)
     print()
     print(span_timeline(extract_span_records(world.tracer)))
+    print(f"trace: {len(world.tracer)} event(s), "
+          f"{world.tracer.dropped} dropped")
     if args.metrics == "-":
         print()
         print(render_metrics_table(world.metrics))
@@ -404,6 +507,8 @@ def _emit_obs(world, args) -> None:
     if args.profile and world.profiler is not None:
         print()
         print(world.profiler.report())
+    if world.profiler is not None:
+        _write_profile_exports(world.profiler, args)
 
 
 def _cmd_compare(args) -> int:
@@ -548,15 +653,15 @@ def _cmd_report(args) -> int:
     if _obs_requested(args):
         from dataclasses import replace
 
-        from repro.obs import KernelProfiler, MetricsRegistry
+        from repro.obs import MetricsRegistry
 
         if args.trace_out:
             print("note: --trace-out is ignored by report (per-world traces "
                   "are not aggregated)", file=sys.stderr)
         if args.metrics:
             registry = MetricsRegistry()
-        if args.profile:
-            profiler = KernelProfiler()
+        if _profile_requested(args):
+            profiler = _build_profiler(args)
         cfg = replace(cfg, metrics=registry, profiler=profiler)
     cfg, keepalive = _warmed_config(cfg, args)
     print(generate_full_report(cfg))
@@ -572,8 +677,10 @@ def _cmd_report(args) -> int:
                 fp.write(render_prometheus(registry))
             print(f"\nwrote Prometheus metrics to {args.metrics}")
     if profiler is not None:
-        print()
-        print(profiler.report())
+        if args.profile:
+            print()
+            print(profiler.report())
+        _write_profile_exports(profiler, args)
     return 0
 
 
@@ -582,19 +689,23 @@ def _cmd_obs(args) -> int:
     from repro.core import DetourPlanner
     from repro.obs import (
         extract_span_records,
+        record_trace_health,
         render_metrics_table,
         render_prometheus,
         write_jsonl,
     )
     from repro.testbed import build_case_study
 
+    profile = (_build_profiler(args) if _profile_requested(args)
+               else args.profile)
     world = build_case_study(seed=args.seed, trace=True, metrics=True,
-                             profile=args.profile)
+                             profile=profile)
     planner = DetourPlanner(world, runs_per_route=args.runs,
                             discard_runs=1 if args.runs > 1 else 0)
     comparison = planner.compare(args.client, args.provider,
                                  int(units.mb(args.size_mb)))
 
+    record_trace_health(world.metrics, world.tracer)
     out = sys.stdout if args.out in (None, "-") else open(
         args.out, "w", encoding="utf-8")
     try:
@@ -605,6 +716,8 @@ def _cmd_obs(args) -> int:
         else:
             out.write(comparison.render() + "\n\n")
             out.write(span_timeline(extract_span_records(world.tracer)) + "\n\n")
+            out.write(f"trace: {len(world.tracer)} event(s), "
+                      f"{world.tracer.dropped} dropped\n\n")
             out.write(render_metrics_table(world.metrics) + "\n")
             if args.profile and world.profiler is not None:
                 out.write("\n" + world.profiler.report() + "\n")
@@ -612,6 +725,8 @@ def _cmd_obs(args) -> int:
         if out is not sys.stdout:
             out.close()
             print(f"wrote {args.fmt} export to {args.out}")
+    if world.profiler is not None:
+        _write_profile_exports(world.profiler, args)
     return 0
 
 
@@ -631,8 +746,22 @@ def _cmd_campaign(args) -> int:
         registry = MetricsRegistry()
         pool = PoolConfig(jobs=args.jobs, timeout_s=args.timeout_s,
                           retries=args.retries)
+        telemetry = None
+        if args.progress or args.metrics:
+            from repro.obs import TelemetryAggregator, render_event
+
+            on_event = None
+            if args.progress:
+                def on_event(ev):
+                    print(render_event(ev), file=sys.stderr)
+            telemetry = TelemetryAggregator(metrics=registry,
+                                            on_event=on_event)
         result = CampaignRunner(spec, store=store, pool=pool,
-                                metrics=registry).run()
+                                metrics=registry, telemetry=telemetry).run()
+        if telemetry is not None and args.progress:
+            from repro.obs import render_progress
+
+            print(render_progress(telemetry.snapshot()), file=sys.stderr)
         for rec in result.records:
             if rec.ok:
                 mean = rec.measurement.kept.mean
@@ -655,6 +784,22 @@ def _cmd_campaign(args) -> int:
 
     store = _campaign_store(args, required=True)
     if args.campaign_command == "status":
+        if args.watch:
+            import time
+
+            from repro.obs import ProgressSnapshot, render_progress
+
+            print(f"{spec.describe()}  (store: {store.root})")
+            while True:
+                status = campaign_status(spec, store)
+                snap = ProgressSnapshot(total=status["total"],
+                                        finished_ok=status["ok"],
+                                        finished_error=status["error"])
+                print(render_progress(snap), flush=True)
+                if status["missing"] == 0:
+                    break
+                time.sleep(args.interval_s)
+            return 0 if status["error"] == 0 else 1
         status = campaign_status(spec, store)
         print(f"{spec.describe()}")
         print(f"ok {status['ok']}  error {status['error']}  "
@@ -696,6 +841,15 @@ def _cmd_broker(args) -> int:
     from repro.broker import BrokerSweepSpec, run_fleet, score_sweep
 
     if args.broker_command == "simulate":
+        registry = profiler = None
+        if args.metrics:
+            from repro.obs import MetricsRegistry
+
+            registry = MetricsRegistry()
+        if args.profile_trace:
+            from repro.obs import KernelProfiler
+
+            profiler = KernelProfiler(timeline=True)
         result = run_fleet(
             seed=args.seed,
             sites=_split_csv(args.sites) or BrokerSweepSpec.sites,
@@ -706,6 +860,8 @@ def _cmd_broker(args) -> int:
             size_dist=args.size_dist,
             mode=args.mode,
             cross_traffic=not args.no_cross_traffic,
+            metrics=registry if registry is not None else False,
+            profile=profiler if profiler is not None else False,
         )
         if args.show_uploads:
             for r in result.records:
@@ -721,6 +877,18 @@ def _cmd_broker(args) -> int:
               f"directory hit rate {result.hit_rate:.0%} "
               f"({result.directory_hits}/{result.directory_hits + result.directory_misses}), "
               f"admission spills {result.admission_spills}")
+        if registry is not None:
+            from repro.obs import render_metrics_table, render_prometheus
+
+            if args.metrics == "-":
+                print()
+                print(render_metrics_table(registry))
+            else:
+                with open(args.metrics, "w", encoding="utf-8") as fp:
+                    fp.write(render_prometheus(registry))
+                print(f"wrote Prometheus metrics to {args.metrics}")
+        if profiler is not None:
+            _write_profile_exports(profiler, args)
         return 0
 
     from repro.campaign import CampaignRunner, PoolConfig, export_campaign
@@ -740,8 +908,25 @@ def _cmd_broker(args) -> int:
               + (f"; store: {store.root}" if store is not None else ""))
         if result.errors:
             return 1
+        summary = score_sweep(spec, result.records)
         print()
-        print(score_sweep(spec, result.records).render())
+        print(summary.render())
+        if args.metrics:
+            from repro.obs import (
+                MetricsRegistry,
+                render_metrics_table,
+                render_prometheus,
+            )
+
+            registry = MetricsRegistry()
+            summary.to_metrics(registry)
+            if args.metrics == "-":
+                print()
+                print(render_metrics_table(registry))
+            else:
+                with open(args.metrics, "w", encoding="utf-8") as fp:
+                    fp.write(render_prometheus(registry))
+                print(f"wrote Prometheus metrics to {args.metrics}")
         return 0
 
     # export
@@ -752,6 +937,48 @@ def _cmd_broker(args) -> int:
             n = export_campaign(spec, store, fp)
         print(f"exported {n} fleet cell record(s) to {args.out}")
     return 0
+
+
+def _cmd_bench(args) -> int:
+    import os
+
+    from repro.obs.bench import (
+        DEFAULT_THRESHOLD,
+        check_regressions,
+        load_bench_results,
+        read_ledger,
+        record_generation,
+        render_regressions,
+        render_trend,
+    )
+
+    ledger_path = args.ledger or os.path.join(args.results_dir,
+                                              "bench_ledger.jsonl")
+    if args.bench_command == "trend":
+        print(render_trend(read_ledger(ledger_path), suite=args.suite,
+                           last=args.last))
+        return 0
+
+    # check
+    threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    results = load_bench_results(args.results_dir)
+    if not results:
+        print(f"bench check: no BENCH_*.json under {args.results_dir}")
+        return 0
+    ledger = read_ledger(ledger_path)
+    regressions = check_regressions(results, ledger, threshold=threshold)
+    print(render_regressions(regressions, threshold))
+    if not ledger:
+        print("note: ledger is empty — nothing to compare against"
+              + ("" if args.record else "; use --record to seed it"))
+    if args.record:
+        import datetime
+
+        stamp = datetime.datetime.now().isoformat(timespec="seconds")
+        gen = record_generation(ledger_path, results, stamp=stamp,
+                                note=args.note)
+        print(f"recorded generation {gen} in {ledger_path}")
+    return 1 if regressions else 0
 
 
 def _cmd_lint(args) -> int:
@@ -791,6 +1018,7 @@ _COMMANDS = {
     "tiv": _cmd_tiv,
     "validate": _cmd_validate,
     "obs": _cmd_obs,
+    "bench": _cmd_bench,
     "campaign": _cmd_campaign,
     "broker": _cmd_broker,
     "lint": _cmd_lint,

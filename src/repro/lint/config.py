@@ -75,6 +75,10 @@ class LintConfig:
     #: events: the SpanTracer implementation itself.  Everywhere else the
     #: paired-emission guarantee comes from the context manager.
     span_emitter_files: FrozenSet[str] = frozenset({"obs/spans.py"})
+    #: The one observability file allowed to read a wall clock (SL403):
+    #: the kernel profiler.  Every other obs module must stay sim-time
+    #: pure so that instrumented runs remain deterministic.
+    profiler_files: FrozenSet[str] = frozenset({"obs/profile.py"})
     #: The packages allowed to import ``multiprocessing`` /
     #: ``concurrent.futures`` (SL501): the campaign worker-pool engine.
     parallelism_packages: FrozenSet[str] = frozenset({"campaign"})

@@ -1,11 +1,14 @@
-"""SL4xx — observability discipline: metric naming and span emission.
+"""SL4xx — observability discipline: naming, spans, sim-time purity.
 
 Metrics and spans are read long after the code that emitted them has
 scrolled away, so their *names* are the API.  SL401 pins the metric
 naming convention (``repro_`` prefix, snake_case, unit suffix) at the
 registration site; SL402 keeps span begin/end events paired by forcing
 them through the ``SpanTracer.span(...)`` context manager instead of
-hand-rolled ``emit`` calls that can miss the closing half.
+hand-rolled ``emit`` calls that can miss the closing half; SL403 keeps
+the observability layer itself sim-time pure — the profiler is the one
+obs module whose job is wall time, every other file under ``obs/``
+reading a clock would smuggle host speed into exported data.
 """
 
 from __future__ import annotations
@@ -13,8 +16,9 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Tuple
 
-from repro.lint.context import FileContext, terminal_name
+from repro.lint.context import FileContext, dotted_name, terminal_name
 from repro.lint.engine import TREE, rule
+from repro.lint.rules.determinism import _WALL_CLOCK
 from repro.obs.metrics import UNIT_SUFFIXES, valid_metric_name
 
 __all__ = []
@@ -73,3 +77,26 @@ def span_emit_outside_tracer(ctx: FileContext) -> Iterator[Tuple[int, str]]:
                     f"begin/end always match"
                 )
                 break
+
+
+@rule("SL403", "wall-clock read in the observability layer", scope=TREE)
+def obs_wall_clock(ctx: FileContext) -> Iterator[Tuple[int, str]]:
+    """Only the profiler may read real time under ``obs/``.
+
+    Everything else in the observability layer records *simulated* time
+    or caller-supplied measurements; a wall-clock read there would make
+    metric/telemetry exports vary with host speed and break the
+    obs-on/obs-off bit-identity invariant.
+    """
+    if not ctx.rel.startswith("obs/") or ctx.rel in ctx.config.profiler_files:
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in _WALL_CLOCK:
+                yield node.lineno, (
+                    f"{name}() reads the wall clock inside repro.obs; only "
+                    f"the profiler ({', '.join(sorted(ctx.config.profiler_files))}) "
+                    f"may time real execution — pass measured durations or "
+                    f"timestamps in from the orchestration layer instead"
+                )

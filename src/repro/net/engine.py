@@ -247,11 +247,12 @@ class NetworkEngine:
         if prof is None:
             self._do_reallocate()
         else:
+            prof.count("net.engine.flows_touched", len(self._flows))
             t0 = prof.begin()
             try:
                 self._do_reallocate()
             finally:
-                prof.end_section("net.engine.reallocate", t0)
+                prof.end_section("net.engine.reallocate", t0, self.sim.now)
 
     def _do_reallocate(self) -> None:
         self._m_reallocs.inc()
@@ -293,6 +294,9 @@ class NetworkEngine:
         )
         self._m_completed.inc()
         self._m_payload.inc(transfer.payload_bytes)
+        prof = self.sim.profiler
+        if prof is not None:
+            prof.count_bytes("net.engine.payload", transfer.payload_bytes)
         self._m_active.set(len(self._flows))
         self._m_duration.observe(result.duration_s)
         self._m_throughput.observe(result.mean_rate_bps)

@@ -7,11 +7,22 @@ uninstrumented runs produce bit-identical results.  Wall-clock access is
 confined to :mod:`repro.obs.profile`.  See ``docs/OBSERVABILITY.md``.
 """
 
+from repro.obs.bench import (
+    Regression,
+    check_regressions,
+    load_bench_results,
+    read_ledger,
+    record_generation,
+    render_trend,
+)
 from repro.obs.exporters import (
     ObsDump,
     read_jsonl,
+    record_trace_health,
     render_metrics_table,
     render_prometheus,
+    write_chrome_trace,
+    write_collapsed_stacks,
     write_jsonl,
 )
 from repro.obs.metrics import (
@@ -26,13 +37,20 @@ from repro.obs.metrics import (
     MetricsRegistry,
     valid_metric_name,
 )
-from repro.obs.profile import KernelProfiler
+from repro.obs.profile import KernelProfiler, TimelineEvent
 from repro.obs.spans import (
     Span,
     SpanRecord,
     SpanTracer,
     extract_span_records,
     span_depths,
+)
+from repro.obs.telemetry import (
+    ProgressSnapshot,
+    TelemetryAggregator,
+    TelemetryEvent,
+    render_event,
+    render_progress,
 )
 
 __all__ = [
@@ -44,17 +62,32 @@ __all__ = [
     "MetricSample",
     "MetricsRegistry",
     "ObsDump",
+    "ProgressSnapshot",
     "RATE_BUCKETS",
+    "Regression",
     "SIZE_BUCKETS",
     "Span",
     "SpanRecord",
     "SpanTracer",
+    "TelemetryAggregator",
+    "TelemetryEvent",
+    "TimelineEvent",
     "UNIT_SUFFIXES",
+    "check_regressions",
     "extract_span_records",
+    "load_bench_results",
     "read_jsonl",
+    "read_ledger",
+    "record_generation",
+    "record_trace_health",
+    "render_event",
     "render_metrics_table",
+    "render_progress",
     "render_prometheus",
+    "render_trend",
     "span_depths",
     "valid_metric_name",
+    "write_chrome_trace",
+    "write_collapsed_stacks",
     "write_jsonl",
 ]

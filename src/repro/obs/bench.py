@@ -1,0 +1,231 @@
+"""Bench regression ledger: trend tracking over ``BENCH_*.json`` results.
+
+The benchmark suite (``benchmarks/``) drops one ``BENCH_<suite>.json``
+per suite into a results directory — flat JSON with numeric fields
+(wall seconds, speedups, counts).  This module turns those snapshots
+into an **append-only ledger** (one JSON line per recorded generation)
+and checks a fresh snapshot against the last recorded generation,
+flagging any metric that moved past a threshold ratio in its *bad*
+direction.
+
+Direction is inferred from the key, suffix-first:
+
+* ``*_s`` / ``*_seconds`` / ``*_ms`` — wall time, **lower is better**;
+* ``speedup*`` / ``*_speedup`` / ``*_rate`` — **higher is better**;
+* anything else is recorded for the trend but never flagged (counts,
+  configuration echoes, identifiers).
+
+This module never reads a clock (lint rule SL403): generation stamps
+are strings supplied by the caller — the CLI passes a timestamp, tests
+pass fixed labels — so the ledger file itself stays deterministic under
+test.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "Regression",
+    "check_regressions",
+    "direction_of",
+    "load_bench_results",
+    "read_ledger",
+    "record_generation",
+    "render_regressions",
+    "render_trend",
+]
+
+#: A result moving past 1.25x in its bad direction is a regression.
+DEFAULT_THRESHOLD = 1.25
+
+#: suite -> {dotted key -> value}
+BenchResults = Dict[str, Dict[str, float]]
+
+_LOWER_SUFFIXES = ("_s", "_seconds", "_ms")
+_HIGHER_SUFFIXES = ("_speedup", "_rate")
+
+
+def direction_of(key: str) -> Optional[str]:
+    """``"lower"`` / ``"higher"`` = which way is *better*; None = untracked.
+
+    Dotted keys inherit from the innermost component that matches, so
+    every leaf under ``regret_s.*`` is lower-is-better.
+    """
+    for part in reversed(key.split(".")):
+        if part.startswith("speedup") or part.endswith(_HIGHER_SUFFIXES):
+            return "higher"
+        if part.endswith(_LOWER_SUFFIXES):
+            return "lower"
+    return None
+
+
+def _flatten(prefix: str, value, out: Dict[str, float]) -> None:
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        out[prefix] = float(value)
+    elif isinstance(value, dict):
+        for k in sorted(value):
+            _flatten(f"{prefix}.{k}" if prefix else str(k), value[k], out)
+    # strings / lists: configuration echoes, not trendable
+
+
+def load_bench_results(results_dir: Union[str, Path]) -> BenchResults:
+    """Parse every ``BENCH_*.json`` under *results_dir*.
+
+    Nested objects flatten to dotted keys (``regret_s.broker``); only
+    numeric leaves survive.  Returns ``{}`` when the directory has no
+    bench files; raises on unparseable ones.
+    """
+    root = Path(results_dir)
+    results: BenchResults = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        suite = path.stem[len("BENCH_"):]
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ObservabilityError(f"bad bench result {path}: {exc}") from exc
+        if not isinstance(raw, dict):
+            raise ObservabilityError(
+                f"bad bench result {path}: expected a JSON object")
+        flat: Dict[str, float] = {}
+        _flatten("", raw, flat)
+        results[suite] = flat
+    return results
+
+
+def read_ledger(path: Union[str, Path]) -> List[dict]:
+    """Load the ledger's generations, oldest first (missing file = [])."""
+    p = Path(path)
+    if not p.exists():
+        return []
+    generations: List[dict] = []
+    for lineno, line in enumerate(p.read_text(encoding="utf-8").splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"bad ledger line {lineno} in {p}: {exc}") from exc
+        generations.append(record)
+    return generations
+
+
+def record_generation(path: Union[str, Path], results: BenchResults,
+                      stamp: str = "", note: str = "") -> int:
+    """Append *results* as one generation; returns its number (1-based).
+
+    The ledger is append-only: existing lines are never rewritten, so
+    its history survives any tooling bug that misreads it.
+    """
+    generations = read_ledger(path)
+    gen = (generations[-1]["gen"] + 1) if generations else 1
+    record = {"gen": gen, "stamp": stamp, "note": note,
+              "results": {s: dict(sorted(kv.items()))
+                          for s, kv in sorted(results.items())}}
+    with open(path, "a", encoding="utf-8") as fp:
+        fp.write(json.dumps(record, sort_keys=True) + "\n")
+    return gen
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that moved past the threshold in its bad direction."""
+
+    suite: str
+    key: str
+    direction: str       # which way is better
+    baseline: float      # last recorded generation's value
+    current: float
+    ratio: float         # degradation factor (>= 1 means "this much worse")
+
+    def describe(self) -> str:
+        arrow = "rose" if self.direction == "lower" else "fell"
+        return (f"{self.suite}.{self.key} {arrow} "
+                f"{self.baseline:g} -> {self.current:g} "
+                f"({self.ratio:.2f}x worse; better is {self.direction})")
+
+
+def check_regressions(results: BenchResults,
+                      ledger: Sequence[dict],
+                      threshold: float = DEFAULT_THRESHOLD) -> List[Regression]:
+    """Compare *results* against the ledger's last generation.
+
+    A tracked metric regresses when it is *threshold* times worse than
+    the baseline: ``current/baseline > threshold`` for lower-is-better,
+    ``baseline/current > threshold`` for higher-is-better.  Metrics
+    absent from the baseline (new suites, new keys) are never flagged.
+    """
+    if threshold <= 1.0:
+        raise ObservabilityError(
+            f"regression threshold must exceed 1.0, got {threshold}")
+    if not ledger:
+        return []
+    baseline = ledger[-1].get("results", {})
+    found: List[Regression] = []
+    for suite in sorted(results):
+        base_suite = baseline.get(suite, {})
+        for key in sorted(results[suite]):
+            direction = direction_of(key)
+            if direction is None:
+                continue
+            base = base_suite.get(key)
+            cur = results[suite][key]
+            if base is None or base <= 0 or cur <= 0:
+                continue
+            ratio = cur / base if direction == "lower" else base / cur
+            if ratio > threshold:
+                found.append(Regression(suite, key, direction, base, cur,
+                                        ratio))
+    found.sort(key=lambda r: -r.ratio)
+    return found
+
+
+def render_regressions(regressions: Sequence[Regression],
+                       threshold: float) -> str:
+    if not regressions:
+        return f"bench check: no regressions beyond {threshold:g}x"
+    lines = [f"bench check: {len(regressions)} regression(s) "
+             f"beyond {threshold:g}x:"]
+    lines.extend(f"  {r.describe()}" for r in regressions)
+    return "\n".join(lines)
+
+
+def _trend_cells(values: Sequence[Optional[float]]) -> str:
+    return " ".join("      -" if v is None else f"{v:7.3g}" for v in values)
+
+
+def render_trend(ledger: Sequence[dict], suite: Optional[str] = None,
+                 last: int = 8) -> str:
+    """Per-metric value trail over the most recent *last* generations."""
+    if not ledger:
+        return "bench trend: ledger is empty"
+    window = list(ledger)[-last:]
+    keys: Dict[Tuple[str, str], None] = {}
+    for gen in window:
+        for s, kv in gen.get("results", {}).items():
+            if suite is not None and s != suite:
+                continue
+            for k in kv:
+                if direction_of(k) is not None:
+                    keys[(s, k)] = None
+    if not keys:
+        return "bench trend: no tracked metrics" + (
+            f" for suite {suite!r}" if suite is not None else "")
+    header = " ".join(f"gen{g['gen']:>4}" for g in window)
+    name_w = max(len(f"{s}.{k}") for s, k in keys)
+    lines = [f"bench trend ({len(window)} generation(s)):",
+             f"  {'':<{name_w}} {header}"]
+    for s, k in sorted(keys):
+        trail = [g.get("results", {}).get(s, {}).get(k) for g in window]
+        lines.append(f"  {f'{s}.{k}':<{name_w}} {_trend_cells(trail)}")
+    return "\n".join(lines)

@@ -1,14 +1,18 @@
 """Exporters: JSON-lines dump/reload, Prometheus text, metrics tables.
 
-Three renderings of the same observability state:
+Renderings of the same observability state:
 
 * :func:`write_jsonl` / :func:`read_jsonl` — a lossless line-per-record
   dump of metric samples and trace events, for offline analysis.  The
   reader is the round-trip inverse of the writer.
 * :func:`render_prometheus` — the Prometheus text exposition format
-  (``# HELP`` / ``# TYPE`` / cumulative ``le`` histogram buckets).
+  (``# HELP`` / ``# TYPE`` / cumulative ``le`` histogram buckets,
+  escaped label values).
 * :func:`render_metrics_table` — a human-readable aligned table for
   terminal output (``repro ... --metrics -``).
+* :func:`write_chrome_trace` / :func:`write_collapsed_stacks` — profiler
+  timeline exports: Perfetto/``chrome://tracing`` JSON and the collapsed
+  stack format flamegraph tools consume.
 """
 
 from __future__ import annotations
@@ -19,13 +23,17 @@ from typing import IO, Iterable, List, Tuple
 
 from repro.errors import ObservabilityError
 from repro.obs.metrics import MetricSample, MetricsRegistry
+from repro.obs.profile import KernelProfiler
 from repro.sim.trace import TraceEvent, Tracer
 
 __all__ = [
     "ObsDump",
     "read_jsonl",
+    "record_trace_health",
     "render_metrics_table",
     "render_prometheus",
+    "write_chrome_trace",
+    "write_collapsed_stacks",
     "write_jsonl",
 ]
 
@@ -112,8 +120,13 @@ def _fmt_value(v: float) -> str:
     return repr(v)
 
 
+def _escape_label_value(v: str) -> str:
+    """Prometheus label-value escaping: backslash, double-quote, newline."""
+    return str(v).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _fmt_labels(labels: Iterable[Tuple[str, str]], extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in labels]
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -143,6 +156,58 @@ def render_prometheus(registry: MetricsRegistry) -> str:
             else:
                 lines.append(f"{s.name}{_fmt_labels(s.labels)} {_fmt_value(s.value)}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# Trace ring-buffer health
+# ---------------------------------------------------------------------------
+
+
+def record_trace_health(registry: MetricsRegistry, tracer: Tracer) -> None:
+    """Publish the tracer's ring-buffer state as ``repro_trace_*`` metrics.
+
+    The counter is levelled against the tracer's lifetime ``dropped``
+    count (never decremented), so calling this after every export stays
+    idempotent while the buffer keeps evicting.
+    """
+    events = registry.gauge(
+        "repro_trace_events_count",
+        "Trace events currently retained in the ring buffer")
+    dropped = registry.counter(
+        "repro_trace_dropped_total",
+        "Trace events evicted by the ring buffer since the run started")
+    events.set(len(tracer))
+    dropped.inc(max(0.0, tracer.dropped - dropped.value()))
+
+
+# ---------------------------------------------------------------------------
+# Profiler timeline exports
+# ---------------------------------------------------------------------------
+
+
+def write_chrome_trace(fp: IO[str], profiler: KernelProfiler) -> int:
+    """Write the profiler timeline as Chrome-trace/Perfetto JSON.
+
+    Returns the number of timeline events exported.  Load the file at
+    ``chrome://tracing`` or https://ui.perfetto.dev — events are grouped
+    per event type (callback component) with stack paths in ``args``.
+    """
+    trace = profiler.chrome_trace()
+    json.dump(trace, fp, sort_keys=True)
+    fp.write("\n")
+    return sum(1 for ev in trace["traceEvents"] if ev.get("ph") == "X")
+
+
+def write_collapsed_stacks(fp: IO[str], profiler: KernelProfiler) -> int:
+    """Write self-time-weighted collapsed stacks (flamegraph.pl format).
+
+    One ``frame;frame;frame <self-µs>`` line per distinct stack path;
+    returns the line count.
+    """
+    text = profiler.collapsed_stacks()
+    if text:
+        fp.write(text + "\n")
+    return len(text.splitlines()) if text else 0
 
 
 # ---------------------------------------------------------------------------

@@ -1,26 +1,48 @@
-"""Kernel profiling: per-callback wall-time and per-component event counts.
+"""Kernel profiling: hierarchical wall-time attribution for the simulator.
 
 This is the ONE place in the package allowed to read a wall clock
 (``time.perf_counter``) — profiling measures the *simulator's* real cost,
-not simulated time, so it is exempt from the SL101 determinism rule
-(``repro.obs`` is not a model package; see ``docs/invariants.md``).
+not simulated time, so it is exempt from the SL101 determinism rule, and
+lint rule SL403 machine-checks that no other ``repro.obs`` module reads
+a clock (``repro.obs`` is not a model package; see ``docs/invariants.md``).
 Profiling never feeds back into model state: timings are write-only
 accumulators rendered after the run.
 
+The v2 profiler keeps the v1 surface (``run_callback`` / ``begin`` /
+``end_section`` / ``count``) and adds:
+
+* **hierarchical attribution** — sections opened while a callback (or an
+  outer section) is running are charged as its children, so every stack
+  path carries *cumulative* and *self* wall time plus a call count;
+* **per-event-type rollups** — callback frames aggregated by their
+  defining component (``repro.net.engine`` vs ``repro.sim.kernel``), the
+  view that says which event types dominate;
+* **bytes-touched counters** — ``count_bytes(key, n)`` accumulates how
+  much payload a hot section handled, giving bytes/second per section;
+* **a lossless timeline** (opt-in: ``timeline=True``) — every frame is
+  recorded with its start offset, duration, stack, and the simulated
+  time it ran at, exportable as Chrome-trace/Perfetto JSON
+  (:meth:`chrome_trace`) or collapsed stacks (:meth:`collapsed_stacks`)
+  for flamegraph tooling.
+
 Usage::
 
-    profiler = KernelProfiler()
+    profiler = KernelProfiler(timeline=True)
     sim = Simulator(profiler=profiler)
     ...
     print(profiler.report())
+    json.dump(profiler.chrome_trace(), open("trace.json", "w"))
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-__all__ = ["KernelProfiler"]
+__all__ = ["KernelProfiler", "TimelineEvent"]
+
+#: A stack path: root frame name first, innermost frame last.
+StackPath = Tuple[str, ...]
 
 
 def _callback_key(fn: Callable[[], None]) -> str:
@@ -32,63 +54,167 @@ def _callback_key(fn: Callable[[], None]) -> str:
     return f"{module}.{qual}" if module else qual
 
 
+def _component_of(key: str) -> str:
+    """Event-type grouping: the defining module of a callback key.
+
+    ``repro.net.engine.NetworkEngine._complete`` -> ``repro.net.engine``;
+    bracketed section names (``net.engine.reallocate``) and other keys
+    without CamelCase segments group under their dotted prefix.
+    """
+    parts = key.split(".")
+    for i, part in enumerate(parts):
+        bare = part.lstrip("_")  # private classes (_Delay) count too
+        if part and (part[0] == "<" or (bare and bare[0].isupper())):
+            return ".".join(parts[:i]) or key
+    return ".".join(parts[:-1]) or key
+
+
+class TimelineEvent:
+    """One recorded frame occurrence (timeline mode only)."""
+
+    __slots__ = ("stack", "start_s", "duration_s", "sim_time_s")
+
+    def __init__(self, stack: StackPath, start_s: float, duration_s: float,
+                 sim_time_s: float):
+        self.stack = stack
+        self.start_s = start_s
+        self.duration_s = duration_s
+        self.sim_time_s = sim_time_s
+
+    @property
+    def name(self) -> str:
+        return self.stack[-1]
+
+
+class _Node:
+    """Per-stack-path accumulator."""
+
+    __slots__ = ("calls", "cum_s", "child_s", "kind")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.cum_s = 0.0
+        self.child_s = 0.0
+        self.kind = "section"  # "callback" | "section"
+
+    @property
+    def self_s(self) -> float:
+        return max(0.0, self.cum_s - self.child_s)
+
+
 class KernelProfiler:
-    """Accumulates wall-time per callback site and event counts per key.
+    """Accumulates wall time per stack path, event counts, and bytes.
 
     ``run_callback`` is the kernel hook: :meth:`Simulator.step` routes
-    every event through it when a profiler is attached.  ``begin`` /
-    ``end_section`` bracket named hot sections (e.g. the engine's
-    reallocation loop) that aren't whole callbacks.
+    every event through it (passing the simulated time it fires at) when
+    a profiler is attached.  ``begin`` / ``end_section`` bracket named
+    hot sections (e.g. the engine's reallocation loop) that aren't whole
+    callbacks; sections opened under a live callback frame nest under it.
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` turns every hook into a pass-through no-op.
+    timeline:
+        Record every frame occurrence for Chrome-trace export.  Costs
+        one small object per event; bounded by ``max_timeline_events``
+        (overflow drops the *newest* frames and counts them in
+        :attr:`timeline_dropped`, keeping the trace prefix contiguous).
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, timeline: bool = False,
+                 max_timeline_events: int = 1_000_000):
         self.enabled = enabled
-        # key -> [calls, wall_seconds]
-        self._callbacks: Dict[str, List[float]] = {}
-        self._sections: Dict[str, List[float]] = {}
+        self.timeline = timeline
+        self.max_timeline_events = max_timeline_events
+        self._nodes: Dict[StackPath, _Node] = {}
         self._counts: Dict[str, int] = {}
+        self._bytes: Dict[str, int] = {}
+        self._stack: List[str] = []
+        self._events: List[TimelineEvent] = []
+        self.timeline_dropped = 0
         self.events_total = 0
+        self._epoch: Optional[float] = None  # first perf_counter reading
+
+    # -- frame machinery ---------------------------------------------------
+
+    def _clock(self) -> float:
+        t = time.perf_counter()
+        if self._epoch is None:
+            self._epoch = t
+        return t
+
+    def _charge(self, path: StackPath, t0: float, t1: float,
+                sim_time_s: float, kind: str) -> None:
+        dt = t1 - t0
+        node = self._nodes.get(path)
+        if node is None:
+            node = self._nodes[path] = _Node()
+        # A parent node materialised by a child's charge carries the
+        # default kind until the parent frame itself closes — stamp it
+        # on every charge so the owning frame always wins.
+        node.kind = kind
+        node.calls += 1
+        node.cum_s += dt
+        if len(path) > 1:
+            parent = self._nodes.get(path[:-1])
+            if parent is None:
+                parent = self._nodes[path[:-1]] = _Node()
+            parent.child_s += dt
+        if self.timeline:
+            if len(self._events) < self.max_timeline_events:
+                self._events.append(
+                    TimelineEvent(path, t0 - self._epoch, dt, sim_time_s))
+            else:
+                self.timeline_dropped += 1
 
     # -- kernel hook -------------------------------------------------------
 
-    def run_callback(self, fn: Callable[[], None]) -> None:
-        """Execute *fn* and charge its wall time to its definition site."""
+    def run_callback(self, fn: Callable[[], None], sim_time_s: float = 0.0) -> None:
+        """Execute *fn* and charge its wall time to its definition site.
+
+        *sim_time_s* is the simulated instant the event fires at (the
+        kernel passes ``sim.now``); it is carried into the timeline so a
+        Chrome trace correlates wall cost with simulated progress.
+        """
         if not self.enabled:
             fn()
             return
         self.events_total += 1
-        t0 = time.perf_counter()
+        self._stack.append(_callback_key(fn))
+        path = tuple(self._stack)
+        t0 = self._clock()
         try:
             fn()
         finally:
-            dt = time.perf_counter() - t0
-            key = _callback_key(fn)
-            cell = self._callbacks.get(key)
-            if cell is None:
-                self._callbacks[key] = [1, dt]
-            else:
-                cell[0] += 1
-                cell[1] += dt
+            t1 = time.perf_counter()
+            self._stack.pop()
+            self._charge(path, t0, t1, sim_time_s, "callback")
 
     # -- section accounting ------------------------------------------------
 
     def begin(self) -> Optional[float]:
         """Start a section clock; returns None when disabled."""
-        return time.perf_counter() if self.enabled else None
+        if not self.enabled:
+            return None
+        self._stack.append("")  # placeholder; named at end_section time
+        return self._clock()
 
-    def end_section(self, key: str, t0: Optional[float]) -> None:
-        """Charge wall time since *t0* (from :meth:`begin`) to *key*."""
+    def end_section(self, key: str, t0: Optional[float],
+                    sim_time_s: float = 0.0) -> None:
+        """Charge wall time since *t0* (from :meth:`begin`) to *key*.
+
+        The section nests under whatever frame was live at ``begin``
+        time, so engine sections show up as children of the callback
+        that entered them.
+        """
         if t0 is None or not self.enabled:
             return
-        dt = time.perf_counter() - t0
-        cell = self._sections.get(key)
-        if cell is None:
-            self._sections[key] = [1, dt]
-        else:
-            cell[0] += 1
-            cell[1] += dt
+        t1 = time.perf_counter()
+        self._stack.pop()
+        self._charge(tuple(self._stack) + (key,), t0, t1, sim_time_s, "section")
 
-    # -- event counts ------------------------------------------------------
+    # -- event / byte counts -----------------------------------------------
 
     def count(self, key: str, n: int = 1) -> None:
         """Bump a per-component event counter (cheap, count-only)."""
@@ -96,55 +222,173 @@ class KernelProfiler:
             return
         self._counts[key] = self._counts.get(key, 0) + n
 
+    def count_bytes(self, key: str, nbytes: float) -> None:
+        """Accumulate payload bytes touched under *key*."""
+        if not self.enabled:
+            return
+        self._bytes[key] = self._bytes.get(key, 0) + int(nbytes)
+
     # -- access ------------------------------------------------------------
 
-    def callback_stats(self) -> List[Tuple[str, int, float]]:
-        """``(key, calls, wall_seconds)`` sorted by wall time descending."""
+    def stack_stats(self) -> List[Tuple[StackPath, int, float, float]]:
+        """``(path, calls, cum_seconds, self_seconds)`` by cum time desc."""
         return sorted(
-            ((k, int(c), w) for k, (c, w) in self._callbacks.items()),
+            ((path, n.calls, n.cum_s, n.self_s) for path, n in self._nodes.items()),
             key=lambda row: (-row[2], row[0]),
         )
 
+    def callback_stats(self) -> List[Tuple[str, int, float]]:
+        """``(key, calls, wall_seconds)`` for root (callback) frames,
+        sorted by wall time descending — the v1 view."""
+        agg: Dict[str, List[float]] = {}
+        for path, node in self._nodes.items():
+            if len(path) != 1 or node.kind != "callback":
+                continue
+            cell = agg.setdefault(path[0], [0, 0.0])
+            cell[0] += node.calls
+            cell[1] += node.cum_s
+        return sorted(((k, int(c), w) for k, (c, w) in agg.items()),
+                      key=lambda row: (-row[2], row[0]))
+
+    def component_stats(self) -> List[Tuple[str, int, float]]:
+        """``(component, events, wall_seconds)`` — root frames grouped by
+        defining module: the per-event-type attribution."""
+        agg: Dict[str, List[float]] = {}
+        for key, calls, wall in self.callback_stats():
+            cell = agg.setdefault(_component_of(key), [0, 0.0])
+            cell[0] += calls
+            cell[1] += wall
+        return sorted(((k, int(c), w) for k, (c, w) in agg.items()),
+                      key=lambda row: (-row[2], row[0]))
+
     def section_stats(self) -> List[Tuple[str, int, float]]:
-        return sorted(
-            ((k, int(c), w) for k, (c, w) in self._sections.items()),
-            key=lambda row: (-row[2], row[0]),
-        )
+        """``(key, enters, cum_seconds)`` for section frames, aggregated
+        over every stack they appear under — the v1 view."""
+        agg: Dict[str, List[float]] = {}
+        for path, node in self._nodes.items():
+            if node.kind != "section":
+                continue
+            cell = agg.setdefault(path[-1], [0, 0.0])
+            cell[0] += node.calls
+            cell[1] += node.cum_s
+        return sorted(((k, int(c), w) for k, (c, w) in agg.items()),
+                      key=lambda row: (-row[2], row[0]))
 
     def counts(self) -> List[Tuple[str, int]]:
         return sorted(self._counts.items())
 
+    def bytes_counts(self) -> List[Tuple[str, int]]:
+        return sorted(self._bytes.items())
+
+    @property
+    def timeline_events(self) -> List[TimelineEvent]:
+        return list(self._events)
+
+    # -- exports -----------------------------------------------------------
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The timeline as a Chrome-trace / Perfetto JSON object.
+
+        Complete (``"ph": "X"``) events on one pid/tid, timestamps in
+        microseconds from the profiler's first clock reading, each event
+        carrying its simulated time and stack in ``args``.  Aggregate
+        per-event-type counters ride along as named metadata.  Requires
+        ``timeline=True``; without it only the metadata is emitted.
+        """
+        trace_events: List[Dict[str, Any]] = [
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 1,
+             "args": {"name": "repro simulator"}},
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+             "args": {"name": "kernel event loop"}},
+        ]
+        for ev in self._events:
+            trace_events.append({
+                "name": ev.name,
+                "cat": _component_of(ev.name),
+                "ph": "X",
+                "ts": round(ev.start_s * 1e6, 3),
+                "dur": round(ev.duration_s * 1e6, 3),
+                "pid": 1,
+                "tid": 1,
+                "args": {"sim_time_s": round(ev.sim_time_s, 9),
+                         "stack": ";".join(ev.stack)},
+            })
+        return {
+            "displayTimeUnit": "ms",
+            "traceEvents": trace_events,
+            "otherData": {
+                "events_total": self.events_total,
+                "timeline_dropped": self.timeline_dropped,
+                "component_wall_ms": {
+                    comp: round(wall * 1e3, 3)
+                    for comp, _, wall in self.component_stats()
+                },
+            },
+        }
+
+    def collapsed_stacks(self) -> str:
+        """Accumulated stacks in collapsed (flamegraph.pl / speedscope)
+        format: one ``frame;frame;frame <self-microseconds>`` per line,
+        sorted by stack for deterministic output."""
+        lines = []
+        for path in sorted(self._nodes):
+            us = int(round(self._nodes[path].self_s * 1e6))
+            if us > 0:
+                lines.append(f"{';'.join(path)} {us}")
+        return "\n".join(lines)
+
+    # -- report ------------------------------------------------------------
+
     def report(self, limit: int = 15) -> str:
-        """ASCII profile: top callbacks by wall time, sections, counts."""
+        """ASCII profile: event types, top stacks by cum time, counts."""
         lines = [f"kernel profile: {self.events_total} events"]
-        rows = self.callback_stats()
-        total_wall = sum(w for _, _, w in rows)
+        roots = self.callback_stats()
+        total_wall = sum(w for _, _, w in roots)
         lines.append(f"  total callback wall time: {total_wall * 1e3:.1f} ms")
-        if rows:
-            lines.append(f"  {'callback':<52} {'calls':>8} {'wall ms':>9} {'%':>6}")
-            for key, calls, wall in rows[:limit]:
+        components = self.component_stats()
+        if components:
+            lines.append(f"  {'event type (component)':<52} {'events':>8} "
+                         f"{'wall ms':>9} {'%':>6}")
+            for comp, calls, wall in components:
                 pct = 100.0 * wall / total_wall if total_wall else 0.0
-                lines.append(f"  {key:<52} {calls:>8} {wall * 1e3:>9.2f} {pct:>5.1f}%")
-            if len(rows) > limit:
-                rest = sum(w for _, _, w in rows[limit:])
-                lines.append(
-                    f"  {'(' + str(len(rows) - limit) + ' more)':<52} "
-                    f"{'':>8} {rest * 1e3:>9.2f}"
-                )
-        sections = self.section_stats()
-        if sections:
-            lines.append(f"  {'section':<52} {'enters':>8} {'wall ms':>9}")
-            for key, calls, wall in sections:
-                lines.append(f"  {key:<52} {calls:>8} {wall * 1e3:>9.2f}")
+                lines.append(f"  {comp:<52} {calls:>8} {wall * 1e3:>9.2f} "
+                             f"{pct:>5.1f}%")
+        stacks = self.stack_stats()
+        if stacks:
+            lines.append(f"  {'stack (indent = depth)':<52} {'calls':>8} "
+                         f"{'cum ms':>9} {'self ms':>9}")
+            shown = 0
+            for path, calls, cum, self_s in stacks:
+                if shown >= limit:
+                    rest = len(stacks) - shown
+                    lines.append(f"  {'(' + str(rest) + ' more)':<52}")
+                    break
+                label = "  " * (len(path) - 1) + path[-1]
+                lines.append(f"  {label:<52} {calls:>8} {cum * 1e3:>9.2f} "
+                             f"{self_s * 1e3:>9.2f}")
+                shown += 1
         counts = self.counts()
         if counts:
             lines.append(f"  {'event count':<52} {'n':>8}")
             for key, n in counts:
                 lines.append(f"  {key:<52} {n:>8}")
+        nbytes = self.bytes_counts()
+        if nbytes:
+            lines.append(f"  {'bytes touched':<52} {'bytes':>14}")
+            for key, n in nbytes:
+                lines.append(f"  {key:<52} {n:>14}")
+        if self.timeline_dropped:
+            lines.append(f"  timeline: {self.timeline_dropped} event(s) "
+                         f"dropped beyond max_timeline_events="
+                         f"{self.max_timeline_events}")
         return "\n".join(lines)
 
     def clear(self) -> None:
-        self._callbacks.clear()
-        self._sections.clear()
+        self._nodes.clear()
         self._counts.clear()
+        self._bytes.clear()
+        self._stack.clear()
+        self._events.clear()
+        self.timeline_dropped = 0
         self.events_total = 0
+        self._epoch = None

@@ -100,8 +100,9 @@ class Simulator:
         Initial simulated time (seconds).
     profiler:
         Optional :class:`repro.obs.KernelProfiler` (duck-typed to keep the
-        kernel dependency-free: anything with ``run_callback(fn)``).  When
-        set, every event executes through it for wall-time attribution.
+        kernel dependency-free: anything with ``run_callback(fn, sim_time)``).
+        When set, every event executes through it for wall-time attribution,
+        tagged with the simulated time it fired at.
     """
 
     def __init__(self, start: float = 0.0, profiler: Optional[Any] = None):
@@ -157,7 +158,10 @@ class Simulator:
             if prof is None:
                 entry.fn()
             else:
-                prof.run_callback(entry.fn)
+                # Event-type hook: the profiler attributes wall time to the
+                # callback's definition site and correlates it with the
+                # simulated instant the event fired at.
+                prof.run_callback(entry.fn, self._now)
             return True
         return False
 

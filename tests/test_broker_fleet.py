@@ -152,3 +152,76 @@ class TestScoring:
                       mode="direct")
         with pytest.raises(BrokerError):
             score_fleet({"a": a, "b": b})
+
+
+class TestRollups:
+    @pytest.fixture(scope="class")
+    def scored(self):
+        kw = dict(n_uploads_per_site=3, cross_traffic=False)
+        results = {
+            "direct": run_fleet(2, SITES, mode="direct", **kw),
+            "broker": run_fleet(2, SITES, mode="broker", **kw),
+        }
+        return results, score_fleet(results)
+
+    def test_by_site_partitions_the_by_mode_aggregate(self, scored):
+        results, score = scored
+        for mode, result in results.items():
+            site_counts = {}
+            for rec in result.records:
+                site_counts[rec.client_site] = \
+                    site_counts.get(rec.client_site, 0) + 1
+            assert set(site_counts) == set(SITES)
+            # weighted site means recompose the policy mean
+            weighted = sum(score.by_site[(mode, s)][0] * n
+                           for s, n in site_counts.items())
+            assert weighted / score.n_uploads \
+                == pytest.approx(score.by_mode[mode][0])
+            for site in SITES:
+                assert score.by_site[(mode, site)][1] >= 0.0
+
+    def test_render_per_site_lists_every_site(self, scored):
+        _, score = scored
+        text = score.render(per_site=True)
+        for site in SITES:
+            assert site in text
+        assert all(site not in score.render() for site in SITES)
+
+    def test_to_metrics_exports_mode_and_site_series(self, scored):
+        from repro.obs import MetricsRegistry, render_prometheus
+
+        _, score = scored
+        registry = MetricsRegistry()
+        score.to_metrics(registry)
+        mean_g = registry.get("repro_broker_fleet_mean_transfer_seconds")
+        for mode in ("direct", "broker"):
+            assert mean_g.value(mode=mode) \
+                == pytest.approx(score.by_mode[mode][0])
+            for site in SITES:
+                assert mean_g.value(mode=mode, site=site) \
+                    == pytest.approx(score.by_site[(mode, site)][0])
+        assert registry.get("repro_broker_fleet_oracle_mean_seconds").value() \
+            == pytest.approx(score.oracle_mean_s)
+        text = render_prometheus(registry)
+        assert 'mode="broker",site="purdue"' in text
+        assert "# TYPE repro_broker_fleet_regret_mean_seconds gauge" in text
+
+    def test_fleet_runner_per_site_instrumentation(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        result = run_fleet(2, SITES, n_uploads_per_site=3,
+                           cross_traffic=False, mode="direct",
+                           metrics=registry)
+        uploads = registry.get("repro_broker_fleet_uploads_total")
+        nbytes = registry.get("repro_broker_fleet_payload_bytes_total")
+        source = registry.get("repro_broker_fleet_route_source_total")
+        assert uploads.total() == len(result.records)
+        for site in SITES:
+            site_records = [r for r in result.records
+                            if r.client_site == site]
+            assert uploads.value(mode="direct", site=site) \
+                == len(site_records)
+            assert nbytes.value(site=site) \
+                == sum(r.size_bytes for r in site_records)
+        assert source.value(source="direct") == len(result.records)

@@ -93,6 +93,37 @@ class TestBrokerCommand:
         out = capsys.readouterr().out
         assert "fleet [direct]" in out and "probes 0" in out
 
+    def test_simulate_metrics_and_profile_trace(self, capsys, tmp_path):
+        """Acceptance: a fleet run exports per-site metrics and a
+        Chrome trace that Perfetto can load."""
+        import json
+
+        trace = tmp_path / "fleet_trace.json"
+        prom = tmp_path / "fleet.prom"
+        assert main(["broker", "simulate", *self.FLEET,
+                     "--mode", "direct", "--metrics", str(prom),
+                     "--profile-trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert str(trace) in out
+        text = prom.read_text(encoding="utf-8")
+        assert 'repro_broker_fleet_uploads_total{mode="direct",site="ubc"}' \
+            in text
+        assert "repro_broker_fleet_payload_bytes_total" in text
+        payload = json.loads(trace.read_text(encoding="utf-8"))
+        xs = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert xs
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 and "sim_time_s" in e["args"]
+                   for e in xs)
+
+    def test_eval_metrics_export(self, capsys, tmp_path):
+        store = str(tmp_path / "cells")
+        assert main(["broker", "eval", *self.FLEET,
+                     "--modes", "direct", "--cache-dir", store,
+                     "--metrics", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_broker_sweep_mean_transfer_seconds" in out
+        assert "repro_broker_sweep_regret_mean_seconds" in out
+
     def test_eval_and_export(self, capsys, tmp_path):
         store = str(tmp_path / "cells")
         assert main(["broker", "eval", *self.FLEET,

@@ -82,12 +82,58 @@ class TestSL402SpanEmitPairing:
             """)
 
 
+class TestSL403ObsWallClock:
+    CLOCK_READ = """\
+        import time
+
+        def export(events):
+            return {"at": time.time(), "n": len(events)}
+        """
+
+    def test_clock_read_under_obs_flagged(self):
+        findings = [f for f in lint(self.CLOCK_READ, rel="obs/fixture.py")
+                    if f.rule == "SL403"]
+        assert len(findings) == 1
+        assert findings[0].line == 4
+        assert "obs/profile.py" in findings[0].message
+
+    def test_every_wall_clock_function_flagged(self):
+        for call in ("time.time()", "time.perf_counter()",
+                     "time.monotonic()"):
+            src = f"import time\nx = {call}\n"
+            assert "SL403" in rules_hit(src, rel="obs/fixture.py"), call
+
+    def test_profiler_module_exempt(self):
+        assert "SL403" not in rules_hit(self.CLOCK_READ, rel="obs/profile.py")
+
+    def test_outside_obs_ignored(self):
+        # the campaign layer is the sanctioned orchestration-side clock
+        # reader; SL403 has nothing to say there
+        assert "SL403" not in rules_hit(self.CLOCK_READ,
+                                        rel="campaign/fixture.py")
+
+    def test_exemption_is_configurable(self):
+        from dataclasses import replace
+
+        cfg = replace(DEFAULT_CONFIG,
+                      profiler_files=frozenset({"obs/other.py"}))
+        assert "SL403" not in rules_hit(self.CLOCK_READ, rel="obs/other.py",
+                                        config=cfg)
+        assert "SL403" in rules_hit(self.CLOCK_READ, rel="obs/profile.py",
+                                    config=cfg)
+
+    def test_sim_time_reads_ok(self):
+        assert "SL403" not in rules_hit(
+            "def fold(sim, ev):\n    return (sim.now, ev.wall_s)\n",
+            rel="obs/fixture.py")
+
+
 class TestCatalogue:
     def test_sl4xx_registered(self):
         from repro.lint.engine import all_rules
 
         ids = {r.rule_id for r in all_rules()}
-        assert {"SL401", "SL402"} <= ids
+        assert {"SL401", "SL402", "SL403"} <= ids
 
     def test_obs_package_is_clean(self):
         """The shipped obs code satisfies its own rules, no baseline."""

@@ -1,0 +1,221 @@
+"""Bench regression ledger: flatten/direction, append-only generations,
+threshold checks, trend rendering, and the ``repro bench`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.errors import ObservabilityError
+from repro.obs import (
+    Regression,
+    check_regressions,
+    load_bench_results,
+    read_ledger,
+    record_generation,
+    render_trend,
+)
+from repro.obs.bench import (
+    DEFAULT_THRESHOLD,
+    direction_of,
+    render_regressions,
+)
+
+def write_bench(results_dir, suite, payload):
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / f"BENCH_{suite}.json").write_text(
+        json.dumps(payload), encoding="utf-8")
+
+
+class TestDirection:
+    def test_suffix_rules(self):
+        assert direction_of("serial_s") == "lower"
+        assert direction_of("warm_seconds") == "lower"
+        assert direction_of("cold_ms") == "lower"
+        assert direction_of("speedup") == "higher"
+        assert direction_of("warm_speedup") == "higher"
+        assert direction_of("hit_rate") == "higher"
+        assert direction_of("jobs") is None
+        assert direction_of("cells") is None
+
+    def test_dotted_keys_inherit_from_inner_components(self):
+        # every leaf of a regret_s dict is a duration
+        assert direction_of("regret_s.broker") == "lower"
+        assert direction_of("regret_s.direct") == "lower"
+        # innermost match wins
+        assert direction_of("totals.speedup") == "higher"
+
+
+class TestLoadResults:
+    def test_flattens_nested_objects_numeric_leaves_only(self, tmp_path):
+        write_bench(tmp_path, "broker", {
+            "uploads": 60, "mean_s": {"direct": 2.5, "broker": 1.25},
+            "label": "full", "fast": True})
+        results = load_bench_results(tmp_path)
+        assert results == {"broker": {
+            "uploads": 60.0, "mean_s.broker": 1.25, "mean_s.direct": 2.5}}
+
+    def test_empty_dir_and_bad_json(self, tmp_path):
+        assert load_bench_results(tmp_path) == {}
+        (tmp_path / "BENCH_bad.json").write_text("{nope", encoding="utf-8")
+        with pytest.raises(ObservabilityError):
+            load_bench_results(tmp_path)
+
+
+class TestLedger:
+    def test_generations_append_only_with_increasing_gen(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        assert read_ledger(ledger) == []
+        g1 = record_generation(ledger, {"a": {"x_s": 1.0}}, stamp="t1")
+        first_line = ledger.read_text(encoding="utf-8")
+        g2 = record_generation(ledger, {"a": {"x_s": 1.1}}, stamp="t2",
+                               note="tuned")
+        assert (g1, g2) == (1, 2)
+        # append-only: recording leaves prior lines untouched
+        assert ledger.read_text(encoding="utf-8").startswith(first_line)
+        gens = read_ledger(ledger)
+        assert [g["gen"] for g in gens] == [1, 2]
+        assert gens[1]["note"] == "tuned"
+        assert gens[1]["results"]["a"]["x_s"] == 1.1
+
+    def test_corrupt_line_raises(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        ledger.write_text('{"gen": 1}\nnot json\n', encoding="utf-8")
+        with pytest.raises(ObservabilityError):
+            read_ledger(ledger)
+
+
+class TestCheckRegressions:
+    LEDGER = [{"gen": 1, "results": {
+        "campaign": {"serial_s": 2.0, "parallel_s": 1.0, "speedup": 2.0,
+                     "jobs": 4.0}}}]
+
+    def test_clean_results_pass(self):
+        current = {"campaign": {"serial_s": 2.1, "parallel_s": 0.9,
+                                "speedup": 2.3, "jobs": 4.0}}
+        assert check_regressions(current, self.LEDGER) == []
+
+    def test_2x_slowdown_is_flagged(self):
+        current = {"campaign": {"serial_s": 4.0, "parallel_s": 1.0,
+                                "speedup": 2.0}}
+        [reg] = check_regressions(current, self.LEDGER)
+        assert isinstance(reg, Regression)
+        assert (reg.suite, reg.key) == ("campaign", "serial_s")
+        assert reg.ratio == 2.0
+        assert "rose 2 -> 4" in reg.describe()
+
+    def test_speedup_collapse_is_flagged_in_the_other_direction(self):
+        current = {"campaign": {"serial_s": 2.0, "parallel_s": 1.0,
+                                "speedup": 1.0}}
+        [reg] = check_regressions(current, self.LEDGER)
+        assert reg.key == "speedup" and reg.ratio == 2.0
+        assert "fell" in reg.describe()
+
+    def test_worst_regression_first(self):
+        current = {"campaign": {"serial_s": 3.0, "parallel_s": 4.0}}
+        regs = check_regressions(current, self.LEDGER)
+        assert [r.key for r in regs] == ["parallel_s", "serial_s"]
+        assert regs[0].ratio == 4.0
+
+    def test_new_keys_and_untracked_keys_never_flag(self):
+        current = {"campaign": {"fresh_s": 99.0, "jobs": 400.0},
+                   "newsuite": {"slow_s": 1000.0}}
+        assert check_regressions(current, self.LEDGER) == []
+
+    def test_within_threshold_passes_beyond_fails(self):
+        current = {"campaign": {"serial_s": 2.4}}
+        assert check_regressions(current, self.LEDGER, threshold=1.25) == []
+        assert check_regressions(current, self.LEDGER, threshold=1.15)
+
+    def test_empty_ledger_never_flags(self):
+        assert check_regressions({"a": {"x_s": 9.9}}, []) == []
+
+    def test_threshold_must_exceed_one(self):
+        for bad in (1.0, 0.5, 0.0):
+            with pytest.raises(ObservabilityError):
+                check_regressions({}, self.LEDGER, threshold=bad)
+
+    def test_render(self):
+        assert "no regressions" in render_regressions([], DEFAULT_THRESHOLD)
+        [reg] = check_regressions({"campaign": {"serial_s": 4.0}}, self.LEDGER)
+        text = render_regressions([reg], DEFAULT_THRESHOLD)
+        assert "1 regression(s)" in text and "campaign.serial_s" in text
+
+
+class TestRenderTrend:
+    def test_trail_with_gaps(self):
+        ledger = [
+            {"gen": 1, "results": {"campaign": {"serial_s": 2.0}}},
+            {"gen": 2, "results": {"campaign": {"serial_s": 2.2,
+                                                "speedup": 3.0}}},
+        ]
+        text = render_trend(ledger)
+        assert "gen   1" in text and "gen   2" in text
+        assert "campaign.serial_s" in text
+        # speedup missing in gen 1 renders as a gap
+        speedup_line = next(l for l in text.splitlines() if "speedup" in l)
+        assert "-" in speedup_line and "3" in speedup_line
+
+    def test_suite_filter_and_empty(self):
+        assert "empty" in render_trend([])
+        ledger = [{"gen": 1, "results": {"a": {"x_s": 1.0},
+                                         "b": {"y_s": 2.0}}}]
+        text = render_trend(ledger, suite="a")
+        assert "a.x_s" in text and "b.y_s" not in text
+        assert "no tracked metrics" in render_trend(ledger, suite="zzz")
+
+
+class TestBenchCli:
+    def seed(self, tmp_path):
+        results = tmp_path / "results"
+        write_bench(results, "campaign",
+                    {"serial_s": 2.0, "parallel_s": 1.0, "speedup": 2.0})
+        return results
+
+    def run(self, *argv):
+        return cli_main(["bench", *argv])
+
+    def test_check_records_then_flags_injected_slowdown(self, tmp_path, capsys):
+        results = self.seed(tmp_path)
+        assert self.run("check", "--results-dir", str(results),
+                        "--record", "--note", "baseline") == 0
+        out = capsys.readouterr().out
+        assert "no regressions" in out and "recorded generation 1" in out
+
+        # inject a 2x slowdown into the bench snapshot
+        write_bench(results, "campaign",
+                    {"serial_s": 4.0, "parallel_s": 1.0, "speedup": 1.0})
+        assert self.run("check", "--results-dir", str(results)) == 1
+        out = capsys.readouterr().out
+        assert "campaign.serial_s rose 2 -> 4" in out
+        assert "2.00x worse" in out
+
+    def test_check_without_results_or_ledger(self, tmp_path, capsys):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        assert self.run("check", "--results-dir", str(empty)) == 0
+        assert "no BENCH_*.json" in capsys.readouterr().out
+        results = self.seed(tmp_path)
+        assert self.run("check", "--results-dir", str(results)) == 0
+        assert "ledger is empty" in capsys.readouterr().out
+
+    def test_trend_reads_the_ledger(self, tmp_path, capsys):
+        results = self.seed(tmp_path)
+        assert self.run("check", "--results-dir", str(results),
+                        "--record") == 0
+        capsys.readouterr()
+        assert self.run("trend", "--results-dir", str(results)) == 0
+        out = capsys.readouterr().out
+        assert "campaign.serial_s" in out and "gen" in out
+
+    def test_custom_threshold(self, tmp_path, capsys):
+        results = self.seed(tmp_path)
+        assert self.run("check", "--results-dir", str(results),
+                        "--record") == 0
+        capsys.readouterr()
+        write_bench(results, "campaign",
+                    {"serial_s": 2.4, "parallel_s": 1.0, "speedup": 2.0})
+        assert self.run("check", "--results-dir", str(results)) == 0
+        capsys.readouterr()
+        assert self.run("check", "--results-dir", str(results),
+                        "--threshold", "1.1") == 1

@@ -9,11 +9,15 @@ from repro.cli import main
 from repro.core import DetourPlanner
 from repro.errors import ObservabilityError
 from repro.obs import (
+    KernelProfiler,
     MetricsRegistry,
     extract_span_records,
     read_jsonl,
+    record_trace_health,
     render_metrics_table,
     render_prometheus,
+    write_chrome_trace,
+    write_collapsed_stacks,
     write_jsonl,
 )
 from repro.testbed import build_case_study
@@ -82,6 +86,67 @@ class TestPrometheus:
     def test_empty_registry_renders_empty(self):
         assert render_prometheus(MetricsRegistry()) == ""
 
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_t_weird_total")
+        c.inc(site='has "quotes"')
+        c.inc(site="back\\slash")
+        c.inc(site="two\nlines")
+        text = render_prometheus(reg)
+        assert r'site="has \"quotes\""' in text
+        assert r'site="back\\slash"' in text
+        assert r'site="two\nlines"' in text
+        assert "\ntwo" not in text  # the newline never reaches the output raw
+        # escaped exposition still parses line-by-line: every sample line
+        # is `name{labels} value`
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)
+            assert name_part.startswith("repro_t_weird_total{site=")
+
+    def test_output_stable_across_collects(self, instrumented_world):
+        reg = instrumented_world.metrics
+        assert render_prometheus(reg) == render_prometheus(reg)
+        # ordering is by (name, labels), not insertion: a registry built
+        # in a different order renders the same text
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("repro_t_a_total").inc(site="x")
+        a.counter("repro_t_b_total").inc()
+        a.get("repro_t_a_total").inc(site="m")
+        b.counter("repro_t_b_total").inc()
+        b.counter("repro_t_a_total").inc(site="m")
+        b.get("repro_t_a_total").inc(site="x")
+        assert render_prometheus(a) == render_prometheus(b)
+
+
+class TestTraceHealthAndProfileExports:
+    def test_record_trace_health_is_idempotent(self, instrumented_world):
+        world = instrumented_world
+        reg = MetricsRegistry()
+        record_trace_health(reg, world.tracer)
+        record_trace_health(reg, world.tracer)  # re-export: no double count
+        assert reg.get("repro_trace_events_count").value() \
+            == len(world.tracer)
+        assert reg.get("repro_trace_dropped_total").total() \
+            == world.tracer.dropped
+
+    def test_write_chrome_trace_and_stacks(self, tmp_path):
+        prof = KernelProfiler(timeline=True)
+        prof.run_callback(lambda: sum(range(5000)), 1.0)
+        trace_path = tmp_path / "trace.json"
+        with open(trace_path, "w", encoding="utf-8") as fp:
+            n = write_chrome_trace(fp, prof)
+        assert n == 1
+        trace = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert {e["ph"] for e in trace["traceEvents"]} == {"M", "X"}
+        stacks_path = tmp_path / "stacks.txt"
+        with open(stacks_path, "w", encoding="utf-8") as fp:
+            lines = write_collapsed_stacks(fp, prof)
+        assert lines == 1
+        assert stacks_path.read_text(encoding="utf-8").strip()
+
 
 class TestMetricsTable:
     def test_renders_samples(self, instrumented_world):
@@ -125,6 +190,29 @@ class TestObsCli:
                      "--format", "json", "--out", str(target)]) == 0
         dump = read_jsonl(io.StringIO(target.read_text()))
         assert dump.metrics and dump.events
+
+    def test_obs_text_reports_trace_health(self, capsys):
+        assert main(["obs", "--size-mb", "10", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "dropped" in out  # ring-buffer health is always surfaced
+
+    def test_obs_profile_trace_and_stacks_export(self, tmp_path, capsys):
+        """Acceptance: the CLI writes a loadable Chrome trace + stacks."""
+        trace = tmp_path / "trace.json"
+        stacks = tmp_path / "stacks.txt"
+        assert main(["obs", "--size-mb", "10", "--runs", "2",
+                     "--profile-trace", str(trace),
+                     "--profile-stacks", str(stacks)]) == 0
+        out = capsys.readouterr().out
+        assert str(trace) in out and str(stacks) in out
+        payload = json.loads(trace.read_text(encoding="utf-8"))
+        xs = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert xs
+        assert all("sim_time_s" in e["args"] for e in xs)
+        assert payload["otherData"]["component_wall_ms"]
+        for line in stacks.read_text(encoding="utf-8").splitlines():
+            stack, us = line.rsplit(" ", 1)
+            assert int(us) > 0 and stack
 
 
 class TestCompareObsFlags:

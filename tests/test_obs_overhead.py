@@ -5,7 +5,11 @@ obs hooks compiled in but disabled must execute the same events, in the
 same order, and produce the same numbers as before the hooks existed.
 """
 
+from repro.campaign import CampaignRunner, CampaignSpec, PoolConfig, \
+    export_records
 from repro.core import DetourPlanner
+from repro.measure import ExperimentProtocol
+from repro.obs import TelemetryAggregator
 from repro.testbed import build_case_study
 from repro.units import mb
 
@@ -54,3 +58,35 @@ class TestObsOffIsInvisible:
         lo, hi = hist.buckets[0], hist.buckets[-1]
         mean = hist.mean(provider="gdrive")
         assert lo <= mean <= hi
+
+
+class TestCampaignTelemetryOffIsInvisible:
+    """The same guarantee one layer up: streaming pool telemetry must
+    never perturb campaign results — on or off, serial or parallel."""
+
+    SPEC = CampaignSpec(clients=("ubc",), providers=("gdrive", "dropbox"),
+                        sizes_mb=(1.0,), cross_traffic=False,
+                        protocol=ExperimentProtocol(2, 0, 1.0))
+
+    def run(self, jobs, telemetry=None):
+        result = CampaignRunner(self.SPEC, pool=PoolConfig(jobs=jobs),
+                                telemetry=telemetry).run()
+        return export_records(result.records, self.SPEC)
+
+    def test_telemetry_on_export_is_byte_identical(self):
+        baseline = self.run(jobs=1, telemetry=None)
+        agg = TelemetryAggregator()
+        assert self.run(jobs=1, telemetry=agg) == baseline
+        assert agg.snapshot().done == len(self.SPEC.expand())
+        agg4 = TelemetryAggregator()
+        assert self.run(jobs=4, telemetry=agg4) == baseline
+        assert agg4.snapshot().done == len(self.SPEC.expand())
+
+    def test_telemetry_off_emits_nothing(self):
+        events = []
+        self.run(jobs=1, telemetry=events.append)
+        baseline_events = len(events)
+        assert baseline_events > 0
+        events.clear()
+        self.run(jobs=1, telemetry=None)
+        assert events == []

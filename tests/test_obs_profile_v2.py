@@ -1,0 +1,215 @@
+"""Profiler v2: hierarchical attribution, bytes counters, trace exports."""
+
+import json
+
+from repro.obs import KernelProfiler, TimelineEvent
+from repro.obs.profile import _component_of
+
+
+def busy(n=2000):
+    total = 0
+    for i in range(n):
+        total += i
+    return total
+
+
+class TestHierarchy:
+    def run_nested(self, **kwargs):
+        """One callback frame with a section nested inside it."""
+        prof = KernelProfiler(**kwargs)
+
+        def callback():
+            busy()
+            t0 = prof.begin()
+            busy()
+            prof.end_section("hot.inner", t0, sim_time_s=4.5)
+
+        prof.run_callback(callback, 1.5)
+        return prof
+
+    def test_section_nests_under_live_callback(self):
+        prof = self.run_nested()
+        paths = {path for path, _, _, _ in prof.stack_stats()}
+        root = next(p for p in paths if len(p) == 1)
+        assert (root[0], "hot.inner") in paths
+
+    def test_self_time_excludes_children(self):
+        prof = self.run_nested()
+        stats = {path: (cum, self_s)
+                 for path, _, cum, self_s in prof.stack_stats()}
+        root_path = next(p for p in stats if len(p) == 1)
+        child_path = root_path + ("hot.inner",)
+        root_cum, root_self = stats[root_path]
+        child_cum, child_self = stats[child_path]
+        assert child_self == child_cum  # leaf: all time is self time
+        assert abs(root_self - (root_cum - child_cum)) < 1e-9
+        assert root_cum > child_cum > 0
+
+    def test_v1_views_unpolluted_by_hierarchy(self):
+        prof = self.run_nested()
+        # callback_stats: only the root callback frame, not the section.
+        assert len(prof.callback_stats()) == 1
+        # section_stats: only the section, aggregated by leaf name.
+        [(key, calls, cum)] = prof.section_stats()
+        assert key == "hot.inner" and calls == 1 and cum > 0
+
+    def test_component_stats_groups_by_module(self):
+        prof = self.run_nested()
+        comps = prof.component_stats()
+        assert len(comps) == 1
+        comp, events, wall = comps[0]
+        assert events == 1 and wall > 0
+        # the fixture callback is defined in this test module
+        assert comp.startswith("test") or "." in comp
+
+    def test_component_of_strips_class_and_function(self):
+        assert _component_of(
+            "repro.net.engine.NetworkEngine._complete") == "repro.net.engine"
+        assert _component_of(
+            "repro.sim.kernel._Delay._subscribe.<lambda>") == "repro.sim.kernel"
+        assert _component_of("net.engine.reallocate") == "net.engine"
+
+
+class TestCounters:
+    def test_count_bytes_accumulates(self):
+        prof = KernelProfiler()
+        prof.count_bytes("net.payload", 1000.0)
+        prof.count_bytes("net.payload", 2048.9)
+        assert prof.bytes_counts() == [("net.payload", 3048)]
+
+    def test_disabled_profiler_is_a_noop(self):
+        prof = KernelProfiler(enabled=False)
+        prof.run_callback(busy)
+        prof.count_bytes("k", 10)
+        prof.count("k")
+        assert prof.begin() is None
+        prof.end_section("k", None)
+        assert prof.events_total == 0
+        assert prof.stack_stats() == []
+        assert prof.bytes_counts() == []
+
+    def test_report_includes_new_tables(self):
+        prof = KernelProfiler()
+        prof.run_callback(busy, 1.0)
+        prof.count("engine.flows", 3)
+        prof.count_bytes("engine.payload", 4096)
+        text = prof.report()
+        assert "event type (component)" in text
+        assert "self ms" in text
+        assert "bytes touched" in text
+        assert "4096" in text
+
+
+class TestTimeline:
+    def test_timeline_records_stack_and_sim_time(self):
+        prof = KernelProfiler(timeline=True)
+        prof.run_callback(busy, 7.25)
+        [ev] = prof.timeline_events
+        assert isinstance(ev, TimelineEvent)
+        assert ev.sim_time_s == 7.25
+        assert ev.duration_s > 0
+        assert ev.start_s >= 0
+        assert ev.name == ev.stack[-1]
+
+    def test_timeline_off_by_default(self):
+        prof = KernelProfiler()
+        prof.run_callback(busy, 0.0)
+        assert prof.timeline_events == []
+
+    def test_overflow_drops_newest_and_counts(self):
+        prof = KernelProfiler(timeline=True, max_timeline_events=2)
+        for _ in range(5):
+            prof.run_callback(busy, 0.0)
+        assert len(prof.timeline_events) == 2
+        assert prof.timeline_dropped == 3
+        assert "dropped" in prof.report()
+        # aggregates still see every call
+        assert prof.events_total == 5
+
+    def test_clear_resets_everything(self):
+        prof = KernelProfiler(timeline=True, max_timeline_events=1)
+        prof.run_callback(busy, 0.0)
+        prof.run_callback(busy, 0.0)
+        prof.count_bytes("k", 1)
+        prof.clear()
+        assert prof.timeline_events == []
+        assert prof.timeline_dropped == 0
+        assert prof.events_total == 0
+        assert prof.bytes_counts() == []
+        assert prof.stack_stats() == []
+
+
+class TestChromeTrace:
+    def make_trace(self):
+        prof = KernelProfiler(timeline=True)
+
+        def callback():
+            t0 = prof.begin()
+            busy()
+            prof.end_section("hot.inner", t0, 2.0)
+
+        prof.run_callback(callback, 1.0)
+        return prof, prof.chrome_trace()
+
+    def test_structure_is_chrome_trace(self):
+        _, trace = self.make_trace()
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X"}
+        for ev in events:
+            assert ev["pid"] == 1 and ev["tid"] == 1
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 2  # the callback and its nested section
+        for ev in xs:
+            assert ev["ts"] >= 0 and ev["dur"] > 0
+            assert "sim_time_s" in ev["args"]
+            assert ev["name"] in ev["args"]["stack"]
+
+    def test_nested_section_contained_in_parent_span(self):
+        _, trace = self.make_trace()
+        xs = sorted((e for e in trace["traceEvents"] if e["ph"] == "X"),
+                    key=lambda e: e["dur"], reverse=True)
+        outer, inner = xs
+        assert inner["args"]["stack"].startswith(outer["name"])
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-3
+
+    def test_json_serializable_and_metadata(self):
+        prof, trace = self.make_trace()
+        text = json.dumps(trace)
+        assert json.loads(text) == trace
+        assert trace["otherData"]["events_total"] == 1
+        assert trace["otherData"]["timeline_dropped"] == 0
+        assert trace["otherData"]["component_wall_ms"]
+
+    def test_without_timeline_only_metadata(self):
+        prof = KernelProfiler()
+        prof.run_callback(busy, 0.0)
+        trace = prof.chrome_trace()
+        assert all(e["ph"] == "M" for e in trace["traceEvents"])
+
+
+class TestCollapsedStacks:
+    def test_lines_are_stack_space_micros(self):
+        prof = KernelProfiler()
+
+        def callback():
+            t0 = prof.begin()
+            busy(20000)
+            prof.end_section("hot.inner", t0)
+
+        prof.run_callback(callback, 0.0)
+        text = prof.collapsed_stacks()
+        lines = text.splitlines()
+        assert lines
+        for line in lines:
+            stack, us = line.rsplit(" ", 1)
+            assert int(us) > 0
+            assert stack
+        assert any(";hot.inner" in line for line in lines)
+        # deterministic ordering: sorted by stack path
+        assert lines == sorted(lines)
+
+    def test_empty_profiler_empty_output(self):
+        assert KernelProfiler().collapsed_stacks() == ""
