@@ -1,0 +1,131 @@
+"""Internet-scale topology pipeline: generate, compile, cache, fleet.
+
+Builds the ``internet`` preset (1011 ASes, 2288 sites — the acceptance
+floor is >= 1000 / >= 2000), compiles it cold and warm against an
+on-disk route cache, then runs a 500-upload broker fleet on the
+generated world twice, and records to
+``benchmarks/results/BENCH_topo.json``:
+
+* build-time breakdown (generate / cold compile / warm compile) and the
+  route-resolution throughput (routes per second, cold),
+* the cold-vs-warm cache speedup (must be >= 5x; in practice it is
+  orders of magnitude, since a warm compile never touches Dijkstra),
+* peak node/link/site/route counts of the compiled world,
+* the fleet's mean transfer time, and a byte-determinism verdict (two
+  runs, identical canonical dicts — ``jobs``-independence one layer up
+  is pinned by ``tests/test_topo_fleet.py``).
+
+``REPRO_BENCH_FAST=1`` swaps in the ``metro`` preset and a 100-upload
+fleet; the scale-floor assertions only apply to the full run.
+"""
+
+import json
+import shutil
+import time
+
+import pytest
+
+from repro.broker import run_fleet
+from repro.obs.metrics import MetricsRegistry
+from repro.topo import TopoInstrumentation, compile_spec, generate, preset_spec
+from repro.workloads import sample_sites
+
+from benchmarks.conftest import FAST, RESULTS_DIR, once
+
+pytestmark = pytest.mark.topo
+
+PRESET = "metro" if FAST else "internet"
+SEED = 7
+FLEET_SITES = 5 if FAST else 10
+UPLOADS_PER_SITE = 20 if FAST else 50
+MIN_CACHE_SPEEDUP = 5.0
+MIN_ASES, MIN_SITES = 1000, 2000
+
+
+def test_topo_scale(benchmark, emit, tmp_path):
+    spec = preset_spec(PRESET, seed=SEED)
+    cache_dir = str(tmp_path / "routecache")
+
+    def build_and_fleet():
+        t0 = time.perf_counter()
+        graph = generate(spec)
+        generate_s = time.perf_counter() - t0
+
+        obs = TopoInstrumentation(metrics=MetricsRegistry())
+        t0 = time.perf_counter()
+        compiled = compile_spec(spec, cache_dir=cache_dir, routes=True,
+                                instrumentation=obs)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        compile_spec(spec, cache_dir=cache_dir, routes=True,
+                     instrumentation=obs)
+        warm_s = time.perf_counter() - t0
+
+        sites = sample_sites(graph.populations, FLEET_SITES, seed=SEED)
+        fleet_kw = dict(
+            sites=sites, provider="gdrive",
+            n_uploads_per_site=UPLOADS_PER_SITE, mode="broker",
+            topo=spec, cache_dir=cache_dir, cross_traffic=False)
+        t0 = time.perf_counter()
+        fleet = run_fleet(SEED, **fleet_kw)
+        fleet_s = time.perf_counter() - t0
+        repeat = run_fleet(SEED, **fleet_kw)
+        return (graph, compiled, obs, generate_s, cold_s, warm_s,
+                sites, fleet, fleet_s, repeat)
+
+    (graph, compiled, obs, generate_s, cold_s, warm_s,
+     sites, fleet, fleet_s, repeat) = once(benchmark, build_and_fleet)
+    shutil.rmtree(cache_dir, ignore_errors=True)
+
+    stats = graph.stats()
+    if not FAST:
+        assert stats["ases"] >= MIN_ASES, stats
+        assert stats["sites"] >= MIN_SITES, stats
+
+    speedup = cold_s / warm_s
+    assert speedup >= MIN_CACHE_SPEEDUP, (cold_s, warm_s)
+    # one cold miss, one warm hit (the fleet's two compiles hit too)
+    assert obs.cache_misses.value() == 1.0, obs.cache_misses.value()
+    assert obs.cache_hits.value() >= 1.0, obs.cache_hits.value()
+
+    n_uploads = FLEET_SITES * UPLOADS_PER_SITE
+    deterministic = (json.dumps(fleet.to_dict(), sort_keys=True)
+                     == json.dumps(repeat.to_dict(), sort_keys=True))
+    assert deterministic
+
+    record = {
+        "preset": PRESET,
+        "seed": SEED,
+        "spec_hash": spec.content_hash(),
+        "ases": stats["ases"],
+        "sites": stats["sites"],
+        "peak_nodes": stats["nodes"],
+        "peak_links": stats["links"],
+        "hosts": stats["hosts"],
+        "routes": compiled.n_routes,
+        "generate_s": round(generate_s, 3),
+        "compile_cold_s": round(cold_s, 3),
+        "compile_warm_s": round(warm_s, 3),
+        "cache_speedup": round(speedup, 1),
+        "routes_per_sec": round(compiled.n_routes / cold_s, 1),
+        "fleet": {
+            "uploads": n_uploads,
+            "sites": list(sites),
+            "mean_transfer_s": round(fleet.mean_transfer_s, 3),
+            "wall_s": round(fleet_s, 2),
+            "probes_issued": fleet.probes_issued,
+            "deterministic": deterministic,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_topo.json").write_text(
+        json.dumps(record, indent=1) + "\n")
+    emit("topo_scale",
+         f"topo scale [{PRESET}]: {stats['ases']} ASes, {stats['sites']} sites, "
+         f"{stats['nodes']} nodes, {stats['links']} links\n"
+         f"generate {generate_s:.2f}s   compile cold {cold_s:.1f}s "
+         f"({record['routes_per_sec']:.0f} routes/s)   warm {warm_s:.2f}s "
+         f"({speedup:.0f}x)\n"
+         f"fleet: {n_uploads} uploads over {FLEET_SITES} sites in "
+         f"{fleet_s:.1f}s wall, mean {fleet.mean_transfer_s:.2f}s, "
+         f"deterministic={deterministic}")

@@ -30,6 +30,8 @@ from repro.errors import BrokerError, CampaignError
 from repro.measure.harness import ExperimentProtocol, Measurement, experiment_seed
 from repro.measure.stats import summarize
 
+from repro.topo.spec import TopoSpec
+
 from repro.broker.config import BrokerConfig
 from repro.broker.fleet import _parse_mode, run_fleet
 
@@ -55,6 +57,9 @@ class FleetCell:
     seed: int = 0
     cross_traffic: bool = True
     config: Optional[BrokerConfig] = None
+    #: run the fleet on this (typically generated) world instead of the
+    #: calibrated case study; referenced by content hash in the identity
+    topo: Optional[TopoSpec] = None
 
     def __post_init__(self) -> None:
         if not self.sites:
@@ -68,7 +73,9 @@ class FleetCell:
     @property
     def workload_label(self) -> str:
         """The schedule+world identity — shared by every policy."""
-        return (f"fleet {'+'.join(self.sites)}->{self.provider} "
+        world = ("" if self.topo is None
+                 else f"@{self.topo.content_hash()[:12]}")
+        return (f"fleet{world} {'+'.join(self.sites)}->{self.provider} "
                 f"{self.n_uploads}x~{self.mean_size_mb:g}MB {self.size_dist}")
 
     @property
@@ -88,7 +95,7 @@ class FleetCell:
                                   inter_run_gap_s=0.0)
 
     def identity(self) -> Dict[str, object]:
-        return {
+        ident: Dict[str, object] = {
             "cell_type": FLEET_CELL_TYPE,
             "version": FLEET_CELL_VERSION,
             "sites": list(self.sites),
@@ -102,6 +109,14 @@ class FleetCell:
             "cross_traffic": bool(self.cross_traffic),
             "config": None if self.config is None else asdict(self.config),
         }
+        if self.topo is not None:
+            # content-hash reference plus the spec itself: the hash names
+            # the world (and guards reconstruction); the spec dict makes
+            # the identity self-contained for ``from_identity``.  Cells
+            # without a topo keep their pre-topo keys.
+            ident["topo"] = {"hash": self.topo.content_hash(),
+                             "spec": self.topo.canonical_dict()}
+        return ident
 
     @property
     def key(self) -> str:
@@ -122,6 +137,14 @@ class FleetCell:
             config = dict(config)
             config["size_class_edges_mb"] = tuple(config["size_class_edges_mb"])
             config = BrokerConfig(**config)
+        topo_ident = ident.get("topo")
+        topo = None
+        if topo_ident is not None:
+            topo = TopoSpec.from_dict(topo_ident["spec"])
+            if topo.content_hash() != topo_ident["hash"]:
+                raise CampaignError(
+                    f"fleet cell topo hash {topo_ident['hash']!r} does not "
+                    f"match its spec (got {topo.content_hash()!r})")
         return cls(
             sites=tuple(ident["sites"]),
             provider=ident["provider"],
@@ -133,6 +156,7 @@ class FleetCell:
             seed=int(ident["seed"]),
             cross_traffic=bool(ident["cross_traffic"]),
             config=config,
+            topo=topo,
         )
 
     def describe(self) -> str:
@@ -153,6 +177,7 @@ class FleetCell:
             cross_traffic=self.cross_traffic,
             metrics=metrics if metrics is not None else False,
             schedule_seed=self.seed,
+            topo=self.topo,
         )
         durations = list(result.durations_s)
         return Measurement(label=self.label, all_durations_s=tuple(durations),
@@ -181,6 +206,8 @@ class BrokerSweepSpec:
     seeds: Tuple[int, ...] = (0,)
     cross_traffic: bool = True
     config: Optional[BrokerConfig] = None
+    #: optional generated world every cell of the sweep runs on
+    topo: Optional[TopoSpec] = None
 
     def __post_init__(self) -> None:
         if not self.sites or not self.modes or not self.seeds:
@@ -195,7 +222,7 @@ class BrokerSweepSpec:
                 mean_interarrival_s=self.mean_interarrival_s,
                 mean_size_mb=self.mean_size_mb, size_dist=self.size_dist,
                 seed=seed, cross_traffic=self.cross_traffic,
-                config=self.config,
+                config=self.config, topo=self.topo,
             )
             for seed in self.seeds
             for mode in self.modes

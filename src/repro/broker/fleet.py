@@ -251,18 +251,41 @@ def run_fleet(
     profile=False,
     schedule_seed: Optional[int] = None,
     horizon_s: float = 1e7,
+    topo=None,
+    cache_dir: Optional[str] = None,
 ) -> FleetResult:
-    """Build a calibrated world + fleet schedule and run one policy.
+    """Build a world + fleet schedule and run one policy.
+
+    By default the world is the calibrated case study; passing a
+    :class:`~repro.topo.spec.TopoSpec` as *topo* runs the fleet on that
+    (typically generated) world instead, compiled through
+    :func:`~repro.topo.materialize.compile_spec` — with routes served
+    from *cache_dir* when given.  Generated worlds carry no calibrated
+    cross-traffic sources, so *cross_traffic* only applies to the
+    default world.
 
     ``schedule_seed`` decouples the workload from the world (defaults to
     *seed*, so one number reproduces the whole run).  ``metrics`` and
     ``profile`` take a bool or a prebuilt registry/profiler, exactly as
     :func:`~repro.testbed.build.build_case_study` does.
     """
-    from repro.testbed.build import build_case_study
+    if topo is not None:
+        from repro.topo.materialize import compile_spec, materialize
 
-    world = build_case_study(seed=seed, cross_traffic=cross_traffic,
-                             metrics=metrics, profile=profile)
+        compiled = compile_spec(topo, cache_dir=cache_dir, routes=True)
+        world = materialize(compiled, seed=seed, metrics=metrics,
+                            profile=profile)
+    else:
+        from repro.testbed.build import build_case_study
+
+        world = build_case_study(seed=seed, cross_traffic=cross_traffic,
+                                 metrics=metrics, profile=profile,
+                                 cache_dir=cache_dir)
+    unknown = sorted(set(sites) - set(world.hosts))
+    if unknown:
+        raise BrokerError(
+            f"fleet sites not in the world's host map: {unknown[:5]} "
+            f"(world has {len(world.hosts)} hosts)")
     schedule = fleet_population_schedule(
         tuple(sites), provider, n_uploads_per_site, mean_interarrival_s,
         mean_size_mb, seed=schedule_seed if schedule_seed is not None else seed,

@@ -303,6 +303,50 @@ def build_parser() -> argparse.ArgumentParser:
     n.add_argument("--last", type=int, default=8, metavar="N",
                    help="show the most recent N generations (default: 8)")
 
+    p = sub.add_parser("topo", help="generate, ingest, compile, and export "
+                                    "topology worlds (see docs/TOPOLOGY.md)")
+    tsub = p.add_subparsers(dest="topo_command", required=True)
+
+    t = tsub.add_parser("generate", help="write a world spec (JSON): a "
+                                         "synthetic preset or an ingested "
+                                         "ITDK-style snapshot")
+    t.add_argument("--preset", choices=["smoke", "metro", "internet"],
+                   default="metro",
+                   help="synthetic recipe size (default: metro)")
+    t.add_argument("--seed", type=int, default=0,
+                   help="generator seed baked into the spec")
+    t.add_argument("--name", default=None,
+                   help="spec name (default: the preset name)")
+    t.add_argument("--from-itdk", default=None, metavar="DIR", dest="from_itdk",
+                   help="ingest an ITDK-style snapshot directory instead of "
+                        "generating synthetically")
+    t.add_argument("--prefix", default="itdk",
+                   help="with --from-itdk: snapshot file prefix")
+    t.add_argument("-o", "--out", default=None, metavar="FILE",
+                   help="spec JSON path (default: <name>.topo.json)")
+
+    t = tsub.add_parser("inspect", help="summarize a spec JSON or a compiled "
+                                        ".npz world")
+    t.add_argument("path", help="a *.topo.json spec or a compiled *.npz")
+
+    t = tsub.add_parser("compile", help="compile a spec to flat arrays + "
+                                        "precomputed routes (.npz)")
+    t.add_argument("spec", help="spec JSON path")
+    t.add_argument("-o", "--out", default=None, metavar="FILE",
+                   help="compiled output (default: <spec stem>.npz)")
+    t.add_argument("--cache-dir", default=None, metavar="DIR", dest="cache_dir",
+                   help="content-addressed route cache directory")
+    t.add_argument("--no-routes", action="store_true", dest="no_routes",
+                   help="skip route precomputation (routes resolve on "
+                        "demand at materialize time)")
+
+    t = tsub.add_parser("export", help="write a spec's expanded graph as an "
+                                       "ITDK-style text snapshot")
+    t.add_argument("spec", help="spec JSON path")
+    t.add_argument("-o", "--out", required=True, metavar="DIR",
+                   help="snapshot output directory")
+    t.add_argument("--prefix", default="itdk", help="snapshot file prefix")
+
     p = sub.add_parser("lint", help="statically check the simulation invariants "
                                     "(determinism / units / kernel-safety)")
     p.add_argument("paths", nargs="*",
@@ -1007,6 +1051,76 @@ def _cmd_lint(args) -> int:
     )
 
 
+def _load_topo_spec(path: str):
+    from repro.topo import TopoSpec
+
+    with open(path, "r", encoding="utf-8") as fp:
+        return TopoSpec.from_json(fp.read())
+
+
+def _cmd_topo(args) -> int:
+    import os
+
+    from repro.topo import (
+        CompiledTopology,
+        compile_spec,
+        export_itdk,
+        generate,
+        ingest_itdk,
+        preset_spec,
+    )
+
+    if args.topo_command == "generate":
+        if args.from_itdk:
+            spec = ingest_itdk(args.from_itdk, name=args.name or "ingested",
+                               prefix=args.prefix)
+        else:
+            spec = preset_spec(args.preset, seed=args.seed,
+                               name=args.name or "")
+        out = args.out or f"{spec.name}.topo.json"
+        with open(out, "w", encoding="utf-8") as fp:
+            fp.write(spec.to_json())
+            fp.write("\n")
+        stats = generate(spec).stats()
+        shape = ", ".join(f"{k}={v}" for k, v in stats.items())
+        print(f"wrote {out}: {spec.source} spec {spec.name!r} "
+              f"(hash {spec.content_hash()[:12]}; {shape})")
+        return 0
+
+    if args.topo_command == "inspect":
+        if args.path.endswith(".npz"):
+            compiled = CompiledTopology.load(args.path)
+            for key, value in compiled.describe().items():
+                print(f"{key:>12}: {value}")
+            print(f"{'digest':>12}: {compiled.content_digest()[:16]}")
+        else:
+            spec = _load_topo_spec(args.path)
+            print(f"{'name':>12}: {spec.name}")
+            print(f"{'source':>12}: {spec.source}")
+            print(f"{'hash':>12}: {spec.content_hash()[:16]}")
+            for key, value in generate(spec).stats().items():
+                print(f"{key:>12}: {value}")
+        return 0
+
+    if args.topo_command == "compile":
+        spec = _load_topo_spec(args.spec)
+        compiled = compile_spec(spec, cache_dir=args.cache_dir,
+                                routes=not args.no_routes)
+        out = args.out or os.path.splitext(args.spec)[0] + ".npz"
+        compiled.save(out)
+        print(f"wrote {out}: {compiled.n_nodes} nodes, {compiled.n_links} "
+              f"links, {compiled.n_routes} routes "
+              f"(digest {compiled.content_digest()[:12]})")
+        return 0
+
+    # export
+    spec = _load_topo_spec(args.spec)
+    graph = generate(spec)
+    files = export_itdk(graph, args.out, prefix=args.prefix)
+    print(f"wrote {len(files)} snapshot file(s) to {args.out}")
+    return 0
+
+
 _COMMANDS = {
     "compare": _cmd_compare,
     "report": _cmd_report,
@@ -1021,6 +1135,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "campaign": _cmd_campaign,
     "broker": _cmd_broker,
+    "topo": _cmd_topo,
     "lint": _cmd_lint,
 }
 

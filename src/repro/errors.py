@@ -60,6 +60,11 @@ class CampaignError(ReproError):
     """Campaign engine misuse (bad spec, corrupt store, unknown route)."""
 
 
+class TopoError(ReproError):
+    """Topology generation/ingestion/compilation failure (bad spec,
+    malformed ITDK file, route-cache version mismatch, ...)."""
+
+
 class ObservabilityError(ReproError):
     """Misuse of the observability layer (bad metric name, bad buckets)."""
 

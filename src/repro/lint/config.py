@@ -22,6 +22,7 @@ DEFAULT_LAYERS: Tuple[Tuple[str, ...], ...] = (
     ("cloud",),
     ("transfer",),
     ("workloads", "core"),
+    ("topo",),
     ("overlay", "testbed"),
     ("campaign",),
     ("broker",),
@@ -63,7 +64,8 @@ class LintConfig:
     """
 
     model_packages: FrozenSet[str] = frozenset(
-        {"sim", "net", "core", "transfer", "overlay", "cloud", "broker"}
+        {"sim", "net", "core", "transfer", "overlay", "cloud", "broker",
+         "topo"}
     )
     #: Files (relative to the scanned root) that may construct generators
     #: directly: the RngRegistry itself derives streams there.

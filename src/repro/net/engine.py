@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from math import inf, isfinite
+from math import inf, isfinite, ulp
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro import units
@@ -31,6 +31,11 @@ from repro.sim.kernel import Signal, Simulator
 from repro.sim.trace import Tracer
 
 __all__ = ["NetworkEngine", "Transfer", "TransferResult"]
+
+#: Completion-event drift allowance, in ulps of the sim clock: a flow's
+#: own completion event may under-credit progress by at most this many
+#: float-time grains times its byte rate (see ``_complete``).
+_DRIFT_ULPS = 64.0
 
 
 @dataclass(frozen=True)
@@ -276,9 +281,16 @@ class NetworkEngine:
         if transfer.finished or transfer.flow_id not in self._flows:
             return
         self._drain_all()
-        if transfer.remaining_bytes > 1e-6:
-            # Stale completion event (rate changed since scheduling); the
-            # reallocation that changed it scheduled a fresh one.
+        # Draining quantizes progress on the float time axis, so at multi-
+        # Gbit/s rates a flow's own completion event can arrive with a few
+        # time-ulps' worth of bytes still on the books (eps(now) * rate/8 —
+        # ~1e-4 B at t=4e3 s and 10 Gbit/s, above any fixed byte epsilon).
+        # Anything beyond that drift is a genuinely stale event (rate
+        # changed after scheduling; the reallocation that changed it
+        # scheduled a fresh handle) and must not complete the flow early.
+        drift = (units.bytes_per_sec(transfer.rate_bps)
+                 * _DRIFT_ULPS * ulp(max(self.sim.now, 1.0)))
+        if transfer.remaining_bytes > max(1e-6, drift):
             return
         self._remove(transfer)
         result = TransferResult(

@@ -15,7 +15,7 @@ loss, and the bottleneck capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import RoutingError, TopologyError
 from repro.net.asn import ASGraph
@@ -93,6 +93,25 @@ class Router:
         self._igp_cost_cache.clear()
         self.bgp.invalidate()
 
+    def preload(self, node_paths: Iterable[Sequence[str]]) -> int:
+        """Seed the path cache from precompiled node sequences.
+
+        Each sequence is the full hop list of one forwarding path (as
+        :class:`ResolvedPath.nodes` would report it).  The derived
+        attributes — RTT, loss, bottleneck, AS sequence, firewall caps —
+        are recomputed from the live topology, so a preloaded path is
+        bit-identical to what :meth:`resolve` would return for the same
+        hops.  Used by ``repro.topo`` to warm large compiled worlds so
+        the first transfer doesn't pay BGP resolution.  Returns the
+        number of paths installed.
+        """
+        n = 0
+        for nodes in node_paths:
+            path = self._finalize(list(nodes))
+            self._path_cache[(path.src, path.dst)] = path
+            n += 1
+        return n
+
     def path_directions(self, path: ResolvedPath) -> List[LinkDirection]:
         """Directed link resources traversed by *path*."""
         return self.topology.path_directions(list(path.nodes))
@@ -120,6 +139,14 @@ class Router:
         else:
             raise RoutingError(f"path {src}->{dst} exceeds {_MAX_HOPS} hops")
 
+        return self._finalize(nodes)
+
+    def _finalize(self, nodes: List[str]) -> ResolvedPath:
+        """Derive the :class:`ResolvedPath` attributes from a hop list."""
+        topo = self.topology
+        if len(nodes) < 2:
+            raise RoutingError(f"path needs at least two hops, got {nodes!r}")
+        src, dst = nodes[0], nodes[-1]
         links = topo.path_links(nodes)
         one_way = topo.path_delay_s(nodes) + self.per_hop_latency_s * (len(nodes) - 1)
         bottleneck = min(

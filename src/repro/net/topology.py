@@ -11,12 +11,14 @@ can resolve simulated entities the way the paper's tooling did.
 
 from __future__ import annotations
 
+import difflib
 import heapq
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import TopologyError
+from repro.geo.sites import SITES
 from repro.net.address import parse_address
 
 __all__ = ["NodeKind", "Node", "Link", "LinkDirection", "Topology"]
@@ -174,6 +176,14 @@ class Topology:
     def add_node(self, node: Node) -> Node:
         if node.name in self.nodes:
             raise TopologyError(f"duplicate node name {node.name!r}")
+        if node.site_name and node.site_name not in SITES:
+            near = difflib.get_close_matches(node.site_name, sorted(SITES), n=1)
+            hint = f"; did you mean {near[0]!r}?" if near else ""
+            raise TopologyError(
+                f"node {node.name!r}: site {node.site_name!r} is not in the "
+                f"repro.geo.sites registry{hint} (register_site() it first, "
+                f"or leave site_name empty)"
+            )
         if node.address in self._by_address:
             raise TopologyError(
                 f"address {node.address} already assigned to "

@@ -201,18 +201,21 @@ class KernelProfiler:
         return self._clock()
 
     def end_section(self, key: str, t0: Optional[float],
-                    sim_time_s: float = 0.0) -> None:
+                    sim_time_s: float = 0.0) -> Optional[float]:
         """Charge wall time since *t0* (from :meth:`begin`) to *key*.
 
         The section nests under whatever frame was live at ``begin``
         time, so engine sections show up as children of the callback
-        that entered them.
+        that entered them.  Returns the elapsed wall seconds (``None``
+        when disabled) so callers outside the profiler — which may not
+        read a clock themselves — can export the duration as a metric.
         """
         if t0 is None or not self.enabled:
-            return
+            return None
         t1 = time.perf_counter()
         self._stack.pop()
         self._charge(tuple(self._stack) + (key,), t0, t1, sim_time_s, "section")
+        return t1 - t0
 
     # -- event / byte counts -----------------------------------------------
 

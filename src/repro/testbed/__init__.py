@@ -9,7 +9,8 @@ link parameters calibrated so the measured transfer times reproduce the
 """
 
 from repro.testbed.params import CaseStudyParams, DEFAULT_PARAMS
-from repro.testbed.build import build_case_study, build_geo_registry, world_factory
+from repro.testbed.build import (build_case_study, build_geo_registry,
+                                case_study_topo_spec, world_factory)
 from repro.testbed.builder import WorldBuilder
 from repro.testbed.dmz import DMZ_DTN_SITE, build_science_dmz_world
 from repro.testbed.validation import (
@@ -38,6 +39,7 @@ __all__ = [
     "VIAS",
     "WorldBuilder",
     "build_case_study",
+    "case_study_topo_spec",
     "build_geo_registry",
     "experiment_label",
     "paper_route_set",

@@ -24,30 +24,30 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Union
 
-from repro.cloud.dropbox import make_dropbox_protocol
-from repro.cloud.gdrive import make_gdrive_protocol
-from repro.cloud.onedrive import make_onedrive_protocol
-from repro.cloud.provider import CloudProvider
 from repro.core.world import World
 from repro.geo.ipgeo import GeoRegistry
 from repro.geo.sites import site
-from repro.net.asn import ASGraph, AutonomousSystem
 from repro.net.crosstraffic import CrossTrafficConfig, start_sources
-from repro.net.dns import DnsResolver
-from repro.net.engine import NetworkEngine
-from repro.net.policy import PbrRule, PolicyTable
-from repro.net.routing import Router
-from repro.net.tcp import TcpModel
-from repro.net.topology import Link, Node, NodeKind, Topology
+from repro.net.topology import NodeKind, Topology
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import KernelProfiler
-from repro.sim.kernel import Simulator
-from repro.sim.rng import RngRegistry
-from repro.sim.trace import Tracer
 from repro.testbed.params import CaseStudyParams, DEFAULT_PARAMS
+from repro.topo.compiled import CompiledTopology
+from repro.topo.materialize import compile_spec, materialize
+from repro.topo.spec import (
+    AsRec,
+    LinkRec,
+    NodeRec,
+    PbrRec,
+    ProviderRec,
+    SiteRec,
+    TopoGraph,
+    TopoSpec,
+)
 from repro.units import ms
 
-__all__ = ["AS_NUMBERS", "build_case_study", "build_geo_registry", "world_factory"]
+__all__ = ["AS_NUMBERS", "build_case_study", "build_geo_registry",
+           "case_study_topo_spec", "world_factory"]
 
 #: AS numbers used throughout (real-world numbers where they exist).
 AS_NUMBERS: Dict[str, int] = {
@@ -222,48 +222,135 @@ _CONGESTED_LINKS = {
 }
 
 
-def _build_as_graph() -> ASGraph:
-    g = ASGraph()
-    for name, number in AS_NUMBERS.items():
-        g.add_as(AutonomousSystem(number, name))
+def _as_relationships():
+    """(customer pairs, peering pairs) in canonical build order."""
     A = AS_NUMBERS
-    # customer cones
-    g.add_customer(A["canarie"], A["bcnet"])
-    g.add_customer(A["bcnet"], A["ubc"])
-    g.add_customer(A["canarie"], A["cybera"])
-    g.add_customer(A["cybera"], A["ualberta"])
-    g.add_customer(A["internet2"], A["umich"])
-    g.add_customer(A["internet2"], A["purdue"])
-    g.add_customer(A["internet2"], A["ucla"])
-    g.add_customer(A["transit-a"], A["purdue"])
-    g.add_customer(A["transit-b"], A["ucla"])
-    # peerings
-    g.add_peering(A["canarie"], A["internet2"])
-    g.add_peering(A["canarie"], A["pacificwave"])
-    g.add_peering(A["pacificwave"], A["google"])
-    g.add_peering(A["canarie"], A["google"])
-    g.add_peering(A["canarie"], A["microsoft"])
-    g.add_peering(A["canarie"], A["dropbox"])
-    g.add_peering(A["internet2"], A["google"])
-    g.add_peering(A["internet2"], A["microsoft"])
-    g.add_peering(A["internet2"], A["dropbox"])
-    g.add_peering(A["transit-a"], A["google"])
-    g.add_peering(A["transit-a"], A["microsoft"])
-    g.add_peering(A["transit-a"], A["dropbox"])
-    g.add_peering(A["transit-b"], A["google"])
-    g.add_peering(A["transit-b"], A["microsoft"])
-    g.add_peering(A["transit-b"], A["dropbox"])
+    customers = (
+        (A["canarie"], A["bcnet"]),
+        (A["bcnet"], A["ubc"]),
+        (A["canarie"], A["cybera"]),
+        (A["cybera"], A["ualberta"]),
+        (A["internet2"], A["umich"]),
+        (A["internet2"], A["purdue"]),
+        (A["internet2"], A["ucla"]),
+        (A["transit-a"], A["purdue"]),
+        (A["transit-b"], A["ucla"]),
+    )
+    peerings = (
+        (A["canarie"], A["internet2"]),
+        (A["canarie"], A["pacificwave"]),
+        (A["pacificwave"], A["google"]),
+        (A["canarie"], A["google"]),
+        (A["canarie"], A["microsoft"]),
+        (A["canarie"], A["dropbox"]),
+        (A["internet2"], A["google"]),
+        (A["internet2"], A["microsoft"]),
+        (A["internet2"], A["dropbox"]),
+        (A["transit-a"], A["google"]),
+        (A["transit-a"], A["microsoft"]),
+        (A["transit-a"], A["dropbox"]),
+        (A["transit-b"], A["google"]),
+        (A["transit-b"], A["microsoft"]),
+        (A["transit-b"], A["dropbox"]),
+    )
+    return customers, peerings
+
+
+def case_study_topo_spec(params: Optional[CaseStudyParams] = None) -> TopoSpec:
+    """The calibrated 5-site world as an explicit :class:`TopoSpec`.
+
+    This is the testbed's source of truth: :func:`build_case_study` runs
+    it through the same :func:`~repro.topo.materialize.compile_spec` /
+    :func:`~repro.topo.materialize.materialize` pipeline as generated
+    internet-scale worlds, so the paper world and synthetic worlds are
+    byte-for-byte products of one construction path.
+    """
+    p = params if params is not None else DEFAULT_PARAMS
+
+    # sites, in first-reference order over the node table
+    node_rows = _nodes(p)
+    site_keys = []
+    for row in node_rows:
+        key = row[5]
+        if key not in site_keys:
+            site_keys.append(key)
+    sites = tuple(
+        SiteRec(s.name, s.kind.value, s.location.lat, s.location.lon,
+                s.city, s.description, s.planetlab)
+        for s in (site(key) for key in site_keys))
+
+    nodes = tuple(
+        NodeRec(name, kind.value, asn, addr, hostname=hostname, site=site_name,
+                responds=responds)
+        for name, kind, asn, addr, hostname, site_name, responds in node_rows)
+    links = tuple(
+        LinkRec(u, v, capacity_bps=cap, delay_s=delay, loss=loss,
+                policers=tuple(sorted((policer or {}).items())),
+                jitter_sigma=(p.congested_capacity_jitter_sigma
+                              if f"{u}--{v}" in _CONGESTED_LINKS
+                              else p.capacity_jitter_sigma))
+        for u, v, cap, delay, loss, policer in _links(p))
+
+    A = AS_NUMBERS
+    ases = tuple(AsRec(number, name) for name, number in A.items())
+    customers, peerings = _as_relationships()
 
     # TR-CPS style scoping: Internet2 carries commercial peering routes
     # only for subscribers.  UMich subscribes; Purdue and UCLA do not, so
     # their commercial traffic falls back to commodity transit — exactly
     # the asymmetry the paper measured from Purdue.
-    commercial = {A["google"], A["microsoft"], A["dropbox"]}
-    not_commercial = lambda dest: dest not in commercial  # noqa: E731
-    g.set_export_filter(A["internet2"], A["purdue"], not_commercial)
-    g.set_export_filter(A["internet2"], A["ucla"], not_commercial)
-    g.validate()
-    return g
+    commercial = tuple(sorted((A["google"], A["microsoft"], A["dropbox"])))
+    export_deny = (
+        (A["internet2"], A["purdue"], commercial),
+        (A["internet2"], A["ucla"], commercial),
+    )
+
+    pbr_rules = (PbrRec(
+        node="canarie-vncv",
+        out_link="canarie-vncv--pacwave-sea",
+        src_prefixes=(UBC_PLANETLAB_PREFIX,),
+        dest_asns=(A["google"],),
+        description="PlanetLab-sourced Google traffic exits via Pacific Wave "
+                    "(the Fig. 5 vs Fig. 6 artifact)",
+    ),)
+
+    providers = (
+        ProviderRec("gdrive", "Google Drive", "www.googleapis.com",
+                    "accounts.google.com", ("gdrive-frontend",), "gdrive"),
+        ProviderRec("dropbox", "Dropbox", "content.dropboxapi.com",
+                    "api.dropboxapi.com", ("dropbox-frontend",), "dropbox"),
+        ProviderRec("onedrive", "Microsoft OneDrive", "storage.live.com",
+                    "login.live.com", ("onedrive-frontend",), "onedrive"),
+    )
+
+    graph = TopoGraph(
+        sites=sites, ases=ases, nodes=nodes, links=links,
+        customers=customers, peerings=peerings, export_deny=export_deny,
+        pbr_rules=pbr_rules, providers=providers,
+        hosts=(("ubc", "ubc-pl"), ("purdue", "purdue-pl"),
+               ("ucla", "ucla-pl"), ("umich", "umich-pl"),
+               ("ualberta", "ualberta-dtn")),
+        dtn_sites=("ualberta", "umich"),
+    )
+    return TopoSpec(name="case-study", source="explicit", graph=graph)
+
+
+#: In-process memo of compiled case-study topologies by spec hash: route
+#: compilation is seed-independent, so every world built from the same
+#: params shares one compiled artifact (compiled arrays are never
+#: mutated by materialization).
+_COMPILED_CACHE: Dict[str, CompiledTopology] = {}
+
+
+def _compiled_case_study(params: CaseStudyParams,
+                         cache_dir: Optional[str] = None) -> CompiledTopology:
+    spec = case_study_topo_spec(params)
+    key = spec.content_hash()
+    compiled = _COMPILED_CACHE.get(key)
+    if compiled is None:
+        compiled = compile_spec(spec, cache_dir=cache_dir, routes=True)
+        _COMPILED_CACHE[key] = compiled
+    return compiled
 
 
 def _cross_traffic_configs(p: CaseStudyParams):
@@ -304,8 +391,14 @@ def build_case_study(
     cross_traffic: bool = True,
     metrics: Union[bool, MetricsRegistry] = False,
     profile: Union[bool, KernelProfiler] = False,
+    cache_dir: Optional[str] = None,
 ) -> World:
     """Construct the full case-study world.
+
+    The spec from :func:`case_study_topo_spec` is compiled (routes
+    precomputed, memoized in-process per parameter set) and materialized
+    through :mod:`repro.topo` — the same pipeline that builds generated
+    internet-scale worlds.
 
     Parameters
     ----------
@@ -326,89 +419,17 @@ def build_case_study(
         True to attach a fresh :class:`~repro.obs.KernelProfiler` to the
         kernel, or an existing profiler to aggregate across worlds
         (wall-time accounting; has no effect on simulated results).
+    cache_dir:
+        Optional route-cache directory handed to
+        :func:`~repro.topo.materialize.compile_spec`.
     """
     p = params if params is not None else DEFAULT_PARAMS
-    if isinstance(metrics, MetricsRegistry):
-        registry = metrics
-    else:
-        registry = MetricsRegistry(enabled=bool(metrics))
-    if isinstance(profile, KernelProfiler):
-        profiler = profile
-    else:
-        profiler = KernelProfiler() if profile else None
-    sim = Simulator(profiler=profiler)
-    rng = RngRegistry(seed)
-    tracer = Tracer(enabled=trace)
-
-    topo = Topology()
-    for name, kind, asn, addr, hostname, site_name, responds in _nodes(p):
-        topo.add_node(Node(name, kind, asn, addr, hostname=hostname,
-                           site_name=site_name, responds_to_traceroute=responds))
-    for u, v, cap, delay, loss, policer in _links(p):
-        topo.add_link(Link(u, v, capacity_bps=cap, delay_s=delay, loss=loss,
-                           policer_bps=policer or {}))
-    topo.validate()
-
-    as_graph = _build_as_graph()
-
-    policy = PolicyTable()
-    policy.install(PbrRule(
-        node="canarie-vncv",
-        out_link="canarie-vncv--pacwave-sea",
-        src_prefixes=frozenset({UBC_PLANETLAB_PREFIX}),
-        dest_asns=frozenset({AS_NUMBERS["google"]}),
-        description="PlanetLab-sourced Google traffic exits via Pacific Wave "
-                    "(the Fig. 5 vs Fig. 6 artifact)",
-    ))
-
-    router = Router(topo, as_graph, policy)
-    dns = DnsResolver(topo)
-
-    # per-run capacity jitter: small everywhere, larger on congested links
-    capacity_scale: Dict[str, float] = {}
-    for link_name in topo.links:
-        sigma = (p.congested_capacity_jitter_sigma if link_name in _CONGESTED_LINKS
-                 else p.capacity_jitter_sigma)
-        capacity_scale[link_name] = rng.lognormal_factor(f"capjitter.{link_name}", sigma)
-
-    engine = NetworkEngine(sim, topo, tracer=tracer, capacity_scale=capacity_scale,
-                           metrics=registry)
-
-    world = World(
-        sim=sim, topology=topo, as_graph=as_graph, policy=policy, router=router,
-        dns=dns, engine=engine, tcp=TcpModel(metrics=registry), rng=rng,
-        tracer=tracer, seed=seed, metrics=registry, profiler=profiler,
-    )
-
-    world.add_provider(CloudProvider(
-        name="gdrive", display_name="Google Drive",
-        api_hostname="www.googleapis.com", auth_hostname="accounts.google.com",
-        frontend_nodes=["gdrive-frontend"], protocol=make_gdrive_protocol(),
-    ))
-    world.add_provider(CloudProvider(
-        name="dropbox", display_name="Dropbox",
-        api_hostname="content.dropboxapi.com", auth_hostname="api.dropboxapi.com",
-        frontend_nodes=["dropbox-frontend"], protocol=make_dropbox_protocol(),
-    ))
-    world.add_provider(CloudProvider(
-        name="onedrive", display_name="Microsoft OneDrive",
-        api_hostname="storage.live.com", auth_hostname="login.live.com",
-        frontend_nodes=["onedrive-frontend"], protocol=make_onedrive_protocol(),
-    ))
-
-    world.hosts.update({
-        "ubc": "ubc-pl",
-        "purdue": "purdue-pl",
-        "ucla": "ucla-pl",
-        "umich": "umich-pl",
-        "ualberta": "ualberta-dtn",
-    })
-    world.add_dtn("ualberta", "ualberta-dtn")
-    world.add_dtn("umich", "umich-pl")
-
+    compiled = _compiled_case_study(p, cache_dir=cache_dir)
+    world = materialize(compiled, seed=seed, trace=trace, metrics=metrics,
+                        profile=profile)
     if cross_traffic:
-        start_sources(_cross_traffic_configs(p), sim, engine, rng.stream)
-
+        start_sources(_cross_traffic_configs(p), world.sim, world.engine,
+                      world.rng.stream)
     return world
 
 

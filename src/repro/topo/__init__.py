@@ -1,0 +1,49 @@
+"""Internet-scale topology generation, ingestion, and compiled worlds.
+
+The pipeline (see ``docs/TOPOLOGY.md``):
+
+``TopoSpec`` (recipe or explicit graph) → :func:`generate` →
+``TopoGraph`` → :func:`compile_spec` → :class:`CompiledTopology` (flat
+numpy arrays + precompiled routes, cached by content hash) →
+:func:`materialize` → a live :class:`~repro.core.world.World`.
+
+ITDK-style text snapshots round-trip through :func:`export_itdk` /
+:func:`ingest_itdk`.  The calibrated case study builds through the same
+path (:mod:`repro.testbed.build`), so broker fleets and campaign cells
+run identically on the 5-site paper world and on generated worlds with
+thousands of sites.
+"""
+
+from repro.topo.compiled import CompiledTopology, compile_graph
+from repro.topo.instrument import TopoInstrumentation
+from repro.topo.itdk import export_itdk, ingest_itdk
+from repro.topo.materialize import build_skeleton, compile_spec, materialize
+from repro.topo.routecache import RouteCache
+from repro.topo.spec import (
+    PRESETS,
+    RegionSpec,
+    SyntheticParams,
+    TopoGraph,
+    TopoSpec,
+    preset_spec,
+)
+from repro.topo.synth import generate
+
+__all__ = [
+    "CompiledTopology",
+    "PRESETS",
+    "RegionSpec",
+    "RouteCache",
+    "SyntheticParams",
+    "TopoGraph",
+    "TopoInstrumentation",
+    "TopoSpec",
+    "build_skeleton",
+    "compile_graph",
+    "compile_spec",
+    "export_itdk",
+    "generate",
+    "ingest_itdk",
+    "materialize",
+    "preset_spec",
+]

@@ -1,0 +1,384 @@
+"""ITDK-style text export/ingestion (CAIDA ``nodes``/``links``/``geo``).
+
+Worlds serialize to the file family the CIDT analysis pipeline consumes
+(CAIDA ITDK midar-iff conventions), one directory per world:
+
+* ``<prefix>.nodes`` — ``node N<i>:  <addr> [key=value ...]``
+* ``<prefix>.links`` — ``link L<i>:  N<a>:<addr> N<b>:<addr> [key=value ...]``
+* ``<prefix>.nodes.as`` — ``node.AS N<i> <asn>``
+* ``<prefix>.nodes.geo`` — ``node.geo N<i>: <continent>|<country>|<region>|<city>|<lat>|<lon>``
+* ``as-rel.txt`` — ``<a>|<b>|-1`` (a provider of b) / ``<a>|<b>|0`` (peers),
+  plus ``# xfilter <announcer>|<neighbor>|<denied,asns>`` extension lines
+* ``sites.txt`` — ``site <key>|<kind>|<lat>|<lon>|<planetlab>|<city>|<description>``
+  (extension; plain ITDK snapshots don't have it)
+* ``meta.json`` — providers/hosts/DTNs/populations/PBR (extension; these
+  concepts have no ITDK analogue)
+
+The ``key=value`` trailers are a documented extension for lossless
+round-trips (floats via ``repr``, so ``generate → export → ingest``
+reproduces byte-identical compiled arrays).  **Plain** ITDK files — no
+trailers, no extension files — still ingest: nodes default to routers in
+one AS, links to a default capacity/delay, and missing AS relationships
+are inferred (larger AS is provider; a total order, hence acyclic).
+Such snapshots carry no hosts/providers, so they compile and inspect but
+cannot materialize a transfer-ready world until hosts are grafted on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TopoError
+from repro.topo.spec import (
+    AsRec,
+    LinkRec,
+    NodeRec,
+    PbrRec,
+    ProviderRec,
+    SiteRec,
+    TopoGraph,
+    TopoSpec,
+)
+from repro.units import gbps, ms
+
+__all__ = ["export_itdk", "ingest_itdk"]
+
+#: Defaults for plain snapshots that carry no capacity/delay trailers.
+DEFAULT_LINK_BPS = gbps(10)
+DEFAULT_LINK_DELAY_S = ms(2)
+DEFAULT_ASN = 64512
+
+
+def _fmt(value: float) -> str:
+    return repr(float(value))
+
+
+def _tokens(parts: List[str]) -> Dict[str, str]:
+    """Parse trailing ``key=value`` tokens from a split line."""
+    out: Dict[str, str] = {}
+    for part in parts:
+        if "=" in part:
+            key, _, val = part.partition("=")
+            out[key] = val
+    return out
+
+
+# ---------------------------------------------------------------------------
+# export
+# ---------------------------------------------------------------------------
+
+
+def export_itdk(graph: TopoGraph, out_dir: str, prefix: str = "itdk") -> List[str]:
+    """Write the ITDK file family for *graph*; returns the paths written."""
+    os.makedirs(out_dir, exist_ok=True)
+    site_of = {s.name: s for s in graph.sites}
+    node_id = {n.name: i for i, n in enumerate(graph.nodes)}
+    written: List[str] = []
+
+    def path(name: str) -> str:
+        p = os.path.join(out_dir, name)
+        written.append(p)
+        return p
+
+    with open(path(f"{prefix}.nodes"), "w") as fh:
+        fh.write("# node N<id>:  <address> [extension tokens]\n")
+        for i, n in enumerate(graph.nodes):
+            fw = "-" if n.firewall_per_flow_bps is None \
+                else _fmt(n.firewall_per_flow_bps)
+            fh.write(
+                f"node N{i}:  {n.address} name={n.name} kind={n.kind} "
+                f"hostname={n.hostname or n.name} site={n.site or '-'} "
+                f"responds={int(n.responds)} fw_bps={fw}\n")
+
+    with open(path(f"{prefix}.links"), "w") as fh:
+        fh.write("# link L<id>:  N<a>:<addr> N<b>:<addr> [extension tokens]\n")
+        for i, l in enumerate(graph.links):
+            u, v = node_id[l.u], node_id[l.v]
+            pol = ",".join(f"{name}:{_fmt(rate)}" for name, rate in l.policers)
+            fh.write(
+                f"link L{i}:  N{u}:{graph.nodes[u].address} "
+                f"N{v}:{graph.nodes[v].address} "
+                f"cap_bps={_fmt(l.capacity_bps)} delay_s={_fmt(l.delay_s)} "
+                f"loss={_fmt(l.loss)} igp={_fmt(l.igp_cost)} "
+                f"jitter={_fmt(l.jitter_sigma)} policer={pol or '-'}\n")
+
+    with open(path(f"{prefix}.nodes.as"), "w") as fh:
+        for i, n in enumerate(graph.nodes):
+            fh.write(f"node.AS N{i} {n.asn}\n")
+
+    with open(path(f"{prefix}.nodes.geo"), "w") as fh:
+        fh.write("# node.geo N<id>: continent|country|region|city|lat|lon\n")
+        for i, n in enumerate(graph.nodes):
+            if not n.site:
+                continue
+            s = site_of[n.site]
+            fh.write(f"node.geo N{i}: |||{s.city}|{_fmt(s.lat)}|{_fmt(s.lon)}\n")
+
+    with open(path("as-rel.txt"), "w") as fh:
+        fh.write("# <provider>|<customer>|-1  /  <peer>|<peer>|0\n")
+        for name, number, tier in [(a.name, a.asn, a.tier) for a in graph.ases]:
+            fh.write(f"# as N{number} name={name} tier={tier or '-'}\n")
+        for provider, customer in graph.customers:
+            fh.write(f"{provider}|{customer}|-1\n")
+        for a, b in graph.peerings:
+            fh.write(f"{a}|{b}|0\n")
+        for announcer, neighbor, deny in graph.export_deny:
+            denied = ",".join(str(d) for d in deny)
+            fh.write(f"# xfilter {announcer}|{neighbor}|{denied}\n")
+
+    with open(path("sites.txt"), "w") as fh:
+        fh.write("# site <key>|<kind>|<lat>|<lon>|<planetlab>|<city>|<description>\n")
+        for s in graph.sites:
+            fh.write(f"site {s.name}|{s.kind}|{_fmt(s.lat)}|{_fmt(s.lon)}|"
+                     f"{int(s.planetlab)}|{s.city}|{s.description}\n")
+
+    meta = {
+        "providers": [
+            {"name": p.name, "display_name": p.display_name,
+             "api_hostname": p.api_hostname, "auth_hostname": p.auth_hostname,
+             "frontends": list(p.frontends), "protocol": p.protocol}
+            for p in graph.providers],
+        "hosts": [list(h) for h in graph.hosts],
+        "dtn_sites": list(graph.dtn_sites),
+        "populations": [list(p) for p in graph.populations],
+        "pbr_rules": [
+            {"node": r.node, "out_link": r.out_link,
+             "src_prefixes": list(r.src_prefixes),
+             "dest_asns": list(r.dest_asns), "description": r.description}
+            for r in graph.pbr_rules],
+    }
+    with open(path("meta.json"), "w") as fh:
+        json.dump(meta, fh, sort_keys=True, indent=1)
+    return written
+
+
+# ---------------------------------------------------------------------------
+# ingest
+# ---------------------------------------------------------------------------
+
+
+def _read_lines(path: str) -> List[str]:
+    with open(path, "r") as fh:
+        return [line.rstrip("\n") for line in fh
+                if line.strip() and not line.lstrip().startswith("#")]
+
+
+def _infer_relationships(nodes: List[NodeRec],
+                         links: List[LinkRec]) -> List[Tuple[int, int]]:
+    """Provider/customer inference for snapshots without as-rel data.
+
+    The AS with more nodes is the provider (ties: lower ASN).  The
+    ordering is total, so the inferred graph is acyclic by construction.
+    """
+    asn_of = {n.name: n.asn for n in nodes}
+    size: Dict[int, int] = {}
+    for n in nodes:
+        size[n.asn] = size.get(n.asn, 0) + 1
+    pairs = set()
+    for l in links:
+        a, b = asn_of[l.u], asn_of[l.v]
+        if a != b:
+            pairs.add((min(a, b), max(a, b)))
+    customers: List[Tuple[int, int]] = []
+    for a, b in sorted(pairs):
+        rank_a = (-size[a], a)
+        rank_b = (-size[b], b)
+        provider, customer = (a, b) if rank_a < rank_b else (b, a)
+        customers.append((provider, customer))
+    return customers
+
+
+def ingest_itdk(in_dir: str, name: str, prefix: str = "itdk") -> TopoSpec:
+    """Read an ITDK directory into an explicit :class:`TopoSpec`."""
+    nodes_path = os.path.join(in_dir, f"{prefix}.nodes")
+    links_path = os.path.join(in_dir, f"{prefix}.links")
+    if not os.path.exists(nodes_path) or not os.path.exists(links_path):
+        raise TopoError(
+            f"{in_dir}: missing {prefix}.nodes / {prefix}.links")
+
+    # -- nodes ---------------------------------------------------------------
+    node_order: List[str] = []          # "N<id>" in file order
+    raw_nodes: Dict[str, dict] = {}
+    for line in _read_lines(nodes_path):
+        parts = line.split()
+        if len(parts) < 3 or parts[0] != "node":
+            raise TopoError(f"{nodes_path}: malformed line {line!r}")
+        nid = parts[1].rstrip(":")
+        tokens = _tokens(parts[2:])
+        addr = next((p for p in parts[2:] if "=" not in p), None)
+        if addr is None:
+            raise TopoError(f"{nodes_path}: node {nid} has no address")
+        node_order.append(nid)
+        raw_nodes[nid] = {"address": addr, **tokens}
+
+    # -- AS assignment -------------------------------------------------------
+    as_path = os.path.join(in_dir, f"{prefix}.nodes.as")
+    if os.path.exists(as_path):
+        for line in _read_lines(as_path):
+            parts = line.split()
+            if len(parts) < 3 or parts[0] != "node.AS":
+                raise TopoError(f"{as_path}: malformed line {line!r}")
+            if parts[1] in raw_nodes:
+                raw_nodes[parts[1]]["asn"] = parts[2]
+
+    # -- geo -----------------------------------------------------------------
+    geo_path = os.path.join(in_dir, f"{prefix}.nodes.geo")
+    geo: Dict[str, Tuple[str, float, float]] = {}
+    if os.path.exists(geo_path):
+        for line in _read_lines(geo_path):
+            head, _, rest = line.partition(":")
+            parts = head.split()
+            if len(parts) != 2 or parts[0] != "node.geo":
+                raise TopoError(f"{geo_path}: malformed line {line!r}")
+            fields = rest.strip().split("|")
+            if len(fields) < 6:
+                raise TopoError(f"{geo_path}: malformed geo fields {line!r}")
+            geo[parts[1]] = (fields[-3], float(fields[-2]), float(fields[-1]))
+
+    # -- sites (extension file, else synthesized from geo) -------------------
+    sites: List[SiteRec] = []
+    site_keys: Dict[str, str] = {}   # node id -> site key
+    sites_path = os.path.join(in_dir, "sites.txt")
+    if os.path.exists(sites_path):
+        for line in _read_lines(sites_path):
+            if not line.startswith("site "):
+                raise TopoError(f"{sites_path}: malformed line {line!r}")
+            fields = line[len("site "):].split("|")
+            if len(fields) < 7:
+                raise TopoError(f"{sites_path}: malformed site fields {line!r}")
+            key, kind, lat, lon, planetlab = fields[:5]
+            city, description = fields[5], "|".join(fields[6:])
+            sites.append(SiteRec(key, kind, float(lat), float(lon), city=city,
+                                 description=description,
+                                 planetlab=bool(int(planetlab))))
+    else:
+        for nid in node_order:
+            if nid in geo:
+                city, lat, lon = geo[nid]
+                key = f"{name}-{nid.lower()}"
+                site_keys[nid] = key
+                sites.append(SiteRec(key, "exchange", lat, lon, city=city,
+                                     description=f"ingested from {prefix}.nodes.geo"))
+
+    # -- node records --------------------------------------------------------
+    nodes: List[NodeRec] = []
+    for nid in node_order:
+        raw = raw_nodes[nid]
+        fw = raw.get("fw_bps", "-")
+        site = raw.get("site", "-")
+        if site == "-":
+            site = site_keys.get(nid, "")
+        nodes.append(NodeRec(
+            name=raw.get("name", nid),
+            kind=raw.get("kind", "router"),
+            asn=int(raw.get("asn", DEFAULT_ASN)),
+            address=raw["address"],
+            hostname=raw.get("hostname", ""),
+            site=site,
+            responds=bool(int(raw.get("responds", "1"))),
+            firewall_per_flow_bps=None if fw == "-" else float(fw),
+        ))
+    by_id = {nid: nodes[i] for i, nid in enumerate(node_order)}
+
+    # -- links ---------------------------------------------------------------
+    links: List[LinkRec] = []
+    for line in _read_lines(links_path):
+        parts = line.split()
+        if len(parts) < 4 or parts[0] != "link":
+            raise TopoError(f"{links_path}: malformed line {line!r}")
+        refs = [p.split(":")[0] for p in parts[2:]
+                if p.startswith("N") and "=" not in p]
+        if len(refs) < 2:
+            raise TopoError(f"{links_path}: link needs two endpoints: {line!r}")
+        tokens = _tokens(parts[2:])
+        policers: Tuple[Tuple[str, float], ...] = ()
+        pol = tokens.get("policer", "-")
+        if pol != "-":
+            policers = tuple(
+                (entry.rsplit(":", 1)[0], float(entry.rsplit(":", 1)[1]))
+                for entry in pol.split(","))
+        try:
+            u, v = by_id[refs[0]], by_id[refs[1]]
+        except KeyError as exc:
+            raise TopoError(f"{links_path}: unknown node {exc} in {line!r}") from None
+        links.append(LinkRec(
+            u.name, v.name,
+            capacity_bps=float(tokens.get("cap_bps", DEFAULT_LINK_BPS)),
+            delay_s=float(tokens.get("delay_s", DEFAULT_LINK_DELAY_S)),
+            loss=float(tokens.get("loss", 0.0)),
+            igp_cost=float(tokens.get("igp", 1.0)),
+            policers=policers,
+            jitter_sigma=float(tokens.get("jitter", 0.0)),
+        ))
+
+    # -- AS records + relationships -----------------------------------------
+    rel_path = os.path.join(in_dir, "as-rel.txt")
+    as_names: Dict[int, Tuple[str, str]] = {}
+    customers: List[Tuple[int, int]] = []
+    peerings: List[Tuple[int, int]] = []
+    export_deny: List[Tuple[int, int, Tuple[int, ...]]] = []
+    if os.path.exists(rel_path):
+        with open(rel_path, "r") as fh:
+            for line in fh:
+                line = line.strip()
+                if line.startswith("# as N"):
+                    parts = line[len("# as N"):].split()
+                    tokens = _tokens(parts[1:])
+                    tier = tokens.get("tier", "-")
+                    as_names[int(parts[0])] = (
+                        tokens.get("name", f"as{parts[0]}"),
+                        "" if tier == "-" else tier)
+                elif line.startswith("# xfilter "):
+                    a, n, deny = line[len("# xfilter "):].split("|")
+                    export_deny.append((
+                        int(a), int(n),
+                        tuple(int(d) for d in deny.split(",") if d)))
+                elif line and not line.startswith("#"):
+                    a, b, rel = line.split("|")[:3]
+                    if int(rel) == -1:
+                        customers.append((int(a), int(b)))
+                    else:
+                        peerings.append((int(a), int(b)))
+    else:
+        customers = _infer_relationships(nodes, links)
+
+    seen_asns: List[int] = []
+    for n in nodes:
+        if n.asn not in seen_asns:
+            seen_asns.append(n.asn)
+    ases = tuple(
+        AsRec(asn, *(as_names.get(asn, (f"as{asn}", ""))))
+        for asn in seen_asns)
+
+    # -- meta extension -------------------------------------------------------
+    providers: Tuple[ProviderRec, ...] = ()
+    hosts: Tuple[Tuple[str, str], ...] = ()
+    dtn_sites: Tuple[str, ...] = ()
+    populations: Tuple[Tuple[str, float], ...] = ()
+    pbr_rules: Tuple[PbrRec, ...] = ()
+    meta_path = os.path.join(in_dir, "meta.json")
+    if os.path.exists(meta_path):
+        with open(meta_path, "r") as fh:
+            meta = json.load(fh)
+        providers = tuple(
+            ProviderRec(p["name"], p["display_name"], p["api_hostname"],
+                        p["auth_hostname"], tuple(p["frontends"]), p["protocol"])
+            for p in meta.get("providers", ()))
+        hosts = tuple((s, n) for s, n in meta.get("hosts", ()))
+        dtn_sites = tuple(meta.get("dtn_sites", ()))
+        populations = tuple((s, float(w)) for s, w in meta.get("populations", ()))
+        pbr_rules = tuple(
+            PbrRec(r["node"], r["out_link"], tuple(r["src_prefixes"]),
+                   tuple(int(a) for a in r["dest_asns"]), r["description"])
+            for r in meta.get("pbr_rules", ()))
+
+    graph = TopoGraph(
+        sites=tuple(sites), ases=ases, nodes=tuple(nodes), links=tuple(links),
+        customers=tuple(customers), peerings=tuple(peerings),
+        export_deny=tuple(export_deny), pbr_rules=pbr_rules,
+        providers=providers, hosts=hosts, dtn_sites=dtn_sites,
+        populations=populations,
+    )
+    return TopoSpec(name=name, source="explicit", graph=graph)

@@ -5,6 +5,7 @@ from repro.workloads.generator import (
     UploadSchedule,
     client_population_schedule,
     fleet_population_schedule,
+    sample_sites,
     size_sweep,
 )
 
@@ -13,5 +14,6 @@ __all__ = [
     "UploadSchedule",
     "client_population_schedule",
     "fleet_population_schedule",
+    "sample_sites",
     "size_sweep",
 ]

@@ -21,6 +21,7 @@ from repro.units import mb
 
 __all__ = [
     "size_sweep",
+    "sample_sites",
     "ScheduledUpload",
     "UploadSchedule",
     "client_population_schedule",
@@ -126,6 +127,51 @@ def client_population_schedule(
                           Entropy.RANDOM, seed=seed + i),
         ))
     return UploadSchedule(tuple(uploads))
+
+
+def sample_sites(
+    populations: Sequence[Tuple[str, float]],
+    n_sites: int,
+    seed: int = 0,
+) -> Tuple[str, ...]:
+    """Draw *n_sites* distinct sites weighted by population, without
+    replacement.
+
+    The bridge from a generated world (whose
+    :class:`~repro.topo.spec.TopoGraph` carries per-site population
+    weights) to a fleet: pick which campuses actually upload.  The draw
+    is a pure function of ``(populations, n_sites, seed)`` — input order
+    matters (as everywhere, record order is part of a world's identity)
+    — and the result preserves the input's site order so downstream
+    schedules stay deterministic.
+    """
+    if n_sites < 1:
+        raise MeasurementError("need at least one sampled site")
+    names = [name for name, _ in populations]
+    if len(set(names)) != len(names):
+        raise MeasurementError("duplicate sites in population table")
+    if any(w <= 0 for _, w in populations):
+        raise MeasurementError("population weights must be positive")
+    if n_sites > len(populations):
+        raise MeasurementError(
+            f"cannot sample {n_sites} distinct sites from {len(populations)}")
+    # Workload-generation entry point: *seed* is the caller-facing
+    # parameter, so converting it to a generator here is the injection point.
+    rng = np.random.default_rng(derive_seed(seed, "workloads:sample-sites"))  # simlint: ignore[SL103] -- seed-parameterized entry point
+    remaining = list(populations)
+    chosen = set()
+    for _ in range(n_sites):
+        total = sum(w for _, w in remaining)
+        point = float(rng.uniform(0.0, total))
+        acc = 0.0
+        pick = len(remaining) - 1
+        for i, (_, w) in enumerate(remaining):
+            acc += w
+            if point < acc:
+                pick = i
+                break
+        chosen.add(remaining.pop(pick)[0])
+    return tuple(name for name in names if name in chosen)
 
 
 def fleet_population_schedule(

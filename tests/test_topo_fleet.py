@@ -1,0 +1,113 @@
+"""Broker fleets and campaign cells on generated (repro.topo) worlds.
+
+Pins the integration seams: weighted site sampling, fleet determinism on
+a generated world, topo-carrying cell identity (the world is referenced
+by content hash), and pooled-vs-serial byte identity with a topo spec
+riding through the worker-pool pickle boundary.
+"""
+
+import json
+
+import pytest
+
+from repro.broker import BrokerSweepSpec, FleetCell, run_fleet
+from repro.campaign import CampaignRunner, PoolConfig
+from repro.errors import BrokerError, CampaignError, MeasurementError
+from repro.topo import generate, preset_spec
+from repro.workloads import sample_sites
+
+pytestmark = [pytest.mark.topo, pytest.mark.broker, pytest.mark.campaign]
+
+SMOKE = preset_spec("smoke", seed=0)
+GRAPH = generate(SMOKE)
+SITES = sample_sites(GRAPH.populations, 2, seed=0)
+
+FLEET_KW = dict(sites=SITES, provider="gdrive", n_uploads_per_site=3,
+                mean_interarrival_s=60.0, mean_size_mb=10.0,
+                cross_traffic=False)
+
+
+class TestSampleSites:
+    def test_deterministic_and_ordered(self):
+        again = sample_sites(GRAPH.populations, 2, seed=0)
+        assert again == SITES
+        order = [name for name, _ in GRAPH.populations]
+        assert sorted(SITES, key=order.index) == list(SITES)
+
+    def test_seed_changes_the_draw(self):
+        draws = {sample_sites(GRAPH.populations, 2, seed=s) for s in range(8)}
+        assert len(draws) > 1
+
+    def test_validates_inputs(self):
+        with pytest.raises(MeasurementError):
+            sample_sites(GRAPH.populations, 0)
+        with pytest.raises(MeasurementError):
+            sample_sites(GRAPH.populations, len(GRAPH.populations) + 1)
+        with pytest.raises(MeasurementError):
+            sample_sites((("a", 1.0), ("a", 2.0)), 1)
+        with pytest.raises(MeasurementError):
+            sample_sites((("a", 0.0),), 1)
+
+
+class TestFleetOnGeneratedWorld:
+    def test_direct_fleet_is_deterministic(self):
+        a = run_fleet(0, mode="direct", topo=SMOKE, **FLEET_KW)
+        b = run_fleet(0, mode="direct", topo=SMOKE, **FLEET_KW)
+        assert json.dumps(a.to_dict(), sort_keys=True) == \
+            json.dumps(b.to_dict(), sort_keys=True)
+        assert len(a.records) == 2 * 3
+
+    def test_unknown_site_is_rejected_with_context(self):
+        with pytest.raises(BrokerError, match="not in the world's host map"):
+            run_fleet(0, mode="direct", topo=SMOKE,
+                      **{**FLEET_KW, "sites": ("atlantis",)})
+
+    def test_route_cache_dir_is_honored(self, tmp_path):
+        a = run_fleet(0, mode="direct", topo=SMOKE,
+                      cache_dir=str(tmp_path), **FLEET_KW)
+        assert list(tmp_path.glob("routes-*.npz"))
+        b = run_fleet(0, mode="direct", topo=SMOKE,
+                      cache_dir=str(tmp_path), **FLEET_KW)
+        assert a.to_dict() == b.to_dict()
+
+
+class TestTopoCellIdentity:
+    def test_identity_round_trip(self):
+        cell = FleetCell(mode="direct", topo=SMOKE, **FLEET_KW)
+        clone = FleetCell.from_identity(json.loads(json.dumps(cell.identity())))
+        assert clone == cell and clone.key == cell.key
+        assert clone.topo is not None
+        assert clone.topo.content_hash() == SMOKE.content_hash()
+
+    def test_identity_references_world_by_content_hash(self):
+        ident = FleetCell(mode="direct", topo=SMOKE, **FLEET_KW).identity()
+        assert ident["topo"]["hash"] == SMOKE.content_hash()
+        tampered = json.loads(json.dumps(ident))
+        tampered["topo"]["hash"] = "0" * 64
+        with pytest.raises(CampaignError):
+            FleetCell.from_identity(tampered)
+
+    def test_cells_without_topo_keep_their_pre_topo_identity(self):
+        ident = FleetCell(mode="direct", **{**FLEET_KW, "sites": ("ubc",)}
+                          ).identity()
+        assert "topo" not in ident
+
+    def test_label_distinguishes_worlds(self):
+        on_topo = FleetCell(mode="direct", topo=SMOKE, **FLEET_KW)
+        on_paper = FleetCell(mode="direct",
+                             **{**FLEET_KW, "sites": ("ubc",)})
+        assert f"@{SMOKE.content_hash()[:12]}" in on_topo.workload_label
+        assert "@" not in on_paper.workload_label
+
+
+class TestPooledSweep:
+    def test_jobs4_matches_serial_byte_for_byte(self):
+        spec = BrokerSweepSpec(sites=SITES, modes=("direct", "broker"),
+                               n_uploads_per_site=2, mean_interarrival_s=60.0,
+                               mean_size_mb=10.0, seeds=(0,),
+                               cross_traffic=False, topo=SMOKE)
+        serial = CampaignRunner(spec).run()
+        pooled = CampaignRunner(spec, pool=PoolConfig(jobs=4)).run()
+        assert [r.measurement.all_durations_s for r in serial.records] == \
+            [r.measurement.all_durations_s for r in pooled.records]
+        assert serial.errors == 0 and pooled.errors == 0
