@@ -1,0 +1,136 @@
+"""Sharded fleet at campaign scale: 10^5 uploads, O(sites) merge memory.
+
+Runs a metro-preset broker fleet — 50 sites x 2000 uploads each — through
+``repro.shard``: a 2-upload/site warmup generation publishes the merged
+directory snapshot, then the full fleet warms from it across 8 shards.
+Records to ``benchmarks/results/BENCH_shard.json``:
+
+* wall time and per-upload cost of the full generation, plus peak RSS
+  (self + pool workers) — the completes-on-this-box evidence,
+* the aggregator's final accumulator-cell count, asserted against the
+  ``sites x (modes + 1)`` O(sites) bound (never O(uploads)),
+* the shared-directory tier counters (memory/disk hits) and the fleet's
+  directory rollup: hit rate, warm-tier hit rate, probes/upload.
+
+``REPRO_BENCH_FAST=1`` shrinks the fleet to 5 sites x 40 uploads; the
+10^5-upload claim only applies to the full run.
+"""
+
+import json
+import resource
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.shard import ShardPlan, run_sharded
+from repro.topo import generate, preset_spec
+from repro.workloads import sample_sites
+
+from benchmarks.conftest import FAST, RESULTS_DIR, once
+
+pytestmark = pytest.mark.shard
+
+SEED = 7
+N_SITES = 5 if FAST else 50
+UPLOADS_PER_SITE = 40 if FAST else 2000
+N_SHARDS = 2 if FAST else 8
+JOBS = 2
+MODES = ("broker",)
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set, this process plus any reaped pool worker (KB)."""
+    return (resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            + resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+
+
+def test_shard_scale(benchmark, emit, tmp_path):
+    spec = preset_spec("metro", seed=SEED)
+    sites = tuple(sample_sites(generate(spec).populations, N_SITES,
+                               seed=SEED))
+    plan_kw = dict(sites=sites, provider="gdrive", modes=MODES,
+                   n_shards=N_SHARDS, mean_interarrival_s=5.0,
+                   mean_size_mb=1.0, size_dist="fixed", seed=SEED,
+                   cross_traffic=False, topo=spec)
+    warmup = ShardPlan(n_uploads_per_site=2, **plan_kw)
+    plan = ShardPlan(n_uploads_per_site=UPLOADS_PER_SITE, **plan_kw)
+    root = tmp_path / "fleet"
+
+    def run_generations():
+        t0 = time.perf_counter()
+        gen0 = run_sharded(warmup, root, jobs=JOBS)
+        warmup_s = time.perf_counter() - t0
+
+        registry = MetricsRegistry()
+        t0 = time.perf_counter()
+        gen1 = run_sharded(plan, root, jobs=JOBS,
+                           warm_from=warmup.merged_snapshot_name,
+                           metrics=registry)
+        fleet_s = time.perf_counter() - t0
+        return gen0, warmup_s, gen1, fleet_s, registry
+
+    gen0, warmup_s, gen1, fleet_s, registry = once(benchmark, run_generations)
+
+    # the merge's whole state is the aggregator's per-(mode, site) cells:
+    # O(sites), never O(uploads)
+    cell_bound = len(sites) * (len(MODES) + 1)
+    assert gen1.merge.aggregator_cells <= cell_bound, \
+        (gen1.merge.aggregator_cells, cell_bound)
+    assert gen1.merge.records_folded == plan.n_uploads * len(MODES)
+    assert gen1.merge.score.n_uploads == plan.n_uploads
+
+    broker = gen1.merge.rollup["broker"]
+    # the warm snapshot must actually serve lookups before its TTL runs out
+    assert broker["warm_hits"] > 0, broker
+    assert gen1.warm_entries == gen0.merge.merged_entries > 0
+
+    tier = {}
+    for s in registry.collect():
+        if s.name == "repro_shard_directory_tier_total":
+            tier["/".join(v for _k, v in s.labels)] = s.value
+
+    rss_kb = peak_rss_kb()
+    record = {
+        "preset": "metro",
+        "seed": SEED,
+        "spec_hash": spec.content_hash(),
+        "sites": len(sites),
+        "uploads_per_site": UPLOADS_PER_SITE,
+        "uploads": plan.n_uploads,
+        "modes": list(MODES),
+        "n_shards": N_SHARDS,
+        "jobs": JOBS,
+        "warmup_s": round(warmup_s, 2),
+        "wall_s": round(fleet_s, 2),
+        "ms_per_upload": round(1000.0 * fleet_s / plan.n_uploads, 3),
+        "peak_rss_mb": round(rss_kb / 1024.0, 1),
+        "aggregator_cells": gen1.merge.aggregator_cells,
+        "aggregator_cell_bound": cell_bound,
+        "records_folded": gen1.merge.records_folded,
+        "merged_entries": gen1.merge.merged_entries,
+        "warm_entries": gen1.warm_entries,
+        "directory": {
+            "hit_rate": round(broker["hit_rate"], 4),
+            "warm_tier_hit_rate": round(broker["warm_hit_rate"], 4),
+            "warm_hits": broker["warm_hits"],
+            "probes_per_upload": round(broker["probes_per_upload"], 4),
+            "evictions": broker["evictions"],
+        },
+        "service_tiers": tier,
+        "mean_transfer_s": round(gen1.merge.score.by_mode["broker"][0], 3),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_shard.json").write_text(
+        json.dumps(record, indent=1) + "\n")
+    emit("shard_scale",
+         f"shard scale [metro]: {plan.n_uploads} uploads over {len(sites)} "
+         f"sites, {N_SHARDS} shards x {JOBS} jobs\n"
+         f"warmup gen {warmup_s:.1f}s   fleet {fleet_s:.1f}s wall "
+         f"({record['ms_per_upload']:.2f} ms/upload)   "
+         f"peak RSS {record['peak_rss_mb']:.0f} MB\n"
+         f"aggregator {gen1.merge.aggregator_cells} cells "
+         f"(bound {cell_bound}) for {gen1.merge.records_folded} records\n"
+         f"directory: hit rate {broker['hit_rate']:.0%}, warm tier "
+         f"{broker['warm_hit_rate']:.1%}, "
+         f"{broker['probes_per_upload']:.3f} probes/upload")

@@ -31,11 +31,15 @@ __all__ = [
     "FileSpec",
     "FleetRunner",
     "PlanExecutor",
+    "ShardPlan",
+    "SharedDirectoryService",
     "TransferPlan",
     "World",
     "__version__",
     "build_case_study",
+    "merge_sharded",
     "run_fleet",
+    "run_sharded",
     "score_fleet",
 ]
 
@@ -56,6 +60,11 @@ def __getattr__(name):
         import repro.broker as broker
 
         return getattr(broker, name)
+    if name in ("ShardPlan", "SharedDirectoryService", "merge_sharded",
+                "run_sharded"):
+        import repro.shard as shard
+
+        return getattr(shard, name)
     if name == "FileSpec":
         from repro.transfer import FileSpec
 

@@ -14,7 +14,12 @@ See ``docs/BROKER.md`` for the architecture and the regret metrics.
 from repro.broker.admission import AdmissionController
 from repro.broker.campaign import BrokerSweepSpec, FleetCell, SweepSummary, score_sweep
 from repro.broker.config import BrokerConfig
-from repro.broker.directory import DirectoryEntry, RouteDirectory, size_class
+from repro.broker.directory import (
+    DirectoryEntry,
+    DirectorySnapshot,
+    RouteDirectory,
+    size_class,
+)
 from repro.broker.fleet import (
     FleetResult,
     FleetRunner,
@@ -32,6 +37,7 @@ __all__ = [
     "BrokerSweepSpec",
     "DetourBroker",
     "DirectoryEntry",
+    "DirectorySnapshot",
     "FleetCell",
     "FleetResult",
     "FleetRunner",

@@ -19,7 +19,9 @@ oracle (the best duration any compared policy achieved for that upload).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from itertools import zip_longest
+from typing import (Dict, Iterable, List, Mapping, Optional, Sequence, Tuple,
+                    Union)
 
 from repro.core.executor import PlanExecutor
 from repro.core.routes import DirectRoute, Route, TransferPlan
@@ -32,7 +34,7 @@ from repro.broker.config import BrokerConfig
 from repro.broker.service import DetourBroker, Recommendation
 
 __all__ = ["FleetUploadRecord", "FleetResult", "FleetRunner", "run_fleet",
-           "FleetScore", "score_fleet"]
+           "FleetScore", "parse_mode", "score_fleet"]
 
 
 @dataclass(frozen=True)
@@ -64,6 +66,8 @@ class FleetResult:
     directory_hits: int
     directory_misses: int
     admission_spills: int
+    #: lazy TTL expiries the directory observed during the run
+    directory_evictions: int = 0
 
     @property
     def durations_s(self) -> Tuple[float, ...]:
@@ -90,6 +94,7 @@ class FleetResult:
             "probes_issued": self.probes_issued,
             "directory_hits": self.directory_hits,
             "directory_misses": self.directory_misses,
+            "directory_evictions": self.directory_evictions,
             "admission_spills": self.admission_spills,
             "uploads": [
                 {
@@ -109,7 +114,7 @@ class FleetResult:
         }
 
 
-def _parse_mode(mode: str) -> Tuple[str, Optional[str]]:
+def parse_mode(mode: str) -> Tuple[str, Optional[str]]:
     """``"broker" | "direct" | "static:<route>"`` -> (kind, static route)."""
     if mode in ("broker", "direct"):
         return mode, None
@@ -120,6 +125,10 @@ def _parse_mode(mode: str) -> Tuple[str, Optional[str]]:
         return "static", descr
     raise BrokerError(
         f"unknown fleet mode {mode!r}; have: 'broker', 'direct', 'static:<route>'")
+
+
+#: Backwards-compatible private alias (pre-shard callers).
+_parse_mode = parse_mode
 
 
 class FleetRunner:
@@ -223,8 +232,9 @@ class FleetRunner:
             hits = self.broker.directory.hits
             misses = self.broker.directory.misses
             spills = self.broker.admission.spills
+            evictions = self.broker.directory.evictions
         else:
-            probes = hits = misses = spills = 0
+            probes = hits = misses = spills = evictions = 0
         return FleetResult(
             mode=self.mode,
             seed=world.seed,
@@ -233,6 +243,7 @@ class FleetRunner:
             directory_hits=hits,
             directory_misses=misses,
             admission_spills=spills,
+            directory_evictions=evictions,
         )
 
 
@@ -355,7 +366,11 @@ class FleetScore:
             regret_g.set(regret_s, mode=mode, site=site)
 
 
-def score_fleet(results: Mapping[str, FleetResult]) -> FleetScore:
+#: ``score_fleet`` accepts full results or bare per-mode record streams.
+FleetRecords = Union[FleetResult, Iterable[FleetUploadRecord]]
+
+
+def score_fleet(results: Mapping[str, FleetRecords]) -> FleetScore:
     """Score policies that ran the *same* schedule against each other.
 
     The oracle for upload *i* is the fastest duration any compared policy
@@ -363,31 +378,46 @@ def score_fleet(results: Mapping[str, FleetResult]) -> FleetScore:
     oracle.  (An oracle over policies, not over routes — contention makes
     a true per-route oracle schedule-dependent.)  The per-site rollup
     restricts both aggregates to each client site's own uploads.
+
+    Each mapping value is either a :class:`FleetResult` or any iterable
+    of :class:`FleetUploadRecord` — including a one-shot generator: the
+    scorer makes a single index-aligned pass and accumulates per-mode and
+    per-site sums as it goes, so a million-upload fleet streams through
+    in O(modes x sites) memory without the records ever being
+    materialized as a list.
     """
     if not results:
         raise BrokerError("score_fleet needs at least one result")
-    lengths = {len(r.records) for r in results.values()}
-    if len(lengths) != 1:
-        raise BrokerError(f"fleet results disagree on upload count: {lengths}")
-    n = lengths.pop()
     modes = sorted(results)
-    oracle = [min(results[m].records[i].duration_s for m in modes)
-              for i in range(n)]
-    by_mode: Dict[str, Tuple[float, float]] = {}
-    by_site: Dict[Tuple[str, str], Tuple[float, float]] = {}
-    for mode in modes:
-        records = results[mode].records
-        durations = results[mode].durations_s
-        mean_s = sum(durations) / n
-        regret_s = sum(d - o for d, o in zip(durations, oracle)) / n
-        by_mode[mode] = (mean_s, regret_s)
-        site_idx: Dict[str, List[int]] = {}
-        for i, rec in enumerate(records):
-            site_idx.setdefault(rec.client_site, []).append(i)
-        for site in sorted(site_idx):
-            idx = site_idx[site]
-            s_mean = sum(durations[i] for i in idx) / len(idx)
-            s_regret = sum(durations[i] - oracle[i] for i in idx) / len(idx)
-            by_site[(mode, site)] = (s_mean, s_regret)
-    return FleetScore(n_uploads=n, oracle_mean_s=sum(oracle) / n,
+    streams = [iter(getattr(results[m], "records", results[m]))
+               for m in modes]
+    n = 0
+    oracle_sum = 0.0
+    #: mode -> [duration sum, regret sum]; accumulated in upload order,
+    #: matching the summation order of the materialized-list scorer.
+    mode_acc: Dict[str, List[float]] = {m: [0.0, 0.0] for m in modes}
+    #: (mode, site) -> [duration sum, regret sum, uploads]
+    site_acc: Dict[Tuple[str, str], List[float]] = {}
+    for row in zip_longest(*streams, fillvalue=None):
+        if any(rec is None for rec in row):
+            raise BrokerError("fleet results disagree on upload count")
+        oracle = min(rec.duration_s for rec in row)
+        oracle_sum += oracle
+        n += 1
+        for mode, rec in zip(modes, row):
+            acc = mode_acc[mode]
+            acc[0] += rec.duration_s
+            acc[1] += rec.duration_s - oracle
+            cell = site_acc.setdefault((mode, rec.client_site),
+                                       [0.0, 0.0, 0.0])
+            cell[0] += rec.duration_s
+            cell[1] += rec.duration_s - oracle
+            cell[2] += 1.0
+    if n == 0:
+        raise BrokerError("fleet results are empty")
+    by_mode = {m: (mode_acc[m][0] / n, mode_acc[m][1] / n) for m in modes}
+    by_site = {key: (site_acc[key][0] / site_acc[key][2],
+                     site_acc[key][1] / site_acc[key][2])
+               for key in sorted(site_acc)}
+    return FleetScore(n_uploads=n, oracle_mean_s=oracle_sum / n,
                       by_mode=by_mode, by_site=by_site)

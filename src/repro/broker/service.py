@@ -30,7 +30,7 @@ from repro.sim.kernel import Process
 
 from repro.broker.admission import AdmissionController
 from repro.broker.config import BrokerConfig
-from repro.broker.directory import RouteDirectory
+from repro.broker.directory import DirectorySnapshot, RouteDirectory
 from repro.broker.scheduler import ProbeScheduler
 
 __all__ = ["Recommendation", "DetourBroker"]
@@ -58,6 +58,7 @@ class DetourBroker:
         world: World,
         pairs: Optional[Sequence[Tuple[str, str]]] = None,
         config: Optional[BrokerConfig] = None,
+        warm: Optional[DirectorySnapshot] = None,
     ):
         self.world = world
         self.config = config if config is not None else BrokerConfig()
@@ -83,6 +84,12 @@ class DetourBroker:
             min_freshness=self.config.min_freshness,
         )
         self.directory = RouteDirectory(world, self.config)
+        if warm is not None:
+            # Warm the serving tier from a shared snapshot, restricted to
+            # the pairs this broker actually serves: entries for foreign
+            # cohorts would only distort the entries gauge and
+            # invalidation counts without ever being looked up.
+            self.directory.preload(warm.restricted(self.pairs))
         self.admission = AdmissionController(world, self.config)
         self.monitors: Dict[Tuple[str, str], BottleneckMonitor] = {}
         for client, provider in self.pairs:
@@ -165,7 +172,10 @@ class DetourBroker:
         if entry is not None:
             route: Route = route_from_string(entry.route_descr)
             source = "directory"
-            staleness_s = entry.age_s(now)
+            # Clamp: a warm-preloaded entry can carry an install time
+            # ahead of this (fresh) world's clock; in-process entries are
+            # always in the past, so the clamp never changes them.
+            staleness_s = max(0.0, entry.age_s(now))
         else:
             best = self._best_from_history(ctx)
             if best is not None:

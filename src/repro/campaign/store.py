@@ -51,6 +51,7 @@ _CELL_TYPES: Dict[str, type] = {}
 #: module runs its ``register_cell_type`` call).
 _CELL_TYPE_MODULES: Dict[str, str] = {
     "broker-fleet": "repro.broker.campaign",
+    "shard-fleet": "repro.shard.plan",
 }
 
 

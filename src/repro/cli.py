@@ -12,6 +12,8 @@
     python -m repro.cli campaign export --fast --cache-dir .cells
     python -m repro.cli obs ubc gdrive --profile-trace trace.json
     python -m repro.cli bench check --record
+    python -m repro.cli shard run --root fleet/ --sites ubc,purdue --shards 4 --jobs 4
+    python -m repro.cli shard merge --root fleet/ --per-site
 """
 
 from __future__ import annotations
@@ -243,6 +245,59 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result store directory to export from")
     b.add_argument("--out", default=None, metavar="FILE",
                    help="write the export to FILE instead of stdout")
+
+    p = sub.add_parser("shard", help="run a fleet as sharded campaign cells "
+                                     "with a shared route directory")
+    hsub = p.add_subparsers(dest="shard_command", required=True)
+
+    h = hsub.add_parser("run", help="execute (or resume) a sharded fleet "
+                                    "plan under a run root, then merge")
+    _add_broker_fleet_flags(h)
+    h.add_argument("--root", required=True, metavar="DIR",
+                   help="run root: cell store, shared directory tier, and "
+                        "the plan's provenance file live under it")
+    h.add_argument("--modes", default=None, metavar="M1;M2;...",
+                   help="policies to compare, ';'-separated "
+                        "(default: direct;broker)")
+    h.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="stable-hash site partitions (default: 1)")
+    h.add_argument("--seed", type=int, default=0)
+    h.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="parallel worker processes (default: 1, in-process)")
+    h.add_argument("--timeout-s", type=float, default=None, dest="timeout_s",
+                   metavar="S", help="per-cell wall-clock budget "
+                                     "(needs --jobs > 1)")
+    h.add_argument("--retries", type=int, default=1,
+                   help="extra attempts after a worker crash/timeout "
+                        "(default: 1)")
+    h.add_argument("--warm-from", default=None, metavar="NAME",
+                   dest="warm_from",
+                   help="published directory snapshot to preload broker "
+                        "cells from (e.g. a previous run's 'merged-<key>')")
+    h.add_argument("--topo", default=None, metavar="SPEC.json",
+                   help="run the fleet on a generated world spec instead of "
+                        "the calibrated case study")
+    h.add_argument("--per-site", action="store_true", dest="per_site",
+                   help="include the per-site breakdown in the merged score")
+    h.add_argument("--metrics", default=None, metavar="FILE",
+                   help="export run metrics: '-' prints a table, any other "
+                        "path gets Prometheus exposition text")
+    h.add_argument("--progress", action="store_true",
+                   help="stream one telemetry line per cell-lifecycle event "
+                        "to stderr")
+
+    h = hsub.add_parser("status", help="how far the run under a root has "
+                                       "progressed (crash-safe, read-only)")
+    h.add_argument("--root", required=True, metavar="DIR")
+
+    h = hsub.add_parser("merge", help="fold a completed run's stored cells "
+                                      "and published reports into the fleet "
+                                      "score (works offline)")
+    h.add_argument("--root", required=True, metavar="DIR")
+    h.add_argument("--per-site", action="store_true", dest="per_site")
+    h.add_argument("--metrics", default=None, metavar="FILE",
+                   help="export merge metrics: '-' prints a table, any "
+                        "other path gets Prometheus exposition text")
 
     p = sub.add_parser("obs", help="run an instrumented compare and export "
                                    "its metrics, spans, and profile")
@@ -920,6 +975,7 @@ def _cmd_broker(args) -> int:
               f"({result.probes_per_upload:.2f}/upload), "
               f"directory hit rate {result.hit_rate:.0%} "
               f"({result.directory_hits}/{result.directory_hits + result.directory_misses}), "
+              f"evictions {result.directory_evictions}, "
               f"admission spills {result.admission_spills}")
         if registry is not None:
             from repro.obs import render_metrics_table, render_prometheus
@@ -1051,6 +1107,101 @@ def _cmd_lint(args) -> int:
     )
 
 
+def _write_cli_metrics(registry, dest: str) -> None:
+    """Shared `--metrics` epilogue: '-' prints a table, else Prometheus."""
+    from repro.obs import render_metrics_table, render_prometheus
+
+    if dest == "-":
+        print()
+        print(render_metrics_table(registry))
+    else:
+        with open(dest, "w", encoding="utf-8") as fp:
+            fp.write(render_prometheus(registry))
+        print(f"wrote Prometheus metrics to {dest}")
+
+
+def _cmd_shard(args) -> int:
+    from repro.shard import ShardPlan, merge_sharded, run_sharded, shard_status
+    from repro.shard.runner import read_run_file
+
+    if args.shard_command == "run":
+        from repro.broker import BrokerSweepSpec
+
+        registry = None
+        if args.metrics or args.progress:
+            from repro.obs import MetricsRegistry
+
+            registry = MetricsRegistry()
+        telemetry = None
+        if args.progress:
+            from repro.obs import TelemetryAggregator, render_event
+
+            def on_event(ev):
+                print(render_event(ev), file=sys.stderr)
+
+            telemetry = TelemetryAggregator(metrics=registry,
+                                            on_event=on_event)
+        plan = ShardPlan(
+            sites=_split_csv(args.sites) or BrokerSweepSpec.sites,
+            provider=args.provider,
+            modes=_split_csv(args.modes, sep=";") or ("direct", "broker"),
+            n_shards=args.shards,
+            n_uploads_per_site=args.uploads_per_site,
+            mean_interarrival_s=args.interarrival_s,
+            mean_size_mb=args.size_mb,
+            size_dist=args.size_dist,
+            seed=args.seed,
+            cross_traffic=not args.no_cross_traffic,
+            topo=_load_topo_spec(args.topo) if args.topo else None,
+        )
+        result = run_sharded(
+            plan, args.root, jobs=args.jobs, warm_from=args.warm_from,
+            timeout_s=args.timeout_s, retries=args.retries,
+            metrics=registry, telemetry=telemetry)
+        print(plan.describe())
+        if result.warm_from is not None:
+            print(f"warmed from {result.warm_from} "
+                  f"({result.warm_entries} entries)")
+        print(f"executed {result.executed}, cached {result.cached}; "
+              f"root: {args.root}")
+        print(result.merge.render(per_site=args.per_site))
+        if args.metrics:
+            _write_cli_metrics(registry, args.metrics)
+        return 0
+
+    payload = read_run_file(args.root)
+    plan = ShardPlan.from_dict(payload["plan"])
+    warm_hash = str(payload.get("warm_hash", ""))
+
+    if args.shard_command == "status":
+        status = shard_status(plan, args.root, warm_hash=warm_hash)
+        print(plan.describe())
+        print(f"cells ok {status['ok']}  error {status['error']}  "
+              f"missing {status['missing']}  (root: {args.root})")
+        print(f"site reports {status['reports_published']}"
+              f"/{status['reports_expected']}; merged snapshot "
+              f"{'published' if status['merged_published'] else 'missing'}")
+        for desc in status["missing_cells"][:10]:
+            print(f"  missing: {desc}")
+        if status["missing"] > 10:
+            print(f"  ... and {status['missing'] - 10} more")
+        return 0 if status["missing"] == 0 and status["error"] == 0 else 1
+
+    # merge
+    registry = None
+    if args.metrics:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    merge = merge_sharded(plan, args.root, warm_hash=warm_hash,
+                          metrics=registry)
+    print(plan.describe())
+    print(merge.render(per_site=args.per_site))
+    if args.metrics:
+        _write_cli_metrics(registry, args.metrics)
+    return 0
+
+
 def _load_topo_spec(path: str):
     from repro.topo import TopoSpec
 
@@ -1135,6 +1286,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "campaign": _cmd_campaign,
     "broker": _cmd_broker,
+    "shard": _cmd_shard,
     "topo": _cmd_topo,
     "lint": _cmd_lint,
 }

@@ -301,6 +301,11 @@ class PlanExecutor:
             dtn.host, provider, token, []
         )
         yield world.tcp.request_response_time_s(out_params, jitter(proto.commit_server_s))
+        # The commit round trip itself takes time: a token valid when the
+        # request went out can be expired by the time the server checks it.
+        token = yield from self.cloud_client._refresh_if_expired(
+            dtn.host, provider, token, []
+        )
         provider.oauth.validate(token.value, sim.now)
         provider.store.put(
             plan.file.name, plan.file.size_bytes, plan.file.content_digest(),

@@ -75,3 +75,7 @@ class BrokerError(ReproError):
 
 class CalibrationError(ReproError):
     """Testbed calibration targets are inconsistent or unachievable."""
+
+
+class ShardError(ReproError):
+    """Sharded fleet execution misuse (bad plan, missing shard artifacts)."""

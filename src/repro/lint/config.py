@@ -26,6 +26,7 @@ DEFAULT_LAYERS: Tuple[Tuple[str, ...], ...] = (
     ("overlay", "testbed"),
     ("campaign",),
     ("broker",),
+    ("shard",),
     ("analysis",),
     ("lint",),
     ("cli",),
@@ -65,7 +66,7 @@ class LintConfig:
 
     model_packages: FrozenSet[str] = frozenset(
         {"sim", "net", "core", "transfer", "overlay", "cloud", "broker",
-         "topo"}
+         "topo", "shard"}
     )
     #: Files (relative to the scanned root) that may construct generators
     #: directly: the RngRegistry itself derives streams there.

@@ -44,6 +44,9 @@ EVENT_KINDS: Tuple[str, ...] = (
     "cell_retried",      # a crash/timeout consumed one retry
     "cell_quarantined",  # crash/timeout budget exhausted; error record
     "cell_cached",       # answered from the result store, nothing ran
+    "shard_warmed",      # a shard run preloaded a published snapshot
+    "shard_published",   # a shard worker published a site report/snapshot
+    "shard_merged",      # a shard merge published the fleet's directory
 )
 
 

@@ -1,0 +1,41 @@
+"""repro.shard — sharded fleet execution with a shared route directory.
+
+Million-upload fleets don't fit one process, so this layer splits a
+fleet plan into shard cells (stable-hash site partition, independent of
+job count), executes them through the :mod:`repro.campaign` pool with
+content-addressed resume, exchanges route recommendations between
+workers via published :class:`~repro.broker.directory.DirectorySnapshot`
+documents behind a two-tier :class:`SharedDirectoryService` cache, and
+streams everything back together with a :class:`FleetAggregator` in
+O(sites) memory.  The merged score is byte-identical for any shard
+count — see ``docs/SHARDING.md`` for the determinism contract.
+"""
+
+from repro.shard.aggregate import FleetAggregator
+from repro.shard.plan import ShardCell, ShardPlan
+from repro.shard.runner import (
+    ShardMergeResult,
+    ShardRunResult,
+    merge_sharded,
+    run_sharded,
+    shard_status,
+)
+from repro.shard.service import (
+    DirectoryFileTier,
+    SharedDirectoryService,
+    SiteReport,
+)
+
+__all__ = [
+    "DirectoryFileTier",
+    "FleetAggregator",
+    "ShardCell",
+    "ShardMergeResult",
+    "ShardPlan",
+    "ShardRunResult",
+    "SharedDirectoryService",
+    "SiteReport",
+    "merge_sharded",
+    "run_sharded",
+    "shard_status",
+]

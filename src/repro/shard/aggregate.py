@@ -1,0 +1,185 @@
+"""Streaming fleet aggregation: fold shard outputs in O(sites) memory.
+
+``merge_sharded`` never holds a fleet's upload records in memory — it
+slices each shard cell's stored measurement back into per-site duration
+streams and folds them through a :class:`FleetAggregator`, one site at a
+time.  The aggregator keeps exactly ``sites x (modes + 1)`` accumulator
+cells (one ``[sum, regret, n]`` triple per (mode, site), one oracle
+``[sum, n]`` pair per site) plus an O(modes) rollup of report counters —
+so a million-upload fleet merges in the memory footprint of its site
+list, which the scale benchmark asserts.
+
+Determinism: :meth:`FleetAggregator.score` reduces the per-site cells in
+the *caller's* site order (the plan order), and every upload's numbers
+entered its site's cells in schedule order — so the merged
+:class:`~repro.broker.fleet.FleetScore` is a pure function of the plan,
+independent of shard count, job count, and fold arrival order.
+"""
+
+from __future__ import annotations
+
+from itertools import zip_longest
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.broker.fleet import FleetScore
+from repro.errors import ShardError
+
+from repro.shard.service import SiteReport
+
+__all__ = ["FleetAggregator"]
+
+#: The per-mode counters a rollup aggregates from site reports.
+_REPORT_FIELDS = ("n_uploads", "probes_issued", "directory_hits",
+                  "directory_misses", "directory_evictions",
+                  "directory_warm_hits", "invalidations", "admission_spills")
+
+
+class FleetAggregator:
+    """Fold per-site duration streams and reports into fleet aggregates."""
+
+    def __init__(self, modes: Sequence[str]):
+        if not modes:
+            raise ShardError("aggregator needs at least one mode")
+        if len(set(modes)) != len(modes):
+            raise ShardError(f"aggregator modes repeat: {list(modes)}")
+        self.modes: Tuple[str, ...] = tuple(modes)
+        #: (mode, site) -> [duration sum, regret sum, uploads]
+        self._cells: Dict[Tuple[str, str], List[float]] = {}
+        #: site -> [oracle duration sum, uploads]
+        self._oracle: Dict[str, List[float]] = {}
+        #: mode -> summed report counters
+        self._rollup: Dict[str, Dict[str, int]] = {
+            m: {f: 0 for f in _REPORT_FIELDS} for m in self.modes}
+        self._records = 0
+
+    # -- introspection (the benchmark asserts on these) --------------------
+
+    @property
+    def sites_folded(self) -> int:
+        return len(self._oracle)
+
+    @property
+    def records_folded(self) -> int:
+        """Upload records consumed so far (across all modes)."""
+        return self._records
+
+    @property
+    def state_cells(self) -> int:
+        """Live accumulator cells — the aggregator's whole O(sites) state."""
+        return len(self._cells) + len(self._oracle)
+
+    # -- folding ------------------------------------------------------------
+
+    def fold_site(self, site: str,
+                  durations: Mapping[str, Iterable[float]]) -> int:
+        """Consume one site's per-mode duration streams; returns uploads.
+
+        *durations* maps every plan mode to that site's realized upload
+        durations in schedule order (any iterable — including a one-shot
+        generator; streams are consumed in lockstep, never materialized).
+        The per-upload oracle is the fastest duration any mode realized,
+        exactly as :func:`~repro.broker.fleet.score_fleet` defines it.
+        """
+        if site in self._oracle:
+            raise ShardError(f"site {site!r} folded twice")
+        missing = [m for m in self.modes if m not in durations]
+        extra = sorted(set(durations) - set(self.modes))
+        if missing or extra:
+            raise ShardError(
+                f"site {site!r} duration streams do not match the plan "
+                f"modes (missing {missing}, unexpected {extra})")
+        streams = [iter(durations[m]) for m in self.modes]
+        cells = [self._cells.setdefault((m, site), [0.0, 0.0, 0.0])
+                 for m in self.modes]
+        oracle_cell = self._oracle.setdefault(site, [0.0, 0.0])
+        n = 0
+        for row in zip_longest(*streams, fillvalue=None):
+            if any(d is None for d in row):
+                raise ShardError(
+                    f"site {site!r} duration streams disagree on upload count")
+            oracle = min(row)
+            oracle_cell[0] += oracle
+            oracle_cell[1] += 1.0
+            n += 1
+            for cell, duration in zip(cells, row):
+                cell[0] += duration
+                cell[1] += duration - oracle
+                cell[2] += 1.0
+        if n == 0:
+            raise ShardError(f"site {site!r} duration streams are empty")
+        self._records += n * len(self.modes)
+        return n
+
+    def fold_report(self, report: SiteReport) -> None:
+        """Accumulate one site report's counters into the mode rollup."""
+        if report.mode not in self._rollup:
+            raise ShardError(
+                f"report for site {report.site!r} carries mode "
+                f"{report.mode!r}, not one of {list(self.modes)}")
+        bucket = self._rollup[report.mode]
+        for field in _REPORT_FIELDS:
+            bucket[field] += int(getattr(report, field))
+
+    # -- reduction -----------------------------------------------------------
+
+    def score(self, sites: Sequence[str]) -> FleetScore:
+        """Reduce the folded cells, summing in the given (plan) site order.
+
+        *sites* must be exactly the folded sites; the explicit order is
+        what makes the reduction independent of fold arrival order.
+        """
+        unfolded = [s for s in sites if s not in self._oracle]
+        surplus = sorted(set(self._oracle) - set(sites))
+        if unfolded or surplus:
+            raise ShardError(
+                f"cannot score: sites never folded {unfolded}, folded but "
+                f"not requested {surplus}")
+        oracle_sum = 0.0
+        n = 0
+        mode_sums: Dict[str, List[float]] = {m: [0.0, 0.0] for m in self.modes}
+        by_site: Dict[Tuple[str, str], Tuple[float, float]] = {}
+        for site in sites:
+            o_sum, o_n = self._oracle[site]
+            oracle_sum += o_sum
+            n += int(o_n)
+            for mode in self.modes:
+                dur_sum, regret_sum, cell_n = self._cells[(mode, site)]
+                mode_sums[mode][0] += dur_sum
+                mode_sums[mode][1] += regret_sum
+                by_site[(mode, site)] = (dur_sum / cell_n,
+                                         regret_sum / cell_n)
+        if n == 0:
+            raise ShardError("cannot score an empty aggregator")
+        by_mode = {m: (mode_sums[m][0] / n, mode_sums[m][1] / n)
+                   for m in sorted(self.modes)}
+        return FleetScore(
+            n_uploads=n,
+            oracle_mean_s=oracle_sum / n,
+            by_mode=by_mode,
+            by_site={k: by_site[k] for k in sorted(by_site)},
+        )
+
+    def rollup(self) -> Dict[str, Dict[str, float]]:
+        """Per-mode directory/probe aggregates from the folded reports."""
+        out: Dict[str, Dict[str, float]] = {}
+        for mode in self.modes:
+            bucket = self._rollup[mode]
+            uploads = bucket["n_uploads"]
+            looked = bucket["directory_hits"] + bucket["directory_misses"]
+            out[mode] = {
+                "uploads": float(uploads),
+                "probes_issued": float(bucket["probes_issued"]),
+                "probes_per_upload": (bucket["probes_issued"] / uploads
+                                      if uploads else 0.0),
+                "directory_hits": float(bucket["directory_hits"]),
+                "directory_misses": float(bucket["directory_misses"]),
+                "hit_rate": (bucket["directory_hits"] / looked
+                             if looked else 0.0),
+                "warm_hits": float(bucket["directory_warm_hits"]),
+                "warm_hit_rate": (bucket["directory_warm_hits"] / looked
+                                  if looked else 0.0),
+                "evictions": float(bucket["directory_evictions"]),
+                "invalidations": float(bucket["invalidations"]),
+                "admission_spills": float(bucket["admission_spills"]),
+            }
+        return out

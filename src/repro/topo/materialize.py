@@ -27,6 +27,7 @@ The calibrated case study flows through the same two functions (see
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.cloud.dropbox import make_dropbox_protocol
@@ -164,12 +165,38 @@ def _compute_routes(graph: TopoGraph,
     return paths
 
 
+#: In-process memo for :func:`compile_spec`: (content hash, routes flag)
+#: -> compiled topology.  A sharded fleet materializes one world per
+#: site unit from the same spec; compiled topologies are read-only after
+#: compilation, so units in the same process can share one instance and
+#: skip recompilation.  Only dirless compiles are memoized: with a
+#: ``cache_dir`` the on-disk ``routes-*.npz`` is the fast path and must
+#: stay authoritative (it is written, validated, and self-healed on
+#: every call).  Small and bounded — campaigns rarely juggle more than
+#: a couple of worlds at once.
+_COMPILE_MEMO: "OrderedDict[Tuple[str, bool], CompiledTopology]" = OrderedDict()
+_COMPILE_MEMO_MAX = 8
+
+
 def compile_spec(spec: TopoSpec,
                  cache_dir: Optional[str] = None,
                  routes: bool = True,
                  instrumentation: Optional[TopoInstrumentation] = None,
                  ) -> CompiledTopology:
-    """Spec → compiled arrays (+ precompiled routes, cached on disk)."""
+    """Spec → compiled arrays (+ precompiled routes, cached on disk).
+
+    Repeat dirless calls for the same spec in one process are served
+    from an in-process memo (skipped when *instrumentation* is given, so
+    an instrumented compile always records its real phases, and when a
+    *cache_dir* is given, so the disk artifact stays authoritative).
+    """
+    memo_key = (spec.content_hash(), routes)
+    use_memo = instrumentation is None and cache_dir is None
+    if use_memo:
+        hit = _COMPILE_MEMO.get(memo_key)
+        if hit is not None:
+            _COMPILE_MEMO.move_to_end(memo_key)
+            return hit
     obs = instrumentation if instrumentation is not None else TopoInstrumentation()
     with obs.phase("generate"):
         graph = generate(spec)
@@ -193,6 +220,11 @@ def compile_spec(spec: TopoSpec,
                             compiled.arrays["route_node"])
     obs.record_shape(compiled.n_sites, compiled.n_nodes, compiled.n_links,
                      compiled.n_routes)
+    if use_memo:
+        _COMPILE_MEMO[memo_key] = compiled
+        _COMPILE_MEMO.move_to_end(memo_key)
+        while len(_COMPILE_MEMO) > _COMPILE_MEMO_MAX:
+            _COMPILE_MEMO.popitem(last=False)
     return compiled
 
 

@@ -243,6 +243,11 @@ class CloudClient:
             )
             events.append((self.sim.now, proto.commit_request_name))
 
+            # The commit request itself takes time, so a token that was
+            # valid when it was sent can be expired by the time the server
+            # checks it — re-check at validation time (the 401-retry a
+            # real SDK would absorb).
+            token = yield from self._refresh_if_expired(src, provider, token, events)
             provider.oauth.validate(token.value, self.sim.now)
             provider.store.put(
                 remote_path or spec.name,

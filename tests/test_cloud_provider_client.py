@@ -141,6 +141,64 @@ class TestUpload:
         assert p.result.throughput_bps < mbps(50)  # below the bottleneck
 
 
+class TestTokenExpiry:
+    def _run(self, mini_world, lifetime_s):
+        """One 10 MB upload against a provider with the given token lifetime.
+
+        Returns (process, events) — fresh sim per call, same seed, so two
+        runs are time-identical up to the first point their token state
+        diverges.
+        """
+        topo, asg, policy, router = mini_world
+        sim = Simulator()
+        engine = NetworkEngine(sim, topo)
+        dns = DnsResolver(topo)
+        provider = CloudProvider(
+            "gdrive", "Google Drive", "api", "auth", ["server"],
+            make_gdrive_protocol(), token_lifetime_s=lifetime_s,
+        )
+        provider.register_in_dns(dns)
+        client = CloudClient(sim, engine, router, dns, rng=np.random.default_rng(3))
+        p = sim.process(client.upload("hostB", provider, FileSpec("f", int(mb(10)))))
+        sim.run()
+        return p, provider
+
+    def test_token_expiring_during_commit_is_refreshed(self, mini_world):
+        # Probe run: long-lived token, record when it was issued, when the
+        # pre-commit validity check runs (last chunk done) and when the
+        # server validates it (commit response).
+        probe, _ = self._run(mini_world, 3600.0)
+        events = probe.result.events
+        t_issue = events[0][0]
+        t_check = events[-2][0]   # last chunk: pre-commit refresh check
+        t_commit = events[-1][0]  # commit response: server-side validate
+        assert t_check < t_commit
+
+        # A lifetime ending inside the commit window: valid at the
+        # pre-commit check, expired by the time the server validates.
+        # Before the post-commit re-check this raised
+        # AuthError("access token expired") out of the upload coroutine.
+        lifetime = (t_check - t_issue + t_commit - t_issue) / 2.0
+        p, provider = self._run(mini_world, lifetime)
+        assert p.error is None
+        assert provider.store.exists("f")
+        fetches = [t for t, name in p.result.events if name == "POST /oauth2/token"]
+        assert len(fetches) == 2          # initial fetch + commit-time refresh
+        assert fetches[1] >= t_commit     # the refresh happened at validation
+
+    def test_token_expiring_before_commit_is_refreshed(self, mini_world):
+        # The pre-existing proactive path: expiry before the commit is even
+        # sent still completes via the pre-commit refresh.
+        probe, _ = self._run(mini_world, 3600.0)
+        events = probe.result.events
+        t_issue = events[0][0]
+        lifetime = (events[-2][0] - t_issue) / 2.0
+        assert lifetime > 0
+        p, provider = self._run(mini_world, lifetime)
+        assert p.error is None
+        assert provider.store.exists("f")
+
+
 class TestDownload:
     def test_download_roundtrip(self, cloud_world):
         sim, engine, router, dns, provider, client = cloud_world

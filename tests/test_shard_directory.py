@@ -1,0 +1,255 @@
+"""Shared directory service: snapshots, file tier, two-tier cache."""
+
+import json
+
+import pytest
+
+from repro.broker import BrokerConfig, DirectorySnapshot, RouteDirectory
+from repro.broker.directory import DirectoryEntry
+from repro.errors import ShardError
+from repro.obs.metrics import MetricsRegistry
+from repro.shard import DirectoryFileTier, SharedDirectoryService, SiteReport
+from repro.testbed import build_case_study
+from repro.units import mb
+
+pytestmark = pytest.mark.shard
+
+
+def entry(site="ubc", provider="gdrive", cls="le8MB", route="via ualberta",
+          installed=10.0, expires=510.0, source="probe"):
+    return DirectoryEntry(site, provider, cls, route, installed, expires, source)
+
+
+@pytest.fixture
+def world():
+    return build_case_study(seed=0, cross_traffic=False)
+
+
+class TestDirectorySnapshot:
+    def test_round_trips_through_canonical_dict(self):
+        snap = DirectorySnapshot((entry(), entry(site="purdue", route="direct")))
+        again = DirectorySnapshot.from_dict(snap.to_dict())
+        assert again == snap
+        assert again.content_hash() == snap.content_hash()
+
+    def test_rejects_unknown_version(self):
+        from repro.errors import BrokerError
+
+        with pytest.raises(BrokerError, match="version"):
+            DirectorySnapshot.from_dict({"version": 99, "entries": []})
+
+    def test_restricted_keeps_only_served_pairs(self):
+        snap = DirectorySnapshot((entry(), entry(site="purdue")))
+        only = snap.restricted([("ubc", "gdrive")])
+        assert [e.client_site for e in only.entries] == ["ubc"]
+
+    def test_merged_is_freshest_wins_per_cohort(self):
+        older = DirectorySnapshot((entry(installed=10.0, route="via ualberta"),))
+        newer = DirectorySnapshot((entry(installed=20.0, route="via umich"),))
+        merged = DirectorySnapshot.merged([newer, older])
+        assert [e.route_descr for e in merged.entries] == ["via umich"]
+        # tie on installed_s: the later snapshot in the fold order wins
+        tied = DirectorySnapshot((entry(installed=20.0, route="direct"),))
+        assert DirectorySnapshot.merged([newer, tied]).entries[0].route_descr \
+            == "direct"
+
+    def test_merged_unions_distinct_cohorts(self):
+        a = DirectorySnapshot((entry(),))
+        b = DirectorySnapshot((entry(site="purdue"), entry(cls="gt64MB")))
+        merged = DirectorySnapshot.merged([a, b])
+        assert len(merged) == 3
+        assert merged.max_expires_s == 510.0
+
+
+class TestRouteDirectorySnapshotting:
+    def test_snapshot_preload_round_trip(self, world):
+        directory = RouteDirectory(world, BrokerConfig(ttl_s=500.0))
+        directory.install("ubc", "gdrive", int(mb(4)), "via ualberta",
+                          source="probe")
+        snap = directory.snapshot()
+        assert len(snap) == 1
+
+        sibling = RouteDirectory(build_case_study(seed=1, cross_traffic=False),
+                                 BrokerConfig(ttl_s=500.0))
+        loaded, stale = sibling.preload(snap)
+        assert (loaded, stale) == (1, 0)
+        hit = sibling.lookup("ubc", "gdrive", int(mb(4)))
+        assert hit is not None and hit.route_descr == "via ualberta"
+        assert sibling.warm_hits == 1
+
+    def test_preload_skips_entries_already_expired(self, world):
+        directory = RouteDirectory(world, BrokerConfig(ttl_s=50.0))
+        directory.install("ubc", "gdrive", int(mb(4)), "via ualberta",
+                          source="probe")
+        snap = directory.snapshot()
+        world.sim.run(100.0)  # past the snapshot's expiry
+        fresh = RouteDirectory(world, BrokerConfig(ttl_s=50.0))
+        assert fresh.preload(snap) == (0, 1)
+        assert len(fresh) == 0
+
+    def test_lazy_expiry_counts_an_eviction(self):
+        world = build_case_study(seed=0, cross_traffic=False, metrics=True)
+        directory = RouteDirectory(world, BrokerConfig(ttl_s=50.0))
+        directory.install("ubc", "gdrive", int(mb(4)), "via ualberta",
+                          source="probe")
+        world.sim.run(51.0)
+        assert directory.lookup("ubc", "gdrive", int(mb(4))) is None
+        assert directory.evictions == 1
+        samples = {(s.name, s.labels): s.value
+                   for s in world.metrics.collect()}
+        assert samples[("repro_broker_directory_evictions_total",
+                        (("client", "ubc"), ("provider", "gdrive")))] == 1.0
+
+    def test_eviction_series_exists_before_any_eviction(self):
+        world = build_case_study(seed=0, cross_traffic=False, metrics=True)
+        RouteDirectory(world, BrokerConfig())
+        names = {s.name: s.value for s in world.metrics.collect()}
+        assert names["repro_broker_directory_evictions_total"] == 0.0
+
+
+class TestDirectoryFileTier:
+    def test_publish_fetch_names(self, tmp_path):
+        tier = DirectoryFileTier(tmp_path / "dir")
+        tier.publish("alpha", {"x": 1})
+        tier.publish("beta", {"y": 2})
+        assert tier.fetch("alpha") == {"x": 1}
+        assert tier.fetch("missing") is None
+        assert tier.names() == ["alpha", "beta"]
+        assert "alpha" in tier and "missing" not in tier
+        assert len(tier) == 2
+
+    def test_publish_is_atomic_replace(self, tmp_path):
+        tier = DirectoryFileTier(tmp_path)
+        tier.publish("doc", {"v": 1})
+        tier.publish("doc", {"v": 2})
+        assert tier.fetch("doc") == {"v": 2}
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+    def test_rejects_path_escaping_names(self, tmp_path):
+        tier = DirectoryFileTier(tmp_path)
+        for bad in ("../escape", "a/b", ".hidden", ""):
+            with pytest.raises(ShardError, match="invalid"):
+                tier.publish(bad, {})
+
+    def test_corrupt_document_is_an_error_not_none(self, tmp_path):
+        tier = DirectoryFileTier(tmp_path)
+        path = tier.publish("doc", {"v": 1})
+        path.write_text("{torn", encoding="utf-8")
+        with pytest.raises(ShardError, match="corrupt"):
+            tier.fetch("doc")
+
+
+class TestSiteReport:
+    def _report(self, snapshot=None):
+        return SiteReport(site="ubc", mode="broker", seed=3, warm_hash="abc",
+                          n_uploads=20, probes_issued=6, directory_hits=10,
+                          directory_misses=10, directory_evictions=1,
+                          directory_warm_hits=4, invalidations=0,
+                          admission_spills=2, snapshot=snapshot)
+
+    def test_round_trips_with_snapshot(self):
+        report = self._report(DirectorySnapshot((entry(),)))
+        assert SiteReport.from_dict(report.to_dict()) == report
+
+    def test_round_trips_json_via_file_tier(self, tmp_path):
+        tier = DirectoryFileTier(tmp_path)
+        report = self._report()
+        tier.publish("site-abc", report.to_dict())
+        payload = json.loads(tier.path_for("site-abc").read_text())
+        assert SiteReport.from_dict(payload) == report
+
+    def test_rejects_unknown_version(self):
+        payload = self._report().to_dict()
+        payload["version"] = 99
+        with pytest.raises(ShardError, match="version"):
+            SiteReport.from_dict(payload)
+
+
+class TestSharedDirectoryService:
+    def test_fetch_prefers_memory_then_disk(self, tmp_path):
+        service = SharedDirectoryService(tmp_path)
+        snap = DirectorySnapshot((entry(),))
+        service.publish_snapshot("gen0", snap)
+        assert service.fetch_snapshot("gen0") == snap
+        assert service.memory_hits == 1 and service.disk_hits == 0
+
+        # a fresh service (new process) starts cold: memory miss, disk
+        # hit, then the backfilled snapshot serves from memory
+        cold = SharedDirectoryService(tmp_path)
+        assert cold.fetch_snapshot("gen0") == snap
+        assert (cold.memory_misses, cold.disk_hits) == (1, 1)
+        assert cold.fetch_snapshot("gen0") == snap
+        assert cold.memory_hits == 1
+
+    def test_unknown_name_is_a_double_miss(self, tmp_path):
+        service = SharedDirectoryService(tmp_path)
+        assert service.fetch_snapshot("nope") is None
+        assert (service.memory_misses, service.disk_misses) == (1, 1)
+
+    def test_publish_returns_content_hash_and_writes_through(self, tmp_path):
+        service = SharedDirectoryService(tmp_path)
+        snap = DirectorySnapshot((entry(),))
+        assert service.publish_snapshot("gen0", snap) == snap.content_hash()
+        assert "gen0" in service.tier
+        assert service.publishes == 1
+
+    def test_memory_tier_evicts_lru(self, tmp_path):
+        service = SharedDirectoryService(tmp_path, max_memory_snapshots=2)
+        snaps = {f"g{i}": DirectorySnapshot((entry(installed=float(i)),))
+                 for i in range(3)}
+        for name in ("g0", "g1"):
+            service.publish_snapshot(name, snaps[name])
+        service.fetch_snapshot("g0")  # g1 becomes the LRU victim
+        service.publish_snapshot("g2", snaps["g2"])
+        assert service.evictions == 1
+        assert len(service) == 2
+        service.fetch_snapshot("g1")  # evicted from memory, still on disk
+        assert (service.memory_misses, service.disk_hits) == (1, 1)
+
+    def test_fully_stale_snapshot_is_withheld(self, tmp_path):
+        service = SharedDirectoryService(tmp_path)
+        service.publish_snapshot(
+            "gen0", DirectorySnapshot((entry(expires=100.0),)))
+        assert service.fetch_snapshot("gen0", now_s=50.0) is not None
+        assert service.fetch_snapshot("gen0", now_s=100.0) is None
+        assert service.stale == 1
+        # the empty snapshot is never "stale" — there is nothing to expire
+        service.publish_snapshot("empty", DirectorySnapshot())
+        assert service.fetch_snapshot("empty", now_s=1e9) == DirectorySnapshot()
+
+    def test_counters_dict_and_metrics_series(self, tmp_path):
+        registry = MetricsRegistry()
+        service = SharedDirectoryService(tmp_path, max_memory_snapshots=1,
+                                         metrics=registry)
+        service.publish_snapshot("a", DirectorySnapshot((entry(),)))
+        service.publish_snapshot("b", DirectorySnapshot((entry(site="x"),)))
+        service.fetch_snapshot("a")
+        service.fetch_snapshot("nope")
+        counters = service.counters()
+        # two evictions: publishing "b" evicts "a", and the disk-hit
+        # backfill of "a" then evicts "b"
+        assert counters == {
+            "memory_hits": 0, "memory_misses": 2, "disk_hits": 1,
+            "disk_misses": 1, "evictions": 2, "stale": 0, "publishes": 2}
+        series = {(s.name, s.labels): s.value for s in registry.collect()}
+        assert series[("repro_shard_directory_tier_total",
+                       (("outcome", "hit"), ("tier", "disk")))] == 1.0
+        assert series[("repro_shard_directory_tier_total",
+                       (("outcome", "miss"), ("tier", "memory")))] == 2.0
+        assert series[("repro_shard_directory_evictions_total", ())] == 2.0
+        assert series[("repro_shard_directory_publishes_total", ())] == 2.0
+
+    def test_reports_ride_the_durable_tier(self, tmp_path):
+        service = SharedDirectoryService(tmp_path)
+        report = SiteReport(site="ubc", mode="direct", seed=0, warm_hash="",
+                            n_uploads=2, probes_issued=0, directory_hits=0,
+                            directory_misses=0, directory_evictions=0,
+                            directory_warm_hits=0, invalidations=0,
+                            admission_spills=0)
+        service.publish_report("site-x", report)
+        assert service.fetch_report("site-x") == report
+        assert service.fetch_report("site-y") is None
+
+    def test_rejects_nonpositive_capacity(self, tmp_path):
+        with pytest.raises(ShardError, match="max_memory_snapshots"):
+            SharedDirectoryService(tmp_path, max_memory_snapshots=0)
