@@ -22,12 +22,12 @@ from __future__ import annotations
 
 import importlib
 import json
-import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.campaign.spec import CampaignCell
+from repro.core.atomic import atomic_write_json
 from repro.errors import CampaignError
 from repro.measure.harness import Measurement
 from repro.measure.stats import summarize
@@ -200,15 +200,8 @@ class ResultStore:
 
     def put(self, rec: CellRecord) -> Path:
         """Atomically persist one record; returns its path."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(rec.cell)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(
-            json.dumps(record_to_dict(rec), sort_keys=True, indent=1) + "\n",
-            encoding="utf-8",
-        )
-        os.replace(tmp, path)
-        return path
+        return atomic_write_json(self.path_for(rec.cell), record_to_dict(rec),
+                                 sort_keys=True, indent=1, mkdir=True)
 
     def discard(self, cell: CampaignCell) -> bool:
         """Drop one cell's record (e.g. to force recomputation)."""

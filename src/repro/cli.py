@@ -432,11 +432,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--focus", default=None, metavar="PREFIX",
                    help="with 'graph --dot': keep only edges touching "
                         "functions under this dotted-name prefix")
+    p.add_argument("--changed", action="store_true",
+                   help="lint only files changed vs git HEAD (plus "
+                        "untracked); with --graph the whole program is "
+                        "still analyzed (cache-warm) but findings are "
+                        "reported for changed files only")
     p.add_argument("--fix", action="store_true",
                    help="auto-repair fixable findings (SL104 sorted-"
                         "iteration, SL201 units constants, SL802 hot-loop "
-                        "hoists) with token-preserving rewrites, printing "
-                        "unified diffs")
+                        "hoists, SL1002 atomic-write protocol) with token-"
+                        "preserving rewrites, printing unified diffs")
     p.add_argument("--fix-mode", choices=["rewrite", "suppress"],
                    default="rewrite", dest="fix_mode",
                    help="rewrite: repair the code; suppress: insert inline "
@@ -1104,6 +1109,7 @@ def _cmd_lint(args) -> int:
         fix=args.fix,
         fix_mode=args.fix_mode,
         dry_run=args.dry_run,
+        changed=args.changed,
     )
 
 

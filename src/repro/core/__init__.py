@@ -13,6 +13,12 @@ bottleneck monitoring with mid-transfer rerouting
 (:mod:`repro.core.monitor`).
 """
 
+from repro.core.atomic import (
+    atomic_write,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
 from repro.core.executor import LegResult, PlanExecutor, PlanResult
 from repro.core.monitor import BottleneckMonitor, MonitoredResult, MonitoredUpload, SegmentRecord
 from repro.core.multipath import MultipathResult, MultipathUpload, PartResult
@@ -29,6 +35,10 @@ from repro.core.world import World
 
 __all__ = [
     "BottleneckMonitor",
+    "atomic_write",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
     "DetourPlanner",
     "DetourRoute",
     "DirectRoute",

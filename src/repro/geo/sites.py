@@ -116,5 +116,5 @@ def register_site(new_site: Site) -> Site:
         raise ValueError(
             f"site {new_site.name!r} already registered with a different definition"
         )
-    SITES[new_site.name] = new_site
+    SITES[new_site.name] = new_site  # simlint: ignore[SL1001] -- idempotent registry: guarded above, same content in every process
     return new_site

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Collection, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core.atomic import atomic_write_json
 from repro.lint.findings import Finding
 
 __all__ = ["Baseline", "BaselineEntry", "BASELINE_VERSION"]
@@ -73,7 +74,7 @@ class Baseline:
                 for e in sorted(self.entries, key=BaselineEntry.key)
             ],
         }
-        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        atomic_write_json(path, payload, sort_keys=False, indent=2)
 
     # -- filtering -------------------------------------------------------
 

@@ -8,7 +8,7 @@ from typing import FrozenSet, List, Mapping, Optional, Tuple
 from repro.lint.findings import Severity
 
 __all__ = ["LintConfig", "DEFAULT_CONFIG", "DEFAULT_LAYERS",
-           "DEFAULT_HOT_ENTRYPOINTS"]
+           "DEFAULT_HOT_ENTRYPOINTS", "DEFAULT_WORKER_ENTRYPOINTS"]
 
 #: The architecture layer DAG, lowest layer first.  Packages in the same
 #: inner tuple may import each other; a package may import any package
@@ -47,6 +47,17 @@ DEFAULT_HOT_ENTRYPOINTS: Tuple[str, ...] = (
     "net.tcp.slow_start_penalty_s",
     "net.policer.TokenBucket.consume",
     "net.policer.TokenBucket.peek_delay",
+)
+
+#: Cross-process worker entrypoints for the SL10xx concurrency-safety
+#: rules: everything reachable from these runs inside a pool child or a
+#: shard worker, where mutated module/class state silently diverges from
+#: the serial run.  Same dotted-path-relative-to-root format as
+#: ``DEFAULT_HOT_ENTRYPOINTS``.
+DEFAULT_WORKER_ENTRYPOINTS: Tuple[str, ...] = (
+    "campaign.worker.child_main",
+    "campaign.worker.run_cell_payload",
+    "shard.plan.ShardCell.run_measurement",
 )
 
 
@@ -98,6 +109,12 @@ class LintConfig:
         default_factory=lambda: {"lint": frozenset({"cli"})})
     #: Call-graph roots of the kernel-hot set for SL8xx.
     hot_entrypoints: Tuple[str, ...] = DEFAULT_HOT_ENTRYPOINTS
+    #: Call-graph roots of the cross-process worker set for SL10xx.
+    worker_entrypoints: Tuple[str, ...] = DEFAULT_WORKER_ENTRYPOINTS
+    #: Files (relative to the scanned root) implementing the sanctioned
+    #: atomic-rename write protocol — the only places SL1002 permits raw
+    #: durable writes and hand-rolled ``os.replace`` publishing.
+    atomic_write_files: FrozenSet[str] = frozenset({"core/atomic.py"})
 
     def with_disabled(self, *rule_ids: str) -> "LintConfig":
         return replace(self, disabled_rules=self.disabled_rules | frozenset(rule_ids))
@@ -137,16 +154,23 @@ class LintConfig:
                             f"restricted_imports allows unknown package "
                             f"{importer!r} to import {target!r} (not in "
                             f"the layer DAG)")
-        for entry in self.hot_entrypoints:
-            parts = entry.split(".")
-            if len(parts) < 2 or not all(parts):
+        for label, entries in (("hot", self.hot_entrypoints),
+                               ("worker", self.worker_entrypoints)):
+            for entry in entries:
+                parts = entry.split(".")
+                if len(parts) < 2 or not all(parts):
+                    errors.append(
+                        f"{label} entrypoint {entry!r} must be a dotted path "
+                        f"(package.module.function)")
+                elif self.layers and parts[0] not in seen:
+                    errors.append(
+                        f"{label} entrypoint {entry!r} names unknown package "
+                        f"{parts[0]!r} (not in the layer DAG)")
+        for rel in sorted(self.atomic_write_files):
+            if not rel.endswith(".py") or rel.startswith("/") or "\\" in rel:
                 errors.append(
-                    f"hot entrypoint {entry!r} must be a dotted path "
-                    f"(package.module.function)")
-            elif self.layers and parts[0] not in seen:
-                errors.append(
-                    f"hot entrypoint {entry!r} names unknown package "
-                    f"{parts[0]!r} (not in the layer DAG)")
+                    f"atomic_write_files entry {rel!r} must be a relative "
+                    f"posix path to a python file (e.g. 'core/atomic.py')")
         return errors
 
 

@@ -17,6 +17,12 @@ The fixable per-rule semantics:
 * **SL802** — hoist a repeatedly resolved attribute chain into a local
   bound immediately before the hot loop, then rewrite every load of the
   chain inside the loop to use the local.
+* **SL1002** — rewrite a non-atomic ``path.write_text(...)`` /
+  ``path.write_bytes(...)`` into the sanctioned
+  ``atomic_write_text(path, ...)`` / ``atomic_write_bytes(path, ...)``
+  from :mod:`repro.core.atomic`, importing the helper if needed.
+  Hand-rolled tmp+rename protocols are *not* rewritten — removing the
+  surrounding ``os.replace`` scaffolding safely needs a human.
 
 A rewriter returns ``None`` when it cannot prove the edit is safe (the
 node moved, the hoist name would collide); the engine then reports the
@@ -37,7 +43,7 @@ __all__ = ["FIXABLE_RULES", "Edit", "apply_edits", "plan_edits",
            "suppression_edits"]
 
 #: Rules ``--fix-mode=rewrite`` knows how to repair.
-FIXABLE_RULES = ("SL104", "SL201", "SL802")
+FIXABLE_RULES = ("SL104", "SL201", "SL802", "SL1002")
 
 #: (line, col, end_line, end_col, replacement) — a zero-width span
 #: (line == end_line, col == end_col) is a pure insertion.
@@ -267,6 +273,53 @@ def _fix_hoist_chain(tree: ast.Module, source: str,
     return edits
 
 
+# -- SL1002: non-atomic write_text/write_bytes -> repro.core.atomic ---------
+
+
+def _name_bound(tree: ast.Module, name: str) -> bool:
+    """True when module scope already imports the given *name*."""
+    for st in tree.body:
+        if isinstance(st, ast.Import):
+            for alias in st.names:
+                if (alias.asname or alias.name.split(".", 1)[0]) == name:
+                    return True
+        elif isinstance(st, ast.ImportFrom):
+            for alias in st.names:
+                if (alias.asname or alias.name) == name:
+                    return True
+    return False
+
+
+def _fix_atomic_write(tree: ast.Module, source: str,
+                      finding: Finding) -> Optional[List[Edit]]:
+    if "hand-rolls" in finding.message:
+        # The tmp+os.replace scaffolding around the write would be left
+        # behind (double-rename); migrating those needs a human.
+        return None
+    target: Optional[ast.Call] = None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and node.lineno == finding.line \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in ("write_text", "write_bytes"):
+            target = node
+            break
+    if target is None or not target.args:
+        return None
+    receiver = ast.get_source_segment(source, target.func.value)
+    if receiver is None:
+        return None
+    helper = ("atomic_write_text" if target.func.attr == "write_text"
+              else "atomic_write_bytes")
+    first = target.args[0]
+    edits = [_replace(target.func, helper),
+             _insert(first.lineno, first.col_offset, f"{receiver}, ")]
+    if not _name_bound(tree, helper):
+        after = _import_insertion_line(tree)
+        edits.append(_insert(
+            after + 1, 0, f"from repro.core.atomic import {helper}\n"))
+    return edits
+
+
 # -- suppress mode ----------------------------------------------------------
 
 _MARKER_RE = re.compile(r"#\s*simlint:\s*ignore\[([^\]]+)\]")
@@ -301,6 +354,7 @@ _REWRITERS = {
     "SL104": _fix_set_iteration,
     "SL201": _fix_magic_literal,
     "SL802": _fix_hoist_chain,
+    "SL1002": _fix_atomic_write,
 }
 
 

@@ -18,11 +18,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.core.atomic import atomic_write_text
 from repro.lint.findings import Finding, Severity
 from repro.lint.graph.summary import SUMMARY_VERSION, FileSummary
 
@@ -65,6 +65,8 @@ def ruleset_fingerprint(config, rules, graph_rules) -> str:
                 k: sorted(v) for k, v in sorted(config.restricted_imports.items())
             },
             "hot_entrypoints": list(config.hot_entrypoints),
+            "worker_entrypoints": list(config.worker_entrypoints),
+            "atomic_write_files": sorted(config.atomic_write_files),
             "severity_overrides": {
                 k: v.value for k, v in sorted(config.severity_overrides.items())
             },
@@ -178,8 +180,5 @@ class SummaryCache:
             "files": {rel: self._entries[rel].to_json()
                       for rel in sorted(self._entries)},
         }
-        self.directory.mkdir(parents=True, exist_ok=True)
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        tmp = self.path.with_suffix(f".tmp-{os.getpid()}")
-        tmp.write_text(blob, encoding="utf-8")
-        os.replace(tmp, self.path)
+        atomic_write_text(self.path, blob, mkdir=True)

@@ -113,6 +113,45 @@ class ProjectGraph:
                 return edge
         return None
 
+    def reachable_from(self, entrypoints, scratch_key: str) -> Dict[str, str]:
+        """fq -> the configured entrypoint that reaches it.
+
+        Deterministic forward BFS over resolved project call edges and
+        nested-function definitions; entrypoints are dotted paths
+        relative to the root package (``sim.kernel.Simulator.run``
+        matches ``repro.sim.kernel.Simulator.run``) and the
+        lexicographically first entrypoint wins ties.  Memoized on the
+        graph under *scratch_key*, so the rules of one family share a
+        single reachability pass (SL8xx hot set, SL10xx worker set).
+        """
+        cached = self.scratch.get(scratch_key)
+        if cached is not None:
+            return cached
+        reached: Dict[str, str] = {}
+        frontier: List[str] = []
+        for entry in sorted(entrypoints):
+            suffix = f".{entry}"
+            for fq in sorted(self.functions):
+                if (fq == entry or fq.endswith(suffix)) and fq not in reached:
+                    reached[fq] = entry
+                    frontier.append(fq)
+        while frontier:
+            new_frontier: List[str] = []
+            for fq in frontier:
+                for edge in sorted(self.out_edges.get(fq, []),
+                                   key=lambda e: (e.target or "", e.line)):
+                    if edge.kind not in ("project", "defines"):
+                        continue
+                    target = edge.target
+                    if target is None or target in reached \
+                            or target not in self.functions:
+                        continue
+                    reached[target] = reached[fq]
+                    new_frontier.append(target)
+            frontier = sorted(new_frontier)
+        self.scratch[scratch_key] = reached
+        return reached
+
     # -- construction -------------------------------------------------------
 
     def _build_edges(self) -> None:

@@ -41,6 +41,7 @@ __all__ = [
     "FunctionSummary",
     "FileSummary",
     "MODULE_BODY",
+    "rng_like_name",
     "unit_of_name",
     "unit_family",
     "summarize_source",
@@ -51,7 +52,9 @@ __all__ = [
 #: incremental cache keys on it, so stale summaries are never reused.
 #: v2: hot-path perf sites, import sites, exports and reference tables
 #: for the SL8xx/SL9xx families.
-SUMMARY_VERSION = 2
+#: v3: shared-state mutation sites, durable-write sites, RNG-escape
+#: sites and module-scope bindings for the SL10xx concurrency family.
+SUMMARY_VERSION = 3
 
 #: Pseudo-function name for statements executed at import time.
 MODULE_BODY = "<module>"
@@ -172,6 +175,24 @@ class FunctionSummary:
     #: ``[line, exception names]`` (control-flow exceptions per event),
     #: "loop-list-in" ``[line, name]`` (O(n) list membership per event).
     perf: List[list] = field(default_factory=list)
+    #: Shared-state mutation sites, ``[line, kind, head, detail]``;
+    #: kinds: "global" (assignment to a ``global``-declared name),
+    #: "store" (``X[...] = v`` / ``X.attr = v`` where ``X`` is not a
+    #: local), "cls-store" (store through ``cls``), "mutcall"
+    #: (``X.append/update/...`` where ``X`` is not a local).  The SL1001
+    #: pass resolves heads against module/class bindings.
+    mutations: List[list] = field(default_factory=list)
+    #: Durable-write sites, ``[line, kind, detail]``; kinds: "open-w"
+    #: (``open(..., "w"/"wb"/"x")``), "write-text" / "write-bytes"
+    #: (``path.write_text/write_bytes`` calls).  ``json.dump`` /
+    #: ``pickle.dump`` / ``np.savez`` sinks are resolved from call edges
+    #: at graph time instead (import-alias aware).
+    writes: List[list] = field(default_factory=list)
+    #: Cross-process RNG hazard sites, ``[line, kind, name]``; kinds:
+    #: "loop-stream" (an ``RngRegistry`` built before a loop is streamed
+    #: inside it — per-cell state reuse), "spawn-arg" (an RNG-carrying
+    #: object pickled into a ``Process(...)`` spawn).
+    rng_sites: List[list] = field(default_factory=list)
 
     @property
     def implicit_first_param(self) -> bool:
@@ -193,6 +214,9 @@ class FunctionSummary:
             "hvr": int(self.has_value_return),
             "dec": self.decorators,
             "perf": [list(p) for p in self.perf],
+            "mut": [list(m) for m in self.mutations],
+            "wr": [list(w) for w in self.writes],
+            "rng": [list(r) for r in self.rng_sites],
         }
 
     @classmethod
@@ -211,6 +235,9 @@ class FunctionSummary:
             has_value_return=bool(d["hvr"]),
             decorators=list(d["dec"]),
             perf=[[p[0], p[1], list(p[2])] for p in d["perf"]],
+            mutations=[list(m) for m in d["mut"]],
+            writes=[list(w) for w in d["wr"]],
+            rng_sites=[list(r) for r in d["rng"]],
         )
 
 
@@ -244,6 +271,10 @@ class FileSummary:
     #: Every identifier mentioned anywhere in the file (sorted, deduped);
     #: the reference corpus for dead-export detection (SL904).
     refs: List[str] = field(default_factory=list)
+    #: Names bound at module scope by assignment (sorted) — ``defs``
+    #: only records functions and classes; SL1001 resolves mutation
+    #: heads against the union of both plus the import table.
+    module_globals: List[str] = field(default_factory=list)
 
     @property
     def package(self) -> str:
@@ -272,6 +303,7 @@ class FileSummary:
             "all": ([list(a) for a in self.dunder_all]
                     if self.dunder_all is not None else None),
             "refs": self.refs,
+            "mg": self.module_globals,
         }
 
     @classmethod
@@ -287,6 +319,7 @@ class FileSummary:
             dunder_all=([[a[0], a[1]] for a in d["all"]]
                         if d["all"] is not None else None),
             refs=list(d["refs"]),
+            module_globals=list(d["mg"]),
         )
 
 
@@ -303,6 +336,46 @@ _LIST_RETURNING = frozenset({"list", "sorted"})
 
 #: Argless constructors producing a fresh empty container (SL801).
 _CONTAINER_CTORS = frozenset({"list", "dict", "set", "tuple"})
+
+#: Method names that mutate their receiver in place (SL1001 mutcall).
+_MUTATING_METHODS = frozenset({
+    "append", "appendleft", "add", "update", "setdefault", "pop", "popitem",
+    "extend", "insert", "remove", "discard", "clear", "sort",
+})
+
+#: ``open`` mode characters that make the call a durable write (SL1002).
+#: Append mode ("a") is excluded by design: append-only journals (the
+#: bench ledger) are a different durability protocol.
+_WRITE_MODE_CHARS = ("w", "x")
+
+
+def rng_like_name(name: str) -> str:
+    """Why *name* conventionally carries an RNG object; "" if it doesn't.
+
+    The tree's naming convention (enforced by the SL4xx family) is that
+    generators and registries travel under ``rng`` / ``*_rng`` /
+    ``rng_*`` names — the SL1004 escape analysis leans on the same
+    convention.
+    """
+    if name == "rng" or name.endswith("_rng") or name.startswith("rng_"):
+        return f"`{name}` is an RNG-conventional name"
+    return ""
+
+
+def _rng_valued(name: str, ctx: "_FuncCtx") -> bool:
+    """*name* is locally bound from an RNG constructor or stream."""
+    term = ctx.env.get(name)
+    if not term or term[0] != "c":
+        return False
+    tail = str(term[1]).split(".")[-1]
+    return tail in ("RngRegistry", "default_rng", "stream", "fork")
+
+
+def _head_name(node: ast.AST):
+    """The base identifier of an attribute/subscript chain, or None."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
 
 
 class _LoopInfo:
@@ -332,6 +405,8 @@ class _FuncCtx:
         self.loops: List[_LoopInfo] = []
         #: locals currently known to hold a list (for SL804)
         self.list_names: set = set()
+        #: names declared ``global`` in this function (for SL1001)
+        self.globals_decl: set = set()
 
 
 class _Summarizer:
@@ -345,6 +420,12 @@ class _Summarizer:
         )
         self._package = module if rel.endswith("__init__.py") else (
             module.rsplit(".", 1)[0] if "." in module else module)
+        #: Names assigned at module scope (finalized into module_globals).
+        self._module_names: set = set()
+        #: >0 while walking a class body: class-level bindings (dataclass
+        #: fields, class attributes) run in the module ctx but are *not*
+        #: module globals — SL1001 sees them as cls/attribute state.
+        self._class_depth = 0
 
     # -- imports ------------------------------------------------------------
 
@@ -390,6 +471,7 @@ class _Summarizer:
         self._walk_stmts(tree.body, ctx, prefix="", cls=None)
         self.out.functions.append(ctx.summary)
         self.out.refs = sorted(set(identifiers_in(tree)))
+        self.out.module_globals = sorted(self._module_names)
         return self.out
 
     def _walk_stmts(self, stmts, ctx: _FuncCtx, prefix: str,
@@ -412,6 +494,9 @@ class _Summarizer:
                 self._assign([st.target], st.value, st, ctx)
             elif isinstance(st.target, ast.Name):
                 ctx.local_names.add(st.target.id)
+                if ctx.summary.qname == MODULE_BODY \
+                        and self._class_depth == 0:
+                    self._module_names.add(st.target.id)
         elif isinstance(st, ast.AugAssign):
             self._augassign(st, ctx)
         elif isinstance(st, ast.Return):
@@ -483,7 +568,9 @@ class _Summarizer:
                 if case.guard is not None:
                     self._eval(case.guard, ctx)
                 self._walk_stmts(case.body, ctx, prefix, cls)
-        # Global/Nonlocal/Pass/Break/Continue: nothing to record.
+        elif isinstance(st, ast.Global):
+            ctx.globals_decl.update(st.names)
+        # Nonlocal/Pass/Break/Continue: nothing to record.
 
     def _function(self, st, ctx: _FuncCtx, prefix: str, cls: Optional[str]) -> None:
         # Decorators and defaults evaluate in the *enclosing* scope.
@@ -542,13 +629,19 @@ class _Summarizer:
 
         cls_qname = f"{prefix}{st.name}"
         methods: List[str] = []
-        for sub in st.body:
-            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                methods.append(sub.name)
-                self._function(sub, ctx, prefix=f"{cls_qname}.", cls=cls_qname)
-            else:
-                # Class-level assignments etc. run at import time.
-                self._walk_stmt(sub, ctx, prefix=f"{cls_qname}.", cls=cls_qname)
+        self._class_depth += 1
+        try:
+            for sub in st.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods.append(sub.name)
+                    self._function(sub, ctx, prefix=f"{cls_qname}.",
+                                   cls=cls_qname)
+                else:
+                    # Class-level assignments etc. run at import time.
+                    self._walk_stmt(sub, ctx, prefix=f"{cls_qname}.",
+                                    cls=cls_qname)
+        finally:
+            self._class_depth -= 1
 
         if ctx.summary.qname == MODULE_BODY and prefix == "":
             self.out.defs.setdefault(st.name, "class")
@@ -623,8 +716,13 @@ class _Summarizer:
 
     def _bind_target(self, target: ast.AST, term: Term, ctx: _FuncCtx) -> None:
         if isinstance(target, ast.Name):
+            if target.id in ctx.globals_decl:
+                ctx.summary.mutations.append(
+                    [target.lineno, "global", target.id, target.id])
             self._loop_store(target.id, ctx)
             ctx.local_names.add(target.id)
+            if ctx.summary.qname == MODULE_BODY and self._class_depth == 0:
+                self._module_names.add(target.id)
             if term is not None:
                 ctx.env[target.id] = term
             target_unit = unit_of_name(target.id)
@@ -635,9 +733,22 @@ class _Summarizer:
             for elt in target.elts:
                 self._bind_target(elt, None, ctx)
         elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            self._record_store(target, ctx)
             if isinstance(target, ast.Attribute):
                 self._loop_store(dotted_name(target), ctx)
             self._eval(target.value, ctx)
+
+    def _record_store(self, target: ast.AST, ctx: _FuncCtx) -> None:
+        """A subscript/attribute store through a non-local head (SL1001)."""
+        head = _head_name(target)
+        if head is None or head == "self":
+            return
+        if head != "cls" and (head in ctx.local_names
+                              or head in ctx.summary.nested):
+            return
+        detail = dotted_name(target) or f"{head}[...]"
+        kind = "cls-store" if head == "cls" else "store"
+        ctx.summary.mutations.append([target.lineno, kind, head, detail])
 
     def _assign(self, targets, value, st, ctx: _FuncCtx) -> None:
         if (len(targets) == 1 and isinstance(targets[0], ast.Name)
@@ -666,6 +777,9 @@ class _Summarizer:
     def _augassign(self, st: ast.AugAssign, ctx: _FuncCtx) -> None:
         term = self._eval(st.value, ctx)
         if isinstance(st.target, ast.Name):
+            if st.target.id in ctx.globals_decl:
+                ctx.summary.mutations.append(
+                    [st.target.lineno, "global", st.target.id, st.target.id])
             self._loop_store(st.target.id, ctx)
             ctx.local_names.add(st.target.id)
             target_unit = unit_of_name(st.target.id)
@@ -674,6 +788,7 @@ class _Summarizer:
                 ctx.summary.assign_checks.append(
                     (st.target.lineno, st.target.id, target_unit, term))
         elif isinstance(st.target, (ast.Attribute, ast.Subscript)):
+            self._record_store(st.target, ctx)
             if isinstance(st.target, ast.Attribute):
                 self._loop_store(dotted_name(st.target), ctx)
             self._eval(st.target.value, ctx)
@@ -817,6 +932,7 @@ class _Summarizer:
                 counter = ctx.loops[-1].chains.setdefault(
                     raw, [0, node.lineno])
                 counter[0] += 1
+        self._conc_sites(node, raw, head, ctx)
         for i, arg in enumerate(node.args):
             if isinstance(arg, ast.Starred):
                 site.star = True
@@ -836,6 +952,70 @@ class _Summarizer:
                 site.args.append((kw.arg, term))
         ctx.summary.calls.append(site)
         return ["c", raw] if raw is not None else None
+
+    # -- concurrency-safety sites (SL10xx) ----------------------------------
+
+    def _conc_sites(self, node: ast.Call, raw, head, ctx: _FuncCtx) -> None:
+        """Record mutation / durable-write / RNG-escape facts for a call."""
+        # X.append(...) & friends through a non-local head: in-place
+        # mutation of shared state (resolved against bindings later).
+        if raw is not None and "." in raw and "()." not in raw:
+            method = raw.rsplit(".", 1)[1]
+            if method in _MUTATING_METHODS and head not in (None, "self") \
+                    and (head == "cls" or (head not in ctx.local_names
+                                           and head not in ctx.summary.nested)):
+                kind = "cls-store" if head == "cls" else "mutcall"
+                ctx.summary.mutations.append(
+                    [node.lineno, kind, head, raw])
+
+        # Durable-write sinks the graph pass cannot see from edges alone.
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in ("write_text", "write_bytes"):
+            kind = "write-text" if node.func.attr == "write_text" else "write-bytes"
+            detail = dotted_name(node.func) or f"<expr>.{node.func.attr}"
+            ctx.summary.writes.append([node.lineno, kind, detail])
+        if raw in ("open", "io.open"):
+            mode = None
+            if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+                mode = node.args[1].value
+            for kw in node.keywords:
+                if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+                    mode = kw.value.value
+            if isinstance(mode, str) \
+                    and any(c in mode for c in _WRITE_MODE_CHARS):
+                ctx.summary.writes.append([node.lineno, "open-w", mode])
+
+        # RNG escape sites (SL1004).  Only a *loop-invariant* stream name
+        # is a hazard: ``registry.stream("x")`` inside a cell loop hands
+        # every iteration the same generator (state crosses cells), while
+        # ``registry.stream(f"jitter-{host}")`` derives per-entity
+        # streams — the sanctioned pattern.
+        if raw is not None and ctx.loops and "." in raw \
+                and raw.rsplit(".", 1)[1] == "stream" and head is not None \
+                and all(head not in lp.stores for lp in ctx.loops) \
+                and _rng_valued(head, ctx) \
+                and all(isinstance(a, ast.Constant) for a in node.args):
+            ctx.summary.rng_sites.append([node.lineno, "loop-stream", head])
+        if raw is not None and raw.split("().")[-1].rsplit(".", 1)[-1] == "Process":
+            for name in self._spawn_arg_names(node):
+                if rng_like_name(name) or _rng_valued(name, ctx):
+                    ctx.summary.rng_sites.append(
+                        [node.lineno, "spawn-arg", name])
+
+    @staticmethod
+    def _spawn_arg_names(node: ast.Call) -> List[str]:
+        """Identifiers handed to a ``Process(...)`` spawn, in order."""
+        exprs: List[ast.expr] = list(node.args)
+        for kw in node.keywords:
+            if kw.arg == "args" and isinstance(kw.value, (ast.Tuple, ast.List)):
+                exprs.extend(kw.value.elts)
+            elif kw.arg is not None:
+                exprs.append(kw.value)
+        seen: List[str] = []
+        for expr in exprs:
+            if isinstance(expr, ast.Name) and expr.id not in seen:
+                seen.append(expr.id)
+        return seen
 
 
 def summarize_tree(tree: ast.Module, rel: str, module: str,

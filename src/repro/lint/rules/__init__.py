@@ -13,9 +13,12 @@
   (whole-program, via ``repro lint --graph``)
 * :mod:`repro.lint.rules.layering` — SL9xx, architecture layering
   (whole-program, via ``repro lint --graph``)
+* :mod:`repro.lint.rules.conc` — SL10xx, cross-process concurrency
+  safety (whole-program, via ``repro lint --graph``)
 """
 
 from repro.lint.rules import (  # noqa: F401
+    conc,
     determinism,
     kernel,
     layering,

@@ -45,38 +45,11 @@ _FINDINGS_KEY = "perf-findings"
 def hot_functions(graph) -> Dict[str, str]:
     """fq -> the configured hot entrypoint that reaches it.
 
-    Deterministic forward BFS from ``config.hot_entrypoints`` over
-    resolved project call edges and nested-function definitions; the
-    lexicographically first entrypoint wins ties.  Memoized on the graph
-    so the four SL8xx rules share one reachability pass.
+    Deterministic forward BFS from ``config.hot_entrypoints`` (see
+    :meth:`~repro.lint.graph.graphbuild.ProjectGraph.reachable_from`);
+    memoized so the four SL8xx rules share one reachability pass.
     """
-    cached = graph.scratch.get(_HOTSET_KEY)
-    if cached is not None:
-        return cached
-    hot: Dict[str, str] = {}
-    frontier: List[str] = []
-    for entry in sorted(graph.config.hot_entrypoints):
-        suffix = f".{entry}"
-        for fq in sorted(graph.functions):
-            if (fq == entry or fq.endswith(suffix)) and fq not in hot:
-                hot[fq] = entry
-                frontier.append(fq)
-    while frontier:
-        new_frontier: List[str] = []
-        for fq in frontier:
-            for edge in sorted(graph.out_edges.get(fq, []),
-                               key=lambda e: (e.target or "", e.line)):
-                if edge.kind not in ("project", "defines"):
-                    continue
-                target = edge.target
-                if target is None or target in hot \
-                        or target not in graph.functions:
-                    continue
-                hot[target] = hot[fq]
-                new_frontier.append(target)
-        frontier = sorted(new_frontier)
-    graph.scratch[_HOTSET_KEY] = hot
-    return hot
+    return graph.reachable_from(graph.config.hot_entrypoints, _HOTSET_KEY)
 
 
 def _perf_findings(graph) -> List[Tuple[str, str, int, str]]:

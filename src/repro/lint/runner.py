@@ -72,6 +72,49 @@ def _discover_reference_roots(roots: Sequence[Path]) -> List[Path]:
     return found
 
 
+def _git_changed_paths(roots: Sequence[Path],
+                       out: Callable[[str], None]) -> Optional[Set[Path]]:
+    """Absolute paths changed vs HEAD (tracked) plus untracked files.
+
+    Returns None (analysis failure, exit 2) when no git repository sits
+    above the first scan root or git itself fails.
+    """
+    import subprocess
+
+    start = roots[0].resolve()
+    candidates = (start, *start.parents) if start.is_dir() else start.parents
+    repo = next((c for c in candidates if (c / ".git").exists()), None)
+    if repo is None:
+        out(f"error: --changed: no git repository found above {start}")
+        return None
+    changed: Set[Path] = set()
+    for args in (("diff", "--name-only", "HEAD", "--"),
+                 ("ls-files", "--others", "--exclude-standard")):
+        try:
+            proc = subprocess.run(
+                ("git", "-C", str(repo)) + args,
+                capture_output=True, text=True, check=True)
+        except (OSError, subprocess.CalledProcessError) as exc:
+            out(f"error: --changed: git {args[0]} failed: {exc}")
+            return None
+        for line in proc.stdout.splitlines():
+            if line.strip():
+                changed.add((repo / line.strip()).resolve())
+    return changed
+
+
+def _changed_rels(roots: Sequence[Path], changed: Set[Path]) -> Set[str]:
+    """Scan-relative rels of the changed files under the scan roots."""
+    from repro.lint.graph.analyzer import _iter_files
+
+    rels: Set[str] = set()
+    for root in roots:
+        for path, rel, _rootdir in _iter_files(root):
+            if Path(path).resolve() in changed:
+                rels.add(rel)
+    return rels
+
+
 def default_scan_root() -> Path:
     """The installed ``repro`` package — what ``repro lint`` checks."""
     import repro
@@ -136,6 +179,7 @@ def run_lint(
     fix: bool = False,
     fix_mode: str = "rewrite",
     dry_run: bool = False,
+    changed: bool = False,
     out: Callable[[str], None] = print,
 ) -> int:
     """Lint *paths* (default: the installed package) and report.
@@ -146,7 +190,11 @@ def run_lint(
     run in this invocation — and exits 0.  ``fix`` hands the kept (and,
     in rewrite mode, baselined) findings to the autofix engine and
     prints unified diffs instead of gating; ``dry_run`` previews without
-    writing.
+    writing.  ``changed`` scopes *reporting* to files changed vs git
+    HEAD (plus untracked): the analysis itself still covers the full
+    tree — whole-program rules need the whole program, and the
+    incremental cache makes the unchanged remainder nearly free — but
+    findings, the gate, and ``--fix`` apply to changed files only.
     """
     roots = [Path(p) for p in paths] if paths else [default_scan_root()]
     missing = [r for r in roots if not r.exists()]
@@ -156,6 +204,19 @@ def run_lint(
         return 2
     if _config_errors(config, out):
         return 2
+    changed_rels: Optional[Set[str]] = None
+    if changed:
+        if update_baseline:
+            out("error: --changed cannot be combined with --update-baseline "
+                "(a partial view must not rewrite the whole baseline)")
+            return 2
+        changed_paths = _git_changed_paths(roots, out)
+        if changed_paths is None:
+            return 2
+        changed_rels = _changed_rels(roots, changed_paths)
+        if not changed_rels:
+            out("--changed: no changed files under the scanned roots")
+            return 0
     report, active_rules, _result = _analyze(
         roots, config, graph, cache_dir, no_cache)
 
@@ -188,6 +249,10 @@ def run_lint(
 
     kept, baselined, stale = baseline.filter(report.findings,
                                              active_rules=active_rules)
+    if changed_rels is not None:
+        kept = [f for f in kept if f.file in changed_rels]
+        baselined = [f for f in baselined if f.file in changed_rels]
+        stale = []  # staleness is undecidable from a partial view
     errors = [f for f in kept if f.severity is Severity.ERROR]
     warnings = [f for f in kept if f.severity is Severity.WARNING]
     parse_errors = [f for f in kept if f.rule == PARSE_ERROR_RULE]

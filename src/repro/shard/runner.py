@@ -31,7 +31,6 @@ of the plan, whatever the shard or job count was.
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -41,6 +40,7 @@ from repro.broker.fleet import FleetScore
 from repro.campaign.pool import PoolConfig
 from repro.campaign.runner import CampaignRunner, campaign_status
 from repro.campaign.store import ResultStore
+from repro.core.atomic import atomic_write_json
 from repro.errors import ShardError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.telemetry import TelemetryEvent, as_sink
@@ -119,9 +119,6 @@ def write_run_file(root: Union[str, Path], plan: ShardPlan,
                    warm_from: Optional[str], warm_hash: str,
                    warm_entries: int) -> Path:
     """Persist the run's provenance (atomically) under the run root."""
-    root = Path(root)
-    root.mkdir(parents=True, exist_ok=True)
-    path = root / RUN_FILE
     payload = {
         "version": RUN_FILE_VERSION,
         "plan": plan.canonical_dict(),
@@ -129,11 +126,8 @@ def write_run_file(root: Union[str, Path], plan: ShardPlan,
         "warm_hash": warm_hash,
         "warm_entries": int(warm_entries),
     }
-    tmp = path.with_suffix(f".tmp.{os.getpid()}")
-    tmp.write_text(json.dumps(payload, sort_keys=True, indent=1) + "\n",
-                   encoding="utf-8")
-    os.replace(tmp, path)
-    return path
+    return atomic_write_json(Path(root) / RUN_FILE, payload,
+                             sort_keys=True, indent=1, mkdir=True)
 
 
 def read_run_file(root: Union[str, Path]) -> Dict[str, object]:

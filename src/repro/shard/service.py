@@ -30,7 +30,6 @@ time — the service is as deterministic as the workers it serves.
 from __future__ import annotations
 
 import json
-import os
 import re
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -38,6 +37,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.broker.directory import DirectorySnapshot
+from repro.core.atomic import atomic_write_json
 from repro.errors import ShardError
 from repro.obs.metrics import MetricsRegistry
 
@@ -76,14 +76,28 @@ class DirectoryFileTier:
 
     def publish(self, name: str, payload: Dict[str, object]) -> Path:
         """Atomically write *payload* under *name*; returns its path."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(name)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(
-            json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n",
-            encoding="utf-8")
-        os.replace(tmp, path)
-        return path
+        return atomic_write_json(self.path_for(name), payload,
+                                 sort_keys=True, separators=(",", ":"),
+                                 mkdir=True)
+
+    def clean_tmp(self) -> int:
+        """Sweep stale temp files left by killed writers; returns count.
+
+        The atomic-write protocol's temp names end in ``.tmp`` (see
+        :mod:`repro.core.atomic`), so the glob can never match a
+        published ``*.json`` document — sweeping is always safe, even
+        while other writers are racing.
+        """
+        if not self.root.is_dir():
+            return 0
+        swept = 0
+        for stray in sorted(self.root.glob("*.tmp")):
+            try:
+                stray.unlink()
+                swept += 1
+            except OSError:
+                pass  # a racing writer already published or swept it
+        return swept
 
     def fetch(self, name: str) -> Optional[Dict[str, object]]:
         """The payload published under *name*, or None."""

@@ -349,7 +349,7 @@ def _compiled_case_study(params: CaseStudyParams,
     compiled = _COMPILED_CACHE.get(key)
     if compiled is None:
         compiled = compile_spec(spec, cache_dir=cache_dir, routes=True)
-        _COMPILED_CACHE[key] = compiled
+        _COMPILED_CACHE[key] = compiled  # simlint: ignore[SL1001] -- per-process memo; content is keyed by spec hash, so copies never diverge
     return compiled
 
 

@@ -221,10 +221,10 @@ def compile_spec(spec: TopoSpec,
     obs.record_shape(compiled.n_sites, compiled.n_nodes, compiled.n_links,
                      compiled.n_routes)
     if use_memo:
-        _COMPILE_MEMO[memo_key] = compiled
+        _COMPILE_MEMO[memo_key] = compiled  # simlint: ignore[SL1001] -- per-process memo; content is keyed by spec hash, so copies never diverge
         _COMPILE_MEMO.move_to_end(memo_key)
         while len(_COMPILE_MEMO) > _COMPILE_MEMO_MAX:
-            _COMPILE_MEMO.popitem(last=False)
+            _COMPILE_MEMO.popitem(last=False)  # simlint: ignore[SL1001] -- eviction on the per-process memo above
     return compiled
 
 

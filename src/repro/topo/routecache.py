@@ -30,6 +30,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.core.atomic import atomic_write, atomic_write_json
 from repro.errors import TopoError
 from repro.topo.instrument import TopoInstrumentation
 
@@ -115,19 +116,17 @@ class RouteCache:
               route_node: np.ndarray) -> str:
         """Atomically persist the route arrays under *key*."""
         payload = self.payload_path(key)
-        sidecar = self.sidecar_path(key)
-        # temp name keeps the .npz suffix so numpy doesn't append one
-        tmp_payload = payload + ".tmp.npz"
-        tmp_sidecar = sidecar + ".tmp"
-        np.savez_compressed(tmp_payload, route_indptr=route_indptr,
-                            route_node=route_node)
         record = {
             "version": ROUTE_CACHE_VERSION,
             "key": key,
-            "sha256": _file_sha256(tmp_payload),
         }
-        with open(tmp_sidecar, "w") as fh:
-            json.dump(record, fh, sort_keys=True)
-        os.replace(tmp_payload, payload)
-        os.replace(tmp_sidecar, sidecar)
+        # temp name keeps the .npz suffix so numpy doesn't append one;
+        # payload publishes before its sidecar so a reader that sees the
+        # sidecar always finds a complete payload to checksum.
+        with atomic_write(payload, suffix=".npz") as tmp_payload:
+            np.savez_compressed(tmp_payload, route_indptr=route_indptr,
+                                route_node=route_node)
+            record["sha256"] = _file_sha256(str(tmp_payload))
+        atomic_write_json(self.sidecar_path(key), record, sort_keys=True,
+                          trailing_newline=False)
         return payload

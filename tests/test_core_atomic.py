@@ -1,0 +1,99 @@
+"""Unit contract of the sanctioned atomic-write protocol.
+
+`repro.core.atomic` backs every durable artifact in the tree (campaign
+records, directory-tier documents, shard run files, route caches, the
+lint cache), so its contract is pinned in isolation: round-trips,
+``mkdir``/``suffix`` knobs, temp-file hygiene, and — the point of the
+module — that an exception mid-write leaves the destination untouched
+and no temp file behind.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.atomic import (atomic_write, atomic_write_bytes,
+                               atomic_write_json, atomic_write_text)
+
+pytestmark = pytest.mark.core
+
+
+def _no_tmp_files(directory: Path):
+    return [p.name for p in directory.glob("*.tmp*")] == []
+
+
+def test_text_round_trip_and_return_value(tmp_path):
+    target = tmp_path / "doc.txt"
+    assert atomic_write_text(target, "héllo\n") == target
+    assert target.read_text(encoding="utf-8") == "héllo\n"
+    assert _no_tmp_files(tmp_path)
+
+
+def test_bytes_round_trip(tmp_path):
+    target = tmp_path / "blob.bin"
+    atomic_write_bytes(target, b"\x00\x01\x02")
+    assert target.read_bytes() == b"\x00\x01\x02"
+    assert _no_tmp_files(tmp_path)
+
+
+def test_json_knobs_mirror_json_dumps(tmp_path):
+    payload = {"b": 1, "a": [1, 2]}
+    target = tmp_path / "doc.json"
+    atomic_write_json(target, payload, sort_keys=True,
+                      separators=(",", ":"))
+    expected = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+    assert target.read_text(encoding="utf-8") == expected
+    atomic_write_json(target, payload, indent=1, trailing_newline=False)
+    assert target.read_text(encoding="utf-8") \
+        == json.dumps(payload, sort_keys=True, indent=1)
+
+
+def test_mkdir_creates_missing_parents(tmp_path):
+    target = tmp_path / "a" / "b" / "doc.json"
+    atomic_write_json(target, {"k": 1}, mkdir=True)
+    assert json.loads(target.read_text(encoding="utf-8")) == {"k": 1}
+
+
+def test_write_without_mkdir_fails_on_missing_parent(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        atomic_write_text(tmp_path / "missing" / "doc.txt", "x")
+
+
+def test_overwrite_replaces_whole_document(tmp_path):
+    target = tmp_path / "doc.txt"
+    atomic_write_text(target, "a much longer first version\n")
+    atomic_write_text(target, "v2\n")
+    assert target.read_text(encoding="utf-8") == "v2\n"
+
+
+def test_context_manager_suffix_and_pid_in_temp_name(tmp_path):
+    target = tmp_path / "routes.npz"
+    with atomic_write(target, suffix=".npz") as tmp:
+        assert tmp.parent == tmp_path
+        assert tmp.name == f"routes.npz.{os.getpid()}.tmp.npz"
+        tmp.write_bytes(b"payload")
+    assert target.read_bytes() == b"payload"
+    assert _no_tmp_files(tmp_path)
+
+
+def test_exception_leaves_target_untouched_and_no_temp(tmp_path):
+    target = tmp_path / "doc.txt"
+    atomic_write_text(target, "original\n")
+    with pytest.raises(RuntimeError):
+        with atomic_write(target) as tmp:
+            tmp.write_text("half-written", encoding="utf-8")
+            raise RuntimeError("killed mid-write")
+    assert target.read_text(encoding="utf-8") == "original\n"
+    assert _no_tmp_files(tmp_path)
+
+
+def test_exception_before_temp_exists_is_clean(tmp_path):
+    target = tmp_path / "doc.txt"
+    with pytest.raises(ValueError):
+        with atomic_write(target):
+            raise ValueError("serializer refused")
+    assert not target.exists()
+    assert _no_tmp_files(tmp_path)

@@ -58,8 +58,10 @@ def test_no_unbaselined_graph_family_findings(tmp_path):
     result = ProjectAnalyzer(
         cache_dir=None, reference_roots=reference).run([default_scan_root()])
     kept, _, _ = Baseline.load(BASELINE_PATH).filter(result.report.findings)
+    # "SL100" (not "SL10") keeps the per-file SL1xx ids out of the match.
     graph_findings = [f for f in kept
-                      if f.rule.startswith(("SL6", "SL7", "SL8", "SL9"))]
+                      if f.rule.startswith(("SL6", "SL7", "SL8", "SL9",
+                                            "SL100"))]
     assert graph_findings == [], "\n".join(f.render() for f in graph_findings)
 
 
@@ -143,7 +145,8 @@ def test_sarif_output_is_valid_and_lists_graph_rules(tmp_path):
     assert {"SL001", "SL101", "SL601", "SL602", "SL603",
             "SL701", "SL702", "SL703",
             "SL801", "SL802", "SL803", "SL804",
-            "SL901", "SL902", "SL903", "SL904"} <= rules
+            "SL901", "SL902", "SL903", "SL904",
+            "SL1001", "SL1002", "SL1003", "SL1004"} <= rules
 
 
 def test_exit_code_contract(tmp_path):

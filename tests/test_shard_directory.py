@@ -1,6 +1,13 @@
-"""Shared directory service: snapshots, file tier, two-tier cache."""
+"""Shared directory service: snapshots, file tier, two-tier cache.
+
+Includes the cross-process stress test docs/SHARDING.md points at: N
+processes racing publishes of one name while the parent reads, with
+every fetch required to parse as one of the candidate payloads (the
+atomic-rename guarantee of ``repro.core.atomic``).
+"""
 
 import json
+import multiprocessing
 
 import pytest
 
@@ -137,6 +144,57 @@ class TestDirectoryFileTier:
         path.write_text("{torn", encoding="utf-8")
         with pytest.raises(ShardError, match="corrupt"):
             tier.fetch("doc")
+
+    def test_clean_tmp_sweeps_orphans_only(self, tmp_path):
+        tier = DirectoryFileTier(tmp_path)
+        tier.publish("doc", {"v": 1})
+        # orphans a killed writer would leave: <name>.<pid>.tmp
+        (tmp_path / "doc.json.1234.tmp").write_text("{half",
+                                                    encoding="utf-8")
+        (tmp_path / "other.json.77.tmp").write_text("", encoding="utf-8")
+        assert tier.clean_tmp() == 2
+        assert tier.fetch("doc") == {"v": 1}
+        assert tier.names() == ["doc"]
+        assert tier.clean_tmp() == 0
+
+
+def _racing_publisher(root, name, worker_id, n_rounds):
+    tier = DirectoryFileTier(root)
+    for i in range(n_rounds):
+        tier.publish(name, {"worker": worker_id, "round": i})
+
+
+class TestCrossProcessPublishes:
+    def test_racing_publishers_never_tear_a_document(self, tmp_path):
+        root = tmp_path / "dir"
+        tier = DirectoryFileTier(root)
+        tier.publish("doc", {"worker": -1, "round": -1})
+        n_workers, n_rounds = 4, 50
+        procs = [multiprocessing.Process(
+                    target=_racing_publisher,
+                    args=(root, "doc", w, n_rounds))
+                 for w in range(n_workers)]
+        for p in procs:
+            p.start()
+        reads = 0
+        try:
+            while any(p.is_alive() for p in procs):
+                payload = tier.fetch("doc")  # raises ShardError if torn
+                assert set(payload) == {"worker", "round"}
+                assert -1 <= payload["worker"] < n_workers
+                assert -1 <= payload["round"] < n_rounds
+                reads += 1
+        finally:
+            for p in procs:
+                p.join()
+        assert reads > 0
+        assert all(p.exitcode == 0 for p in procs)
+        # the final document is some worker's last round, whole
+        final = tier.fetch("doc")
+        assert final["round"] == n_rounds - 1
+        # no temp debris: every publish either landed or was replaced
+        assert tier.clean_tmp() == 0
+        assert tier.names() == ["doc"]
 
 
 class TestSiteReport:
