@@ -34,6 +34,11 @@ COLD_BUDGET_S = 10.0
 WARM_BUDGET_S = 2.0
 MIN_WARM_SPEEDUP = 3.0
 
+#: The warm pass finishes in ~0.2 s, where single-run scheduler jitter
+#: is a visible fraction of the measurement; the recorded warm time is
+#: the best of this many runs so the ledger tracks cache cost, not noise.
+WARM_RUNS = 3
+
 
 def _graph_lint(cache_dir, **kw):
     buf = []
@@ -72,12 +77,14 @@ def test_graph_run_byte_deterministic_and_warm_speedup(tmp_path):
     code_cold, out_cold = _graph_lint(cache_dir, fmt="json")
     cold_s = time.perf_counter() - t0
 
-    t0 = time.perf_counter()
-    code_warm, out_warm = _graph_lint(cache_dir, fmt="json")
-    warm_s = time.perf_counter() - t0
-
-    assert code_cold == code_warm == 0
-    assert out_warm == out_cold, "cold and warm reports must be byte-identical"
+    warm_s = float("inf")
+    for _ in range(WARM_RUNS):
+        t0 = time.perf_counter()
+        code_warm, out_warm = _graph_lint(cache_dir, fmt="json")
+        warm_s = min(warm_s, time.perf_counter() - t0)
+        assert code_cold == code_warm == 0
+        assert out_warm == out_cold, \
+            "cold and warm reports must be byte-identical"
 
     _, out_nocache = _graph_lint(None, fmt="json", no_cache=True)
     assert out_nocache == out_cold, "the cache must never change the report"
